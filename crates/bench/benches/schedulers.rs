@@ -1,0 +1,96 @@
+//! Criterion benches of the scheduling algorithms themselves: Fed-LBAP's
+//! `O(ns log ns)` against the exact `O(n s^2)` DP and the baselines, at the
+//! paper's problem sizes (n = 3/6/10 devices, s = 600 shards for 60K MNIST
+//! samples in 100-sample shards) and beyond.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use fedsched_core::{
+    CostMatrix, EqualScheduler, ExactMinMax, FedLbap, FedMinAvg, MinAvgProblem,
+    ProportionalScheduler, RandomScheduler, Scheduler, UserSpec,
+};
+use fedsched_profiler::LinearProfile;
+
+fn cost_matrix(n: usize, s: usize) -> CostMatrix {
+    // Heterogeneous per-shard rates spanning ~6x, like the real testbed.
+    let rates: Vec<f64> = (0..n).map(|j| 0.5 + 3.0 * ((j * 7919 % 13) as f64 / 13.0)).collect();
+    let comm: Vec<f64> = (0..n).map(|j| 0.2 + 0.1 * (j % 3) as f64).collect();
+    CostMatrix::from_linear_rates(&rates, s, 100.0, &comm)
+}
+
+fn bench_lbap_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fed_lbap_scaling");
+    for &(n, s) in &[(3usize, 600usize), (6, 600), (10, 600), (10, 2400), (50, 5000)] {
+        let costs = cost_matrix(n, s);
+        group.bench_with_input(BenchmarkId::new("lbap", format!("n{n}_s{s}")), &costs, |b, m| {
+            b.iter(|| FedLbap.schedule(black_box(m)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_lbap_vs_exact(c: &mut Criterion) {
+    // Ablation: the DP oracle finds the same makespan but pays O(n s^2).
+    let mut group = c.benchmark_group("lbap_vs_exact_dp");
+    for &(n, s) in &[(5usize, 100usize), (10, 300)] {
+        let costs = cost_matrix(n, s);
+        group.bench_with_input(BenchmarkId::new("lbap", format!("n{n}_s{s}")), &costs, |b, m| {
+            b.iter(|| FedLbap.schedule(black_box(m)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("exact_dp", format!("n{n}_s{s}")), &costs, |b, m| {
+            b.iter(|| ExactMinMax.schedule(black_box(m)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let costs = cost_matrix(10, 600);
+    let mut group = c.benchmark_group("baselines_n10_s600");
+    group.bench_function("proportional", |b| {
+        let sched = ProportionalScheduler::new((0..10).map(|j| 1.0 + j as f64).collect());
+        b.iter(|| sched.schedule(black_box(&costs)).unwrap())
+    });
+    group.bench_function("random", |b| {
+        let sched = RandomScheduler::new(7);
+        b.iter(|| sched.schedule(black_box(&costs)).unwrap())
+    });
+    group.bench_function("equal", |b| {
+        b.iter(|| EqualScheduler.schedule(black_box(&costs)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_minavg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fed_minavg");
+    for &(n, shards) in &[(6usize, 500usize), (10, 500), (10, 2000)] {
+        let users: Vec<UserSpec<LinearProfile>> = (0..n)
+            .map(|j| UserSpec {
+                profile: LinearProfile::new(0.5, 0.002 + 0.001 * (j % 4) as f64),
+                comm: 0.5,
+                classes: (0..=(j % 6)).collect(),
+                capacity_shards: shards,
+            })
+            .collect();
+        let problem = MinAvgProblem {
+            users,
+            total_shards: shards,
+            shard_size: 100.0,
+            acc: fedsched_core::AccuracyCost::new(10, 1000.0, 2.0),
+        };
+        group.bench_with_input(
+            BenchmarkId::new("minavg", format!("n{n}_m{shards}")),
+            &problem,
+            |b, p| b.iter(|| FedMinAvg.schedule(black_box(p)).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_lbap_scaling, bench_lbap_vs_exact, bench_baselines, bench_minavg
+}
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Criterion benches of the substrates: NN kernels, device simulation
+//! throughput, dataset materialization, and the parallel primitives.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use fedsched_data::{Dataset, DatasetKind};
+use fedsched_device::{Device, DeviceModel, TrainingWorkload};
+use fedsched_nn::{lenet_with_threads, mlp};
+use fedsched_parallel::{parallel_map, ThreadPool};
+
+fn bench_nn_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nn_train_batch");
+    let ds = Dataset::generate(DatasetKind::MnistLike, 64, 1);
+    let idx: Vec<usize> = (0..20).collect();
+    let (x, y) = ds.batch(&idx);
+
+    for threads in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("lenet_batch20", threads),
+            &threads,
+            |b, &t| {
+                let mut net = lenet_with_threads((1, 28, 28), 3, t);
+                b.iter(|| black_box(net.train_batch(&x, &y)))
+            },
+        );
+    }
+    group.bench_function("mlp_batch20", |b| {
+        let mut net = mlp((1, 28, 28), 3);
+        b.iter(|| black_box(net.train_batch(&x, &y)))
+    });
+    group.finish();
+}
+
+fn bench_device_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("device_sim");
+    for model in DeviceModel::all() {
+        group.bench_with_input(
+            BenchmarkId::new("epoch_1000_lenet", model.name()),
+            &model,
+            |b, &m| {
+                let wl = TrainingWorkload::lenet();
+                b.iter(|| {
+                    let mut d = Device::from_model(m, 1);
+                    black_box(d.epoch_time_cold(&wl, 1000))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_dataset(c: &mut Criterion) {
+    let ds = Dataset::generate(DatasetKind::CifarLike, 10_000, 2);
+    let idx: Vec<usize> = (0..128).collect();
+    c.bench_function("dataset_materialize_128_cifar", |b| {
+        b.iter(|| black_box(ds.batch(&idx)))
+    });
+}
+
+fn bench_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_primitives");
+    group.bench_function("parallel_map_4t_10k", |b| {
+        b.iter(|| black_box(parallel_map(10_000, 4, |i| (i as f64).sqrt())))
+    });
+    group.bench_function("threadpool_run_10k", |b| {
+        let pool = ThreadPool::new(4);
+        b.iter(|| {
+            pool.run(10_000, |i| {
+                black_box((i as f64).sqrt());
+            })
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_nn_kernels, bench_device_sim, bench_dataset, bench_parallel
+}
+criterion_main!(benches);

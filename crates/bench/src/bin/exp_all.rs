@@ -1,0 +1,19 @@
+//! Runs every experiment in sequence and prints all reports — the one-shot
+//! reproduction driver.
+use fedsched_bench::*;
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("[exp_all] scale = {}", scale.name());
+    println!("{}", table2::render(&table2::run(scale, 42), scale));
+    println!("{}", fig1::render(&fig1::run(scale, 42)));
+    println!("{}", fig2::render(&fig2::run(scale, 42)));
+    println!("{}", fig3::render(&fig3::run(scale, 42)));
+    println!("{}", fig4::render(&fig4::run(scale, 42)));
+    println!("{}", fig5::render(&fig5::run(scale, 42)));
+    println!("{}", table3::render(&table3::run(scale, 42)));
+    println!("{}", fig6::render(&fig6::run(scale, 42)));
+    println!("{}", table4::render(&table4::run(scale, 42)));
+    println!("{}", fig7::render(&fig7::run(scale, 42)));
+    println!("{}", table5::render(&table5::run(scale, 42)));
+}

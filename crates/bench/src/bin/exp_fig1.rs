@@ -1,0 +1,9 @@
+//! Regenerates Fig. 1: per-batch time traces and freq/temp telemetry.
+use fedsched_bench::{fig1, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("[exp_fig1] scale = {}", scale.name());
+    let fig = fig1::run(scale, 42);
+    println!("{}", fig1::render(&fig));
+}

@@ -1,0 +1,9 @@
+//! Regenerates Fig. 2: IID data imbalance vs accuracy.
+use fedsched_bench::{fig2, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("[exp_fig2] scale = {}", scale.name());
+    let fig = fig2::run(scale, 42);
+    println!("{}", fig2::render(&fig));
+}

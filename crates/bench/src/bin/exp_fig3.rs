@@ -1,0 +1,9 @@
+//! Regenerates Fig. 3: non-IID severity and outlier treatments.
+use fedsched_bench::{fig3, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("[exp_fig3] scale = {}", scale.name());
+    let fig = fig3::run(scale, 42);
+    println!("{}", fig3::render(&fig));
+}

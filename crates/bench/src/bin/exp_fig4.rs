@@ -1,0 +1,9 @@
+//! Regenerates Fig. 4: the two-step profiler fit.
+use fedsched_bench::{fig4, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("[exp_fig4] scale = {}", scale.name());
+    let fig = fig4::run(scale, 42);
+    println!("{}", fig4::render(&fig));
+}

@@ -1,0 +1,9 @@
+//! Regenerates Fig. 5: IID computation time across testbeds and schedulers.
+use fedsched_bench::{fig5, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("[exp_fig5] scale = {}", scale.name());
+    let panels = fig5::run(scale, 42);
+    println!("{}", fig5::render(&panels));
+}

@@ -1,0 +1,9 @@
+//! Regenerates Fig. 6: alpha/beta trade-offs on scenarios S(I)-S(III).
+use fedsched_bench::{fig6, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("[exp_fig6] scale = {}", scale.name());
+    let points = fig6::run(scale, 42);
+    println!("{}", fig6::render(&points));
+}

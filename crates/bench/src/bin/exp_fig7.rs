@@ -1,0 +1,9 @@
+//! Regenerates Fig. 7: non-IID computation time across testbeds.
+use fedsched_bench::{fig7, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("[exp_fig7] scale = {}", scale.name());
+    let panels = fig7::run(scale, 42);
+    println!("{}", fig7::render(&panels));
+}

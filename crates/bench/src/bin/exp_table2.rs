@@ -1,0 +1,9 @@
+//! Regenerates Table II: per-epoch training times with comm overhead.
+use fedsched_bench::{table2, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("[exp_table2] scale = {}", scale.name());
+    let rows = table2::run(scale, 42);
+    println!("{}", table2::render(&rows, scale));
+}

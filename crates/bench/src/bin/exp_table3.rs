@@ -1,0 +1,9 @@
+//! Regenerates Table III: IID accuracy across schedulers.
+use fedsched_bench::{table3, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("[exp_table3] scale = {}", scale.name());
+    let cells = table3::run(scale, 42);
+    println!("{}", table3::render(&cells));
+}

@@ -1,0 +1,9 @@
+//! Regenerates Table IV: MinAvg schedules at the four parameter points.
+use fedsched_bench::{table4, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("[exp_table4] scale = {}", scale.name());
+    let schedules = table4::run(scale, 42);
+    println!("{}", table4::render(&schedules));
+}

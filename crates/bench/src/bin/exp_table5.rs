@@ -1,0 +1,9 @@
+//! Regenerates Table V: non-IID accuracy across schedulers.
+use fedsched_bench::{table5, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("[exp_table5] scale = {}", scale.name());
+    let cells = table5::run(scale, 42);
+    println!("{}", table5::render(&cells));
+}

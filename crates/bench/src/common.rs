@@ -1,0 +1,198 @@
+//! Shared experiment plumbing: cohorts, profiles, schedulers, clamping.
+
+use fedsched_core::{
+    CostMatrix, EqualScheduler, FedLbap, ProportionalScheduler, RandomScheduler, Schedule,
+    Scheduler,
+};
+use fedsched_data::Scenario;
+use fedsched_device::{Device, DeviceModel, Testbed, TrainingWorkload};
+use fedsched_net::Link;
+use fedsched_profiler::TabulatedProfile;
+
+/// Samples per shard — the paper's minimum granularity example is 100.
+pub const SHARD_SIZE: f64 = 100.0;
+
+/// Map a scenario device name to its model.
+///
+/// # Panics
+/// Panics on an unknown name.
+pub fn model_by_name(name: &str) -> DeviceModel {
+    match name {
+        "Nexus6" => DeviceModel::Nexus6,
+        "Nexus6P" => DeviceModel::Nexus6P,
+        "Mate10" => DeviceModel::Mate10,
+        "Pixel2" => DeviceModel::Pixel2,
+        other => panic!("unknown device name {other}"),
+    }
+}
+
+/// Instantiate the devices of a Table-IV scenario.
+pub fn devices_for_scenario(scenario: &Scenario, seed: u64) -> Vec<Device> {
+    scenario
+        .users
+        .iter()
+        .enumerate()
+        .map(|(i, u)| Device::from_model(model_by_name(u.device), seed.wrapping_add(i as u64)))
+        .collect()
+}
+
+/// Offline profiles for an arbitrary device list (same protocol as
+/// [`Testbed::profiles_for`]).
+pub fn profiles_for_devices(devices: &[Device], wl: &TrainingWorkload) -> Vec<TabulatedProfile> {
+    devices
+        .iter()
+        .enumerate()
+        .map(|(i, d)| {
+            let mut probe = Device::new(d.spec().clone(), 0xBEEF ^ i as u64);
+            let pts: Vec<(f64, f64)> = fedsched_device::testbed::PROFILE_SIZES
+                .iter()
+                .map(|&n| {
+                    let t = probe.epoch_time_sustained(
+                        wl,
+                        n,
+                        fedsched_device::testbed::PROFILE_WARMUP_S,
+                    );
+                    (n as f64, t)
+                })
+                .collect();
+            TabulatedProfile::from_measurements(&pts)
+        })
+        .collect()
+}
+
+/// Per-user communication cost vector: every cohort member uses the same
+/// link class in the paper's experiments.
+pub fn comm_vector(n: usize, link: &Link, model_bytes: f64) -> Vec<f64> {
+    vec![link.round_seconds(model_bytes); n]
+}
+
+/// Build the IID cost matrix for a testbed: profiles measured per device,
+/// plus fixed comm costs.
+pub fn cost_matrix_for_testbed(
+    testbed: &Testbed,
+    wl: &TrainingWorkload,
+    total_shards: usize,
+    link: &Link,
+    model_bytes: f64,
+) -> CostMatrix {
+    cost_matrix_for_testbed_sharded(testbed, wl, total_shards, SHARD_SIZE, link, model_bytes)
+}
+
+/// [`cost_matrix_for_testbed`] with an explicit shard granularity.
+pub fn cost_matrix_for_testbed_sharded(
+    testbed: &Testbed,
+    wl: &TrainingWorkload,
+    total_shards: usize,
+    shard_size: f64,
+    link: &Link,
+    model_bytes: f64,
+) -> CostMatrix {
+    let profiles = testbed.profiles_for(wl);
+    let comm = comm_vector(testbed.len(), link, model_bytes);
+    CostMatrix::from_profiles(&profiles, total_shards, shard_size, &comm)
+}
+
+/// The paper's four IID schedulers, in its column order.
+pub fn iid_schedulers(models: &[DeviceModel], seed: u64) -> Vec<(String, Box<dyn Scheduler>)> {
+    let weights: Vec<f64> = models.iter().map(|m| m.mean_core_freq_ghz()).collect();
+    vec![
+        ("Prop.".to_string(), Box::new(ProportionalScheduler::new(weights)) as Box<dyn Scheduler>),
+        ("Random".to_string(), Box::new(RandomScheduler::new(seed))),
+        ("Equal".to_string(), Box::new(EqualScheduler)),
+        ("Fed-LBAP".to_string(), Box::new(FedLbap)),
+    ]
+}
+
+/// Clamp a schedule to per-user shard capacities, redistributing overflow to
+/// users with spare capacity (keeps the total constant when capacities
+/// allow). Used to make the IID baselines feasible in non-IID settings
+/// where users can only train the data they actually hold.
+pub fn clamp_redistribute(schedule: &Schedule, capacities: &[usize]) -> Schedule {
+    assert_eq!(schedule.shards.len(), capacities.len());
+    let mut shards: Vec<usize> = schedule
+        .shards
+        .iter()
+        .zip(capacities)
+        .map(|(&s, &c)| s.min(c))
+        .collect();
+    let mut overflow: usize = schedule.total_shards() - shards.iter().sum::<usize>();
+    while overflow > 0 {
+        let mut progressed = false;
+        for (s, &c) in shards.iter_mut().zip(capacities) {
+            if overflow == 0 {
+                break;
+            }
+            if *s < c {
+                *s += 1;
+                overflow -= 1;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break; // total capacity < total shards: place what fits
+        }
+    }
+    Schedule::new(shards, schedule.shard_size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedsched_profiler::CostProfile;
+
+    #[test]
+    fn model_names_roundtrip() {
+        for m in DeviceModel::all() {
+            assert_eq!(model_by_name(m.name()), m);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown device")]
+    fn unknown_name_panics() {
+        let _ = model_by_name("iPhone");
+    }
+
+    #[test]
+    fn scenario_devices_match_labels() {
+        let s = Scenario::s2();
+        let devices = devices_for_scenario(&s, 1);
+        assert_eq!(devices.len(), 6);
+        assert_eq!(devices[2].model(), DeviceModel::Nexus6P);
+    }
+
+    #[test]
+    fn profiles_for_devices_are_monotone() {
+        let s = Scenario::s1();
+        let devices = devices_for_scenario(&s, 2);
+        let profiles = profiles_for_devices(&devices, &TrainingWorkload::lenet());
+        for p in &profiles {
+            assert!(p.time_for(2000.0) >= p.time_for(1000.0));
+        }
+    }
+
+    #[test]
+    fn iid_schedulers_have_paper_names() {
+        let names: Vec<String> = iid_schedulers(&DeviceModel::all(), 1)
+            .iter()
+            .map(|(n, _)| n.clone())
+            .collect();
+        assert_eq!(names, vec!["Prop.", "Random", "Equal", "Fed-LBAP"]);
+    }
+
+    #[test]
+    fn clamp_redistribute_preserves_total_when_possible() {
+        let s = Schedule::new(vec![10, 0, 0], SHARD_SIZE);
+        let out = clamp_redistribute(&s, &[4, 5, 8]);
+        assert_eq!(out.total_shards(), 10);
+        assert!(out.shards[0] <= 4);
+        assert!(out.shards[1] <= 5 && out.shards[2] <= 8);
+    }
+
+    #[test]
+    fn clamp_redistribute_caps_at_total_capacity() {
+        let s = Schedule::new(vec![10, 10], SHARD_SIZE);
+        let out = clamp_redistribute(&s, &[3, 4]);
+        assert_eq!(out.shards, vec![3, 4]);
+    }
+}

@@ -1,0 +1,141 @@
+//! Fig. 1: per-batch training time traces and frequency/temperature
+//! interaction under sustained load.
+
+use fedsched_device::{BatchTrace, Device, DeviceModel, TrainingWorkload};
+
+use crate::report::{fmt_secs, Table};
+use crate::scale::Scale;
+
+/// One device's traces for one model.
+#[derive(Debug, Clone)]
+pub struct DeviceTrace {
+    /// Which device.
+    pub device: DeviceModel,
+    /// Raw trace (batch times + telemetry).
+    pub trace: BatchTrace,
+}
+
+/// The full Fig. 1 result: LeNet traces (a), VGG6 traces (b), and the
+/// freq/temp telemetry is embedded in each trace (c).
+#[derive(Debug, Clone)]
+pub struct Fig1 {
+    /// Panel (a): LeNet.
+    pub lenet: Vec<DeviceTrace>,
+    /// Panel (b): VGG6.
+    pub vgg6: Vec<DeviceTrace>,
+}
+
+/// Run the benchmark: one traced epoch per device per model, telemetry
+/// sampled every 5 s as in the paper.
+pub fn run(scale: Scale, seed: u64) -> Fig1 {
+    let samples = scale.pick(1000usize, 3000);
+    let vgg_samples = scale.pick(300usize, 3000);
+    let panel = |wl: &TrainingWorkload, n: usize| -> Vec<DeviceTrace> {
+        DeviceModel::all()
+            .iter()
+            .map(|&m| {
+                let mut d = Device::from_model(m, seed);
+                DeviceTrace { device: m, trace: d.train_epoch_trace(wl, n, 5.0) }
+            })
+            .collect()
+    };
+    Fig1 {
+        lenet: panel(&TrainingWorkload::lenet(), samples),
+        vgg6: panel(&TrainingWorkload::vgg6(), vgg_samples),
+    }
+}
+
+/// Per-device batch-time summary plus a CSV of the freq/temp series.
+pub fn render(fig: &Fig1) -> String {
+    let mut out = String::new();
+    for (name, traces) in [("LeNet (a)", &fig.lenet), ("VGG6 (b)", &fig.vgg6)] {
+        out.push_str(&format!("## Fig. 1 {name}: per-batch time\n\n"));
+        let mut t = Table::new(vec![
+            "device", "batches", "mean/batch", "std/batch", "max/batch", "epoch",
+        ]);
+        for dt in traces {
+            let tr = &dt.trace;
+            let max = tr.batch_seconds.iter().cloned().fold(0.0, f64::max);
+            t.row(vec![
+                dt.device.name().to_string(),
+                format!("{}", tr.batch_seconds.len()),
+                format!("{:.3}s", tr.mean_batch_seconds()),
+                format!("{:.3}s", tr.std_batch_seconds()),
+                format!("{max:.3}s"),
+                fmt_secs(tr.total_seconds()),
+            ]);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+
+    out.push_str("## Fig. 1(c): avg CPU frequency vs temperature (VGG6, every 5 s)\n\n");
+    out.push_str("device,t_s,freq_ghz,temp_c,big_online\n");
+    for dt in &fig.vgg6 {
+        for s in dt.trace.telemetry.iter().take(60) {
+            out.push_str(&format!(
+                "{},{:.0},{:.2},{:.1},{}\n",
+                dt.device.name(),
+                s.t_s,
+                s.freq_ghz,
+                s.temp_c,
+                s.big_online
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traces_cover_all_devices() {
+        let f = run(Scale::Smoke, 5);
+        assert_eq!(f.lenet.len(), 4);
+        assert_eq!(f.vgg6.len(), 4);
+        for dt in f.lenet.iter().chain(&f.vgg6) {
+            assert!(!dt.trace.batch_seconds.is_empty());
+            assert!(!dt.trace.telemetry.is_empty());
+        }
+    }
+
+    #[test]
+    fn nexus6p_has_highest_batch_variance_on_lenet() {
+        // The big-cluster shutdown makes per-batch times bimodal: its
+        // std/mean should be the largest in the cohort (paper Fig. 1a).
+        let f = run(Scale::Smoke, 7);
+        let cv: Vec<(DeviceModel, f64)> = f
+            .lenet
+            .iter()
+            .map(|dt| {
+                (dt.device, dt.trace.std_batch_seconds() / dt.trace.mean_batch_seconds())
+            })
+            .collect();
+        let n6p = cv.iter().find(|(m, _)| *m == DeviceModel::Nexus6P).unwrap().1;
+        for &(m, v) in &cv {
+            if m != DeviceModel::Nexus6P {
+                assert!(n6p > v, "{m:?} cv {v} >= Nexus6P cv {n6p}");
+            }
+        }
+    }
+
+    #[test]
+    fn temperature_rises_through_the_epoch() {
+        let f = run(Scale::Smoke, 9);
+        for dt in &f.vgg6 {
+            let first = dt.trace.telemetry.first().unwrap().temp_c;
+            let last = dt.trace.telemetry.last().unwrap().temp_c;
+            assert!(last > first, "{:?}: {first} -> {last}", dt.device);
+        }
+    }
+
+    #[test]
+    fn render_emits_csv_block() {
+        let f = run(Scale::Smoke, 11);
+        let s = render(&f);
+        assert!(s.contains("device,t_s,freq_ghz,temp_c,big_online"));
+        assert!(s.contains("Nexus6P"));
+    }
+}

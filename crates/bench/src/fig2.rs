@@ -1,0 +1,126 @@
+//! Fig. 2: impact of data imbalance (still IID) on FL accuracy.
+//!
+//! 20 users, sizes drawn from a Gaussian of increasing relative spread; the
+//! paper's finding is a *flat* accuracy curve — IID imbalance is harmless —
+//! which licenses Fed-LBAP's load unbalancing.
+
+use fedsched_data::{iid_imbalanced, imbalance_ratio_of, Dataset, DatasetKind};
+use fedsched_fl::FlSetup;
+use fedsched_nn::ModelKind;
+
+use crate::report::Table;
+use crate::scale::Scale;
+
+/// One sweep point.
+#[derive(Debug, Clone)]
+pub struct Point {
+    /// Requested imbalance ratio.
+    pub requested_ratio: f64,
+    /// Realized ratio (std/mean of user sizes).
+    pub realized_ratio: f64,
+    /// Final test accuracy.
+    pub accuracy: f64,
+}
+
+/// Results per dataset.
+#[derive(Debug, Clone)]
+pub struct Fig2 {
+    /// Panel (a): MNIST-like.
+    pub mnist: Vec<Point>,
+    /// Panel (b): CIFAR-like.
+    pub cifar: Vec<Point>,
+}
+
+fn sweep(kind: DatasetKind, scale: Scale, seed: u64) -> Vec<Point> {
+    let n_train = scale.pick(1500usize, kind.paper_train_size());
+    let n_test = scale.pick(600usize, 10_000);
+    let rounds = scale.pick(5usize, 20);
+    let users = scale.pick(8usize, 20);
+    let model = scale.pick(ModelKind::Mlp, ModelKind::LeNet);
+    let ratios = scale.pick(vec![0.0, 0.3, 0.6, 0.9], vec![0.0, 0.2, 0.4, 0.6, 0.8, 1.0]);
+
+    let (train, test) = Dataset::generate_split(kind, n_train, n_test, seed);
+    ratios
+        .into_iter()
+        .map(|ratio| {
+            let p = iid_imbalanced(&train, users, ratio, seed ^ (ratio * 100.0) as u64);
+            let realized = imbalance_ratio_of(&p);
+            let out =
+                FlSetup::new(&train, &test, p.users.clone(), model, rounds, seed).run();
+            Point { requested_ratio: ratio, realized_ratio: realized, accuracy: out.final_accuracy }
+        })
+        .collect()
+}
+
+/// Run both panels.
+pub fn run(scale: Scale, seed: u64) -> Fig2 {
+    Fig2 {
+        mnist: sweep(DatasetKind::MnistLike, scale, seed),
+        cifar: sweep(DatasetKind::CifarLike, scale, seed + 1),
+    }
+}
+
+/// Render the accuracy-vs-imbalance series.
+pub fn render(fig: &Fig2) -> String {
+    let mut out = String::from("## Fig. 2 — IID data imbalance vs accuracy\n\n");
+    for (name, pts) in [("MNIST (a)", &fig.mnist), ("CIFAR10 (b)", &fig.cifar)] {
+        out.push_str(&format!("### {name}\n\n"));
+        let mut t = Table::new(vec!["imbalance ratio", "realized", "accuracy"]);
+        for p in pts {
+            t.row(vec![
+                format!("{:.1}", p.requested_ratio),
+                format!("{:.2}", p.realized_ratio),
+                format!("{:.4}", p.accuracy),
+            ]);
+        }
+        out.push_str(&t.render());
+        let min = pts.iter().map(|p| p.accuracy).fold(f64::INFINITY, f64::min);
+        let max = pts.iter().map(|p| p.accuracy).fold(0.0, f64::max);
+        out.push_str(&format!(
+            "\nSpread (max - min): {:.4} — paper finding: imbalance alone costs ~nothing\n\n",
+            max - min
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mnist_points() -> &'static [Point] {
+        use std::sync::OnceLock;
+        static CACHE: OnceLock<Vec<Point>> = OnceLock::new();
+        CACHE.get_or_init(|| sweep(DatasetKind::MnistLike, Scale::Smoke, 42))
+    }
+
+    #[test]
+    fn imbalance_does_not_hurt_iid_accuracy() {
+        // The paper's core licensing claim: across the sweep, accuracy
+        // variation stays small (no monotone degradation with imbalance).
+        let pts = mnist_points();
+        assert!(pts.len() >= 3);
+        let accs: Vec<f64> = pts.iter().map(|p| p.accuracy).collect();
+        let max = accs.iter().cloned().fold(0.0f64, f64::max);
+        let min = accs.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(min > 0.5, "accuracies {accs:?} too low to be meaningful");
+        assert!(max - min < 0.12, "imbalance spread too large: {accs:?}");
+    }
+
+    #[test]
+    fn realized_ratio_tracks_request() {
+        let pts = mnist_points();
+        assert!(pts[0].realized_ratio < 0.05);
+        assert!(pts.last().unwrap().realized_ratio > 0.3);
+    }
+
+    #[test]
+    fn render_contains_both_panels() {
+        let fig = Fig2 {
+            mnist: vec![Point { requested_ratio: 0.0, realized_ratio: 0.0, accuracy: 0.9 }],
+            cifar: vec![Point { requested_ratio: 0.0, realized_ratio: 0.0, accuracy: 0.6 }],
+        };
+        let s = render(&fig);
+        assert!(s.contains("MNIST") && s.contains("CIFAR10"));
+    }
+}

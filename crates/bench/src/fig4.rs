@@ -1,0 +1,150 @@
+//! Fig. 4: the two-step performance profiler fitted on Mate 10.
+//!
+//! Step 1 fits `time ~ conv_params + dense_params` per data size over a set
+//! of benchmark architectures; step 2 regresses the step-1 predictions for a
+//! target architecture against data size and is validated against direct
+//! measurement.
+
+use fedsched_device::{Device, DeviceModel, TrainingWorkload};
+use fedsched_profiler::{CostProfile, ModelArch, TwoStepProfiler};
+
+use crate::report::Table;
+use crate::scale::Scale;
+
+/// Step-1 fit quality at one data size.
+#[derive(Debug, Clone)]
+pub struct PlaneFit {
+    /// Data size (samples).
+    pub samples: u64,
+    /// R^2 of the fitted plane.
+    pub r_squared: f64,
+}
+
+/// Step-2 validation point for the target architecture.
+#[derive(Debug, Clone)]
+pub struct CurvePoint {
+    /// Data size (samples).
+    pub samples: f64,
+    /// Profiler-predicted seconds.
+    pub predicted_s: f64,
+    /// Directly measured seconds.
+    pub measured_s: f64,
+}
+
+/// The full Fig. 4 result.
+#[derive(Debug, Clone)]
+pub struct Fig4 {
+    /// Per-data-size plane quality (panel a).
+    pub planes: Vec<PlaneFit>,
+    /// Predicted-vs-measured curve for LeNet on Mate 10 (panel b).
+    pub curve: Vec<CurvePoint>,
+}
+
+/// Benchmark architectures for step 1 (spanning conv/dense mixes).
+pub fn bench_archs() -> Vec<ModelArch> {
+    vec![
+        ModelArch::new(10_000.0, 50_000.0),
+        ModelArch::new(50_000.0, 100_000.0),
+        ModelArch::new(100_000.0, 400_000.0),
+        ModelArch::new(400_000.0, 200_000.0),
+        ModelArch::new(900_000.0, 900_000.0),
+        ModelArch::new(2_000_000.0, 500_000.0),
+        ModelArch::new(4_800_000.0, 650_000.0),
+    ]
+}
+
+/// Run the profiling study on a simulated Mate 10.
+pub fn run(scale: Scale, seed: u64) -> Fig4 {
+    let sizes: Vec<u64> = scale.pick(vec![500, 1000, 2000], vec![500, 1000, 2000, 3000, 4000]);
+    let mut profiler = TwoStepProfiler::new();
+    for &d in &sizes {
+        for &arch in &bench_archs() {
+            let mut device = Device::from_model(DeviceModel::Mate10, seed);
+            // One consistent arch->FLOPs mapping for the whole family, so
+            // the linear step-1 model is well-specified.
+            let wl = TrainingWorkload::from_arch(&arch);
+            let t = device.epoch_time_cold(&wl, d as usize);
+            profiler.record(d, arch, t);
+        }
+    }
+    let fitted = profiler.fit().expect("profiler fit");
+    let planes = fitted
+        .planes
+        .iter()
+        .map(|p| PlaneFit { samples: p.samples, r_squared: p.plane.r_squared })
+        .collect();
+
+    // Step 2: predict LeNet's curve, validate against direct measurement at
+    // sizes including ones never profiled.
+    let target = ModelArch::lenet();
+    let profile = fitted.linear_profile(target).expect("step-2 fit");
+    let check_sizes: Vec<usize> = scale.pick(vec![750, 1500, 2500], vec![750, 1500, 2500, 3500, 5000]);
+    let curve = check_sizes
+        .into_iter()
+        .map(|n| {
+            let mut device = Device::from_model(DeviceModel::Mate10, seed ^ 0x77);
+            let wl = TrainingWorkload::from_arch(&target);
+            CurvePoint {
+                samples: n as f64,
+                predicted_s: profile.time_for(n as f64),
+                measured_s: device.epoch_time_cold(&wl, n),
+            }
+        })
+        .collect();
+
+    Fig4 { planes, curve }
+}
+
+/// Render fit quality and the predicted-vs-measured curve.
+pub fn render(fig: &Fig4) -> String {
+    let mut out =
+        String::from("## Fig. 4(a) — step-1 plane fits (time ~ conv + dense params), Mate10\n\n");
+    let mut t = Table::new(vec!["data size", "R^2"]);
+    for p in &fig.planes {
+        t.row(vec![format!("{}", p.samples), format!("{:.4}", p.r_squared)]);
+    }
+    out.push_str(&t.render());
+
+    out.push_str("\n## Fig. 4(b) — step-2 prediction vs measurement (LeNet)\n\n");
+    let mut t = Table::new(vec!["samples", "predicted (s)", "measured (s)", "error %"]);
+    for c in &fig.curve {
+        t.row(vec![
+            format!("{:.0}", c.samples),
+            format!("{:.1}", c.predicted_s),
+            format!("{:.1}", c.measured_s),
+            format!("{:+.1}", (c.predicted_s - c.measured_s) / c.measured_s * 100.0),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planes_fit_well() {
+        let fig = run(Scale::Smoke, 3);
+        assert!(!fig.planes.is_empty());
+        for p in &fig.planes {
+            assert!(p.r_squared > 0.95, "R^2 {} at d={}", p.r_squared, p.samples);
+        }
+    }
+
+    #[test]
+    fn step2_predicts_within_reasonable_error() {
+        let fig = run(Scale::Smoke, 5);
+        for c in &fig.curve {
+            let rel = (c.predicted_s - c.measured_s).abs() / c.measured_s;
+            assert!(rel < 0.30, "at {} samples: {} vs {}", c.samples, c.predicted_s, c.measured_s);
+        }
+    }
+
+    #[test]
+    fn render_has_both_panels() {
+        let fig = run(Scale::Smoke, 7);
+        let s = render(&fig);
+        assert!(s.contains("step-1") && s.contains("step-2"));
+    }
+}

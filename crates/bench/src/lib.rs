@@ -1,0 +1,47 @@
+//! The experiment harness: one module per table/figure of the paper.
+//!
+//! Every module exposes a `run(scale, seed) -> ...Result` function returning
+//! structured results plus a `render` step producing the text report the
+//! `exp_*` binaries print. Experiments come in two sizes:
+//!
+//! * [`Scale::Smoke`] — minutes-scale defaults used by `cargo test`,
+//!   Criterion benches and CI: reduced sample counts, rounds and sweep
+//!   densities. Trends survive; absolute numbers shrink.
+//! * [`Scale::Paper`] — the paper's full workloads (60K/50K samples,
+//!   20/50 global epochs, dense alpha sweeps).
+//!
+//! | Experiment | Module | Binary |
+//! |---|---|---|
+//! | Table II (epoch times + comm %) | [`table2`] | `exp_table2` |
+//! | Fig. 1 (batch traces, freq/temp) | [`fig1`] | `exp_fig1` |
+//! | Fig. 2 (IID imbalance vs accuracy) | [`fig2`] | `exp_fig2` |
+//! | Fig. 3 (non-IID severity, outliers) | [`fig3`] | `exp_fig3` |
+//! | Fig. 4 (two-step profiler fit) | [`fig4`] | `exp_fig4` |
+//! | Fig. 5 (IID computation time) | [`fig5`] | `exp_fig5` |
+//! | Table III (IID accuracy) | [`table3`] | `exp_table3` |
+//! | Fig. 6 (alpha/beta trade-offs) | [`fig6`] | `exp_fig6` |
+//! | Table IV (MinAvg schedules) | [`table4`] | `exp_table4` |
+//! | Fig. 7 (non-IID computation time) | [`fig7`] | `exp_fig7` |
+//! | Table V (non-IID accuracy) | [`table5`] | `exp_table5` |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod noniid;
+pub mod report;
+pub mod scale;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+
+pub use report::Table;
+pub use scale::Scale;

@@ -1,0 +1,188 @@
+//! Shared plumbing for the non-IID experiments (Figs. 6-7, Tables IV-V).
+//!
+//! In the non-IID setting a user can only train samples of classes it
+//! actually observes, so a user's *capacity* is the total number of samples
+//! of its classes (paper constraint (9)); schedules are materialized by
+//! sampling without replacement from each user's class pools. Different
+//! users may hold copies of the same global sample — exactly like real
+//! phones observing overlapping phenomena.
+
+use std::collections::BTreeSet;
+
+use fedsched_core::{AccuracyCost, MinAvgProblem, Schedule, UserSpec};
+use fedsched_data::Dataset;
+use fedsched_device::Device;
+use fedsched_net::Link;
+use fedsched_profiler::TabulatedProfile;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::common::profiles_for_devices;
+
+/// Random class sets: each user draws 1..=6 classes, re-drawn until every
+/// class is covered by someone (so the full dataset stays trainable).
+pub fn random_class_sets(n_users: usize, seed: u64) -> Vec<BTreeSet<usize>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    loop {
+        let sets: Vec<BTreeSet<usize>> = (0..n_users)
+            .map(|_| {
+                let k = rng.gen_range(1..=6usize);
+                let mut set = BTreeSet::new();
+                while set.len() < k {
+                    set.insert(rng.gen_range(0..10usize));
+                }
+                set
+            })
+            .collect();
+        let covered: BTreeSet<usize> = sets.iter().flatten().copied().collect();
+        if covered.len() == 10 {
+            return sets;
+        }
+    }
+}
+
+/// Per-user capacities in shards: all samples of the user's classes.
+pub fn capacities_for_class_sets(
+    ds: &Dataset,
+    sets: &[BTreeSet<usize>],
+    shard_size: f64,
+) -> Vec<usize> {
+    let counts = ds.class_counts();
+    sets.iter()
+        .map(|set| {
+            let samples: usize = set.iter().map(|&c| counts[c]).sum();
+            (samples as f64 / shard_size).floor() as usize
+        })
+        .collect()
+}
+
+/// Build the Fed-MinAvg problem for a cohort of devices with known class
+/// sets.
+#[allow(clippy::too_many_arguments)] // experiment-harness builder mirrors P2's inputs
+pub fn minavg_problem(
+    ds: &Dataset,
+    devices: &[Device],
+    sets: &[BTreeSet<usize>],
+    profiles: Vec<TabulatedProfile>,
+    link: &Link,
+    model_bytes: f64,
+    total_shards: usize,
+    shard_size: f64,
+    alpha: f64,
+    beta: f64,
+) -> MinAvgProblem<TabulatedProfile> {
+    assert_eq!(devices.len(), sets.len());
+    let capacities = capacities_for_class_sets(ds, sets, shard_size);
+    let comm = link.round_seconds(model_bytes);
+    let users: Vec<UserSpec<TabulatedProfile>> = profiles
+        .into_iter()
+        .zip(sets)
+        .zip(capacities)
+        .map(|((profile, classes), capacity_shards)| UserSpec {
+            profile,
+            comm,
+            classes: classes.clone(),
+            capacity_shards,
+        })
+        .collect();
+    MinAvgProblem {
+        users,
+        total_shards,
+        shard_size,
+        acc: AccuracyCost::new(10, alpha, beta),
+    }
+}
+
+/// Convenience: profiles for a device cohort (used with [`minavg_problem`]).
+pub fn cohort_profiles(
+    devices: &[Device],
+    wl: &fedsched_device::TrainingWorkload,
+) -> Vec<TabulatedProfile> {
+    profiles_for_devices(devices, wl)
+}
+
+/// Materialize a schedule into per-user sample indices: user `j` draws its
+/// scheduled sample count from its classes' pools, without replacement
+/// within the user (cross-user overlap allowed).
+pub fn materialize_assignment(
+    ds: &Dataset,
+    sets: &[BTreeSet<usize>],
+    schedule: &Schedule,
+    seed: u64,
+) -> Vec<Vec<usize>> {
+    assert_eq!(sets.len(), schedule.shards.len());
+    let mut rng = StdRng::seed_from_u64(seed);
+    sets.iter()
+        .zip(&schedule.shards)
+        .map(|(classes, &k)| {
+            let mut pool: Vec<usize> = classes
+                .iter()
+                .flat_map(|&c| ds.indices_of_class(c))
+                .collect();
+            for i in (1..pool.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                pool.swap(i, j);
+            }
+            let want = ((k as f64 * schedule.shard_size) as usize).min(pool.len());
+            pool.truncate(want);
+            pool
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedsched_data::DatasetKind;
+
+    #[test]
+    fn random_sets_cover_all_classes() {
+        for seed in 0..20 {
+            let sets = random_class_sets(6, seed);
+            let covered: BTreeSet<usize> = sets.iter().flatten().copied().collect();
+            assert_eq!(covered.len(), 10);
+            for s in &sets {
+                assert!(!s.is_empty() && s.len() <= 6);
+            }
+        }
+    }
+
+    #[test]
+    fn capacities_count_class_samples() {
+        let ds = Dataset::generate(DatasetKind::MnistLike, 1000, 1);
+        let sets: Vec<BTreeSet<usize>> = vec![
+            (0..10).collect(),          // everything
+            std::iter::once(3).collect(), // one class
+        ];
+        let caps = capacities_for_class_sets(&ds, &sets, 100.0);
+        assert_eq!(caps[0], 10);
+        assert_eq!(caps[1], 1);
+    }
+
+    #[test]
+    fn materialized_samples_respect_classes() {
+        let ds = Dataset::generate(DatasetKind::MnistLike, 500, 2);
+        let sets: Vec<BTreeSet<usize>> =
+            vec![[1, 2].into_iter().collect(), [5].into_iter().collect()];
+        let schedule = Schedule::new(vec![2, 1], 50.0);
+        let a = materialize_assignment(&ds, &sets, &schedule, 7);
+        assert_eq!(a[0].len(), 100);
+        assert_eq!(a[1].len(), 50);
+        for &i in &a[0] {
+            assert!(sets[0].contains(&ds.label(i)));
+        }
+        for &i in &a[1] {
+            assert_eq!(ds.label(i), 5);
+        }
+    }
+
+    #[test]
+    fn materialization_clamps_to_pool() {
+        let ds = Dataset::generate(DatasetKind::MnistLike, 100, 3);
+        let sets: Vec<BTreeSet<usize>> = vec![std::iter::once(0).collect()];
+        // Ask for far more than class 0 holds (10 samples).
+        let schedule = Schedule::new(vec![50], 100.0);
+        let a = materialize_assignment(&ds, &sets, &schedule, 7);
+        assert_eq!(a[0].len(), 10);
+    }
+}

@@ -1,0 +1,77 @@
+//! Experiment scale selection.
+
+/// How big to run an experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced workloads for tests/CI: results keep their shape, run in
+    /// seconds to minutes.
+    Smoke,
+    /// The paper's full workloads.
+    Paper,
+}
+
+impl Scale {
+    /// Parse `--scale smoke|paper` from process args (default: smoke).
+    ///
+    /// # Panics
+    /// Panics on an unrecognized value, printing usage.
+    pub fn from_args() -> Scale {
+        let args: Vec<String> = std::env::args().collect();
+        for i in 0..args.len() {
+            if args[i] == "--scale" {
+                let v = args.get(i + 1).map(String::as_str).unwrap_or("");
+                return Scale::parse(v)
+                    .unwrap_or_else(|| panic!("usage: --scale smoke|paper (got '{v}')"));
+            }
+            if let Some(v) = args[i].strip_prefix("--scale=") {
+                return Scale::parse(v)
+                    .unwrap_or_else(|| panic!("usage: --scale smoke|paper (got '{v}')"));
+            }
+        }
+        Scale::Smoke
+    }
+
+    /// Parse a scale name.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s.to_ascii_lowercase().as_str() {
+            "smoke" => Some(Scale::Smoke),
+            "paper" | "full" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+
+    /// Pick between a smoke and a paper value.
+    pub fn pick<T>(&self, smoke: T, paper: T) -> T {
+        match self {
+            Scale::Smoke => smoke,
+            Scale::Paper => paper,
+        }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scale::Smoke => "smoke",
+            Scale::Paper => "paper",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_known_names() {
+        assert_eq!(Scale::parse("smoke"), Some(Scale::Smoke));
+        assert_eq!(Scale::parse("PAPER"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("full"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("huge"), None);
+    }
+
+    #[test]
+    fn pick_selects_by_scale() {
+        assert_eq!(Scale::Smoke.pick(1, 100), 1);
+        assert_eq!(Scale::Paper.pick(1, 100), 100);
+    }
+}

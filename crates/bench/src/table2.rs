@@ -1,0 +1,150 @@
+//! Table II: per-epoch training time (s) with communication overhead (%).
+
+use fedsched_device::{Device, DeviceModel, TrainingWorkload};
+use fedsched_net::{model_transfer_bytes, LinkKind};
+use fedsched_profiler::ModelArch;
+
+use crate::report::Table;
+use crate::scale::Scale;
+
+/// One measured cell.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Network the cell was measured under.
+    pub link: LinkKind,
+    /// Data size in samples.
+    pub samples: usize,
+    /// Total epoch time (computation + communication), seconds.
+    pub total_s: f64,
+    /// Communication share of the total, in percent.
+    pub comm_pct: f64,
+}
+
+/// Results for one (model, device) row.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Model name ("LeNet"/"VGG6").
+    pub model: &'static str,
+    /// Device.
+    pub device: DeviceModel,
+    /// The four cells: (3K, WiFi), (3K, LTE), (6K, WiFi), (6K, LTE).
+    pub cells: Vec<Cell>,
+}
+
+/// The paper's reference values `(total_s, comm_pct)` in the same order as
+/// [`Row::cells`], used by the report for side-by-side comparison.
+pub fn paper_reference(model: &str, device: DeviceModel) -> [(f64, f64); 4] {
+    use DeviceModel::*;
+    match (model, device) {
+        ("LeNet", Nexus6) => [(31.0, 1.5), (32.0, 6.7), (62.0, 0.8), (63.0, 3.4)],
+        ("LeNet", Nexus6P) => [(69.0, 0.7), (71.0, 3.0), (220.0, 0.2), (222.0, 1.0)],
+        ("LeNet", Mate10) => [(45.0, 1.0), (47.0, 4.6), (89.0, 0.5), (91.0, 2.4)],
+        ("LeNet", Pixel2) => [(25.0, 1.8), (27.0, 7.9), (51.0, 0.9), (53.0, 4.0)],
+        ("VGG6", Nexus6) => [(495.0, 2.5), (539.0, 10.4), (1021.0, 1.2), (1065.0, 5.3)],
+        ("VGG6", Nexus6P) => [(540.0, 2.3), (584.0, 9.6), (1134.0, 1.1), (1178.0, 4.8)],
+        ("VGG6", Mate10) => [(359.0, 0.1), (403.0, 0.5), (712.0, 7.9), (756.0, 7.4)],
+        ("VGG6", Pixel2) => [(339.0, 3.6), (383.0, 14.7), (661.0, 1.9), (705.0, 8.0)],
+        _ => panic!("no paper reference for {model}/{device:?}"),
+    }
+}
+
+/// Run the Table II measurement.
+pub fn run(scale: Scale, seed: u64) -> Vec<Row> {
+    // Smoke uses 1/4-size data: 750/1500 samples. Times scale accordingly
+    // but the comm share and device ordering stay comparable.
+    let sizes = scale.pick(vec![750usize, 1500], vec![3000, 6000]);
+    let mut rows = Vec::new();
+    for (model_name, wl, arch) in [
+        ("LeNet", TrainingWorkload::lenet(), ModelArch::lenet()),
+        ("VGG6", TrainingWorkload::vgg6(), ModelArch::vgg6()),
+    ] {
+        let bytes = model_transfer_bytes(&arch);
+        for device_model in DeviceModel::all() {
+            let mut device = Device::from_model(device_model, seed);
+            let mut cells = Vec::new();
+            for &samples in &sizes {
+                let compute = device.epoch_time_cold(&wl, samples);
+                for link_kind in [LinkKind::Wifi, LinkKind::Lte] {
+                    let comm = link_kind.link().round_seconds(bytes);
+                    let total = compute + comm;
+                    cells.push(Cell {
+                        link: link_kind,
+                        samples,
+                        total_s: total,
+                        comm_pct: comm / total * 100.0,
+                    });
+                }
+            }
+            rows.push(Row { model: model_name, device: device_model, cells });
+        }
+    }
+    rows
+}
+
+/// Render the measurement (and, at paper scale, the reference values).
+pub fn render(rows: &[Row], scale: Scale) -> String {
+    let mut t = Table::new(vec![
+        "model", "device", "size", "WiFi", "LTE", "paper WiFi", "paper LTE",
+    ]);
+    for row in rows {
+        let reference = paper_reference(row.model, row.device);
+        for (pair_idx, pair) in row.cells.chunks(2).enumerate() {
+            let fmt = |c: &Cell| format!("{:.0}({:.1}%)", c.total_s, c.comm_pct);
+            let (rw, rl) = (reference[pair_idx * 2], reference[pair_idx * 2 + 1]);
+            let paper_cell = |v: (f64, f64)| {
+                if scale == Scale::Paper {
+                    format!("{:.0}({:.1}%)", v.0, v.1)
+                } else {
+                    "(paper scale only)".to_string()
+                }
+            };
+            t.row(vec![
+                row.model.to_string(),
+                row.device.name().to_string(),
+                format!("{}", pair[0].samples),
+                fmt(&pair[0]),
+                fmt(&pair[1]),
+                paper_cell(rw),
+                paper_cell(rl),
+            ]);
+        }
+    }
+    format!("## Table II — per-epoch time (s), comm overhead in %\n\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_rows_cover_grid() {
+        let rows = run(Scale::Smoke, 1);
+        assert_eq!(rows.len(), 8); // 2 models x 4 devices
+        for r in &rows {
+            assert_eq!(r.cells.len(), 4);
+            for c in &r.cells {
+                assert!(c.total_s > 0.0);
+                assert!(c.comm_pct > 0.0 && c.comm_pct < 60.0);
+            }
+        }
+    }
+
+    #[test]
+    fn lte_has_higher_comm_share_than_wifi() {
+        let rows = run(Scale::Smoke, 2);
+        for r in &rows {
+            for pair in r.cells.chunks(2) {
+                assert!(pair[1].comm_pct > pair[0].comm_pct, "{r:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn render_mentions_all_devices() {
+        let rows = run(Scale::Smoke, 3);
+        let s = render(&rows, Scale::Smoke);
+        for d in DeviceModel::all() {
+            assert!(s.contains(d.name()));
+        }
+    }
+}

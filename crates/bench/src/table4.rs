@@ -1,0 +1,160 @@
+//! Table IV: the Fed-MinAvg schedules for the four (alpha, beta) parameter
+//! points on scenarios S(I)-S(III).
+
+use fedsched_core::FedMinAvg;
+use fedsched_data::{Dataset, DatasetKind, Scenario};
+use fedsched_device::TrainingWorkload;
+use fedsched_net::{model_transfer_bytes, Link};
+use fedsched_profiler::ModelArch;
+
+use crate::common::devices_for_scenario;
+use crate::noniid::{cohort_profiles, minavg_problem};
+use crate::report::Table;
+use crate::scale::Scale;
+
+/// The paper's parameter points p1..p4.
+pub const PARAM_POINTS: [(f64, f64); 4] = [(100.0, 0.0), (5000.0, 0.0), (100.0, 2.0), (5000.0, 2.0)];
+
+/// One scenario's schedules: rows = users, columns = p1..p4 (samples).
+#[derive(Debug, Clone)]
+pub struct ScenarioSchedules {
+    /// Scenario name.
+    pub scenario: &'static str,
+    /// User labels (Table IV row names).
+    pub labels: Vec<&'static str>,
+    /// Class sets, rendered alongside.
+    pub classes: Vec<String>,
+    /// `samples[user][param_point]` in raw samples.
+    pub samples: Vec<[f64; 4]>,
+}
+
+/// Compute all schedules (CIFAR10-LeNet, as in the paper's caption).
+///
+/// Smoke scale divides the alpha values by the ~25x data-volume reduction
+/// (the accuracy cost competes against compute *seconds*; see fig6).
+pub fn run(scale: Scale, seed: u64) -> Vec<ScenarioSchedules> {
+    let alpha_scale = scale.pick(0.04, 1.0); // keeps alpha > beta at p3
+    let shard_size = scale.pick(10.0, 100.0);
+    let n_train = scale.pick(2000usize, DatasetKind::CifarLike.paper_train_size());
+    let train = Dataset::generate(DatasetKind::CifarLike, n_train, seed);
+    let total_shards = (n_train as f64 / shard_size) as usize;
+    let wl = TrainingWorkload::lenet();
+    let bytes = model_transfer_bytes(&ModelArch::lenet());
+    let link = Link::wifi_campus();
+
+    Scenario::all()
+        .into_iter()
+        .map(|scenario| {
+            let devices = devices_for_scenario(&scenario, seed);
+            let profiles = cohort_profiles(&devices, &wl);
+            let sets = scenario.class_sets();
+            let mut samples = vec![[0.0f64; 4]; scenario.len()];
+            for (pi, &(alpha_paper, beta)) in PARAM_POINTS.iter().enumerate() {
+                let alpha = alpha_paper * alpha_scale;
+                let problem = minavg_problem(
+                    &train,
+                    &devices,
+                    &sets,
+                    profiles.clone(),
+                    &link,
+                    bytes,
+                    total_shards,
+                    shard_size,
+                    alpha,
+                    beta,
+                );
+                let outcome = FedMinAvg.schedule(&problem).expect("feasible");
+                for (j, &k) in outcome.schedule.shards.iter().enumerate() {
+                    samples[j][pi] = k as f64 * shard_size;
+                }
+            }
+            ScenarioSchedules {
+                scenario: scenario.name,
+                labels: scenario.users.iter().map(|u| u.label).collect(),
+                classes: scenario
+                    .users
+                    .iter()
+                    .map(|u| {
+                        let cs: Vec<String> =
+                            u.classes.iter().map(|c| c.to_string()).collect();
+                        format!("({})", cs.join(","))
+                    })
+                    .collect(),
+                samples,
+            }
+        })
+        .collect()
+}
+
+/// Render the Table IV layout (numbers in 10^3 samples).
+pub fn render(schedules: &[ScenarioSchedules]) -> String {
+    let mut out =
+        String::from("## Table IV — MinAvg schedules (10^3 samples), CIFAR10-LeNet\n\n");
+    out.push_str("p1=(100,0)  p2=(5000,0)  p3=(100,2)  p4=(5000,2)\n\n");
+    for s in schedules {
+        out.push_str(&format!("### {}\n\n", s.scenario));
+        let mut t = Table::new(vec!["user", "classes", "p1", "p2", "p3", "p4"]);
+        for (j, label) in s.labels.iter().enumerate() {
+            let cell = |v: f64| format!("{:.1}", v / 1000.0);
+            t.row(vec![
+                label.to_string(),
+                s.classes[j].clone(),
+                cell(s.samples[j][0]),
+                cell(s.samples[j][1]),
+                cell(s.samples[j][2]),
+                cell(s.samples[j][3]),
+            ]);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schedules() -> &'static [ScenarioSchedules] {
+        use std::sync::OnceLock;
+        static CACHE: OnceLock<Vec<ScenarioSchedules>> = OnceLock::new();
+        CACHE.get_or_init(|| run(Scale::Smoke, 55))
+    }
+
+    #[test]
+    fn three_scenarios_with_correct_row_counts() {
+        let s = schedules();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s[0].samples.len(), 3);
+        assert_eq!(s[1].samples.len(), 6);
+        assert_eq!(s[2].samples.len(), 10);
+    }
+
+    #[test]
+    fn every_parameter_point_distributes_all_data() {
+        for s in schedules() {
+            for pi in 0..4 {
+                let total: f64 = s.samples.iter().map(|row| row[pi]).sum();
+                assert!(total > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn high_alpha_zeroes_out_skewed_slow_users() {
+        // Paper: "when alpha = 5000, slower devices with higher non-IIDness
+        // are assigned zero data". Check S(II): Nexus6P(b) (index 3, one
+        // class, slow) gets nothing at p2.
+        let s = schedules();
+        let s2 = s.iter().find(|x| x.scenario == "S(II)").unwrap();
+        assert_eq!(s2.samples[3][1], 0.0, "Nexus6P(b) at p2: {:?}", s2.samples[3]);
+    }
+
+    #[test]
+    fn render_includes_users_and_points() {
+        let txt = render(schedules());
+        assert!(txt.contains("Nexus6P(b)"));
+        assert!(txt.contains("p4"));
+        assert!(txt.contains("S(III)"));
+    }
+}

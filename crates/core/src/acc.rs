@@ -1,0 +1,151 @@
+//! The accuracy cost `F_j` of selecting a user under non-IID data
+//! (paper Eq. (6)).
+//!
+//! `F_j = K / |U_j|` — inversely proportional to how many classes user `j`
+//! holds — when the user's classes intersect the already-covered set `U`.
+//! When they are *disjoint* (the user only contributes classes nobody in the
+//! current training set has), the cost is discounted by `(beta/alpha) * D_u`
+//! where `D_u` is the number of shards already scheduled: the bigger the
+//! training set that is still missing those classes, the more appealing the
+//! outlier becomes. Scheduling compares `alpha * F_j` against seconds of
+//! computation time, so [`AccuracyCost::alpha_f`] returns the pre-multiplied
+//! value `alpha * K/|U_j| - beta * D_u` directly (paper Algorithm 2, lines
+//! 10–13).
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the accuracy-cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccuracyCost {
+    /// Number of classes in the test set, `K`.
+    pub k_classes: usize,
+    /// Weight translating accuracy cost into seconds (`alpha`), searched in
+    /// `[100, 5000]` by the paper.
+    pub alpha: f64,
+    /// Coverage-discount rate (`beta`, the paper uses 0 or 2; requires
+    /// `alpha > beta`).
+    pub beta: f64,
+}
+
+impl AccuracyCost {
+    /// Create the cost model.
+    ///
+    /// # Panics
+    /// Panics if `k_classes == 0`, `alpha <= 0`, `beta < 0` or
+    /// `alpha <= beta` (the paper requires `alpha > beta`).
+    pub fn new(k_classes: usize, alpha: f64, beta: f64) -> Self {
+        assert!(k_classes > 0, "K must be positive");
+        assert!(alpha > 0.0, "alpha must be positive");
+        assert!(beta >= 0.0, "beta must be non-negative");
+        assert!(alpha > beta, "the paper requires alpha > beta");
+        AccuracyCost { k_classes, alpha, beta }
+    }
+
+    /// `alpha * F_j` for a user holding `classes`, given the covered set and
+    /// the current training-set size `d_u` (in shards).
+    ///
+    /// A user with *no* classes (empty local data) is penalized with
+    /// `2 * alpha * K` — strictly worse than any single-class user — rather
+    /// than an infinite cost, so degenerate cohorts still schedule.
+    pub fn alpha_f(&self, classes: &BTreeSet<usize>, covered: &BTreeSet<usize>, d_u: usize) -> f64 {
+        if classes.is_empty() {
+            return 2.0 * self.alpha * self.k_classes as f64;
+        }
+        let base = self.alpha * self.k_classes as f64 / classes.len() as f64;
+        let disjoint = classes.is_disjoint(covered);
+        if disjoint {
+            base - self.beta * d_u as f64
+        } else {
+            base
+        }
+    }
+
+    /// The un-scaled `F_j` (Eq. (6) exactly).
+    pub fn f(&self, classes: &BTreeSet<usize>, covered: &BTreeSet<usize>, d_u: usize) -> f64 {
+        self.alpha_f(classes, covered, d_u) / self.alpha
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(v: &[usize]) -> BTreeSet<usize> {
+        v.iter().copied().collect()
+    }
+
+    #[test]
+    fn more_classes_cost_less() {
+        let acc = AccuracyCost::new(10, 1000.0, 0.0);
+        let covered = set(&[0]);
+        let two = acc.alpha_f(&set(&[0, 1]), &covered, 5);
+        let eight = acc.alpha_f(&set(&[0, 1, 2, 3, 4, 5, 6, 7]), &covered, 5);
+        assert!(eight < two);
+        assert!((two - 1000.0 * 10.0 / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_outlier_gets_discount_growing_with_d_u() {
+        let acc = AccuracyCost::new(10, 1000.0, 2.0);
+        let covered = set(&[0, 1, 2]);
+        let outlier = set(&[7]);
+        let f0 = acc.alpha_f(&outlier, &covered, 0);
+        let f100 = acc.alpha_f(&outlier, &covered, 100);
+        assert!((f0 - 10_000.0).abs() < 1e-9);
+        assert!((f100 - (10_000.0 - 200.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overlapping_user_gets_no_discount() {
+        let acc = AccuracyCost::new(10, 1000.0, 2.0);
+        let covered = set(&[0, 1, 2]);
+        let user = set(&[2, 7]);
+        assert_eq!(acc.alpha_f(&user, &covered, 500), 1000.0 * 5.0);
+    }
+
+    #[test]
+    fn empty_covered_set_means_everyone_is_an_outlier() {
+        // At the start U = ∅, so every user's classes are disjoint from it
+        // (and D_u = 0, so the discount is zero anyway).
+        let acc = AccuracyCost::new(10, 1000.0, 2.0);
+        let f = acc.alpha_f(&set(&[3]), &BTreeSet::new(), 0);
+        assert_eq!(f, 10_000.0);
+    }
+
+    #[test]
+    fn beta_zero_disables_discount() {
+        let acc = AccuracyCost::new(10, 1000.0, 0.0);
+        let outlier = set(&[9]);
+        assert_eq!(
+            acc.alpha_f(&outlier, &set(&[0]), 1_000_000),
+            acc.alpha_f(&outlier, &set(&[0]), 0)
+        );
+    }
+
+    #[test]
+    fn classless_user_is_heavily_penalized_but_finite() {
+        let acc = AccuracyCost::new(10, 1000.0, 2.0);
+        let f = acc.alpha_f(&BTreeSet::new(), &set(&[0]), 3);
+        assert!(f.is_finite());
+        assert!(f > acc.alpha_f(&set(&[5]), &set(&[0]), 3));
+    }
+
+    #[test]
+    fn unscaled_f_matches_eq6() {
+        let acc = AccuracyCost::new(10, 500.0, 2.0);
+        let covered = set(&[1]);
+        let user = set(&[1, 2]);
+        assert!((acc.f(&user, &covered, 7) - 5.0).abs() < 1e-12);
+        let outlier = set(&[9, 8]);
+        // K/|U_j| - (beta/alpha) * D_u = 5 - (2/500)*7
+        assert!((acc.f(&outlier, &covered, 7) - (5.0 - 0.028)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha > beta")]
+    fn alpha_must_exceed_beta() {
+        let _ = AccuracyCost::new(10, 2.0, 2.0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Schedule-quality analysis: how good is an assignment, and why?
+//!
+//! The paper evaluates schedulers by realized round time only; this module
+//! adds the diagnostics a practitioner wants when *choosing* a scheduler:
+//! the optimality gap against the exact DP oracle, load fairness (Jain's
+//! index), straggler identification, and per-user slack.
+
+use serde::Serialize;
+
+use crate::cost::CostMatrix;
+use crate::exact::ExactMinMax;
+use crate::schedule::{Schedule, Scheduler};
+
+/// A quality report for one schedule under one cost matrix.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScheduleAnalysis {
+    /// Predicted makespan of the analyzed schedule.
+    pub makespan: f64,
+    /// The exact optimal makespan (DP oracle).
+    pub optimal_makespan: f64,
+    /// `makespan / optimal_makespan` (1.0 = optimal).
+    pub optimality_ratio: f64,
+    /// Index of the straggler (user attaining the makespan).
+    pub straggler: usize,
+    /// Jain's fairness index over predicted per-user times of *active*
+    /// users: 1.0 = perfectly synchronized finish, 1/n = one user does
+    /// everything.
+    pub time_fairness: f64,
+    /// Per-user slack: `makespan - predicted_time[j]` (how long each user
+    /// idles waiting for the straggler).
+    pub slack: Vec<f64>,
+    /// Sum of all users' busy time (proportional to total energy burned).
+    pub total_busy_time: f64,
+}
+
+/// Analyze `schedule` against `costs`.
+///
+/// # Panics
+/// Panics if the schedule's arity differs from the cost matrix.
+pub fn analyze(schedule: &Schedule, costs: &CostMatrix) -> ScheduleAnalysis {
+    assert_eq!(schedule.shards.len(), costs.n_users(), "schedule/costs arity mismatch");
+    let times = schedule.predicted_times(costs);
+    let makespan = times.iter().cloned().fold(0.0, f64::max);
+    let straggler = times
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+
+    let active: Vec<f64> = times.iter().cloned().filter(|&t| t > 0.0).collect();
+    let time_fairness = if active.is_empty() {
+        1.0
+    } else {
+        let sum: f64 = active.iter().sum();
+        let sum_sq: f64 = active.iter().map(|t| t * t).sum();
+        sum * sum / (active.len() as f64 * sum_sq)
+    };
+
+    let optimal = ExactMinMax
+        .schedule(costs)
+        .expect("cost matrix is always schedulable")
+        .predicted_makespan(costs);
+
+    ScheduleAnalysis {
+        makespan,
+        optimal_makespan: optimal,
+        optimality_ratio: if optimal > 0.0 { makespan / optimal } else { 1.0 },
+        straggler,
+        time_fairness,
+        slack: times.iter().map(|t| makespan - t).collect(),
+        total_busy_time: times.iter().sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::EqualScheduler;
+    use crate::lbap::FedLbap;
+
+    fn costs() -> CostMatrix {
+        CostMatrix::from_linear_rates(&[1.0, 4.0], 10, 10.0, &[0.0, 0.0])
+    }
+
+    #[test]
+    fn lbap_is_reported_optimal() {
+        let c = costs();
+        let s = FedLbap.schedule(&c).unwrap();
+        let a = analyze(&s, &c);
+        assert!((a.optimality_ratio - 1.0).abs() < 1e-9);
+        assert_eq!(a.makespan, a.optimal_makespan);
+    }
+
+    #[test]
+    fn equal_split_shows_gap_and_straggler() {
+        let c = costs();
+        let s = EqualScheduler.schedule(&c).unwrap();
+        let a = analyze(&s, &c);
+        assert!(a.optimality_ratio > 1.5, "ratio {}", a.optimality_ratio);
+        assert_eq!(a.straggler, 1, "the 4x slower user straggles");
+        assert!(a.slack[0] > 0.0);
+        assert_eq!(a.slack[1], 0.0);
+    }
+
+    #[test]
+    fn fairness_index_bounds() {
+        let c = costs();
+        // Perfectly balanced times: 8/2 split gives both users 8s.
+        let balanced = Schedule::new(vec![8, 2], 10.0);
+        let a = analyze(&balanced, &c);
+        assert!((a.time_fairness - 1.0).abs() < 1e-9);
+
+        // Everything on one user: fairness 1.0 over active users, but only
+        // one is active.
+        let solo = Schedule::new(vec![10, 0], 10.0);
+        let a = analyze(&solo, &c);
+        assert_eq!(a.time_fairness, 1.0);
+        assert_eq!(a.total_busy_time, 10.0);
+    }
+
+    #[test]
+    fn busy_time_tracks_total_load() {
+        let c = costs();
+        let s = Schedule::new(vec![5, 5], 10.0);
+        let a = analyze(&s, &c);
+        assert_eq!(a.total_busy_time, 5.0 + 20.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_mismatch_panics() {
+        let c = costs();
+        let s = Schedule::new(vec![10], 10.0);
+        let _ = analyze(&s, &c);
+    }
+}

@@ -1,0 +1,209 @@
+//! The paper's baseline schedulers: Proportional, Random and Equal.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::cost::CostMatrix;
+use crate::schedule::{Schedule, ScheduleError, Scheduler};
+
+/// Distribute `total` shards according to non-negative `weights`, largest
+/// remainders first so the result sums exactly to `total`.
+fn apportion(weights: &[f64], total: usize) -> Vec<usize> {
+    let sum: f64 = weights.iter().sum();
+    let n = weights.len();
+    if sum <= 0.0 {
+        // Degenerate: fall back to equal shares.
+        return apportion(&vec![1.0; n], total);
+    }
+    let exact: Vec<f64> = weights.iter().map(|w| w / sum * total as f64).collect();
+    let mut shards: Vec<usize> = exact.iter().map(|e| e.floor() as usize).collect();
+    let assigned: usize = shards.iter().sum();
+    // Hand the leftover to the largest fractional remainders.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        let fa = exact[a] - exact[a].floor();
+        let fb = exact[b] - exact[b].floor();
+        fb.partial_cmp(&fa).expect("finite")
+    });
+    for &j in order.iter().take(total - assigned) {
+        shards[j] += 1;
+    }
+    shards
+}
+
+/// `Equal`: every user gets the same share (FedAvg's default partition).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EqualScheduler;
+
+impl Scheduler for EqualScheduler {
+    fn name(&self) -> &'static str {
+        "Equal"
+    }
+
+    fn schedule(&self, costs: &CostMatrix) -> Result<Schedule, ScheduleError> {
+        if costs.n_users() == 0 {
+            return Err(ScheduleError::NoUsers);
+        }
+        let shards = apportion(&vec![1.0; costs.n_users()], costs.total_shards());
+        Ok(Schedule::new(shards, costs.shard_size()))
+    }
+}
+
+/// `Proportional`: shares proportional to a processing-power signal — the
+/// paper uses the mean per-core CPU frequency, which misjudges thermal
+/// behaviour and is why this heuristic underperforms (Section VII-A).
+#[derive(Debug, Clone)]
+pub struct ProportionalScheduler {
+    /// The per-user power signal (e.g. mean core GHz).
+    pub weights: Vec<f64>,
+}
+
+impl ProportionalScheduler {
+    /// Create from a power signal.
+    pub fn new(weights: Vec<f64>) -> Self {
+        ProportionalScheduler { weights }
+    }
+}
+
+impl Scheduler for ProportionalScheduler {
+    fn name(&self) -> &'static str {
+        "Proportional"
+    }
+
+    fn schedule(&self, costs: &CostMatrix) -> Result<Schedule, ScheduleError> {
+        if costs.n_users() == 0 {
+            return Err(ScheduleError::NoUsers);
+        }
+        if self.weights.len() != costs.n_users() {
+            return Err(ScheduleError::DimensionMismatch);
+        }
+        Ok(Schedule::new(
+            apportion(&self.weights, costs.total_shards()),
+            costs.shard_size(),
+        ))
+    }
+}
+
+/// `Random`: a uniformly random composition of the shard total — every way
+/// of splitting `s` shards among `n` users (stars and bars) is equally
+/// likely. Deterministic for a given seed.
+#[derive(Debug, Clone)]
+pub struct RandomScheduler {
+    seed: u64,
+}
+
+impl RandomScheduler {
+    /// Create with a seed.
+    pub fn new(seed: u64) -> Self {
+        RandomScheduler { seed }
+    }
+}
+
+impl Scheduler for RandomScheduler {
+    fn name(&self) -> &'static str {
+        "Random"
+    }
+
+    fn schedule(&self, costs: &CostMatrix) -> Result<Schedule, ScheduleError> {
+        let n = costs.n_users();
+        if n == 0 {
+            return Err(ScheduleError::NoUsers);
+        }
+        let s = costs.total_shards();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        // Stars and bars: choose n-1 cut points in 0..=s with repetition,
+        // sort, take differences.
+        let mut cuts: Vec<usize> = (0..n - 1).map(|_| rng.gen_range(0..=s)).collect();
+        cuts.sort_unstable();
+        let mut shards = Vec::with_capacity(n);
+        let mut prev = 0usize;
+        for &c in &cuts {
+            shards.push(c - prev);
+            prev = c;
+        }
+        shards.push(s - prev);
+        Ok(Schedule::new(shards, costs.shard_size()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn costs(n: usize, s: usize) -> CostMatrix {
+        CostMatrix::from_linear_rates(&vec![1.0; n], s, 10.0, &vec![0.0; n])
+    }
+
+    #[test]
+    fn apportion_sums_to_total() {
+        for total in [0usize, 1, 7, 100] {
+            for weights in [vec![1.0, 1.0, 1.0], vec![2.7, 0.1, 9.3], vec![0.0, 0.0]] {
+                let a = apportion(&weights, total);
+                assert_eq!(a.iter().sum::<usize>(), total, "{weights:?} {total}");
+            }
+        }
+    }
+
+    #[test]
+    fn equal_splits_evenly_with_remainder() {
+        let s = EqualScheduler.schedule(&costs(3, 10)).unwrap();
+        let mut shards = s.shards.clone();
+        shards.sort_unstable();
+        assert_eq!(shards, vec![3, 3, 4]);
+    }
+
+    #[test]
+    fn proportional_tracks_weights() {
+        let sched = ProportionalScheduler::new(vec![3.0, 1.0]);
+        let s = sched.schedule(&costs(2, 8)).unwrap();
+        assert_eq!(s.shards, vec![6, 2]);
+    }
+
+    #[test]
+    fn proportional_rejects_wrong_arity() {
+        let sched = ProportionalScheduler::new(vec![1.0]);
+        assert_eq!(
+            sched.schedule(&costs(2, 8)).unwrap_err(),
+            ScheduleError::DimensionMismatch
+        );
+    }
+
+    #[test]
+    fn proportional_zero_weights_fall_back_to_equal() {
+        let sched = ProportionalScheduler::new(vec![0.0, 0.0]);
+        let s = sched.schedule(&costs(2, 8)).unwrap();
+        assert_eq!(s.shards, vec![4, 4]);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed_and_covers_total() {
+        let a = RandomScheduler::new(9).schedule(&costs(4, 20)).unwrap();
+        let b = RandomScheduler::new(9).schedule(&costs(4, 20)).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.total_shards(), 20);
+        let c = RandomScheduler::new(10).schedule(&costs(4, 20)).unwrap();
+        assert_eq!(c.total_shards(), 20);
+    }
+
+    #[test]
+    fn random_single_user_takes_all() {
+        let s = RandomScheduler::new(3).schedule(&costs(1, 5)).unwrap();
+        assert_eq!(s.shards, vec![5]);
+    }
+
+    #[test]
+    fn random_spreads_mass_across_users() {
+        // Over many seeds, every user should receive shards sometimes.
+        let c = costs(3, 9);
+        let mut touched = [false; 3];
+        for seed in 0..50 {
+            let s = RandomScheduler::new(seed).schedule(&c).unwrap();
+            for (j, &k) in s.shards.iter().enumerate() {
+                if k > 0 {
+                    touched[j] = true;
+                }
+            }
+        }
+        assert!(touched.iter().all(|&t| t));
+    }
+}

@@ -1,0 +1,151 @@
+//! Deadline-based straggler dropout — the "system design" baseline the
+//! paper contrasts against (Bonawitz et al., SysML'19): give everyone an
+//! equal share, and hard-drop whoever cannot finish by the deadline.
+//!
+//! Unlike Fed-LBAP, dropped users' data is simply *lost* for the round
+//! ("while not attempting to make best use from their data", paper
+//! Section II-B), so this scheduler trades coverage for latency. The
+//! [`DropReport`] quantifies that loss so experiments can show both sides.
+
+use serde::Serialize;
+
+use crate::baselines::EqualScheduler;
+use crate::cost::CostMatrix;
+use crate::schedule::{Schedule, ScheduleError, Scheduler};
+
+/// Equal-share scheduling with a hard per-round deadline.
+#[derive(Debug, Clone, Copy)]
+pub struct DeadlineDropout {
+    /// Users whose equal share would exceed this many seconds are dropped.
+    pub deadline_s: f64,
+}
+
+/// What the deadline cost us.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct DropReport {
+    /// Indices of dropped users.
+    pub dropped: Vec<usize>,
+    /// Shards lost with them (not redistributed).
+    pub lost_shards: usize,
+    /// Fraction of the round's data that was lost.
+    pub lost_fraction: f64,
+}
+
+impl DeadlineDropout {
+    /// Create with a deadline in seconds.
+    ///
+    /// # Panics
+    /// Panics on a non-positive deadline.
+    pub fn new(deadline_s: f64) -> Self {
+        assert!(deadline_s > 0.0, "deadline must be positive");
+        DeadlineDropout { deadline_s }
+    }
+
+    /// A deadline calibrated as `factor` times the *mean* per-user time of
+    /// the equal split — the common "wait a bit longer than average, then
+    /// cut" production policy.
+    pub fn from_mean_factor(costs: &CostMatrix, factor: f64) -> Result<Self, ScheduleError> {
+        let equal = EqualScheduler.schedule(costs)?;
+        let times = equal.predicted_times(costs);
+        let active: Vec<f64> = times.into_iter().filter(|&t| t > 0.0).collect();
+        let mean = active.iter().sum::<f64>() / active.len().max(1) as f64;
+        Ok(DeadlineDropout::new(mean * factor))
+    }
+
+    /// Schedule and report what was dropped.
+    pub fn schedule_with_report(
+        &self,
+        costs: &CostMatrix,
+    ) -> Result<(Schedule, DropReport), ScheduleError> {
+        let equal = EqualScheduler.schedule(costs)?;
+        let mut shards = equal.shards.clone();
+        let mut dropped = Vec::new();
+        let mut lost = 0usize;
+        for (j, k) in shards.iter_mut().enumerate() {
+            if *k > 0 && costs.cost(j, *k) > self.deadline_s {
+                dropped.push(j);
+                lost += *k;
+                *k = 0;
+            }
+        }
+        let total = equal.total_shards();
+        let report = DropReport {
+            dropped,
+            lost_shards: lost,
+            lost_fraction: if total == 0 { 0.0 } else { lost as f64 / total as f64 },
+        };
+        Ok((Schedule::new(shards, costs.shard_size()), report))
+    }
+}
+
+impl Scheduler for DeadlineDropout {
+    fn name(&self) -> &'static str {
+        "Deadline-Dropout"
+    }
+
+    /// Note: the returned schedule may cover *fewer* shards than
+    /// `costs.total_shards()` — dropped data is lost, by design.
+    fn schedule(&self, costs: &CostMatrix) -> Result<Schedule, ScheduleError> {
+        self.schedule_with_report(costs).map(|(s, _)| s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lbap::FedLbap;
+
+    fn costs() -> CostMatrix {
+        // User 1 is 10x slower.
+        CostMatrix::from_linear_rates(&[1.0, 10.0, 1.2], 30, 10.0, &[0.0, 0.0, 0.0])
+    }
+
+    #[test]
+    fn slow_user_is_dropped_and_data_lost() {
+        let c = costs();
+        // Equal split: 10 shards each -> times 10, 100, 12.
+        let (schedule, report) = DeadlineDropout::new(20.0).schedule_with_report(&c).unwrap();
+        assert_eq!(report.dropped, vec![1]);
+        assert_eq!(report.lost_shards, 10);
+        assert!((report.lost_fraction - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(schedule.total_shards(), 20);
+        assert!(schedule.predicted_makespan(&c) <= 20.0);
+    }
+
+    #[test]
+    fn generous_deadline_drops_nobody() {
+        let c = costs();
+        let (schedule, report) = DeadlineDropout::new(1000.0).schedule_with_report(&c).unwrap();
+        assert!(report.dropped.is_empty());
+        assert_eq!(schedule.total_shards(), 30);
+    }
+
+    #[test]
+    fn mean_factor_policy_cuts_the_straggler() {
+        let c = costs();
+        // Mean equal time = (10+100+12)/3 ≈ 40.7; factor 1.2 -> ~49 s.
+        let policy = DeadlineDropout::from_mean_factor(&c, 1.2).unwrap();
+        let (_, report) = policy.schedule_with_report(&c).unwrap();
+        assert_eq!(report.dropped, vec![1]);
+    }
+
+    #[test]
+    fn lbap_meets_the_same_deadline_without_losing_data() {
+        // The paper's pitch: Fed-LBAP achieves low makespan *and* full
+        // coverage, dominating hard dropout.
+        let c = costs();
+        let lbap = FedLbap.schedule(&c).unwrap();
+        let (dropped_sched, report) =
+            DeadlineDropout::new(20.0).schedule_with_report(&c).unwrap();
+        assert!(lbap.predicted_makespan(&c) <= 20.0 + 1e-9);
+        assert_eq!(lbap.total_shards(), 30);
+        assert!(dropped_sched.total_shards() < 30);
+        assert!(report.lost_shards > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_deadline_rejected() {
+        let _ = DeadlineDropout::new(0.0);
+    }
+}

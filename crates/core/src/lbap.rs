@@ -1,0 +1,196 @@
+//! Fed-LBAP: joint partitioning and assignment for IID data (paper
+//! Algorithm 1, problem P1).
+//!
+//! The classical linear bottleneck assignment problem needs a perfect
+//! matching check per threshold; here shards are interchangeable (IID), so a
+//! threshold `c*` is feasible iff the users' threshold-capacities cover the
+//! data (paper Property 2): `sum_j max{k : C[j][k] <= c*} >= s`. Rows are
+//! monotone (Property 1), so each capacity is one binary search. Binary
+//! searching the sorted cost values for the minimal feasible threshold gives
+//! `O(ns log(ns))`, the paper's `O(n^2 log n)` when `s = n`.
+
+use crate::cost::CostMatrix;
+use crate::schedule::{Schedule, ScheduleError, Scheduler};
+
+/// The Fed-LBAP scheduler. Stateless; construct with [`Default`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FedLbap;
+
+impl FedLbap {
+    /// The minimal feasible threshold `c*` — the optimal makespan over all
+    /// partition+assignment combinations. Exposed for tests and diagnostics.
+    pub fn optimal_threshold(&self, costs: &CostMatrix) -> f64 {
+        let sorted = costs.sorted_costs();
+        let s = costs.total_shards();
+        let feasible = |c: f64| -> bool {
+            let mut cap = 0usize;
+            for j in 0..costs.n_users() {
+                cap += costs.max_shards_within(j, c);
+                if cap >= s {
+                    return true;
+                }
+            }
+            false
+        };
+        // Binary search the sorted candidate thresholds for the first
+        // feasible one. The largest entry is always feasible: every user
+        // can then absorb all s shards.
+        let mut lo = 0usize;
+        let mut hi = sorted.len() - 1;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if feasible(sorted[mid]) {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        sorted[lo]
+    }
+
+    /// Construct the assignment for a given threshold: fill users up to
+    /// their threshold capacity until all shards are placed, preferring
+    /// users with the *cheapest marginal* shards first so the total load
+    /// (and hence total energy) stays low among makespan-optimal solutions.
+    fn assign_within(&self, costs: &CostMatrix, threshold: f64) -> Vec<usize> {
+        let n = costs.n_users();
+        let s = costs.total_shards();
+        let caps: Vec<usize> = (0..n).map(|j| costs.max_shards_within(j, threshold)).collect();
+
+        // Order users by the time they'd take at full capacity, ascending —
+        // giving shards to efficient users first.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            let ta = if caps[a] == 0 { f64::INFINITY } else { costs.cost(a, caps[a]) / caps[a] as f64 };
+            let tb = if caps[b] == 0 { f64::INFINITY } else { costs.cost(b, caps[b]) / caps[b] as f64 };
+            ta.partial_cmp(&tb).expect("finite costs")
+        });
+
+        let mut shards = vec![0usize; n];
+        let mut remaining = s;
+        for &j in &order {
+            if remaining == 0 {
+                break;
+            }
+            let take = caps[j].min(remaining);
+            shards[j] = take;
+            remaining -= take;
+        }
+        debug_assert_eq!(remaining, 0, "threshold was infeasible");
+        shards
+    }
+}
+
+impl Scheduler for FedLbap {
+    fn name(&self) -> &'static str {
+        "Fed-LBAP"
+    }
+
+    fn schedule(&self, costs: &CostMatrix) -> Result<Schedule, ScheduleError> {
+        if costs.n_users() == 0 {
+            return Err(ScheduleError::NoUsers);
+        }
+        let c_star = self.optimal_threshold(costs);
+        let shards = self.assign_within(costs, c_star);
+        Ok(Schedule::new(shards, costs.shard_size()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::EqualScheduler;
+    use crate::exact::ExactMinMax;
+
+    #[test]
+    fn single_user_gets_everything() {
+        let c = CostMatrix::from_linear_rates(&[2.0], 7, 10.0, &[1.0]);
+        let s = FedLbap.schedule(&c).unwrap();
+        assert_eq!(s.shards, vec![7]);
+        assert_eq!(s.predicted_makespan(&c), c.cost(0, 7));
+    }
+
+    #[test]
+    fn two_identical_users_split_evenly_in_makespan() {
+        let c = CostMatrix::from_linear_rates(&[1.0, 1.0], 10, 10.0, &[0.0, 0.0]);
+        let s = FedLbap.schedule(&c).unwrap();
+        assert_eq!(s.total_shards(), 10);
+        // Makespan must be the even-split value (5 shards).
+        assert_eq!(s.predicted_makespan(&c), 5.0);
+    }
+
+    #[test]
+    fn fast_user_carries_more() {
+        // User 0 is 4x faster: optimal split of 10 shards is 8/2.
+        let c = CostMatrix::from_linear_rates(&[1.0, 4.0], 10, 10.0, &[0.0, 0.0]);
+        let s = FedLbap.schedule(&c).unwrap();
+        assert_eq!(s.shards, vec![8, 2]);
+        assert_eq!(s.predicted_makespan(&c), 8.0);
+    }
+
+    #[test]
+    fn straggler_can_be_left_idle() {
+        // User 1 takes 100s for even one shard; placing everything on user
+        // 0 (10s) is optimal, so the straggler is excluded entirely.
+        let c = CostMatrix::from_linear_rates(&[1.0, 100.0], 10, 10.0, &[0.0, 0.0]);
+        let s = FedLbap.schedule(&c).unwrap();
+        assert_eq!(s.shards, vec![10, 0]);
+    }
+
+    #[test]
+    fn comm_cost_tilts_the_split() {
+        // Identical compute, but user 1 pays 3s of comm: it should get
+        // fewer shards.
+        let c = CostMatrix::from_linear_rates(&[1.0, 1.0], 10, 10.0, &[0.0, 3.0]);
+        let s = FedLbap.schedule(&c).unwrap();
+        assert!(s.shards[0] > s.shards[1], "{:?}", s.shards);
+        assert_eq!(s.total_shards(), 10);
+    }
+
+    #[test]
+    fn matches_exact_dp_on_small_instances() {
+        // Heterogeneous rates and comm costs; DP gives the true optimum.
+        let cases: Vec<(Vec<f64>, Vec<f64>, usize)> = vec![
+            (vec![1.0, 2.0, 3.0], vec![0.0, 0.5, 1.0], 12),
+            (vec![5.0, 1.0], vec![2.0, 0.0], 9),
+            (vec![1.0, 1.0, 1.0, 1.0], vec![0.0; 4], 7),
+            (vec![2.5, 0.5, 4.0], vec![1.0, 1.0, 1.0], 15),
+        ];
+        for (rates, comm, shards) in cases {
+            let c = CostMatrix::from_linear_rates(&rates, shards, 10.0, &comm);
+            let lbap = FedLbap.schedule(&c).unwrap();
+            let exact = ExactMinMax.schedule(&c).unwrap();
+            let lm = lbap.predicted_makespan(&c);
+            let em = exact.predicted_makespan(&c);
+            assert!(
+                (lm - em).abs() < 1e-9,
+                "LBAP {lm} != exact {em} for rates {rates:?} comm {comm:?} s={shards}"
+            );
+        }
+    }
+
+    #[test]
+    fn never_worse_than_equal_baseline() {
+        let c = CostMatrix::from_linear_rates(&[1.0, 3.0, 7.0, 2.0], 40, 10.0, &[0.5, 0.0, 2.0, 0.1]);
+        let lbap = FedLbap.schedule(&c).unwrap().predicted_makespan(&c);
+        let equal = EqualScheduler.schedule(&c).unwrap().predicted_makespan(&c);
+        assert!(lbap <= equal + 1e-12, "LBAP {lbap} > Equal {equal}");
+    }
+
+    #[test]
+    fn assignment_always_covers_all_shards() {
+        for s in [1usize, 2, 17, 100] {
+            let c = CostMatrix::from_linear_rates(&[1.0, 2.0, 4.0], s, 10.0, &[0.0, 1.0, 0.5]);
+            let sched = FedLbap.schedule(&c).unwrap();
+            assert_eq!(sched.total_shards(), s);
+        }
+    }
+
+    #[test]
+    fn threshold_is_attained_by_schedule() {
+        let c = CostMatrix::from_linear_rates(&[1.3, 2.7, 0.9], 23, 10.0, &[0.2, 0.0, 1.5]);
+        let t = FedLbap.optimal_threshold(&c);
+        let sched = FedLbap.schedule(&c).unwrap();
+        assert!(sched.predicted_makespan(&c) <= t + 1e-12);
+    }
+}

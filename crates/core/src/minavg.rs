@@ -1,0 +1,322 @@
+//! Fed-MinAvg: the min-average-cost algorithm for non-IID data (paper
+//! Algorithm 2, problem P2).
+//!
+//! Data shards are placed one at a time, each going to the user with the
+//! minimal marginal cost `T_j((l_j + 1) d) + alpha F_j` (Eq. 12) — a greedy
+//! strategy for the bin-packing-with-item-fragmentation abstraction of P2.
+//! Opening a user for the first time additionally charges its per-round
+//! communication time (the paper omits this term "for clarity"; it matters
+//! for heavyweight models over LTE, and can be disabled by passing zero
+//! comm costs). The accuracy cost is re-evaluated every step because the
+//! covered-class set `U` and the training-set size `D_u` evolve as shards
+//! are placed. Users at capacity are closed. `O(mn)` for `m` shards.
+
+use std::collections::BTreeSet;
+
+use fedsched_profiler::CostProfile;
+use serde::Serialize;
+
+use crate::acc::AccuracyCost;
+use crate::schedule::{Schedule, ScheduleError};
+
+/// One federated user as seen by Fed-MinAvg.
+#[derive(Debug, Clone)]
+pub struct UserSpec<P> {
+    /// Predicted computation time profile.
+    pub profile: P,
+    /// Per-round communication time (charged when the user participates).
+    pub comm: f64,
+    /// The classes present in the user's local data.
+    pub classes: BTreeSet<usize>,
+    /// Capacity in shards (storage or battery budget, Eq. 9).
+    pub capacity_shards: usize,
+}
+
+/// A complete Fed-MinAvg problem instance.
+#[derive(Debug, Clone)]
+pub struct MinAvgProblem<P> {
+    /// The cohort.
+    pub users: Vec<UserSpec<P>>,
+    /// Shards to distribute (`D` in the paper).
+    pub total_shards: usize,
+    /// Samples per shard (`d`).
+    pub shard_size: f64,
+    /// The accuracy-cost model (K, alpha, beta).
+    pub acc: AccuracyCost,
+}
+
+/// Rich output: the schedule plus diagnostics used by the evaluation.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct MinAvgOutcome {
+    /// The resulting shard assignment.
+    pub schedule: Schedule,
+    /// Users in the order they were first opened.
+    pub open_order: Vec<usize>,
+    /// Final `alpha * F_j` for every user.
+    pub final_alpha_f: Vec<f64>,
+    /// The P2 objective: sum of computation + communication + accuracy
+    /// costs over selected users.
+    pub objective: f64,
+}
+
+/// The Fed-MinAvg scheduler. Stateless; construct with [`Default`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FedMinAvg;
+
+impl FedMinAvg {
+    /// Run Algorithm 2.
+    ///
+    /// Errors with [`ScheduleError::Infeasible`] when the summed capacities
+    /// cannot hold `total_shards`, and [`ScheduleError::NoUsers`] on an
+    /// empty cohort.
+    pub fn schedule<P: CostProfile>(
+        &self,
+        problem: &MinAvgProblem<P>,
+    ) -> Result<MinAvgOutcome, ScheduleError> {
+        let n = problem.users.len();
+        if n == 0 {
+            return Err(ScheduleError::NoUsers);
+        }
+        let cap_total: usize = problem.users.iter().map(|u| u.capacity_shards).sum();
+        if cap_total < problem.total_shards {
+            return Err(ScheduleError::Infeasible);
+        }
+
+        let d = problem.shard_size;
+        let mut covered: BTreeSet<usize> = BTreeSet::new();
+        let mut shards = vec![0usize; n];
+        let mut opened = vec![false; n];
+        let mut open_order = Vec::new();
+        let mut d_u = 0usize; // shards placed so far
+
+        while d_u < problem.total_shards {
+            // Marginal cost of giving the next shard to user j (Eq. 12).
+            let mut best: Option<(usize, f64)> = None;
+            for (j, user) in problem.users.iter().enumerate() {
+                if shards[j] >= user.capacity_shards {
+                    continue; // bin closed
+                }
+                let l_next = (shards[j] + 1) as f64;
+                let mut cost = user.profile.time_for(l_next * d)
+                    + problem.acc.alpha_f(&user.classes, &covered, d_u);
+                if !opened[j] {
+                    cost += user.comm;
+                }
+                match best {
+                    Some((_, b)) if cost >= b => {}
+                    _ => best = Some((j, cost)),
+                }
+            }
+            let (j, _) = best.ok_or(ScheduleError::Infeasible)?;
+            shards[j] += 1;
+            d_u += 1;
+            if !opened[j] {
+                opened[j] = true;
+                open_order.push(j);
+            }
+            covered.extend(problem.users[j].classes.iter().copied());
+        }
+
+        // Final diagnostics.
+        let final_alpha_f: Vec<f64> = problem
+            .users
+            .iter()
+            .map(|u| problem.acc.alpha_f(&u.classes, &covered, d_u))
+            .collect();
+        let schedule = Schedule::new(shards, d);
+        let objective = self.objective(problem, &schedule);
+        Ok(MinAvgOutcome { schedule, open_order, final_alpha_f, objective })
+    }
+
+    /// The P2 objective value of a schedule: per selected user, computation
+    /// time at its load plus communication plus `alpha * F_j` under the
+    /// *final* coverage.
+    pub fn objective<P: CostProfile>(
+        &self,
+        problem: &MinAvgProblem<P>,
+        schedule: &Schedule,
+    ) -> f64 {
+        let covered: BTreeSet<usize> = problem
+            .users
+            .iter()
+            .zip(&schedule.shards)
+            .filter(|(_, &k)| k > 0)
+            .flat_map(|(u, _)| u.classes.iter().copied())
+            .collect();
+        let d_u = schedule.total_shards();
+        problem
+            .users
+            .iter()
+            .zip(&schedule.shards)
+            .map(|(u, &k)| {
+                if k == 0 {
+                    0.0
+                } else {
+                    u.profile.time_for(k as f64 * problem.shard_size)
+                        + u.comm
+                        + problem.acc.alpha_f(&u.classes, &covered, d_u)
+                }
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedsched_profiler::LinearProfile;
+
+    fn set(v: &[usize]) -> BTreeSet<usize> {
+        v.iter().copied().collect()
+    }
+
+    fn user(per_sample: f64, classes: &[usize], cap: usize) -> UserSpec<LinearProfile> {
+        UserSpec {
+            profile: LinearProfile::new(0.0, per_sample),
+            comm: 0.0,
+            classes: set(classes),
+            capacity_shards: cap,
+        }
+    }
+
+    fn problem(
+        users: Vec<UserSpec<LinearProfile>>,
+        total: usize,
+        alpha: f64,
+        beta: f64,
+    ) -> MinAvgProblem<LinearProfile> {
+        MinAvgProblem {
+            users,
+            total_shards: total,
+            shard_size: 100.0,
+            acc: AccuracyCost::new(10, alpha, beta),
+        }
+    }
+
+    #[test]
+    fn covers_all_shards_and_respects_capacity() {
+        let p = problem(
+            vec![
+                user(0.01, &[0, 1, 2], 5),
+                user(0.02, &[3, 4], 5),
+                user(0.05, &[5], 20),
+            ],
+            12,
+            100.0,
+            0.0,
+        );
+        let out = FedMinAvg.schedule(&p).unwrap();
+        assert_eq!(out.schedule.total_shards(), 12);
+        for (u, &k) in p.users.iter().zip(&out.schedule.shards) {
+            assert!(k <= u.capacity_shards);
+        }
+    }
+
+    #[test]
+    fn infeasible_when_capacity_short() {
+        let p = problem(vec![user(0.01, &[0], 3), user(0.01, &[1], 3)], 7, 100.0, 0.0);
+        assert_eq!(FedMinAvg.schedule(&p).unwrap_err(), ScheduleError::Infeasible);
+    }
+
+    #[test]
+    fn empty_cohort_errors() {
+        let p = problem(vec![], 5, 100.0, 0.0);
+        assert_eq!(FedMinAvg.schedule(&p).unwrap_err(), ScheduleError::NoUsers);
+    }
+
+    #[test]
+    fn large_alpha_starves_few_class_users() {
+        // User 0: fast but only 1 class. User 1: slower with 8 classes.
+        // With tiny alpha the fast user dominates; with huge alpha the
+        // class-rich user does (paper Fig. 6 dynamics).
+        let mk = |alpha| {
+            problem(
+                vec![user(0.001, &[7], 100), user(0.002, &[0, 1, 2, 3, 4, 5, 6, 9], 100)],
+                50,
+                alpha,
+                0.0,
+            )
+        };
+        let lo = FedMinAvg.schedule(&mk(0.1)).unwrap();
+        assert!(lo.schedule.shards[0] > lo.schedule.shards[1], "{:?}", lo.schedule.shards);
+        let hi = FedMinAvg.schedule(&mk(5000.0)).unwrap();
+        assert!(hi.schedule.shards[1] > hi.schedule.shards[0], "{:?}", hi.schedule.shards);
+    }
+
+    #[test]
+    fn beta_rescues_unique_class_outliers() {
+        // User 2 is slow and single-class, but holds class 9 that nobody
+        // else has. With beta = 0 and a large alpha it gets nothing; with
+        // beta > 0 the growing discount eventually pulls it in.
+        let mk = |beta| {
+            problem(
+                vec![
+                    user(0.001, &[0, 1, 2, 3], 100),
+                    user(0.0012, &[2, 3, 4, 5], 100),
+                    user(0.01, &[9], 100),
+                ],
+                60,
+                500.0,
+                beta,
+            )
+        };
+        let without = FedMinAvg.schedule(&mk(0.0)).unwrap();
+        assert_eq!(without.schedule.shards[2], 0, "{:?}", without.schedule.shards);
+        let with = FedMinAvg.schedule(&mk(100.0)).unwrap();
+        assert!(with.schedule.shards[2] > 0, "{:?}", with.schedule.shards);
+    }
+
+    #[test]
+    fn comm_cost_penalizes_opening_extra_users() {
+        let mut users = vec![user(0.001, &[0, 1], 100), user(0.001, &[0, 1], 100)];
+        users[1].comm = 1e6; // prohibitively expensive to involve
+        let p = MinAvgProblem {
+            users,
+            total_shards: 20,
+            shard_size: 100.0,
+            acc: AccuracyCost::new(10, 1.0, 0.0),
+        };
+        let out = FedMinAvg.schedule(&p).unwrap();
+        assert_eq!(out.schedule.shards, vec![20, 0]);
+        assert_eq!(out.open_order, vec![0]);
+    }
+
+    #[test]
+    fn open_order_starts_with_cheapest_initial_cost() {
+        let p = problem(
+            vec![user(0.01, &[0], 100), user(0.001, &[0, 1, 2, 3, 4], 100)],
+            10,
+            100.0,
+            0.0,
+        );
+        let out = FedMinAvg.schedule(&p).unwrap();
+        // User 1 is both faster and class-richer: must open first.
+        assert_eq!(out.open_order[0], 1);
+    }
+
+    #[test]
+    fn objective_counts_only_selected_users() {
+        let p = problem(vec![user(0.01, &[0], 100), user(0.01, &[1], 100)], 5, 100.0, 0.0);
+        let sched = Schedule::new(vec![5, 0], 100.0);
+        let obj = FedMinAvg.objective(&p, &sched);
+        // comp = 0.01 * 500 = 5; alpha*F = 100 * 10/1 = 1000; comm = 0.
+        assert!((obj - 1005.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let p = problem(
+            vec![
+                user(0.003, &[0, 1, 2], 40),
+                user(0.002, &[3, 4], 40),
+                user(0.004, &[5, 6, 7, 8], 40),
+            ],
+            30,
+            250.0,
+            2.0,
+        );
+        let a = FedMinAvg.schedule(&p).unwrap();
+        let b = FedMinAvg.schedule(&p).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,148 @@
+//! Differentially-private class reporting (paper Section IV-A: users report
+//! class information protected by "security protocols ... and
+//! differentially-private class information").
+//!
+//! Fed-MinAvg needs each user's class *set* (or at least its size and
+//! novelty). Randomized response over the 10 class-membership bits gives
+//! per-bit epsilon-DP: each bit is reported truthfully with probability
+//! `e^eps / (1 + e^eps)` and flipped otherwise. The server can still form an
+//! unbiased estimate of the true class count for the accuracy cost, at a
+//! privacy-controlled accuracy loss this module's tests quantify.
+
+use std::collections::BTreeSet;
+
+use rand::Rng;
+
+/// Probability of reporting a membership bit truthfully under randomized
+/// response with privacy parameter `epsilon` (per bit).
+pub fn truth_probability(epsilon: f64) -> f64 {
+    assert!(epsilon > 0.0, "epsilon must be positive");
+    let e = epsilon.exp();
+    e / (1.0 + e)
+}
+
+/// Report a privatized version of `classes` over the universe `0..k`.
+pub fn privatize_classes<R: Rng>(
+    classes: &BTreeSet<usize>,
+    k: usize,
+    epsilon: f64,
+    rng: &mut R,
+) -> BTreeSet<usize> {
+    let p_truth = truth_probability(epsilon);
+    (0..k)
+        .filter(|c| {
+            let member = classes.contains(c);
+            if rng.gen::<f64>() < p_truth {
+                member
+            } else {
+                !member
+            }
+        })
+        .collect()
+}
+
+/// Unbiased estimate of the true class count from a privatized report:
+/// `(observed - k(1-p)) / (2p - 1)`, clamped to `[0, k]`.
+pub fn estimate_class_count(reported: usize, k: usize, epsilon: f64) -> f64 {
+    let p = truth_probability(epsilon);
+    let raw = (reported as f64 - k as f64 * (1.0 - p)) / (2.0 * p - 1.0);
+    raw.clamp(0.0, k as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn set(v: &[usize]) -> BTreeSet<usize> {
+        v.iter().copied().collect()
+    }
+
+    #[test]
+    fn truth_probability_increases_with_epsilon() {
+        assert!(truth_probability(0.1) < truth_probability(1.0));
+        assert!(truth_probability(1.0) < truth_probability(5.0));
+        assert!((truth_probability(0.0001) - 0.5).abs() < 1e-3, "eps->0 is a coin flip");
+        assert!(truth_probability(10.0) > 0.9999);
+    }
+
+    #[test]
+    fn high_epsilon_reports_are_nearly_exact() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let truth = set(&[1, 4, 7]);
+        let mut exact = 0;
+        for _ in 0..100 {
+            if privatize_classes(&truth, 10, 8.0, &mut rng) == truth {
+                exact += 1;
+            }
+        }
+        assert!(exact > 95, "only {exact}/100 exact at eps=8");
+    }
+
+    #[test]
+    fn low_epsilon_reports_are_noisy() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let truth = set(&[1, 4, 7]);
+        let mut exact = 0;
+        for _ in 0..100 {
+            if privatize_classes(&truth, 10, 0.2, &mut rng) == truth {
+                exact += 1;
+            }
+        }
+        assert!(exact < 20, "{exact}/100 exact at eps=0.2 — too faithful");
+    }
+
+    #[test]
+    fn count_estimator_is_unbiased() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let truth = set(&[0, 1, 2, 3]); // 4 classes of 10
+        let eps = 1.0;
+        let n = 4000;
+        let mean_estimate: f64 = (0..n)
+            .map(|_| {
+                let report = privatize_classes(&truth, 10, eps, &mut rng);
+                estimate_class_count(report.len(), 10, eps)
+            })
+            .sum::<f64>()
+            / n as f64;
+        assert!(
+            (mean_estimate - 4.0).abs() < 0.25,
+            "mean estimate {mean_estimate} should be ~4"
+        );
+    }
+
+    #[test]
+    fn estimator_clamps_to_valid_range() {
+        assert_eq!(estimate_class_count(0, 10, 0.5), 0.0);
+        assert!(estimate_class_count(10, 10, 0.5) <= 10.0);
+    }
+
+    #[test]
+    fn minavg_still_schedules_with_privatized_classes() {
+        use crate::acc::AccuracyCost;
+        use crate::minavg::{FedMinAvg, MinAvgProblem, UserSpec};
+        use fedsched_profiler::LinearProfile;
+
+        let mut rng = StdRng::seed_from_u64(4);
+        let true_sets =
+            [set(&[0, 1, 2, 3, 4]), set(&[5, 6]), set(&[7, 8, 9]), set(&[0, 9])];
+        let users: Vec<UserSpec<LinearProfile>> = true_sets
+            .iter()
+            .map(|classes| UserSpec {
+                profile: LinearProfile::new(0.1, 0.001),
+                comm: 0.2,
+                classes: privatize_classes(classes, 10, 2.0, &mut rng),
+                capacity_shards: 50,
+            })
+            .collect();
+        let problem = MinAvgProblem {
+            users,
+            total_shards: 80,
+            shard_size: 10.0,
+            acc: AccuracyCost::new(10, 5.0, 1.0),
+        };
+        let out = FedMinAvg.schedule(&problem).expect("feasible with noisy classes");
+        assert_eq!(out.schedule.total_shards(), 80);
+    }
+}

@@ -1,0 +1,121 @@
+//! Schedules (the algorithms' output) and the scheduler trait.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cost::CostMatrix;
+
+/// Errors a scheduler can report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// No users to schedule onto.
+    NoUsers,
+    /// The requested shard total cannot be placed (e.g. capacities sum to
+    /// less than the data).
+    Infeasible,
+    /// Inconsistent input dimensions (profiles vs comm costs vs classes).
+    DimensionMismatch,
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleError::NoUsers => write!(f, "no users to schedule onto"),
+            ScheduleError::Infeasible => write!(f, "data cannot be placed within capacities"),
+            ScheduleError::DimensionMismatch => write!(f, "input dimensions are inconsistent"),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// The output of every scheduler: how many data shards each user trains on
+/// this round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// Shards assigned to each user (index = user).
+    pub shards: Vec<usize>,
+    /// Samples per shard (the paper's granularity, e.g. 100).
+    pub shard_size: f64,
+}
+
+impl Schedule {
+    /// Construct a schedule.
+    pub fn new(shards: Vec<usize>, shard_size: f64) -> Self {
+        Schedule { shards, shard_size }
+    }
+
+    /// Total shards placed.
+    pub fn total_shards(&self) -> usize {
+        self.shards.iter().sum()
+    }
+
+    /// Samples assigned to user `j`.
+    pub fn samples_for(&self, j: usize) -> f64 {
+        self.shards[j] as f64 * self.shard_size
+    }
+
+    /// Number of users that received at least one shard.
+    pub fn active_users(&self) -> usize {
+        self.shards.iter().filter(|&&s| s > 0).count()
+    }
+
+    /// Predicted per-user times under a cost matrix (0 for idle users).
+    pub fn predicted_times(&self, costs: &CostMatrix) -> Vec<f64> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(j, &k)| costs.cost(j, k))
+            .collect()
+    }
+
+    /// Predicted makespan (the synchronous round time) under a cost matrix.
+    pub fn predicted_makespan(&self, costs: &CostMatrix) -> f64 {
+        self.predicted_times(costs).into_iter().fold(0.0, f64::max)
+    }
+}
+
+/// A scheduler for the IID setting: consumes a cost matrix, produces a
+/// shard assignment covering exactly `costs.total_shards()` shards.
+pub trait Scheduler {
+    /// Human-readable name for reports ("Fed-LBAP", "Equal", ...).
+    fn name(&self) -> &'static str;
+
+    /// Compute the assignment.
+    fn schedule(&self, costs: &CostMatrix) -> Result<Schedule, ScheduleError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostMatrix;
+
+    fn costs() -> CostMatrix {
+        // Two users: user 0 takes 1s per shard, user 1 takes 2s per shard.
+        CostMatrix::from_linear_rates(&[1.0, 2.0], 4, 100.0, &[0.0, 0.0])
+    }
+
+    #[test]
+    fn totals_and_samples() {
+        let s = Schedule::new(vec![3, 1], 100.0);
+        assert_eq!(s.total_shards(), 4);
+        assert_eq!(s.samples_for(0), 300.0);
+        assert_eq!(s.active_users(), 2);
+    }
+
+    #[test]
+    fn makespan_is_max_user_time() {
+        let s = Schedule::new(vec![3, 1], 100.0);
+        let c = costs();
+        let times = s.predicted_times(&c);
+        assert_eq!(times, vec![3.0, 2.0]);
+        assert_eq!(s.predicted_makespan(&c), 3.0);
+    }
+
+    #[test]
+    fn idle_user_costs_nothing() {
+        let s = Schedule::new(vec![4, 0], 100.0);
+        let c = costs();
+        assert_eq!(s.predicted_times(&c), vec![4.0, 0.0]);
+        assert_eq!(s.active_users(), 1);
+    }
+}

@@ -1,0 +1,365 @@
+//! Deterministic synthetic image datasets with lazy sample materialization.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Which benchmark dataset shape to emulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DatasetKind {
+    /// MNIST-like: 10 classes, 1x28x28, well-separated classes.
+    MnistLike,
+    /// CIFAR-like: 10 classes, 3x32x32, overlapping classes (harder).
+    CifarLike,
+}
+
+impl DatasetKind {
+    /// `(channels, height, width)` of one sample.
+    pub fn dims(&self) -> (usize, usize, usize) {
+        match self {
+            DatasetKind::MnistLike => (1, 28, 28),
+            DatasetKind::CifarLike => (3, 32, 32),
+        }
+    }
+
+    /// Flattened feature length.
+    pub fn feature_len(&self) -> usize {
+        let (c, h, w) = self.dims();
+        c * h * w
+    }
+
+    /// Display name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetKind::MnistLike => "MNIST",
+            DatasetKind::CifarLike => "CIFAR10",
+        }
+    }
+
+    /// Training-set size the paper uses (60K / 50K).
+    pub fn paper_train_size(&self) -> usize {
+        match self {
+            DatasetKind::MnistLike => 60_000,
+            DatasetKind::CifarLike => 50_000,
+        }
+    }
+
+    /// Additive noise sigma: MNIST-like data is nearly separable, CIFAR-like
+    /// deliberately overlaps.
+    fn noise_sigma(&self) -> f32 {
+        match self {
+            DatasetKind::MnistLike => 0.35,
+            DatasetKind::CifarLike => 0.95,
+        }
+    }
+
+    /// Whether samples blend in a *confuser* prototype from a random other
+    /// class (CIFAR-like only) — this caps achievable accuracy well below
+    /// 1.0, like real CIFAR10, so the non-IID accuracy phenomena have room
+    /// to appear.
+    fn class_confusion(&self) -> bool {
+        matches!(self, DatasetKind::CifarLike)
+    }
+}
+
+/// Number of classes in every dataset (matching MNIST/CIFAR10).
+pub const N_CLASSES: usize = 10;
+
+/// A deterministic synthetic dataset.
+///
+/// Construction stores only labels and prototypes; pixel data for sample `i`
+/// is regenerated on demand from `(seed, i)`, so arbitrarily large datasets
+/// are cheap until actually read.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    kind: DatasetKind,
+    seed: u64,
+    /// Added to sample indices before hashing, so train/test splits built
+    /// from the same seed share prototypes but never share pixels.
+    index_offset: u64,
+    labels: Vec<u8>,
+    /// Per-class prototype images, unit-scaled.
+    prototypes: Vec<Vec<f32>>,
+}
+
+impl Dataset {
+    /// Generate a dataset of `n` samples with (near-)equal class counts,
+    /// deterministically from `seed`.
+    pub fn generate(kind: DatasetKind, n: usize, seed: u64) -> Self {
+        Dataset::generate_with_offset(kind, n, seed, 0)
+    }
+
+    /// Generate a train/test pair drawn from the *same* class prototypes
+    /// (so the test set is learnable from the training set) but with
+    /// disjoint sample noise.
+    pub fn generate_split(
+        kind: DatasetKind,
+        n_train: usize,
+        n_test: usize,
+        seed: u64,
+    ) -> (Self, Self) {
+        (
+            Dataset::generate_with_offset(kind, n_train, seed, 0),
+            Dataset::generate_with_offset(kind, n_test, seed, n_train as u64 + 0x1000_0000),
+        )
+    }
+
+    /// [`Dataset::generate`] with an explicit per-sample index offset.
+    pub fn generate_with_offset(kind: DatasetKind, n: usize, seed: u64, index_offset: u64) -> Self {
+        let len = kind.feature_len();
+        let mut proto_rng = StdRng::seed_from_u64(seed ^ 0x0DA7_A5E7);
+        let smooth = |rng: &mut StdRng, len: usize| -> Vec<f32> {
+            // Low-frequency random pattern: random walk re-centred, which
+            // gives spatially-correlated "stroke-like" prototypes.
+            let mut v = Vec::with_capacity(len);
+            let mut acc = 0.0f32;
+            for _ in 0..len {
+                acc = 0.9 * acc + 0.4 * (rng.gen::<f32>() - 0.5);
+                v.push(acc);
+            }
+            let max = v.iter().fold(0.0f32, |m, x| m.max(x.abs())).max(1e-6);
+            v.iter().map(|x| x / max).collect()
+        };
+        let prototypes: Vec<Vec<f32>> =
+            (0..N_CLASSES).map(|_| smooth(&mut proto_rng, len)).collect();
+
+        // Balanced labels, shuffled deterministically.
+        let mut labels: Vec<u8> = (0..n).map(|i| (i % N_CLASSES) as u8).collect();
+        let mut shuffle_rng = StdRng::seed_from_u64(seed ^ 0x5B0F_u64 ^ index_offset);
+        for i in (1..labels.len()).rev() {
+            let j = shuffle_rng.gen_range(0..=i);
+            labels.swap(i, j);
+        }
+        Dataset { kind, seed, index_offset, labels, prototypes }
+    }
+
+    /// Which benchmark shape this emulates.
+    pub fn kind(&self) -> DatasetKind {
+        self.kind
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of classes (always 10).
+    pub fn n_classes(&self) -> usize {
+        N_CLASSES
+    }
+
+    /// Flattened feature length of one sample.
+    pub fn feature_len(&self) -> usize {
+        self.kind.feature_len()
+    }
+
+    /// The label of sample `i`.
+    pub fn label(&self, i: usize) -> usize {
+        self.labels[i] as usize
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[u8] {
+        &self.labels
+    }
+
+    /// Indices of every sample of `class`.
+    pub fn indices_of_class(&self, class: usize) -> Vec<usize> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l as usize == class)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Per-class sample counts.
+    pub fn class_counts(&self) -> [usize; N_CLASSES] {
+        let mut counts = [0usize; N_CLASSES];
+        for &l in &self.labels {
+            counts[l as usize] += 1;
+        }
+        counts
+    }
+
+    /// Materialize the pixels of sample `i` into `out` (must have
+    /// `feature_len()` capacity; it is overwritten).
+    pub fn write_features(&self, i: usize, out: &mut [f32]) {
+        assert_eq!(out.len(), self.feature_len(), "output buffer length mismatch");
+        let class = self.labels[i] as usize;
+        let proto = &self.prototypes[class];
+        // Per-sample deterministic RNG: same (dataset seed, index) always
+        // gives the same pixels.
+        let mut rng = StdRng::seed_from_u64(
+            self.seed ^ (i as u64 + self.index_offset).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        let scale: f32 = 0.8 + 0.4 * rng.gen::<f32>();
+        let sigma = self.kind.noise_sigma();
+        if self.kind.class_confusion() {
+            // Hard, CIFAR-like regime: blend in a random other class's
+            // prototype AND flip the sign of the class signal on a third of
+            // the samples. The flips zero out part of the linear class
+            // evidence (like intra-class appearance modes in real CIFAR),
+            // so models must pool many samples per class — exactly the
+            // regime where skewed local distributions hurt FedAvg.
+            let other = &self.prototypes[rng.gen_range(0..N_CLASSES)];
+            let lambda: f32 = 0.55 + 0.25 * rng.gen::<f32>();
+            let sign: f32 = if rng.gen::<f32>() < 0.33 { -1.0 } else { 1.0 };
+            for ((o, &p), &q) in out.iter_mut().zip(proto).zip(other) {
+                let z = gaussian_f32(&mut rng);
+                *o = (lambda * p * sign + (1.0 - lambda) * q) * scale + sigma * z;
+            }
+        } else {
+            for (o, &p) in out.iter_mut().zip(proto) {
+                let z = gaussian_f32(&mut rng);
+                *o = p * scale + sigma * z;
+            }
+        }
+    }
+
+    /// Materialize sample `i` as a fresh vector.
+    pub fn features(&self, i: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.feature_len()];
+        self.write_features(i, &mut out);
+        out
+    }
+
+    /// Materialize a batch of samples (row-major `[batch, feature_len]`)
+    /// with their labels.
+    pub fn batch(&self, indices: &[usize]) -> (Vec<f32>, Vec<usize>) {
+        let fl = self.feature_len();
+        let mut feats = vec![0.0f32; indices.len() * fl];
+        let mut labels = Vec::with_capacity(indices.len());
+        for (row, &i) in indices.iter().enumerate() {
+            self.write_features(i, &mut feats[row * fl..(row + 1) * fl]);
+            labels.push(self.label(i));
+        }
+        (feats, labels)
+    }
+}
+
+fn gaussian_f32(rng: &mut StdRng) -> f32 {
+    let u1: f64 = rng.gen::<f64>().max(1e-12);
+    let u2: f64 = rng.gen::<f64>();
+    ((-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_match_paper_datasets() {
+        assert_eq!(DatasetKind::MnistLike.dims(), (1, 28, 28));
+        assert_eq!(DatasetKind::CifarLike.dims(), (3, 32, 32));
+        assert_eq!(DatasetKind::MnistLike.feature_len(), 784);
+        assert_eq!(DatasetKind::CifarLike.feature_len(), 3072);
+        assert_eq!(DatasetKind::MnistLike.paper_train_size(), 60_000);
+        assert_eq!(DatasetKind::CifarLike.paper_train_size(), 50_000);
+    }
+
+    #[test]
+    fn labels_are_balanced() {
+        let ds = Dataset::generate(DatasetKind::MnistLike, 1000, 1);
+        let counts = ds.class_counts();
+        assert!(counts.iter().all(|&c| c == 100), "{counts:?}");
+    }
+
+    #[test]
+    fn split_shares_prototypes_but_not_pixels() {
+        let (train, test) = Dataset::generate_split(DatasetKind::MnistLike, 300, 100, 5);
+        // Same class structure: a test sample of class c correlates with a
+        // train sample of class c.
+        let tr = train.indices_of_class(2);
+        let te = test.indices_of_class(2);
+        let a = train.features(tr[0]);
+        let b = test.features(te[0]);
+        let dot: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        assert!(dot > 0.0, "same-class train/test samples should correlate");
+        // But pixels are not identical to any aligned train sample.
+        assert_ne!(train.features(0), test.features(0));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Dataset::generate(DatasetKind::CifarLike, 200, 7);
+        let b = Dataset::generate(DatasetKind::CifarLike, 200, 7);
+        assert_eq!(a.labels(), b.labels());
+        assert_eq!(a.features(13), b.features(13));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Dataset::generate(DatasetKind::MnistLike, 100, 1);
+        let b = Dataset::generate(DatasetKind::MnistLike, 100, 2);
+        assert_ne!(a.features(0), b.features(0));
+    }
+
+    #[test]
+    fn same_class_samples_are_correlated_different_class_less_so() {
+        let ds = Dataset::generate(DatasetKind::MnistLike, 2000, 3);
+        let cos = |a: &[f32], b: &[f32]| {
+            let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+            let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+            let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+            dot / (na * nb)
+        };
+        let c0 = ds.indices_of_class(0);
+        let c1 = ds.indices_of_class(1);
+        let same = cos(&ds.features(c0[0]), &ds.features(c0[1]));
+        let diff = cos(&ds.features(c0[0]), &ds.features(c1[0]));
+        assert!(
+            same > diff + 0.1,
+            "same-class cosine {same} should exceed cross-class {diff}"
+        );
+    }
+
+    #[test]
+    fn cifar_is_noisier_than_mnist() {
+        // Average same-class cosine similarity should be lower for the
+        // CIFAR-like construction (overlapping mixtures + more noise).
+        let sim = |kind: DatasetKind| {
+            let ds = Dataset::generate(kind, 500, 11);
+            let idx = ds.indices_of_class(4);
+            let a = ds.features(idx[0]);
+            let b = ds.features(idx[1]);
+            let dot: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+            let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+            let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+            dot / (na * nb)
+        };
+        assert!(sim(DatasetKind::MnistLike) > sim(DatasetKind::CifarLike));
+    }
+
+    #[test]
+    fn batch_materializes_rows_in_order() {
+        let ds = Dataset::generate(DatasetKind::MnistLike, 50, 5);
+        let (feats, labels) = ds.batch(&[3, 17, 42]);
+        assert_eq!(feats.len(), 3 * 784);
+        assert_eq!(labels, vec![ds.label(3), ds.label(17), ds.label(42)]);
+        assert_eq!(&feats[784..2 * 784], ds.features(17).as_slice());
+    }
+
+    #[test]
+    fn indices_of_class_are_consistent() {
+        let ds = Dataset::generate(DatasetKind::MnistLike, 300, 9);
+        for class in 0..10 {
+            for &i in &ds.indices_of_class(class) {
+                assert_eq!(ds.label(i), class);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrong_buffer_length_panics() {
+        let ds = Dataset::generate(DatasetKind::MnistLike, 10, 1);
+        let mut buf = vec![0.0f32; 10];
+        ds.write_features(0, &mut buf);
+    }
+}

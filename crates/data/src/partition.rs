@@ -1,0 +1,400 @@
+//! Partitioners: how the global dataset is divided among federated users.
+
+use std::collections::BTreeSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::{Dataset, N_CLASSES};
+
+/// A partition of dataset indices among users. Samples are assigned to at
+/// most one user; some partitioners (e.g. the `Missing` outlier mode)
+/// deliberately leave samples unassigned.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Partition {
+    /// `users[j]` holds the dataset indices of user `j`'s local data.
+    pub users: Vec<Vec<usize>>,
+}
+
+impl Partition {
+    /// Per-user local dataset sizes.
+    pub fn sizes(&self) -> Vec<usize> {
+        self.users.iter().map(|u| u.len()).collect()
+    }
+
+    /// Total assigned samples.
+    pub fn total(&self) -> usize {
+        self.users.iter().map(|u| u.len()).sum()
+    }
+
+    /// The class set of each user under `ds`.
+    pub fn class_sets(&self, ds: &Dataset) -> Vec<BTreeSet<usize>> {
+        self.users
+            .iter()
+            .map(|idx| idx.iter().map(|&i| ds.label(i)).collect())
+            .collect()
+    }
+
+    /// Asserts that no sample is assigned twice. (Debug helper; all built-in
+    /// partitioners uphold this by construction.)
+    pub fn assert_disjoint(&self) {
+        let mut seen = BTreeSet::new();
+        for u in &self.users {
+            for &i in u {
+                assert!(seen.insert(i), "sample {i} assigned to two users");
+            }
+        }
+    }
+}
+
+/// Sample-standard-deviation / mean of the user sizes — the paper's
+/// *imbalance ratio* (x-axis of Fig. 2). Returns 0 for < 2 users.
+pub fn imbalance_ratio_of(partition: &Partition) -> f64 {
+    let sizes = partition.sizes();
+    let n = sizes.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mean = sizes.iter().sum::<usize>() as f64 / n as f64;
+    if mean == 0.0 {
+        return 0.0;
+    }
+    let var = sizes
+        .iter()
+        .map(|&s| (s as f64 - mean) * (s as f64 - mean))
+        .sum::<f64>()
+        / (n - 1) as f64;
+    var.sqrt() / mean
+}
+
+fn shuffled_class_indices(ds: &Dataset, rng: &mut StdRng) -> Vec<Vec<usize>> {
+    (0..N_CLASSES)
+        .map(|c| {
+            let mut idx = ds.indices_of_class(c);
+            for i in (1..idx.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                idx.swap(i, j);
+            }
+            idx
+        })
+        .collect()
+}
+
+/// Distribute `total` units over `weights` with exact sum (largest
+/// remainders).
+fn apportion(weights: &[f64], total: usize) -> Vec<usize> {
+    let sum: f64 = weights.iter().sum::<f64>().max(1e-12);
+    let exact: Vec<f64> = weights.iter().map(|w| w.max(0.0) / sum * total as f64).collect();
+    let mut out: Vec<usize> = exact.iter().map(|e| e.floor() as usize).collect();
+    let assigned: usize = out.iter().sum();
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by(|&a, &b| {
+        let fa = exact[a] - exact[a].floor();
+        let fb = exact[b] - exact[b].floor();
+        fb.partial_cmp(&fa).expect("finite")
+    });
+    for &j in order.iter().take(total - assigned) {
+        out[j] += 1;
+    }
+    out
+}
+
+/// IID equal split: class-stratified, near-identical user sizes (FedAvg's
+/// standard partition).
+pub fn iid_equal(ds: &Dataset, n_users: usize, seed: u64) -> Partition {
+    iid_imbalanced(ds, n_users, 0.0, seed)
+}
+
+/// IID split with Gaussian size imbalance (paper Section III-B): user sizes
+/// are sampled from `N(mean, (ratio * mean)^2)`, clipped positive and
+/// re-normalized; every user keeps a uniform class mix.
+pub fn iid_imbalanced(ds: &Dataset, n_users: usize, ratio: f64, seed: u64) -> Partition {
+    assert!(n_users > 0, "need at least one user");
+    assert!(ratio >= 0.0, "imbalance ratio must be non-negative");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Draw relative size weights.
+    let weights: Vec<f64> = (0..n_users)
+        .map(|_| {
+            if ratio == 0.0 {
+                1.0
+            } else {
+                let z = gaussian(&mut rng);
+                (1.0 + ratio * z).max(0.05)
+            }
+        })
+        .collect();
+
+    let by_class = shuffled_class_indices(ds, &mut rng);
+    let mut users = vec![Vec::new(); n_users];
+    // Keep each user's class mix uniform: apportion every class's samples by
+    // the same weights.
+    for class_idx in by_class {
+        let shares = apportion(&weights, class_idx.len());
+        let mut cursor = 0;
+        for (j, &take) in shares.iter().enumerate() {
+            users[j].extend_from_slice(&class_idx[cursor..cursor + take]);
+            cursor += take;
+        }
+    }
+    Partition { users }
+}
+
+/// `n`-class non-IID split (paper Fig. 3a): every user holds exactly
+/// `classes_per_user` classes; each class's samples are split randomly among
+/// its owners (coefficient of variation ~`size_jitter`). Class ownership is
+/// dealt round-robin from a shuffled class list so all 10 classes stay
+/// covered whenever `n_users * classes_per_user >= 10`.
+pub fn n_class_noniid(
+    ds: &Dataset,
+    n_users: usize,
+    classes_per_user: usize,
+    size_jitter: f64,
+    seed: u64,
+) -> Partition {
+    assert!(n_users > 0 && classes_per_user > 0);
+    assert!(classes_per_user <= N_CLASSES);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Deal classes: repeated shuffled decks keep coverage balanced.
+    let mut class_sets: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n_users];
+    let mut deck: Vec<usize> = Vec::new();
+    let mut assignments_needed = n_users * classes_per_user;
+    let mut user = 0usize;
+    while assignments_needed > 0 {
+        if deck.is_empty() {
+            deck = (0..N_CLASSES).collect();
+            for i in (1..deck.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                deck.swap(i, j);
+            }
+        }
+        let class = deck.pop().expect("deck refilled above");
+        if class_sets[user].insert(class) {
+            assignments_needed -= 1;
+            user = (user + 1) % n_users;
+        }
+        // If the user already had this class, try the next card for the
+        // same user (deck will eventually provide a missing one).
+    }
+    partition_by_classes(ds, &class_sets, size_jitter, seed ^ 0xA5A5)
+}
+
+/// Partition where user `j` draws only from `class_sets[j]`; each class's
+/// samples are split among its owners with random weights of coefficient of
+/// variation ~`size_jitter` (0 = equal split). Classes owned by nobody are
+/// left unassigned.
+pub fn partition_by_classes(
+    ds: &Dataset,
+    class_sets: &[BTreeSet<usize>],
+    size_jitter: f64,
+    seed: u64,
+) -> Partition {
+    let n_users = class_sets.len();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let by_class = shuffled_class_indices(ds, &mut rng);
+    let mut users = vec![Vec::new(); n_users];
+    for (class, class_idx) in by_class.into_iter().enumerate() {
+        let owners: Vec<usize> = (0..n_users).filter(|&j| class_sets[j].contains(&class)).collect();
+        if owners.is_empty() {
+            continue;
+        }
+        let weights: Vec<f64> = owners
+            .iter()
+            .map(|_| (1.0 + size_jitter * gaussian(&mut rng)).max(0.05))
+            .collect();
+        let shares = apportion(&weights, class_idx.len());
+        let mut cursor = 0;
+        for (&owner, &take) in owners.iter().zip(&shares) {
+            users[owner].extend_from_slice(&class_idx[cursor..cursor + take]);
+            cursor += take;
+        }
+    }
+    Partition { users }
+}
+
+/// The three treatments of a one-class outlier (paper Fig. 3b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OutlierMode {
+    /// Drop the outlier: 3 users, 9 classes, the 10th class untrained.
+    Missing,
+    /// Keep the outlier as its own 4th user.
+    Separate,
+    /// Merge the outlier class into the 3rd user.
+    Merge,
+}
+
+impl OutlierMode {
+    /// All three modes in the paper's presentation order.
+    pub fn all() -> [OutlierMode; 3] {
+        [OutlierMode::Missing, OutlierMode::Separate, OutlierMode::Merge]
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OutlierMode::Missing => "Missing",
+            OutlierMode::Separate => "Separate",
+            OutlierMode::Merge => "Merge",
+        }
+    }
+}
+
+/// Construct the paper's outlier scenario: 3 users each holding 3 random
+/// classes (disjoint), leaving one class for the outlier treatment.
+pub fn outlier_scenario(ds: &Dataset, mode: OutlierMode, seed: u64) -> Partition {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut classes: Vec<usize> = (0..N_CLASSES).collect();
+    for i in (1..classes.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        classes.swap(i, j);
+    }
+    let leftover = classes[9];
+    let mut sets: Vec<BTreeSet<usize>> = (0..3)
+        .map(|u| classes[u * 3..(u + 1) * 3].iter().copied().collect())
+        .collect();
+    match mode {
+        OutlierMode::Missing => {}
+        OutlierMode::Separate => sets.push(std::iter::once(leftover).collect()),
+        OutlierMode::Merge => {
+            sets[2].insert(leftover);
+        }
+    }
+    partition_by_classes(ds, &sets, 0.0, seed ^ 0x07)
+}
+
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(1e-12);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetKind;
+
+    fn ds() -> Dataset {
+        Dataset::generate(DatasetKind::MnistLike, 2000, 42)
+    }
+
+    #[test]
+    fn iid_equal_is_balanced_and_complete() {
+        let d = ds();
+        let p = iid_equal(&d, 8, 1);
+        p.assert_disjoint();
+        assert_eq!(p.total(), 2000);
+        let sizes = p.sizes();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        assert!(max - min <= 10, "{sizes:?}");
+        // Every user holds all 10 classes.
+        for set in p.class_sets(&d) {
+            assert_eq!(set.len(), 10);
+        }
+    }
+
+    #[test]
+    fn iid_imbalanced_hits_requested_ratio_roughly() {
+        let d = Dataset::generate(DatasetKind::MnistLike, 10_000, 3);
+        let p = iid_imbalanced(&d, 20, 0.5, 9);
+        p.assert_disjoint();
+        assert_eq!(p.total(), 10_000);
+        let r = imbalance_ratio_of(&p);
+        assert!(r > 0.25 && r < 0.85, "ratio {r}");
+        // Class mix stays uniform per user.
+        for set in p.class_sets(&d) {
+            assert_eq!(set.len(), 10);
+        }
+    }
+
+    #[test]
+    fn imbalance_ratio_zero_for_equal_sizes() {
+        let p = Partition { users: vec![vec![0, 1], vec![2, 3]] };
+        assert_eq!(imbalance_ratio_of(&p), 0.0);
+    }
+
+    #[test]
+    fn n_class_noniid_gives_exact_class_counts() {
+        let d = ds();
+        for n in [2usize, 4, 8] {
+            let p = n_class_noniid(&d, 5, n, 0.2, 7);
+            p.assert_disjoint();
+            for set in p.class_sets(&d) {
+                assert_eq!(set.len(), n, "classes_per_user={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn n_class_noniid_covers_all_classes_when_possible() {
+        let d = ds();
+        let p = n_class_noniid(&d, 5, 2, 0.0, 11);
+        let covered: BTreeSet<usize> = p.class_sets(&d).into_iter().flatten().collect();
+        assert_eq!(covered.len(), 10);
+        assert_eq!(p.total(), 2000);
+    }
+
+    #[test]
+    fn partition_by_classes_respects_ownership() {
+        let d = ds();
+        let sets: Vec<BTreeSet<usize>> = vec![
+            [0, 1].into_iter().collect(),
+            [2, 3, 4].into_iter().collect(),
+        ];
+        let p = partition_by_classes(&d, &sets, 0.0, 5);
+        p.assert_disjoint();
+        let got = p.class_sets(&d);
+        assert_eq!(got, sets);
+        // Classes 5..10 unassigned.
+        assert_eq!(p.total(), 2000 / 2);
+    }
+
+    #[test]
+    fn shared_class_is_split_between_owners() {
+        let d = ds();
+        let sets: Vec<BTreeSet<usize>> = vec![
+            std::iter::once(0).collect(),
+            std::iter::once(0).collect(),
+        ];
+        let p = partition_by_classes(&d, &sets, 0.0, 5);
+        let sizes = p.sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 200);
+        assert!(sizes[0] > 0 && sizes[1] > 0);
+    }
+
+    #[test]
+    fn outlier_modes_shape_the_cohort() {
+        let d = ds();
+        let missing = outlier_scenario(&d, OutlierMode::Missing, 9);
+        let separate = outlier_scenario(&d, OutlierMode::Separate, 9);
+        let merge = outlier_scenario(&d, OutlierMode::Merge, 9);
+
+        assert_eq!(missing.users.len(), 3);
+        assert_eq!(separate.users.len(), 4);
+        assert_eq!(merge.users.len(), 3);
+
+        // Missing trains on 9 classes; the others on all 10.
+        let classes = |p: &Partition| -> usize {
+            p.class_sets(&d).into_iter().flatten().collect::<BTreeSet<_>>().len()
+        };
+        assert_eq!(classes(&missing), 9);
+        assert_eq!(classes(&separate), 10);
+        assert_eq!(classes(&merge), 10);
+
+        // Merge's third user holds 4 classes.
+        assert_eq!(merge.class_sets(&d)[2].len(), 4);
+        // Separate's outlier holds exactly 1.
+        assert_eq!(separate.class_sets(&d)[3].len(), 1);
+    }
+
+    #[test]
+    fn partitions_are_deterministic() {
+        let d = ds();
+        assert_eq!(iid_imbalanced(&d, 6, 0.4, 2), iid_imbalanced(&d, 6, 0.4, 2));
+        assert_eq!(
+            n_class_noniid(&d, 4, 3, 0.3, 8),
+            n_class_noniid(&d, 4, 3, 0.3, 8)
+        );
+    }
+}

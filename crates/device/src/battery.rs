@@ -1,0 +1,119 @@
+//! Battery energy accounting.
+//!
+//! The paper's devices are battery powered; while the evaluation fully
+//! charges them, the scheduler's capacity constraint `C_j` (P2, Eq. (9)) "can
+//! be quantified by the storage or battery energy". [`Battery`] integrates
+//! dissipated power so the FL runtime can expose remaining energy as a
+//! capacity and drop users whose budget is exhausted.
+
+use serde::{Deserialize, Serialize};
+
+/// A simple coulomb-counting battery model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Battery {
+    capacity_j: f64,
+    remaining_j: f64,
+    drained_j: f64,
+}
+
+impl Battery {
+    /// Create a fully charged battery.
+    ///
+    /// `capacity_mah` and `voltage` are the nameplate values; energy is
+    /// `mAh * 3.6 * V` joules.
+    ///
+    /// # Panics
+    /// Panics on non-positive capacity or voltage.
+    pub fn new(capacity_mah: f64, voltage: f64) -> Self {
+        assert!(capacity_mah > 0.0 && voltage > 0.0, "battery spec must be positive");
+        let capacity_j = capacity_mah * 3.6 * voltage;
+        Battery { capacity_j, remaining_j: capacity_j, drained_j: 0.0 }
+    }
+
+    /// Nameplate energy in joules.
+    pub fn capacity_j(&self) -> f64 {
+        self.capacity_j
+    }
+
+    /// Remaining energy in joules (never negative).
+    pub fn remaining_j(&self) -> f64 {
+        self.remaining_j
+    }
+
+    /// Total energy drained since the last full charge, in joules.
+    pub fn drained_j(&self) -> f64 {
+        self.drained_j
+    }
+
+    /// State of charge in `[0, 1]`.
+    pub fn soc(&self) -> f64 {
+        self.remaining_j / self.capacity_j
+    }
+
+    /// True once the battery is fully drained.
+    pub fn empty(&self) -> bool {
+        self.remaining_j <= 0.0
+    }
+
+    /// Drain `p_watts` for `dt` seconds. Returns the energy actually drawn
+    /// (less than `p_watts * dt` if the battery runs out mid-step).
+    pub fn drain(&mut self, dt: f64, p_watts: f64) -> f64 {
+        debug_assert!(dt >= 0.0 && p_watts >= 0.0);
+        let draw = (p_watts * dt).min(self.remaining_j);
+        self.remaining_j -= draw;
+        self.drained_j += draw;
+        draw
+    }
+
+    /// Recharge to full.
+    pub fn recharge(&mut self) {
+        self.remaining_j = self.capacity_j;
+        self.drained_j = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nameplate_energy_conversion() {
+        let b = Battery::new(3000.0, 3.85);
+        assert!((b.capacity_j() - 41_580.0).abs() < 1e-9);
+        assert_eq!(b.soc(), 1.0);
+    }
+
+    #[test]
+    fn drain_decrements_and_tracks_total() {
+        let mut b = Battery::new(1000.0, 1.0); // 3600 J
+        let drawn = b.drain(60.0, 10.0); // 600 J
+        assert_eq!(drawn, 600.0);
+        assert_eq!(b.remaining_j(), 3000.0);
+        assert_eq!(b.drained_j(), 600.0);
+        assert!((b.soc() - 3000.0 / 3600.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drain_clamps_at_empty() {
+        let mut b = Battery::new(1.0, 1.0); // 3.6 J
+        let drawn = b.drain(10.0, 1.0); // wants 10 J
+        assert_eq!(drawn, 3.6);
+        assert!(b.empty());
+        assert_eq!(b.drain(1.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn recharge_restores_full() {
+        let mut b = Battery::new(10.0, 1.0);
+        b.drain(5.0, 2.0);
+        b.recharge();
+        assert_eq!(b.soc(), 1.0);
+        assert_eq!(b.drained_j(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn invalid_spec_rejected() {
+        let _ = Battery::new(0.0, 3.8);
+    }
+}

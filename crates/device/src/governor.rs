@@ -1,0 +1,180 @@
+//! An `interactive`-style CPU frequency governor.
+//!
+//! Android 8's default `interactive` governor samples load on a timer and
+//! ramps the clock towards a target speed, with a slew limit on how fast the
+//! frequency may change. Under the sustained 100% load of backpropagation the
+//! governor sits at the maximum *permitted* frequency — which is whatever the
+//! thermal trip table allows — so the interesting dynamics come from the
+//! interaction with [`crate::thermal::ThermalModel`], exactly as the paper's
+//! Fig. 1(c) shows.
+
+use serde::{Deserialize, Serialize};
+
+/// Governor tuning parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GovernorParams {
+    /// Load threshold above which the governor jumps to `hispeed_fraction`
+    /// immediately (the `go_hispeed_load` tunable, typically 0.99).
+    pub go_hispeed_load: f64,
+    /// Fraction of max frequency targeted on the hispeed jump.
+    pub hispeed_fraction: f64,
+    /// Maximum frequency change per second, as a fraction of max frequency
+    /// (models the ramp visible at the start of Fig. 1(c)).
+    pub slew_per_sec: f64,
+    /// Sampling period of the governor timer (seconds).
+    pub timer_period_s: f64,
+}
+
+impl Default for GovernorParams {
+    fn default() -> Self {
+        GovernorParams {
+            go_hispeed_load: 0.9,
+            hispeed_fraction: 0.8,
+            slew_per_sec: 2.0,
+            timer_period_s: 0.02,
+        }
+    }
+}
+
+/// Per-cluster governor state: the current frequency as a fraction of the
+/// cluster maximum.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InteractiveGovernor {
+    params: GovernorParams,
+    /// Current frequency fraction in `[min_fraction, 1]`.
+    freq_fraction: f64,
+    /// Idle floor as fraction of max frequency.
+    min_fraction: f64,
+    /// Time since the governor timer last fired.
+    since_tick: f64,
+}
+
+impl InteractiveGovernor {
+    /// Create a governor idling at `min_fraction` of the maximum frequency.
+    ///
+    /// # Panics
+    /// Panics unless `0 < min_fraction <= 1`.
+    pub fn new(params: GovernorParams, min_fraction: f64) -> Self {
+        assert!(
+            min_fraction > 0.0 && min_fraction <= 1.0,
+            "min_fraction must be in (0, 1]"
+        );
+        InteractiveGovernor {
+            params,
+            freq_fraction: min_fraction,
+            min_fraction,
+            since_tick: 0.0,
+        }
+    }
+
+    /// Current frequency as a fraction of the cluster maximum.
+    pub fn freq_fraction(&self) -> f64 {
+        self.freq_fraction
+    }
+
+    /// Advance by `dt` seconds under observed `load` in `[0,1]`, with
+    /// `thermal_cap` limiting the admissible fraction. Returns the new
+    /// frequency fraction.
+    pub fn step(&mut self, dt: f64, load: f64, thermal_cap: f64) -> f64 {
+        debug_assert!(dt > 0.0);
+        let load = load.clamp(0.0, 1.0);
+        let cap = thermal_cap.clamp(self.min_fraction, 1.0);
+
+        self.since_tick += dt;
+        // Evaluate the target only when the timer fires; between ticks the
+        // frequency keeps slewing toward the last target.
+        if self.since_tick >= self.params.timer_period_s {
+            self.since_tick = 0.0;
+        }
+        let target = if load >= self.params.go_hispeed_load {
+            1.0
+        } else {
+            // Proportional: target the frequency that would put the load at
+            // ~90% utilization of the chosen speed.
+            (load / 0.9).clamp(self.min_fraction, 1.0)
+        };
+        let target = target.min(cap);
+
+        let max_delta = self.params.slew_per_sec * dt;
+        let delta = (target - self.freq_fraction).clamp(-max_delta, max_delta);
+        self.freq_fraction = (self.freq_fraction + delta).clamp(self.min_fraction, cap);
+        self.freq_fraction
+    }
+
+    /// Reset to the idle floor.
+    pub fn reset(&mut self) {
+        self.freq_fraction = self.min_fraction;
+        self.since_tick = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ramps_to_max_under_full_load() {
+        let mut g = InteractiveGovernor::new(GovernorParams::default(), 0.3);
+        for _ in 0..200 {
+            g.step(0.01, 1.0, 1.0);
+        }
+        assert!((g.freq_fraction() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ramp_respects_slew_limit() {
+        let params = GovernorParams { slew_per_sec: 0.5, ..Default::default() };
+        let mut g = InteractiveGovernor::new(params, 0.3);
+        let before = g.freq_fraction();
+        g.step(0.1, 1.0, 1.0);
+        assert!((g.freq_fraction() - before) <= 0.05 + 1e-12);
+    }
+
+    #[test]
+    fn thermal_cap_binds() {
+        let mut g = InteractiveGovernor::new(GovernorParams::default(), 0.3);
+        for _ in 0..500 {
+            g.step(0.01, 1.0, 0.6);
+        }
+        assert!((g.freq_fraction() - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cap_reduction_pulls_frequency_down() {
+        let mut g = InteractiveGovernor::new(GovernorParams::default(), 0.3);
+        for _ in 0..500 {
+            g.step(0.01, 1.0, 1.0);
+        }
+        for _ in 0..500 {
+            g.step(0.01, 1.0, 0.5);
+        }
+        assert!((g.freq_fraction() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn light_load_settles_proportionally() {
+        let mut g = InteractiveGovernor::new(GovernorParams::default(), 0.2);
+        for _ in 0..1000 {
+            g.step(0.01, 0.45, 1.0);
+        }
+        assert!((g.freq_fraction() - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn idle_returns_to_floor() {
+        let mut g = InteractiveGovernor::new(GovernorParams::default(), 0.3);
+        for _ in 0..500 {
+            g.step(0.01, 1.0, 1.0);
+        }
+        for _ in 0..1000 {
+            g.step(0.01, 0.0, 1.0);
+        }
+        assert!((g.freq_fraction() - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "min_fraction")]
+    fn invalid_floor_rejected() {
+        let _ = InteractiveGovernor::new(GovernorParams::default(), 0.0);
+    }
+}

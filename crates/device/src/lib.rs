@@ -1,0 +1,48 @@
+//! A discrete-time simulator of battery-powered mobile devices running
+//! on-device training (the paper's testbed, Table I).
+//!
+//! The paper's empirical study (Section III) shows that training time on
+//! phones is governed by a feedback loop between workload, the DVFS governor
+//! and the thermal envelope: sustained backpropagation heats the SoC, the
+//! governor reacts by capping or migrating off the big cores, and throughput
+//! drops — super-linearly in the amount of data (Nexus 6P: 69 s for 3K MNIST
+//! samples but 220 s for 6K). This crate reproduces that behaviour with:
+//!
+//! * [`workload::TrainingWorkload`] — conv/dense FLOP cost of one sample;
+//! * [`governor::InteractiveGovernor`] — an `interactive`-style frequency
+//!   ramp with slew limits and thermal caps;
+//! * [`thermal::ThermalModel`] — a lumped-RC die temperature model with
+//!   trip-point throttling and Snapdragon-810-style big-cluster shutdown;
+//! * [`battery::Battery`] — energy accounting (the devices are
+//!   battery-powered; the scheduler can treat remaining energy as capacity);
+//! * [`soc::Device`] — the integrator tying them together, producing
+//!   per-batch time traces (Fig. 1) and per-epoch times (Table II);
+//! * [`presets`] — parameter sets for Nexus 6, Nexus 6P, Mate 10 and
+//!   Pixel 2, calibrated against the paper's Table II;
+//! * [`testbed::Testbed`] — the paper's three device combinations, plus
+//!   offline profiling into [`fedsched_profiler`] cost profiles.
+//!
+//! Determinism: every stochastic element (measurement jitter, interactive
+//! bursts) comes from a seeded RNG owned by the [`soc::Device`]; identical
+//! seeds give bit-identical traces.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod battery;
+pub mod governor;
+pub mod presets;
+pub mod soc;
+pub mod testbed;
+pub mod thermal;
+pub mod trace;
+pub mod workload;
+
+pub use battery::Battery;
+pub use governor::InteractiveGovernor;
+pub use presets::{DeviceModel, DeviceSpec};
+pub use soc::{Device, Telemetry};
+pub use testbed::Testbed;
+pub use thermal::{ThermalModel, ThrottlePolicy, TripPoint};
+pub use trace::{BatchTrace, FreqTempSample};
+pub use workload::TrainingWorkload;

@@ -1,0 +1,484 @@
+//! The device integrator: governor + thermal + battery + work execution.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::governor::InteractiveGovernor;
+use crate::presets::{DeviceModel, DeviceSpec};
+use crate::thermal::ThermalModel;
+use crate::trace::{BatchTrace, FreqTempSample};
+use crate::workload::TrainingWorkload;
+use crate::Battery;
+
+/// Simulation time step in seconds. 10 ms resolves governor and thermal
+/// dynamics (time constants are tens of seconds) while keeping a full VGG6
+/// epoch simulation under a millisecond of host time.
+const DT: f64 = 0.01;
+
+/// A point-in-time snapshot of the device state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Telemetry {
+    /// Simulated seconds since construction.
+    pub time_s: f64,
+    /// Die temperature (°C).
+    pub temp_c: f64,
+    /// Average online-cluster frequency (GHz), the quantity in Fig. 1(c).
+    pub avg_freq_ghz: f64,
+    /// Whether the big cluster is online.
+    pub big_online: bool,
+    /// Battery state of charge in `[0, 1]`.
+    pub battery_soc: f64,
+    /// Energy drained so far (J).
+    pub energy_j: f64,
+}
+
+/// A simulated battery-powered mobile device executing training workloads.
+///
+/// All randomness (per-batch jitter, interactive bursts) is drawn from an
+/// owned seeded RNG: two devices constructed with the same spec and seed
+/// produce bit-identical traces.
+#[derive(Debug, Clone)]
+pub struct Device {
+    spec: DeviceSpec,
+    thermal: ThermalModel,
+    governors: Vec<InteractiveGovernor>,
+    battery: Battery,
+    rng: StdRng,
+    time_s: f64,
+    burst_until_s: f64,
+}
+
+impl Device {
+    /// Build a device from a spec with a deterministic RNG seed.
+    pub fn new(spec: DeviceSpec, seed: u64) -> Self {
+        let thermal = ThermalModel::new(
+            spec.ambient_c,
+            spec.heat_capacity,
+            spec.thermal_resistance,
+            spec.policy.clone(),
+        );
+        let governors = spec
+            .clusters
+            .iter()
+            .map(|c| InteractiveGovernor::new(spec.governor, c.min_fraction))
+            .collect();
+        let battery = Battery::new(spec.battery_mah, spec.battery_v);
+        Device {
+            spec,
+            thermal,
+            governors,
+            battery,
+            rng: StdRng::seed_from_u64(seed),
+            time_s: 0.0,
+            burst_until_s: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Build one of the calibrated preset phones.
+    pub fn from_model(model: DeviceModel, seed: u64) -> Self {
+        Device::new(model.spec(), seed)
+    }
+
+    /// The device's specification.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// The phone model.
+    pub fn model(&self) -> DeviceModel {
+        self.spec.model
+    }
+
+    /// Current telemetry snapshot.
+    pub fn telemetry(&self) -> Telemetry {
+        let mut freq_sum = 0.0;
+        let mut online = 0usize;
+        for (cluster, gov) in self.spec.clusters.iter().zip(&self.governors) {
+            if cluster.is_big && !self.thermal.big_online() {
+                continue;
+            }
+            freq_sum += cluster.max_freq_ghz * gov.freq_fraction();
+            online += 1;
+        }
+        Telemetry {
+            time_s: self.time_s,
+            temp_c: self.thermal.temperature(),
+            avg_freq_ghz: if online == 0 { 0.0 } else { freq_sum / online as f64 },
+            big_online: self.thermal.big_online(),
+            battery_soc: self.battery.soc(),
+            energy_j: self.battery.drained_j(),
+        }
+    }
+
+    /// Battery accessor.
+    pub fn battery(&self) -> &Battery {
+        &self.battery
+    }
+
+    /// Reset thermal, governor and burst state to cold (battery unchanged);
+    /// models a device that idled long enough to cool down.
+    pub fn cool_down(&mut self) {
+        self.thermal.reset();
+        for g in &mut self.governors {
+            g.reset();
+        }
+        self.burst_until_s = f64::NEG_INFINITY;
+    }
+
+    /// Recharge the battery to full.
+    pub fn recharge(&mut self) {
+        self.battery.recharge();
+    }
+
+    /// Effective `(conv, dense)` throughput in FLOP/s at the *current*
+    /// governor/thermal/burst state, without advancing time.
+    fn current_throughput(&self) -> (f64, f64) {
+        let big_online = self.thermal.big_online();
+        let mut conv = 0.0;
+        let mut dense = 0.0;
+        for (cluster, gov) in self.spec.clusters.iter().zip(&self.governors) {
+            if cluster.is_big && !big_online {
+                continue;
+            }
+            let f = gov.freq_fraction();
+            conv += cluster.conv_gflops * f;
+            dense += cluster.dense_gflops * f;
+        }
+        if self.time_s < self.burst_until_s {
+            conv *= self.spec.burst_slow_factor;
+            dense *= self.spec.burst_slow_factor;
+        }
+        (conv * 1e9, dense * 1e9)
+    }
+
+    /// Advance governor, thermal, battery and the clock by `dt` seconds.
+    /// `working` selects full load vs idle.
+    fn advance(&mut self, dt: f64, working: bool) {
+        let cap = self.thermal.freq_cap();
+        let load = if working { 1.0 } else { 0.0 };
+        let big_online = self.thermal.big_online();
+
+        let mut power = 0.0;
+        for (cluster, gov) in self.spec.clusters.iter().zip(self.governors.iter_mut()) {
+            if cluster.is_big && !big_online {
+                // Offline cluster: no compute, no leakage, frequency decays.
+                gov.step(dt, 0.0, cap);
+                continue;
+            }
+            let f = gov.step(dt, load, cap);
+            power += cluster.leak_w + cluster.power_max_w * f * f * f * load;
+        }
+
+        // Interactive bursts: a foreground task steals CPU for a while.
+        if working
+            && self.spec.burst_rate_hz > 0.0
+            && self.time_s >= self.burst_until_s
+            && self.rng.gen::<f64>() < self.spec.burst_rate_hz * dt
+        {
+            self.burst_until_s = self.time_s + self.spec.burst_duration_s;
+        }
+
+        self.thermal.step(dt, power);
+        self.battery.drain(dt, power);
+        self.time_s += dt;
+    }
+
+    /// Standard-normal sample via Box–Muller (rand_distr is outside the
+    /// allowed dependency set).
+    fn gaussian(&mut self) -> f64 {
+        let u1: f64 = self.rng.gen::<f64>().max(1e-12);
+        let u2: f64 = self.rng.gen::<f64>();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Train one mini-batch; returns the simulated seconds it took.
+    pub fn train_batch(&mut self, wl: &TrainingWorkload) -> f64 {
+        // Per-batch measurement jitter (cache state, background daemons).
+        let jitter = if self.spec.jitter_sigma > 0.0 {
+            (self.spec.jitter_sigma * self.gaussian()).exp()
+        } else {
+            1.0
+        };
+        let start = self.time_s;
+        let mut conv_left = wl.conv_flops_per_sample * wl.batch_size as f64 * jitter;
+        let mut dense_left = wl.dense_flops_per_sample * wl.batch_size as f64 * jitter;
+        // Conv and dense phases execute serially (backprop alternates layer
+        // types but never overlaps them on the same cores), so the time to
+        // finish at the current state is the *sum* of the two phases. The
+        // final step is fractional, making batch times exact rather than
+        // quantized to DT.
+        while conv_left > 0.0 || dense_left > 0.0 {
+            let (conv_tp, dense_tp) = self.current_throughput();
+            debug_assert!(conv_tp > 0.0 && dense_tp > 0.0);
+            let need = conv_left / conv_tp + dense_left / dense_tp;
+            let dt = need.min(DT);
+            let conv_capacity = conv_tp * dt;
+            if conv_left >= conv_capacity {
+                conv_left -= conv_capacity;
+            } else {
+                let leftover = dt - conv_left / conv_tp;
+                conv_left = 0.0;
+                dense_left = (dense_left - dense_tp * leftover).max(0.0);
+            }
+            // Work strictly below DT resolution finishes this step.
+            if need <= DT {
+                conv_left = 0.0;
+                dense_left = 0.0;
+            }
+            self.advance(dt, true);
+        }
+        self.time_s - start
+    }
+
+    /// Train `samples` samples (ceil-divided into batches); returns total
+    /// simulated seconds.
+    pub fn train_samples(&mut self, wl: &TrainingWorkload, samples: usize) -> f64 {
+        let mut total = 0.0;
+        let mut left = samples;
+        while left > 0 {
+            let b = left.min(wl.batch_size);
+            let batch_wl = TrainingWorkload { batch_size: b, ..*wl };
+            total += self.train_batch(&batch_wl);
+            left -= b;
+        }
+        total
+    }
+
+    /// Train one epoch over `samples` samples while recording per-batch
+    /// times and periodic frequency/temperature telemetry (Fig. 1).
+    pub fn train_epoch_trace(
+        &mut self,
+        wl: &TrainingWorkload,
+        samples: usize,
+        telemetry_every_s: f64,
+    ) -> BatchTrace {
+        let mut trace = BatchTrace::default();
+        let mut next_sample_t = self.time_s;
+        let mut left = samples;
+        while left > 0 {
+            let b = left.min(wl.batch_size);
+            let batch_wl = TrainingWorkload { batch_size: b, ..*wl };
+            let t = self.train_batch(&batch_wl);
+            trace.batch_seconds.push(t);
+            left -= b;
+            while next_sample_t <= self.time_s {
+                let tel = self.telemetry();
+                trace.telemetry.push(FreqTempSample {
+                    t_s: next_sample_t,
+                    freq_ghz: tel.avg_freq_ghz,
+                    temp_c: tel.temp_c,
+                    big_online: tel.big_online,
+                });
+                next_sample_t += telemetry_every_s;
+            }
+        }
+        trace
+    }
+
+    /// Measure an epoch starting from a cold device (profiling protocol:
+    /// the paper measures fully-charged, idle devices). Thermal state is
+    /// reset before and after, so repeated calls are independent.
+    pub fn epoch_time_cold(&mut self, wl: &TrainingWorkload, samples: usize) -> f64 {
+        self.cool_down();
+        let t = self.train_samples(wl, samples);
+        self.cool_down();
+        t
+    }
+
+    /// Measure an epoch from the *sustained-load* thermal state: cool down,
+    /// run `warmup_s` seconds of the same workload to reach steady state,
+    /// then time the epoch. This is the right profiling protocol for
+    /// scheduling *repeated* FL rounds, where devices stay hot between
+    /// epochs — a cold-start profile would under-predict throttled devices
+    /// and mis-schedule them (see `fedsched-core`).
+    pub fn epoch_time_sustained(
+        &mut self,
+        wl: &TrainingWorkload,
+        samples: usize,
+        warmup_s: f64,
+    ) -> f64 {
+        self.cool_down();
+        let start = self.time_s;
+        while self.time_s - start < warmup_s {
+            self.train_samples(wl, wl.batch_size.max(1));
+        }
+        let t = self.train_samples(wl, samples);
+        self.cool_down();
+        t
+    }
+
+    /// Simulated seconds elapsed since construction.
+    pub fn now(&self) -> f64 {
+        self.time_s
+    }
+
+    /// Estimate the energy cost (J) of training one sample of `wl`, by
+    /// probing a copy of this device from cold. Used to convert a battery
+    /// budget into a data capacity.
+    pub fn estimate_energy_per_sample(&self, wl: &TrainingWorkload) -> f64 {
+        let mut probe = Device::new(self.spec.clone(), 0xE4E2);
+        let before = probe.battery.drained_j();
+        let n = 200usize;
+        probe.train_samples(wl, n);
+        (probe.battery.drained_j() - before) / n as f64
+    }
+
+    /// How many samples of `wl` fit inside an energy budget of
+    /// `budget_j` joules — the paper's battery-quantified capacity `C_j`
+    /// (P2, Eq. (9)). Conservative: uses the cold-start energy estimate.
+    pub fn samples_within_energy(&self, wl: &TrainingWorkload, budget_j: f64) -> usize {
+        let per_sample = self.estimate_energy_per_sample(wl);
+        if per_sample <= 0.0 {
+            return usize::MAX;
+        }
+        (budget_j.max(0.0) / per_sample).floor() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::DeviceSpec;
+
+    fn ideal() -> Device {
+        Device::new(DeviceSpec::ideal(1.0, 1.0), 7)
+    }
+
+    #[test]
+    fn ideal_device_time_matches_closed_form() {
+        let mut d = ideal();
+        let wl = TrainingWorkload {
+            conv_flops_per_sample: 1e9,
+            dense_flops_per_sample: 1e9,
+            batch_size: 10,
+        };
+        // 10 samples * (1 GFLOP / 1 GFLOP/s + 1/1) = 20 s at full frequency.
+        let t = d.train_batch(&wl);
+        assert!((t - 20.0).abs() < 0.5, "t = {t}");
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_traces() {
+        let wl = TrainingWorkload::lenet();
+        let mut a = Device::from_model(DeviceModel::Nexus6P, 99);
+        let mut b = Device::from_model(DeviceModel::Nexus6P, 99);
+        let ta = a.train_epoch_trace(&wl, 400, 5.0);
+        let tb = b.train_epoch_trace(&wl, 400, 5.0);
+        assert_eq!(ta.batch_seconds, tb.batch_seconds);
+    }
+
+    #[test]
+    fn different_seeds_differ_when_jittered() {
+        let wl = TrainingWorkload::lenet();
+        let mut a = Device::from_model(DeviceModel::Nexus6, 1);
+        let mut b = Device::from_model(DeviceModel::Nexus6, 2);
+        assert_ne!(a.train_samples(&wl, 200), b.train_samples(&wl, 200));
+    }
+
+    #[test]
+    fn more_samples_take_longer() {
+        let wl = TrainingWorkload::lenet();
+        for model in DeviceModel::all() {
+            let mut d = Device::from_model(model, 5);
+            let t1 = d.epoch_time_cold(&wl, 500);
+            let t2 = d.epoch_time_cold(&wl, 1500);
+            assert!(t2 > t1, "{model:?}: {t2} <= {t1}");
+        }
+    }
+
+    #[test]
+    fn sustained_load_heats_the_device() {
+        let mut d = Device::from_model(DeviceModel::Nexus6, 3);
+        let t0 = d.telemetry().temp_c;
+        d.train_samples(&TrainingWorkload::vgg6(), 200);
+        assert!(d.telemetry().temp_c > t0 + 5.0);
+    }
+
+    #[test]
+    fn nexus6p_big_cluster_shuts_down_under_sustained_load() {
+        let mut d = Device::from_model(DeviceModel::Nexus6P, 11);
+        let mut saw_offline = false;
+        for _ in 0..3000 {
+            d.train_batch(&TrainingWorkload::lenet());
+            if !d.telemetry().big_online {
+                saw_offline = true;
+                break;
+            }
+        }
+        assert!(saw_offline, "Nexus 6P must hit big-cluster shutdown");
+    }
+
+    #[test]
+    fn nexus6p_scaling_is_superlinear() {
+        let wl = TrainingWorkload::lenet();
+        let mut d = Device::from_model(DeviceModel::Nexus6P, 13);
+        let t3k = d.epoch_time_cold(&wl, 3000);
+        let t6k = d.epoch_time_cold(&wl, 6000);
+        assert!(
+            t6k > 2.3 * t3k,
+            "Nexus 6P should scale super-linearly: 3K={t3k:.0}s 6K={t6k:.0}s"
+        );
+    }
+
+    #[test]
+    fn pixel2_scaling_is_roughly_linear() {
+        let wl = TrainingWorkload::lenet();
+        let mut d = Device::from_model(DeviceModel::Pixel2, 13);
+        let t3k = d.epoch_time_cold(&wl, 3000);
+        let t6k = d.epoch_time_cold(&wl, 6000);
+        let ratio = t6k / t3k;
+        assert!(ratio > 1.7 && ratio < 2.4, "ratio {ratio}");
+    }
+
+    #[test]
+    fn battery_drains_during_training() {
+        let mut d = Device::from_model(DeviceModel::Pixel2, 4);
+        let soc0 = d.telemetry().battery_soc;
+        d.train_samples(&TrainingWorkload::vgg6(), 500);
+        let tel = d.telemetry();
+        assert!(tel.battery_soc < soc0);
+        assert!(tel.energy_j > 0.0);
+    }
+
+    #[test]
+    fn cool_down_resets_thermal_but_not_battery() {
+        let mut d = Device::from_model(DeviceModel::Nexus6, 4);
+        d.train_samples(&TrainingWorkload::vgg6(), 300);
+        let drained = d.battery().drained_j();
+        d.cool_down();
+        assert_eq!(d.telemetry().temp_c, 25.0);
+        assert_eq!(d.battery().drained_j(), drained);
+    }
+
+    #[test]
+    fn energy_per_sample_is_positive_and_model_ordered() {
+        let d = Device::from_model(DeviceModel::Pixel2, 6);
+        let lenet = d.estimate_energy_per_sample(&TrainingWorkload::lenet());
+        let vgg = d.estimate_energy_per_sample(&TrainingWorkload::vgg6());
+        assert!(lenet > 0.0);
+        assert!(vgg > 3.0 * lenet, "VGG6 {vgg} J should dwarf LeNet {lenet} J");
+    }
+
+    #[test]
+    fn energy_capacity_scales_with_budget() {
+        let d = Device::from_model(DeviceModel::Nexus6, 6);
+        let wl = TrainingWorkload::lenet();
+        let c1 = d.samples_within_energy(&wl, 100.0);
+        let c2 = d.samples_within_energy(&wl, 200.0);
+        assert!(c1 > 0);
+        assert!(c2 >= 2 * c1 - 2 && c2 <= 2 * c1 + 2, "c1={c1} c2={c2}");
+        assert_eq!(d.samples_within_energy(&wl, 0.0), 0);
+    }
+
+    #[test]
+    fn trace_telemetry_is_time_ordered() {
+        let mut d = Device::from_model(DeviceModel::Mate10, 8);
+        let trace = d.train_epoch_trace(&TrainingWorkload::lenet(), 1000, 5.0);
+        assert!(!trace.telemetry.is_empty());
+        for w in trace.telemetry.windows(2) {
+            assert!(w[0].t_s < w[1].t_s);
+        }
+        assert_eq!(trace.batch_seconds.len(), 50);
+    }
+}

@@ -1,0 +1,81 @@
+//! Trace records produced while training (the raw material of Fig. 1).
+
+use serde::{Deserialize, Serialize};
+
+/// One periodic telemetry sample (Fig. 1(c) plots these every 5 s).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FreqTempSample {
+    /// Simulated time of the sample (seconds).
+    pub t_s: f64,
+    /// Average online-cluster frequency (GHz).
+    pub freq_ghz: f64,
+    /// Die temperature (°C).
+    pub temp_c: f64,
+    /// Whether the big cluster was online.
+    pub big_online: bool,
+}
+
+/// Everything recorded over one traced epoch.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct BatchTrace {
+    /// Per-batch training seconds, in batch order (Fig. 1(a,b)).
+    pub batch_seconds: Vec<f64>,
+    /// Periodic frequency/temperature telemetry (Fig. 1(c)).
+    pub telemetry: Vec<FreqTempSample>,
+}
+
+impl BatchTrace {
+    /// Total epoch time.
+    pub fn total_seconds(&self) -> f64 {
+        self.batch_seconds.iter().sum()
+    }
+
+    /// Mean per-batch time.
+    pub fn mean_batch_seconds(&self) -> f64 {
+        if self.batch_seconds.is_empty() {
+            0.0
+        } else {
+            self.total_seconds() / self.batch_seconds.len() as f64
+        }
+    }
+
+    /// Sample standard deviation of per-batch time (0 for < 2 batches).
+    pub fn std_batch_seconds(&self) -> f64 {
+        let n = self.batch_seconds.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mean = self.mean_batch_seconds();
+        let var = self
+            .batch_seconds
+            .iter()
+            .map(|t| (t - mean) * (t - mean))
+            .sum::<f64>()
+            / (n - 1) as f64;
+        var.sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_on_known_values() {
+        let t = BatchTrace {
+            batch_seconds: vec![1.0, 2.0, 3.0],
+            telemetry: Vec::new(),
+        };
+        assert_eq!(t.total_seconds(), 6.0);
+        assert_eq!(t.mean_batch_seconds(), 2.0);
+        assert!((t.std_batch_seconds() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_is_safe() {
+        let t = BatchTrace::default();
+        assert_eq!(t.total_seconds(), 0.0);
+        assert_eq!(t.mean_batch_seconds(), 0.0);
+        assert_eq!(t.std_batch_seconds(), 0.0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Training workload descriptors: how much compute one sample costs.
+
+use fedsched_profiler::ModelArch;
+use serde::{Deserialize, Serialize};
+
+/// Per-sample training cost of a model, split between convolutional work
+/// (compute bound, scales with core frequency) and dense work (memory bound,
+/// scales sub-linearly). Values are FLOPs for forward + backward.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainingWorkload {
+    /// Convolutional FLOPs per sample (forward + backward).
+    pub conv_flops_per_sample: f64,
+    /// Dense-layer FLOPs per sample (forward + backward).
+    pub dense_flops_per_sample: f64,
+    /// Mini-batch size used on device (the paper uses 20).
+    pub batch_size: usize,
+}
+
+impl TrainingWorkload {
+    /// LeNet-5 on 28x28x1 input, batch 20 (paper Section VII).
+    ///
+    /// Forward conv MACs ~0.85 MFLOP/sample; training multiplies by ~3
+    /// (forward + input grads + weight grads), and we fold DL4J/OpenBLAS
+    /// inefficiency into the device rates rather than the workload.
+    pub fn lenet() -> Self {
+        TrainingWorkload {
+            conv_flops_per_sample: 5.1e6,
+            dense_flops_per_sample: 1.1e6,
+            batch_size: 20,
+        }
+    }
+
+    /// The paper's tailored VGG6 (five 3x3 conv layers + one dense layer)
+    /// on 32x32x3 input, batch 20. Conv-dominated.
+    pub fn vgg6() -> Self {
+        TrainingWorkload {
+            conv_flops_per_sample: 9.0e7,
+            dense_flops_per_sample: 3.9e6,
+            batch_size: 20,
+        }
+    }
+
+    /// Approximate a workload from an architecture's parameter counts.
+    ///
+    /// Convolution parameters are reused across spatial positions — we assume
+    /// ~200 training FLOPs per conv parameter (LeNet-scale feature maps) —
+    /// while dense parameters are touched ~6 times (2 forward + 4 backward).
+    /// This is the mapping the *profiler benchmarks* use for synthetic
+    /// architectures; the headline models use the exact constructors above.
+    pub fn from_arch(arch: &ModelArch) -> Self {
+        TrainingWorkload {
+            conv_flops_per_sample: arch.conv_params * 200.0,
+            dense_flops_per_sample: arch.dense_params * 6.0,
+            batch_size: 20,
+        }
+    }
+
+    /// Same workload with a different batch size.
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Total FLOPs for one sample.
+    pub fn flops_per_sample(&self) -> f64 {
+        self.conv_flops_per_sample + self.dense_flops_per_sample
+    }
+
+    /// Total FLOPs for a full batch.
+    pub fn flops_per_batch(&self) -> f64 {
+        self.flops_per_sample() * self.batch_size as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lenet_is_conv_dominated_but_modest() {
+        let wl = TrainingWorkload::lenet();
+        assert!(wl.conv_flops_per_sample > wl.dense_flops_per_sample);
+        assert!(wl.flops_per_sample() < 1e7);
+    }
+
+    #[test]
+    fn vgg6_costs_an_order_of_magnitude_more_than_lenet() {
+        let ratio =
+            TrainingWorkload::vgg6().flops_per_sample() / TrainingWorkload::lenet().flops_per_sample();
+        assert!(ratio > 10.0 && ratio < 30.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn from_arch_tracks_parameter_counts() {
+        let small = TrainingWorkload::from_arch(&ModelArch::new(1e4, 1e5));
+        let large = TrainingWorkload::from_arch(&ModelArch::new(1e6, 1e5));
+        assert!(large.conv_flops_per_sample > small.conv_flops_per_sample * 50.0);
+        assert_eq!(small.dense_flops_per_sample, large.dense_flops_per_sample);
+    }
+
+    #[test]
+    fn batch_flops_scale_with_batch_size() {
+        let wl = TrainingWorkload::lenet().with_batch_size(40);
+        assert_eq!(wl.flops_per_batch(), wl.flops_per_sample() * 40.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_batch_size_rejected() {
+        let _ = TrainingWorkload::lenet().with_batch_size(0);
+    }
+}

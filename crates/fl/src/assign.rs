@@ -1,0 +1,141 @@
+//! Bridging scheduler output (shard counts) to concrete training samples.
+
+use fedsched_core::Schedule;
+use fedsched_data::{Dataset, Partition};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn shuffled(len: usize, rng: &mut StdRng) -> Vec<usize> {
+    let mut v: Vec<usize> = (0..len).collect();
+    for i in (1..len).rev() {
+        let j = rng.gen_range(0..=i);
+        v.swap(i, j);
+    }
+    v
+}
+
+/// IID case: the paper pre-loads the *whole* dataset onto every device, so
+/// the server may assign any disjoint slices. The global index space is
+/// shuffled once and cut according to the schedule.
+///
+/// # Panics
+/// Panics if the schedule requests more samples than the dataset holds.
+pub fn assignment_from_schedule_iid(
+    ds: &Dataset,
+    schedule: &Schedule,
+    seed: u64,
+) -> Vec<Vec<usize>> {
+    let wanted: usize = schedule
+        .shards
+        .iter()
+        .map(|&k| (k as f64 * schedule.shard_size) as usize)
+        .sum();
+    assert!(
+        wanted <= ds.len(),
+        "schedule wants {wanted} samples but dataset has {}",
+        ds.len()
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let order = shuffled(ds.len(), &mut rng);
+    let mut out = Vec::with_capacity(schedule.shards.len());
+    let mut cursor = 0usize;
+    for &k in &schedule.shards {
+        let take = (k as f64 * schedule.shard_size) as usize;
+        out.push(order[cursor..cursor + take].to_vec());
+        cursor += take;
+    }
+    out
+}
+
+/// Non-IID case: each user trains on a random subset of *its own* local
+/// data, sized by the schedule (clamped to what the user actually holds —
+/// the scheduler's capacity constraint should prevent overshoot, but noisy
+/// shard rounding may exceed it by a fraction of a shard).
+pub fn assignment_from_schedule_noniid(
+    partition: &Partition,
+    schedule: &Schedule,
+    seed: u64,
+) -> Vec<Vec<usize>> {
+    assert_eq!(
+        partition.users.len(),
+        schedule.shards.len(),
+        "partition/schedule user counts differ"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    partition
+        .users
+        .iter()
+        .zip(&schedule.shards)
+        .map(|(local, &k)| {
+            let want = ((k as f64 * schedule.shard_size) as usize).min(local.len());
+            let order = shuffled(local.len(), &mut rng);
+            order[..want].iter().map(|&p| local[p]).collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedsched_data::{iid_equal, DatasetKind};
+    use std::collections::BTreeSet;
+
+    fn ds() -> Dataset {
+        Dataset::generate(DatasetKind::MnistLike, 1000, 3)
+    }
+
+    #[test]
+    fn iid_assignment_sizes_match_schedule() {
+        let d = ds();
+        let s = Schedule::new(vec![3, 5, 2], 100.0);
+        let a = assignment_from_schedule_iid(&d, &s, 1);
+        assert_eq!(a.iter().map(Vec::len).collect::<Vec<_>>(), vec![300, 500, 200]);
+        // Disjoint.
+        let all: BTreeSet<usize> = a.iter().flatten().copied().collect();
+        assert_eq!(all.len(), 1000);
+    }
+
+    #[test]
+    fn iid_assignment_is_deterministic() {
+        let d = ds();
+        let s = Schedule::new(vec![4, 6], 50.0);
+        assert_eq!(
+            assignment_from_schedule_iid(&d, &s, 9),
+            assignment_from_schedule_iid(&d, &s, 9)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "dataset has")]
+    fn iid_overshoot_panics() {
+        let d = ds();
+        let s = Schedule::new(vec![20], 100.0);
+        let _ = assignment_from_schedule_iid(&d, &s, 1);
+    }
+
+    #[test]
+    fn noniid_assignment_stays_within_local_data() {
+        let d = ds();
+        let p = iid_equal(&d, 4, 7); // 250 samples each
+        let s = Schedule::new(vec![1, 2, 0, 3], 100.0);
+        let a = assignment_from_schedule_noniid(&p, &s, 5);
+        assert_eq!(a[0].len(), 100);
+        assert_eq!(a[1].len(), 200);
+        assert_eq!(a[2].len(), 0);
+        assert_eq!(a[3].len(), 250, "clamped to local size");
+        for (j, idx) in a.iter().enumerate() {
+            let local: BTreeSet<usize> = p.users[j].iter().copied().collect();
+            assert!(idx.iter().all(|i| local.contains(i)));
+        }
+    }
+
+    #[test]
+    fn zero_shards_means_idle_user() {
+        let d = ds();
+        let p = iid_equal(&d, 2, 7);
+        let s = Schedule::new(vec![0, 1], 100.0);
+        let a = assignment_from_schedule_noniid(&p, &s, 5);
+        assert!(a[0].is_empty());
+        assert_eq!(a[1].len(), 100);
+    }
+}

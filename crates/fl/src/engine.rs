@@ -1,0 +1,270 @@
+//! The FedAvg training engine: actually learns a global model over a
+//! partitioned synthetic dataset.
+//!
+//! Each round, every user with data (1) downloads the global parameters,
+//! (2) runs one local epoch of mini-batch SGD over its assigned samples,
+//! and (3) uploads the result; the server computes the sample-weighted
+//! FedAvg and the next round begins. Clients execute in parallel on scoped
+//! threads (one intra-model thread each, so a 10-user cohort uses ~10
+//! cores); the aggregation order is fixed by user index, so results are
+//! deterministic for a given seed regardless of the thread count.
+
+use fedsched_data::Dataset;
+use fedsched_nn::ModelKind;
+use fedsched_parallel::{parallel_map, recommended_threads};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+use crate::server::fedavg_aggregate;
+
+/// Everything a federated training run needs.
+#[derive(Debug, Clone)]
+pub struct FlSetup<'a> {
+    /// The training pool.
+    pub train: &'a Dataset,
+    /// Held-out evaluation data.
+    pub test: &'a Dataset,
+    /// Per-user training indices into `train` (empty vec = idle user).
+    pub assignment: Vec<Vec<usize>>,
+    /// Which model to train.
+    pub model: ModelKind,
+    /// Number of synchronous rounds (global epochs).
+    pub rounds: usize,
+    /// Local mini-batch size (the paper uses 20).
+    pub batch_size: usize,
+    /// Local epochs per round (`E` in FedAvg; the paper uses 1). Larger
+    /// values amplify client drift under non-IID data.
+    pub local_epochs: usize,
+    /// Evaluate on the test set every `eval_every` rounds (0 = final only).
+    pub eval_every: usize,
+    /// Master seed: init, shuffling and evaluation all derive from it.
+    pub seed: u64,
+}
+
+impl<'a> FlSetup<'a> {
+    /// A setup with the paper's defaults (batch 20, eval at the end).
+    pub fn new(
+        train: &'a Dataset,
+        test: &'a Dataset,
+        assignment: Vec<Vec<usize>>,
+        model: ModelKind,
+        rounds: usize,
+        seed: u64,
+    ) -> Self {
+        FlSetup {
+            train,
+            test,
+            assignment,
+            model,
+            rounds,
+            batch_size: 20,
+            local_epochs: 1,
+            eval_every: 0,
+            seed,
+        }
+    }
+
+    /// Run federated training.
+    ///
+    /// # Panics
+    /// Panics if no user has any data.
+    pub fn run(&self) -> FlOutcome {
+        assert!(
+            self.assignment.iter().any(|a| !a.is_empty()),
+            "federated run needs at least one user with data"
+        );
+        let dims = self.train.kind().dims();
+        let template = self.model.build_with_threads(dims, self.seed, 1);
+        let mut global = template.flat_params();
+        drop(template);
+
+        let threads = recommended_threads();
+        let mut round_losses = Vec::with_capacity(self.rounds);
+        let mut round_accuracies = Vec::new();
+
+        for round in 0..self.rounds {
+            let global_ref = &global;
+            let results = parallel_map(self.assignment.len(), threads, |user| {
+                let indices = &self.assignment[user];
+                if indices.is_empty() {
+                    return None;
+                }
+                let mut net = self.model.build_with_threads(dims, self.seed, 1);
+                net.set_flat_params(global_ref);
+                // Per-(round, user) deterministic shuffle.
+                let mut rng = StdRng::seed_from_u64(
+                    self.seed ^ (round as u64) << 20 ^ user as u64,
+                );
+                let mut order: Vec<usize> = indices.to_vec();
+                for i in (1..order.len()).rev() {
+                    let j = rng.gen_range(0..=i);
+                    order.swap(i, j);
+                }
+                let mut loss_sum = 0.0f64;
+                let mut batches = 0usize;
+                for _epoch in 0..self.local_epochs.max(1) {
+                    for chunk in order.chunks(self.batch_size) {
+                        let (x, y) = self.train.batch(chunk);
+                        loss_sum += f64::from(net.train_batch(&x, &y));
+                        batches += 1;
+                    }
+                }
+                Some((net.flat_params(), indices.len(), loss_sum / batches.max(1) as f64))
+            });
+
+            let updates: Vec<(Vec<f32>, usize)> = results
+                .iter()
+                .flatten()
+                .map(|(p, n, _)| (p.clone(), *n))
+                .collect();
+            global = fedavg_aggregate(&updates);
+            let mean_loss = {
+                let ls: Vec<f64> = results.iter().flatten().map(|(_, _, l)| *l).collect();
+                ls.iter().sum::<f64>() / ls.len().max(1) as f64
+            };
+            round_losses.push(mean_loss);
+
+            if self.eval_every > 0 && (round + 1) % self.eval_every == 0 {
+                let acc = self.evaluate(&global);
+                round_accuracies.push((round + 1, acc));
+            }
+        }
+
+        let final_accuracy = self.evaluate(&global);
+        FlOutcome { final_accuracy, round_accuracies, round_losses, global }
+    }
+
+    /// Test-set accuracy of a parameter vector.
+    pub fn evaluate(&self, params: &[f32]) -> f64 {
+        let dims = self.train.kind().dims();
+        let mut net = self.model.build_with_threads(dims, self.seed, 1);
+        net.set_flat_params(params);
+        let n = self.test.len();
+        let mut correct = 0usize;
+        let all: Vec<usize> = (0..n).collect();
+        for chunk in all.chunks(256) {
+            let (x, y) = self.test.batch(chunk);
+            let preds = net.predict(&x, y.len());
+            correct += preds.iter().zip(&y).filter(|(p, l)| p == l).count();
+        }
+        correct as f64 / n.max(1) as f64
+    }
+}
+
+/// The result of a federated run.
+#[derive(Debug, Clone, Serialize)]
+pub struct FlOutcome {
+    /// Final test accuracy.
+    pub final_accuracy: f64,
+    /// `(round, accuracy)` checkpoints when `eval_every > 0`.
+    pub round_accuracies: Vec<(usize, f64)>,
+    /// Mean client training loss per round.
+    pub round_losses: Vec<f64>,
+    /// The final global parameters.
+    pub global: Vec<f32>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedsched_data::{iid_equal, n_class_noniid, Dataset, DatasetKind};
+
+    fn datasets() -> (Dataset, Dataset) {
+        Dataset::generate_split(DatasetKind::MnistLike, 600, 300, 1)
+    }
+
+    #[test]
+    fn federated_mlp_learns_iid_data() {
+        let (train, test) = datasets();
+        let p = iid_equal(&train, 3, 5);
+        let setup =
+            FlSetup::new(&train, &test, p.users.clone(), ModelKind::Mlp, 8, 42);
+        let out = setup.run();
+        assert!(
+            out.final_accuracy > 0.8,
+            "accuracy {} too low for separable data",
+            out.final_accuracy
+        );
+        // Loss should broadly decrease.
+        assert!(out.round_losses.last().unwrap() < &out.round_losses[0]);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let (train, test) = datasets();
+        let p = iid_equal(&train, 2, 7);
+        let mk = || FlSetup::new(&train, &test, p.users.clone(), ModelKind::Mlp, 3, 9).run();
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.final_accuracy, b.final_accuracy);
+        assert_eq!(a.global, b.global);
+    }
+
+    #[test]
+    fn idle_users_are_skipped() {
+        let (train, test) = datasets();
+        let p = iid_equal(&train, 2, 7);
+        let mut assignment = p.users.clone();
+        assignment.push(Vec::new()); // a third, idle user
+        let out =
+            FlSetup::new(&train, &test, assignment, ModelKind::Mlp, 2, 3).run();
+        assert!(out.final_accuracy > 0.3);
+    }
+
+    #[test]
+    fn eval_checkpoints_are_recorded() {
+        let (train, test) = datasets();
+        let p = iid_equal(&train, 2, 7);
+        let mut setup = FlSetup::new(&train, &test, p.users.clone(), ModelKind::Mlp, 4, 3);
+        setup.eval_every = 2;
+        let out = setup.run();
+        assert_eq!(
+            out.round_accuracies.iter().map(|&(r, _)| r).collect::<Vec<_>>(),
+            vec![2, 4]
+        );
+    }
+
+    #[test]
+    fn missing_classes_reduce_accuracy() {
+        // The core Fig-3a phenomenon at smoke scale: training that never
+        // sees classes 5..10 must do worse than full coverage.
+        let (train, test) = datasets();
+        let full = iid_equal(&train, 2, 3);
+        let full_acc = FlSetup::new(&train, &test, full.users.clone(), ModelKind::Mlp, 8, 1)
+            .run()
+            .final_accuracy;
+
+        let narrow: Vec<std::collections::BTreeSet<usize>> = vec![
+            (0..3).collect(),
+            (2..5).collect(),
+        ];
+        let part = fedsched_data::partition_by_classes(&train, &narrow, 0.0, 3);
+        let narrow_acc =
+            FlSetup::new(&train, &test, part.users.clone(), ModelKind::Mlp, 8, 1)
+                .run()
+                .final_accuracy;
+        assert!(
+            full_acc > narrow_acc + 0.2,
+            "full {full_acc} should beat 5-class {narrow_acc} clearly"
+        );
+    }
+
+    #[test]
+    fn noniid_still_learns_with_full_coverage() {
+        let (train, test) = datasets();
+        let p = n_class_noniid(&train, 5, 4, 0.2, 11);
+        let out =
+            FlSetup::new(&train, &test, p.users.clone(), ModelKind::Mlp, 10, 5).run();
+        assert!(out.final_accuracy > 0.6, "accuracy {}", out.final_accuracy);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one user")]
+    fn all_idle_panics() {
+        let (train, test) = datasets();
+        let setup =
+            FlSetup::new(&train, &test, vec![Vec::new(), Vec::new()], ModelKind::Mlp, 1, 1);
+        let _ = setup.run();
+    }
+}

@@ -1,0 +1,258 @@
+//! Decentralized (gossip) federated learning — the server-free topology the
+//! paper says its framework "is amenable to" (Section IV-A, citing Lian et
+//! al.'s decentralized parallel SGD).
+//!
+//! Instead of a parameter server, each user keeps its own model replica and,
+//! after every local epoch, averages it with its neighbours' replicas under
+//! a doubly-stochastic mixing matrix. With a connected topology, replicas
+//! contract toward consensus while SGD drives the consensus toward a
+//! minimizer.
+
+use fedsched_data::Dataset;
+use fedsched_nn::ModelKind;
+use fedsched_parallel::{parallel_map, recommended_threads};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+/// Communication topology for gossip averaging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// Ring: user `i` averages with `i-1` and `i+1` (Metropolis weights).
+    Ring,
+    /// Complete graph: uniform averaging with everyone (equals FedAvg with
+    /// equal weights every round).
+    Complete,
+}
+
+impl Topology {
+    /// Row `i` of the mixing matrix for `n` users.
+    fn weights(&self, i: usize, n: usize) -> Vec<f64> {
+        let mut w = vec![0.0; n];
+        match self {
+            Topology::Complete => {
+                for v in w.iter_mut() {
+                    *v = 1.0 / n as f64;
+                }
+            }
+            Topology::Ring => {
+                if n == 1 {
+                    w[0] = 1.0;
+                } else if n == 2 {
+                    w = vec![0.5, 0.5];
+                } else {
+                    // Metropolis: 1/3 to each ring neighbour, rest to self.
+                    w[i] = 1.0 / 3.0;
+                    w[(i + 1) % n] = 1.0 / 3.0;
+                    w[(i + n - 1) % n] = 1.0 / 3.0;
+                }
+            }
+        }
+        w
+    }
+}
+
+/// Configuration for a decentralized run.
+#[derive(Debug, Clone)]
+pub struct GossipSetup<'a> {
+    /// Training pool.
+    pub train: &'a Dataset,
+    /// Held-out evaluation data.
+    pub test: &'a Dataset,
+    /// Per-user training indices.
+    pub assignment: Vec<Vec<usize>>,
+    /// Model to train.
+    pub model: ModelKind,
+    /// Gossip topology.
+    pub topology: Topology,
+    /// Rounds (local epoch + one gossip exchange each).
+    pub rounds: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+/// Outcome of a gossip run.
+#[derive(Debug, Clone, Serialize)]
+pub struct GossipOutcome {
+    /// Test accuracy of the *consensus* (average of replicas).
+    pub consensus_accuracy: f64,
+    /// Test accuracy of each user's own replica.
+    pub replica_accuracies: Vec<f64>,
+    /// Mean L2 distance of replicas from the consensus (0 = full consensus).
+    pub consensus_gap: f64,
+}
+
+impl<'a> GossipSetup<'a> {
+    /// Run decentralized training.
+    ///
+    /// # Panics
+    /// Panics if no user has data.
+    pub fn run(&self) -> GossipOutcome {
+        assert!(
+            self.assignment.iter().any(|a| !a.is_empty()),
+            "gossip run needs at least one user with data"
+        );
+        let dims = self.train.kind().dims();
+        let n = self.assignment.len();
+        let init = self.model.build_with_threads(dims, self.seed, 1).flat_params();
+        let mut replicas: Vec<Vec<f32>> = vec![init; n];
+        let threads = recommended_threads();
+
+        for round in 0..self.rounds {
+            // Local epoch on every replica (parallel, deterministic).
+            let trained: Vec<Vec<f32>> = parallel_map(n, threads, |user| {
+                let indices = &self.assignment[user];
+                if indices.is_empty() {
+                    return replicas[user].clone();
+                }
+                let mut net = self.model.build_with_threads(dims, self.seed, 1);
+                net.set_flat_params(&replicas[user]);
+                let mut rng =
+                    StdRng::seed_from_u64(self.seed ^ (round as u64) << 24 ^ user as u64);
+                let mut order = indices.clone();
+                for i in (1..order.len()).rev() {
+                    let j = rng.gen_range(0..=i);
+                    order.swap(i, j);
+                }
+                for chunk in order.chunks(self.batch_size) {
+                    let (x, y) = self.train.batch(chunk);
+                    net.train_batch(&x, &y);
+                }
+                net.flat_params()
+            });
+
+            // Gossip mixing.
+            let dim = trained[0].len();
+            replicas = (0..n)
+                .map(|i| {
+                    let w = self.topology.weights(i, n);
+                    let mut out = vec![0.0f64; dim];
+                    for (j, replica) in trained.iter().enumerate() {
+                        if w[j] == 0.0 {
+                            continue;
+                        }
+                        for (o, &v) in out.iter_mut().zip(replica) {
+                            *o += w[j] * f64::from(v);
+                        }
+                    }
+                    out.into_iter().map(|v| v as f32).collect()
+                })
+                .collect();
+        }
+
+        // Consensus statistics.
+        let dim = replicas[0].len();
+        let mut consensus = vec![0.0f64; dim];
+        for r in &replicas {
+            for (c, &v) in consensus.iter_mut().zip(r) {
+                *c += f64::from(v) / n as f64;
+            }
+        }
+        let consensus_f32: Vec<f32> = consensus.iter().map(|&v| v as f32).collect();
+        let consensus_gap = replicas
+            .iter()
+            .map(|r| {
+                r.iter()
+                    .zip(&consensus)
+                    .map(|(&a, &c)| (f64::from(a) - c).powi(2))
+                    .sum::<f64>()
+                    .sqrt()
+            })
+            .sum::<f64>()
+            / n as f64;
+
+        let evaluate = |params: &[f32]| -> f64 {
+            let mut net = self.model.build_with_threads(dims, self.seed, 1);
+            net.set_flat_params(params);
+            let idx: Vec<usize> = (0..self.test.len()).collect();
+            let mut correct = 0usize;
+            for chunk in idx.chunks(256) {
+                let (x, y) = self.test.batch(chunk);
+                let preds = net.predict(&x, y.len());
+                correct += preds.iter().zip(&y).filter(|(p, l)| p == l).count();
+            }
+            correct as f64 / self.test.len().max(1) as f64
+        };
+
+        GossipOutcome {
+            consensus_accuracy: evaluate(&consensus_f32),
+            replica_accuracies: replicas.iter().map(|r| evaluate(r)).collect(),
+            consensus_gap,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedsched_data::{iid_equal, DatasetKind};
+
+    fn datasets() -> (Dataset, Dataset) {
+        Dataset::generate_split(DatasetKind::MnistLike, 500, 250, 3)
+    }
+
+    fn setup<'a>(train: &'a Dataset, test: &'a Dataset, topology: Topology) -> GossipSetup<'a> {
+        let p = iid_equal(train, 4, 5);
+        GossipSetup {
+            train,
+            test,
+            assignment: p.users,
+            model: ModelKind::Mlp,
+            topology,
+            rounds: 6,
+            batch_size: 20,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn ring_gossip_learns_and_approaches_consensus() {
+        let (train, test) = datasets();
+        let out = setup(&train, &test, Topology::Ring).run();
+        assert!(out.consensus_accuracy > 0.8, "accuracy {}", out.consensus_accuracy);
+        for (i, acc) in out.replica_accuracies.iter().enumerate() {
+            assert!(*acc > 0.6, "replica {i} accuracy {acc}");
+        }
+    }
+
+    #[test]
+    fn complete_graph_reaches_exact_consensus_each_round() {
+        let (train, test) = datasets();
+        let out = setup(&train, &test, Topology::Complete).run();
+        assert!(out.consensus_gap < 1e-4, "gap {}", out.consensus_gap);
+        assert!(out.consensus_accuracy > 0.8);
+    }
+
+    #[test]
+    fn ring_has_larger_consensus_gap_than_complete() {
+        let (train, test) = datasets();
+        let ring = setup(&train, &test, Topology::Ring).run();
+        let complete = setup(&train, &test, Topology::Complete).run();
+        assert!(ring.consensus_gap >= complete.consensus_gap);
+    }
+
+    #[test]
+    fn mixing_weights_are_stochastic() {
+        for topo in [Topology::Ring, Topology::Complete] {
+            for n in [1usize, 2, 3, 7] {
+                for i in 0..n {
+                    let w = topo.weights(i, n);
+                    let sum: f64 = w.iter().sum();
+                    assert!((sum - 1.0).abs() < 1e-12, "{topo:?} n={n} i={i}: {w:?}");
+                    assert!(w.iter().all(|&x| x >= 0.0));
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one user")]
+    fn empty_cohort_panics() {
+        let (train, test) = datasets();
+        let mut s = setup(&train, &test, Topology::Ring);
+        s.assignment = vec![Vec::new(); 4];
+        let _ = s.run();
+    }
+}

@@ -1,0 +1,39 @@
+//! The federated-learning runtime: FedAvg aggregation, simulated cohorts,
+//! and the two execution paths the evaluation needs.
+//!
+//! The paper's experiments decompose cleanly into *time* and *accuracy*:
+//!
+//! * [`roundsim::RoundSim`] replays a schedule against the device simulator
+//!   and link models to measure wall-clock round times (Figs. 5 and 7,
+//!   Table II) — no actual ML runs, so 50-round sweeps cost milliseconds.
+//!   Device thermal state persists across rounds, exactly like the paper's
+//!   continuously-training phones.
+//! * [`engine`] actually trains: synchronous FedAvg over `fedsched-nn`
+//!   networks on partitioned synthetic data (Figs. 2, 3 and 6, Tables III
+//!   and V). Clients train in parallel on scoped threads; aggregation is
+//!   weighted by sample count (McMahan et al.) and deterministic.
+//!
+//! [`assign`] bridges scheduler output to concrete training data: IID
+//! schedules slice the (device-preloaded) global dataset, non-IID schedules
+//! subset each user's class-restricted local data.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod assign;
+pub mod asyncfl;
+pub mod engine;
+pub mod gossip;
+pub mod metrics;
+pub mod secure;
+pub mod roundsim;
+pub mod server;
+
+pub use assign::{assignment_from_schedule_iid, assignment_from_schedule_noniid};
+pub use asyncfl::{AsyncFlOutcome, AsyncFlSetup};
+pub use gossip::{GossipOutcome, GossipSetup, Topology};
+pub use metrics::{analyze_round, cosine_similarity, DivergenceReport};
+pub use secure::{mask_update, secure_fedavg, unmask_sum};
+pub use engine::{FlOutcome, FlSetup};
+pub use roundsim::{RoundSim, TimingReport};
+pub use server::fedavg_aggregate;

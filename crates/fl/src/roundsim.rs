@@ -1,0 +1,223 @@
+//! Time-only round simulation: replay a schedule on the device simulator.
+//!
+//! Used by the computation-time experiments (Figs. 5 and 7, Table II), where
+//! no actual ML needs to run — the round time of a synchronous FL epoch is
+//! `max_j (T_j^c(D_j) + T_j^u(M) + T_j^d(M))`, with computation produced by
+//! the thermal-aware device model and communication by the link model.
+
+use fedsched_core::Schedule;
+use fedsched_device::{Device, TrainingWorkload};
+use fedsched_net::Link;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+/// Timing statistics over simulated rounds.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TimingReport {
+    /// Synchronous round time (straggler) for every round.
+    pub per_round_makespan: Vec<f64>,
+    /// Mean per-user total time across rounds (computation + comm).
+    pub per_user_mean: Vec<f64>,
+    /// Mean fraction of the makespan spent on communication by the
+    /// straggler.
+    pub comm_fraction: f64,
+}
+
+impl TimingReport {
+    /// Mean makespan across rounds.
+    pub fn mean_makespan(&self) -> f64 {
+        if self.per_round_makespan.is_empty() {
+            return 0.0;
+        }
+        self.per_round_makespan.iter().sum::<f64>() / self.per_round_makespan.len() as f64
+    }
+
+    /// Total synchronous time over all rounds.
+    pub fn total_time(&self) -> f64 {
+        self.per_round_makespan.iter().sum()
+    }
+}
+
+/// Replays schedules against a device cohort.
+#[derive(Debug)]
+pub struct RoundSim {
+    devices: Vec<Device>,
+    workload: TrainingWorkload,
+    link: Link,
+    model_bytes: f64,
+    rng: StdRng,
+}
+
+impl RoundSim {
+    /// Create a simulator over `devices`. `model_bytes` is the transfer
+    /// payload per direction (see `fedsched_net::model_transfer_bytes`).
+    pub fn new(
+        devices: Vec<Device>,
+        workload: TrainingWorkload,
+        link: Link,
+        model_bytes: f64,
+        seed: u64,
+    ) -> Self {
+        RoundSim {
+            devices,
+            workload,
+            link,
+            model_bytes,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Number of devices.
+    pub fn n_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Borrow the devices (e.g. to inspect battery drain afterwards).
+    pub fn devices(&self) -> &[Device] {
+        &self.devices
+    }
+
+    /// Simulate `rounds` synchronous rounds under `schedule`. Device
+    /// thermal state persists across rounds (continuous training); call
+    /// [`RoundSim::cool_down`] between experiments.
+    ///
+    /// # Panics
+    /// Panics if the schedule's user count differs from the cohort size.
+    pub fn run(&mut self, schedule: &Schedule, rounds: usize) -> TimingReport {
+        assert_eq!(
+            schedule.shards.len(),
+            self.devices.len(),
+            "schedule/cohort size mismatch"
+        );
+        let n = self.devices.len();
+        let mut per_round = Vec::with_capacity(rounds);
+        let mut user_totals = vec![0.0f64; n];
+        let mut straggler_comm = 0.0f64;
+
+        for _ in 0..rounds {
+            let mut worst = 0.0f64;
+            let mut worst_comm = 0.0f64;
+            for (j, device) in self.devices.iter_mut().enumerate() {
+                let samples = (schedule.shards[j] as f64 * schedule.shard_size) as usize;
+                if samples == 0 {
+                    continue;
+                }
+                let comm = self.link.sample_round_seconds(self.model_bytes, &mut self.rng);
+                let compute = device.train_samples(&self.workload, samples);
+                let total = comm + compute;
+                user_totals[j] += total;
+                if total > worst {
+                    worst = total;
+                    worst_comm = comm;
+                }
+            }
+            per_round.push(worst);
+            straggler_comm += if worst > 0.0 { worst_comm / worst } else { 0.0 };
+        }
+
+        TimingReport {
+            per_round_makespan: per_round,
+            per_user_mean: user_totals.iter().map(|t| t / rounds as f64).collect(),
+            comm_fraction: if rounds == 0 { 0.0 } else { straggler_comm / rounds as f64 },
+        }
+    }
+
+    /// Reset every device's thermal state (between experiment arms).
+    pub fn cool_down(&mut self) {
+        for d in &mut self.devices {
+            d.cool_down();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedsched_device::{DeviceModel, Testbed};
+
+    fn sim(seed: u64) -> RoundSim {
+        let tb = Testbed::testbed_1(seed);
+        RoundSim::new(
+            tb.devices().to_vec(),
+            TrainingWorkload::lenet(),
+            Link::new(100.0, 100.0, 0.0, 0.0),
+            2.5e6,
+            seed,
+        )
+    }
+
+    #[test]
+    fn makespan_is_worst_user() {
+        let mut s = sim(1);
+        let schedule = Schedule::new(vec![10, 10, 10], 100.0);
+        let report = s.run(&schedule, 2);
+        assert_eq!(report.per_round_makespan.len(), 2);
+        for &m in &report.per_round_makespan {
+            assert!(m > 0.0);
+        }
+        // Per-user means never exceed the worst makespan.
+        let max_makespan = report.per_round_makespan.iter().cloned().fold(0.0, f64::max);
+        for &t in &report.per_user_mean {
+            assert!(t <= max_makespan * 1.01);
+        }
+    }
+
+    #[test]
+    fn idle_users_cost_nothing() {
+        let mut s = sim(2);
+        let schedule = Schedule::new(vec![30, 0, 0], 100.0);
+        let report = s.run(&schedule, 1);
+        assert_eq!(report.per_user_mean[1], 0.0);
+        assert_eq!(report.per_user_mean[2], 0.0);
+    }
+
+    #[test]
+    fn unbalanced_schedule_beats_equal_on_heterogeneous_cohort() {
+        // Pixel2 is ~1.8x faster than Mate10: giving it more work must cut
+        // the makespan vs an equal split.
+        let equal = Schedule::new(vec![20, 20, 20], 100.0);
+        let tilted = Schedule::new(vec![24, 14, 22], 100.0);
+        let me = sim(3).run(&equal, 3).mean_makespan();
+        let mt = sim(3).run(&tilted, 3).mean_makespan();
+        assert!(mt < me, "tilted {mt} !< equal {me}");
+    }
+
+    #[test]
+    fn comm_fraction_is_small_for_lenet_wifi() {
+        // Paper Observation 3: ~5% average comm share.
+        let mut s = RoundSim::new(
+            Testbed::testbed_1(4).devices().to_vec(),
+            TrainingWorkload::lenet(),
+            Link::wifi_campus(),
+            2.5e6,
+            4,
+        );
+        let report = s.run(&Schedule::new(vec![10, 10, 10], 100.0), 3);
+        assert!(report.comm_fraction < 0.10, "{}", report.comm_fraction);
+        assert!(report.comm_fraction > 0.0);
+    }
+
+    #[test]
+    fn thermal_state_persists_across_rounds() {
+        // A Nexus6P-only cohort slows down in later rounds as it heats.
+        let mut s = RoundSim::new(
+            vec![Device::from_model(DeviceModel::Nexus6P, 5)],
+            TrainingWorkload::lenet(),
+            Link::new(1000.0, 1000.0, 0.0, 0.0),
+            2.5e6,
+            5,
+        );
+        let report = s.run(&Schedule::new(vec![20], 100.0), 5);
+        let first = report.per_round_makespan[0];
+        let last = *report.per_round_makespan.last().unwrap();
+        assert!(last > first * 1.5, "first {first}, last {last}");
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn wrong_schedule_arity_panics() {
+        let mut s = sim(6);
+        let _ = s.run(&Schedule::new(vec![1, 1], 100.0), 1);
+    }
+}

@@ -1,0 +1,74 @@
+//! The parameter server: FedAvg aggregation.
+
+/// Weighted FedAvg: `global = sum_j (n_j / sum n) * w_j` (McMahan et al.,
+/// AISTATS 2017). Updates with zero weight are ignored.
+///
+/// # Panics
+/// Panics on an empty update set, mismatched lengths, or all-zero weights.
+pub fn fedavg_aggregate(updates: &[(Vec<f32>, usize)]) -> Vec<f32> {
+    assert!(!updates.is_empty(), "fedavg: no updates to aggregate");
+    let dim = updates[0].0.len();
+    assert!(
+        updates.iter().all(|(w, _)| w.len() == dim),
+        "fedavg: update dimensions differ"
+    );
+    let total: usize = updates.iter().map(|&(_, n)| n).sum();
+    assert!(total > 0, "fedavg: total weight is zero");
+
+    let mut out = vec![0.0f64; dim];
+    for (w, n) in updates {
+        if *n == 0 {
+            continue;
+        }
+        let scale = *n as f64 / total as f64;
+        for (o, &v) in out.iter_mut().zip(w) {
+            *o += scale * f64::from(v);
+        }
+    }
+    out.into_iter().map(|v| v as f32).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_weights_give_plain_mean() {
+        let a = (vec![1.0, 2.0], 10);
+        let b = (vec![3.0, 4.0], 10);
+        assert_eq!(fedavg_aggregate(&[a, b]), vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn weights_bias_towards_larger_cohorts() {
+        let a = (vec![0.0], 1);
+        let b = (vec![10.0], 9);
+        let g = fedavg_aggregate(&[a, b]);
+        assert!((g[0] - 9.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_weight_updates_are_ignored() {
+        let a = (vec![5.0], 4);
+        let b = (vec![100.0], 0);
+        assert_eq!(fedavg_aggregate(&[a, b]), vec![5.0]);
+    }
+
+    #[test]
+    fn single_update_is_identity() {
+        let w = vec![0.25, -1.5, 3.0];
+        assert_eq!(fedavg_aggregate(&[(w.clone(), 7)]), w);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions differ")]
+    fn mismatched_dims_panic() {
+        let _ = fedavg_aggregate(&[(vec![1.0], 1), (vec![1.0, 2.0], 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "total weight is zero")]
+    fn all_zero_weights_panic() {
+        let _ = fedavg_aggregate(&[(vec![1.0], 0)]);
+    }
+}

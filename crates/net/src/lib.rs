@@ -1,0 +1,219 @@
+//! Wireless link models for federated model transfer (paper Section III-A).
+//!
+//! Each FL round, the parameter server pushes the global model down to every
+//! participant and pulls the updated model back up, so the per-round
+//! communication cost of user `j` is `T_j^u(M) + T_j^d(M)` — a function of
+//! the model size `M` only. The paper measures:
+//!
+//! * campus WiFi: 80–90 Mbps symmetric (we use 85 Mbps);
+//! * T-Mobile LTE: ~60 Mbps uplink, ~11 Mbps downlink;
+//! * model sizes: LeNet 2.5 MB, VGG6 65.4 MB — exactly **12 bytes per
+//!   parameter** (FP64 weights plus updater state in DL4J), which
+//!   [`model_transfer_bytes`] encodes.
+//!
+//! Sanity anchor (Table II): LeNet over WiFi costs ~0.47 s per round
+//! (1.5% of Nexus 6's 31 s epoch), VGG6 over WiFi ~12.3 s (2.5% of 495 s).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use fedsched_profiler::ModelArch;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Bytes transferred per model parameter (FP64 weights + updater state,
+/// matching the paper's reported 2.5 MB / 65.4 MB for LeNet / VGG6).
+pub const BYTES_PER_PARAM: f64 = 12.0;
+
+/// Serialized size of a model's transfer payload in bytes.
+pub fn model_transfer_bytes(arch: &ModelArch) -> f64 {
+    arch.total_params() * BYTES_PER_PARAM
+}
+
+/// The networking environments evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LinkKind {
+    /// Campus WiFi, ~85 Mbps symmetric.
+    Wifi,
+    /// T-Mobile 4G LTE at -94 dBm: 60 Mbps up / 11 Mbps down.
+    Lte,
+}
+
+impl LinkKind {
+    /// The calibrated link for this environment.
+    pub fn link(&self) -> Link {
+        match self {
+            LinkKind::Wifi => Link::wifi_campus(),
+            LinkKind::Lte => Link::lte_tmobile(),
+        }
+    }
+
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LinkKind::Wifi => "WiFi",
+            LinkKind::Lte => "LTE",
+        }
+    }
+}
+
+/// A point-to-point wireless link between a device and the parameter server.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    /// Uplink throughput in Mbps (device -> server).
+    pub uplink_mbps: f64,
+    /// Downlink throughput in Mbps (server -> device).
+    pub downlink_mbps: f64,
+    /// One-way latency in seconds (adds to each transfer).
+    pub rtt_s: f64,
+    /// Log-normal sigma for sampled transfer jitter (0 = deterministic).
+    pub jitter_sigma: f64,
+}
+
+impl Link {
+    /// Campus WiFi to a nearby AWS region (paper: Washington D.C. from
+    /// Norfolk, VA).
+    pub fn wifi_campus() -> Self {
+        Link { uplink_mbps: 85.0, downlink_mbps: 85.0, rtt_s: 0.015, jitter_sigma: 0.05 }
+    }
+
+    /// T-Mobile 4G LTE at -94 dBm.
+    pub fn lte_tmobile() -> Self {
+        Link { uplink_mbps: 60.0, downlink_mbps: 11.0, rtt_s: 0.045, jitter_sigma: 0.12 }
+    }
+
+    /// A custom link.
+    ///
+    /// # Panics
+    /// Panics on non-positive rates or negative latency/jitter.
+    pub fn new(uplink_mbps: f64, downlink_mbps: f64, rtt_s: f64, jitter_sigma: f64) -> Self {
+        assert!(uplink_mbps > 0.0 && downlink_mbps > 0.0, "link rates must be positive");
+        assert!(rtt_s >= 0.0 && jitter_sigma >= 0.0, "latency and jitter must be non-negative");
+        Link { uplink_mbps, downlink_mbps, rtt_s, jitter_sigma }
+    }
+
+    /// Expected (jitter-free) seconds to upload `bytes` to the server.
+    pub fn upload_seconds(&self, bytes: f64) -> f64 {
+        debug_assert!(bytes >= 0.0);
+        self.rtt_s + bytes * 8.0 / (self.uplink_mbps * 1e6)
+    }
+
+    /// Expected seconds to download `bytes` from the server.
+    pub fn download_seconds(&self, bytes: f64) -> f64 {
+        debug_assert!(bytes >= 0.0);
+        self.rtt_s + bytes * 8.0 / (self.downlink_mbps * 1e6)
+    }
+
+    /// Expected per-round communication time for a model: one download (push
+    /// from the server) plus one upload (local update back).
+    pub fn round_seconds(&self, model_bytes: f64) -> f64 {
+        self.upload_seconds(model_bytes) + self.download_seconds(model_bytes)
+    }
+
+    /// Per-round communication time for an architecture.
+    pub fn round_seconds_for(&self, arch: &ModelArch) -> f64 {
+        self.round_seconds(model_transfer_bytes(arch))
+    }
+
+    /// Sample a jittered per-round time using `rng` (log-normal around the
+    /// expectation; deterministic when `jitter_sigma == 0`).
+    pub fn sample_round_seconds<R: Rng>(&self, model_bytes: f64, rng: &mut R) -> f64 {
+        let base = self.round_seconds(model_bytes);
+        if self.jitter_sigma == 0.0 {
+            return base;
+        }
+        // Box–Muller standard normal.
+        let u1: f64 = rng.gen::<f64>().max(1e-12);
+        let u2: f64 = rng.gen::<f64>();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        base * (self.jitter_sigma * z).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn model_sizes_match_paper() {
+        let lenet_mb = model_transfer_bytes(&ModelArch::lenet()) / 1e6;
+        let vgg_mb = model_transfer_bytes(&ModelArch::vgg6()) / 1e6;
+        assert!((lenet_mb - 2.46).abs() < 0.1, "LeNet {lenet_mb} MB");
+        assert!((vgg_mb - 65.4).abs() < 0.5, "VGG6 {vgg_mb} MB");
+    }
+
+    #[test]
+    fn wifi_lenet_round_matches_table2_share() {
+        // Table II: LeNet/WiFi comm is ~0.47 s (1.5% of Nexus 6's 31 s).
+        let t = Link::wifi_campus().round_seconds_for(&ModelArch::lenet());
+        assert!(t > 0.4 && t < 0.6, "t = {t}");
+    }
+
+    #[test]
+    fn lte_downlink_dominates() {
+        let link = Link::lte_tmobile();
+        let bytes = model_transfer_bytes(&ModelArch::vgg6());
+        assert!(link.download_seconds(bytes) > 4.0 * link.upload_seconds(bytes));
+    }
+
+    #[test]
+    fn vgg_wifi_round_close_to_paper() {
+        // Paper: ~12.3 s for 65.4 MB both ways at ~85 Mbps.
+        let t = Link::wifi_campus().round_seconds_for(&ModelArch::vgg6());
+        assert!((t - 12.3).abs() < 1.0, "t = {t}");
+    }
+
+    #[test]
+    fn round_time_is_monotone_in_model_size() {
+        let link = Link::lte_tmobile();
+        let mut prev = 0.0;
+        for mb in [0.5, 2.5, 10.0, 65.4] {
+            let t = link.round_seconds(mb * 1e6);
+            assert!(t > prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn zero_bytes_costs_only_latency() {
+        let link = Link::new(10.0, 10.0, 0.02, 0.0);
+        assert!((link.round_seconds(0.0) - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_without_jitter_is_exact() {
+        let link = Link::new(50.0, 50.0, 0.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let expect = link.round_seconds(1e6);
+        assert_eq!(link.sample_round_seconds(1e6, &mut rng), expect);
+    }
+
+    #[test]
+    fn sampled_jitter_is_centred_on_expectation() {
+        let link = Link::wifi_campus();
+        let bytes = model_transfer_bytes(&ModelArch::vgg6());
+        let expect = link.round_seconds(bytes);
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 4000;
+        let mean: f64 = (0..n)
+            .map(|_| link.sample_round_seconds(bytes, &mut rng))
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean / expect - 1.0).abs() < 0.03, "mean {mean} vs {expect}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn invalid_link_rejected() {
+        let _ = Link::new(0.0, 10.0, 0.0, 0.0);
+    }
+
+    #[test]
+    fn kind_dispatch() {
+        assert_eq!(LinkKind::Wifi.link(), Link::wifi_campus());
+        assert_eq!(LinkKind::Lte.link(), Link::lte_tmobile());
+        assert_eq!(LinkKind::Wifi.name(), "WiFi");
+    }
+}

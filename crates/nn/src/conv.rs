@@ -1,0 +1,451 @@
+//! 2-D convolution (valid padding, stride 1) and 2x2 max pooling.
+
+use fedsched_parallel::{parallel_for_slices, parallel_map};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::layer::Layer;
+
+/// 2-D convolution layer. Input `[batch, in_c, h, w]`, kernels
+/// `[out_c, in_c, k, k]`, output `[batch, out_c, h-k+1, w-k+1]`.
+///
+/// Batch items are processed in parallel on scoped threads; gradients are
+/// reduced in batch order so results are identical for any thread count.
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    in_c: usize,
+    h: usize,
+    w: usize,
+    out_c: usize,
+    k: usize,
+    threads: usize,
+    kernel: Vec<f32>,
+    bias: Vec<f32>,
+    gk: Vec<f32>,
+    gb: Vec<f32>,
+    vk: Vec<f32>,
+    vb: Vec<f32>,
+    input_cache: Vec<f32>,
+}
+
+impl Conv2d {
+    /// Xavier-initialized convolution; deterministic per seed.
+    ///
+    /// # Panics
+    /// Panics if the kernel does not fit the input (`k > h` or `k > w`).
+    pub fn new(
+        in_c: usize,
+        h: usize,
+        w: usize,
+        out_c: usize,
+        k: usize,
+        seed: u64,
+        threads: usize,
+    ) -> Self {
+        assert!(k >= 1 && k <= h && k <= w, "kernel {k} does not fit input {h}x{w}");
+        assert!(in_c > 0 && out_c > 0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let fan_in = in_c * k * k;
+        let fan_out = out_c * k * k;
+        let bound = (6.0 / (fan_in + fan_out) as f64).sqrt() as f32;
+        let kernel = (0..out_c * in_c * k * k)
+            .map(|_| (rng.gen::<f32>() * 2.0 - 1.0) * bound)
+            .collect();
+        Conv2d {
+            in_c,
+            h,
+            w,
+            out_c,
+            k,
+            threads: threads.max(1),
+            kernel,
+            bias: vec![0.0; out_c],
+            gk: vec![0.0; out_c * in_c * k * k],
+            gb: vec![0.0; out_c],
+            vk: vec![0.0; out_c * in_c * k * k],
+            vb: vec![0.0; out_c],
+            input_cache: Vec::new(),
+        }
+    }
+
+    /// Output spatial height.
+    pub fn out_h(&self) -> usize {
+        self.h - self.k + 1
+    }
+
+    /// Output spatial width.
+    pub fn out_w(&self) -> usize {
+        self.w - self.k + 1
+    }
+}
+
+impl Layer for Conv2d {
+    fn out_len(&self) -> usize {
+        self.out_c * self.out_h() * self.out_w()
+    }
+
+    fn in_len(&self) -> usize {
+        self.in_c * self.h * self.w
+    }
+
+    fn forward(&mut self, input: &[f32], batch: usize) -> Vec<f32> {
+        debug_assert_eq!(input.len(), batch * self.in_len());
+        self.input_cache.clear();
+        self.input_cache.extend_from_slice(input);
+
+        let (oh, ow) = (self.out_h(), self.out_w());
+        let (in_len, k) = (self.in_len(), self.k);
+        let mut out = vec![0.0f32; batch * self.out_len()];
+        let kernel = &self.kernel;
+        let bias = &self.bias;
+        let (in_c, h, w) = (self.in_c, self.h, self.w);
+        parallel_for_slices(&mut out, batch, self.threads, |item, oslice| {
+            let x = &input[item * in_len..(item + 1) * in_len];
+            for oc in 0..self.out_c {
+                let base_k = oc * in_c * k * k;
+                let ochan = &mut oslice[oc * oh * ow..(oc + 1) * oh * ow];
+                ochan.iter_mut().for_each(|v| *v = bias[oc]);
+                for ic in 0..in_c {
+                    let xchan = &x[ic * h * w..(ic + 1) * h * w];
+                    let kk = &kernel[base_k + ic * k * k..base_k + (ic + 1) * k * k];
+                    for dy in 0..k {
+                        for dx in 0..k {
+                            let kv = kk[dy * k + dx];
+                            if kv == 0.0 {
+                                continue;
+                            }
+                            for oy in 0..oh {
+                                let xrow = &xchan[(oy + dy) * w + dx..(oy + dy) * w + dx + ow];
+                                let orow = &mut ochan[oy * ow..(oy + 1) * ow];
+                                for (o, &xv) in orow.iter_mut().zip(xrow) {
+                                    *o += kv * xv;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        });
+        out
+    }
+
+    fn backward(&mut self, grad_out: &[f32], batch: usize) -> Vec<f32> {
+        debug_assert_eq!(grad_out.len(), batch * self.out_len());
+        let (oh, ow) = (self.out_h(), self.out_w());
+        let (in_len, out_len, k) = (self.in_len(), self.out_len(), self.k);
+        let (in_c, out_c, h, w) = (self.in_c, self.out_c, self.h, self.w);
+        let kernel = &self.kernel;
+        let input_cache = &self.input_cache;
+
+        // Input gradients: each batch item writes its own slice.
+        let mut grad_in = vec![0.0f32; batch * in_len];
+        parallel_for_slices(&mut grad_in, batch, self.threads, |item, gslice| {
+            let g = &grad_out[item * out_len..(item + 1) * out_len];
+            for oc in 0..out_c {
+                let gchan = &g[oc * oh * ow..(oc + 1) * oh * ow];
+                let base_k = oc * in_c * k * k;
+                for ic in 0..in_c {
+                    let gx = &mut gslice[ic * h * w..(ic + 1) * h * w];
+                    let kk = &kernel[base_k + ic * k * k..base_k + (ic + 1) * k * k];
+                    for dy in 0..k {
+                        for dx in 0..k {
+                            let kv = kk[dy * k + dx];
+                            if kv == 0.0 {
+                                continue;
+                            }
+                            for oy in 0..oh {
+                                let grow = &gchan[oy * ow..(oy + 1) * ow];
+                                let xrow =
+                                    &mut gx[(oy + dy) * w + dx..(oy + dy) * w + dx + ow];
+                                for (xg, &gv) in xrow.iter_mut().zip(grow) {
+                                    *xg += kv * gv;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        });
+
+        // Parameter gradients: per-item partials reduced in batch order
+        // (deterministic across thread counts).
+        let partials = parallel_map(batch, self.threads, |item| {
+            let g = &grad_out[item * out_len..(item + 1) * out_len];
+            let x = &input_cache[item * in_len..(item + 1) * in_len];
+            let mut pk = vec![0.0f32; out_c * in_c * k * k];
+            let mut pb = vec![0.0f32; out_c];
+            for oc in 0..out_c {
+                let gchan = &g[oc * oh * ow..(oc + 1) * oh * ow];
+                pb[oc] += gchan.iter().sum::<f32>();
+                let base_k = oc * in_c * k * k;
+                for ic in 0..in_c {
+                    let xchan = &x[ic * h * w..(ic + 1) * h * w];
+                    let pkk = &mut pk[base_k + ic * k * k..base_k + (ic + 1) * k * k];
+                    for dy in 0..k {
+                        for dx in 0..k {
+                            let mut acc = 0.0f32;
+                            for oy in 0..oh {
+                                let grow = &gchan[oy * ow..(oy + 1) * ow];
+                                let xrow =
+                                    &xchan[(oy + dy) * w + dx..(oy + dy) * w + dx + ow];
+                                for (&gv, &xv) in grow.iter().zip(xrow) {
+                                    acc += gv * xv;
+                                }
+                            }
+                            pkk[dy * k + dx] += acc;
+                        }
+                    }
+                }
+            }
+            (pk, pb)
+        });
+        for (pk, pb) in partials {
+            for (g, p) in self.gk.iter_mut().zip(&pk) {
+                *g += p;
+            }
+            for (g, p) in self.gb.iter_mut().zip(&pb) {
+                *g += p;
+            }
+        }
+        grad_in
+    }
+
+    fn param_count(&self) -> usize {
+        self.kernel.len() + self.bias.len()
+    }
+
+    fn read_params(&self, out: &mut [f32]) -> usize {
+        out[..self.kernel.len()].copy_from_slice(&self.kernel);
+        out[self.kernel.len()..self.kernel.len() + self.bias.len()].copy_from_slice(&self.bias);
+        self.param_count()
+    }
+
+    fn write_params(&mut self, input: &[f32]) -> usize {
+        let nk = self.kernel.len();
+        let nb = self.bias.len();
+        self.kernel.copy_from_slice(&input[..nk]);
+        self.bias.copy_from_slice(&input[nk..nk + nb]);
+        self.param_count()
+    }
+
+    fn apply_grads(&mut self, lr: f32, momentum: f32) {
+        for ((p, g), v) in self.kernel.iter_mut().zip(&mut self.gk).zip(&mut self.vk) {
+            *v = momentum * *v + *g;
+            *p -= lr * *v;
+            *g = 0.0;
+        }
+        for ((p, g), v) in self.bias.iter_mut().zip(&mut self.gb).zip(&mut self.vb) {
+            *v = momentum * *v + *g;
+            *p -= lr * *v;
+            *g = 0.0;
+        }
+    }
+
+    fn zero_grads(&mut self) {
+        self.gk.iter_mut().for_each(|g| *g = 0.0);
+        self.gb.iter_mut().for_each(|g| *g = 0.0);
+    }
+}
+
+/// 2x2 max pooling with stride 2. Odd trailing rows/columns are dropped
+/// (floor semantics, matching common frameworks).
+#[derive(Debug, Clone)]
+pub struct MaxPool2d {
+    c: usize,
+    h: usize,
+    w: usize,
+    argmax: Vec<usize>,
+}
+
+impl MaxPool2d {
+    /// Pool over `[c, h, w]` inputs.
+    pub fn new(c: usize, h: usize, w: usize) -> Self {
+        assert!(h >= 2 && w >= 2, "pooling needs at least 2x2 input");
+        MaxPool2d { c, h, w, argmax: Vec::new() }
+    }
+
+    /// Output spatial height.
+    pub fn out_h(&self) -> usize {
+        self.h / 2
+    }
+
+    /// Output spatial width.
+    pub fn out_w(&self) -> usize {
+        self.w / 2
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn out_len(&self) -> usize {
+        self.c * self.out_h() * self.out_w()
+    }
+
+    fn in_len(&self) -> usize {
+        self.c * self.h * self.w
+    }
+
+    fn forward(&mut self, input: &[f32], batch: usize) -> Vec<f32> {
+        debug_assert_eq!(input.len(), batch * self.in_len());
+        let (oh, ow) = (self.out_h(), self.out_w());
+        let mut out = vec![0.0f32; batch * self.out_len()];
+        self.argmax = vec![0usize; batch * self.out_len()];
+        for item in 0..batch {
+            let x = &input[item * self.in_len()..(item + 1) * self.in_len()];
+            for c in 0..self.c {
+                let xc = &x[c * self.h * self.w..(c + 1) * self.h * self.w];
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0usize;
+                        for dy in 0..2 {
+                            for dx in 0..2 {
+                                let idx = (oy * 2 + dy) * self.w + ox * 2 + dx;
+                                if xc[idx] > best {
+                                    best = xc[idx];
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        let o = item * self.out_len() + c * oh * ow + oy * ow + ox;
+                        out[o] = best;
+                        self.argmax[o] = item * self.in_len() + c * self.h * self.w + best_idx;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &[f32], batch: usize) -> Vec<f32> {
+        debug_assert_eq!(grad_out.len(), batch * self.out_len());
+        let mut grad_in = vec![0.0f32; batch * self.in_len()];
+        for (o, &g) in grad_out.iter().enumerate() {
+            grad_in[self.argmax[o]] += g;
+        }
+        grad_in
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_identity_kernel_passes_through() {
+        // 1x1 kernel with weight 1: output equals input.
+        let mut conv = Conv2d::new(1, 3, 3, 1, 1, 0, 1);
+        conv.write_params(&[1.0, 0.0]); // kernel 1, bias 0
+        let x: Vec<f32> = (0..9).map(|i| i as f32).collect();
+        assert_eq!(conv.forward(&x, 1), x);
+    }
+
+    #[test]
+    fn conv_known_3x3_result() {
+        // 2x2 averaging kernel on a 3x3 image -> 2x2 output.
+        let mut conv = Conv2d::new(1, 3, 3, 1, 2, 0, 1);
+        conv.write_params(&[0.25, 0.25, 0.25, 0.25, 0.0]);
+        let x = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0];
+        let y = conv.forward(&x, 1);
+        assert_eq!(y, vec![3.0, 4.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn conv_gradients_match_finite_differences() {
+        let mut conv = Conv2d::new(2, 4, 4, 3, 3, 7, 1);
+        let x: Vec<f32> = (0..32).map(|i| (i as f32 * 0.37).sin()).collect();
+        conv.forward(&x, 1);
+        let grad_out = vec![1.0f32; conv.out_len()];
+        let gin = conv.backward(&grad_out, 1);
+        let analytic_k = conv.gk.clone();
+
+        let mut params = vec![0.0f32; conv.param_count()];
+        conv.read_params(&mut params);
+        let eps = 1e-2f32;
+        // Check a spread of kernel parameters.
+        for p in (0..conv.kernel.len()).step_by(7) {
+            let eval = |delta: f32| -> f32 {
+                let mut c = conv.clone();
+                let mut pp = params.clone();
+                pp[p] += delta;
+                c.write_params(&pp);
+                c.forward(&x, 1).iter().sum()
+            };
+            let fd = (eval(eps) - eval(-eps)) / (2.0 * eps);
+            assert!(
+                (fd - analytic_k[p]).abs() < 0.05,
+                "kernel {p}: fd {fd} vs {}",
+                analytic_k[p]
+            );
+        }
+        // And a few input gradients.
+        for i in (0..x.len()).step_by(5) {
+            let eval = |delta: f32| -> f32 {
+                let mut c = conv.clone();
+                let mut xx = x.clone();
+                xx[i] += delta;
+                c.forward(&xx, 1).iter().sum()
+            };
+            let fd = (eval(eps) - eval(-eps)) / (2.0 * eps);
+            assert!((fd - gin[i]).abs() < 0.05, "input {i}: fd {fd} vs {}", gin[i]);
+        }
+    }
+
+    #[test]
+    fn conv_parallel_matches_sequential() {
+        let x: Vec<f32> = (0..2 * 2 * 6 * 6).map(|i| (i as f32 * 0.11).cos()).collect();
+        let mut seq = Conv2d::new(2, 6, 6, 4, 3, 3, 1);
+        let mut par = Conv2d::new(2, 6, 6, 4, 3, 3, 4);
+        let ys = seq.forward(&x, 2);
+        let yp = par.forward(&x, 2);
+        assert_eq!(ys, yp);
+        let g: Vec<f32> = ys.iter().map(|v| v * 0.5).collect();
+        let gs = seq.backward(&g, 2);
+        let gp = par.backward(&g, 2);
+        assert_eq!(gs, gp);
+        assert_eq!(seq.gk, par.gk);
+    }
+
+    #[test]
+    fn pool_takes_block_maxima_and_routes_gradient() {
+        let mut pool = MaxPool2d::new(1, 4, 4);
+        #[rustfmt::skip]
+        let x = vec![
+            1.0, 2.0, 0.0, 0.0,
+            3.0, 4.0, 0.0, 5.0,
+            0.0, 0.0, 9.0, 0.0,
+            0.0, 7.0, 0.0, 8.0,
+        ];
+        let y = pool.forward(&x, 1);
+        assert_eq!(y, vec![4.0, 5.0, 7.0, 9.0]);
+        let gin = pool.backward(&[1.0, 1.0, 1.0, 1.0], 1);
+        let mut expect = vec![0.0f32; 16];
+        expect[5] = 1.0; // 4.0
+        expect[7] = 1.0; // 5.0
+        expect[13] = 1.0; // 7.0
+        expect[10] = 1.0; // 9.0
+        assert_eq!(gin, expect);
+    }
+
+    #[test]
+    fn pool_drops_odd_edges() {
+        let mut pool = MaxPool2d::new(1, 5, 5);
+        assert_eq!(pool.out_h(), 2);
+        let x: Vec<f32> = (0..25).map(|i| i as f32).collect();
+        let y = pool.forward(&x, 1);
+        assert_eq!(y.len(), 4);
+        assert_eq!(y, vec![6.0, 8.0, 16.0, 18.0]);
+    }
+
+    #[test]
+    fn conv_params_roundtrip() {
+        let conv = Conv2d::new(2, 5, 5, 3, 3, 1, 1);
+        let mut buf = vec![0.0f32; conv.param_count()];
+        conv.read_params(&mut buf);
+        let mut other = Conv2d::new(2, 5, 5, 3, 3, 42, 1);
+        other.write_params(&buf);
+        let mut a = conv.clone();
+        let mut b = other;
+        let x: Vec<f32> = (0..50).map(|i| i as f32 * 0.1).collect();
+        assert_eq!(a.forward(&x, 1), b.forward(&x, 1));
+    }
+}

@@ -1,0 +1,156 @@
+//! The layer trait and the stateless layers (ReLU, Flatten).
+
+/// A differentiable layer in a sequential network.
+///
+/// Buffers are batch-major: a tensor of `batch` items each of `k` values is
+/// a `Vec<f32>` of length `batch * k`. Layers own whatever caches backward
+/// needs (inputs, masks); `forward` must be called before `backward` with
+/// the same batch.
+pub trait Layer: Send {
+    /// Output length per batch item given the input length per item.
+    fn out_len(&self) -> usize;
+
+    /// Input length per batch item.
+    fn in_len(&self) -> usize;
+
+    /// Forward pass over a batch. `input.len() == batch * in_len()`.
+    fn forward(&mut self, input: &[f32], batch: usize) -> Vec<f32>;
+
+    /// Backward pass: consumes `d(loss)/d(output)`, accumulates parameter
+    /// gradients internally, returns `d(loss)/d(input)`.
+    fn backward(&mut self, grad_out: &[f32], batch: usize) -> Vec<f32>;
+
+    /// Number of trainable parameters.
+    fn param_count(&self) -> usize {
+        0
+    }
+
+    /// Copy parameters into `out` (length `param_count()`), returning how
+    /// many were written.
+    fn read_params(&self, _out: &mut [f32]) -> usize {
+        0
+    }
+
+    /// Load parameters from `input`, returning how many were consumed.
+    fn write_params(&mut self, _input: &[f32]) -> usize {
+        0
+    }
+
+    /// SGD update: `param -= lr * grad` (with optional momentum handled by
+    /// the layer), then clears the accumulated gradients.
+    fn apply_grads(&mut self, _lr: f32, _momentum: f32) {}
+
+    /// Reset accumulated gradients without applying them.
+    fn zero_grads(&mut self) {}
+}
+
+/// Element-wise ReLU.
+#[derive(Debug, Clone)]
+pub struct Relu {
+    len: usize,
+    mask: Vec<bool>,
+}
+
+impl Relu {
+    /// ReLU over `len` values per batch item.
+    pub fn new(len: usize) -> Self {
+        Relu { len, mask: Vec::new() }
+    }
+}
+
+impl Layer for Relu {
+    fn out_len(&self) -> usize {
+        self.len
+    }
+
+    fn in_len(&self) -> usize {
+        self.len
+    }
+
+    fn forward(&mut self, input: &[f32], batch: usize) -> Vec<f32> {
+        debug_assert_eq!(input.len(), batch * self.len);
+        self.mask.clear();
+        self.mask.reserve(input.len());
+        let mut out = Vec::with_capacity(input.len());
+        for &x in input {
+            let pass = x > 0.0;
+            self.mask.push(pass);
+            out.push(if pass { x } else { 0.0 });
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &[f32], batch: usize) -> Vec<f32> {
+        debug_assert_eq!(grad_out.len(), batch * self.len);
+        debug_assert_eq!(grad_out.len(), self.mask.len());
+        grad_out
+            .iter()
+            .zip(&self.mask)
+            .map(|(&g, &m)| if m { g } else { 0.0 })
+            .collect()
+    }
+}
+
+/// Shape adapter: forwards data unchanged (buffers are already flat); exists
+/// so model definitions read like their framework counterparts.
+#[derive(Debug, Clone)]
+pub struct Flatten {
+    len: usize,
+}
+
+impl Flatten {
+    /// Flatten `len` values per item.
+    pub fn new(len: usize) -> Self {
+        Flatten { len }
+    }
+}
+
+impl Layer for Flatten {
+    fn out_len(&self) -> usize {
+        self.len
+    }
+
+    fn in_len(&self) -> usize {
+        self.len
+    }
+
+    fn forward(&mut self, input: &[f32], batch: usize) -> Vec<f32> {
+        debug_assert_eq!(input.len(), batch * self.len);
+        input.to_vec()
+    }
+
+    fn backward(&mut self, grad_out: &[f32], batch: usize) -> Vec<f32> {
+        debug_assert_eq!(grad_out.len(), batch * self.len);
+        grad_out.to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives_and_routes_gradients() {
+        let mut r = Relu::new(4);
+        let out = r.forward(&[1.0, -2.0, 0.5, 0.0], 1);
+        assert_eq!(out, vec![1.0, 0.0, 0.5, 0.0]);
+        let gin = r.backward(&[10.0, 10.0, 10.0, 10.0], 1);
+        assert_eq!(gin, vec![10.0, 0.0, 10.0, 0.0]);
+    }
+
+    #[test]
+    fn relu_handles_batches() {
+        let mut r = Relu::new(2);
+        let out = r.forward(&[-1.0, 1.0, 2.0, -2.0], 2);
+        assert_eq!(out, vec![0.0, 1.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn flatten_is_identity() {
+        let mut f = Flatten::new(3);
+        let x = vec![1.0, 2.0, 3.0];
+        assert_eq!(f.forward(&x, 1), x);
+        assert_eq!(f.backward(&x, 1), x);
+        assert_eq!(f.param_count(), 0);
+    }
+}

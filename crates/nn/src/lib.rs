@@ -1,0 +1,38 @@
+//! A from-scratch neural-network training library for the FL simulation.
+//!
+//! The paper trains LeNet and a tailored VGG6 with DL4J on the phones. The
+//! Rust ML ecosystem has no mature training story, so this crate implements
+//! exactly what the experiments need, and nothing more:
+//!
+//! * dense, 2-D convolution (valid padding, stride 1), 2x2 max-pooling,
+//!   ReLU and flatten layers with full backpropagation ([`layer`],
+//!   [`dense`], [`conv`]);
+//! * softmax cross-entropy loss ([`loss`]);
+//! * a sequential [`network::Network`] with SGD(+momentum), flat parameter
+//!   get/set for FedAvg aggregation, and deterministic Xavier init;
+//! * model builders ([`models`]): `lenet`, `vgg6` (channel-reduced for
+//!   simulation speed; the *device-time* cost of the full-size models is
+//!   handled by `fedsched-device`, not by running them here) and a cheap
+//!   `mlp` for smoke-scale experiments.
+//!
+//! Batch-parallel kernels use `fedsched-parallel`'s scoped slice splitting:
+//! each batch item owns a disjoint output slice, so there is no unsafe code
+//! and results are bit-identical across thread counts (gradients are summed
+//! in batch order).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod conv;
+pub mod dense;
+pub mod layer;
+pub mod loss;
+pub mod models;
+pub mod network;
+
+pub use conv::{Conv2d, MaxPool2d};
+pub use dense::Dense;
+pub use layer::{Flatten, Layer, Relu};
+pub use loss::softmax_cross_entropy;
+pub use models::{lenet, lenet_with_threads, mlp, vgg6, vgg6_with_threads, ModelKind};
+pub use network::Network;

@@ -1,0 +1,128 @@
+//! Softmax cross-entropy loss.
+
+/// Numerically stable softmax cross-entropy over a batch of logits.
+///
+/// `logits` is `[batch, n_classes]`, `labels[i]` the true class of item `i`.
+/// Returns `(mean_loss, d(mean_loss)/d(logits))` — the gradient already
+/// carries the `1/batch` factor, matching the layer convention.
+///
+/// # Panics
+/// Panics on length mismatches or an out-of-range label.
+pub fn softmax_cross_entropy(
+    logits: &[f32],
+    labels: &[usize],
+    n_classes: usize,
+) -> (f32, Vec<f32>) {
+    let batch = labels.len();
+    assert_eq!(logits.len(), batch * n_classes, "logits shape mismatch");
+    let mut grad = vec![0.0f32; logits.len()];
+    let mut loss = 0.0f64;
+    let inv_batch = 1.0 / batch as f32;
+    for (i, &label) in labels.iter().enumerate() {
+        assert!(label < n_classes, "label {label} out of range");
+        let row = &logits[i * n_classes..(i + 1) * n_classes];
+        let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+        let mut denom = 0.0f32;
+        for &v in row {
+            denom += (v - max).exp();
+        }
+        let log_denom = denom.ln();
+        loss += f64::from(log_denom - (row[label] - max));
+        let g = &mut grad[i * n_classes..(i + 1) * n_classes];
+        for (c, gv) in g.iter_mut().enumerate() {
+            let p = (row[c] - max).exp() / denom;
+            *gv = (p - if c == label { 1.0 } else { 0.0 }) * inv_batch;
+        }
+    }
+    ((loss / batch as f64) as f32, grad)
+}
+
+/// Arg-max predictions from a batch of logits.
+pub fn predictions(logits: &[f32], n_classes: usize) -> Vec<usize> {
+    assert_eq!(logits.len() % n_classes, 0);
+    logits
+        .chunks(n_classes)
+        .map(|row| {
+            row.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+                .map(|(i, _)| i)
+                .expect("non-empty row")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_k_loss() {
+        let (loss, _) = softmax_cross_entropy(&[0.0; 10], &[3], 10);
+        assert!((loss - (10.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn confident_correct_prediction_has_low_loss() {
+        let mut logits = vec![0.0f32; 10];
+        logits[4] = 20.0;
+        let (loss, _) = softmax_cross_entropy(&logits, &[4], 10);
+        assert!(loss < 1e-3);
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let logits = vec![1.0, -2.0, 0.5, 3.0, 0.0, 1.0];
+        let (_, grad) = softmax_cross_entropy(&logits, &[2, 0], 3);
+        for row in grad.chunks(3) {
+            let s: f32 = row.iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let logits = vec![0.3f32, -0.7, 1.2, 0.1];
+        let labels = [2usize];
+        let (_, grad) = softmax_cross_entropy(&logits, &labels, 4);
+        let eps = 1e-3f32;
+        for i in 0..4 {
+            let mut lp = logits.clone();
+            lp[i] += eps;
+            let mut lm = logits.clone();
+            lm[i] -= eps;
+            let (fp, _) = softmax_cross_entropy(&lp, &labels, 4);
+            let (fm, _) = softmax_cross_entropy(&lm, &labels, 4);
+            let fd = (fp - fm) / (2.0 * eps);
+            assert!((fd - grad[i]).abs() < 1e-3, "logit {i}: fd {fd} vs {}", grad[i]);
+        }
+    }
+
+    #[test]
+    fn batch_mean_scaling() {
+        // Two identical items: same loss as one, gradients halved per item.
+        let one = softmax_cross_entropy(&[1.0, 0.0], &[0], 2);
+        let two = softmax_cross_entropy(&[1.0, 0.0, 1.0, 0.0], &[0, 0], 2);
+        assert!((one.0 - two.0).abs() < 1e-6);
+        assert!((two.1[0] - one.1[0] / 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn large_logits_stay_finite() {
+        let (loss, grad) = softmax_cross_entropy(&[1e4, -1e4], &[0], 2);
+        assert!(loss.is_finite());
+        assert!(grad.iter().all(|g| g.is_finite()));
+    }
+
+    #[test]
+    fn predictions_pick_argmax() {
+        let p = predictions(&[0.1, 0.9, 0.5, 2.0, -1.0, 0.0], 3);
+        assert_eq!(p, vec![1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_label_panics() {
+        let _ = softmax_cross_entropy(&[0.0, 0.0], &[5], 2);
+    }
+}

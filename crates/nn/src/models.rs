@@ -1,0 +1,228 @@
+//! Model builders: LeNet, the paper's VGG6, and a cheap MLP.
+//!
+//! Simulation-scale note: the paper's wall-clock numbers come from DL4J on
+//! phones; here the *device time* of the full-size models is produced by
+//! `fedsched-device`, so these trainable replicas use reduced channel counts
+//! to keep host-side experiment time reasonable while preserving the
+//! architectures' structure (conv -> pool stacks, dense head).
+
+use fedsched_parallel::recommended_threads;
+
+use crate::conv::{Conv2d, MaxPool2d};
+use crate::dense::Dense;
+use crate::layer::{Flatten, Layer, Relu};
+use crate::network::Network;
+
+/// Which trainable model to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// LeNet-style conv net (two conv+pool stages).
+    LeNet,
+    /// The paper's tailored VGG6 (stacked 3x3 convs, one dense layer).
+    Vgg6,
+    /// A one-hidden-layer MLP — used at smoke scale where conv cost would
+    /// dominate experiment runtime.
+    Mlp,
+}
+
+impl ModelKind {
+    /// Build the model for `(channels, height, width)` inputs, using the
+    /// machine-recommended intra-model thread count.
+    pub fn build(&self, dims: (usize, usize, usize), seed: u64) -> Network {
+        self.build_with_threads(dims, seed, recommended_threads())
+    }
+
+    /// Build with an explicit intra-model thread count. The FL engine runs
+    /// *clients* in parallel and passes 1 here to avoid oversubscription.
+    pub fn build_with_threads(
+        &self,
+        dims: (usize, usize, usize),
+        seed: u64,
+        threads: usize,
+    ) -> Network {
+        match self {
+            ModelKind::LeNet => lenet_with_threads(dims, seed, threads),
+            ModelKind::Vgg6 => vgg6_with_threads(dims, seed, threads),
+            ModelKind::Mlp => mlp(dims, seed),
+        }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelKind::LeNet => "LeNet",
+            ModelKind::Vgg6 => "VGG6",
+            ModelKind::Mlp => "MLP",
+        }
+    }
+}
+
+/// LeNet-style network: conv5x5 -> pool -> conv5x5 -> pool -> dense head.
+pub fn lenet(dims: (usize, usize, usize), seed: u64) -> Network {
+    lenet_with_threads(dims, seed, recommended_threads())
+}
+
+/// [`lenet`] with an explicit intra-model thread count.
+pub fn lenet_with_threads(dims: (usize, usize, usize), seed: u64, threads: usize) -> Network {
+    let (c, h, w) = dims;
+    let c1 = Conv2d::new(c, h, w, 6, 5, seed, threads);
+    let (h1, w1) = (c1.out_h(), c1.out_w());
+    let p1 = MaxPool2d::new(6, h1, w1);
+    let (h1p, w1p) = (p1.out_h(), p1.out_w());
+    let c2 = Conv2d::new(6, h1p, w1p, 12, 5, seed + 1, threads);
+    let (h2, w2) = (c2.out_h(), c2.out_w());
+    let p2 = MaxPool2d::new(12, h2, w2);
+    let flat = 12 * p2.out_h() * p2.out_w();
+    Network::new(
+        vec![
+            Box::new(c1),
+            Box::new(Relu::new(6 * h1 * w1)),
+            Box::new(p1),
+            Box::new(c2),
+            Box::new(Relu::new(12 * h2 * w2)),
+            Box::new(p2),
+            Box::new(Flatten::new(flat)),
+            Box::new(Dense::new(flat, 64, seed + 2)),
+            Box::new(Relu::new(64)),
+            Box::new(Dense::new(64, 10, seed + 3)),
+        ],
+        10,
+        0.05,
+        0.9,
+    )
+}
+
+/// The paper's VGG6 shape: five 3x3 conv layers (pooling after layers 2, 4
+/// and 5) and one dense layer. Channel counts reduced for simulation speed.
+pub fn vgg6(dims: (usize, usize, usize), seed: u64) -> Network {
+    vgg6_with_threads(dims, seed, recommended_threads())
+}
+
+/// [`vgg6`] with an explicit intra-model thread count.
+pub fn vgg6_with_threads(dims: (usize, usize, usize), seed: u64, threads: usize) -> Network {
+    let (c, h, w) = dims;
+    let mut layers: Vec<Box<dyn Layer>> = Vec::new();
+
+    let mut cur_c = c;
+    let mut cur_h = h;
+    let mut cur_w = w;
+    let plan: [(usize, bool); 5] =
+        [(8, false), (8, true), (16, false), (16, true), (24, true)];
+    for (i, &(out_c, pool)) in plan.iter().enumerate() {
+        let conv = Conv2d::new(cur_c, cur_h, cur_w, out_c, 3, seed + i as u64, threads);
+        let (oh, ow) = (conv.out_h(), conv.out_w());
+        layers.push(Box::new(conv));
+        layers.push(Box::new(Relu::new(out_c * oh * ow)));
+        cur_c = out_c;
+        cur_h = oh;
+        cur_w = ow;
+        if pool {
+            let p = MaxPool2d::new(cur_c, cur_h, cur_w);
+            cur_h = p.out_h();
+            cur_w = p.out_w();
+            layers.push(Box::new(p));
+        }
+    }
+    let flat = cur_c * cur_h * cur_w;
+    layers.push(Box::new(Flatten::new(flat)));
+    layers.push(Box::new(Dense::new(flat, 10, seed + 10)));
+    Network::new(layers, 10, 0.03, 0.9)
+}
+
+/// One-hidden-layer MLP: `input -> 64 -> 10` (sized for smoke-scale runs
+/// on modest CI hardware).
+pub fn mlp(dims: (usize, usize, usize), seed: u64) -> Network {
+    let (c, h, w) = dims;
+    let input = c * h * w;
+    Network::new(
+        vec![
+            Box::new(Dense::new(input, 64, seed)),
+            Box::new(Relu::new(64)),
+            Box::new(Dense::new(64, 10, seed + 1)),
+        ],
+        10,
+        0.05,
+        0.9,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lenet_shapes_work_for_both_datasets() {
+        for dims in [(1usize, 28usize, 28usize), (3, 32, 32)] {
+            let mut net = lenet(dims, 1);
+            assert_eq!(net.input_len(), dims.0 * dims.1 * dims.2);
+            let x = vec![0.1f32; net.input_len() * 2];
+            let logits = net.forward(&x, 2);
+            assert_eq!(logits.len(), 20);
+        }
+    }
+
+    #[test]
+    fn vgg6_has_five_convs_and_one_dense() {
+        // Indirect check through parameter structure: VGG6 on CIFAR dims
+        // should run forward/backward and have more params than LeNet's
+        // conv stages would alone.
+        let mut net = vgg6((3, 32, 32), 2);
+        let x = vec![0.05f32; net.input_len()];
+        let y = net.forward(&x, 1);
+        assert_eq!(y.len(), 10);
+        assert!(net.param_count() > 5000);
+    }
+
+    #[test]
+    fn mlp_trains_fast_on_toy_data() {
+        let mut net = mlp((1, 4, 4), 3);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..40 {
+            let class = i % 10;
+            let mut f = vec![0.0f32; 16];
+            f[class] = 2.0;
+            x.extend_from_slice(&f);
+            y.push(class);
+        }
+        for _ in 0..60 {
+            net.train_batch(&x, &y);
+        }
+        assert!(net.accuracy(&x, &y) > 0.9);
+    }
+
+    #[test]
+    fn model_kind_dispatch() {
+        for kind in [ModelKind::LeNet, ModelKind::Vgg6, ModelKind::Mlp] {
+            let net = kind.build((1, 28, 28), 7);
+            assert_eq!(net.n_classes(), 10);
+            assert!(!kind.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn lenet_learns_synthetic_classes() {
+        // End-to-end sanity: a few epochs on strongly-separated synthetic
+        // patterns should beat chance easily.
+        let mut net = lenet((1, 28, 28), 11);
+        let n = 60;
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let class = i % 10;
+            let mut img = vec![0.0f32; 784];
+            // A bright horizontal band whose row encodes the class.
+            for col in 0..28 {
+                img[(class * 2 + 4) * 28 + col] = 1.5;
+            }
+            // Mild deterministic noise.
+            img[(i * 13) % 784] += 0.3;
+            x.extend_from_slice(&img);
+            y.push(class);
+        }
+        for _ in 0..30 {
+            net.train_batch(&x, &y);
+        }
+        assert!(net.accuracy(&x, &y) > 0.8, "accuracy {}", net.accuracy(&x, &y));
+    }
+}

@@ -1,0 +1,269 @@
+//! A sequential network with SGD and flat-parameter access for FedAvg.
+
+use crate::layer::Layer;
+use crate::loss::{predictions, softmax_cross_entropy};
+
+/// A sequential stack of layers trained with softmax cross-entropy.
+pub struct Network {
+    layers: Vec<Box<dyn Layer>>,
+    n_classes: usize,
+    lr: f32,
+    momentum: f32,
+}
+
+impl Network {
+    /// Build from layers; validates that consecutive shapes agree and the
+    /// final layer emits `n_classes` logits.
+    ///
+    /// # Panics
+    /// Panics on shape mismatches.
+    pub fn new(layers: Vec<Box<dyn Layer>>, n_classes: usize, lr: f32, momentum: f32) -> Self {
+        assert!(!layers.is_empty(), "network needs at least one layer");
+        for pair in layers.windows(2) {
+            assert_eq!(
+                pair[0].out_len(),
+                pair[1].in_len(),
+                "layer shapes disagree: {} -> {}",
+                pair[0].out_len(),
+                pair[1].in_len()
+            );
+        }
+        assert_eq!(
+            layers.last().expect("non-empty").out_len(),
+            n_classes,
+            "final layer must emit n_classes logits"
+        );
+        Network { layers, n_classes, lr, momentum }
+    }
+
+    /// Input length per sample.
+    pub fn input_len(&self) -> usize {
+        self.layers[0].in_len()
+    }
+
+    /// Number of output classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Current learning rate.
+    pub fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    /// Override the learning rate.
+    pub fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    /// Total trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.param_count()).sum()
+    }
+
+    /// Forward pass producing logits (`[batch, n_classes]`).
+    pub fn forward(&mut self, input: &[f32], batch: usize) -> Vec<f32> {
+        assert_eq!(input.len(), batch * self.input_len(), "input shape mismatch");
+        let mut x = input.to_vec();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, batch);
+        }
+        x
+    }
+
+    /// One SGD step over a mini-batch; returns the mean loss.
+    pub fn train_batch(&mut self, input: &[f32], labels: &[usize]) -> f32 {
+        let batch = labels.len();
+        let logits = self.forward(input, batch);
+        let (loss, mut grad) = softmax_cross_entropy(&logits, labels, self.n_classes);
+        for layer in self.layers.iter_mut().rev() {
+            grad = layer.backward(&grad, batch);
+        }
+        for layer in &mut self.layers {
+            layer.apply_grads(self.lr, self.momentum);
+        }
+        loss
+    }
+
+    /// Accumulate gradients over a mini-batch *without* applying them
+    /// (used for gradient-divergence analysis); returns the mean loss.
+    pub fn accumulate_batch(&mut self, input: &[f32], labels: &[usize]) -> f32 {
+        let batch = labels.len();
+        let logits = self.forward(input, batch);
+        let (loss, mut grad) = softmax_cross_entropy(&logits, labels, self.n_classes);
+        for layer in self.layers.iter_mut().rev() {
+            grad = layer.backward(&grad, batch);
+        }
+        loss
+    }
+
+    /// Apply whatever gradients are accumulated, then clear them.
+    pub fn step(&mut self) {
+        for layer in &mut self.layers {
+            layer.apply_grads(self.lr, self.momentum);
+        }
+    }
+
+    /// Discard accumulated gradients.
+    pub fn zero_grads(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grads();
+        }
+    }
+
+    /// Class predictions for a batch.
+    pub fn predict(&mut self, input: &[f32], batch: usize) -> Vec<usize> {
+        let logits = self.forward(input, batch);
+        predictions(&logits, self.n_classes)
+    }
+
+    /// Accuracy over a labelled batch.
+    pub fn accuracy(&mut self, input: &[f32], labels: &[usize]) -> f64 {
+        if labels.is_empty() {
+            return 0.0;
+        }
+        let preds = self.predict(input, labels.len());
+        let correct = preds.iter().zip(labels).filter(|(p, l)| p == l).count();
+        correct as f64 / labels.len() as f64
+    }
+
+    /// Snapshot all parameters into one flat vector (FedAvg upload).
+    pub fn flat_params(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.param_count()];
+        let mut cursor = 0;
+        for layer in &self.layers {
+            cursor += layer.read_params(&mut out[cursor..cursor + layer.param_count()]);
+        }
+        debug_assert_eq!(cursor, out.len());
+        out
+    }
+
+    /// Load all parameters from a flat vector (FedAvg download).
+    ///
+    /// # Panics
+    /// Panics if the length differs from [`Network::param_count`].
+    pub fn set_flat_params(&mut self, params: &[f32]) {
+        assert_eq!(params.len(), self.param_count(), "flat parameter length mismatch");
+        let mut cursor = 0;
+        for layer in &mut self.layers {
+            cursor += layer.write_params(&params[cursor..cursor + layer.param_count()]);
+        }
+    }
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("layers", &self.layers.len())
+            .field("params", &self.param_count())
+            .field("n_classes", &self.n_classes)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::Dense;
+    use crate::layer::Relu;
+
+    fn tiny_net(seed: u64) -> Network {
+        Network::new(
+            vec![
+                Box::new(Dense::new(4, 8, seed)),
+                Box::new(Relu::new(8)),
+                Box::new(Dense::new(8, 3, seed + 1)),
+            ],
+            3,
+            0.1,
+            0.0,
+        )
+    }
+
+    /// A linearly separable 3-class toy problem.
+    fn toy_data(n: usize) -> (Vec<f32>, Vec<usize>) {
+        let mut x = Vec::with_capacity(n * 4);
+        let mut y = Vec::with_capacity(n);
+        for i in 0..n {
+            let class = i % 3;
+            let noise = ((i * 37) % 11) as f32 / 50.0;
+            let mut f = [noise; 4];
+            f[class] += 1.5;
+            x.extend_from_slice(&f);
+            y.push(class);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn training_converges_on_separable_data() {
+        let mut net = tiny_net(1);
+        let (x, y) = toy_data(60);
+        let mut final_loss = f32::INFINITY;
+        for _ in 0..100 {
+            final_loss = net.train_batch(&x, &y);
+        }
+        assert!(final_loss < 0.1, "loss {final_loss}");
+        assert!(net.accuracy(&x, &y) > 0.95);
+    }
+
+    #[test]
+    fn flat_params_roundtrip_preserves_behaviour() {
+        let mut a = tiny_net(5);
+        let (x, y) = toy_data(30);
+        for _ in 0..10 {
+            a.train_batch(&x, &y);
+        }
+        let snapshot = a.flat_params();
+        let mut b = tiny_net(999);
+        b.set_flat_params(&snapshot);
+        assert_eq!(a.forward(&x, 30), b.forward(&x, 30));
+    }
+
+    #[test]
+    fn param_count_is_consistent() {
+        let net = tiny_net(2);
+        assert_eq!(net.param_count(), 4 * 8 + 8 + 8 * 3 + 3);
+        assert_eq!(net.flat_params().len(), net.param_count());
+    }
+
+    #[test]
+    fn accumulate_then_step_equals_train_batch() {
+        let (x, y) = toy_data(12);
+        let mut a = tiny_net(7);
+        let mut b = tiny_net(7);
+        a.train_batch(&x, &y);
+        b.accumulate_batch(&x, &y);
+        b.step();
+        assert_eq!(a.flat_params(), b.flat_params());
+    }
+
+    #[test]
+    fn zero_grads_discards_pending_update() {
+        let (x, y) = toy_data(12);
+        let mut a = tiny_net(7);
+        let before = a.flat_params();
+        a.accumulate_batch(&x, &y);
+        a.zero_grads();
+        a.step();
+        assert_eq!(a.flat_params(), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "shapes disagree")]
+    fn shape_mismatch_rejected() {
+        let _ = Network::new(
+            vec![Box::new(Dense::new(4, 8, 0)), Box::new(Dense::new(9, 3, 1))],
+            3,
+            0.1,
+            0.0,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrong_flat_param_length_panics() {
+        let mut net = tiny_net(3);
+        net.set_flat_params(&[0.0; 3]);
+    }
+}

@@ -1,0 +1,125 @@
+//! Balanced chunking of an index range.
+
+use std::ops::Range;
+
+/// Iterator over balanced sub-ranges of `0..len`, at most `chunks` of them.
+///
+/// The first `len % chunks` ranges are one element longer than the rest, so
+/// range lengths never differ by more than one. Empty ranges are never
+/// yielded: if `len < chunks`, only `len` singleton ranges are produced.
+#[derive(Debug, Clone)]
+pub struct ChunkRanges {
+    len: usize,
+    base: usize,
+    extra: usize,
+    next_start: usize,
+    emitted: usize,
+    total: usize,
+}
+
+impl Iterator for ChunkRanges {
+    type Item = Range<usize>;
+
+    fn next(&mut self) -> Option<Range<usize>> {
+        if self.emitted >= self.total || self.next_start >= self.len {
+            return None;
+        }
+        let mut size = self.base;
+        if self.emitted < self.extra {
+            size += 1;
+        }
+        let start = self.next_start;
+        let end = (start + size).min(self.len);
+        self.next_start = end;
+        self.emitted += 1;
+        Some(start..end)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.total - self.emitted;
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for ChunkRanges {}
+
+/// Split `0..len` into at most `chunks` balanced, contiguous, non-empty ranges.
+///
+/// # Panics
+/// Panics if `chunks == 0`.
+///
+/// # Examples
+/// ```
+/// let ranges: Vec<_> = fedsched_parallel::chunk_ranges(10, 3).collect();
+/// assert_eq!(ranges, vec![0..4, 4..7, 7..10]);
+/// ```
+pub fn chunk_ranges(len: usize, chunks: usize) -> ChunkRanges {
+    assert!(chunks > 0, "chunk_ranges: chunks must be non-zero");
+    let effective = chunks.min(len.max(1));
+    ChunkRanges {
+        len,
+        base: if len == 0 { 0 } else { len / effective },
+        extra: if len == 0 { 0 } else { len % effective },
+        next_start: 0,
+        emitted: 0,
+        total: effective,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_whole_range_without_overlap() {
+        for len in 0..50usize {
+            for chunks in 1..8usize {
+                let ranges: Vec<_> = chunk_ranges(len, chunks).collect();
+                let mut cursor = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, cursor, "gap/overlap at len={len} chunks={chunks}");
+                    assert!(r.end > r.start, "empty range yielded");
+                    cursor = r.end;
+                }
+                assert_eq!(cursor, len, "range does not cover len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_within_one() {
+        for len in 1..100usize {
+            for chunks in 1..10usize {
+                let sizes: Vec<_> = chunk_ranges(len, chunks).map(|r| r.len()).collect();
+                let min = *sizes.iter().min().unwrap();
+                let max = *sizes.iter().max().unwrap();
+                assert!(max - min <= 1, "unbalanced: len={len} chunks={chunks} sizes={sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_len_yields_nothing() {
+        assert_eq!(chunk_ranges(0, 4).count(), 0);
+    }
+
+    #[test]
+    fn more_chunks_than_len_yields_singletons() {
+        let ranges: Vec<_> = chunk_ranges(3, 10).collect();
+        assert_eq!(ranges, vec![0..1, 1..2, 2..3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_chunks_panics() {
+        let _ = chunk_ranges(5, 0);
+    }
+
+    #[test]
+    fn exact_size_hint() {
+        let mut it = chunk_ranges(10, 3);
+        assert_eq!(it.len(), 3);
+        it.next();
+        assert_eq!(it.len(), 2);
+    }
+}

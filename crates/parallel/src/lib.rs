@@ -1,0 +1,30 @@
+//! Minimal data-parallel primitives for the `fedsched` workspace.
+//!
+//! The workspace deliberately avoids heavyweight parallelism dependencies and
+//! instead builds the few primitives it needs on top of [`crossbeam`]'s scoped
+//! threads and channels, following the patterns of *Rust Atomics and Locks*:
+//!
+//! * [`ThreadPool`] — a persistent pool with a shared injector queue, used by
+//!   the neural-network crate for repeated mini-batch data parallelism where
+//!   per-call thread spawning would dominate.
+//! * [`parallel_for`] / [`parallel_map`] / [`parallel_reduce`] — scoped
+//!   fork-join helpers with *deterministic* results: work is claimed through an
+//!   atomic index so scheduling is dynamic, but reductions are always folded in
+//!   index order.
+//! * [`chunk_ranges`] — balanced chunking of `0..n` into at most `k` ranges.
+//!
+//! All primitives guarantee data-race freedom through scoped borrows; no
+//! `unsafe` is used anywhere in this crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chunks;
+mod pool;
+mod scope_par;
+
+pub use chunks::{chunk_ranges, ChunkRanges};
+pub use pool::{PoolError, ThreadPool};
+pub use scope_par::{
+    parallel_for, parallel_for_slices, parallel_map, parallel_reduce, recommended_threads,
+};

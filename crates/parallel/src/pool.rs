@@ -1,0 +1,240 @@
+//! A persistent thread pool with a shared injector queue.
+//!
+//! The neural-network crate runs thousands of small batch-parallel regions per
+//! training epoch; spawning scoped threads for each would dominate runtime.
+//! [`ThreadPool`] keeps workers parked on a crossbeam channel instead, and
+//! exposes a blocking [`ThreadPool::run`] that executes a closure over an index
+//! range and waits for completion.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+
+/// A job shipped to the workers: claim grains from `cursor` until `len` is
+/// exhausted, run `body` on each index, and signal `done` when the last worker
+/// finishes its share.
+struct Job {
+    len: usize,
+    grain: usize,
+    cursor: AtomicUsize,
+    pending: AtomicUsize,
+    poisoned: AtomicBool,
+    body: Box<dyn Fn(usize) + Send + Sync>,
+    done: Sender<bool>,
+}
+
+impl Job {
+    fn run_worker_share(&self) {
+        let result = catch_unwind(AssertUnwindSafe(|| loop {
+            let start = self.cursor.fetch_add(self.grain, Ordering::Relaxed);
+            if start >= self.len {
+                break;
+            }
+            let end = (start + self.grain).min(self.len);
+            for i in start..end {
+                (self.body)(i);
+            }
+        }));
+        if result.is_err() {
+            // Drain the cursor so sibling workers stop promptly, then record
+            // the panic; it is re-raised on the submitting thread.
+            self.cursor.store(self.len, Ordering::Relaxed);
+            self.poisoned.store(true, Ordering::Relaxed);
+        }
+        if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let ok = !self.poisoned.load(Ordering::Relaxed);
+            let _ = self.done.send(ok);
+        }
+    }
+}
+
+enum Message {
+    Work(Arc<Job>),
+    Shutdown,
+}
+
+/// Error returned when a pooled job panicked on a worker thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolError;
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "a thread-pool job panicked on a worker thread")
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// A fixed-size persistent thread pool for repeated fork-join regions.
+///
+/// Unlike the scoped helpers in [`crate::parallel_for`], the closure must be
+/// `'static` because workers outlive the call site; callers typically share
+/// state through `Arc` or pre-split owned buffers. For borrowed data prefer
+/// the scoped helpers.
+pub struct ThreadPool {
+    senders: Vec<Sender<Message>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    threads: usize,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool").field("threads", &self.threads).finish()
+    }
+}
+
+impl ThreadPool {
+    /// Create a pool with `threads` workers (at least one).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let mut senders = Vec::with_capacity(threads);
+        let mut handles = Vec::with_capacity(threads);
+        for worker_id in 0..threads {
+            let (tx, rx): (Sender<Message>, Receiver<Message>) = unbounded();
+            senders.push(tx);
+            let handle = std::thread::Builder::new()
+                .name(format!("fedsched-pool-{worker_id}"))
+                .spawn(move || {
+                    while let Ok(msg) = rx.recv() {
+                        match msg {
+                            Message::Work(job) => job.run_worker_share(),
+                            Message::Shutdown => break,
+                        }
+                    }
+                })
+                .expect("failed to spawn pool worker");
+            handles.push(handle);
+        }
+        ThreadPool { senders, handles, threads }
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Execute `body(i)` for each `i in 0..len` across the pool and block
+    /// until all iterations complete. Grain size is chosen automatically.
+    ///
+    /// Returns `Err(PoolError)` if `body` panicked on any worker.
+    pub fn run<F>(&self, len: usize, body: F) -> Result<(), PoolError>
+    where
+        F: Fn(usize) + Send + Sync + 'static,
+    {
+        self.run_with_grain(len, (len / (self.threads * 4)).max(1), body)
+    }
+
+    /// Like [`ThreadPool::run`] with an explicit grain size.
+    pub fn run_with_grain<F>(&self, len: usize, grain: usize, body: F) -> Result<(), PoolError>
+    where
+        F: Fn(usize) + Send + Sync + 'static,
+    {
+        if len == 0 {
+            return Ok(());
+        }
+        let (done_tx, done_rx) = bounded(1);
+        let participants = self.threads.min(len);
+        let job = Arc::new(Job {
+            len,
+            grain: grain.max(1),
+            cursor: AtomicUsize::new(0),
+            pending: AtomicUsize::new(participants),
+            poisoned: AtomicBool::new(false),
+            body: Box::new(body),
+            done: done_tx,
+        });
+        for sender in self.senders.iter().take(participants) {
+            sender
+                .send(Message::Work(Arc::clone(&job)))
+                .expect("pool worker hung up");
+        }
+        let ok = done_rx.recv().expect("pool completion channel closed");
+        if ok {
+            Ok(())
+        } else {
+            Err(PoolError)
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        for sender in &self.senders {
+            let _ = sender.send(Message::Shutdown);
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn run_covers_all_indices() {
+        let pool = ThreadPool::new(4);
+        let hits: Arc<Vec<AtomicU64>> = Arc::new((0..500).map(|_| AtomicU64::new(0)).collect());
+        let h = Arc::clone(&hits);
+        pool.run(500, move |i| {
+            h[i].fetch_add(1, Ordering::Relaxed);
+        })
+        .unwrap();
+        assert!(hits.iter().all(|x| x.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn run_zero_len_is_noop() {
+        let pool = ThreadPool::new(2);
+        pool.run(0, |_| panic!("must not be called")).unwrap();
+    }
+
+    #[test]
+    fn pool_is_reusable_across_jobs() {
+        let pool = ThreadPool::new(3);
+        for round in 0..50u64 {
+            let sum = Arc::new(AtomicU64::new(0));
+            let s = Arc::clone(&sum);
+            pool.run(100, move |i| {
+                s.fetch_add(i as u64 + round, Ordering::Relaxed);
+            })
+            .unwrap();
+            assert_eq!(sum.load(Ordering::Relaxed), 4950 + 100 * round);
+        }
+    }
+
+    #[test]
+    fn worker_panic_is_reported_and_pool_survives() {
+        let pool = ThreadPool::new(2);
+        let err = pool.run(10, |i| {
+            if i == 5 {
+                panic!("boom");
+            }
+        });
+        assert_eq!(err, Err(PoolError));
+        // Pool must still work after a poisoned job.
+        let sum = Arc::new(AtomicU64::new(0));
+        let s = Arc::clone(&sum);
+        pool.run(10, move |i| {
+            s.fetch_add(i as u64, Ordering::Relaxed);
+        })
+        .unwrap();
+        assert_eq!(sum.load(Ordering::Relaxed), 45);
+    }
+
+    #[test]
+    fn single_thread_pool_works() {
+        let pool = ThreadPool::new(1);
+        let sum = Arc::new(AtomicU64::new(0));
+        let s = Arc::clone(&sum);
+        pool.run(1000, move |i| {
+            s.fetch_add(i as u64, Ordering::Relaxed);
+        })
+        .unwrap();
+        assert_eq!(sum.load(Ordering::Relaxed), 499_500);
+    }
+}

@@ -1,0 +1,253 @@
+//! Scoped fork-join helpers with dynamic scheduling and deterministic results.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::chunk_ranges;
+
+/// Number of worker threads to use by default: the machine's available
+/// parallelism, capped at 16 (the simulated workloads rarely benefit beyond
+/// that and the cap keeps test machines with many cores from oversubscribing
+/// the memory bus on small problems).
+pub fn recommended_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(16)
+}
+
+/// Run `body(i)` for every `i in 0..len` using up to `threads` workers.
+///
+/// Work is claimed in fixed-size grains through a shared atomic counter, so a
+/// slow iteration does not stall the others (dynamic load balancing). `body`
+/// must be `Sync` because multiple workers call it concurrently.
+///
+/// Falls back to a plain sequential loop when `threads <= 1` or `len <= 1`.
+pub fn parallel_for<F>(len: usize, threads: usize, body: F)
+where
+    F: Fn(usize) + Sync,
+{
+    if threads <= 1 || len <= 1 {
+        for i in 0..len {
+            body(i);
+        }
+        return;
+    }
+    let workers = threads.min(len);
+    // Grain: aim for ~4 grains per worker to balance scheduling overhead
+    // against load imbalance.
+    let grain = (len / (workers * 4)).max(1);
+    let cursor = AtomicUsize::new(0);
+    crossbeam::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|_| loop {
+                let start = cursor.fetch_add(grain, Ordering::Relaxed);
+                if start >= len {
+                    break;
+                }
+                let end = (start + grain).min(len);
+                for i in start..end {
+                    body(i);
+                }
+            });
+        }
+    })
+    .expect("parallel_for worker panicked");
+}
+
+/// Map `0..len` through `f` in parallel, returning results in index order.
+///
+/// Output order is deterministic regardless of scheduling: each worker writes
+/// into its own slot of a pre-allocated buffer.
+pub fn parallel_map<T, F>(len: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if threads <= 1 || len <= 1 {
+        return (0..len).map(f).collect();
+    }
+    let workers = threads.min(len);
+    let mut out: Vec<Option<T>> = Vec::with_capacity(len);
+    out.resize_with(len, || None);
+    crossbeam::thread::scope(|s| {
+        // Give each worker a balanced contiguous slice of the output buffer;
+        // contiguous writes keep false sharing to the chunk boundaries only.
+        let mut rest: &mut [Option<T>] = &mut out;
+        let mut offset = 0;
+        for range in chunk_ranges(len, workers) {
+            let (chunk, tail) = rest.split_at_mut(range.len());
+            rest = tail;
+            let base = offset;
+            offset += range.len();
+            let f = &f;
+            s.spawn(move |_| {
+                for (k, slot) in chunk.iter_mut().enumerate() {
+                    *slot = Some(f(base + k));
+                }
+            });
+        }
+    })
+    .expect("parallel_map worker panicked");
+    out.into_iter()
+        .map(|slot| slot.expect("parallel_map slot not filled"))
+        .collect()
+}
+
+/// Split `out` into `items` equal contiguous chunks of `out.len() / items`
+/// elements and run `body(item, chunk)` for each in parallel.
+///
+/// This is the workhorse of batch-parallel neural-network kernels: each
+/// batch item owns a disjoint output slice, so the closure gets `&mut`
+/// access with no locking and no `unsafe`.
+///
+/// # Panics
+/// Panics if `out.len()` is not divisible by `items`.
+pub fn parallel_for_slices<T, F>(out: &mut [T], items: usize, threads: usize, body: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    if items == 0 {
+        return;
+    }
+    assert_eq!(out.len() % items, 0, "output length must divide evenly into items");
+    let item_len = out.len() / items;
+    if threads <= 1 || items == 1 {
+        for (i, chunk) in out.chunks_mut(item_len.max(1)).enumerate().take(items) {
+            body(i, chunk);
+        }
+        return;
+    }
+    let workers = threads.min(items);
+    crossbeam::thread::scope(|s| {
+        let mut rest = out;
+        let mut item_offset = 0usize;
+        for range in chunk_ranges(items, workers) {
+            let take = range.len() * item_len;
+            let (mine, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let base = item_offset;
+            item_offset += range.len();
+            let body = &body;
+            s.spawn(move |_| {
+                for (k, chunk) in mine.chunks_mut(item_len.max(1)).enumerate() {
+                    body(base + k, chunk);
+                }
+            });
+        }
+    })
+    .expect("parallel_for_slices worker panicked");
+}
+
+/// Parallel map-reduce over `0..len`: compute `f(i)` in parallel, then fold
+/// the results **in index order** with `fold`, starting from `init`.
+///
+/// Folding in index order makes floating-point reductions reproducible across
+/// runs and thread counts, which the profiler's regression tests rely on.
+pub fn parallel_reduce<T, A, F, G>(len: usize, threads: usize, init: A, f: F, fold: G) -> A
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+    G: Fn(A, T) -> A,
+{
+    let mapped = parallel_map(len, threads, f);
+    mapped.into_iter().fold(init, fold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn parallel_for_visits_every_index_once() {
+        let n = 1000;
+        let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        parallel_for(n, 4, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn parallel_for_sequential_fallback() {
+        let sum = AtomicU64::new(0);
+        parallel_for(10, 1, |i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 45);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map(257, 8, |i| i * i);
+        let expect: Vec<_> = (0..257).map(|i| i * i).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn parallel_map_empty_and_single() {
+        assert_eq!(parallel_map(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(parallel_map(1, 4, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn parallel_reduce_deterministic_float_sum() {
+        // Sum of many floats of wildly different magnitudes: index-ordered
+        // folding must give bit-identical results across thread counts.
+        let f = |i: usize| 1.0f64 / (1.0 + i as f64).powi(2);
+        let s1 = parallel_reduce(10_000, 1, 0.0f64, f, |a, x| a + x);
+        let s4 = parallel_reduce(10_000, 4, 0.0f64, f, |a, x| a + x);
+        let s9 = parallel_reduce(10_000, 9, 0.0f64, f, |a, x| a + x);
+        assert_eq!(s1.to_bits(), s4.to_bits());
+        assert_eq!(s1.to_bits(), s9.to_bits());
+        assert!((s1 - std::f64::consts::PI * std::f64::consts::PI / 6.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn parallel_for_slices_fills_disjoint_chunks() {
+        let mut out = vec![0u32; 12 * 5];
+        parallel_for_slices(&mut out, 12, 4, |item, chunk| {
+            assert_eq!(chunk.len(), 5);
+            for v in chunk {
+                *v = item as u32;
+            }
+        });
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i / 5) as u32);
+        }
+    }
+
+    #[test]
+    fn parallel_for_slices_single_thread_matches() {
+        let mut a = vec![0.0f64; 30];
+        let mut b = vec![0.0f64; 30];
+        let f = |item: usize, chunk: &mut [f64]| {
+            for (k, v) in chunk.iter_mut().enumerate() {
+                *v = (item * 10 + k) as f64;
+            }
+        };
+        parallel_for_slices(&mut a, 10, 1, f);
+        parallel_for_slices(&mut b, 10, 7, f);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide evenly")]
+    fn parallel_for_slices_rejects_ragged() {
+        let mut out = vec![0u8; 10];
+        parallel_for_slices(&mut out, 3, 2, |_, _| {});
+    }
+
+    #[test]
+    fn parallel_for_slices_zero_items_is_noop() {
+        let mut out: Vec<u8> = Vec::new();
+        parallel_for_slices(&mut out, 0, 4, |_, _| panic!("must not run"));
+    }
+
+    #[test]
+    fn recommended_threads_is_positive() {
+        assert!(recommended_threads() >= 1);
+        assert!(recommended_threads() <= 16);
+    }
+}

@@ -1,0 +1,40 @@
+//! Performance profiling for mobile on-device training (paper Section IV-B).
+//!
+//! The parameter server schedules work using *predicted* per-user training
+//! times. This crate implements the paper's two-step profiler:
+//!
+//! 1. **Step 1** — for each measured data size `d`, fit a multiple linear
+//!    regression `time = b0 + b1 * conv_params + b2 * dense_params` across a
+//!    set of benchmark model architectures (paper Eq. (1), Fig. 4(a)).
+//! 2. **Step 2** — for a target architecture, evaluate the step-1 models at
+//!    every measured `d` and regress those predictions against data size,
+//!    yielding a curve `time(d)` usable for unseen sizes (Fig. 4(b)).
+//!
+//! The resulting [`TimeProfile`]s are *monotone non-decreasing* in data size
+//! (paper Property 1); tabulated profiles are made monotone by an isotonic
+//! (pool-adjacent-violators) pass. The scheduling algorithms in
+//! `fedsched-core` consume profiles only through the [`CostProfile`] trait.
+//!
+//! The least-squares solver is a self-contained Householder-QR implementation
+//! in [`linalg`]; no external linear-algebra crate is used.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod linalg;
+pub mod online;
+pub mod profile;
+pub mod regress;
+pub mod twostep;
+
+pub use linalg::Matrix;
+pub use online::OnlineProfiler;
+pub use profile::{
+    isotonic_non_decreasing, CostProfile, LinearProfile, PolyProfile, TabulatedProfile,
+};
+pub use regress::{LinearRegression, RegressError};
+pub use twostep::{ArchPoint, ModelArch, TwoStepProfiler};
+
+/// `TimeProfile` is the historical name used throughout the paper discussion;
+/// it is an alias for the boxed trait object form of [`CostProfile`].
+pub type TimeProfile = Box<dyn CostProfile>;

@@ -1,0 +1,327 @@
+//! Small dense linear algebra: just enough for least-squares regression.
+//!
+//! A row-major [`Matrix`] with Householder-QR least squares. Dimensions in
+//! this workspace are tiny (tens of rows, <10 columns), so clarity and
+//! numerical robustness are preferred over blocking/SIMD.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+/// Error from a linear solve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// The system is (numerically) rank deficient.
+    RankDeficient,
+    /// Dimension mismatch between operands.
+    DimensionMismatch,
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::RankDeficient => write!(f, "matrix is numerically rank deficient"),
+            LinalgError::DimensionMismatch => write!(f, "operand dimensions do not match"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+impl Matrix {
+    /// Create a `rows x cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Create a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "Matrix::from_rows: data length mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow a row as a slice.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t[(c, r)] = self[(r, c)];
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self * other`.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul: inner dimensions differ");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(r, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for c in 0..other.cols {
+                    out[(r, c)] += a * other[(k, c)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix-vector product.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(self.cols, v.len(), "matvec: dimension mismatch");
+        (0..self.rows)
+            .map(|r| self.row(r).iter().zip(v).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    /// Solve the least-squares problem `min ||self * x - y||_2` via
+    /// Householder QR with column-pivot-free rank check.
+    ///
+    /// Requires `rows >= cols`. Returns [`LinalgError::RankDeficient`] when a
+    /// diagonal of `R` is numerically zero.
+    pub fn lstsq(&self, y: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let (m, n) = (self.rows, self.cols);
+        if y.len() != m || m < n || n == 0 {
+            return Err(LinalgError::DimensionMismatch);
+        }
+        // Work on copies: `a` becomes R in-place, `b` accumulates Q^T y.
+        let mut a = self.data.clone();
+        let mut b = y.to_vec();
+        let idx = |r: usize, c: usize| r * n + c;
+
+        for k in 0..n {
+            // Householder reflector for column k, rows k..m.
+            let mut norm = 0.0;
+            for r in k..m {
+                norm += a[idx(r, k)] * a[idx(r, k)];
+            }
+            let norm = norm.sqrt();
+            if norm == 0.0 {
+                return Err(LinalgError::RankDeficient);
+            }
+            let alpha = if a[idx(k, k)] >= 0.0 { -norm } else { norm };
+            // v = x - alpha * e1 (stored in place of column k below diag).
+            let mut v = vec![0.0; m - k];
+            v[0] = a[idx(k, k)] - alpha;
+            for r in (k + 1)..m {
+                v[r - k] = a[idx(r, k)];
+            }
+            let vtv: f64 = v.iter().map(|x| x * x).sum();
+            if vtv == 0.0 {
+                // Column already triangular; nothing to reflect.
+                continue;
+            }
+            // Apply H = I - 2 v v^T / (v^T v) to remaining columns and to b.
+            for c in k..n {
+                let mut dot = 0.0;
+                for r in k..m {
+                    dot += v[r - k] * a[idx(r, c)];
+                }
+                let scale = 2.0 * dot / vtv;
+                for r in k..m {
+                    a[idx(r, c)] -= scale * v[r - k];
+                }
+            }
+            let mut dot = 0.0;
+            for r in k..m {
+                dot += v[r - k] * b[r];
+            }
+            let scale = 2.0 * dot / vtv;
+            for r in k..m {
+                b[r] -= scale * v[r - k];
+            }
+        }
+
+        // Back substitution on the upper-triangular R (top n x n of `a`).
+        let mut x = vec![0.0; n];
+        for k in (0..n).rev() {
+            let diag = a[idx(k, k)];
+            let scale_ref = self
+                .data
+                .iter()
+                .fold(0.0f64, |acc, v| acc.max(v.abs()))
+                .max(1.0);
+            if diag.abs() < 1e-12 * scale_ref {
+                return Err(LinalgError::RankDeficient);
+            }
+            let mut sum = b[k];
+            for c in (k + 1)..n {
+                sum -= a[idx(k, c)] * x[c];
+            }
+            x[k] = sum / diag;
+        }
+        Ok(x)
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < tol, "{a:?} != {b:?}");
+        }
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Matrix::from_rows(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let i = Matrix::identity(3);
+        assert_eq!(a.matmul(&i), a);
+    }
+
+    #[test]
+    fn transpose_twice_roundtrips() {
+        let a = Matrix::from_rows(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Matrix::from_rows(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(a.matvec(&[5.0, 6.0]), vec![17.0, 39.0]);
+    }
+
+    #[test]
+    fn lstsq_square_exact() {
+        // 2x + y = 5 ; x - y = 1  =>  x = 2, y = 1
+        let a = Matrix::from_rows(2, 2, vec![2.0, 1.0, 1.0, -1.0]);
+        let x = a.lstsq(&[5.0, 1.0]).unwrap();
+        assert_close(&x, &[2.0, 1.0], 1e-10);
+    }
+
+    #[test]
+    fn lstsq_overdetermined_recovers_plane() {
+        // y = 3 + 2*a - b with exact data: residual should be ~0.
+        let pts = [
+            (0.0, 0.0),
+            (1.0, 0.0),
+            (0.0, 1.0),
+            (2.0, 3.0),
+            (4.0, 1.0),
+            (5.0, 5.0),
+        ];
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for &(a, b) in &pts {
+            rows.extend_from_slice(&[1.0, a, b]);
+            y.push(3.0 + 2.0 * a - b);
+        }
+        let x = Matrix::from_rows(pts.len(), 3, rows).lstsq(&y).unwrap();
+        assert_close(&x, &[3.0, 2.0, -1.0], 1e-9);
+    }
+
+    #[test]
+    fn lstsq_minimizes_residual_on_noisy_data() {
+        // For inconsistent systems the solution must satisfy the normal
+        // equations A^T A x = A^T y.
+        let a = Matrix::from_rows(4, 2, vec![1.0, 1.0, 1.0, 2.0, 1.0, 3.0, 1.0, 4.0]);
+        let y = [6.0, 5.0, 7.0, 10.0];
+        let x = a.lstsq(&y).unwrap();
+        let at = a.transpose();
+        let ata = at.matmul(&a);
+        let aty = at.matvec(&y);
+        let lhs = ata.matvec(&x);
+        assert_close(&lhs, &aty, 1e-9);
+        // Known closed form for this classic example: intercept 3.5, slope 1.4.
+        assert_close(&x, &[3.5, 1.4], 1e-9);
+    }
+
+    #[test]
+    fn lstsq_detects_rank_deficiency() {
+        // Two identical columns.
+        let a = Matrix::from_rows(3, 2, vec![1.0, 1.0, 2.0, 2.0, 3.0, 3.0]);
+        assert_eq!(a.lstsq(&[1.0, 2.0, 3.0]), Err(LinalgError::RankDeficient));
+    }
+
+    #[test]
+    fn lstsq_rejects_underdetermined() {
+        let a = Matrix::from_rows(1, 2, vec![1.0, 1.0]);
+        assert_eq!(a.lstsq(&[1.0]), Err(LinalgError::DimensionMismatch));
+    }
+
+    #[test]
+    fn lstsq_handles_badly_scaled_columns() {
+        // Columns scaled by 1e6 apart: QR must still recover coefficients.
+        let n = 20;
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let t = i as f64;
+            rows.extend_from_slice(&[1.0, t * 1e6, t * t * 1e-6]);
+            y.push(2.0 + 3e-6 * (t * 1e6) + 5e6 * (t * t * 1e-6));
+        }
+        let x = Matrix::from_rows(n, 3, rows).lstsq(&y).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-6);
+        assert!((x[1] - 3e-6).abs() < 1e-12);
+        assert!((x[2] - 5e6).abs() < 1e-2);
+    }
+
+    #[test]
+    fn frobenius_norm_matches_hand_value() {
+        let a = Matrix::from_rows(2, 2, vec![3.0, 0.0, 0.0, 4.0]);
+        assert!((a.frobenius_norm() - 5.0).abs() < 1e-12);
+    }
+}

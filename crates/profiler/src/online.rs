@@ -1,0 +1,202 @@
+//! Online profiling: refine a device's time profile from observed rounds.
+//!
+//! The paper builds profiles "either online through a bootstrapping phase or
+//! offline measured by a collection of devices" (Section IV-B). This module
+//! implements the online path: the server observes `(samples, seconds)`
+//! pairs as rounds complete and maintains a recursive least-squares fit of
+//! `time = fixed + per_sample * samples`, with exponential forgetting so the
+//! profile tracks slow drift (battery aging, ambient temperature, background
+//! load) without refitting from scratch.
+
+use serde::{Deserialize, Serialize};
+
+use crate::profile::{CostProfile, LinearProfile};
+
+/// Recursive least squares with exponential forgetting over the model
+/// `y = b0 + b1 * x`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OnlineProfiler {
+    /// Forgetting factor in `(0, 1]`: 1.0 = ordinary RLS, smaller values
+    /// weight recent rounds more.
+    lambda: f64,
+    /// Parameter estimate `[b0, b1]`.
+    theta: [f64; 2],
+    /// Inverse covariance `P` (2x2, row-major).
+    p: [f64; 4],
+    /// Observations absorbed so far.
+    observations: usize,
+}
+
+impl OnlineProfiler {
+    /// Create a profiler with forgetting factor `lambda` (use 1.0 for a
+    /// stationary device, ~0.98 to track drift).
+    ///
+    /// # Panics
+    /// Panics unless `0 < lambda <= 1`.
+    pub fn new(lambda: f64) -> Self {
+        assert!(lambda > 0.0 && lambda <= 1.0, "lambda must be in (0, 1]");
+        OnlineProfiler {
+            lambda,
+            theta: [0.0, 0.0],
+            // Large initial covariance: the first observations dominate.
+            p: [1e6, 0.0, 0.0, 1e6],
+            observations: 0,
+        }
+    }
+
+    /// Seed the estimate from an offline profile (warm start).
+    pub fn with_prior(lambda: f64, prior: &LinearProfile) -> Self {
+        let mut s = OnlineProfiler::new(lambda);
+        s.theta = [prior.fixed, prior.per_sample];
+        // Moderate confidence in the prior.
+        s.p = [10.0, 0.0, 0.0, 1e-4];
+        s
+    }
+
+    /// Number of observed rounds.
+    pub fn observations(&self) -> usize {
+        self.observations
+    }
+
+    /// Absorb one observed round: `samples` trained in `seconds`.
+    ///
+    /// # Panics
+    /// Panics on non-finite or negative inputs.
+    pub fn observe(&mut self, samples: f64, seconds: f64) {
+        assert!(
+            samples.is_finite() && seconds.is_finite() && samples >= 0.0 && seconds >= 0.0,
+            "observations must be finite and non-negative"
+        );
+        let x = [1.0, samples];
+        // k = P x / (lambda + x' P x)
+        let px = [
+            self.p[0] * x[0] + self.p[1] * x[1],
+            self.p[2] * x[0] + self.p[3] * x[1],
+        ];
+        let denom = self.lambda + x[0] * px[0] + x[1] * px[1];
+        let k = [px[0] / denom, px[1] / denom];
+        let err = seconds - (self.theta[0] * x[0] + self.theta[1] * x[1]);
+        self.theta[0] += k[0] * err;
+        self.theta[1] += k[1] * err;
+        // P = (P - k x' P) / lambda
+        let xp = [
+            x[0] * self.p[0] + x[1] * self.p[2],
+            x[0] * self.p[1] + x[1] * self.p[3],
+        ];
+        self.p = [
+            (self.p[0] - k[0] * xp[0]) / self.lambda,
+            (self.p[1] - k[0] * xp[1]) / self.lambda,
+            (self.p[2] - k[1] * xp[0]) / self.lambda,
+            (self.p[3] - k[1] * xp[1]) / self.lambda,
+        ];
+        self.observations += 1;
+    }
+
+    /// The current estimate as a (clamped, monotone) linear profile.
+    pub fn profile(&self) -> LinearProfile {
+        LinearProfile::new(self.theta[0], self.theta[1])
+    }
+
+    /// Raw `[intercept, slope]` estimate (may be negative before clamping).
+    pub fn theta(&self) -> [f64; 2] {
+        self.theta
+    }
+}
+
+impl CostProfile for OnlineProfiler {
+    fn time_for(&self, samples: f64) -> f64 {
+        self.profile().time_for(samples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_line() {
+        let mut p = OnlineProfiler::new(1.0);
+        for i in 1..30 {
+            let n = (i * 100) as f64;
+            p.observe(n, 2.0 + 0.01 * n);
+        }
+        let t = p.theta();
+        assert!((t[0] - 2.0).abs() < 1e-3, "intercept {}", t[0]);
+        assert!((t[1] - 0.01).abs() < 1e-6, "slope {}", t[1]);
+        assert!((p.time_for(5000.0) - 52.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn tracks_drift_with_forgetting() {
+        let mut p = OnlineProfiler::new(0.9);
+        // Device slows down by 2x halfway through (thermal aging).
+        for i in 1..40 {
+            p.observe((i * 50) as f64, 0.01 * (i * 50) as f64);
+        }
+        for i in 1..40 {
+            p.observe((i * 50) as f64, 0.02 * (i * 50) as f64);
+        }
+        assert!(
+            (p.theta()[1] - 0.02).abs() < 0.002,
+            "slope should track the new regime: {}",
+            p.theta()[1]
+        );
+
+        // Without forgetting, the estimate lags between the two regimes.
+        let mut stale = OnlineProfiler::new(1.0);
+        for i in 1..40 {
+            stale.observe((i * 50) as f64, 0.01 * (i * 50) as f64);
+        }
+        for i in 1..40 {
+            stale.observe((i * 50) as f64, 0.02 * (i * 50) as f64);
+        }
+        assert!(stale.theta()[1] < p.theta()[1]);
+    }
+
+    #[test]
+    fn prior_dominates_until_evidence_accumulates() {
+        let prior = LinearProfile::new(1.0, 0.05);
+        let mut p = OnlineProfiler::with_prior(0.99, &prior);
+        assert!((p.time_for(1000.0) - 51.0).abs() < 1e-6);
+        // A single noisy observation should not wreck the estimate.
+        p.observe(1000.0, 70.0);
+        assert!(p.time_for(1000.0) < 70.0);
+        assert!(p.time_for(1000.0) > 50.0);
+    }
+
+    #[test]
+    fn noisy_observations_converge_to_mean_line() {
+        let mut p = OnlineProfiler::new(1.0);
+        for i in 0..200 {
+            let n = 100.0 + (i % 37) as f64 * 53.0;
+            let noise = ((i * 2654435761u64 % 1000) as f64 / 1000.0 - 0.5) * 0.4;
+            p.observe(n, 0.5 + 0.002 * n + noise);
+        }
+        assert!((p.theta()[1] - 0.002).abs() < 2e-4, "slope {}", p.theta()[1]);
+    }
+
+    #[test]
+    fn profile_is_clamped_monotone() {
+        let mut p = OnlineProfiler::new(1.0);
+        // Adversarial: decreasing time with size would fit a negative slope.
+        p.observe(100.0, 10.0);
+        p.observe(200.0, 5.0);
+        p.observe(300.0, 2.0);
+        let profile = p.profile();
+        assert!(profile.per_sample >= 0.0);
+        assert!(profile.time_for(400.0) >= profile.time_for(100.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda")]
+    fn invalid_lambda_rejected() {
+        let _ = OnlineProfiler::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_observation_rejected() {
+        let mut p = OnlineProfiler::new(1.0);
+        p.observe(f64::NAN, 1.0);
+    }
+}

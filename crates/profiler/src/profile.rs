@@ -1,0 +1,291 @@
+//! Training-time profiles: monotone maps from data size to seconds.
+//!
+//! Paper Property 1: for any device, the per-epoch cost
+//! `T^c(D) + T^u(M) + T^d(M)` is non-decreasing in the amount of training
+//! data `D`. Every profile type in this module upholds that invariant by
+//! construction ([`LinearProfile`], [`PolyProfile`]) or by an isotonic
+//! correction pass ([`TabulatedProfile`]).
+
+use serde::{Deserialize, Serialize};
+
+/// A device's predicted training time as a function of data size.
+///
+/// Implementations must be monotone non-decreasing in `samples` and return
+/// finite, non-negative seconds. `samples` is a count of training samples
+/// (shards are converted by the caller).
+pub trait CostProfile: Send + Sync {
+    /// Predicted training seconds for one local epoch over `samples` samples.
+    fn time_for(&self, samples: f64) -> f64;
+}
+
+impl<P: CostProfile + ?Sized> CostProfile for Box<P> {
+    fn time_for(&self, samples: f64) -> f64 {
+        (**self).time_for(samples)
+    }
+}
+
+impl<P: CostProfile + ?Sized> CostProfile for &P {
+    fn time_for(&self, samples: f64) -> f64 {
+        (**self).time_for(samples)
+    }
+}
+
+impl<P: CostProfile + ?Sized> CostProfile for std::sync::Arc<P> {
+    fn time_for(&self, samples: f64) -> f64 {
+        (**self).time_for(samples)
+    }
+}
+
+/// `time = fixed + per_sample * samples`, with both terms non-negative.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearProfile {
+    /// Fixed per-epoch overhead in seconds (model push/pull, setup).
+    pub fixed: f64,
+    /// Seconds per training sample.
+    pub per_sample: f64,
+}
+
+impl LinearProfile {
+    /// Create a linear profile; clamps negative inputs to zero so the
+    /// monotonicity invariant cannot be violated by a noisy regression fit.
+    pub fn new(fixed: f64, per_sample: f64) -> Self {
+        LinearProfile { fixed: fixed.max(0.0), per_sample: per_sample.max(0.0) }
+    }
+}
+
+impl CostProfile for LinearProfile {
+    fn time_for(&self, samples: f64) -> f64 {
+        self.fixed + self.per_sample * samples.max(0.0)
+    }
+}
+
+/// `time = c0 + c1 * samples + c2 * samples^2` with non-negative
+/// coefficients — the quadratic term captures thermal-throttling
+/// super-linearity (paper Observation 2: Nexus 6P needs 69 s for 3K samples
+/// but 220 s for 6K).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolyProfile {
+    /// Constant term (seconds).
+    pub c0: f64,
+    /// Linear term (seconds per sample).
+    pub c1: f64,
+    /// Quadratic term (seconds per sample squared).
+    pub c2: f64,
+}
+
+impl PolyProfile {
+    /// Create a quadratic profile; negative coefficients are clamped to zero
+    /// to preserve monotonicity on `samples >= 0`.
+    pub fn new(c0: f64, c1: f64, c2: f64) -> Self {
+        PolyProfile { c0: c0.max(0.0), c1: c1.max(0.0), c2: c2.max(0.0) }
+    }
+}
+
+impl CostProfile for PolyProfile {
+    fn time_for(&self, samples: f64) -> f64 {
+        let s = samples.max(0.0);
+        self.c0 + self.c1 * s + self.c2 * s * s
+    }
+}
+
+/// A profile tabulated at measured `(samples, seconds)` points with linear
+/// interpolation between points and linear extrapolation beyond the last one.
+///
+/// Construction sorts by sample count and applies
+/// [`isotonic_non_decreasing`] to the times, so interpolation is always
+/// monotone even if the raw measurements jitter downwards.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TabulatedProfile {
+    points: Vec<(f64, f64)>,
+}
+
+impl TabulatedProfile {
+    /// Build from raw measurements. Requires at least one point; all sample
+    /// counts must be finite and non-negative.
+    ///
+    /// # Panics
+    /// Panics on an empty slice or non-finite values.
+    pub fn from_measurements(raw: &[(f64, f64)]) -> Self {
+        assert!(!raw.is_empty(), "TabulatedProfile: need at least one measurement");
+        assert!(
+            raw.iter().all(|&(s, t)| s.is_finite() && t.is_finite() && s >= 0.0 && t >= 0.0),
+            "TabulatedProfile: measurements must be finite and non-negative"
+        );
+        let mut pts: Vec<(f64, f64)> = raw.to_vec();
+        pts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        // Merge duplicate x by averaging their times.
+        let mut merged: Vec<(f64, f64, usize)> = Vec::with_capacity(pts.len());
+        for (s, t) in pts {
+            match merged.last_mut() {
+                Some(last) if last.0 == s => {
+                    last.1 += t;
+                    last.2 += 1;
+                }
+                _ => merged.push((s, t, 1)),
+            }
+        }
+        let xs: Vec<f64> = merged.iter().map(|m| m.0).collect();
+        let ys: Vec<f64> = merged.iter().map(|m| m.1 / m.2 as f64).collect();
+        let ys = isotonic_non_decreasing(&ys);
+        TabulatedProfile { points: xs.into_iter().zip(ys).collect() }
+    }
+
+    /// The (sorted, monotone) interpolation knots.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+}
+
+impl CostProfile for TabulatedProfile {
+    fn time_for(&self, samples: f64) -> f64 {
+        let s = samples.max(0.0);
+        let pts = &self.points;
+        if pts.len() == 1 {
+            // Single knot: scale proportionally through the origin.
+            let (x0, y0) = pts[0];
+            return if x0 == 0.0 { y0 } else { y0 * s / x0 };
+        }
+        if s <= pts[0].0 {
+            // Interpolate between the origin and the first knot.
+            let (x0, y0) = pts[0];
+            return if x0 == 0.0 { y0 } else { y0 * s / x0 };
+        }
+        for w in pts.windows(2) {
+            let (x0, y0) = w[0];
+            let (x1, y1) = w[1];
+            if s <= x1 {
+                return y0 + (y1 - y0) * (s - x0) / (x1 - x0);
+            }
+        }
+        // Extrapolate with the slope of the last segment.
+        let (x0, y0) = pts[pts.len() - 2];
+        let (x1, y1) = pts[pts.len() - 1];
+        let slope = ((y1 - y0) / (x1 - x0)).max(0.0);
+        y1 + slope * (s - x1)
+    }
+}
+
+/// Pool-adjacent-violators: the closest (in L2) non-decreasing sequence to
+/// `values`. Used to repair noisy measured profiles so Property 1 holds.
+pub fn isotonic_non_decreasing(values: &[f64]) -> Vec<f64> {
+    // Each block: (sum, count). Merge backwards while means decrease.
+    let mut blocks: Vec<(f64, usize)> = Vec::with_capacity(values.len());
+    for &v in values {
+        blocks.push((v, 1));
+        while blocks.len() >= 2 {
+            let last = blocks[blocks.len() - 1];
+            let prev = blocks[blocks.len() - 2];
+            if prev.0 / prev.1 as f64 <= last.0 / last.1 as f64 {
+                break;
+            }
+            blocks.pop();
+            let top = blocks.last_mut().expect("non-empty");
+            top.0 += last.0;
+            top.1 += last.1;
+        }
+    }
+    let mut out = Vec::with_capacity(values.len());
+    for (sum, count) in blocks {
+        let mean = sum / count as f64;
+        out.extend(std::iter::repeat_n(mean, count));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_profile_monotone_and_clamped() {
+        let p = LinearProfile::new(-1.0, 0.5);
+        assert_eq!(p.fixed, 0.0);
+        assert_eq!(p.time_for(10.0), 5.0);
+        assert!(p.time_for(20.0) >= p.time_for(10.0));
+        assert_eq!(p.time_for(-5.0), 0.0);
+    }
+
+    #[test]
+    fn poly_profile_superlinear() {
+        // Calibrated loosely to Nexus 6P's LeNet behaviour: 3K -> ~69 s,
+        // 6K -> ~220 s (super-linear under throttling).
+        let p = PolyProfile::new(0.0, 0.0096, 4.45e-6);
+        let t3k = p.time_for(3000.0);
+        let t6k = p.time_for(6000.0);
+        assert!(t6k > 2.5 * t3k, "quadratic term must make scaling super-linear");
+    }
+
+    #[test]
+    fn tabulated_interpolates_linearly() {
+        let p = TabulatedProfile::from_measurements(&[(0.0, 0.0), (100.0, 10.0), (200.0, 30.0)]);
+        assert!((p.time_for(50.0) - 5.0).abs() < 1e-12);
+        assert!((p.time_for(150.0) - 20.0).abs() < 1e-12);
+        assert!((p.time_for(300.0) - 50.0).abs() < 1e-12); // extrapolated
+    }
+
+    #[test]
+    fn tabulated_repairs_non_monotone_measurements() {
+        let p = TabulatedProfile::from_measurements(&[(1.0, 5.0), (2.0, 3.0), (3.0, 10.0)]);
+        // Isotonic pass pools (5,3) into 4.
+        let ys: Vec<f64> = p.points().iter().map(|&(_, y)| y).collect();
+        assert_eq!(ys, vec![4.0, 4.0, 10.0]);
+        let mut prev = 0.0;
+        for s in 0..40 {
+            let t = p.time_for(s as f64 * 0.1);
+            assert!(t + 1e-12 >= prev, "profile must be monotone");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn tabulated_merges_duplicate_x() {
+        let p = TabulatedProfile::from_measurements(&[(10.0, 4.0), (10.0, 6.0)]);
+        assert_eq!(p.points(), &[(10.0, 5.0)]);
+        assert!((p.time_for(20.0) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tabulated_single_point_scales_through_origin() {
+        let p = TabulatedProfile::from_measurements(&[(100.0, 20.0)]);
+        assert!((p.time_for(50.0) - 10.0).abs() < 1e-12);
+        assert!((p.time_for(200.0) - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one measurement")]
+    fn tabulated_empty_panics() {
+        let _ = TabulatedProfile::from_measurements(&[]);
+    }
+
+    #[test]
+    fn isotonic_already_sorted_is_identity() {
+        let v = vec![1.0, 2.0, 2.0, 5.0];
+        assert_eq!(isotonic_non_decreasing(&v), v);
+    }
+
+    #[test]
+    fn isotonic_constant_output_for_reversed_input() {
+        let out = isotonic_non_decreasing(&[3.0, 2.0, 1.0]);
+        assert_eq!(out, vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn isotonic_output_is_non_decreasing_and_mean_preserving() {
+        let v = vec![4.0, 1.0, 7.0, 2.0, 2.0, 9.0, 3.0];
+        let out = isotonic_non_decreasing(&v);
+        for w in out.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12);
+        }
+        let sum_in: f64 = v.iter().sum();
+        let sum_out: f64 = out.iter().sum();
+        assert!((sum_in - sum_out).abs() < 1e-9, "PAV preserves the total mass");
+    }
+
+    #[test]
+    fn boxed_and_arc_profiles_delegate() {
+        let p: Box<dyn CostProfile> = Box::new(LinearProfile::new(1.0, 2.0));
+        assert_eq!(p.time_for(2.0), 5.0);
+        let a = std::sync::Arc::new(LinearProfile::new(1.0, 2.0));
+        assert_eq!(a.time_for(2.0), 5.0);
+    }
+}

@@ -1,0 +1,203 @@
+//! Multiple linear regression (paper Eq. (1)).
+
+use serde::{Deserialize, Serialize};
+
+use crate::linalg::{LinalgError, Matrix};
+
+/// Error from fitting a regression model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegressError {
+    /// Fewer observations than coefficients (plus intercept).
+    TooFewObservations,
+    /// Feature rows have inconsistent lengths.
+    RaggedFeatures,
+    /// The design matrix is rank deficient (e.g. a constant feature).
+    Singular,
+}
+
+impl std::fmt::Display for RegressError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegressError::TooFewObservations => {
+                write!(f, "need at least as many observations as coefficients")
+            }
+            RegressError::RaggedFeatures => write!(f, "feature rows have inconsistent lengths"),
+            RegressError::Singular => write!(f, "design matrix is rank deficient"),
+        }
+    }
+}
+
+impl std::error::Error for RegressError {}
+
+/// An ordinary-least-squares linear model `y = b0 + b1 x1 + ... + bp xp`.
+///
+/// The intercept is always fit; pass feature rows *without* a leading 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearRegression {
+    /// Intercept `b0`.
+    pub intercept: f64,
+    /// Slope coefficients `b1..bp`.
+    pub coefficients: Vec<f64>,
+    /// Coefficient of determination on the training data.
+    pub r_squared: f64,
+}
+
+impl LinearRegression {
+    /// Fit by ordinary least squares.
+    ///
+    /// `features[i]` is the feature vector of observation `i`; `targets[i]`
+    /// its response. All feature rows must share one length `p`, and
+    /// `features.len() >= p + 1`.
+    pub fn fit(features: &[Vec<f64>], targets: &[f64]) -> Result<Self, RegressError> {
+        let n = features.len();
+        if n == 0 || n != targets.len() {
+            return Err(RegressError::TooFewObservations);
+        }
+        let p = features[0].len();
+        if features.iter().any(|row| row.len() != p) {
+            return Err(RegressError::RaggedFeatures);
+        }
+        if n < p + 1 {
+            return Err(RegressError::TooFewObservations);
+        }
+        let mut data = Vec::with_capacity(n * (p + 1));
+        for row in features {
+            data.push(1.0);
+            data.extend_from_slice(row);
+        }
+        let x = Matrix::from_rows(n, p + 1, data);
+        let beta = x.lstsq(targets).map_err(|e| match e {
+            LinalgError::RankDeficient => RegressError::Singular,
+            LinalgError::DimensionMismatch => RegressError::TooFewObservations,
+        })?;
+        let intercept = beta[0];
+        let coefficients = beta[1..].to_vec();
+
+        let mean = targets.iter().sum::<f64>() / n as f64;
+        let ss_tot: f64 = targets.iter().map(|y| (y - mean) * (y - mean)).sum();
+        let ss_res: f64 = features
+            .iter()
+            .zip(targets)
+            .map(|(row, &y)| {
+                let pred = intercept
+                    + row.iter().zip(&coefficients).map(|(a, b)| a * b).sum::<f64>();
+                (y - pred) * (y - pred)
+            })
+            .sum();
+        let r_squared = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+
+        Ok(LinearRegression { intercept, coefficients, r_squared })
+    }
+
+    /// Predict the response for one feature vector.
+    ///
+    /// # Panics
+    /// Panics if `features.len()` differs from the fitted dimensionality.
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        assert_eq!(
+            features.len(),
+            self.coefficients.len(),
+            "predict: feature dimensionality mismatch"
+        );
+        self.intercept
+            + features
+                .iter()
+                .zip(&self.coefficients)
+                .map(|(a, b)| a * b)
+                .sum::<f64>()
+    }
+
+    /// Root-mean-square error on a labelled set.
+    pub fn rmse(&self, features: &[Vec<f64>], targets: &[f64]) -> f64 {
+        assert_eq!(features.len(), targets.len());
+        if features.is_empty() {
+            return 0.0;
+        }
+        let se: f64 = features
+            .iter()
+            .zip(targets)
+            .map(|(row, &y)| {
+                let d = self.predict(row) - y;
+                d * d
+            })
+            .sum();
+        (se / features.len() as f64).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_recovers_exact_plane() {
+        // y = 10 + 2a + 3b
+        let features: Vec<Vec<f64>> = (0..10)
+            .map(|i| vec![i as f64, (i * i % 7) as f64])
+            .collect();
+        let targets: Vec<f64> = features.iter().map(|r| 10.0 + 2.0 * r[0] + 3.0 * r[1]).collect();
+        let model = LinearRegression::fit(&features, &targets).unwrap();
+        assert!((model.intercept - 10.0).abs() < 1e-9);
+        assert!((model.coefficients[0] - 2.0).abs() < 1e-9);
+        assert!((model.coefficients[1] - 3.0).abs() < 1e-9);
+        assert!((model.r_squared - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fit_noisy_data_has_high_r2_and_small_rmse() {
+        let mut features = Vec::new();
+        let mut targets = Vec::new();
+        // Deterministic pseudo-noise.
+        for i in 0..50 {
+            let a = i as f64;
+            let noise = ((i * 2654435761u64 % 1000) as f64 / 1000.0 - 0.5) * 0.1;
+            features.push(vec![a]);
+            targets.push(5.0 + 0.5 * a + noise);
+        }
+        let model = LinearRegression::fit(&features, &targets).unwrap();
+        assert!(model.r_squared > 0.999);
+        assert!(model.rmse(&features, &targets) < 0.06);
+    }
+
+    #[test]
+    fn fit_rejects_too_few_observations() {
+        let features = vec![vec![1.0, 2.0]];
+        assert_eq!(
+            LinearRegression::fit(&features, &[1.0]),
+            Err(RegressError::TooFewObservations)
+        );
+    }
+
+    #[test]
+    fn fit_rejects_ragged_rows() {
+        let features = vec![vec![1.0], vec![1.0, 2.0]];
+        assert_eq!(
+            LinearRegression::fit(&features, &[1.0, 2.0]),
+            Err(RegressError::RaggedFeatures)
+        );
+    }
+
+    #[test]
+    fn fit_rejects_duplicate_feature_column() {
+        let features: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64, i as f64]).collect();
+        let targets: Vec<f64> = (0..5).map(|i| i as f64).collect();
+        assert_eq!(LinearRegression::fit(&features, &targets), Err(RegressError::Singular));
+    }
+
+    #[test]
+    fn intercept_only_model() {
+        let features = vec![vec![], vec![], vec![]];
+        let targets = [2.0, 4.0, 6.0];
+        let model = LinearRegression::fit(&features, &targets).unwrap();
+        assert!((model.intercept - 4.0).abs() < 1e-12);
+        assert!(model.coefficients.is_empty());
+        assert_eq!(model.predict(&[]), model.intercept);
+    }
+
+    #[test]
+    fn constant_targets_r2_is_one() {
+        let features: Vec<Vec<f64>> = (0..4).map(|i| vec![i as f64]).collect();
+        let model = LinearRegression::fit(&features, &[3.0; 4]).unwrap();
+        assert!((model.r_squared - 1.0).abs() < 1e-12);
+    }
+}

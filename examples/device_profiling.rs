@@ -1,0 +1,62 @@
+//! The two-step performance profiler in action (paper Section IV-B).
+//!
+//! Benchmarks a family of model architectures on a simulated Mate 10,
+//! fits time ~ (conv params, dense params) per data size, then predicts
+//! the training time of an *unseen* architecture at *unseen* data sizes.
+//!
+//! ```text
+//! cargo run --release --example device_profiling
+//! ```
+
+use fedsched::device::{Device, DeviceModel, TrainingWorkload};
+use fedsched::profiler::{CostProfile, ModelArch, TwoStepProfiler};
+
+fn main() {
+    let bench_archs = [
+        ModelArch::new(10_000.0, 50_000.0),
+        ModelArch::new(50_000.0, 100_000.0),
+        ModelArch::new(100_000.0, 400_000.0),
+        ModelArch::new(400_000.0, 200_000.0),
+        ModelArch::new(900_000.0, 900_000.0),
+        ModelArch::new(2_000_000.0, 500_000.0),
+    ];
+    let sizes = [500u64, 1000, 2000, 3000];
+
+    println!("Benchmarking {} architectures x {} data sizes on Mate10...", bench_archs.len(), sizes.len());
+    let mut profiler = TwoStepProfiler::new();
+    for &d in &sizes {
+        for &arch in &bench_archs {
+            let mut device = Device::from_model(DeviceModel::Mate10, 3);
+            let t = device.epoch_time_cold(&TrainingWorkload::from_arch(&arch), d as usize);
+            profiler.record(d, arch, t);
+        }
+    }
+
+    let fitted = profiler.fit().expect("fit");
+    println!("\nStep 1 — per-size planes (time = b0 + b1*conv + b2*dense):");
+    for plane in &fitted.planes {
+        println!(
+            "  d={:>5}: b = [{:.3}, {:.2e}, {:.2e}]  R^2 = {:.4}",
+            plane.samples,
+            plane.plane.intercept,
+            plane.plane.coefficients[0],
+            plane.plane.coefficients[1],
+            plane.plane.r_squared
+        );
+    }
+
+    // Step 2: an architecture never benchmarked.
+    let unseen = ModelArch::new(250_000.0, 300_000.0);
+    let profile = fitted.linear_profile(unseen).expect("step 2");
+    println!("\nStep 2 — unseen architecture (250K conv + 300K dense params):");
+    for n in [800usize, 1600, 2500, 5000] {
+        let mut device = Device::from_model(DeviceModel::Mate10, 77);
+        let measured =
+            device.epoch_time_cold(&TrainingWorkload::from_arch(&unseen), n);
+        let predicted = profile.time_for(n as f64);
+        println!(
+            "  {n:>5} samples: predicted {predicted:7.1}s   measured {measured:7.1}s   ({:+.1}%)",
+            (predicted - measured) / measured * 100.0
+        );
+    }
+}

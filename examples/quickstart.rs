@@ -1,0 +1,51 @@
+//! Quickstart: profile a mobile cohort and schedule an FL epoch with
+//! Fed-LBAP.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use fedsched::core::{CostMatrix, EqualScheduler, FedLbap, Scheduler};
+use fedsched::device::{Testbed, TrainingWorkload};
+use fedsched::net::{model_transfer_bytes, Link};
+use fedsched::profiler::ModelArch;
+
+fn main() {
+    // 1. A simulated cohort: Nexus 6, Mate 10, Pixel 2 (the paper's
+    //    Testbed I), plus the campus-WiFi link.
+    let testbed = Testbed::testbed_1(42);
+    let link = Link::wifi_campus();
+    let arch = ModelArch::lenet();
+    let workload = TrainingWorkload::lenet();
+
+    // 2. Offline profiling: measure each device's epoch time at several
+    //    data sizes and tabulate monotone time profiles.
+    let profiles = testbed.profiles_for(&workload);
+    println!("Profiled {} devices:", profiles.len());
+    for (model, profile) in testbed.models().iter().zip(&profiles) {
+        use fedsched::profiler::CostProfile;
+        println!(
+            "  {:8} 1K samples -> {:6.1}s   6K samples -> {:6.1}s",
+            model.name(),
+            profile.time_for(1000.0),
+            profile.time_for(6000.0),
+        );
+    }
+
+    // 3. Build the cost matrix for 6K MNIST samples in 100-sample shards
+    //    (computation + model push/pull time), then schedule.
+    let comm = vec![link.round_seconds(model_transfer_bytes(&arch)); testbed.len()];
+    let costs = CostMatrix::from_profiles(&profiles, 60, 100.0, &comm);
+
+    let lbap = FedLbap.schedule(&costs).expect("schedulable");
+    let equal = EqualScheduler.schedule(&costs).expect("schedulable");
+
+    println!("\nFed-LBAP assignment (shards of 100 samples): {:?}", lbap.shards);
+    println!("Equal     assignment:                        {:?}", equal.shards);
+    println!(
+        "\nPredicted makespan: Fed-LBAP {:.1}s vs Equal {:.1}s  ({:.2}x speedup)",
+        lbap.predicted_makespan(&costs),
+        equal.predicted_makespan(&costs),
+        equal.predicted_makespan(&costs) / lbap.predicted_makespan(&costs),
+    );
+}

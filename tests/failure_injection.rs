@@ -1,0 +1,138 @@
+//! Failure injection and degenerate-input behaviour across the stack.
+
+use fedsched::core::{
+    AccuracyCost, CostMatrix, EqualScheduler, FedLbap, FedMinAvg, MinAvgProblem, ScheduleError,
+    Scheduler, UserSpec,
+};
+use fedsched::data::{Dataset, DatasetKind, Partition};
+use fedsched::device::{Device, DeviceModel, TrainingWorkload};
+use fedsched::fl::{fedavg_aggregate, FlSetup, RoundSim};
+use fedsched::nn::ModelKind;
+use fedsched::profiler::LinearProfile;
+
+#[test]
+fn single_device_cohort_works_end_to_end() {
+    let profiles = vec![LinearProfile::new(1.0, 0.01)];
+    let costs = CostMatrix::from_profiles(&profiles, 10, 100.0, &[0.5]);
+    let schedule = FedLbap.schedule(&costs).unwrap();
+    assert_eq!(schedule.shards, vec![10]);
+
+    let mut sim = RoundSim::new(
+        vec![Device::from_model(DeviceModel::Pixel2, 1)],
+        TrainingWorkload::lenet(),
+        fedsched::net::Link::wifi_campus(),
+        2.5e6,
+        1,
+    );
+    let report = sim.run(&schedule, 2);
+    assert!(report.mean_makespan() > 0.0);
+}
+
+#[test]
+fn extreme_straggler_is_fully_bypassed() {
+    // A device 1000x slower than the rest: Fed-LBAP gives it nothing and
+    // the makespan tracks the fast devices.
+    let profiles = vec![
+        LinearProfile::new(0.0, 0.01),
+        LinearProfile::new(0.0, 10.0),
+        LinearProfile::new(0.0, 0.012),
+    ];
+    let costs = CostMatrix::from_profiles(&profiles, 50, 100.0, &[0.0, 0.0, 0.0]);
+    let schedule = FedLbap.schedule(&costs).unwrap();
+    assert_eq!(schedule.shards[1], 0, "{:?}", schedule.shards);
+    let equal = EqualScheduler.schedule(&costs).unwrap();
+    assert!(
+        schedule.predicted_makespan(&costs) < equal.predicted_makespan(&costs) / 100.0,
+        "straggler bypass should win by orders of magnitude"
+    );
+}
+
+#[test]
+fn minavg_reports_infeasible_capacity() {
+    let users = vec![UserSpec {
+        profile: LinearProfile::new(0.0, 0.01),
+        comm: 0.0,
+        classes: [0, 1].into_iter().collect(),
+        capacity_shards: 3,
+    }];
+    let problem = MinAvgProblem {
+        users,
+        total_shards: 10,
+        shard_size: 100.0,
+        acc: AccuracyCost::new(10, 100.0, 0.0),
+    };
+    assert_eq!(FedMinAvg.schedule(&problem).unwrap_err(), ScheduleError::Infeasible);
+}
+
+#[test]
+fn minavg_handles_user_with_no_classes() {
+    // A classless user is penalized but the cohort still schedules.
+    let mk_user = |classes: Vec<usize>, cap: usize| UserSpec {
+        profile: LinearProfile::new(0.0, 0.01),
+        comm: 0.1,
+        classes: classes.into_iter().collect(),
+        capacity_shards: cap,
+    };
+    let problem = MinAvgProblem {
+        users: vec![mk_user(vec![0, 1, 2], 20), mk_user(vec![], 20)],
+        total_shards: 15,
+        shard_size: 100.0,
+        acc: AccuracyCost::new(10, 100.0, 0.0),
+    };
+    let out = FedMinAvg.schedule(&problem).unwrap();
+    assert_eq!(out.schedule.total_shards(), 15);
+    // The classless user is only used once the classful one saturates.
+    assert!(out.schedule.shards[0] >= out.schedule.shards[1]);
+}
+
+#[test]
+fn zero_weight_user_is_ignored_by_fedavg() {
+    let updates = vec![(vec![1.0f32; 4], 10), (vec![9.0f32; 4], 0)];
+    assert_eq!(fedavg_aggregate(&updates), vec![1.0; 4]);
+}
+
+#[test]
+fn empty_partition_user_trains_nothing_but_run_succeeds() {
+    let (train, test) = Dataset::generate_split(DatasetKind::MnistLike, 400, 100, 3);
+    let assignment = vec![(0..400).collect::<Vec<usize>>(), Vec::new()];
+    let out = FlSetup::new(&train, &test, assignment, ModelKind::Mlp, 2, 3).run();
+    assert!(out.final_accuracy > 0.2);
+}
+
+#[test]
+fn device_battery_eventually_depletes_and_clamps() {
+    // Run a device far beyond its battery: energy drained saturates at
+    // capacity and simulation stays finite.
+    let mut device = Device::from_model(DeviceModel::Pixel2, 5);
+    let wl = TrainingWorkload::vgg6();
+    let capacity = device.battery().capacity_j();
+    for _ in 0..50 {
+        device.train_samples(&wl, 2000);
+        if device.battery().empty() {
+            break;
+        }
+    }
+    assert!(device.battery().drained_j() <= capacity + 1e-6);
+}
+
+#[test]
+fn partition_helpers_tolerate_tiny_datasets() {
+    let ds = Dataset::generate(DatasetKind::MnistLike, 10, 7);
+    let p = fedsched::data::iid_equal(&ds, 4, 1);
+    assert_eq!(p.total(), 10);
+    p.assert_disjoint();
+    let ratio = fedsched::data::imbalance_ratio_of(&Partition { users: vec![vec![0], vec![1]] });
+    assert_eq!(ratio, 0.0);
+}
+
+#[test]
+fn cool_down_between_epochs_restores_cold_performance() {
+    // Failure mode guarded: thermal state leaking between experiments
+    // would silently corrupt comparisons.
+    let mut device = Device::from_model(DeviceModel::Nexus6P, 9);
+    let wl = TrainingWorkload::lenet();
+    let cold1 = device.epoch_time_cold(&wl, 2000);
+    let cold2 = device.epoch_time_cold(&wl, 2000);
+    // Identical thermal trajectory; only RNG jitter differs.
+    assert!((cold1 - cold2).abs() / cold1 < 0.1, "{cold1} vs {cold2}");
+}

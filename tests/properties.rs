@@ -1,0 +1,161 @@
+//! Cross-crate property tests: invariants that must hold for *any* input,
+//! checked with proptest.
+
+use proptest::prelude::*;
+
+use fedsched::core::{
+    AccuracyCost, CostMatrix, EqualScheduler, ExactMinMax, FedLbap, FedMinAvg, MinAvgProblem,
+    ProportionalScheduler, RandomScheduler, Scheduler, UserSpec,
+};
+use fedsched::profiler::{isotonic_non_decreasing, CostProfile, LinearProfile, TabulatedProfile};
+
+fn rates_strategy(max_users: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.1f64..10.0, 1..=max_users)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Fed-LBAP equals the exact DP optimum on every random instance.
+    #[test]
+    fn lbap_matches_exact_dp(
+        rates in rates_strategy(5),
+        comm in prop::collection::vec(0.0f64..3.0, 5),
+        shards in 1usize..25,
+    ) {
+        let n = rates.len();
+        let comm = &comm[..n];
+        let costs = CostMatrix::from_linear_rates(&rates, shards, 10.0, comm);
+        let lbap = FedLbap.schedule(&costs).unwrap().predicted_makespan(&costs);
+        let exact = ExactMinMax.schedule(&costs).unwrap().predicted_makespan(&costs);
+        prop_assert!((lbap - exact).abs() < 1e-9, "lbap {lbap} != exact {exact}");
+    }
+
+    /// Fed-LBAP never loses to any baseline, on any instance.
+    #[test]
+    fn lbap_dominates_baselines(
+        rates in rates_strategy(8),
+        shards in 1usize..60,
+        seed in 0u64..1000,
+    ) {
+        let n = rates.len();
+        let costs = CostMatrix::from_linear_rates(&rates, shards, 10.0, &vec![0.0; n]);
+        let lbap = FedLbap.schedule(&costs).unwrap().predicted_makespan(&costs);
+        let baselines: Vec<Box<dyn Scheduler>> = vec![
+            Box::new(EqualScheduler),
+            Box::new(RandomScheduler::new(seed)),
+            Box::new(ProportionalScheduler::new(rates.iter().map(|r| 1.0 / r).collect())),
+        ];
+        for b in baselines {
+            let m = b.schedule(&costs).unwrap().predicted_makespan(&costs);
+            prop_assert!(lbap <= m + 1e-9, "{}: {m} < lbap {lbap}", b.name());
+        }
+    }
+
+    /// Every scheduler conserves the shard total.
+    #[test]
+    fn schedulers_conserve_shards(
+        rates in rates_strategy(6),
+        shards in 1usize..80,
+        seed in 0u64..100,
+    ) {
+        let n = rates.len();
+        let costs = CostMatrix::from_linear_rates(&rates, shards, 50.0, &vec![0.1; n]);
+        let schedulers: Vec<Box<dyn Scheduler>> = vec![
+            Box::new(FedLbap),
+            Box::new(ExactMinMax),
+            Box::new(EqualScheduler),
+            Box::new(RandomScheduler::new(seed)),
+            Box::new(ProportionalScheduler::new(vec![1.0; n])),
+        ];
+        for s in schedulers {
+            let schedule = s.schedule(&costs).unwrap();
+            prop_assert_eq!(schedule.total_shards(), shards, "{}", s.name());
+            prop_assert_eq!(schedule.shards.len(), n);
+        }
+    }
+
+    /// Fed-MinAvg conserves shards and respects capacities whenever the
+    /// instance is feasible.
+    #[test]
+    fn minavg_feasibility_invariants(
+        per_sample in prop::collection::vec(0.001f64..0.1, 1..6),
+        caps in prop::collection::vec(1usize..40, 6),
+        class_picks in prop::collection::vec(0usize..10, 6),
+        total in 1usize..60,
+        alpha in 10.0f64..5000.0,
+    ) {
+        let n = per_sample.len();
+        let users: Vec<UserSpec<LinearProfile>> = (0..n)
+            .map(|j| UserSpec {
+                profile: LinearProfile::new(0.0, per_sample[j]),
+                comm: 0.5,
+                classes: (0..=class_picks[j].min(9)).collect(),
+                capacity_shards: caps[j],
+            })
+            .collect();
+        let cap_total: usize = users.iter().map(|u| u.capacity_shards).sum();
+        let problem = MinAvgProblem {
+            users,
+            total_shards: total,
+            shard_size: 10.0,
+            acc: AccuracyCost::new(10, alpha, 2.0),
+        };
+        match FedMinAvg.schedule(&problem) {
+            Ok(out) => {
+                prop_assert!(cap_total >= total);
+                prop_assert_eq!(out.schedule.total_shards(), total);
+                for (u, &k) in problem.users.iter().zip(&out.schedule.shards) {
+                    prop_assert!(k <= u.capacity_shards);
+                }
+            }
+            Err(_) => prop_assert!(cap_total < total, "rejected a feasible instance"),
+        }
+    }
+
+    /// Cost matrices are monotone in shard count for arbitrary profiles.
+    #[test]
+    fn cost_matrix_rows_monotone(
+        points in prop::collection::vec((0.0f64..5000.0, 0.0f64..500.0), 1..8),
+        shards in 1usize..30,
+    ) {
+        let profile = TabulatedProfile::from_measurements(&points);
+        let costs = CostMatrix::from_profiles(&[profile], shards, 100.0, &[0.3]);
+        for k in 2..=shards {
+            prop_assert!(costs.cost(0, k) >= costs.cost(0, k - 1));
+        }
+    }
+
+    /// Isotonic repair always yields a non-decreasing sequence that
+    /// preserves the total mass.
+    #[test]
+    fn isotonic_invariants(values in prop::collection::vec(-100.0f64..100.0, 1..50)) {
+        let out = isotonic_non_decreasing(&values);
+        prop_assert_eq!(out.len(), values.len());
+        for w in out.windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-9);
+        }
+        let sum_in: f64 = values.iter().sum();
+        let sum_out: f64 = out.iter().sum();
+        prop_assert!((sum_in - sum_out).abs() < 1e-6);
+    }
+
+    /// Tabulated profiles are monotone for any (finite, non-negative)
+    /// measurement set.
+    #[test]
+    fn tabulated_profiles_monotone(
+        points in prop::collection::vec((0.0f64..10_000.0, 0.0f64..1000.0), 1..10),
+        queries in prop::collection::vec(0.0f64..20_000.0, 2..20),
+    ) {
+        let profile = TabulatedProfile::from_measurements(&points);
+        let mut sorted = queries.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut prev = f64::NEG_INFINITY;
+        for q in sorted {
+            let t = profile.time_for(q);
+            prop_assert!(t >= prev - 1e-9);
+            prop_assert!(t >= 0.0);
+            prev = t;
+        }
+    }
+}
