@@ -96,8 +96,7 @@ fn bench_fig5(c: &mut Criterion) {
 /// Table III kernel: FedAvg aggregation at LeNet parameter size.
 fn bench_table3(c: &mut Criterion) {
     let dim = 205_000;
-    let updates: Vec<(Vec<f32>, usize)> =
-        (0..10).map(|j| (vec![j as f32; dim], 100 + j)).collect();
+    let updates: Vec<(Vec<f32>, usize)> = (0..10).map(|j| (vec![j as f32; dim], 100 + j)).collect();
     c.bench_function("table3_fedavg_aggregate_205k_x10", |b| {
         b.iter(|| black_box(fedavg_aggregate(&updates)))
     });
@@ -113,7 +112,16 @@ fn bench_fig6(c: &mut Criterion) {
     let bytes = model_transfer_bytes(&ModelArch::lenet());
     let profiles = fedsched_bench::common::profiles_for_devices(testbed.devices(), &wl);
     let problem = minavg_problem(
-        &ds, testbed.devices(), &sets, profiles, &link, bytes, 200, 10.0, 1000.0, 2.0,
+        &ds,
+        testbed.devices(),
+        &sets,
+        profiles,
+        &link,
+        bytes,
+        200,
+        10.0,
+        1000.0,
+        2.0,
     );
     c.bench_function("fig6_minavg_200_shards", |b| {
         b.iter(|| black_box(FedMinAvg.schedule(&problem).unwrap()))
@@ -133,8 +141,16 @@ fn bench_table4(c: &mut Criterion) {
         b.iter(|| {
             for (alpha, beta) in [(100.0, 0.0), (5000.0, 0.0), (100.0, 2.0), (5000.0, 2.0)] {
                 let problem = minavg_problem(
-                    &ds, testbed.devices(), &sets, profiles.clone(), &link, bytes, 200, 10.0,
-                    alpha, beta,
+                    &ds,
+                    testbed.devices(),
+                    &sets,
+                    profiles.clone(),
+                    &link,
+                    bytes,
+                    200,
+                    10.0,
+                    alpha,
+                    beta,
                 );
                 black_box(FedMinAvg.schedule(&problem).unwrap());
             }
@@ -151,8 +167,7 @@ fn bench_fig7(c: &mut Criterion) {
     let schedule = Schedule::new(vec![10, 10, 2, 2, 8, 12], 100.0);
     c.bench_function("fig7_roundsim_one_round", |b| {
         b.iter(|| {
-            let mut sim =
-                RoundSim::new(testbed.devices().to_vec(), wl, link, bytes, 9);
+            let mut sim = RoundSim::new(testbed.devices().to_vec(), wl, link, bytes, 9);
             black_box(sim.run(&schedule, 1).mean_makespan())
         })
     });

@@ -14,18 +14,28 @@ use fedsched_profiler::LinearProfile;
 
 fn cost_matrix(n: usize, s: usize) -> CostMatrix {
     // Heterogeneous per-shard rates spanning ~6x, like the real testbed.
-    let rates: Vec<f64> = (0..n).map(|j| 0.5 + 3.0 * ((j * 7919 % 13) as f64 / 13.0)).collect();
+    let rates: Vec<f64> = (0..n)
+        .map(|j| 0.5 + 3.0 * ((j * 7919 % 13) as f64 / 13.0))
+        .collect();
     let comm: Vec<f64> = (0..n).map(|j| 0.2 + 0.1 * (j % 3) as f64).collect();
     CostMatrix::from_linear_rates(&rates, s, 100.0, &comm)
 }
 
 fn bench_lbap_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("fed_lbap_scaling");
-    for &(n, s) in &[(3usize, 600usize), (6, 600), (10, 600), (10, 2400), (50, 5000)] {
+    for &(n, s) in &[
+        (3usize, 600usize),
+        (6, 600),
+        (10, 600),
+        (10, 2400),
+        (50, 5000),
+    ] {
         let costs = cost_matrix(n, s);
-        group.bench_with_input(BenchmarkId::new("lbap", format!("n{n}_s{s}")), &costs, |b, m| {
-            b.iter(|| FedLbap.schedule(black_box(m)).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("lbap", format!("n{n}_s{s}")),
+            &costs,
+            |b, m| b.iter(|| FedLbap.schedule(black_box(m)).unwrap()),
+        );
     }
     group.finish();
 }
@@ -35,12 +45,16 @@ fn bench_lbap_vs_exact(c: &mut Criterion) {
     let mut group = c.benchmark_group("lbap_vs_exact_dp");
     for &(n, s) in &[(5usize, 100usize), (10, 300)] {
         let costs = cost_matrix(n, s);
-        group.bench_with_input(BenchmarkId::new("lbap", format!("n{n}_s{s}")), &costs, |b, m| {
-            b.iter(|| FedLbap.schedule(black_box(m)).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("exact_dp", format!("n{n}_s{s}")), &costs, |b, m| {
-            b.iter(|| ExactMinMax.schedule(black_box(m)).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("lbap", format!("n{n}_s{s}")),
+            &costs,
+            |b, m| b.iter(|| FedLbap.schedule(black_box(m)).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("exact_dp", format!("n{n}_s{s}")),
+            &costs,
+            |b, m| b.iter(|| ExactMinMax.schedule(black_box(m)).unwrap()),
+        );
     }
     group.finish();
 }

@@ -96,7 +96,10 @@ pub fn cost_matrix_for_testbed_sharded(
 pub fn iid_schedulers(models: &[DeviceModel], seed: u64) -> Vec<(String, Box<dyn Scheduler>)> {
     let weights: Vec<f64> = models.iter().map(|m| m.mean_core_freq_ghz()).collect();
     vec![
-        ("Prop.".to_string(), Box::new(ProportionalScheduler::new(weights)) as Box<dyn Scheduler>),
+        (
+            "Prop.".to_string(),
+            Box::new(ProportionalScheduler::new(weights)) as Box<dyn Scheduler>,
+        ),
         ("Random".to_string(), Box::new(RandomScheduler::new(seed))),
         ("Equal".to_string(), Box::new(EqualScheduler)),
         ("Fed-LBAP".to_string(), Box::new(FedLbap)),

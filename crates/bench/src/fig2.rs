@@ -45,9 +45,12 @@ fn sweep(kind: DatasetKind, scale: Scale, seed: u64) -> Vec<Point> {
         .map(|ratio| {
             let p = iid_imbalanced(&train, users, ratio, seed ^ (ratio * 100.0) as u64);
             let realized = imbalance_ratio_of(&p);
-            let out =
-                FlSetup::new(&train, &test, p.users.clone(), model, rounds, seed).run();
-            Point { requested_ratio: ratio, realized_ratio: realized, accuracy: out.final_accuracy }
+            let out = FlSetup::new(&train, &test, p.users.clone(), model, rounds, seed).run();
+            Point {
+                requested_ratio: ratio,
+                realized_ratio: realized,
+                accuracy: out.final_accuracy,
+            }
         })
         .collect()
 }
@@ -117,8 +120,16 @@ mod tests {
     #[test]
     fn render_contains_both_panels() {
         let fig = Fig2 {
-            mnist: vec![Point { requested_ratio: 0.0, realized_ratio: 0.0, accuracy: 0.9 }],
-            cifar: vec![Point { requested_ratio: 0.0, realized_ratio: 0.0, accuracy: 0.6 }],
+            mnist: vec![Point {
+                requested_ratio: 0.0,
+                realized_ratio: 0.0,
+                accuracy: 0.9,
+            }],
+            cifar: vec![Point {
+                requested_ratio: 0.0,
+                realized_ratio: 0.0,
+                accuracy: 0.6,
+            }],
         };
         let s = render(&fig);
         assert!(s.contains("MNIST") && s.contains("CIFAR10"));

@@ -71,14 +71,18 @@ pub fn run(scale: Scale, seed: u64) -> Fig4 {
     let planes = fitted
         .planes
         .iter()
-        .map(|p| PlaneFit { samples: p.samples, r_squared: p.plane.r_squared })
+        .map(|p| PlaneFit {
+            samples: p.samples,
+            r_squared: p.plane.r_squared,
+        })
         .collect();
 
     // Step 2: predict LeNet's curve, validate against direct measurement at
     // sizes including ones never profiled.
     let target = ModelArch::lenet();
     let profile = fitted.linear_profile(target).expect("step-2 fit");
-    let check_sizes: Vec<usize> = scale.pick(vec![750, 1500, 2500], vec![750, 1500, 2500, 3500, 5000]);
+    let check_sizes: Vec<usize> =
+        scale.pick(vec![750, 1500, 2500], vec![750, 1500, 2500, 3500, 5000]);
     let curve = check_sizes
         .into_iter()
         .map(|n| {
@@ -101,7 +105,10 @@ pub fn render(fig: &Fig4) -> String {
         String::from("## Fig. 4(a) — step-1 plane fits (time ~ conv + dense params), Mate10\n\n");
     let mut t = Table::new(vec!["data size", "R^2"]);
     for p in &fig.planes {
-        t.row(vec![format!("{}", p.samples), format!("{:.4}", p.r_squared)]);
+        t.row(vec![
+            format!("{}", p.samples),
+            format!("{:.4}", p.r_squared),
+        ]);
     }
     out.push_str(&t.render());
 
@@ -112,7 +119,10 @@ pub fn render(fig: &Fig4) -> String {
             format!("{:.0}", c.samples),
             format!("{:.1}", c.predicted_s),
             format!("{:.1}", c.measured_s),
-            format!("{:+.1}", (c.predicted_s - c.measured_s) / c.measured_s * 100.0),
+            format!(
+                "{:+.1}",
+                (c.predicted_s - c.measured_s) / c.measured_s * 100.0
+            ),
         ]);
     }
     out.push_str(&t.render());
@@ -137,7 +147,13 @@ mod tests {
         let fig = run(Scale::Smoke, 5);
         for c in &fig.curve {
             let rel = (c.predicted_s - c.measured_s).abs() / c.measured_s;
-            assert!(rel < 0.30, "at {} samples: {} vs {}", c.samples, c.predicted_s, c.measured_s);
+            assert!(
+                rel < 0.30,
+                "at {} samples: {} vs {}",
+                c.samples,
+                c.predicted_s,
+                c.measured_s
+            );
         }
     }
 

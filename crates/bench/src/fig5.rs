@@ -7,13 +7,16 @@
 //! Proportional / Random / Equal by 5-10x, and keep a *downtrend* with more
 //! devices where the baselines stall on stragglers.
 
+use std::sync::Arc;
+
 use fedsched_device::{Testbed, TrainingWorkload};
+use fedsched_fl::RoundSim;
 use fedsched_net::{model_transfer_bytes, Link};
 use fedsched_profiler::ModelArch;
-use fedsched_fl::RoundSim;
+use fedsched_telemetry::{EventLog, MetricsRegistry, Probe};
 
 use crate::common::{cost_matrix_for_testbed, iid_schedulers, SHARD_SIZE};
-use crate::report::{fmt_secs, Table};
+use crate::report::{fmt_secs, metrics_section, Table};
 use crate::scale::Scale;
 
 /// One (testbed, scheduler) measurement.
@@ -36,6 +39,9 @@ pub struct Panel {
     pub model: &'static str,
     /// The measurements.
     pub cells: Vec<Cell>,
+    /// Telemetry aggregated over every cell's replay (round timings plus
+    /// the devices' thermal/battery events).
+    pub metrics: MetricsRegistry,
 }
 
 impl Panel {
@@ -62,10 +68,34 @@ impl Panel {
 pub fn run(scale: Scale, seed: u64) -> Vec<Panel> {
     let rounds = scale.pick(3usize, 10);
     let grid = [
-        ("MNIST", "LeNet", TrainingWorkload::lenet(), ModelArch::lenet(), 60_000usize),
-        ("MNIST", "VGG6", TrainingWorkload::vgg6(), ModelArch::vgg6(), 60_000),
-        ("CIFAR10", "LeNet", TrainingWorkload::lenet(), ModelArch::lenet(), 50_000),
-        ("CIFAR10", "VGG6", TrainingWorkload::vgg6(), ModelArch::vgg6(), 50_000),
+        (
+            "MNIST",
+            "LeNet",
+            TrainingWorkload::lenet(),
+            ModelArch::lenet(),
+            60_000usize,
+        ),
+        (
+            "MNIST",
+            "VGG6",
+            TrainingWorkload::vgg6(),
+            ModelArch::vgg6(),
+            60_000,
+        ),
+        (
+            "CIFAR10",
+            "LeNet",
+            TrainingWorkload::lenet(),
+            ModelArch::lenet(),
+            50_000,
+        ),
+        (
+            "CIFAR10",
+            "VGG6",
+            TrainingWorkload::vgg6(),
+            ModelArch::vgg6(),
+            50_000,
+        ),
     ];
     let mut panels = Vec::new();
     for (dataset, model, wl, arch, paper_total) in grid {
@@ -77,28 +107,45 @@ pub fn run(scale: Scale, seed: u64) -> Vec<Panel> {
         let link = Link::wifi_campus();
 
         let mut cells = Vec::new();
+        let mut metrics = MetricsRegistry::new();
         for tb_index in 1..=3usize {
             let testbed = Testbed::by_index(tb_index, seed);
             let costs = cost_matrix_for_testbed(&testbed, &wl, total_shards, &link, bytes);
-            for (name, scheduler) in iid_schedulers(&testbed.models(), seed ^ tb_index as u64)
-            {
+            for (name, scheduler) in iid_schedulers(&testbed.models(), seed ^ tb_index as u64) {
                 let schedule = scheduler.schedule(&costs).expect("feasible IID schedule");
+                let log = Arc::new(EventLog::new());
                 let mut sim = RoundSim::new(
                     testbed.devices().to_vec(),
                     wl,
                     link,
                     bytes,
                     seed ^ (tb_index as u64) << 8,
-                );
-                let report = sim.run(&schedule, rounds);
+                )
+                .with_probe(Probe::attached(log.clone()));
+                let _ = sim.run(&schedule, rounds);
+                // The replay's telemetry is the measurement: per-cell mean
+                // comes from this cell's round_end events, the panel-wide
+                // registry accumulates everything.
+                let mut cell_metrics = MetricsRegistry::new();
+                cell_metrics.ingest(log.events().iter());
+                let mean_makespan_s = cell_metrics
+                    .histogram("round_makespan_s")
+                    .map(fedsched_telemetry::Histogram::mean)
+                    .unwrap_or(0.0);
+                metrics.merge(&cell_metrics);
                 cells.push(Cell {
                     testbed: tb_index,
                     scheduler: name,
-                    mean_makespan_s: report.mean_makespan(),
+                    mean_makespan_s,
                 });
             }
         }
-        panels.push(Panel { dataset, model, cells });
+        panels.push(Panel {
+            dataset,
+            model,
+            cells,
+            metrics,
+        });
     }
     panels
 }
@@ -108,7 +155,9 @@ pub fn render(panels: &[Panel]) -> String {
     let mut out = String::from("## Fig. 5 — computation time per global update (IID)\n\n");
     for p in panels {
         out.push_str(&format!("### {} / {}\n\n", p.dataset, p.model));
-        let mut t = Table::new(vec!["testbed", "Prop.", "Random", "Equal", "Fed-LBAP", "speedup"]);
+        let mut t = Table::new(vec![
+            "testbed", "Prop.", "Random", "Equal", "Fed-LBAP", "speedup",
+        ]);
         for tb in 1..=3usize {
             let cell = |s: &str| p.makespan(tb, s).map(fmt_secs).unwrap_or_default();
             t.row(vec![
@@ -124,6 +173,15 @@ pub fn render(panels: &[Panel]) -> String {
         out.push('\n');
     }
     out.push_str("Paper finding: 5-10x average speedup; best ~2 orders of magnitude on testbed 2 (MNIST/VGG6).\n");
+    let mut combined = MetricsRegistry::new();
+    for p in panels {
+        combined.merge(&p.metrics);
+    }
+    let section = metrics_section(&combined);
+    if !section.is_empty() {
+        out.push_str("\n## Telemetry\n\n");
+        out.push_str(&section);
+    }
     out
 }
 
@@ -174,5 +232,32 @@ mod tests {
         assert!(s.contains("MNIST / LeNet"));
         assert!(s.contains("CIFAR10 / VGG6"));
         assert!(s.contains("speedup"));
+        assert!(s.contains("## Telemetry"), "registry section missing:\n{s}");
+        assert!(s.contains("round_makespan_s"));
+    }
+
+    #[test]
+    fn panel_metrics_cover_every_replay() {
+        for p in panels() {
+            // 3 testbeds x 4 schedulers, each replayed for the same number
+            // of rounds; the registry must have seen all of them.
+            let rounds = p.metrics.counter("rounds");
+            assert_eq!(rounds % 12, 0, "{}/{}: {rounds}", p.dataset, p.model);
+            let h = p.metrics.histogram("round_makespan_s").expect("makespans");
+            assert_eq!(h.count() as u64, rounds);
+            // Cell means lie inside the panel-wide [min, max] envelope.
+            for c in &p.cells {
+                assert!(
+                    c.mean_makespan_s >= h.min() - 1e-9 && c.mean_makespan_s <= h.max() + 1e-9,
+                    "{}/{} {}: {} outside [{}, {}]",
+                    p.dataset,
+                    p.model,
+                    c.scheduler,
+                    c.mean_makespan_s,
+                    h.min(),
+                    h.max()
+                );
+            }
+        }
     }
 }

@@ -43,7 +43,10 @@ pub fn run(scale: Scale, seed: u64) -> Vec<Point> {
     // The accuracy cost alpha*F trades off against *compute seconds*, which
     // shrink with the data scale; smoke alphas are the paper's divided by
     // the ~25x data reduction so the trade-off dynamics survive.
-    let alphas = scale.pick(vec![2.0, 20.0, 100.0], vec![100.0, 500.0, 1000.0, 2000.0, 3500.0, 5000.0]);
+    let alphas = scale.pick(
+        vec![2.0, 20.0, 100.0],
+        vec![100.0, 500.0, 1000.0, 2000.0, 3500.0, 5000.0],
+    );
     let betas = scale.pick(vec![0.0, 1.0], vec![0.0, 2.0]);
 
     let (train, test) = Dataset::generate_split(DatasetKind::CifarLike, n_train, n_test, seed);

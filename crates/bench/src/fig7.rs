@@ -5,18 +5,21 @@
 //! whose schedules are clamped to each user's class capacity and the
 //! overflow redistributed (a user cannot train data it does not hold).
 
+use std::sync::Arc;
+
 use fedsched_core::{FedMinAvg, Schedule};
 use fedsched_data::{Dataset, DatasetKind};
 use fedsched_device::{Testbed, TrainingWorkload};
 use fedsched_fl::RoundSim;
 use fedsched_net::{model_transfer_bytes, Link};
 use fedsched_profiler::ModelArch;
+use fedsched_telemetry::{EventLog, Histogram, MetricsRegistry, Probe};
 
-use crate::common::{
-    clamp_redistribute, cost_matrix_for_testbed, iid_schedulers, SHARD_SIZE,
+use crate::common::{clamp_redistribute, cost_matrix_for_testbed, iid_schedulers, SHARD_SIZE};
+use crate::noniid::{
+    capacities_for_class_sets, cohort_profiles, minavg_problem, random_class_sets,
 };
-use crate::noniid::{capacities_for_class_sets, cohort_profiles, minavg_problem, random_class_sets};
-use crate::report::{fmt_secs, Table};
+use crate::report::{fmt_secs, metrics_section, Table};
 use crate::scale::Scale;
 
 /// One (testbed, scheduler) cell.
@@ -41,6 +44,9 @@ pub struct Panel {
     pub model: &'static str,
     /// Cells.
     pub cells: Vec<Cell>,
+    /// Telemetry aggregated over every replay in this panel, including the
+    /// Fed-MinAvg alpha-search candidates that did not win.
+    pub metrics: MetricsRegistry,
 }
 
 impl Panel {
@@ -74,10 +80,34 @@ pub fn run(scale: Scale, seed: u64) -> Vec<Panel> {
         vec![100.0, 500.0, 1000.0, 2000.0, 3500.0, 5000.0],
     );
     let grid = [
-        ("MNIST", "LeNet", TrainingWorkload::lenet(), ModelArch::lenet(), DatasetKind::MnistLike),
-        ("MNIST", "VGG6", TrainingWorkload::vgg6(), ModelArch::vgg6(), DatasetKind::MnistLike),
-        ("CIFAR10", "LeNet", TrainingWorkload::lenet(), ModelArch::lenet(), DatasetKind::CifarLike),
-        ("CIFAR10", "VGG6", TrainingWorkload::vgg6(), ModelArch::vgg6(), DatasetKind::CifarLike),
+        (
+            "MNIST",
+            "LeNet",
+            TrainingWorkload::lenet(),
+            ModelArch::lenet(),
+            DatasetKind::MnistLike,
+        ),
+        (
+            "MNIST",
+            "VGG6",
+            TrainingWorkload::vgg6(),
+            ModelArch::vgg6(),
+            DatasetKind::MnistLike,
+        ),
+        (
+            "CIFAR10",
+            "LeNet",
+            TrainingWorkload::lenet(),
+            ModelArch::lenet(),
+            DatasetKind::CifarLike,
+        ),
+        (
+            "CIFAR10",
+            "VGG6",
+            TrainingWorkload::vgg6(),
+            ModelArch::vgg6(),
+            DatasetKind::CifarLike,
+        ),
     ];
 
     let mut panels = Vec::new();
@@ -89,6 +119,7 @@ pub fn run(scale: Scale, seed: u64) -> Vec<Panel> {
         let link = Link::wifi_campus();
 
         let mut cells = Vec::new();
+        let mut metrics = MetricsRegistry::new();
         for tb_index in 1..=3usize {
             let testbed = Testbed::by_index(tb_index, seed);
             let sets = random_class_sets(testbed.len(), seed ^ (tb_index as u64) << 4);
@@ -96,14 +127,22 @@ pub fn run(scale: Scale, seed: u64) -> Vec<Panel> {
 
             // Baselines: IID schedules clamped to class capacities.
             let costs = cost_matrix_for_testbed(&testbed, &wl, total_shards, &link, bytes);
-            for (name, scheduler) in iid_schedulers(&testbed.models(), seed ^ tb_index as u64)
-            {
+            for (name, scheduler) in iid_schedulers(&testbed.models(), seed ^ tb_index as u64) {
                 if name == "Fed-LBAP" {
                     continue; // Fig. 7 compares MinAvg against the heuristics
                 }
                 let schedule = scheduler.schedule(&costs).expect("schedulable");
                 let schedule = clamp_redistribute(&schedule, &capacities);
-                let makespan = replay(&testbed, &wl, &link, bytes, &schedule, rounds, seed);
+                let makespan = replay(
+                    &testbed,
+                    &wl,
+                    &link,
+                    bytes,
+                    &schedule,
+                    rounds,
+                    seed,
+                    &mut metrics,
+                );
                 cells.push(Cell {
                     testbed: tb_index,
                     scheduler: name,
@@ -132,8 +171,16 @@ pub fn run(scale: Scale, seed: u64) -> Vec<Panel> {
                     Ok(o) => o,
                     Err(_) => continue,
                 };
-                let makespan =
-                    replay(&testbed, &wl, &link, bytes, &outcome.schedule, rounds, seed);
+                let makespan = replay(
+                    &testbed,
+                    &wl,
+                    &link,
+                    bytes,
+                    &outcome.schedule,
+                    rounds,
+                    seed,
+                    &mut metrics,
+                );
                 if best.map(|(_, m)| makespan < m).unwrap_or(true) {
                     best = Some((alpha, makespan));
                 }
@@ -146,11 +193,20 @@ pub fn run(scale: Scale, seed: u64) -> Vec<Panel> {
                 best_alpha: Some(alpha),
             });
         }
-        panels.push(Panel { dataset, model, cells });
+        panels.push(Panel {
+            dataset,
+            model,
+            cells,
+            metrics,
+        });
     }
     panels
 }
 
+/// Replay `schedule` with a telemetry probe attached; the returned mean
+/// makespan is read back from the replay's `round_end` events, and the
+/// whole event stream is folded into `metrics`.
+#[allow(clippy::too_many_arguments)]
 fn replay(
     testbed: &Testbed,
     wl: &TrainingWorkload,
@@ -159,9 +215,20 @@ fn replay(
     schedule: &Schedule,
     rounds: usize,
     seed: u64,
+    metrics: &mut MetricsRegistry,
 ) -> f64 {
-    let mut sim = RoundSim::new(testbed.devices().to_vec(), *wl, *link, bytes, seed);
-    sim.run(schedule, rounds).mean_makespan()
+    let log = Arc::new(EventLog::new());
+    let mut sim = RoundSim::new(testbed.devices().to_vec(), *wl, *link, bytes, seed)
+        .with_probe(Probe::attached(log.clone()));
+    let _ = sim.run(schedule, rounds);
+    let mut run_metrics = MetricsRegistry::new();
+    run_metrics.ingest(log.events().iter());
+    let mean = run_metrics
+        .histogram("round_makespan_s")
+        .map(Histogram::mean)
+        .unwrap_or(0.0);
+    metrics.merge(&run_metrics);
+    mean
 }
 
 /// Render the four panels.
@@ -169,8 +236,14 @@ pub fn render(panels: &[Panel]) -> String {
     let mut out = String::from("## Fig. 7 — computation time per global update (non-IID)\n\n");
     for p in panels {
         out.push_str(&format!("### {} / {}\n\n", p.dataset, p.model));
-        let mut t =
-            Table::new(vec!["testbed", "Prop.", "Random", "Equal", "Fed-MinAvg", "speedup"]);
+        let mut t = Table::new(vec![
+            "testbed",
+            "Prop.",
+            "Random",
+            "Equal",
+            "Fed-MinAvg",
+            "speedup",
+        ]);
         for tb in 1..=3usize {
             let cell = |s: &str| p.makespan(tb, s).map(fmt_secs).unwrap_or_default();
             t.row(vec![
@@ -186,6 +259,15 @@ pub fn render(panels: &[Panel]) -> String {
         out.push('\n');
     }
     out.push_str("Paper finding: average speedups 1.3-8x (MNIST), 1.67-2.05x (CIFAR10).\n");
+    let mut combined = MetricsRegistry::new();
+    for p in panels {
+        combined.merge(&p.metrics);
+    }
+    let section = metrics_section(&combined);
+    if !section.is_empty() {
+        out.push_str("\n## Telemetry\n\n");
+        out.push_str(&section);
+    }
     out
 }
 
@@ -243,6 +325,21 @@ mod tests {
     #[test]
     fn render_emits_four_panels() {
         let s = render(panels());
-        assert_eq!(s.matches("###").count(), 4);
+        assert_eq!(
+            s.matches("### MNIST").count() + s.matches("### CIFAR10").count(),
+            4
+        );
+        assert!(s.contains("## Telemetry"));
+    }
+
+    #[test]
+    fn panel_metrics_include_alpha_search_replays() {
+        for p in panels() {
+            // Per testbed: 3 baselines + at least one feasible alpha.
+            let rounds = p.metrics.counter("rounds");
+            assert!(rounds >= 3 * 4 * 3, "{}/{}: {rounds}", p.dataset, p.model);
+            let h = p.metrics.histogram("round_makespan_s").expect("makespans");
+            assert_eq!(h.count() as u64, rounds);
+        }
     }
 }

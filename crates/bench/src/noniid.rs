@@ -151,7 +151,7 @@ mod tests {
     fn capacities_count_class_samples() {
         let ds = Dataset::generate(DatasetKind::MnistLike, 1000, 1);
         let sets: Vec<BTreeSet<usize>> = vec![
-            (0..10).collect(),          // everything
+            (0..10).collect(),            // everything
             std::iter::once(3).collect(), // one class
         ];
         let caps = capacities_for_class_sets(&ds, &sets, 100.0);

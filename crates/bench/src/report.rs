@@ -1,4 +1,11 @@
 //! Text reporting: aligned markdown tables and small stat helpers.
+//!
+//! Statistics route through `fedsched_telemetry::Histogram` so every
+//! experiment quotes numbers from the same aggregation code that the
+//! telemetry layer uses, and [`metrics_section`] renders a whole
+//! `MetricsRegistry` for inclusion in experiment reports.
+
+use fedsched_telemetry::{Histogram, MetricsRegistry};
 
 /// A simple markdown table builder with column alignment.
 #[derive(Debug, Clone, Default)]
@@ -10,7 +17,10 @@ pub struct Table {
 impl Table {
     /// Start a table with the given headers.
     pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
-        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row (padded/truncated to the header count).
@@ -64,22 +74,57 @@ impl Table {
     }
 }
 
+fn histogram_of(xs: &[f64]) -> Histogram {
+    let mut h = Histogram::default();
+    for &x in xs {
+        h.observe(x);
+    }
+    h
+}
+
 /// Mean of a slice (0 when empty).
 pub fn mean(xs: &[f64]) -> f64 {
-    if xs.is_empty() {
-        0.0
-    } else {
-        xs.iter().sum::<f64>() / xs.len() as f64
-    }
+    histogram_of(xs).mean()
 }
 
 /// Sample standard deviation (0 for < 2 elements).
 pub fn std_dev(xs: &[f64]) -> f64 {
-    if xs.len() < 2 {
-        return 0.0;
+    histogram_of(xs).sample_std_dev()
+}
+
+/// Render a [`MetricsRegistry`] as two markdown tables (counters, then
+/// histogram summaries). Keys come out sorted, so the section is
+/// deterministic for a deterministic run.
+pub fn metrics_section(registry: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    let mut counters = Table::new(vec!["counter", "value"]);
+    for name in registry.counter_names() {
+        counters.row(vec![name.to_string(), registry.counter(name).to_string()]);
     }
-    let m = mean(xs);
-    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+    if !counters.is_empty() {
+        out.push_str("### Counters\n\n");
+        out.push_str(&counters.render());
+    }
+    let mut hists = Table::new(vec!["histogram", "count", "mean", "std", "min", "max"]);
+    for name in registry.histogram_names() {
+        let h = registry.histogram(name).expect("listed name");
+        hists.row(vec![
+            name.to_string(),
+            h.count().to_string(),
+            format!("{:.4}", h.mean()),
+            format!("{:.4}", h.sample_std_dev()),
+            format!("{:.4}", h.min()),
+            format!("{:.4}", h.max()),
+        ]);
+    }
+    if !hists.is_empty() {
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out.push_str("### Histograms\n\n");
+        out.push_str(&hists.render());
+    }
+    out
 }
 
 /// Format seconds compactly ("31.4s", "12m34s").
@@ -130,5 +175,26 @@ mod tests {
     fn fmt_secs_scales() {
         assert_eq!(fmt_secs(31.42), "31.4s");
         assert_eq!(fmt_secs(150.0), "2m30s");
+    }
+
+    #[test]
+    fn metrics_section_renders_counters_and_histograms() {
+        let mut reg = MetricsRegistry::new();
+        reg.incr("rounds", 3);
+        reg.observe("round_makespan_s", 2.0);
+        reg.observe("round_makespan_s", 4.0);
+        let s = metrics_section(&reg);
+        assert!(s.contains("### Counters"));
+        assert!(s.contains("rounds"));
+        assert!(s.contains("### Histograms"));
+        assert!(s.contains("round_makespan_s"));
+        assert!(s.contains("3.0000"), "mean of 2 and 4: {s}");
+        // Deterministic for the same registry.
+        assert_eq!(s, metrics_section(&reg));
+    }
+
+    #[test]
+    fn metrics_section_of_empty_registry_is_empty() {
+        assert_eq!(metrics_section(&MetricsRegistry::new()), "");
     }
 }

@@ -75,7 +75,11 @@ pub fn run(scale: Scale, seed: u64) -> Vec<Row> {
                     });
                 }
             }
-            rows.push(Row { model: model_name, device: device_model, cells });
+            rows.push(Row {
+                model: model_name,
+                device: device_model,
+                cells,
+            });
         }
     }
     rows
@@ -84,7 +88,13 @@ pub fn run(scale: Scale, seed: u64) -> Vec<Row> {
 /// Render the measurement (and, at paper scale, the reference values).
 pub fn render(rows: &[Row], scale: Scale) -> String {
     let mut t = Table::new(vec![
-        "model", "device", "size", "WiFi", "LTE", "paper WiFi", "paper LTE",
+        "model",
+        "device",
+        "size",
+        "WiFi",
+        "LTE",
+        "paper WiFi",
+        "paper LTE",
     ]);
     for row in rows {
         let reference = paper_reference(row.model, row.device);
@@ -109,7 +119,10 @@ pub fn render(rows: &[Row], scale: Scale) -> String {
             ]);
         }
     }
-    format!("## Table II — per-epoch time (s), comm overhead in %\n\n{}", t.render())
+    format!(
+        "## Table II — per-epoch time (s), comm overhead in %\n\n{}",
+        t.render()
+    )
 }
 
 #[cfg(test)]

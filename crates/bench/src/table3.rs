@@ -52,18 +52,11 @@ pub fn run(scale: Scale, seed: u64) -> Vec<Cell> {
         for tb_index in 1..=3usize {
             let testbed = Testbed::by_index(tb_index, seed);
             let costs = cost_matrix_for_testbed(&testbed, &wl, total_shards, &link, bytes);
-            for (name, scheduler) in iid_schedulers(&testbed.models(), seed ^ tb_index as u64)
-            {
+            for (name, scheduler) in iid_schedulers(&testbed.models(), seed ^ tb_index as u64) {
                 let schedule = scheduler.schedule(&costs).expect("feasible schedule");
                 let assignment = assignment_from_schedule_iid(&train, &schedule, seed);
                 let out = FlSetup::new(&train, &test, assignment, model, rounds, seed).run();
-                let mut sim = RoundSim::new(
-                    testbed.devices().to_vec(),
-                    wl,
-                    link,
-                    bytes,
-                    seed,
-                );
+                let mut sim = RoundSim::new(testbed.devices().to_vec(), wl, link, bytes, seed);
                 let makespan = sim.run(&schedule, 2).mean_makespan();
                 cells.push(Cell {
                     dataset: kind.name(),
@@ -81,7 +74,9 @@ pub fn run(scale: Scale, seed: u64) -> Vec<Cell> {
 /// Render the accuracy grid.
 pub fn render(cells: &[Cell]) -> String {
     let mut out = String::from("## Table III — accuracy under IID scheduling\n\n");
-    let mut t = Table::new(vec!["dataset", "testbed", "Prop.", "Random", "Equal", "Fed-LBAP"]);
+    let mut t = Table::new(vec![
+        "dataset", "testbed", "Prop.", "Random", "Equal", "Fed-LBAP",
+    ]);
     for dataset in ["MNIST", "CIFAR10"] {
         for tb in 1..=3usize {
             let get = |s: &str| {
@@ -163,7 +158,10 @@ mod tests {
             .iter()
             .filter(|c| c.dataset == "MNIST" && c.testbed == 2)
             .collect();
-        let lbap = mnist_tb2.iter().find(|c| c.scheduler == "Fed-LBAP").unwrap();
+        let lbap = mnist_tb2
+            .iter()
+            .find(|c| c.scheduler == "Fed-LBAP")
+            .unwrap();
         let equal = mnist_tb2.iter().find(|c| c.scheduler == "Equal").unwrap();
         assert!(lbap.mean_makespan_s <= equal.mean_makespan_s * 1.2);
     }

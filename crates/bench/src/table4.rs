@@ -13,7 +13,8 @@ use crate::report::Table;
 use crate::scale::Scale;
 
 /// The paper's parameter points p1..p4.
-pub const PARAM_POINTS: [(f64, f64); 4] = [(100.0, 0.0), (5000.0, 0.0), (100.0, 2.0), (5000.0, 2.0)];
+pub const PARAM_POINTS: [(f64, f64); 4] =
+    [(100.0, 0.0), (5000.0, 0.0), (100.0, 2.0), (5000.0, 2.0)];
 
 /// One scenario's schedules: rows = users, columns = p1..p4 (samples).
 #[derive(Debug, Clone)]
@@ -75,8 +76,7 @@ pub fn run(scale: Scale, seed: u64) -> Vec<ScenarioSchedules> {
                     .users
                     .iter()
                     .map(|u| {
-                        let cs: Vec<String> =
-                            u.classes.iter().map(|c| c.to_string()).collect();
+                        let cs: Vec<String> = u.classes.iter().map(|c| c.to_string()).collect();
                         format!("({})", cs.join(","))
                     })
                     .collect(),
@@ -88,8 +88,7 @@ pub fn run(scale: Scale, seed: u64) -> Vec<ScenarioSchedules> {
 
 /// Render the Table IV layout (numbers in 10^3 samples).
 pub fn render(schedules: &[ScenarioSchedules]) -> String {
-    let mut out =
-        String::from("## Table IV — MinAvg schedules (10^3 samples), CIFAR10-LeNet\n\n");
+    let mut out = String::from("## Table IV — MinAvg schedules (10^3 samples), CIFAR10-LeNet\n\n");
     out.push_str("p1=(100,0)  p2=(5000,0)  p3=(100,2)  p4=(5000,2)\n\n");
     for s in schedules {
         out.push_str(&format!("### {}\n\n", s.scenario));
@@ -147,7 +146,11 @@ mod tests {
         // class, slow) gets nothing at p2.
         let s = schedules();
         let s2 = s.iter().find(|x| x.scenario == "S(II)").unwrap();
-        assert_eq!(s2.samples[3][1], 0.0, "Nexus6P(b) at p2: {:?}", s2.samples[3]);
+        assert_eq!(
+            s2.samples[3][1], 0.0,
+            "Nexus6P(b) at p2: {:?}",
+            s2.samples[3]
+        );
     }
 
     #[test]

@@ -40,7 +40,11 @@ impl AccuracyCost {
         assert!(alpha > 0.0, "alpha must be positive");
         assert!(beta >= 0.0, "beta must be non-negative");
         assert!(alpha > beta, "the paper requires alpha > beta");
-        AccuracyCost { k_classes, alpha, beta }
+        AccuracyCost {
+            k_classes,
+            alpha,
+            beta,
+        }
     }
 
     /// `alpha * F_j` for a user holding `classes`, given the covered set and

@@ -38,7 +38,11 @@ pub struct ScheduleAnalysis {
 /// # Panics
 /// Panics if the schedule's arity differs from the cost matrix.
 pub fn analyze(schedule: &Schedule, costs: &CostMatrix) -> ScheduleAnalysis {
-    assert_eq!(schedule.shards.len(), costs.n_users(), "schedule/costs arity mismatch");
+    assert_eq!(
+        schedule.shards.len(),
+        costs.n_users(),
+        "schedule/costs arity mismatch"
+    );
     let times = schedule.predicted_times(costs);
     let makespan = times.iter().cloned().fold(0.0, f64::max);
     let straggler = times
@@ -65,7 +69,11 @@ pub fn analyze(schedule: &Schedule, costs: &CostMatrix) -> ScheduleAnalysis {
     ScheduleAnalysis {
         makespan,
         optimal_makespan: optimal,
-        optimality_ratio: if optimal > 0.0 { makespan / optimal } else { 1.0 },
+        optimality_ratio: if optimal > 0.0 {
+            makespan / optimal
+        } else {
+            1.0
+        },
         straggler,
         time_fairness,
         slack: times.iter().map(|t| makespan - t).collect(),

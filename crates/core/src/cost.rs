@@ -28,9 +28,12 @@ impl CostMatrix {
     /// `comm[j]` is user `j`'s per-round up+down transfer time, charged
     /// whenever the user participates (`k >= 1`).
     ///
+    /// `total_shards == 0` is a valid degenerate instance (an empty round):
+    /// the matrix has no entries and every scheduler must return the
+    /// all-zeros schedule for it.
+    ///
     /// # Panics
-    /// Panics if `profiles` is empty, lengths mismatch, `total_shards == 0`
-    /// or `shard_size <= 0`.
+    /// Panics if `profiles` is empty, lengths mismatch, or `shard_size <= 0`.
     pub fn from_profiles<P: CostProfile>(
         profiles: &[P],
         total_shards: usize,
@@ -38,8 +41,11 @@ impl CostMatrix {
         comm: &[f64],
     ) -> Self {
         assert!(!profiles.is_empty(), "CostMatrix: need at least one user");
-        assert_eq!(profiles.len(), comm.len(), "CostMatrix: profiles/comm length mismatch");
-        assert!(total_shards > 0, "CostMatrix: total_shards must be positive");
+        assert_eq!(
+            profiles.len(),
+            comm.len(),
+            "CostMatrix: profiles/comm length mismatch"
+        );
         assert!(shard_size > 0.0, "CostMatrix: shard_size must be positive");
 
         let n = profiles.len();
@@ -75,8 +81,10 @@ impl CostMatrix {
                 self.0 * samples / self.1
             }
         }
-        let profiles: Vec<Linear> =
-            rates_per_shard.iter().map(|&r| Linear(r, shard_size)).collect();
+        let profiles: Vec<Linear> = rates_per_shard
+            .iter()
+            .map(|&r| Linear(r, shard_size))
+            .collect();
         CostMatrix::from_profiles(&profiles, total_shards, shard_size, comm)
     }
 
@@ -186,7 +194,10 @@ mod tests {
         for j in 0..2 {
             for threshold in [0.0, 0.5, 3.0, 7.0, 100.0] {
                 let fast = c.max_shards_within(j, threshold);
-                let slow = (1..=10).filter(|&k| c.cost(j, k) <= threshold).max().unwrap_or(0);
+                let slow = (1..=10)
+                    .filter(|&k| c.cost(j, k) <= threshold)
+                    .max()
+                    .unwrap_or(0);
                 assert_eq!(fast, slow, "j={j} threshold={threshold}");
             }
         }

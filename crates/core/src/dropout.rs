@@ -72,7 +72,11 @@ impl DeadlineDropout {
         let report = DropReport {
             dropped,
             lost_shards: lost,
-            lost_fraction: if total == 0 { 0.0 } else { lost as f64 / total as f64 },
+            lost_fraction: if total == 0 {
+                0.0
+            } else {
+                lost as f64 / total as f64
+            },
         };
         Ok((Schedule::new(shards, costs.shard_size()), report))
     }
@@ -115,7 +119,9 @@ mod tests {
     #[test]
     fn generous_deadline_drops_nobody() {
         let c = costs();
-        let (schedule, report) = DeadlineDropout::new(1000.0).schedule_with_report(&c).unwrap();
+        let (schedule, report) = DeadlineDropout::new(1000.0)
+            .schedule_with_report(&c)
+            .unwrap();
         assert!(report.dropped.is_empty());
         assert_eq!(schedule.total_shards(), 30);
     }
@@ -135,8 +141,7 @@ mod tests {
         // coverage, dominating hard dropout.
         let c = costs();
         let lbap = FedLbap.schedule(&c).unwrap();
-        let (dropped_sched, report) =
-            DeadlineDropout::new(20.0).schedule_with_report(&c).unwrap();
+        let (dropped_sched, report) = DeadlineDropout::new(20.0).schedule_with_report(&c).unwrap();
         assert!(lbap.predicted_makespan(&c) <= 20.0 + 1e-9);
         assert_eq!(lbap.total_shards(), 30);
         assert!(dropped_sched.total_shards() < 30);

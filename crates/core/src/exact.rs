@@ -109,7 +109,10 @@ mod tests {
             let c = CostMatrix::from_linear_rates(&rates, s, 10.0, &comm);
             let dp = ExactMinMax.schedule(&c).unwrap().predicted_makespan(&c);
             let bf = brute_force(&c);
-            assert!((dp - bf).abs() < 1e-9, "dp {dp} != bf {bf} ({rates:?}, {comm:?}, {s})");
+            assert!(
+                (dp - bf).abs() < 1e-9,
+                "dp {dp} != bf {bf} ({rates:?}, {comm:?}, {s})"
+            );
         }
     }
 

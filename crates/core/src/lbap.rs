@@ -10,7 +10,8 @@
 //! `O(ns log(ns))`, the paper's `O(n^2 log n)` when `s = n`.
 
 use crate::cost::CostMatrix;
-use crate::schedule::{Schedule, ScheduleError, Scheduler};
+use crate::schedule::{emit_decision, Schedule, ScheduleError, Scheduler};
+use fedsched_telemetry::Probe;
 
 /// The Fed-LBAP scheduler. Stateless; construct with [`Default`].
 #[derive(Debug, Clone, Copy, Default)]
@@ -22,6 +23,11 @@ impl FedLbap {
     pub fn optimal_threshold(&self, costs: &CostMatrix) -> f64 {
         let sorted = costs.sorted_costs();
         let s = costs.total_shards();
+        if s == 0 {
+            // An empty round has no candidate thresholds (`sorted` is
+            // empty); nobody trains, so the makespan is zero.
+            return 0.0;
+        }
         let feasible = |c: f64| -> bool {
             let mut cap = 0usize;
             for j in 0..costs.n_users() {
@@ -55,14 +61,24 @@ impl FedLbap {
     fn assign_within(&self, costs: &CostMatrix, threshold: f64) -> Vec<usize> {
         let n = costs.n_users();
         let s = costs.total_shards();
-        let caps: Vec<usize> = (0..n).map(|j| costs.max_shards_within(j, threshold)).collect();
+        let caps: Vec<usize> = (0..n)
+            .map(|j| costs.max_shards_within(j, threshold))
+            .collect();
 
         // Order users by the time they'd take at full capacity, ascending —
         // giving shards to efficient users first.
         let mut order: Vec<usize> = (0..n).collect();
         order.sort_by(|&a, &b| {
-            let ta = if caps[a] == 0 { f64::INFINITY } else { costs.cost(a, caps[a]) / caps[a] as f64 };
-            let tb = if caps[b] == 0 { f64::INFINITY } else { costs.cost(b, caps[b]) / caps[b] as f64 };
+            let ta = if caps[a] == 0 {
+                f64::INFINITY
+            } else {
+                costs.cost(a, caps[a]) / caps[a] as f64
+            };
+            let tb = if caps[b] == 0 {
+                f64::INFINITY
+            } else {
+                costs.cost(b, caps[b]) / caps[b] as f64
+            };
             ta.partial_cmp(&tb).expect("finite costs")
         });
 
@@ -93,6 +109,19 @@ impl Scheduler for FedLbap {
         let c_star = self.optimal_threshold(costs);
         let shards = self.assign_within(costs, c_star);
         Ok(Schedule::new(shards, costs.shard_size()))
+    }
+
+    /// Traced variant reporting the chosen threshold `c*` in the decision
+    /// event.
+    fn schedule_traced(
+        &self,
+        costs: &CostMatrix,
+        probe: &Probe,
+    ) -> Result<Schedule, ScheduleError> {
+        let result = self.schedule(costs);
+        let threshold = result.is_ok().then(|| self.optimal_threshold(costs));
+        emit_decision(self.name(), costs, &result, threshold, probe);
+        result
     }
 }
 
@@ -171,7 +200,8 @@ mod tests {
 
     #[test]
     fn never_worse_than_equal_baseline() {
-        let c = CostMatrix::from_linear_rates(&[1.0, 3.0, 7.0, 2.0], 40, 10.0, &[0.5, 0.0, 2.0, 0.1]);
+        let c =
+            CostMatrix::from_linear_rates(&[1.0, 3.0, 7.0, 2.0], 40, 10.0, &[0.5, 0.0, 2.0, 0.1]);
         let lbap = FedLbap.schedule(&c).unwrap().predicted_makespan(&c);
         let equal = EqualScheduler.schedule(&c).unwrap().predicted_makespan(&c);
         assert!(lbap <= equal + 1e-12, "LBAP {lbap} > Equal {equal}");
@@ -183,6 +213,59 @@ mod tests {
             let c = CostMatrix::from_linear_rates(&[1.0, 2.0, 4.0], s, 10.0, &[0.0, 1.0, 0.5]);
             let sched = FedLbap.schedule(&c).unwrap();
             assert_eq!(sched.total_shards(), s);
+        }
+    }
+
+    #[test]
+    fn zero_shards_yields_empty_schedule() {
+        // Regression: `optimal_threshold` used to underflow on the empty
+        // candidate list (`sorted_costs().len() - 1`) when s == 0.
+        let c = CostMatrix::from_linear_rates(&[1.0, 2.0, 3.0], 0, 10.0, &[0.0, 0.5, 1.0]);
+        assert_eq!(FedLbap.optimal_threshold(&c), 0.0);
+        let s = FedLbap.schedule(&c).unwrap();
+        assert_eq!(s.shards, vec![0, 0, 0]);
+        assert_eq!(s.predicted_makespan(&c), 0.0);
+    }
+
+    #[test]
+    fn zero_shards_is_empty_for_every_scheduler() {
+        use crate::baselines::{ProportionalScheduler, RandomScheduler};
+        let c = CostMatrix::from_linear_rates(&[1.0, 2.0], 0, 10.0, &[0.0, 0.0]);
+        let schedulers: Vec<Box<dyn Scheduler>> = vec![
+            Box::new(FedLbap),
+            Box::new(ExactMinMax),
+            Box::new(EqualScheduler),
+            Box::new(RandomScheduler::new(3)),
+            Box::new(ProportionalScheduler::new(vec![1.0, 2.0])),
+        ];
+        for s in schedulers {
+            let schedule = s.schedule(&c).unwrap();
+            assert_eq!(schedule.shards, vec![0, 0], "{}", s.name());
+        }
+    }
+
+    #[test]
+    fn traced_schedule_reports_threshold() {
+        use fedsched_telemetry::{Event, EventLog};
+        use std::sync::Arc;
+        let c = CostMatrix::from_linear_rates(&[1.0, 4.0], 10, 10.0, &[0.0, 0.0]);
+        let log = Arc::new(EventLog::new());
+        let probe = Probe::attached(log.clone());
+        let s = FedLbap.schedule_traced(&c, &probe).unwrap();
+        let events = log.events();
+        assert_eq!(events.len(), 1);
+        match &events[0] {
+            Event::ScheduleDecision {
+                scheduler,
+                threshold,
+                shards,
+                ..
+            } => {
+                assert_eq!(scheduler, "Fed-LBAP");
+                assert_eq!(*threshold, Some(FedLbap.optimal_threshold(&c)));
+                assert_eq!(*shards, s.shards);
+            }
+            other => panic!("expected a decision event, got {other:?}"),
         }
     }
 

@@ -14,6 +14,7 @@
 use std::collections::BTreeSet;
 
 use fedsched_profiler::CostProfile;
+use fedsched_telemetry::{Event, Probe};
 use serde::Serialize;
 
 use crate::acc::AccuracyCost;
@@ -125,7 +126,40 @@ impl FedMinAvg {
             .collect();
         let schedule = Schedule::new(shards, d);
         let objective = self.objective(problem, &schedule);
-        Ok(MinAvgOutcome { schedule, open_order, final_alpha_f, objective })
+        Ok(MinAvgOutcome {
+            schedule,
+            open_order,
+            final_alpha_f,
+            objective,
+        })
+    }
+
+    /// [`FedMinAvg::schedule`], emitting a telemetry record of the decision:
+    /// [`Event::MinAvgDecision`] with the objective, final accuracy costs
+    /// and open order on success, [`Event::ScheduleRejected`] on failure.
+    pub fn schedule_traced<P: CostProfile>(
+        &self,
+        problem: &MinAvgProblem<P>,
+        probe: &Probe,
+    ) -> Result<MinAvgOutcome, ScheduleError> {
+        let result = self.schedule(problem);
+        probe.emit(|| match &result {
+            Ok(out) => Event::MinAvgDecision {
+                n_users: problem.users.len(),
+                total_shards: problem.total_shards,
+                objective: out.objective,
+                final_alpha_f: out.final_alpha_f.iter().sum(),
+                open_order: out.open_order.clone(),
+                shards: out.schedule.shards.clone(),
+            },
+            Err(err) => Event::ScheduleRejected {
+                scheduler: "Fed-MinAvg".to_string(),
+                n_users: problem.users.len(),
+                total_shards: problem.total_shards,
+                cause: err.cause_code().to_string(),
+            },
+        });
+        result
     }
 
     /// The P2 objective value of a schedule: per selected user, computation
@@ -214,8 +248,16 @@ mod tests {
 
     #[test]
     fn infeasible_when_capacity_short() {
-        let p = problem(vec![user(0.01, &[0], 3), user(0.01, &[1], 3)], 7, 100.0, 0.0);
-        assert_eq!(FedMinAvg.schedule(&p).unwrap_err(), ScheduleError::Infeasible);
+        let p = problem(
+            vec![user(0.01, &[0], 3), user(0.01, &[1], 3)],
+            7,
+            100.0,
+            0.0,
+        );
+        assert_eq!(
+            FedMinAvg.schedule(&p).unwrap_err(),
+            ScheduleError::Infeasible
+        );
     }
 
     #[test]
@@ -231,16 +273,27 @@ mod tests {
         // class-rich user does (paper Fig. 6 dynamics).
         let mk = |alpha| {
             problem(
-                vec![user(0.001, &[7], 100), user(0.002, &[0, 1, 2, 3, 4, 5, 6, 9], 100)],
+                vec![
+                    user(0.001, &[7], 100),
+                    user(0.002, &[0, 1, 2, 3, 4, 5, 6, 9], 100),
+                ],
                 50,
                 alpha,
                 0.0,
             )
         };
         let lo = FedMinAvg.schedule(&mk(0.1)).unwrap();
-        assert!(lo.schedule.shards[0] > lo.schedule.shards[1], "{:?}", lo.schedule.shards);
+        assert!(
+            lo.schedule.shards[0] > lo.schedule.shards[1],
+            "{:?}",
+            lo.schedule.shards
+        );
         let hi = FedMinAvg.schedule(&mk(5000.0)).unwrap();
-        assert!(hi.schedule.shards[1] > hi.schedule.shards[0], "{:?}", hi.schedule.shards);
+        assert!(
+            hi.schedule.shards[1] > hi.schedule.shards[0],
+            "{:?}",
+            hi.schedule.shards
+        );
     }
 
     #[test]
@@ -261,7 +314,11 @@ mod tests {
             )
         };
         let without = FedMinAvg.schedule(&mk(0.0)).unwrap();
-        assert_eq!(without.schedule.shards[2], 0, "{:?}", without.schedule.shards);
+        assert_eq!(
+            without.schedule.shards[2], 0,
+            "{:?}",
+            without.schedule.shards
+        );
         let with = FedMinAvg.schedule(&mk(100.0)).unwrap();
         assert!(with.schedule.shards[2] > 0, "{:?}", with.schedule.shards);
     }
@@ -296,11 +353,54 @@ mod tests {
 
     #[test]
     fn objective_counts_only_selected_users() {
-        let p = problem(vec![user(0.01, &[0], 100), user(0.01, &[1], 100)], 5, 100.0, 0.0);
+        let p = problem(
+            vec![user(0.01, &[0], 100), user(0.01, &[1], 100)],
+            5,
+            100.0,
+            0.0,
+        );
         let sched = Schedule::new(vec![5, 0], 100.0);
         let obj = FedMinAvg.objective(&p, &sched);
         // comp = 0.01 * 500 = 5; alpha*F = 100 * 10/1 = 1000; comm = 0.
         assert!((obj - 1005.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn traced_schedule_records_decision_and_rejection() {
+        use fedsched_telemetry::EventLog;
+        use std::sync::Arc;
+        let log = Arc::new(EventLog::new());
+        let probe = Probe::attached(log.clone());
+
+        let p = problem(
+            vec![user(0.01, &[0, 1], 10), user(0.02, &[2], 10)],
+            8,
+            100.0,
+            0.0,
+        );
+        let out = FedMinAvg.schedule_traced(&p, &probe).unwrap();
+        let infeasible = problem(vec![user(0.01, &[0], 2)], 5, 100.0, 0.0);
+        assert!(FedMinAvg.schedule_traced(&infeasible, &probe).is_err());
+
+        let events = log.events();
+        assert_eq!(events.len(), 2);
+        match &events[0] {
+            Event::MinAvgDecision {
+                shards,
+                objective,
+                open_order,
+                ..
+            } => {
+                assert_eq!(*shards, out.schedule.shards);
+                assert_eq!(*objective, out.objective);
+                assert_eq!(*open_order, out.open_order);
+            }
+            other => panic!("expected a minavg decision, got {other:?}"),
+        }
+        match &events[1] {
+            Event::ScheduleRejected { cause, .. } => assert_eq!(cause, "infeasible"),
+            other => panic!("expected a rejection, got {other:?}"),
+        }
     }
 
     #[test]

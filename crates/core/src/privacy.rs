@@ -63,7 +63,10 @@ mod tests {
     fn truth_probability_increases_with_epsilon() {
         assert!(truth_probability(0.1) < truth_probability(1.0));
         assert!(truth_probability(1.0) < truth_probability(5.0));
-        assert!((truth_probability(0.0001) - 0.5).abs() < 1e-3, "eps->0 is a coin flip");
+        assert!(
+            (truth_probability(0.0001) - 0.5).abs() < 1e-3,
+            "eps->0 is a coin flip"
+        );
         assert!(truth_probability(10.0) > 0.9999);
     }
 
@@ -125,8 +128,12 @@ mod tests {
         use fedsched_profiler::LinearProfile;
 
         let mut rng = StdRng::seed_from_u64(4);
-        let true_sets =
-            [set(&[0, 1, 2, 3, 4]), set(&[5, 6]), set(&[7, 8, 9]), set(&[0, 9])];
+        let true_sets = [
+            set(&[0, 1, 2, 3, 4]),
+            set(&[5, 6]),
+            set(&[7, 8, 9]),
+            set(&[0, 9]),
+        ];
         let users: Vec<UserSpec<LinearProfile>> = true_sets
             .iter()
             .map(|classes| UserSpec {
@@ -142,7 +149,9 @@ mod tests {
             shard_size: 10.0,
             acc: AccuracyCost::new(10, 5.0, 1.0),
         };
-        let out = FedMinAvg.schedule(&problem).expect("feasible with noisy classes");
+        let out = FedMinAvg
+            .schedule(&problem)
+            .expect("feasible with noisy classes");
         assert_eq!(out.schedule.total_shards(), 80);
     }
 }

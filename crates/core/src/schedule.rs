@@ -1,5 +1,6 @@
 //! Schedules (the algorithms' output) and the scheduler trait.
 
+use fedsched_telemetry::{Event, Probe};
 use serde::{Deserialize, Serialize};
 
 use crate::cost::CostMatrix;
@@ -14,6 +15,17 @@ pub enum ScheduleError {
     Infeasible,
     /// Inconsistent input dimensions (profiles vs comm costs vs classes).
     DimensionMismatch,
+}
+
+impl ScheduleError {
+    /// Stable snake_case code used in telemetry events.
+    pub fn cause_code(&self) -> &'static str {
+        match self {
+            ScheduleError::NoUsers => "no_users",
+            ScheduleError::Infeasible => "infeasible",
+            ScheduleError::DimensionMismatch => "dimension_mismatch",
+        }
+    }
 }
 
 impl std::fmt::Display for ScheduleError {
@@ -82,6 +94,48 @@ pub trait Scheduler {
 
     /// Compute the assignment.
     fn schedule(&self, costs: &CostMatrix) -> Result<Schedule, ScheduleError>;
+
+    /// [`Scheduler::schedule`], emitting a telemetry decision record.
+    ///
+    /// The default emits [`Event::ScheduleDecision`] (threshold `None`) on
+    /// success and [`Event::ScheduleRejected`] on failure; schedulers with
+    /// richer internals (Fed-LBAP's `c*`) override this to fill them in.
+    /// With a disabled probe this is exactly `schedule` plus one branch.
+    fn schedule_traced(
+        &self,
+        costs: &CostMatrix,
+        probe: &Probe,
+    ) -> Result<Schedule, ScheduleError> {
+        let result = self.schedule(costs);
+        emit_decision(self.name(), costs, &result, None, probe);
+        result
+    }
+}
+
+/// Shared emission helper for [`Scheduler::schedule_traced`] implementations.
+pub(crate) fn emit_decision(
+    name: &str,
+    costs: &CostMatrix,
+    result: &Result<Schedule, ScheduleError>,
+    threshold: Option<f64>,
+    probe: &Probe,
+) {
+    probe.emit(|| match result {
+        Ok(schedule) => Event::ScheduleDecision {
+            scheduler: name.to_string(),
+            n_users: costs.n_users(),
+            total_shards: costs.total_shards(),
+            threshold,
+            shards: schedule.shards.clone(),
+            predicted_makespan: schedule.predicted_makespan(costs),
+        },
+        Err(err) => Event::ScheduleRejected {
+            scheduler: name.to_string(),
+            n_users: costs.n_users(),
+            total_shards: costs.total_shards(),
+            cause: err.cause_code().to_string(),
+        },
+    });
 }
 
 #[cfg(test)]

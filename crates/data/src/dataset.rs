@@ -120,8 +120,9 @@ impl Dataset {
             let max = v.iter().fold(0.0f32, |m, x| m.max(x.abs())).max(1e-6);
             v.iter().map(|x| x / max).collect()
         };
-        let prototypes: Vec<Vec<f32>> =
-            (0..N_CLASSES).map(|_| smooth(&mut proto_rng, len)).collect();
+        let prototypes: Vec<Vec<f32>> = (0..N_CLASSES)
+            .map(|_| smooth(&mut proto_rng, len))
+            .collect();
 
         // Balanced labels, shuffled deterministically.
         let mut labels: Vec<u8> = (0..n).map(|i| (i % N_CLASSES) as u8).collect();
@@ -130,7 +131,13 @@ impl Dataset {
             let j = shuffle_rng.gen_range(0..=i);
             labels.swap(i, j);
         }
-        Dataset { kind, seed, index_offset, labels, prototypes }
+        Dataset {
+            kind,
+            seed,
+            index_offset,
+            labels,
+            prototypes,
+        }
     }
 
     /// Which benchmark shape this emulates.
@@ -190,7 +197,11 @@ impl Dataset {
     /// Materialize the pixels of sample `i` into `out` (must have
     /// `feature_len()` capacity; it is overwritten).
     pub fn write_features(&self, i: usize, out: &mut [f32]) {
-        assert_eq!(out.len(), self.feature_len(), "output buffer length mismatch");
+        assert_eq!(
+            out.len(),
+            self.feature_len(),
+            "output buffer length mismatch"
+        );
         let class = self.labels[i] as usize;
         let proto = &self.prototypes[class];
         // Per-sample deterministic RNG: same (dataset seed, index) always

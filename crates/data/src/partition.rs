@@ -85,7 +85,10 @@ fn shuffled_class_indices(ds: &Dataset, rng: &mut StdRng) -> Vec<Vec<usize>> {
 /// remainders).
 fn apportion(weights: &[f64], total: usize) -> Vec<usize> {
     let sum: f64 = weights.iter().sum::<f64>().max(1e-12);
-    let exact: Vec<f64> = weights.iter().map(|w| w.max(0.0) / sum * total as f64).collect();
+    let exact: Vec<f64> = weights
+        .iter()
+        .map(|w| w.max(0.0) / sum * total as f64)
+        .collect();
     let mut out: Vec<usize> = exact.iter().map(|e| e.floor() as usize).collect();
     let assigned: usize = out.iter().sum();
     let mut order: Vec<usize> = (0..weights.len()).collect();
@@ -195,7 +198,9 @@ pub fn partition_by_classes(
     let by_class = shuffled_class_indices(ds, &mut rng);
     let mut users = vec![Vec::new(); n_users];
     for (class, class_idx) in by_class.into_iter().enumerate() {
-        let owners: Vec<usize> = (0..n_users).filter(|&j| class_sets[j].contains(&class)).collect();
+        let owners: Vec<usize> = (0..n_users)
+            .filter(|&j| class_sets[j].contains(&class))
+            .collect();
         if owners.is_empty() {
             continue;
         }
@@ -227,7 +232,11 @@ pub enum OutlierMode {
 impl OutlierMode {
     /// All three modes in the paper's presentation order.
     pub fn all() -> [OutlierMode; 3] {
-        [OutlierMode::Missing, OutlierMode::Separate, OutlierMode::Merge]
+        [
+            OutlierMode::Missing,
+            OutlierMode::Separate,
+            OutlierMode::Merge,
+        ]
     }
 
     /// Display name.
@@ -310,7 +319,9 @@ mod tests {
 
     #[test]
     fn imbalance_ratio_zero_for_equal_sizes() {
-        let p = Partition { users: vec![vec![0, 1], vec![2, 3]] };
+        let p = Partition {
+            users: vec![vec![0, 1], vec![2, 3]],
+        };
         assert_eq!(imbalance_ratio_of(&p), 0.0);
     }
 
@@ -353,10 +364,8 @@ mod tests {
     #[test]
     fn shared_class_is_split_between_owners() {
         let d = ds();
-        let sets: Vec<BTreeSet<usize>> = vec![
-            std::iter::once(0).collect(),
-            std::iter::once(0).collect(),
-        ];
+        let sets: Vec<BTreeSet<usize>> =
+            vec![std::iter::once(0).collect(), std::iter::once(0).collect()];
         let p = partition_by_classes(&d, &sets, 0.0, 5);
         let sizes = p.sizes();
         assert_eq!(sizes.iter().sum::<usize>(), 200);
@@ -376,7 +385,11 @@ mod tests {
 
         // Missing trains on 9 classes; the others on all 10.
         let classes = |p: &Partition| -> usize {
-            p.class_sets(&d).into_iter().flatten().collect::<BTreeSet<_>>().len()
+            p.class_sets(&d)
+                .into_iter()
+                .flatten()
+                .collect::<BTreeSet<_>>()
+                .len()
         };
         assert_eq!(classes(&missing), 9);
         assert_eq!(classes(&separate), 10);

@@ -35,7 +35,11 @@ pub struct Scenario {
 }
 
 fn user(label: &'static str, device: &'static str, classes: &[usize]) -> ScenarioUser {
-    ScenarioUser { label, device, classes: classes.iter().copied().collect() }
+    ScenarioUser {
+        label,
+        device,
+        classes: classes.iter().copied().collect(),
+    }
 }
 
 impl Scenario {
@@ -108,7 +112,10 @@ impl Scenario {
 
     /// Classes covered by the whole cohort.
     pub fn covered_classes(&self) -> BTreeSet<usize> {
-        self.users.iter().flat_map(|u| u.classes.iter().copied()).collect()
+        self.users
+            .iter()
+            .flat_map(|u| u.classes.iter().copied())
+            .collect()
     }
 
     /// Classes held by exactly one user (the "outlier classes" whose
@@ -120,7 +127,11 @@ impl Scenario {
                 *counts.entry(c).or_insert(0usize) += 1;
             }
         }
-        counts.into_iter().filter(|&(_, n)| n == 1).map(|(c, _)| c).collect()
+        counts
+            .into_iter()
+            .filter(|&(_, n)| n == 1)
+            .map(|(c, _)| c)
+            .collect()
     }
 
     /// Materialize the scenario as a data partition over `ds`.

@@ -3,7 +3,10 @@
 use fedsched_device::{Device, DeviceModel, TrainingWorkload};
 
 fn main() {
-    for (name, wl) in [("LeNet", TrainingWorkload::lenet()), ("VGG6", TrainingWorkload::vgg6())] {
+    for (name, wl) in [
+        ("LeNet", TrainingWorkload::lenet()),
+        ("VGG6", TrainingWorkload::vgg6()),
+    ] {
         println!(
             "== {name} ==  (paper 3K/6K: N6 31/62, N6P 69/220, M10 45/89, P2 25/51 LeNet; \
              N6 495/1021, N6P 540/1134, M10 359/712, P2 339/661 VGG6)"
@@ -12,7 +15,13 @@ fn main() {
             let mut d = Device::from_model(m, 42);
             let t3 = d.epoch_time_cold(&wl, 3000);
             let t6 = d.epoch_time_cold(&wl, 6000);
-            println!("  {:8} 3K={:7.1}s 6K={:7.1}s ratio={:.2}", m.name(), t3, t6, t6 / t3);
+            println!(
+                "  {:8} 3K={:7.1}s 6K={:7.1}s ratio={:.2}",
+                m.name(),
+                t3,
+                t6,
+                t6 / t3
+            );
         }
     }
 }

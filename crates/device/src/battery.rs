@@ -25,9 +25,16 @@ impl Battery {
     /// # Panics
     /// Panics on non-positive capacity or voltage.
     pub fn new(capacity_mah: f64, voltage: f64) -> Self {
-        assert!(capacity_mah > 0.0 && voltage > 0.0, "battery spec must be positive");
+        assert!(
+            capacity_mah > 0.0 && voltage > 0.0,
+            "battery spec must be positive"
+        );
         let capacity_j = capacity_mah * 3.6 * voltage;
-        Battery { capacity_j, remaining_j: capacity_j, drained_j: 0.0 }
+        Battery {
+            capacity_j,
+            remaining_j: capacity_j,
+            drained_j: 0.0,
+        }
     }
 
     /// Nameplate energy in joules.
@@ -65,6 +72,13 @@ impl Battery {
         draw
     }
 
+    /// State of charge in whole decades: 10 when full, 9 once below 100%…
+    /// down to 0 when (nearly) empty. The telemetry layer emits a
+    /// `battery_soc` event whenever this steps down across a boundary.
+    pub fn soc_decade(&self) -> u32 {
+        (self.soc().clamp(0.0, 1.0) * 10.0).floor() as u32
+    }
+
     /// Recharge to full.
     pub fn recharge(&mut self) {
         self.remaining_j = self.capacity_j;
@@ -100,6 +114,19 @@ mod tests {
         assert_eq!(drawn, 3.6);
         assert!(b.empty());
         assert_eq!(b.drain(1.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn soc_decade_steps_down_with_drain() {
+        let mut b = Battery::new(1000.0, 1.0); // 3600 J
+        assert_eq!(b.soc_decade(), 10);
+        b.drain(36.0, 1.0); // 1% drained
+        assert_eq!(b.soc_decade(), 9);
+        b.drain(3600.0 * 0.45, 1.0); // 46% drained
+        assert_eq!(b.soc_decade(), 5);
+        b.drain(1e9, 1.0);
+        assert_eq!(b.soc_decade(), 0);
+        assert!(b.empty());
     }
 
     #[test]

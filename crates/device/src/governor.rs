@@ -72,6 +72,12 @@ impl InteractiveGovernor {
         self.freq_fraction
     }
 
+    /// Current absolute frequency for a cluster whose maximum clock is
+    /// `max_freq_ghz` — the number DVFS telemetry reports.
+    pub fn freq_ghz(&self, max_freq_ghz: f64) -> f64 {
+        self.freq_fraction * max_freq_ghz
+    }
+
     /// Advance by `dt` seconds under observed `load` in `[0,1]`, with
     /// `thermal_cap` limiting the admissible fraction. Returns the new
     /// frequency fraction.
@@ -122,8 +128,17 @@ mod tests {
     }
 
     #[test]
+    fn freq_ghz_scales_the_fraction() {
+        let g = InteractiveGovernor::new(GovernorParams::default(), 0.5);
+        assert!((g.freq_ghz(2.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn ramp_respects_slew_limit() {
-        let params = GovernorParams { slew_per_sec: 0.5, ..Default::default() };
+        let params = GovernorParams {
+            slew_per_sec: 0.5,
+            ..Default::default()
+        };
         let mut g = InteractiveGovernor::new(params, 0.3);
         let before = g.freq_fraction();
         g.step(0.1, 1.0, 1.0);

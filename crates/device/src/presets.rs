@@ -32,7 +32,12 @@ pub enum DeviceModel {
 impl DeviceModel {
     /// All four models, in the paper's Table I order.
     pub fn all() -> [DeviceModel; 4] {
-        [DeviceModel::Nexus6, DeviceModel::Nexus6P, DeviceModel::Mate10, DeviceModel::Pixel2]
+        [
+            DeviceModel::Nexus6,
+            DeviceModel::Nexus6P,
+            DeviceModel::Mate10,
+            DeviceModel::Pixel2,
+        ]
     }
 
     /// Human-readable name matching the paper's tables.
@@ -145,8 +150,14 @@ impl DeviceSpec {
             thermal_resistance: 8.0,
             policy: ThrottlePolicy {
                 trips: vec![
-                    TripPoint { temp_c: 55.0, cap_fraction: 0.95 },
-                    TripPoint { temp_c: 62.0, cap_fraction: 0.88 },
+                    TripPoint {
+                        temp_c: 55.0,
+                        cap_fraction: 0.95,
+                    },
+                    TripPoint {
+                        temp_c: 62.0,
+                        cap_fraction: 0.88,
+                    },
                 ],
                 big_offline_temp_c: f64::INFINITY,
                 big_resume_temp_c: f64::INFINITY,
@@ -253,7 +264,10 @@ impl DeviceSpec {
             heat_capacity: 9.0,
             thermal_resistance: 6.0,
             policy: ThrottlePolicy {
-                trips: vec![TripPoint { temp_c: 58.0, cap_fraction: 0.95 }],
+                trips: vec![TripPoint {
+                    temp_c: 58.0,
+                    cap_fraction: 0.95,
+                }],
                 big_offline_temp_c: f64::INFINITY,
                 big_resume_temp_c: f64::INFINITY,
             },
@@ -300,8 +314,14 @@ impl DeviceSpec {
             thermal_resistance: 6.5,
             policy: ThrottlePolicy {
                 trips: vec![
-                    TripPoint { temp_c: 57.0, cap_fraction: 0.95 },
-                    TripPoint { temp_c: 65.0, cap_fraction: 0.85 },
+                    TripPoint {
+                        temp_c: 57.0,
+                        cap_fraction: 0.95,
+                    },
+                    TripPoint {
+                        temp_c: 65.0,
+                        cap_fraction: 0.85,
+                    },
                 ],
                 big_offline_temp_c: f64::INFINITY,
                 big_resume_temp_c: f64::INFINITY,
@@ -332,7 +352,10 @@ impl DeviceSpec {
                 leak_w: 0.3,
                 is_big: false,
             }],
-            governor: GovernorParams { slew_per_sec: 1e9, ..GovernorParams::default() },
+            governor: GovernorParams {
+                slew_per_sec: 1e9,
+                ..GovernorParams::default()
+            },
             ambient_c: 25.0,
             heat_capacity: 10.0,
             thermal_resistance: 1.0,
@@ -381,8 +404,14 @@ mod tests {
 
         let n6p = DeviceSpec::nexus6p();
         assert_eq!(n6p.clusters.len(), 2);
-        assert!(n6p.clusters.iter().any(|c| c.is_big && c.max_freq_ghz == 2.0));
-        assert!(n6p.clusters.iter().any(|c| !c.is_big && c.max_freq_ghz == 1.55));
+        assert!(n6p
+            .clusters
+            .iter()
+            .any(|c| c.is_big && c.max_freq_ghz == 2.0));
+        assert!(n6p
+            .clusters
+            .iter()
+            .any(|c| !c.is_big && c.max_freq_ghz == 1.55));
     }
 
     #[test]

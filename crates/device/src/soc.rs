@@ -1,5 +1,6 @@
 //! The device integrator: governor + thermal + battery + work execution.
 
+use fedsched_telemetry::{Event, Probe};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -47,6 +48,9 @@ pub struct Device {
     rng: StdRng,
     time_s: f64,
     burst_until_s: f64,
+    /// Telemetry handle; disabled by default. Cloning the device shares
+    /// the attached recorder.
+    probe: Probe,
 }
 
 impl Device {
@@ -72,12 +76,27 @@ impl Device {
             rng: StdRng::seed_from_u64(seed),
             time_s: 0.0,
             burst_until_s: f64::NEG_INFINITY,
+            probe: Probe::disabled(),
         }
     }
 
     /// Build one of the calibrated preset phones.
     pub fn from_model(model: DeviceModel, seed: u64) -> Self {
         Device::new(model.spec(), seed)
+    }
+
+    /// Attach a telemetry probe (builder form). The device emits
+    /// `thermal_cap`, `big_cluster_*`, `battery_soc` and `battery_depleted`
+    /// events as its simulation crosses the corresponding boundaries;
+    /// with the default disabled probe none of this work happens.
+    pub fn with_probe(mut self, probe: Probe) -> Self {
+        self.probe = probe;
+        self
+    }
+
+    /// Attach or replace the telemetry probe in place.
+    pub fn set_probe(&mut self, probe: Probe) {
+        self.probe = probe;
     }
 
     /// The device's specification.
@@ -98,13 +117,17 @@ impl Device {
             if cluster.is_big && !self.thermal.big_online() {
                 continue;
             }
-            freq_sum += cluster.max_freq_ghz * gov.freq_fraction();
+            freq_sum += gov.freq_ghz(cluster.max_freq_ghz);
             online += 1;
         }
         Telemetry {
             time_s: self.time_s,
             temp_c: self.thermal.temperature(),
-            avg_freq_ghz: if online == 0 { 0.0 } else { freq_sum / online as f64 },
+            avg_freq_ghz: if online == 0 {
+                0.0
+            } else {
+                freq_sum / online as f64
+            },
             big_online: self.thermal.big_online(),
             battery_soc: self.battery.soc(),
             energy_j: self.battery.drained_j(),
@@ -179,9 +202,74 @@ impl Device {
             self.burst_until_s = self.time_s + self.spec.burst_duration_s;
         }
 
-        self.thermal.step(dt, power);
-        self.battery.drain(dt, power);
-        self.time_s += dt;
+        if self.probe.is_enabled() {
+            let decade_before = self.battery.soc_decade();
+            let empty_before = self.battery.empty();
+            let transitions = self.thermal.step_observed(dt, power);
+            self.battery.drain(dt, power);
+            self.time_s += dt;
+            self.emit_transitions(transitions, decade_before, empty_before);
+        } else {
+            self.thermal.step(dt, power);
+            self.battery.drain(dt, power);
+            self.time_s += dt;
+        }
+    }
+
+    /// Turn the state transitions of one simulation step into telemetry
+    /// events. Only called with an attached probe.
+    fn emit_transitions(
+        &self,
+        transitions: crate::thermal::ThermalTransitions,
+        decade_before: u32,
+        empty_before: bool,
+    ) {
+        let name = self.spec.model.name();
+        let t_s = self.time_s;
+        let temp_c = self.thermal.temperature();
+        if let Some(cap) = transitions.new_cap {
+            let max_ghz = self
+                .spec
+                .clusters
+                .iter()
+                .map(|c| c.max_freq_ghz)
+                .fold(0.0, f64::max);
+            self.probe.emit(|| Event::ThermalCap {
+                t_s,
+                device: name.to_string(),
+                temp_c,
+                cap_ghz: cap * max_ghz,
+            });
+        }
+        if transitions.big_went_offline {
+            self.probe.emit(|| Event::BigClusterOffline {
+                t_s,
+                device: name.to_string(),
+                temp_c,
+            });
+        }
+        if transitions.big_came_online {
+            self.probe.emit(|| Event::BigClusterOnline {
+                t_s,
+                device: name.to_string(),
+                temp_c,
+            });
+        }
+        let decade_after = self.battery.soc_decade();
+        for decade in (decade_after..decade_before).rev() {
+            self.probe.emit(|| Event::BatterySoc {
+                t_s,
+                device: name.to_string(),
+                soc_pct: decade * 10,
+            });
+        }
+        if !empty_before && self.battery.empty() {
+            self.probe.emit(|| Event::BatteryDepleted {
+                t_s,
+                device: name.to_string(),
+                drained_j: self.battery.drained_j(),
+            });
+        }
     }
 
     /// Standard-normal sample via Box–Muller (rand_distr is outside the
@@ -238,7 +326,10 @@ impl Device {
         let mut left = samples;
         while left > 0 {
             let b = left.min(wl.batch_size);
-            let batch_wl = TrainingWorkload { batch_size: b, ..*wl };
+            let batch_wl = TrainingWorkload {
+                batch_size: b,
+                ..*wl
+            };
             total += self.train_batch(&batch_wl);
             left -= b;
         }
@@ -258,7 +349,10 @@ impl Device {
         let mut left = samples;
         while left > 0 {
             let b = left.min(wl.batch_size);
-            let batch_wl = TrainingWorkload { batch_size: b, ..*wl };
+            let batch_wl = TrainingWorkload {
+                batch_size: b,
+                ..*wl
+            };
             let t = self.train_batch(&batch_wl);
             trace.batch_seconds.push(t);
             left -= b;
@@ -457,7 +551,10 @@ mod tests {
         let lenet = d.estimate_energy_per_sample(&TrainingWorkload::lenet());
         let vgg = d.estimate_energy_per_sample(&TrainingWorkload::vgg6());
         assert!(lenet > 0.0);
-        assert!(vgg > 3.0 * lenet, "VGG6 {vgg} J should dwarf LeNet {lenet} J");
+        assert!(
+            vgg > 3.0 * lenet,
+            "VGG6 {vgg} J should dwarf LeNet {lenet} J"
+        );
     }
 
     #[test]
@@ -469,6 +566,112 @@ mod tests {
         assert!(c1 > 0);
         assert!(c2 >= 2 * c1 - 2 && c2 <= 2 * c1 + 2, "c1={c1} c2={c2}");
         assert_eq!(d.samples_within_energy(&wl, 0.0), 0);
+    }
+
+    #[test]
+    fn thermal_events_are_emitted_in_order() {
+        use fedsched_telemetry::EventLog;
+        use std::sync::Arc;
+        let log = Arc::new(EventLog::new());
+        let mut d =
+            Device::from_model(DeviceModel::Nexus6P, 11).with_probe(Probe::attached(log.clone()));
+        while d.telemetry().big_online {
+            d.train_batch(&TrainingWorkload::lenet());
+        }
+        let events = log.events();
+        let mut saw_offline = false;
+        let mut prev_t = 0.0;
+        for ev in &events {
+            if let Event::BigClusterOffline { t_s, temp_c, .. } = ev {
+                assert!(*t_s >= prev_t);
+                prev_t = *t_s;
+                assert!(*temp_c > 50.0, "shutdown while cool: {temp_c}");
+                saw_offline = true;
+            }
+        }
+        assert!(saw_offline, "big-cluster shutdown must be recorded");
+    }
+
+    #[test]
+    fn trip_point_crossings_emit_thermal_cap_events() {
+        use fedsched_telemetry::EventLog;
+        use std::sync::Arc;
+        let log = Arc::new(EventLog::new());
+        // Nexus 6 has a real trip table; sustained VGG6 load crosses it.
+        let mut d =
+            Device::from_model(DeviceModel::Nexus6, 9).with_probe(Probe::attached(log.clone()));
+        // First trip point is 55 °C, reached ~90 s into sustained load.
+        for _ in 0..200 {
+            d.train_samples(&TrainingWorkload::vgg6(), 100);
+            if d.telemetry().temp_c > 56.0 {
+                break;
+            }
+        }
+        let caps: Vec<f64> = log
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                Event::ThermalCap {
+                    device, cap_ghz, ..
+                } => {
+                    assert_eq!(device, "Nexus6");
+                    Some(*cap_ghz)
+                }
+                _ => None,
+            })
+            .collect();
+        assert!(!caps.is_empty(), "sustained load must cross a trip point");
+        // Caps are reported in absolute GHz, below the 2.7 GHz maximum.
+        for cap in caps {
+            assert!(cap > 0.0 && cap < 2.7, "cap {cap}");
+        }
+    }
+
+    #[test]
+    fn battery_decades_and_depletion_are_emitted() {
+        use fedsched_telemetry::EventLog;
+        use std::sync::Arc;
+        let log = Arc::new(EventLog::new());
+        // A tiny battery so the test drains it quickly.
+        let mut spec = DeviceSpec::ideal(50.0, 50.0);
+        spec.battery_mah = 2.0;
+        let mut d = Device::new(spec, 1).with_probe(Probe::attached(log.clone()));
+        let wl = TrainingWorkload::lenet();
+        while !d.battery().empty() {
+            d.train_samples(&wl, 100);
+        }
+        let socs: Vec<u32> = log
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                Event::BatterySoc { soc_pct, .. } => Some(*soc_pct),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(socs, vec![90, 80, 70, 60, 50, 40, 30, 20, 10, 0]);
+        let depleted = log
+            .events()
+            .iter()
+            .filter(|e| matches!(e, Event::BatteryDepleted { .. }))
+            .count();
+        assert_eq!(depleted, 1, "exactly one depletion event");
+    }
+
+    #[test]
+    fn disabled_probe_emits_nothing_and_matches_enabled_run() {
+        use fedsched_telemetry::EventLog;
+        use std::sync::Arc;
+        let wl = TrainingWorkload::lenet();
+        let log = Arc::new(EventLog::new());
+        let mut plain = Device::from_model(DeviceModel::Mate10, 21);
+        let mut probed =
+            Device::from_model(DeviceModel::Mate10, 21).with_probe(Probe::attached(log.clone()));
+        // Observation must not perturb the simulation.
+        assert_eq!(
+            plain.train_samples(&wl, 500),
+            probed.train_samples(&wl, 500)
+        );
+        assert_eq!(plain.telemetry(), probed.telemetry());
     }
 
     #[test]

@@ -112,7 +112,12 @@ impl Testbed {
                 let mut probe = Device::new(d.spec().clone(), 0xC0FFEE ^ (i as u64));
                 let pts: Vec<(f64, f64)> = PROFILE_SIZES
                     .iter()
-                    .map(|&n| (n as f64, probe.epoch_time_sustained(wl, n, PROFILE_WARMUP_S)))
+                    .map(|&n| {
+                        (
+                            n as f64,
+                            probe.epoch_time_sustained(wl, n, PROFILE_WARMUP_S),
+                        )
+                    })
                     .collect();
                 TabulatedProfile::from_measurements(&pts)
             })
@@ -171,7 +176,10 @@ mod tests {
     fn testbed_2_contains_both_nexus6p() {
         let models = Testbed::testbed_2(0).models();
         assert_eq!(
-            models.iter().filter(|m| **m == DeviceModel::Nexus6P).count(),
+            models
+                .iter()
+                .filter(|m| **m == DeviceModel::Nexus6P)
+                .count(),
             2
         );
     }
@@ -192,14 +200,30 @@ mod tests {
         // Pixel2 (index 2) must beat Nexus6 (index 0) which beats Mate10
         // (index 1) on LeNet at 3K samples, matching Table II ordering.
         let at3k: Vec<f64> = profiles.iter().map(|p| p.time_for(3000.0)).collect();
-        assert!(at3k[2] < at3k[0], "Pixel2 {:.0} !< Nexus6 {:.0}", at3k[2], at3k[0]);
-        assert!(at3k[0] < at3k[1], "Nexus6 {:.0} !< Mate10 {:.0}", at3k[0], at3k[1]);
+        assert!(
+            at3k[2] < at3k[0],
+            "Pixel2 {:.0} !< Nexus6 {:.0}",
+            at3k[2],
+            at3k[0]
+        );
+        assert!(
+            at3k[0] < at3k[1],
+            "Nexus6 {:.0} !< Mate10 {:.0}",
+            at3k[0],
+            at3k[1]
+        );
     }
 
     #[test]
     fn workload_for_arch_maps_headline_models() {
-        assert_eq!(workload_for_arch(&ModelArch::lenet()), TrainingWorkload::lenet());
-        assert_eq!(workload_for_arch(&ModelArch::vgg6()), TrainingWorkload::vgg6());
+        assert_eq!(
+            workload_for_arch(&ModelArch::lenet()),
+            TrainingWorkload::lenet()
+        );
+        assert_eq!(
+            workload_for_arch(&ModelArch::vgg6()),
+            TrainingWorkload::vgg6()
+        );
         let other = workload_for_arch(&ModelArch::new(1e5, 1e5));
         assert_ne!(other, TrainingWorkload::lenet());
     }

@@ -49,7 +49,10 @@ impl ThrottlePolicy {
         let mut prev_temp = f64::NEG_INFINITY;
         let mut prev_cap = 1.0f64;
         for t in &self.trips {
-            assert!(t.temp_c > prev_temp, "trip points must be sorted by temperature");
+            assert!(
+                t.temp_c > prev_temp,
+                "trip points must be sorted by temperature"
+            );
             assert!(
                 t.cap_fraction > 0.0 && t.cap_fraction <= prev_cap,
                 "trip caps must be non-increasing and positive"
@@ -88,7 +91,14 @@ pub struct ThermalModel {
     pub policy: ThrottlePolicy,
     temp_c: f64,
     big_online: bool,
+    /// Last cap fraction surfaced via [`ThermalModel::step_observed`];
+    /// restoration is debounced by [`CAP_REPORT_HYST_C`].
+    reported_cap: f64,
 }
+
+/// Guard band (°C) below a trip point before a cap restoration is
+/// *reported* (the governing cap itself has no hysteresis).
+const CAP_REPORT_HYST_C: f64 = 0.5;
 
 impl ThermalModel {
     /// Create a model starting at ambient temperature with the big cluster
@@ -97,7 +107,12 @@ impl ThermalModel {
     /// # Panics
     /// Panics on non-positive `heat_capacity`/`resistance` or an invalid
     /// policy (unsorted trips, caps out of range, inverted hysteresis).
-    pub fn new(ambient_c: f64, heat_capacity: f64, resistance: f64, policy: ThrottlePolicy) -> Self {
+    pub fn new(
+        ambient_c: f64,
+        heat_capacity: f64,
+        resistance: f64,
+        policy: ThrottlePolicy,
+    ) -> Self {
         assert!(heat_capacity > 0.0, "heat capacity must be positive");
         assert!(resistance > 0.0, "thermal resistance must be positive");
         policy.validate();
@@ -108,6 +123,7 @@ impl ThermalModel {
             policy,
             temp_c: ambient_c,
             big_online: true,
+            reported_cap: 1.0,
         }
     }
 
@@ -153,7 +169,53 @@ impl ThermalModel {
     pub fn reset(&mut self) {
         self.temp_c = self.ambient_c;
         self.big_online = true;
+        self.reported_cap = 1.0;
     }
+
+    /// [`ThermalModel::step`] that also reports which discrete throttling
+    /// transitions the step crossed — the telemetry layer turns these into
+    /// `thermal_cap` / `big_cluster_*` events.
+    ///
+    /// Cap *restorations* are reported with [`CAP_REPORT_HYST_C`] of
+    /// hysteresis: throttling at a trip point self-regulates the die right
+    /// at the trip temperature (throttle → cool a fraction of a degree →
+    /// unthrottle → reheat), and without a guard band that limit cycle
+    /// flips the cap every integration step and floods the event stream.
+    /// Only reporting is hysteretic; the governing [`ThermalModel::freq_cap`]
+    /// is untouched, so instrumented and plain runs stay time-identical.
+    pub fn step_observed(&mut self, dt: f64, p_watts: f64) -> ThermalTransitions {
+        let big_before = self.big_online;
+        self.step(dt, p_watts);
+        let cap_now = self.freq_cap();
+        let new_cap = if cap_now < self.reported_cap {
+            // Tightening applies (and reports) immediately.
+            self.reported_cap = cap_now;
+            Some(cap_now)
+        } else if self.policy.cap_at(self.temp_c + CAP_REPORT_HYST_C) > self.reported_cap {
+            // Restore only once the die has cooled clear of the trip.
+            self.reported_cap = cap_now;
+            Some(cap_now)
+        } else {
+            None
+        };
+        ThermalTransitions {
+            new_cap,
+            big_went_offline: big_before && !self.big_online,
+            big_came_online: !big_before && self.big_online,
+        }
+    }
+}
+
+/// Discrete throttling transitions crossed by one [`ThermalModel::step_observed`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ThermalTransitions {
+    /// `Some(cap)` when the trip table's frequency cap changed (either
+    /// direction); the value is the new cap fraction.
+    pub new_cap: Option<f64>,
+    /// The big cluster was taken offline this step.
+    pub big_went_offline: bool,
+    /// The big cluster came back online this step.
+    pub big_came_online: bool,
 }
 
 #[cfg(test)]
@@ -163,8 +225,14 @@ mod tests {
     fn policy() -> ThrottlePolicy {
         ThrottlePolicy {
             trips: vec![
-                TripPoint { temp_c: 60.0, cap_fraction: 0.8 },
-                TripPoint { temp_c: 70.0, cap_fraction: 0.6 },
+                TripPoint {
+                    temp_c: 60.0,
+                    cap_fraction: 0.8,
+                },
+                TripPoint {
+                    temp_c: 70.0,
+                    cap_fraction: 0.6,
+                },
             ],
             big_offline_temp_c: 75.0,
             big_resume_temp_c: 65.0,
@@ -248,12 +316,86 @@ mod tests {
     }
 
     #[test]
+    fn step_observed_reports_cap_and_big_transitions() {
+        let mut m = ThermalModel::new(25.0, 10.0, 5.0, policy());
+        let mut saw_cap = false;
+        let mut saw_offline = false;
+        while !saw_offline {
+            let tr = m.step_observed(0.1, 12.0);
+            if let Some(cap) = tr.new_cap {
+                assert!(cap < 1.0, "heating can only lower the cap");
+                saw_cap = true;
+            }
+            saw_offline |= tr.big_went_offline;
+            assert!(!tr.big_came_online);
+        }
+        assert!(saw_cap, "must cross a trip point before shutdown");
+        // Cooling back down reverses both transitions.
+        let mut saw_online = false;
+        let mut cap_restored = false;
+        for _ in 0..100_000 {
+            let tr = m.step_observed(0.1, 0.0);
+            saw_online |= tr.big_came_online;
+            cap_restored |= tr.new_cap == Some(1.0);
+        }
+        assert!(saw_online && cap_restored);
+    }
+
+    #[test]
+    fn trip_limit_cycle_reports_one_cap_change() {
+        // Self-regulation right at a trip point (hot step, cool step, hot
+        // step, ...) must not flood the reporter: one tightening event,
+        // then silence until the die genuinely cools clear of the trip.
+        let mut m = ThermalModel::new(25.0, 10.0, 5.0, policy());
+        while m.freq_cap() == 1.0 {
+            m.step(0.1, 12.0);
+        }
+        m.reset();
+        // Re-heat with observation to just past the 60C trip.
+        let mut events = 0usize;
+        while m.temperature() < 60.0 {
+            if m.step_observed(0.1, 12.0).new_cap.is_some() {
+                events += 1;
+            }
+        }
+        assert_eq!(events, 1);
+        // Oscillate in a ±0.2C band around the trip: no further reports.
+        for i in 0..1000 {
+            // Steady states 85C / 35C average to the 60C trip itself.
+            let p = if i % 2 == 0 { 12.0 } else { 2.0 };
+            assert_eq!(m.step_observed(0.05, p).new_cap, None, "step {i}");
+            assert!((m.temperature() - 60.0).abs() < 0.4, "left the band");
+        }
+        // A genuine cooldown restores the cap exactly once.
+        let mut restores = 0usize;
+        for _ in 0..10_000 {
+            if m.step_observed(0.1, 0.0).new_cap == Some(1.0) {
+                restores += 1;
+            }
+        }
+        assert_eq!(restores, 1);
+        assert!(m.temperature() < 60.0 - 0.4, "cooled past the guard band");
+    }
+
+    #[test]
+    fn quiet_step_reports_no_transitions() {
+        let mut m = ThermalModel::new(25.0, 10.0, 5.0, policy());
+        assert_eq!(m.step_observed(0.1, 1.0), ThermalTransitions::default());
+    }
+
+    #[test]
     #[should_panic(expected = "sorted")]
     fn unsorted_trips_rejected() {
         let p = ThrottlePolicy {
             trips: vec![
-                TripPoint { temp_c: 70.0, cap_fraction: 0.6 },
-                TripPoint { temp_c: 60.0, cap_fraction: 0.8 },
+                TripPoint {
+                    temp_c: 70.0,
+                    cap_fraction: 0.6,
+                },
+                TripPoint {
+                    temp_c: 60.0,
+                    cap_fraction: 0.8,
+                },
             ],
             big_offline_temp_c: f64::INFINITY,
             big_resume_temp_c: f64::INFINITY,
@@ -266,8 +408,14 @@ mod tests {
     fn increasing_caps_rejected() {
         let p = ThrottlePolicy {
             trips: vec![
-                TripPoint { temp_c: 60.0, cap_fraction: 0.6 },
-                TripPoint { temp_c: 70.0, cap_fraction: 0.8 },
+                TripPoint {
+                    temp_c: 60.0,
+                    cap_fraction: 0.6,
+                },
+                TripPoint {
+                    temp_c: 70.0,
+                    cap_fraction: 0.8,
+                },
             ],
             big_offline_temp_c: f64::INFINITY,
             big_resume_temp_c: f64::INFINITY,

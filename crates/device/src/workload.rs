@@ -86,8 +86,8 @@ mod tests {
 
     #[test]
     fn vgg6_costs_an_order_of_magnitude_more_than_lenet() {
-        let ratio =
-            TrainingWorkload::vgg6().flops_per_sample() / TrainingWorkload::lenet().flops_per_sample();
+        let ratio = TrainingWorkload::vgg6().flops_per_sample()
+            / TrainingWorkload::lenet().flops_per_sample();
         assert!(ratio > 10.0 && ratio < 30.0, "ratio {ratio}");
     }
 

@@ -89,7 +89,10 @@ mod tests {
         let d = ds();
         let s = Schedule::new(vec![3, 5, 2], 100.0);
         let a = assignment_from_schedule_iid(&d, &s, 1);
-        assert_eq!(a.iter().map(Vec::len).collect::<Vec<_>>(), vec![300, 500, 200]);
+        assert_eq!(
+            a.iter().map(Vec::len).collect::<Vec<_>>(),
+            vec![300, 500, 200]
+        );
         // Disjoint.
         let all: BTreeSet<usize> = a.iter().flatten().copied().collect();
         assert_eq!(all.len(), 1000);

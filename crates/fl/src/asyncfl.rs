@@ -69,7 +69,11 @@ impl<'a> AsyncFlSetup<'a> {
     /// # Panics
     /// Panics if `assignment`/`devices` lengths differ or nobody has data.
     pub fn run(&self) -> AsyncFlOutcome {
-        assert_eq!(self.assignment.len(), self.devices.len(), "assignment/devices mismatch");
+        assert_eq!(
+            self.assignment.len(),
+            self.devices.len(),
+            "assignment/devices mismatch"
+        );
         assert!(
             self.assignment.iter().any(|a| !a.is_empty()),
             "async run needs at least one user with data"
@@ -92,10 +96,10 @@ impl<'a> AsyncFlSetup<'a> {
         let mut timeline = Vec::new();
 
         let schedule_client = |j: usize,
-                                   now: f64,
-                                   version: usize,
-                                   devices: &mut [Device],
-                                   rng: &mut StdRng|
+                               now: f64,
+                               version: usize,
+                               devices: &mut [Device],
+                               rng: &mut StdRng|
          -> Option<(f64, usize)> {
             if self.assignment[j].is_empty() {
                 return None;
@@ -164,7 +168,11 @@ impl<'a> AsyncFlSetup<'a> {
         AsyncFlOutcome {
             final_accuracy,
             merged_updates: merged,
-            mean_staleness: if merged == 0 { 0.0 } else { staleness_sum as f64 / merged as f64 },
+            mean_staleness: if merged == 0 {
+                0.0
+            } else {
+                staleness_sum as f64 / merged as f64
+            },
             timeline,
             global,
         }
@@ -192,11 +200,7 @@ mod tests {
     use fedsched_device::DeviceModel;
     use fedsched_net::Link;
 
-    fn setup<'a>(
-        train: &'a Dataset,
-        test: &'a Dataset,
-        duration: f64,
-    ) -> AsyncFlSetup<'a> {
+    fn setup<'a>(train: &'a Dataset, test: &'a Dataset, duration: f64) -> AsyncFlSetup<'a> {
         let p = iid_equal(train, 3, 5);
         AsyncFlSetup {
             train,

@@ -12,10 +12,12 @@
 use fedsched_data::Dataset;
 use fedsched_nn::ModelKind;
 use fedsched_parallel::{parallel_map, recommended_threads};
+use fedsched_telemetry::{Event, Probe};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
 
+use crate::metrics::analyze_round;
 use crate::server::fedavg_aggregate;
 
 /// Everything a federated training run needs.
@@ -40,6 +42,11 @@ pub struct FlSetup<'a> {
     pub eval_every: usize,
     /// Master seed: init, shuffling and evaluation all derive from it.
     pub seed: u64,
+    /// Telemetry handle; disabled by default. When attached, the engine
+    /// emits `round_start`, `round_divergence` (computed from the client
+    /// updates, which costs extra work only while recording) and
+    /// `round_accuracy` events.
+    pub probe: Probe,
 }
 
 impl<'a> FlSetup<'a> {
@@ -62,6 +69,7 @@ impl<'a> FlSetup<'a> {
             local_epochs: 1,
             eval_every: 0,
             seed,
+            probe: Probe::disabled(),
         }
     }
 
@@ -83,7 +91,12 @@ impl<'a> FlSetup<'a> {
         let mut round_losses = Vec::with_capacity(self.rounds);
         let mut round_accuracies = Vec::new();
 
+        let active_users = self.assignment.iter().filter(|a| !a.is_empty()).count();
         for round in 0..self.rounds {
+            self.probe.emit(|| Event::RoundStart {
+                round,
+                n_users: active_users,
+            });
             let global_ref = &global;
             let results = parallel_map(self.assignment.len(), threads, |user| {
                 let indices = &self.assignment[user];
@@ -93,9 +106,7 @@ impl<'a> FlSetup<'a> {
                 let mut net = self.model.build_with_threads(dims, self.seed, 1);
                 net.set_flat_params(global_ref);
                 // Per-(round, user) deterministic shuffle.
-                let mut rng = StdRng::seed_from_u64(
-                    self.seed ^ (round as u64) << 20 ^ user as u64,
-                );
+                let mut rng = StdRng::seed_from_u64(self.seed ^ (round as u64) << 20 ^ user as u64);
                 let mut order: Vec<usize> = indices.to_vec();
                 for i in (1..order.len()).rev() {
                     let j = rng.gen_range(0..=i);
@@ -110,7 +121,11 @@ impl<'a> FlSetup<'a> {
                         batches += 1;
                     }
                 }
-                Some((net.flat_params(), indices.len(), loss_sum / batches.max(1) as f64))
+                Some((
+                    net.flat_params(),
+                    indices.len(),
+                    loss_sum / batches.max(1) as f64,
+                ))
             });
 
             let updates: Vec<(Vec<f32>, usize)> = results
@@ -118,6 +133,12 @@ impl<'a> FlSetup<'a> {
                 .flatten()
                 .map(|(p, n, _)| (p.clone(), *n))
                 .collect();
+            // Divergence is derived data; only pay for it while recording.
+            if self.probe.is_enabled() && !updates.is_empty() {
+                let params: Vec<&[f32]> = updates.iter().map(|(p, _)| p.as_slice()).collect();
+                let divergence = analyze_round(&params, &global);
+                self.probe.emit(|| divergence.to_event(round));
+            }
             global = fedavg_aggregate(&updates);
             let mean_loss = {
                 let ls: Vec<f64> = results.iter().flatten().map(|(_, _, l)| *l).collect();
@@ -127,12 +148,28 @@ impl<'a> FlSetup<'a> {
 
             if self.eval_every > 0 && (round + 1) % self.eval_every == 0 {
                 let acc = self.evaluate(&global);
+                self.probe.emit(|| Event::RoundAccuracy {
+                    round: round + 1,
+                    accuracy: acc,
+                });
                 round_accuracies.push((round + 1, acc));
             }
         }
 
         let final_accuracy = self.evaluate(&global);
-        FlOutcome { final_accuracy, round_accuracies, round_losses, global }
+        // Skip the final event when the last checkpoint already covered it.
+        if self.eval_every == 0 || !self.rounds.is_multiple_of(self.eval_every) {
+            self.probe.emit(|| Event::RoundAccuracy {
+                round: self.rounds,
+                accuracy: final_accuracy,
+            });
+        }
+        FlOutcome {
+            final_accuracy,
+            round_accuracies,
+            round_losses,
+            global,
+        }
     }
 
     /// Test-set accuracy of a parameter vector.
@@ -178,8 +215,7 @@ mod tests {
     fn federated_mlp_learns_iid_data() {
         let (train, test) = datasets();
         let p = iid_equal(&train, 3, 5);
-        let setup =
-            FlSetup::new(&train, &test, p.users.clone(), ModelKind::Mlp, 8, 42);
+        let setup = FlSetup::new(&train, &test, p.users.clone(), ModelKind::Mlp, 8, 42);
         let out = setup.run();
         assert!(
             out.final_accuracy > 0.8,
@@ -207,8 +243,7 @@ mod tests {
         let p = iid_equal(&train, 2, 7);
         let mut assignment = p.users.clone();
         assignment.push(Vec::new()); // a third, idle user
-        let out =
-            FlSetup::new(&train, &test, assignment, ModelKind::Mlp, 2, 3).run();
+        let out = FlSetup::new(&train, &test, assignment, ModelKind::Mlp, 2, 3).run();
         assert!(out.final_accuracy > 0.3);
     }
 
@@ -220,9 +255,54 @@ mod tests {
         setup.eval_every = 2;
         let out = setup.run();
         assert_eq!(
-            out.round_accuracies.iter().map(|&(r, _)| r).collect::<Vec<_>>(),
+            out.round_accuracies
+                .iter()
+                .map(|&(r, _)| r)
+                .collect::<Vec<_>>(),
             vec![2, 4]
         );
+    }
+
+    #[test]
+    fn probe_records_training_timeline() {
+        use fedsched_telemetry::{EventLog, Probe};
+        use std::sync::Arc;
+        let (train, test) = datasets();
+        let p = iid_equal(&train, 2, 7);
+        let log = Arc::new(EventLog::new());
+        let mut setup = FlSetup::new(&train, &test, p.users.clone(), ModelKind::Mlp, 3, 9);
+        setup.eval_every = 2;
+        setup.probe = Probe::attached(log.clone());
+        let out = setup.run();
+
+        let events = log.events();
+        let starts = events
+            .iter()
+            .filter(|e| matches!(e, fedsched_telemetry::Event::RoundStart { n_users: 2, .. }))
+            .count();
+        assert_eq!(starts, 3);
+        let divergences = events
+            .iter()
+            .filter(|e| matches!(e, fedsched_telemetry::Event::RoundDivergence { .. }))
+            .count();
+        assert_eq!(divergences, 3);
+        // One checkpoint (round 2) plus the final accuracy (round 3).
+        let accuracies: Vec<(usize, f64)> = events
+            .iter()
+            .filter_map(|e| match e {
+                fedsched_telemetry::Event::RoundAccuracy { round, accuracy } => {
+                    Some((*round, *accuracy))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(accuracies.len(), 2);
+        assert_eq!(accuracies[0].0, 2);
+        assert_eq!(accuracies[1], (3, out.final_accuracy));
+
+        // Recording must not change the learned model.
+        let plain = FlSetup::new(&train, &test, p.users.clone(), ModelKind::Mlp, 3, 9).run();
+        assert_eq!(plain.global, out.global);
     }
 
     #[test]
@@ -235,15 +315,12 @@ mod tests {
             .run()
             .final_accuracy;
 
-        let narrow: Vec<std::collections::BTreeSet<usize>> = vec![
-            (0..3).collect(),
-            (2..5).collect(),
-        ];
+        let narrow: Vec<std::collections::BTreeSet<usize>> =
+            vec![(0..3).collect(), (2..5).collect()];
         let part = fedsched_data::partition_by_classes(&train, &narrow, 0.0, 3);
-        let narrow_acc =
-            FlSetup::new(&train, &test, part.users.clone(), ModelKind::Mlp, 8, 1)
-                .run()
-                .final_accuracy;
+        let narrow_acc = FlSetup::new(&train, &test, part.users.clone(), ModelKind::Mlp, 8, 1)
+            .run()
+            .final_accuracy;
         assert!(
             full_acc > narrow_acc + 0.2,
             "full {full_acc} should beat 5-class {narrow_acc} clearly"
@@ -254,8 +331,7 @@ mod tests {
     fn noniid_still_learns_with_full_coverage() {
         let (train, test) = datasets();
         let p = n_class_noniid(&train, 5, 4, 0.2, 11);
-        let out =
-            FlSetup::new(&train, &test, p.users.clone(), ModelKind::Mlp, 10, 5).run();
+        let out = FlSetup::new(&train, &test, p.users.clone(), ModelKind::Mlp, 10, 5).run();
         assert!(out.final_accuracy > 0.6, "accuracy {}", out.final_accuracy);
     }
 
@@ -263,8 +339,14 @@ mod tests {
     #[should_panic(expected = "at least one user")]
     fn all_idle_panics() {
         let (train, test) = datasets();
-        let setup =
-            FlSetup::new(&train, &test, vec![Vec::new(), Vec::new()], ModelKind::Mlp, 1, 1);
+        let setup = FlSetup::new(
+            &train,
+            &test,
+            vec![Vec::new(), Vec::new()],
+            ModelKind::Mlp,
+            1,
+            1,
+        );
         let _ = setup.run();
     }
 }

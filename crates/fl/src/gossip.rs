@@ -96,7 +96,10 @@ impl<'a> GossipSetup<'a> {
         );
         let dims = self.train.kind().dims();
         let n = self.assignment.len();
-        let init = self.model.build_with_threads(dims, self.seed, 1).flat_params();
+        let init = self
+            .model
+            .build_with_threads(dims, self.seed, 1)
+            .flat_params();
         let mut replicas: Vec<Vec<f32>> = vec![init; n];
         let threads = recommended_threads();
 
@@ -109,8 +112,7 @@ impl<'a> GossipSetup<'a> {
                 }
                 let mut net = self.model.build_with_threads(dims, self.seed, 1);
                 net.set_flat_params(&replicas[user]);
-                let mut rng =
-                    StdRng::seed_from_u64(self.seed ^ (round as u64) << 24 ^ user as u64);
+                let mut rng = StdRng::seed_from_u64(self.seed ^ (round as u64) << 24 ^ user as u64);
                 let mut order = indices.clone();
                 for i in (1..order.len()).rev() {
                     let j = rng.gen_range(0..=i);
@@ -211,7 +213,11 @@ mod tests {
     fn ring_gossip_learns_and_approaches_consensus() {
         let (train, test) = datasets();
         let out = setup(&train, &test, Topology::Ring).run();
-        assert!(out.consensus_accuracy > 0.8, "accuracy {}", out.consensus_accuracy);
+        assert!(
+            out.consensus_accuracy > 0.8,
+            "accuracy {}",
+            out.consensus_accuracy
+        );
         for (i, acc) in out.replica_accuracies.iter().enumerate() {
             assert!(*acc > 0.6, "replica {i} accuracy {acc}");
         }

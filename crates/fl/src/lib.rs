@@ -25,15 +25,15 @@ pub mod asyncfl;
 pub mod engine;
 pub mod gossip;
 pub mod metrics;
-pub mod secure;
 pub mod roundsim;
+pub mod secure;
 pub mod server;
 
 pub use assign::{assignment_from_schedule_iid, assignment_from_schedule_noniid};
 pub use asyncfl::{AsyncFlOutcome, AsyncFlSetup};
+pub use engine::{FlOutcome, FlSetup};
 pub use gossip::{GossipOutcome, GossipSetup, Topology};
 pub use metrics::{analyze_round, cosine_similarity, DivergenceReport};
-pub use secure::{mask_update, secure_fedavg, unmask_sum};
-pub use engine::{FlOutcome, FlSetup};
 pub use roundsim::{RoundSim, TimingReport};
+pub use secure::{mask_update, secure_fedavg, unmask_sum};
 pub use server::fedavg_aggregate;

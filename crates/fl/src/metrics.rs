@@ -7,6 +7,7 @@
 //! why random assignments sometimes win Table III. This module computes both
 //! from a round's client updates.
 
+use fedsched_telemetry::{Event, MetricsRegistry};
 use serde::Serialize;
 
 /// Divergence statistics for one round of client updates.
@@ -23,6 +24,29 @@ pub struct DivergenceReport {
     pub gradient_diversity: f64,
     /// L2 norm of each client's delta.
     pub delta_norms: Vec<f64>,
+}
+
+impl DivergenceReport {
+    /// The telemetry event summarizing this round's divergence.
+    pub fn to_event(&self, round: usize) -> Event {
+        Event::RoundDivergence {
+            round,
+            mean_cosine: self.mean_pairwise_cosine,
+        }
+    }
+
+    /// Fold this report into a [`MetricsRegistry`]: cosine and per-client
+    /// delta norms as histogram observations, diversity only when finite
+    /// (opposing updates make it `inf`, which would poison the mean).
+    pub fn record_into(&self, registry: &mut MetricsRegistry) {
+        registry.observe("divergence_mean_cosine", self.mean_pairwise_cosine);
+        if self.gradient_diversity.is_finite() {
+            registry.observe("gradient_diversity", self.gradient_diversity);
+        }
+        for &norm in &self.delta_norms {
+            registry.observe("client_delta_norm", norm);
+        }
+    }
 }
 
 /// Cosine similarity between two vectors (0 when either is zero).
@@ -48,15 +72,19 @@ pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f64 {
 ///
 /// # Panics
 /// Panics on an empty update set or mismatched dimensions.
-pub fn analyze_round(updates: &[Vec<f32>], previous_global: &[f32]) -> DivergenceReport {
+pub fn analyze_round<U: AsRef<[f32]>>(updates: &[U], previous_global: &[f32]) -> DivergenceReport {
     assert!(!updates.is_empty(), "analyze_round: no updates");
     let dim = previous_global.len();
-    assert!(updates.iter().all(|u| u.len() == dim), "update dimension mismatch");
+    assert!(
+        updates.iter().all(|u| u.as_ref().len() == dim),
+        "update dimension mismatch"
+    );
 
     let deltas: Vec<Vec<f64>> = updates
         .iter()
         .map(|u| {
-            u.iter()
+            u.as_ref()
+                .iter()
                 .zip(previous_global)
                 .map(|(&w, &g)| f64::from(w) - f64::from(g))
                 .collect()
@@ -82,7 +110,11 @@ pub fn analyze_round(updates: &[Vec<f32>], previous_global: &[f32]) -> Divergenc
             }
         }
     }
-    let mean_pairwise_cosine = if pairs == 0 { 1.0 } else { cos_sum / pairs as f64 };
+    let mean_pairwise_cosine = if pairs == 0 {
+        1.0
+    } else {
+        cos_sum / pairs as f64
+    };
 
     // Gradient diversity: sum ||d_i||^2 / ||sum_i d_i||^2.
     let sum_sq: f64 = delta_norms.iter().map(|x| x * x).sum();
@@ -93,9 +125,17 @@ pub fn analyze_round(updates: &[Vec<f32>], previous_global: &[f32]) -> Divergenc
         }
     }
     let norm_sum_sq: f64 = summed.iter().map(|x| x * x).sum();
-    let gradient_diversity = if norm_sum_sq == 0.0 { f64::INFINITY } else { sum_sq / norm_sum_sq };
+    let gradient_diversity = if norm_sum_sq == 0.0 {
+        f64::INFINITY
+    } else {
+        sum_sq / norm_sum_sq
+    };
 
-    DivergenceReport { mean_pairwise_cosine, gradient_diversity, delta_norms }
+    DivergenceReport {
+        mean_pairwise_cosine,
+        gradient_diversity,
+        delta_norms,
+    }
 }
 
 #[cfg(test)]
@@ -148,6 +188,34 @@ mod tests {
     #[test]
     #[should_panic(expected = "no updates")]
     fn empty_updates_panic() {
-        let _ = analyze_round(&[], &[0.0]);
+        let _ = analyze_round::<Vec<f32>>(&[], &[0.0]);
+    }
+
+    #[test]
+    fn report_converts_to_event_and_registry() {
+        let global = vec![0.0f32; 2];
+        let report = analyze_round(&[vec![1.0, 0.0], vec![0.0, 1.0]], &global);
+        match report.to_event(3) {
+            Event::RoundDivergence { round, mean_cosine } => {
+                assert_eq!(round, 3);
+                assert!((mean_cosine - report.mean_pairwise_cosine).abs() < 1e-12);
+            }
+            other => panic!("wrong event {other:?}"),
+        }
+        let mut reg = MetricsRegistry::new();
+        report.record_into(&mut reg);
+        assert_eq!(reg.histogram("divergence_mean_cosine").unwrap().count(), 1);
+        assert_eq!(reg.histogram("client_delta_norm").unwrap().count(), 2);
+        assert_eq!(reg.histogram("gradient_diversity").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn infinite_diversity_is_not_recorded() {
+        let global = vec![0.0f32; 2];
+        let report = analyze_round(&[vec![1.0, 0.0], vec![-1.0, 0.0]], &global);
+        let mut reg = MetricsRegistry::new();
+        report.record_into(&mut reg);
+        assert!(reg.histogram("gradient_diversity").is_none());
+        assert_eq!(reg.histogram("divergence_mean_cosine").unwrap().count(), 1);
     }
 }

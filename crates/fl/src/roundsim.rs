@@ -8,6 +8,7 @@
 use fedsched_core::Schedule;
 use fedsched_device::{Device, TrainingWorkload};
 use fedsched_net::Link;
+use fedsched_telemetry::{Event, Probe};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
@@ -47,6 +48,10 @@ pub struct RoundSim {
     link: Link,
     model_bytes: f64,
     rng: StdRng,
+    probe: Probe,
+    /// Rounds simulated so far, across `run` calls — keeps event round
+    /// indices globally monotone on one timeline.
+    rounds_done: usize,
 }
 
 impl RoundSim {
@@ -65,7 +70,21 @@ impl RoundSim {
             link,
             model_bytes,
             rng: StdRng::seed_from_u64(seed),
+            probe: Probe::disabled(),
+            rounds_done: 0,
         }
+    }
+
+    /// Attach a telemetry probe (builder form). The simulator emits
+    /// `round_start` / `user_span` / `round_end` events, and every device
+    /// in the cohort emits its own thermal/battery events through the same
+    /// probe.
+    pub fn with_probe(mut self, probe: Probe) -> Self {
+        for d in &mut self.devices {
+            d.set_probe(probe.clone());
+        }
+        self.probe = probe;
+        self
     }
 
     /// Number of devices.
@@ -95,31 +114,57 @@ impl RoundSim {
         let mut user_totals = vec![0.0f64; n];
         let mut straggler_comm = 0.0f64;
 
+        let participants = schedule.shards.iter().filter(|&&k| k > 0).count();
         for _ in 0..rounds {
+            let round = self.rounds_done;
+            self.probe.emit(|| Event::RoundStart {
+                round,
+                n_users: participants,
+            });
             let mut worst = 0.0f64;
             let mut worst_comm = 0.0f64;
+            let mut straggler = 0usize;
             for (j, device) in self.devices.iter_mut().enumerate() {
                 let samples = (schedule.shards[j] as f64 * schedule.shard_size) as usize;
                 if samples == 0 {
                     continue;
                 }
-                let comm = self.link.sample_round_seconds(self.model_bytes, &mut self.rng);
+                let comm = self
+                    .link
+                    .sample_round_seconds(self.model_bytes, &mut self.rng);
                 let compute = device.train_samples(&self.workload, samples);
+                self.probe.emit(|| Event::UserSpan {
+                    round,
+                    user: j,
+                    compute_s: compute,
+                    comm_s: comm,
+                });
                 let total = comm + compute;
                 user_totals[j] += total;
                 if total > worst {
                     worst = total;
                     worst_comm = comm;
+                    straggler = j;
                 }
             }
+            self.probe.emit(|| Event::RoundEnd {
+                round,
+                makespan_s: worst,
+                straggler,
+            });
             per_round.push(worst);
             straggler_comm += if worst > 0.0 { worst_comm / worst } else { 0.0 };
+            self.rounds_done += 1;
         }
 
         TimingReport {
             per_round_makespan: per_round,
             per_user_mean: user_totals.iter().map(|t| t / rounds as f64).collect(),
-            comm_fraction: if rounds == 0 { 0.0 } else { straggler_comm / rounds as f64 },
+            comm_fraction: if rounds == 0 {
+                0.0
+            } else {
+                straggler_comm / rounds as f64
+            },
         }
     }
 
@@ -157,7 +202,11 @@ mod tests {
             assert!(m > 0.0);
         }
         // Per-user means never exceed the worst makespan.
-        let max_makespan = report.per_round_makespan.iter().cloned().fold(0.0, f64::max);
+        let max_makespan = report
+            .per_round_makespan
+            .iter()
+            .cloned()
+            .fold(0.0, f64::max);
         for &t in &report.per_user_mean {
             assert!(t <= max_makespan * 1.01);
         }
@@ -212,6 +261,86 @@ mod tests {
         let first = report.per_round_makespan[0];
         let last = *report.per_round_makespan.last().unwrap();
         assert!(last > first * 1.5, "first {first}, last {last}");
+    }
+
+    #[test]
+    fn probe_records_round_timeline() {
+        use fedsched_telemetry::EventLog;
+        use std::sync::Arc;
+        let log = Arc::new(EventLog::new());
+        let mut s = sim(9).with_probe(Probe::attached(log.clone()));
+        let report = s.run(&Schedule::new(vec![10, 0, 10], 100.0), 2);
+
+        let events = log.events();
+        let starts: Vec<(usize, usize)> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::RoundStart { round, n_users } => Some((*round, *n_users)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(starts, vec![(0, 2), (1, 2)]);
+
+        // Each round: spans only for participating users, and the round_end
+        // makespan matches the worst span and the timing report.
+        for round in 0..2usize {
+            let spans: Vec<(usize, f64)> = events
+                .iter()
+                .filter_map(|e| match e {
+                    Event::UserSpan {
+                        round: r,
+                        user,
+                        compute_s,
+                        comm_s,
+                    } if *r == round => Some((*user, compute_s + comm_s)),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(
+                spans.iter().map(|(u, _)| *u).collect::<Vec<_>>(),
+                vec![0, 2]
+            );
+            let (makespan, straggler) = events
+                .iter()
+                .find_map(|e| match e {
+                    Event::RoundEnd {
+                        round: r,
+                        makespan_s,
+                        straggler,
+                    } if *r == round => Some((*makespan_s, *straggler)),
+                    _ => None,
+                })
+                .expect("round_end");
+            let worst = spans
+                .iter()
+                .cloned()
+                .fold((0usize, 0.0f64), |a, b| if b.1 > a.1 { b } else { a });
+            assert_eq!(straggler, worst.0);
+            assert!((makespan - worst.1).abs() < 1e-12);
+            assert!((makespan - report.per_round_makespan[round]).abs() < 1e-12);
+        }
+
+        // A second run continues the round numbering.
+        s.run(&Schedule::new(vec![5, 5, 5], 100.0), 1);
+        assert!(log.events().iter().any(|e| matches!(
+            e,
+            Event::RoundStart {
+                round: 2,
+                n_users: 3
+            }
+        )));
+    }
+
+    #[test]
+    fn probed_and_unprobed_runs_agree() {
+        use fedsched_telemetry::EventLog;
+        use std::sync::Arc;
+        let schedule = Schedule::new(vec![10, 10, 10], 100.0);
+        let plain = sim(12).run(&schedule, 2);
+        let probed = sim(12)
+            .with_probe(Probe::attached(Arc::new(EventLog::new())))
+            .run(&schedule, 2);
+        assert_eq!(plain, probed, "observation must not perturb timing");
     }
 
     #[test]

@@ -74,12 +74,22 @@ impl Link {
     /// Campus WiFi to a nearby AWS region (paper: Washington D.C. from
     /// Norfolk, VA).
     pub fn wifi_campus() -> Self {
-        Link { uplink_mbps: 85.0, downlink_mbps: 85.0, rtt_s: 0.015, jitter_sigma: 0.05 }
+        Link {
+            uplink_mbps: 85.0,
+            downlink_mbps: 85.0,
+            rtt_s: 0.015,
+            jitter_sigma: 0.05,
+        }
     }
 
     /// T-Mobile 4G LTE at -94 dBm.
     pub fn lte_tmobile() -> Self {
-        Link { uplink_mbps: 60.0, downlink_mbps: 11.0, rtt_s: 0.045, jitter_sigma: 0.12 }
+        Link {
+            uplink_mbps: 60.0,
+            downlink_mbps: 11.0,
+            rtt_s: 0.045,
+            jitter_sigma: 0.12,
+        }
     }
 
     /// A custom link.
@@ -87,9 +97,20 @@ impl Link {
     /// # Panics
     /// Panics on non-positive rates or negative latency/jitter.
     pub fn new(uplink_mbps: f64, downlink_mbps: f64, rtt_s: f64, jitter_sigma: f64) -> Self {
-        assert!(uplink_mbps > 0.0 && downlink_mbps > 0.0, "link rates must be positive");
-        assert!(rtt_s >= 0.0 && jitter_sigma >= 0.0, "latency and jitter must be non-negative");
-        Link { uplink_mbps, downlink_mbps, rtt_s, jitter_sigma }
+        assert!(
+            uplink_mbps > 0.0 && downlink_mbps > 0.0,
+            "link rates must be positive"
+        );
+        assert!(
+            rtt_s >= 0.0 && jitter_sigma >= 0.0,
+            "latency and jitter must be non-negative"
+        );
+        Link {
+            uplink_mbps,
+            downlink_mbps,
+            rtt_s,
+            jitter_sigma,
+        }
     }
 
     /// Expected (jitter-free) seconds to upload `bytes` to the server.
@@ -201,7 +222,10 @@ mod tests {
             .map(|_| link.sample_round_seconds(bytes, &mut rng))
             .sum::<f64>()
             / n as f64;
-        assert!((mean / expect - 1.0).abs() < 0.03, "mean {mean} vs {expect}");
+        assert!(
+            (mean / expect - 1.0).abs() < 0.03,
+            "mean {mean} vs {expect}"
+        );
     }
 
     #[test]

@@ -42,7 +42,10 @@ impl Conv2d {
         seed: u64,
         threads: usize,
     ) -> Self {
-        assert!(k >= 1 && k <= h && k <= w, "kernel {k} does not fit input {h}x{w}");
+        assert!(
+            k >= 1 && k <= h && k <= w,
+            "kernel {k} does not fit input {h}x{w}"
+        );
         assert!(in_c > 0 && out_c > 0);
         let mut rng = StdRng::seed_from_u64(seed);
         let fan_in = in_c * k * k;
@@ -155,8 +158,7 @@ impl Layer for Conv2d {
                             }
                             for oy in 0..oh {
                                 let grow = &gchan[oy * ow..(oy + 1) * ow];
-                                let xrow =
-                                    &mut gx[(oy + dy) * w + dx..(oy + dy) * w + dx + ow];
+                                let xrow = &mut gx[(oy + dy) * w + dx..(oy + dy) * w + dx + ow];
                                 for (xg, &gv) in xrow.iter_mut().zip(grow) {
                                     *xg += kv * gv;
                                 }
@@ -186,8 +188,7 @@ impl Layer for Conv2d {
                             let mut acc = 0.0f32;
                             for oy in 0..oh {
                                 let grow = &gchan[oy * ow..(oy + 1) * ow];
-                                let xrow =
-                                    &xchan[(oy + dy) * w + dx..(oy + dy) * w + dx + ow];
+                                let xrow = &xchan[(oy + dy) * w + dx..(oy + dy) * w + dx + ow];
                                 for (&gv, &xv) in grow.iter().zip(xrow) {
                                     acc += gv * xv;
                                 }
@@ -261,7 +262,12 @@ impl MaxPool2d {
     /// Pool over `[c, h, w]` inputs.
     pub fn new(c: usize, h: usize, w: usize) -> Self {
         assert!(h >= 2 && w >= 2, "pooling needs at least 2x2 input");
-        MaxPool2d { c, h, w, argmax: Vec::new() }
+        MaxPool2d {
+            c,
+            h,
+            w,
+            argmax: Vec::new(),
+        }
     }
 
     /// Output spatial height.
@@ -386,13 +392,19 @@ mod tests {
                 c.forward(&xx, 1).iter().sum()
             };
             let fd = (eval(eps) - eval(-eps)) / (2.0 * eps);
-            assert!((fd - gin[i]).abs() < 0.05, "input {i}: fd {fd} vs {}", gin[i]);
+            assert!(
+                (fd - gin[i]).abs() < 0.05,
+                "input {i}: fd {fd} vs {}",
+                gin[i]
+            );
         }
     }
 
     #[test]
     fn conv_parallel_matches_sequential() {
-        let x: Vec<f32> = (0..2 * 2 * 6 * 6).map(|i| (i as f32 * 0.11).cos()).collect();
+        let x: Vec<f32> = (0..2 * 2 * 6 * 6)
+            .map(|i| (i as f32 * 0.11).cos())
+            .collect();
         let mut seq = Conv2d::new(2, 6, 6, 4, 3, 3, 1);
         let mut par = Conv2d::new(2, 6, 6, 4, 3, 3, 4);
         let ys = seq.forward(&x, 2);

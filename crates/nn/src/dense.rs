@@ -88,9 +88,7 @@ impl Layer for Dense {
                 let row = &self.w[o * self.in_dim..(o + 1) * self.in_dim];
                 let grow = &mut self.gw[o * self.in_dim..(o + 1) * self.in_dim];
                 self.gb[o] += go;
-                for ((giv, wv), (gwv, xv)) in
-                    gi.iter_mut().zip(row).zip(grow.iter_mut().zip(x))
-                {
+                for ((giv, wv), (gwv, xv)) in gi.iter_mut().zip(row).zip(grow.iter_mut().zip(x)) {
                     *giv += wv * go;
                     *gwv += go * xv;
                 }
@@ -199,7 +197,11 @@ mod tests {
                 y[0] - y[1]
             };
             let fd = (f(&xp) - f(&xm)) / (2.0 * eps);
-            assert!((fd - gin[i]).abs() < 1e-2, "input {i}: fd {fd} vs {}", gin[i]);
+            assert!(
+                (fd - gin[i]).abs() < 1e-2,
+                "input {i}: fd {fd} vs {}",
+                gin[i]
+            );
         }
     }
 
@@ -212,7 +214,10 @@ mod tests {
         for _ in 0..50 {
             let y = layer.forward(&x, 1);
             let loss: f32 = y.iter().map(|v| v * v).sum();
-            assert!(loss <= prev + 1e-4, "loss must not increase: {loss} > {prev}");
+            assert!(
+                loss <= prev + 1e-4,
+                "loss must not increase: {loss} > {prev}"
+            );
             prev = loss;
             let grad: Vec<f32> = y.iter().map(|v| 2.0 * v).collect();
             layer.backward(&grad, 1);

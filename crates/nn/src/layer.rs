@@ -54,7 +54,10 @@ pub struct Relu {
 impl Relu {
     /// ReLU over `len` values per batch item.
     pub fn new(len: usize) -> Self {
-        Relu { len, mask: Vec::new() }
+        Relu {
+            len,
+            mask: Vec::new(),
+        }
     }
 }
 

@@ -94,7 +94,11 @@ mod tests {
             let (fp, _) = softmax_cross_entropy(&lp, &labels, 4);
             let (fm, _) = softmax_cross_entropy(&lm, &labels, 4);
             let fd = (fp - fm) / (2.0 * eps);
-            assert!((fd - grad[i]).abs() < 1e-3, "logit {i}: fd {fd} vs {}", grad[i]);
+            assert!(
+                (fd - grad[i]).abs() < 1e-3,
+                "logit {i}: fd {fd} vs {}",
+                grad[i]
+            );
         }
     }
 

@@ -106,8 +106,7 @@ pub fn vgg6_with_threads(dims: (usize, usize, usize), seed: u64, threads: usize)
     let mut cur_c = c;
     let mut cur_h = h;
     let mut cur_w = w;
-    let plan: [(usize, bool); 5] =
-        [(8, false), (8, true), (16, false), (16, true), (24, true)];
+    let plan: [(usize, bool); 5] = [(8, false), (8, true), (16, false), (16, true), (24, true)];
     for (i, &(out_c, pool)) in plan.iter().enumerate() {
         let conv = Conv2d::new(cur_c, cur_h, cur_w, out_c, 3, seed + i as u64, threads);
         let (oh, ow) = (conv.out_h(), conv.out_w());
@@ -223,6 +222,10 @@ mod tests {
         for _ in 0..30 {
             net.train_batch(&x, &y);
         }
-        assert!(net.accuracy(&x, &y) > 0.8, "accuracy {}", net.accuracy(&x, &y));
+        assert!(
+            net.accuracy(&x, &y) > 0.8,
+            "accuracy {}",
+            net.accuracy(&x, &y)
+        );
     }
 }

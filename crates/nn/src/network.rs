@@ -33,7 +33,12 @@ impl Network {
             n_classes,
             "final layer must emit n_classes logits"
         );
-        Network { layers, n_classes, lr, momentum }
+        Network {
+            layers,
+            n_classes,
+            lr,
+            momentum,
+        }
     }
 
     /// Input length per sample.
@@ -63,7 +68,11 @@ impl Network {
 
     /// Forward pass producing logits (`[batch, n_classes]`).
     pub fn forward(&mut self, input: &[f32], batch: usize) -> Vec<f32> {
-        assert_eq!(input.len(), batch * self.input_len(), "input shape mismatch");
+        assert_eq!(
+            input.len(),
+            batch * self.input_len(),
+            "input shape mismatch"
+        );
         let mut x = input.to_vec();
         for layer in &mut self.layers {
             x = layer.forward(&x, batch);
@@ -143,7 +152,11 @@ impl Network {
     /// # Panics
     /// Panics if the length differs from [`Network::param_count`].
     pub fn set_flat_params(&mut self, params: &[f32]) {
-        assert_eq!(params.len(), self.param_count(), "flat parameter length mismatch");
+        assert_eq!(
+            params.len(),
+            self.param_count(),
+            "flat parameter length mismatch"
+        );
         let mut cursor = 0;
         for layer in &mut self.layers {
             cursor += layer.write_params(&params[cursor..cursor + layer.param_count()]);

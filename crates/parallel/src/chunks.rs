@@ -93,7 +93,10 @@ mod tests {
                 let sizes: Vec<_> = chunk_ranges(len, chunks).map(|r| r.len()).collect();
                 let min = *sizes.iter().min().unwrap();
                 let max = *sizes.iter().max().unwrap();
-                assert!(max - min <= 1, "unbalanced: len={len} chunks={chunks} sizes={sizes:?}");
+                assert!(
+                    max - min <= 1,
+                    "unbalanced: len={len} chunks={chunks} sizes={sizes:?}"
+                );
             }
         }
     }

@@ -81,7 +81,9 @@ pub struct ThreadPool {
 
 impl std::fmt::Debug for ThreadPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ThreadPool").field("threads", &self.threads).finish()
+        f.debug_struct("ThreadPool")
+            .field("threads", &self.threads)
+            .finish()
     }
 }
 
@@ -107,7 +109,11 @@ impl ThreadPool {
                 .expect("failed to spawn pool worker");
             handles.push(handle);
         }
-        ThreadPool { senders, handles, threads }
+        ThreadPool {
+            senders,
+            handles,
+            threads,
+        }
     }
 
     /// Number of worker threads in the pool.

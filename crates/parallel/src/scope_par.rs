@@ -110,7 +110,11 @@ where
     if items == 0 {
         return;
     }
-    assert_eq!(out.len() % items, 0, "output length must divide evenly into items");
+    assert_eq!(
+        out.len() % items,
+        0,
+        "output length must divide evenly into items"
+    );
     let item_len = out.len() / items;
     if threads <= 1 || items == 1 {
         for (i, chunk) in out.chunks_mut(item_len.max(1)).enumerate().take(items) {

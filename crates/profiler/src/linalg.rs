@@ -38,7 +38,11 @@ impl std::error::Error for LinalgError {}
 impl Matrix {
     /// Create a `rows x cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Create a matrix from a row-major data vector.
@@ -46,7 +50,11 @@ impl Matrix {
     /// # Panics
     /// Panics if `data.len() != rows * cols`.
     pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> Self {
-        assert_eq!(data.len(), rows * cols, "Matrix::from_rows: data length mismatch");
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "Matrix::from_rows: data length mismatch"
+        );
         Matrix { rows, cols, data }
     }
 

@@ -172,7 +172,11 @@ mod tests {
             let noise = ((i * 2654435761u64 % 1000) as f64 / 1000.0 - 0.5) * 0.4;
             p.observe(n, 0.5 + 0.002 * n + noise);
         }
-        assert!((p.theta()[1] - 0.002).abs() < 2e-4, "slope {}", p.theta()[1]);
+        assert!(
+            (p.theta()[1] - 0.002).abs() < 2e-4,
+            "slope {}",
+            p.theta()[1]
+        );
     }
 
     #[test]

@@ -49,7 +49,10 @@ impl LinearProfile {
     /// Create a linear profile; clamps negative inputs to zero so the
     /// monotonicity invariant cannot be violated by a noisy regression fit.
     pub fn new(fixed: f64, per_sample: f64) -> Self {
-        LinearProfile { fixed: fixed.max(0.0), per_sample: per_sample.max(0.0) }
+        LinearProfile {
+            fixed: fixed.max(0.0),
+            per_sample: per_sample.max(0.0),
+        }
     }
 }
 
@@ -77,7 +80,11 @@ impl PolyProfile {
     /// Create a quadratic profile; negative coefficients are clamped to zero
     /// to preserve monotonicity on `samples >= 0`.
     pub fn new(c0: f64, c1: f64, c2: f64) -> Self {
-        PolyProfile { c0: c0.max(0.0), c1: c1.max(0.0), c2: c2.max(0.0) }
+        PolyProfile {
+            c0: c0.max(0.0),
+            c1: c1.max(0.0),
+            c2: c2.max(0.0),
+        }
     }
 }
 
@@ -106,9 +113,13 @@ impl TabulatedProfile {
     /// # Panics
     /// Panics on an empty slice or non-finite values.
     pub fn from_measurements(raw: &[(f64, f64)]) -> Self {
-        assert!(!raw.is_empty(), "TabulatedProfile: need at least one measurement");
         assert!(
-            raw.iter().all(|&(s, t)| s.is_finite() && t.is_finite() && s >= 0.0 && t >= 0.0),
+            !raw.is_empty(),
+            "TabulatedProfile: need at least one measurement"
+        );
+        assert!(
+            raw.iter()
+                .all(|&(s, t)| s.is_finite() && t.is_finite() && s >= 0.0 && t >= 0.0),
             "TabulatedProfile: measurements must be finite and non-negative"
         );
         let mut pts: Vec<(f64, f64)> = raw.to_vec();
@@ -127,7 +138,9 @@ impl TabulatedProfile {
         let xs: Vec<f64> = merged.iter().map(|m| m.0).collect();
         let ys: Vec<f64> = merged.iter().map(|m| m.1 / m.2 as f64).collect();
         let ys = isotonic_non_decreasing(&ys);
-        TabulatedProfile { points: xs.into_iter().zip(ys).collect() }
+        TabulatedProfile {
+            points: xs.into_iter().zip(ys).collect(),
+        }
     }
 
     /// The (sorted, monotone) interpolation knots.
@@ -212,7 +225,10 @@ mod tests {
         let p = PolyProfile::new(0.0, 0.0096, 4.45e-6);
         let t3k = p.time_for(3000.0);
         let t6k = p.time_for(6000.0);
-        assert!(t6k > 2.5 * t3k, "quadratic term must make scaling super-linear");
+        assert!(
+            t6k > 2.5 * t3k,
+            "quadratic term must make scaling super-linear"
+        );
     }
 
     #[test]
@@ -278,7 +294,10 @@ mod tests {
         }
         let sum_in: f64 = v.iter().sum();
         let sum_out: f64 = out.iter().sum();
-        assert!((sum_in - sum_out).abs() < 1e-9, "PAV preserves the total mass");
+        assert!(
+            (sum_in - sum_out).abs() < 1e-9,
+            "PAV preserves the total mass"
+        );
     }
 
     #[test]

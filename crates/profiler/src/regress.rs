@@ -80,13 +80,25 @@ impl LinearRegression {
             .zip(targets)
             .map(|(row, &y)| {
                 let pred = intercept
-                    + row.iter().zip(&coefficients).map(|(a, b)| a * b).sum::<f64>();
+                    + row
+                        .iter()
+                        .zip(&coefficients)
+                        .map(|(a, b)| a * b)
+                        .sum::<f64>();
                 (y - pred) * (y - pred)
             })
             .sum();
-        let r_squared = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+        let r_squared = if ss_tot == 0.0 {
+            1.0
+        } else {
+            1.0 - ss_res / ss_tot
+        };
 
-        Ok(LinearRegression { intercept, coefficients, r_squared })
+        Ok(LinearRegression {
+            intercept,
+            coefficients,
+            r_squared,
+        })
     }
 
     /// Predict the response for one feature vector.
@@ -135,7 +147,10 @@ mod tests {
         let features: Vec<Vec<f64>> = (0..10)
             .map(|i| vec![i as f64, (i * i % 7) as f64])
             .collect();
-        let targets: Vec<f64> = features.iter().map(|r| 10.0 + 2.0 * r[0] + 3.0 * r[1]).collect();
+        let targets: Vec<f64> = features
+            .iter()
+            .map(|r| 10.0 + 2.0 * r[0] + 3.0 * r[1])
+            .collect();
         let model = LinearRegression::fit(&features, &targets).unwrap();
         assert!((model.intercept - 10.0).abs() < 1e-9);
         assert!((model.coefficients[0] - 2.0).abs() < 1e-9);
@@ -181,7 +196,10 @@ mod tests {
     fn fit_rejects_duplicate_feature_column() {
         let features: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64, i as f64]).collect();
         let targets: Vec<f64> = (0..5).map(|i| i as f64).collect();
-        assert_eq!(LinearRegression::fit(&features, &targets), Err(RegressError::Singular));
+        assert_eq!(
+            LinearRegression::fit(&features, &targets),
+            Err(RegressError::Singular)
+        );
     }
 
     #[test]

@@ -28,7 +28,10 @@ pub struct ModelArch {
 impl ModelArch {
     /// Construct an architecture descriptor.
     pub fn new(conv_params: f64, dense_params: f64) -> Self {
-        ModelArch { conv_params, dense_params }
+        ModelArch {
+            conv_params,
+            dense_params,
+        }
     }
 
     /// LeNet-5 as used by the paper (~205K parameters total).
@@ -153,7 +156,11 @@ impl FittedProfiler {
         let features: Vec<Vec<f64>> = pts.iter().map(|&(d, _)| vec![d, d * d]).collect();
         let targets: Vec<f64> = pts.iter().map(|&(_, t)| t).collect();
         let quad = LinearRegression::fit(&features, &targets)?;
-        Ok(PolyProfile::new(quad.intercept, quad.coefficients[0], quad.coefficients[1]))
+        Ok(PolyProfile::new(
+            quad.intercept,
+            quad.coefficients[0],
+            quad.coefficients[1],
+        ))
     }
 
     /// Step 2 without a parametric form: interpolate the step-1 predictions
@@ -199,7 +206,11 @@ mod tests {
         let f = fitted();
         assert_eq!(f.planes.len(), 5);
         for p in &f.planes {
-            assert!(p.plane.r_squared > 0.999, "plane at d={} poor fit", p.samples);
+            assert!(
+                p.plane.r_squared > 0.999,
+                "plane at d={} poor fit",
+                p.samples
+            );
         }
     }
 

@@ -1,0 +1,421 @@
+//! The structured event vocabulary of the simulation stack.
+
+use crate::json;
+use std::fmt::Write as _;
+
+/// One structured telemetry event.
+///
+/// Variants are grouped by emitting layer: device simulator, schedulers,
+/// round/FL simulation. Every variant encodes to a single deterministic
+/// JSON object via [`Event::to_json`]; the `ev` key carries the snake_case
+/// variant tag and the remaining keys appear in declaration order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    // ---- device simulator -------------------------------------------------
+    /// The thermal governor's frequency cap changed (a trip point was
+    /// crossed in either direction). `cap_ghz` is `f64::INFINITY`-free:
+    /// uncapped is reported by the device layer as the max cluster
+    /// frequency.
+    ThermalCap {
+        /// Simulated device-local time, seconds.
+        t_s: f64,
+        /// Device preset name, e.g. `"Mate10"`.
+        device: String,
+        /// Die temperature at the transition.
+        temp_c: f64,
+        /// New effective frequency cap in GHz.
+        cap_ghz: f64,
+    },
+    /// The big cluster was taken offline by the hotplug policy.
+    BigClusterOffline {
+        t_s: f64,
+        device: String,
+        temp_c: f64,
+    },
+    /// The big cluster came back online.
+    BigClusterOnline {
+        t_s: f64,
+        device: String,
+        temp_c: f64,
+    },
+    /// State of charge crossed below a decade boundary (90, 80, ... 10, 0).
+    BatterySoc {
+        t_s: f64,
+        device: String,
+        soc_pct: u32,
+    },
+    /// The battery hit empty; the device can no longer train.
+    BatteryDepleted {
+        t_s: f64,
+        device: String,
+        drained_j: f64,
+    },
+
+    // ---- schedulers --------------------------------------------------------
+    /// A scheduler produced a schedule.
+    ScheduleDecision {
+        /// Scheduler name as reported by `Scheduler::name()`.
+        scheduler: String,
+        n_users: usize,
+        total_shards: usize,
+        /// Fed-LBAP's chosen cost threshold `c*`; `None` for schedulers
+        /// that do not binary-search a threshold.
+        threshold: Option<f64>,
+        /// Per-user shard counts of the final schedule.
+        shards: Vec<usize>,
+        /// Makespan the cost model predicts for this schedule.
+        predicted_makespan: f64,
+    },
+    /// A scheduler rejected the instance.
+    ScheduleRejected {
+        scheduler: String,
+        n_users: usize,
+        total_shards: usize,
+        /// Human-readable infeasibility cause (`"no_users"`,
+        /// `"infeasible"`, `"dimension_mismatch"`).
+        cause: String,
+    },
+    /// Fed-MinAvg produced a schedule (richer than [`Event::ScheduleDecision`]:
+    /// carries the accuracy-aware objective and user open order).
+    MinAvgDecision {
+        n_users: usize,
+        total_shards: usize,
+        /// Final combined objective value.
+        objective: f64,
+        /// Final accuracy-cost term `alpha * f(|C|)`.
+        final_alpha_f: f64,
+        /// Order in which users were opened by the greedy.
+        open_order: Vec<usize>,
+        shards: Vec<usize>,
+    },
+
+    // ---- round / FL simulation ---------------------------------------------
+    /// A synchronous round began.
+    RoundStart { round: usize, n_users: usize },
+    /// One user's contribution to a round: local compute plus model
+    /// up/down transfer time.
+    UserSpan {
+        round: usize,
+        user: usize,
+        compute_s: f64,
+        comm_s: f64,
+    },
+    /// A synchronous round completed. `straggler` is the index of the user
+    /// whose span set the makespan.
+    RoundEnd {
+        round: usize,
+        makespan_s: f64,
+        straggler: usize,
+    },
+    /// Post-aggregation divergence measurement for a round.
+    RoundDivergence { round: usize, mean_cosine: f64 },
+    /// Accuracy after a round's aggregation.
+    RoundAccuracy { round: usize, accuracy: f64 },
+}
+
+impl Event {
+    /// The snake_case tag stored under the `ev` key.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::ThermalCap { .. } => "thermal_cap",
+            Event::BigClusterOffline { .. } => "big_cluster_offline",
+            Event::BigClusterOnline { .. } => "big_cluster_online",
+            Event::BatterySoc { .. } => "battery_soc",
+            Event::BatteryDepleted { .. } => "battery_depleted",
+            Event::ScheduleDecision { .. } => "schedule_decision",
+            Event::ScheduleRejected { .. } => "schedule_rejected",
+            Event::MinAvgDecision { .. } => "minavg_decision",
+            Event::RoundStart { .. } => "round_start",
+            Event::UserSpan { .. } => "user_span",
+            Event::RoundEnd { .. } => "round_end",
+            Event::RoundDivergence { .. } => "round_divergence",
+            Event::RoundAccuracy { .. } => "round_accuracy",
+        }
+    }
+
+    /// Encode as one deterministic JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str("{\"ev\":");
+        json::push_str(&mut out, self.kind());
+        match self {
+            Event::ThermalCap {
+                t_s,
+                device,
+                temp_c,
+                cap_ghz,
+            } => {
+                push_time_device(&mut out, *t_s, device);
+                push_f64_field(&mut out, "temp_c", *temp_c);
+                push_f64_field(&mut out, "cap_ghz", *cap_ghz);
+            }
+            Event::BigClusterOffline {
+                t_s,
+                device,
+                temp_c,
+            }
+            | Event::BigClusterOnline {
+                t_s,
+                device,
+                temp_c,
+            } => {
+                push_time_device(&mut out, *t_s, device);
+                push_f64_field(&mut out, "temp_c", *temp_c);
+            }
+            Event::BatterySoc {
+                t_s,
+                device,
+                soc_pct,
+            } => {
+                push_time_device(&mut out, *t_s, device);
+                let _ = write!(out, ",\"soc_pct\":{soc_pct}");
+            }
+            Event::BatteryDepleted {
+                t_s,
+                device,
+                drained_j,
+            } => {
+                push_time_device(&mut out, *t_s, device);
+                push_f64_field(&mut out, "drained_j", *drained_j);
+            }
+            Event::ScheduleDecision {
+                scheduler,
+                n_users,
+                total_shards,
+                threshold,
+                shards,
+                predicted_makespan,
+            } => {
+                out.push_str(",\"scheduler\":");
+                json::push_str(&mut out, scheduler);
+                let _ = write!(
+                    out,
+                    ",\"n_users\":{n_users},\"total_shards\":{total_shards}"
+                );
+                out.push_str(",\"threshold\":");
+                match threshold {
+                    Some(c) => json::push_f64(&mut out, *c),
+                    None => out.push_str("null"),
+                }
+                out.push_str(",\"shards\":");
+                json::push_usize_array(&mut out, shards);
+                push_f64_field(&mut out, "predicted_makespan", *predicted_makespan);
+            }
+            Event::ScheduleRejected {
+                scheduler,
+                n_users,
+                total_shards,
+                cause,
+            } => {
+                out.push_str(",\"scheduler\":");
+                json::push_str(&mut out, scheduler);
+                let _ = write!(
+                    out,
+                    ",\"n_users\":{n_users},\"total_shards\":{total_shards}"
+                );
+                out.push_str(",\"cause\":");
+                json::push_str(&mut out, cause);
+            }
+            Event::MinAvgDecision {
+                n_users,
+                total_shards,
+                objective,
+                final_alpha_f,
+                open_order,
+                shards,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"n_users\":{n_users},\"total_shards\":{total_shards}"
+                );
+                push_f64_field(&mut out, "objective", *objective);
+                push_f64_field(&mut out, "final_alpha_f", *final_alpha_f);
+                out.push_str(",\"open_order\":");
+                json::push_usize_array(&mut out, open_order);
+                out.push_str(",\"shards\":");
+                json::push_usize_array(&mut out, shards);
+            }
+            Event::RoundStart { round, n_users } => {
+                let _ = write!(out, ",\"round\":{round},\"n_users\":{n_users}");
+            }
+            Event::UserSpan {
+                round,
+                user,
+                compute_s,
+                comm_s,
+            } => {
+                let _ = write!(out, ",\"round\":{round},\"user\":{user}");
+                push_f64_field(&mut out, "compute_s", *compute_s);
+                push_f64_field(&mut out, "comm_s", *comm_s);
+            }
+            Event::RoundEnd {
+                round,
+                makespan_s,
+                straggler,
+            } => {
+                let _ = write!(out, ",\"round\":{round}");
+                push_f64_field(&mut out, "makespan_s", *makespan_s);
+                let _ = write!(out, ",\"straggler\":{straggler}");
+            }
+            Event::RoundDivergence { round, mean_cosine } => {
+                let _ = write!(out, ",\"round\":{round}");
+                push_f64_field(&mut out, "mean_cosine", *mean_cosine);
+            }
+            Event::RoundAccuracy { round, accuracy } => {
+                let _ = write!(out, ",\"round\":{round}");
+                push_f64_field(&mut out, "accuracy", *accuracy);
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+fn push_time_device(out: &mut String, t_s: f64, device: &str) {
+    push_f64_field(out, "t_s", t_s);
+    out.push_str(",\"device\":");
+    json::push_str(out, device);
+}
+
+fn push_f64_field(out: &mut String, key: &str, value: f64) {
+    out.push(',');
+    json::push_str(out, key);
+    out.push(':');
+    json::push_f64(out, value);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_events_encode_with_fixed_key_order() {
+        let ev = Event::ThermalCap {
+            t_s: 12.5,
+            device: "Nexus6".into(),
+            temp_c: 55.0,
+            cap_ghz: 1.7284,
+        };
+        assert_eq!(
+            ev.to_json(),
+            "{\"ev\":\"thermal_cap\",\"t_s\":12.5,\"device\":\"Nexus6\",\
+             \"temp_c\":55.0,\"cap_ghz\":1.7284}"
+        );
+        let ev = Event::BatterySoc {
+            t_s: 3.0,
+            device: "Pixel2".into(),
+            soc_pct: 90,
+        };
+        assert_eq!(
+            ev.to_json(),
+            "{\"ev\":\"battery_soc\",\"t_s\":3.0,\"device\":\"Pixel2\",\"soc_pct\":90}"
+        );
+    }
+
+    #[test]
+    fn scheduler_decision_encodes_threshold_and_shards() {
+        let ev = Event::ScheduleDecision {
+            scheduler: "fed_lbap".into(),
+            n_users: 3,
+            total_shards: 10,
+            threshold: Some(4.25),
+            shards: vec![5, 3, 2],
+            predicted_makespan: 4.25,
+        };
+        assert_eq!(
+            ev.to_json(),
+            "{\"ev\":\"schedule_decision\",\"scheduler\":\"fed_lbap\",\"n_users\":3,\
+             \"total_shards\":10,\"threshold\":4.25,\"shards\":[5,3,2],\
+             \"predicted_makespan\":4.25}"
+        );
+        let ev = Event::ScheduleRejected {
+            scheduler: "fed_minavg".into(),
+            n_users: 2,
+            total_shards: 99,
+            cause: "infeasible".into(),
+        };
+        assert_eq!(
+            ev.to_json(),
+            "{\"ev\":\"schedule_rejected\",\"scheduler\":\"fed_minavg\",\"n_users\":2,\
+             \"total_shards\":99,\"cause\":\"infeasible\"}"
+        );
+    }
+
+    #[test]
+    fn none_threshold_is_null() {
+        let ev = Event::ScheduleDecision {
+            scheduler: "equal".into(),
+            n_users: 1,
+            total_shards: 1,
+            threshold: None,
+            shards: vec![1],
+            predicted_makespan: 1.0,
+        };
+        assert!(ev.to_json().contains("\"threshold\":null"));
+    }
+
+    #[test]
+    fn round_events_encode() {
+        assert_eq!(
+            Event::RoundStart {
+                round: 2,
+                n_users: 6
+            }
+            .to_json(),
+            "{\"ev\":\"round_start\",\"round\":2,\"n_users\":6}"
+        );
+        assert_eq!(
+            Event::UserSpan {
+                round: 2,
+                user: 4,
+                compute_s: 1.25,
+                comm_s: 0.5
+            }
+            .to_json(),
+            "{\"ev\":\"user_span\",\"round\":2,\"user\":4,\"compute_s\":1.25,\"comm_s\":0.5}"
+        );
+        assert_eq!(
+            Event::RoundEnd {
+                round: 2,
+                makespan_s: 1.75,
+                straggler: 4
+            }
+            .to_json(),
+            "{\"ev\":\"round_end\",\"round\":2,\"makespan_s\":1.75,\"straggler\":4}"
+        );
+    }
+
+    #[test]
+    fn kind_matches_tag_in_json() {
+        let events = [
+            Event::BigClusterOffline {
+                t_s: 0.0,
+                device: "d".into(),
+                temp_c: 65.0,
+            },
+            Event::MinAvgDecision {
+                n_users: 1,
+                total_shards: 2,
+                objective: 3.0,
+                final_alpha_f: 1.0,
+                open_order: vec![0],
+                shards: vec![2],
+            },
+            Event::RoundDivergence {
+                round: 0,
+                mean_cosine: 0.99,
+            },
+            Event::RoundAccuracy {
+                round: 0,
+                accuracy: 0.87,
+            },
+        ];
+        for ev in events {
+            let json = ev.to_json();
+            assert!(
+                json.starts_with(&format!("{{\"ev\":\"{}\"", ev.kind())),
+                "tag mismatch: {json}"
+            );
+        }
+    }
+}

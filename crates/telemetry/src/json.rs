@@ -1,0 +1,90 @@
+//! Tiny deterministic JSON encoding helpers.
+//!
+//! Floats use Rust's `Display` (shortest round-trip representation, stable
+//! across runs and platforms); non-finite floats encode as `null` so the
+//! output is always valid JSON.
+
+use std::fmt::Write as _;
+
+/// Append `s` as a JSON string literal, escaping per RFC 8259.
+pub fn push_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Append a float; non-finite values become `null`. Integral floats keep a
+/// trailing `.0` so values stay unambiguously floats in the JSONL schema.
+pub fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let start = out.len();
+        let _ = write!(out, "{v}");
+        if !out[start..].contains(['.', 'e']) {
+            out.push_str(".0");
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Append a `[a,b,c]` array of usize.
+pub fn push_usize_array(out: &mut String, values: &[usize]) {
+    out.push('[');
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{v}");
+    }
+    out.push(']');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(f: impl FnOnce(&mut String)) -> String {
+        let mut out = String::new();
+        f(&mut out);
+        out
+    }
+
+    #[test]
+    fn strings_escape_specials() {
+        assert_eq!(s(|o| push_str(o, "plain")), "\"plain\"");
+        assert_eq!(s(|o| push_str(o, "a\"b\\c")), "\"a\\\"b\\\\c\"");
+        assert_eq!(s(|o| push_str(o, "line\nbreak\t")), "\"line\\nbreak\\t\"");
+        assert_eq!(s(|o| push_str(o, "\u{1}")), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn floats_are_deterministic_and_typed() {
+        assert_eq!(s(|o| push_f64(o, 1.5)), "1.5");
+        assert_eq!(s(|o| push_f64(o, 3.0)), "3.0");
+        assert_eq!(s(|o| push_f64(o, -2.0)), "-2.0");
+        assert_eq!(s(|o| push_f64(o, 0.1 + 0.2)), "0.30000000000000004");
+        assert_eq!(s(|o| push_f64(o, f64::NAN)), "null");
+        assert_eq!(s(|o| push_f64(o, f64::INFINITY)), "null");
+        // Display expands even huge magnitudes to plain decimal; the
+        // encoding must still round-trip exactly.
+        assert_eq!(s(|o| push_f64(o, 1e300)).parse::<f64>().unwrap(), 1e300);
+    }
+
+    #[test]
+    fn arrays_encode_compactly() {
+        assert_eq!(s(|o| push_usize_array(o, &[])), "[]");
+        assert_eq!(s(|o| push_usize_array(o, &[1, 2, 30])), "[1,2,30]");
+    }
+}

@@ -1,0 +1,346 @@
+//! Counters and histograms with deterministic serialization.
+//!
+//! [`MetricsRegistry`] is the single aggregation point report code consumes
+//! (see `fedsched-bench`), replacing ad-hoc `Vec<f64>` tallies. Keys live
+//! in `BTreeMap`s so iteration — and therefore JSON output — is ordered and
+//! reproducible.
+
+use crate::event::Event;
+use crate::json;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A sample distribution: retains every observation, in order.
+///
+/// Retaining samples keeps the type simple and exact (`mean`, `std_dev`,
+/// `percentile` are computed, not approximated); simulation runs observe at
+/// most a few thousand values per name, so memory is not a concern.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Histogram {
+    samples: Vec<f64>,
+}
+
+impl Histogram {
+    /// Record one observation.
+    pub fn observe(&mut self, value: f64) {
+        self.samples.push(value);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.samples.iter().sum()
+    }
+
+    /// Arithmetic mean, or 0.0 with no samples.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.samples.len() as f64
+        }
+    }
+
+    /// Population standard deviation, or 0.0 with fewer than two samples.
+    pub fn std_dev(&self) -> f64 {
+        if self.samples.len() < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let var = self
+            .samples
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / self.samples.len() as f64;
+        var.sqrt()
+    }
+
+    /// Sample (Bessel-corrected) standard deviation, or 0.0 with fewer
+    /// than two samples — what experiment reports quote.
+    pub fn sample_std_dev(&self) -> f64 {
+        let n = self.samples.len();
+        if n < 2 {
+            return 0.0;
+        }
+        self.std_dev() * (n as f64 / (n as f64 - 1.0)).sqrt()
+    }
+
+    /// Smallest observation, or 0.0 with no samples.
+    pub fn min(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().copied().fold(f64::INFINITY, f64::min)
+        }
+    }
+
+    /// Largest observation, or 0.0 with no samples.
+    pub fn max(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max)
+        }
+    }
+
+    /// Nearest-rank percentile (`p` in `[0, 100]`), or 0.0 with no samples.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+        sorted[rank.min(sorted.len() - 1)]
+    }
+
+    /// The raw samples in observation order.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+/// Named counters and histograms, serializable as deterministic JSON.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `by` to counter `name` (creating it at zero).
+    pub fn incr(&mut self, name: &str, by: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Record `value` into histogram `name` (creating it empty).
+    pub fn observe(&mut self, name: &str, value: f64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .observe(value);
+    }
+
+    /// Current value of counter `name` (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Histogram `name`, if any value was observed under it.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counter names, sorted.
+    pub fn counter_names(&self) -> impl Iterator<Item = &str> {
+        self.counters.keys().map(String::as_str)
+    }
+
+    /// All histogram names, sorted.
+    pub fn histogram_names(&self) -> impl Iterator<Item = &str> {
+        self.histograms.keys().map(String::as_str)
+    }
+
+    /// Fold another registry into this one (counters add, histograms
+    /// concatenate) — used to combine per-run registries into a report.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, value) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += value;
+        }
+        for (name, hist) in &other.histograms {
+            let entry = self.histograms.entry(name.clone()).or_default();
+            entry.samples.extend_from_slice(&hist.samples);
+        }
+    }
+
+    /// Fold a stream of telemetry events into counters and histograms —
+    /// the single aggregation path experiment reporters consume, instead
+    /// of tallying ad hoc. Metric names are stable snake_case:
+    ///
+    /// | event | counters | histograms |
+    /// |---|---|---|
+    /// | `thermal_cap` | `thermal_cap_changes` | `thermal_cap_ghz` |
+    /// | `big_cluster_offline`/`online` | same name | — |
+    /// | `battery_soc` | `battery_soc_decades` | — |
+    /// | `battery_depleted` | `battery_depleted` | `battery_drained_j` |
+    /// | `schedule_decision` | `schedule_decisions` | `predicted_makespan_s` |
+    /// | `schedule_rejected` | `schedule_rejections_<cause>` | — |
+    /// | `minavg_decision` | `minavg_decisions` | `minavg_objective` |
+    /// | `round_start` | `rounds` | — |
+    /// | `user_span` | — | `user_compute_s`, `user_comm_s` |
+    /// | `round_end` | — | `round_makespan_s` |
+    /// | `round_divergence` | — | `divergence_mean_cosine` |
+    /// | `round_accuracy` | — | `round_accuracy` |
+    pub fn ingest<'a, I: IntoIterator<Item = &'a Event>>(&mut self, events: I) {
+        for event in events {
+            match event {
+                Event::ThermalCap { cap_ghz, .. } => {
+                    self.incr("thermal_cap_changes", 1);
+                    self.observe("thermal_cap_ghz", *cap_ghz);
+                }
+                Event::BigClusterOffline { .. } => self.incr("big_cluster_offline", 1),
+                Event::BigClusterOnline { .. } => self.incr("big_cluster_online", 1),
+                Event::BatterySoc { .. } => self.incr("battery_soc_decades", 1),
+                Event::BatteryDepleted { drained_j, .. } => {
+                    self.incr("battery_depleted", 1);
+                    self.observe("battery_drained_j", *drained_j);
+                }
+                Event::ScheduleDecision {
+                    predicted_makespan, ..
+                } => {
+                    self.incr("schedule_decisions", 1);
+                    self.observe("predicted_makespan_s", *predicted_makespan);
+                }
+                Event::ScheduleRejected { cause, .. } => {
+                    self.incr(&format!("schedule_rejections_{cause}"), 1);
+                }
+                Event::MinAvgDecision { objective, .. } => {
+                    self.incr("minavg_decisions", 1);
+                    self.observe("minavg_objective", *objective);
+                }
+                Event::RoundStart { .. } => self.incr("rounds", 1),
+                Event::UserSpan {
+                    compute_s, comm_s, ..
+                } => {
+                    self.observe("user_compute_s", *compute_s);
+                    self.observe("user_comm_s", *comm_s);
+                }
+                Event::RoundEnd { makespan_s, .. } => {
+                    self.observe("round_makespan_s", *makespan_s);
+                }
+                Event::RoundDivergence { mean_cosine, .. } => {
+                    self.observe("divergence_mean_cosine", *mean_cosine);
+                }
+                Event::RoundAccuracy { accuracy, .. } => {
+                    self.observe("round_accuracy", *accuracy);
+                }
+            }
+        }
+    }
+
+    /// Deterministic JSON snapshot: counters verbatim, histograms as
+    /// `{count, mean, std_dev, min, max}` summaries, all keys sorted.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::push_str(&mut out, name);
+            let _ = write!(out, ":{value}");
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, hist)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::push_str(&mut out, name);
+            let _ = write!(out, ":{{\"count\":{}", hist.count());
+            for (key, value) in [
+                ("mean", hist.mean()),
+                ("std_dev", hist.std_dev()),
+                ("min", hist.min()),
+                ("max", hist.max()),
+            ] {
+                out.push(',');
+                json::push_str(&mut out, key);
+                out.push(':');
+                json::push_f64(&mut out, value);
+            }
+            out.push('}');
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut reg = MetricsRegistry::new();
+        assert_eq!(reg.counter("rounds"), 0);
+        reg.incr("rounds", 1);
+        reg.incr("rounds", 2);
+        assert_eq!(reg.counter("rounds"), 3);
+    }
+
+    #[test]
+    fn histogram_statistics() {
+        let mut h = Histogram::default();
+        for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 8);
+        assert!((h.mean() - 5.0).abs() < 1e-12);
+        assert!((h.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(h.min(), 2.0);
+        assert_eq!(h.max(), 9.0);
+        assert_eq!(h.percentile(0.0), 2.0);
+        assert_eq!(h.percentile(100.0), 9.0);
+        // Nearest rank on 8 samples: round(0.5 * 7) = 4 -> sorted[4].
+        assert_eq!(h.percentile(50.0), 5.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = Histogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.std_dev(), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        assert_eq!(h.percentile(50.0), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_concatenates_histograms() {
+        let mut a = MetricsRegistry::new();
+        a.incr("n", 1);
+        a.observe("t", 1.0);
+        let mut b = MetricsRegistry::new();
+        b.incr("n", 2);
+        b.incr("m", 5);
+        b.observe("t", 3.0);
+        a.merge(&b);
+        assert_eq!(a.counter("n"), 3);
+        assert_eq!(a.counter("m"), 5);
+        assert_eq!(a.histogram("t").unwrap().count(), 2);
+        assert!((a.histogram("t").unwrap().mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_is_sorted_and_deterministic() {
+        let build = || {
+            let mut reg = MetricsRegistry::new();
+            reg.incr("zeta", 1);
+            reg.incr("alpha", 2);
+            reg.observe("makespan_s", 1.5);
+            reg.observe("makespan_s", 2.5);
+            reg.to_json()
+        };
+        let json = build();
+        assert_eq!(json, build());
+        let alpha = json.find("\"alpha\"").unwrap();
+        let zeta = json.find("\"zeta\"").unwrap();
+        assert!(alpha < zeta, "counter keys must be sorted: {json}");
+        assert!(json.contains(
+            "\"makespan_s\":{\"count\":2,\"mean\":2.0,\"std_dev\":0.5,\"min\":1.5,\"max\":2.5}"
+        ));
+    }
+}

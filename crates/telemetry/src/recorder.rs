@@ -1,0 +1,256 @@
+//! Recorders (where events go) and the [`Probe`] handle (how code emits).
+
+use crate::event::Event;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// A sink for telemetry events. Implementations must be thread-safe: the
+/// FL engine emits from worker threads.
+pub trait Recorder: Send + Sync {
+    /// Consume one event.
+    fn record(&self, event: &Event);
+}
+
+/// Discards every event. Useful where an API requires a concrete recorder;
+/// prefer [`Probe::disabled`] otherwise, which skips event construction
+/// entirely.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn record(&self, _event: &Event) {}
+}
+
+/// In-memory recorder; keeps every event in arrival order.
+#[derive(Default)]
+pub struct EventLog {
+    events: Mutex<Vec<Event>>,
+}
+
+impl EventLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().unwrap().len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of all events in arrival order.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().unwrap().clone()
+    }
+
+    /// Encode the whole log as JSON Lines (one event per line, trailing
+    /// newline). Byte-deterministic for a deterministic event stream.
+    pub fn to_jsonl(&self) -> String {
+        let events = self.events.lock().unwrap();
+        let mut out = String::new();
+        for ev in events.iter() {
+            out.push_str(&ev.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Recorder for EventLog {
+    fn record(&self, event: &Event) {
+        self.events.lock().unwrap().push(event.clone());
+    }
+}
+
+/// Streams events as JSON Lines to any writer (typically a file).
+pub struct JsonlSink<W: Write + Send> {
+    writer: Mutex<BufWriter<W>>,
+}
+
+impl JsonlSink<File> {
+    /// Create (truncate) `path` and stream events to it.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        Ok(Self::new(File::create(path)?))
+    }
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wrap an arbitrary writer.
+    pub fn new(writer: W) -> Self {
+        JsonlSink {
+            writer: Mutex::new(BufWriter::new(writer)),
+        }
+    }
+
+    /// Flush buffered lines to the underlying writer.
+    pub fn flush(&self) -> std::io::Result<()> {
+        self.writer.lock().unwrap().flush()
+    }
+}
+
+impl<W: Write + Send> Recorder for JsonlSink<W> {
+    fn record(&self, event: &Event) {
+        let mut w = self.writer.lock().unwrap();
+        // An I/O error mid-simulation shouldn't kill the run; telemetry is
+        // best-effort once the sink was successfully created.
+        let _ = w.write_all(event.to_json().as_bytes());
+        let _ = w.write_all(b"\n");
+    }
+}
+
+impl<W: Write + Send> Drop for JsonlSink<W> {
+    fn drop(&mut self) {
+        if let Ok(mut w) = self.writer.lock() {
+            let _ = w.flush();
+        }
+    }
+}
+
+/// Cheap cloneable handle through which instrumented code emits events.
+///
+/// A disabled probe (the default) is a `None` inside: [`Probe::emit`] never
+/// invokes its closure, so the instrumented hot paths pay one branch and
+/// construct nothing.
+#[derive(Clone, Default)]
+pub struct Probe {
+    recorder: Option<Arc<dyn Recorder>>,
+}
+
+impl Probe {
+    /// A probe that drops everything without constructing events.
+    pub fn disabled() -> Self {
+        Probe { recorder: None }
+    }
+
+    /// A probe delivering events to `recorder`.
+    pub fn attached(recorder: Arc<dyn Recorder>) -> Self {
+        Probe {
+            recorder: Some(recorder),
+        }
+    }
+
+    /// Whether events are currently being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.recorder.is_some()
+    }
+
+    /// Emit the event produced by `f`, if enabled. `f` runs only when a
+    /// recorder is attached.
+    #[inline]
+    pub fn emit<F: FnOnce() -> Event>(&self, f: F) {
+        if let Some(recorder) = &self.recorder {
+            recorder.record(&f());
+        }
+    }
+}
+
+impl std::fmt::Debug for Probe {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Probe")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(round: usize) -> Event {
+        Event::RoundStart { round, n_users: 4 }
+    }
+
+    #[test]
+    fn disabled_probe_never_constructs_events() {
+        let probe = Probe::disabled();
+        let mut constructed = false;
+        probe.emit(|| {
+            constructed = true;
+            sample(0)
+        });
+        assert!(!constructed);
+        assert!(!probe.is_enabled());
+    }
+
+    #[test]
+    fn attached_probe_records_in_order() {
+        let log = Arc::new(EventLog::new());
+        let probe = Probe::attached(log.clone());
+        assert!(probe.is_enabled());
+        for round in 0..3 {
+            probe.emit(|| sample(round));
+        }
+        let events = log.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[2], sample(2));
+    }
+
+    #[test]
+    fn cloned_probes_share_the_recorder() {
+        let log = Arc::new(EventLog::new());
+        let probe = Probe::attached(log.clone());
+        let clone = probe.clone();
+        probe.emit(|| sample(0));
+        clone.emit(|| sample(1));
+        assert_eq!(log.len(), 2);
+    }
+
+    #[test]
+    fn event_log_jsonl_is_reproducible() {
+        let make = || {
+            let log = EventLog::new();
+            log.record(&sample(0));
+            log.record(&Event::UserSpan {
+                round: 0,
+                user: 1,
+                compute_s: 0.5,
+                comm_s: 0.25,
+            });
+            log.to_jsonl()
+        };
+        let a = make();
+        let b = make();
+        assert_eq!(a, b);
+        assert_eq!(a.lines().count(), 2);
+        assert!(a.ends_with('\n'));
+    }
+
+    #[test]
+    fn jsonl_sink_streams_lines() {
+        let sink = JsonlSink::new(Vec::new());
+        sink.record(&sample(7));
+        sink.flush().unwrap();
+        let bytes = {
+            let guard = sink.writer.lock().unwrap();
+            guard.get_ref().clone()
+        };
+        assert_eq!(
+            String::from_utf8(bytes).unwrap(),
+            "{\"ev\":\"round_start\",\"round\":7,\"n_users\":4}\n"
+        );
+    }
+
+    #[test]
+    fn recorders_work_across_threads() {
+        let log = Arc::new(EventLog::new());
+        let probe = Probe::attached(log.clone());
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let p = probe.clone();
+                s.spawn(move || {
+                    for i in 0..50 {
+                        p.emit(|| sample(t * 100 + i));
+                    }
+                });
+            }
+        });
+        assert_eq!(log.len(), 200);
+    }
+}

@@ -91,19 +91,13 @@ fn main() {
     .run();
     println!(
         "{:>14}: {:>3} merges in {budget_s:.0}s sim -> accuracy {:.3} (mean staleness {:.2})",
-        "async",
-        async_out.merged_updates,
-        async_out.final_accuracy,
-        async_out.mean_staleness
+        "async", async_out.merged_updates, async_out.final_accuracy, async_out.mean_staleness
     );
 
     // --- The paper's actual worry: async under NON-IID data, where stale
     //     updates from class-skewed clients pull the model around.
-    let sets: Vec<std::collections::BTreeSet<usize>> = vec![
-        (0..4).collect(),
-        (4..7).collect(),
-        (7..10).collect(),
-    ];
+    let sets: Vec<std::collections::BTreeSet<usize>> =
+        vec![(0..4).collect(), (4..7).collect(), (7..10).collect()];
     let noniid = fedsched::data::partition_by_classes(&train, &sets, 0.0, 5);
     let async_noniid = AsyncFlSetup {
         train: &train,

@@ -35,8 +35,14 @@ fn main() {
         .map(|(i, &m)| Device::from_model(m, 60 + i as u64))
         .collect();
 
-    println!("Per-round budget: {:.0}% of battery\n", battery_fraction * 100.0);
-    println!("{:<10} {:>10} {:>14} {:>14}", "device", "J/sample", "budget (J)", "capacity");
+    println!(
+        "Per-round budget: {:.0}% of battery\n",
+        battery_fraction * 100.0
+    );
+    println!(
+        "{:<10} {:>10} {:>14} {:>14}",
+        "device", "J/sample", "budget (J)", "capacity"
+    );
     let shard_size = 50.0;
     let mut users = Vec::new();
     let class_sets: [&[usize]; 4] = [&[0, 1, 2, 3, 4], &[5, 6], &[2, 3, 7, 8], &[8, 9]];
@@ -73,10 +79,21 @@ fn main() {
         shard_size,
         acc: AccuracyCost::new(10, 30.0, 2.0),
     };
-    let outcome = FedMinAvg.schedule(&problem).expect("feasible under battery budgets");
+    let outcome = FedMinAvg
+        .schedule(&problem)
+        .expect("feasible under battery budgets");
 
-    println!("\nFed-MinAvg schedule for {} shards of {} samples:", total_shards, shard_size);
-    for (j, (&k, u)) in outcome.schedule.shards.iter().zip(&problem.users).enumerate() {
+    println!(
+        "\nFed-MinAvg schedule for {} shards of {} samples:",
+        total_shards, shard_size
+    );
+    for (j, (&k, u)) in outcome
+        .schedule
+        .shards
+        .iter()
+        .zip(&problem.users)
+        .enumerate()
+    {
         println!(
             "  {:<10} {:>5} samples (cap {:>5})  classes {:?}",
             models[j].name(),

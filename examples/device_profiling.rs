@@ -22,7 +22,11 @@ fn main() {
     ];
     let sizes = [500u64, 1000, 2000, 3000];
 
-    println!("Benchmarking {} architectures x {} data sizes on Mate10...", bench_archs.len(), sizes.len());
+    println!(
+        "Benchmarking {} architectures x {} data sizes on Mate10...",
+        bench_archs.len(),
+        sizes.len()
+    );
     let mut profiler = TwoStepProfiler::new();
     for &d in &sizes {
         for &arch in &bench_archs {
@@ -51,8 +55,7 @@ fn main() {
     println!("\nStep 2 — unseen architecture (250K conv + 300K dense params):");
     for n in [800usize, 1600, 2500, 5000] {
         let mut device = Device::from_model(DeviceModel::Mate10, 77);
-        let measured =
-            device.epoch_time_cold(&TrainingWorkload::from_arch(&unseen), n);
+        let measured = device.epoch_time_cold(&TrainingWorkload::from_arch(&unseen), n);
         let predicted = profile.time_for(n as f64);
         println!(
             "  {n:>5} samples: predicted {predicted:7.1}s   measured {measured:7.1}s   ({:+.1}%)",

@@ -40,8 +40,7 @@ fn main() {
         let timing = sim.run(&schedule, rounds);
 
         // The actual learning, with per-round accuracy checkpoints.
-        let mut setup =
-            FlSetup::new(&train, &test, assignment, ModelKind::Mlp, rounds, 13);
+        let mut setup = FlSetup::new(&train, &test, assignment, ModelKind::Mlp, rounds, 13);
         setup.eval_every = 2;
         let outcome = setup.run();
 

@@ -40,8 +40,14 @@ fn main() {
     let lbap = FedLbap.schedule(&costs).expect("schedulable");
     let equal = EqualScheduler.schedule(&costs).expect("schedulable");
 
-    println!("\nFed-LBAP assignment (shards of 100 samples): {:?}", lbap.shards);
-    println!("Equal     assignment:                        {:?}", equal.shards);
+    println!(
+        "\nFed-LBAP assignment (shards of 100 samples): {:?}",
+        lbap.shards
+    );
+    println!(
+        "Equal     assignment:                        {:?}",
+        equal.shards
+    );
     println!(
         "\nPredicted makespan: Fed-LBAP {:.1}s vs Equal {:.1}s  ({:.2}x speedup)",
         lbap.predicted_makespan(&costs),

@@ -10,9 +10,7 @@
 //! cargo run --release --example straggler_rescue
 //! ```
 
-use fedsched::core::{
-    CostMatrix, EqualScheduler, FedLbap, ProportionalScheduler, Scheduler,
-};
+use fedsched::core::{CostMatrix, EqualScheduler, FedLbap, ProportionalScheduler, Scheduler};
 use fedsched::device::{Testbed, TrainingWorkload};
 use fedsched::fl::RoundSim;
 use fedsched::net::{model_transfer_bytes, Link};
@@ -30,14 +28,28 @@ fn main() {
     let comm = vec![link.round_seconds(bytes); testbed.len()];
     let costs = CostMatrix::from_profiles(&profiles, total_shards, 100.0, &comm);
 
-    let weights: Vec<f64> = testbed.models().iter().map(|m| m.mean_core_freq_ghz()).collect();
+    let weights: Vec<f64> = testbed
+        .models()
+        .iter()
+        .map(|m| m.mean_core_freq_ghz())
+        .collect();
     let schedulers: Vec<(&str, Box<dyn Scheduler>)> = vec![
-        ("Proportional", Box::new(ProportionalScheduler::new(weights))),
+        (
+            "Proportional",
+            Box::new(ProportionalScheduler::new(weights)),
+        ),
         ("Equal", Box::new(EqualScheduler)),
         ("Fed-LBAP", Box::new(FedLbap)),
     ];
 
-    println!("devices: {:?}\n", testbed.models().iter().map(|m| m.name()).collect::<Vec<_>>());
+    println!(
+        "devices: {:?}\n",
+        testbed
+            .models()
+            .iter()
+            .map(|m| m.name())
+            .collect::<Vec<_>>()
+    );
     for (name, scheduler) in schedulers {
         let schedule = scheduler.schedule(&costs).expect("schedulable");
         let mut sim = RoundSim::new(testbed.devices().to_vec(), workload, link, bytes, 7);

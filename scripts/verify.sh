@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Tier-1 verification: formatting, lints, release build, full test suite.
+#
+# Usage: scripts/verify.sh [--quick]
+#   --quick   skip the release build (debug build + tests only)
+#
+# Scope notes: fmt/clippy run only on the fedsched crates — vendor/ holds
+# minimal offline stand-ins for external crates (see vendor/README.md) and
+# is exempt from style enforcement.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK=0
+for arg in "$@"; do
+  case "$arg" in
+    --quick) QUICK=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+FEDSCHED_CRATES=(
+  -p fedsched
+  -p fedsched-core
+  -p fedsched-profiler
+  -p fedsched-device
+  -p fedsched-net
+  -p fedsched-data
+  -p fedsched-nn
+  -p fedsched-fl
+  -p fedsched-parallel
+  -p fedsched-telemetry
+  -p fedsched-bench
+)
+
+echo "==> cargo fmt --check (fedsched crates)"
+cargo fmt --check "${FEDSCHED_CRATES[@]}"
+
+echo "==> cargo clippy -D warnings (fedsched crates, all targets)"
+cargo clippy -q "${FEDSCHED_CRATES[@]}" --all-targets -- -D warnings
+
+if [[ "$QUICK" -eq 0 ]]; then
+  echo "==> cargo build --release"
+  cargo build --release
+fi
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> verify OK"

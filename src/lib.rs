@@ -19,6 +19,9 @@
 //! * [`nn`] — from-scratch neural-network training (LeNet, VGG6).
 //! * [`fl`] — the FedAvg runtime tying everything together.
 //! * [`parallel`] — the crossbeam-based thread pool used throughout.
+//! * [`telemetry`] — opt-in structured event recording (scheduler
+//!   decisions, thermal/battery transitions, round timelines) with
+//!   deterministic JSONL serialization and a metrics registry.
 //!
 //! ## Quickstart
 //!
@@ -44,3 +47,4 @@ pub use fedsched_net as net;
 pub use fedsched_nn as nn;
 pub use fedsched_parallel as parallel;
 pub use fedsched_profiler as profiler;
+pub use fedsched_telemetry as telemetry;

@@ -22,8 +22,7 @@ fn profiles_and_schedules_are_stable() {
     let build = || {
         let testbed = Testbed::testbed_2(77);
         let profiles = testbed.profiles_for(&TrainingWorkload::lenet());
-        let costs =
-            CostMatrix::from_profiles(&profiles, 60, 100.0, &vec![0.5; testbed.len()]);
+        let costs = CostMatrix::from_profiles(&profiles, 60, 100.0, &vec![0.5; testbed.len()]);
         FedLbap.schedule(&costs).unwrap()
     };
     assert_eq!(build(), build());
@@ -46,7 +45,10 @@ fn datasets_and_partitions_are_stable() {
     assert_eq!(a.labels(), b.labels());
     assert_eq!(a.features(123), b.features(123));
     assert_eq!(iid_imbalanced(&a, 5, 0.5, 3), iid_imbalanced(&b, 5, 0.5, 3));
-    assert_eq!(n_class_noniid(&a, 5, 3, 0.2, 3), n_class_noniid(&b, 5, 3, 0.2, 3));
+    assert_eq!(
+        n_class_noniid(&a, 5, 3, 0.2, 3),
+        n_class_noniid(&b, 5, 3, 0.2, 3)
+    );
 }
 
 #[test]

@@ -61,7 +61,10 @@ fn minavg_reports_infeasible_capacity() {
         shard_size: 100.0,
         acc: AccuracyCost::new(10, 100.0, 0.0),
     };
-    assert_eq!(FedMinAvg.schedule(&problem).unwrap_err(), ScheduleError::Infeasible);
+    assert_eq!(
+        FedMinAvg.schedule(&problem).unwrap_err(),
+        ScheduleError::Infeasible
+    );
 }
 
 #[test]
@@ -121,7 +124,9 @@ fn partition_helpers_tolerate_tiny_datasets() {
     let p = fedsched::data::iid_equal(&ds, 4, 1);
     assert_eq!(p.total(), 10);
     p.assert_disjoint();
-    let ratio = fedsched::data::imbalance_ratio_of(&Partition { users: vec![vec![0], vec![1]] });
+    let ratio = fedsched::data::imbalance_ratio_of(&Partition {
+        users: vec![vec![0], vec![1]],
+    });
     assert_eq!(ratio, 0.0);
 }
 

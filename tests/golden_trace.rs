@@ -1,0 +1,120 @@
+//! Golden-trace snapshot over the four Table I device presets.
+//!
+//! A fixed-seed scenario — Fed-LBAP scheduling followed by a three-round
+//! replay on a Nexus 6 / Nexus 6P / Mate 10 / Pixel 2 cohort — must produce
+//! a telemetry JSONL stream that is (a) byte-identical across invocations
+//! and (b) byte-identical to the checked-in snapshot. Any change to event
+//! serialization, the device models, or the schedulers that shifts the
+//! trace shows up here as a readable diff.
+//!
+//! To regenerate the snapshot after an *intentional* behaviour change:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test --test golden_trace
+//! ```
+//!
+//! then commit the updated `tests/golden/table1_presets.jsonl` together
+//! with the change that caused it.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use fedsched::core::{CostMatrix, FedLbap, Scheduler};
+use fedsched::device::{DeviceModel, Testbed, TrainingWorkload};
+use fedsched::fl::RoundSim;
+use fedsched::net::Link;
+use fedsched::telemetry::{EventLog, Probe};
+
+const SEED: u64 = 2020;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/table1_presets.jsonl")
+}
+
+/// Run the fixed scenario and return its telemetry stream as JSONL.
+fn trace() -> String {
+    let log = Arc::new(EventLog::new());
+    let probe = Probe::attached(log.clone());
+
+    let testbed = Testbed::new(
+        &[
+            DeviceModel::Nexus6,
+            DeviceModel::Nexus6P,
+            DeviceModel::Mate10,
+            DeviceModel::Pixel2,
+        ],
+        SEED,
+    );
+    // VGG6 at 6000 samples is heavy enough to drive the cohort through its
+    // thermal transitions (Nexus 6P big-cluster shutdown, Nexus 6 trips).
+    let wl = TrainingWorkload::vgg6();
+    let profiles = testbed.profiles_for(&wl);
+    let costs = CostMatrix::from_profiles(&profiles, 60, 100.0, &[0.5; 4]);
+    let schedule = FedLbap.schedule_traced(&costs, &probe).expect("feasible");
+
+    let mut sim = RoundSim::new(
+        testbed.devices().to_vec(),
+        wl,
+        Link::new(100.0, 100.0, 0.0, 0.0),
+        2.5e6,
+        SEED,
+    )
+    .with_probe(probe);
+    let _ = sim.run(&schedule, 3);
+    log.to_jsonl()
+}
+
+#[test]
+fn trace_is_byte_identical_across_invocations() {
+    assert_eq!(trace(), trace(), "same seed must give the same bytes");
+}
+
+#[test]
+fn trace_matches_golden_snapshot() {
+    let got = trace();
+    assert!(
+        got.contains("\"ev\":\"schedule_decision\""),
+        "missing decision:\n{got}"
+    );
+    assert!(
+        got.contains("\"ev\":\"round_end\""),
+        "missing round_end:\n{got}"
+    );
+
+    let path = golden_path();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &got).expect("write golden snapshot");
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {} ({e}); generate it with UPDATE_GOLDEN=1 cargo test --test golden_trace",
+            path.display()
+        )
+    });
+    if got != want {
+        let first_diff = got
+            .lines()
+            .zip(want.lines())
+            .position(|(g, w)| g != w)
+            .map(|i| {
+                format!(
+                    "first differing line {}:\n  got:  {}\n  want: {}",
+                    i + 1,
+                    got.lines().nth(i).unwrap_or(""),
+                    want.lines().nth(i).unwrap_or("")
+                )
+            })
+            .unwrap_or_else(|| {
+                format!(
+                    "line counts differ: got {}, want {}",
+                    got.lines().count(),
+                    want.lines().count()
+                )
+            });
+        panic!(
+            "telemetry trace diverged from tests/golden/table1_presets.jsonl.\n{first_diff}\n\
+             If the change is intentional, regenerate with UPDATE_GOLDEN=1 cargo test --test golden_trace"
+        );
+    }
+}

@@ -16,7 +16,10 @@ fn build_costs(testbed: &Testbed, total_shards: usize) -> (CostMatrix, f64) {
     let bytes = model_transfer_bytes(&ModelArch::lenet());
     let profiles = testbed.profiles_for(&wl);
     let comm = vec![link.round_seconds(bytes); testbed.len()];
-    (CostMatrix::from_profiles(&profiles, total_shards, 100.0, &comm), bytes)
+    (
+        CostMatrix::from_profiles(&profiles, total_shards, 100.0, &comm),
+        bytes,
+    )
 }
 
 #[test]
@@ -74,7 +77,10 @@ fn lbap_is_optimal_among_all_schedulers_tested() {
             .predicted_makespan(&costs);
         assert!(lbap <= random + 1e-9, "seed {seed}: {lbap} > {random}");
     }
-    let equal = EqualScheduler.schedule(&costs).unwrap().predicted_makespan(&costs);
+    let equal = EqualScheduler
+        .schedule(&costs)
+        .unwrap()
+        .predicted_makespan(&costs);
     assert!(lbap <= equal + 1e-9);
 }
 

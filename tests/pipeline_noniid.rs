@@ -104,7 +104,11 @@ fn minavg_schedules_every_scenario_feasibly() {
         let outcome = FedMinAvg.schedule(&problem).expect("feasible");
         assert_eq!(outcome.schedule.total_shards(), 150, "{}", scenario.name);
         for (u, &k) in problem.users.iter().zip(&outcome.schedule.shards) {
-            assert!(k <= u.capacity_shards, "{} capacity violated", scenario.name);
+            assert!(
+                k <= u.capacity_shards,
+                "{} capacity violated",
+                scenario.name
+            );
         }
     }
 }
@@ -152,7 +156,12 @@ fn end_to_end_noniid_training_learns() {
     let timing = sim.run(&outcome.schedule, 2);
     assert!(timing.mean_makespan() > 0.0);
 
-    let assignment = materialize(&train, &scenario.class_sets(), &outcome.schedule.shards, 10.0);
+    let assignment = materialize(
+        &train,
+        &scenario.class_sets(),
+        &outcome.schedule.shards,
+        10.0,
+    );
     let result = FlSetup::new(&train, &test, assignment, ModelKind::Mlp, 8, 31).run();
     assert!(
         result.final_accuracy > 0.35,

@@ -1,13 +1,16 @@
 //! Cross-crate property tests: invariants that must hold for *any* input,
 //! checked with proptest.
 
+use std::sync::Arc;
+
 use proptest::prelude::*;
 
 use fedsched::core::{
     AccuracyCost, CostMatrix, EqualScheduler, ExactMinMax, FedLbap, FedMinAvg, MinAvgProblem,
-    ProportionalScheduler, RandomScheduler, Scheduler, UserSpec,
+    ProportionalScheduler, RandomScheduler, ScheduleError, Scheduler, UserSpec,
 };
 use fedsched::profiler::{isotonic_non_decreasing, CostProfile, LinearProfile, TabulatedProfile};
+use fedsched::telemetry::{Event, EventLog, Probe};
 
 fn rates_strategy(max_users: usize) -> impl Strategy<Value = Vec<f64>> {
     prop::collection::vec(0.1f64..10.0, 1..=max_users)
@@ -109,7 +112,68 @@ proptest! {
                     prop_assert!(k <= u.capacity_shards);
                 }
             }
-            Err(_) => prop_assert!(cap_total < total, "rejected a feasible instance"),
+            Err(err) => {
+                prop_assert!(cap_total < total, "rejected a feasible instance");
+                // Fed-MinAvg either succeeds or reports Infeasible; it must
+                // never panic or surface a different error class for a
+                // well-formed instance.
+                prop_assert_eq!(err, ScheduleError::Infeasible);
+            }
+        }
+    }
+
+    /// Zero shards is a valid degenerate instance: every scheduler returns
+    /// an all-zero schedule (never panics, never divides by zero).
+    #[test]
+    fn zero_shards_yield_empty_schedules(
+        rates in rates_strategy(6),
+        seed in 0u64..100,
+    ) {
+        let n = rates.len();
+        let costs = CostMatrix::from_linear_rates(&rates, 0, 10.0, &vec![0.1; n]);
+        let schedulers: Vec<Box<dyn Scheduler>> = vec![
+            Box::new(FedLbap),
+            Box::new(ExactMinMax),
+            Box::new(EqualScheduler),
+            Box::new(RandomScheduler::new(seed)),
+            Box::new(ProportionalScheduler::new(vec![1.0; n])),
+        ];
+        for s in schedulers {
+            let schedule = s.schedule(&costs).unwrap();
+            prop_assert_eq!(schedule.total_shards(), 0, "{}", s.name());
+            prop_assert_eq!(schedule.shards.len(), n);
+            prop_assert!(schedule.predicted_makespan(&costs) <= 0.0 + 1e-12);
+        }
+    }
+
+    /// Tracing is observation only: `schedule_traced` returns exactly the
+    /// schedule of `schedule`, and logs one decision event per call.
+    #[test]
+    fn traced_schedules_equal_untraced(
+        rates in rates_strategy(6),
+        shards in 0usize..40,
+        seed in 0u64..100,
+    ) {
+        let n = rates.len();
+        let costs = CostMatrix::from_linear_rates(&rates, shards, 10.0, &vec![0.2; n]);
+        let schedulers: Vec<Box<dyn Scheduler>> = vec![
+            Box::new(FedLbap),
+            Box::new(ExactMinMax),
+            Box::new(EqualScheduler),
+            Box::new(RandomScheduler::new(seed)),
+            Box::new(ProportionalScheduler::new(vec![1.0; n])),
+        ];
+        for s in schedulers {
+            let plain = s.schedule(&costs).unwrap();
+            let log = Arc::new(EventLog::new());
+            let traced = s.schedule_traced(&costs, &Probe::attached(log.clone())).unwrap();
+            prop_assert_eq!(&plain, &traced, "{}", s.name());
+            let decisions = log
+                .events()
+                .iter()
+                .filter(|e| matches!(e, Event::ScheduleDecision { .. }))
+                .count();
+            prop_assert_eq!(decisions, 1, "{}", s.name());
         }
     }
 

@@ -1,0 +1,262 @@
+//! Minimal benchmark-harness stand-in with the criterion API shape:
+//! `Criterion::default().sample_size(..)`, `benchmark_group`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, `Bencher::iter`,
+//! and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Instead of criterion's statistical engine it times `sample_size`
+//! batches around each closure with `std::time::Instant` and prints
+//! median/min/max per benchmark — enough for coarse comparisons and for
+//! `cargo bench` to run green offline. Passing `--test` (as
+//! `cargo test --benches` does) runs each benchmark exactly once as a
+//! smoke test.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle; collects settings that apply to every bench.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { sample_size: 100, test_mode }
+    }
+}
+
+impl Criterion {
+    /// Set how many timed samples each benchmark records.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+
+    /// Run a single standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(id, self.sample_size, self.test_mode, &mut f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing the parent's settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Run a benchmark identified by a plain string.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_bench(&full, self.criterion.sample_size, self.criterion.test_mode, &mut f);
+        self
+    }
+
+    /// Run a benchmark over a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.label);
+        run_bench(&full, self.criterion.sample_size, self.criterion.test_mode, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Mark the group complete (upstream flushes reports here; no-op).
+    pub fn finish(self) {}
+}
+
+/// A benchmark's function name plus a parameter label.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Combine a function name with a displayable parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// An id carrying only a parameter label.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+/// Passed to each benchmark closure; `iter` times the routine.
+pub struct Bencher {
+    sample_size: usize,
+    test_mode: bool,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine`, recording `sample_size` samples (one run each,
+    /// after one untimed warm-up). Return values are passed through
+    /// `black_box` so the optimizer cannot elide the work.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        black_box(routine());
+        let runs = if self.test_mode { 1 } else { self.sample_size };
+        self.samples.clear();
+        self.samples.reserve(runs);
+        for _ in 0..runs {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_bench<F>(id: &str, sample_size: usize, test_mode: bool, f: &mut F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher { sample_size, test_mode, samples: Vec::new() };
+    f(&mut bencher);
+    let mut line = String::new();
+    if bencher.samples.is_empty() {
+        let _ = write!(line, "bench {id:<60} (no samples: b.iter was not called)");
+    } else {
+        bencher.samples.sort_unstable();
+        let n = bencher.samples.len();
+        let median = bencher.samples[n / 2];
+        let min = bencher.samples[0];
+        let max = bencher.samples[n - 1];
+        let _ = write!(
+            line,
+            "bench {id:<60} median {:>12} (min {}, max {}, n={n})",
+            fmt_duration(median),
+            fmt_duration(min),
+            fmt_duration(max),
+        );
+    }
+    println!("{line}");
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Define a group runner. Supports the long form
+/// `criterion_group! { name = benches; config = ...; targets = a, b }`
+/// and the short form `criterion_group!(benches, a, b)`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default().sample_size(3);
+        c.test_mode = true;
+        let mut runs = 0usize;
+        c.bench_function("smoke", |b| b.iter(|| runs += 1));
+        assert!(runs >= 2, "warm-up plus at least one sample, got {runs}");
+    }
+
+    #[test]
+    fn group_bench_with_input_passes_input() {
+        let mut c = Criterion::default().sample_size(2);
+        c.test_mode = true;
+        let data = vec![1u64, 2, 3];
+        let mut total = 0u64;
+        {
+            let mut group = c.benchmark_group("grp");
+            group.bench_with_input(BenchmarkId::new("sum", data.len()), &data, |b, d| {
+                b.iter(|| total += d.iter().sum::<u64>())
+            });
+            group.finish();
+        }
+        assert!(total >= 12, "input was threaded through, total {total}");
+    }
+
+    #[test]
+    fn benchmark_id_formats_label() {
+        let id = BenchmarkId::new("lbap", format!("n{}_s{}", 3, 600));
+        assert_eq!(id.label, "lbap/n3_s600");
+        assert_eq!(BenchmarkId::from_parameter(42).label, "42");
+    }
+
+    #[test]
+    fn macros_compose() {
+        fn target(c: &mut Criterion) {
+            c.test_mode = true;
+            c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        }
+        criterion_group! {
+            name = benches;
+            config = crate::Criterion::default().sample_size(2);
+            targets = target
+        }
+        benches();
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.50 ms");
+    }
+}

@@ -1,0 +1,565 @@
+//! Minimal property-testing stand-in exposing the slice of the `proptest`
+//! API this workspace uses: `Strategy` (ranges, tuples, `Just`,
+//! `collection::vec`), `ProptestConfig::with_cases`, and the `proptest!` /
+//! `prop_assert*!` macros.
+//!
+//! Differences from upstream proptest, by design:
+//! - **No shrinking.** A failing case reports the exact generated inputs
+//!   (which are reproducible, see below) but is not minimized.
+//! - **Deterministic seeding.** Each test's RNG is seeded from an FNV-1a
+//!   hash of its `module_path!()::name`, so failures reproduce exactly on
+//!   re-run with no persistence files.
+//! - `PROPTEST_CASES` (env var) still overrides the configured case count.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy {
+    //! Value generators. A `Strategy` produces one value per `generate`
+    //! call from the runner's deterministic RNG.
+
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A generator of test inputs.
+    pub trait Strategy {
+        /// The type of value this strategy yields.
+        type Value;
+        /// Draw one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Strategy yielding a single constant value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_float_range {
+        ($($t:ty => $unit:ident),+) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty float range strategy");
+                    self.start + (self.end - self.start) * rng.$unit()
+                }
+            }
+        )+};
+    }
+    impl_float_range!(f64 => unit_f64, f32 => unit_f32);
+
+    macro_rules! impl_int_range {
+        ($($t:ty),+) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty integer range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + rng.below(span) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty integer range strategy");
+                    let span = (hi - lo) as u64;
+                    if span == u64::MAX {
+                        return lo + rng.next_u64() as $t;
+                    }
+                    lo + rng.below(span + 1) as $t
+                }
+            }
+        )+};
+    }
+    impl_int_range!(usize, u64, u32, u16, u8, i64, i32);
+
+    macro_rules! impl_tuple {
+        ($(($($name:ident : $idx:tt),+))+) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+    impl_tuple! {
+        (A: 0, B: 1)
+        (A: 0, B: 1, C: 2)
+        (A: 0, B: 1, C: 2, D: 3)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive bounds on a generated collection's length.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            SizeRange { min: exact, max_inclusive: exact }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { min: r.start, max_inclusive: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange { min: *r.start(), max_inclusive: *r.end() }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from a [`SizeRange`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max_inclusive - self.size.min) as u64;
+            let len = self.size.min + rng.below(span + 1) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A vector of values from `element`, sized within `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+}
+
+pub mod test_runner {
+    //! Per-test configuration and the deterministic RNG behind every
+    //! strategy.
+
+    /// Subset of proptest's config: just the case count.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of cases `proptest!` runs per test function.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` inputs per test.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Apply the `PROPTEST_CASES` env override, as upstream does.
+    pub fn resolve_cases(configured: u32) -> u32 {
+        match std::env::var("PROPTEST_CASES") {
+            Ok(v) => v
+                .parse()
+                .unwrap_or_else(|_| panic!("PROPTEST_CASES must be an integer, got {v:?}")),
+            Err(_) => configured,
+        }
+    }
+
+    /// xoshiro256++ seeded from an FNV-1a hash of the test's full path, so
+    /// every run of a given test sees the same input sequence.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl TestRng {
+        /// Seed deterministically from a test identifier string.
+        pub fn deterministic(test_path: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_path.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            Self::from_seed(h)
+        }
+
+        /// Seed from a raw u64 (SplitMix64-expanded).
+        pub fn from_seed(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut sm);
+            }
+            if s == [0; 4] {
+                s = [0x1, 0x9E3779B97F4A7C15, 0x2545F4914F6CDD1D, 0xDEADBEEFDEADBEEF];
+            }
+            TestRng { s }
+        }
+
+        /// Next raw 64 bits (xoshiro256++).
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform integer in `[0, bound)`; `bound` must be non-zero.
+        /// Lemire multiply-shift with rejection, so it is unbiased.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            let threshold = bound.wrapping_neg() % bound;
+            loop {
+                let x = self.next_u64();
+                let wide = (x as u128) * (bound as u128);
+                if (wide as u64) >= threshold {
+                    return (wide >> 64) as u64;
+                }
+            }
+        }
+
+        /// Uniform f64 in `[0, 1)` using the top 53 bits.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform f32 in `[0, 1)` using the top 24 bits.
+        pub fn unit_f32(&mut self) -> f32 {
+            (self.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface matching `proptest::prelude::*`.
+    pub use crate as prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Fail the current property case unless `cond` holds.
+///
+/// Expands to an early `Err` return, so it is only valid inside a
+/// `proptest!` body (which runs in a `Result`-returning closure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {}: {}",
+                stringify!($cond),
+                ::std::format!($($fmt)+)
+            ));
+        }
+    };
+}
+
+/// `prop_assert!` for equality, printing both operands on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::std::result::Result::Err(::std::format!(
+                        "assertion failed: `left == right`\n  left: {:?}\n right: {:?}",
+                        l, r
+                    ));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::std::result::Result::Err(::std::format!(
+                        "assertion failed: `left == right`\n  left: {:?}\n right: {:?}\n {}",
+                        l, r, ::std::format!($($fmt)+)
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// `prop_assert!` for inequality, printing the operand on failure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if *l == *r {
+                    return ::std::result::Result::Err(::std::format!(
+                        "assertion failed: `left != right`\n  both: {:?}",
+                        l
+                    ));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if *l == *r {
+                    return ::std::result::Result::Err(::std::format!(
+                        "assertion failed: `left != right`\n  both: {:?}\n {}",
+                        l, ::std::format!($($fmt)+)
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Define property tests. Supports the upstream block form:
+///
+/// ```text
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_prop(x in 0usize..10, v in prop::collection::vec(0.0f64..1.0, 1..5)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+///
+/// Each generated test runs `cases` deterministic inputs; a failing case
+/// (via `prop_assert*!` or a panic) reports the generated inputs verbatim.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    (@with_config ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let cases = $crate::test_runner::resolve_cases(config.cases);
+                let mut rng = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for case in 0..cases {
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                    )+
+                    let inputs = ::std::format!(
+                        concat!($(stringify!($arg), " = {:?}; "),+),
+                        $(&$arg),+
+                    );
+                    let outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(
+                            move || -> ::std::result::Result<(), ::std::string::String> {
+                                $body
+                                ::std::result::Result::Ok(())
+                            },
+                        ),
+                    );
+                    match outcome {
+                        ::std::result::Result::Ok(::std::result::Result::Ok(())) => {}
+                        ::std::result::Result::Ok(::std::result::Result::Err(msg)) => {
+                            panic!(
+                                "property {} failed at case {}/{}\n{}\ninputs: {}",
+                                stringify!($name), case + 1, cases, msg, inputs
+                            );
+                        }
+                        ::std::result::Result::Err(payload) => {
+                            let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                                (*s).to_string()
+                            } else if let Some(s) = payload.downcast_ref::<::std::string::String>() {
+                                s.clone()
+                            } else {
+                                "<non-string panic payload>".to_string()
+                            };
+                            panic!(
+                                "property {} panicked at case {}/{}: {}\ninputs: {}",
+                                stringify!($name), case + 1, cases, msg, inputs
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = TestRng::deterministic("mod::test_x");
+        let mut b = TestRng::deterministic("mod::test_x");
+        let mut c = TestRng::deterministic("mod::test_y");
+        let sa: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let sb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let sc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(sa, sb);
+        assert_ne!(sa, sc);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::from_seed(42);
+        for _ in 0..2000 {
+            let f = (0.1f64..10.0).generate(&mut rng);
+            assert!((0.1..10.0).contains(&f));
+            let u = (1usize..25).generate(&mut rng);
+            assert!((1..25).contains(&u));
+            let i = (3u64..=7).generate(&mut rng);
+            assert!((3..=7).contains(&i));
+        }
+    }
+
+    #[test]
+    fn below_is_roughly_uniform() {
+        let mut rng = TestRng::from_seed(7);
+        let mut counts = [0usize; 5];
+        for _ in 0..50_000 {
+            counts[rng.below(5) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "bucket count {c} out of range");
+        }
+    }
+
+    #[test]
+    fn vec_strategy_sizes_and_tuples() {
+        let mut rng = TestRng::from_seed(11);
+        let ranged = prop::collection::vec(0.0f64..1.0, 1..=4);
+        let exact = prop::collection::vec((0.0f64..2.0, 5u32..9), 3);
+        for _ in 0..500 {
+            let v = ranged.generate(&mut rng);
+            assert!((1..=4).contains(&v.len()));
+            let t = exact.generate(&mut rng);
+            assert_eq!(t.len(), 3);
+            for &(f, u) in &t {
+                assert!((0.0..2.0).contains(&f));
+                assert!((5..9).contains(&u));
+            }
+        }
+    }
+
+    #[test]
+    fn just_yields_constant() {
+        let mut rng = TestRng::from_seed(0);
+        assert_eq!(Just(42u8).generate(&mut rng), 42);
+    }
+
+    // The macro surface, exercised exactly as downstream tests use it.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Doc comments and `#[test]` pass through the meta matcher.
+        #[test]
+        fn macro_generates_in_bounds(
+            xs in prop::collection::vec(0.5f64..2.0, 1..=6),
+            n in 1usize..10,
+        ) {
+            prop_assert!(!xs.is_empty());
+            prop_assert!(xs.len() <= 6);
+            prop_assert!(n >= 1 && n < 10, "n was {}", n);
+            prop_assert_eq!(xs.len(), xs.len());
+            prop_assert_ne!(n, 0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_form_works(b in 0u32..3) {
+            prop_assert!(b < 3);
+        }
+    }
+
+    #[should_panic(expected = "inputs:")]
+    #[test]
+    fn failing_property_reports_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            #[allow(dead_code)]
+            fn always_fails(x in 0usize..5) {
+                prop_assert!(x > 100, "x too small: {}", x);
+            }
+        }
+        always_fails();
+    }
+
+    #[should_panic(expected = "panicked at case")]
+    #[test]
+    fn panicking_property_reports_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            #[allow(dead_code)]
+            fn always_panics(x in 0usize..5) {
+                let _ = x;
+                panic!("boom");
+            }
+        }
+        always_panics();
+    }
+}

@@ -1,0 +1,64 @@
+//! Marker-trait stand-in for `serde` in offline builds.
+//!
+//! Nothing in this workspace actually serializes through serde's data model
+//! (there is no `serde_json` at all); types merely derive `Serialize` /
+//! `Deserialize` so downstream users *could*. This stub keeps those derives
+//! and any `T: Serialize` bounds compiling by blanket-implementing both
+//! traits for every type. Structured output that must really be encoded
+//! (the telemetry JSONL traces) is hand-encoded in `fedsched-telemetry`,
+//! where byte-determinism is a requirement anyway.
+
+#![forbid(unsafe_code)]
+
+/// Marker: the type is (conceptually) serializable.
+pub trait Serialize {}
+
+/// Marker: the type is (conceptually) deserializable.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+#[cfg(test)]
+mod tests {
+    // The derives come from `serde_derive`; with the blanket impls they add
+    // nothing, but they must parse on structs, enums, and generics alike.
+    use crate as serde;
+    use serde_derive::{Deserialize, Serialize};
+
+    #[derive(Serialize, Deserialize)]
+    struct Named {
+        _a: f64,
+        _b: Vec<usize>,
+    }
+
+    #[derive(Serialize, Deserialize)]
+    struct Tuple(u8, String);
+
+    #[derive(Serialize, Deserialize)]
+    enum Kinds {
+        _Unit,
+        _Tuple(f32),
+        _Struct { _x: bool },
+    }
+
+    #[derive(Serialize)]
+    struct Generic<T> {
+        _inner: T,
+    }
+
+    fn assert_serialize<T: serde::Serialize>() {}
+
+    #[test]
+    fn bounds_are_satisfied_for_everything() {
+        assert_serialize::<Named>();
+        assert_serialize::<Tuple>();
+        assert_serialize::<Kinds>();
+        assert_serialize::<Generic<Named>>();
+        assert_serialize::<Vec<(usize, f64)>>();
+    }
+}
