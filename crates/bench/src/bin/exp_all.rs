@@ -16,4 +16,5 @@ fn main() {
     println!("{}", table4::render(&table4::run(scale, 42)));
     println!("{}", fig7::render(&fig7::run(scale, 42)));
     println!("{}", table5::render(&table5::run(scale, 42)));
+    println!("{}", chaos::render(&chaos::run(scale, 42)));
 }

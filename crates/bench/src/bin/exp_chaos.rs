@@ -1,0 +1,9 @@
+//! Regenerates the chaos sweep: recovery policies under rising crash rates.
+use fedsched_bench::{chaos, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("[exp_chaos] scale = {}", scale.name());
+    let sweep = chaos::run(scale, 42);
+    println!("{}", chaos::render(&sweep));
+}

@@ -23,10 +23,12 @@
 //! | Table IV (MinAvg schedules) | [`table4`] | `exp_table4` |
 //! | Fig. 7 (non-IID computation time) | [`fig7`] | `exp_fig7` |
 //! | Table V (non-IID accuracy) | [`table5`] | `exp_table5` |
+//! | Chaos sweep (crashes, lossy links) | [`chaos`] | `exp_chaos` |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod common;
 pub mod fig1;
 pub mod fig2;

@@ -7,14 +7,15 @@
 //! Section II-B), so this scheduler trades coverage for latency. The
 //! [`DropReport`] quantifies that loss so experiments can show both sides.
 
+use fedsched_telemetry::{Event, Probe};
 use serde::Serialize;
 
 use crate::baselines::EqualScheduler;
 use crate::cost::CostMatrix;
-use crate::schedule::{Schedule, ScheduleError, Scheduler};
+use crate::schedule::{emit_decision, Schedule, ScheduleError, Scheduler};
 
 /// Equal-share scheduling with a hard per-round deadline.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DeadlineDropout {
     /// Users whose equal share would exceed this many seconds are dropped.
     pub deadline_s: f64,
@@ -44,12 +45,21 @@ impl DeadlineDropout {
     /// A deadline calibrated as `factor` times the *mean* per-user time of
     /// the equal split — the common "wait a bit longer than average, then
     /// cut" production policy.
+    ///
+    /// Degenerate instances where that mean is not a positive finite number
+    /// — an all-zero cost matrix, an empty round, or a non-positive
+    /// `factor` — yield [`ScheduleError::Infeasible`] instead of a panic:
+    /// there is no meaningful deadline to calibrate.
     pub fn from_mean_factor(costs: &CostMatrix, factor: f64) -> Result<Self, ScheduleError> {
         let equal = EqualScheduler.schedule(costs)?;
         let times = equal.predicted_times(costs);
         let active: Vec<f64> = times.into_iter().filter(|&t| t > 0.0).collect();
         let mean = active.iter().sum::<f64>() / active.len().max(1) as f64;
-        Ok(DeadlineDropout::new(mean * factor))
+        let deadline = mean * factor;
+        if !(deadline > 0.0 && deadline.is_finite()) {
+            return Err(ScheduleError::Infeasible);
+        }
+        Ok(DeadlineDropout::new(deadline))
     }
 
     /// Schedule and report what was dropped.
@@ -80,6 +90,37 @@ impl DeadlineDropout {
         };
         Ok((Schedule::new(shards, costs.shard_size()), report))
     }
+
+    /// [`DeadlineDropout::schedule_with_report`], emitting one
+    /// `deadline_drop` event per dropped user through `probe`.
+    pub fn schedule_with_report_traced(
+        &self,
+        costs: &CostMatrix,
+        probe: &Probe,
+    ) -> Result<(Schedule, DropReport), ScheduleError> {
+        let result = self.schedule_with_report(costs)?;
+        {
+            let (schedule, report) = &result;
+            let equal = EqualScheduler.schedule(costs)?;
+            for &user in &report.dropped {
+                let k = equal.shards[user];
+                probe.emit(|| Event::DeadlineDrop {
+                    user,
+                    predicted_s: costs.cost(user, k),
+                    deadline_s: self.deadline_s,
+                    lost_shards: k,
+                });
+            }
+            emit_decision(
+                self.name(),
+                costs,
+                &Ok(schedule.clone()),
+                Some(self.deadline_s),
+                probe,
+            );
+        }
+        Ok(result)
+    }
 }
 
 impl Scheduler for DeadlineDropout {
@@ -91,6 +132,23 @@ impl Scheduler for DeadlineDropout {
     /// `costs.total_shards()` — dropped data is lost, by design.
     fn schedule(&self, costs: &CostMatrix) -> Result<Schedule, ScheduleError> {
         self.schedule_with_report(costs).map(|(s, _)| s)
+    }
+
+    /// Emits per-user `deadline_drop` events ahead of the decision record,
+    /// with the deadline as the decision threshold.
+    fn schedule_traced(
+        &self,
+        costs: &CostMatrix,
+        probe: &Probe,
+    ) -> Result<Schedule, ScheduleError> {
+        match self.schedule_with_report_traced(costs, probe) {
+            Ok((schedule, _)) => Ok(schedule),
+            Err(err) => {
+                let failed: Result<Schedule, ScheduleError> = Err(err.clone());
+                emit_decision(self.name(), costs, &failed, Some(self.deadline_s), probe);
+                Err(err)
+            }
+        }
     }
 }
 
@@ -152,5 +210,74 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_deadline_rejected() {
         let _ = DeadlineDropout::new(0.0);
+    }
+
+    #[test]
+    fn all_zero_cost_matrix_yields_error_not_panic() {
+        // Regression: a free cost matrix used to make the mean deadline 0
+        // and panic inside `DeadlineDropout::new`.
+        let c = CostMatrix::from_linear_rates(&[0.0, 0.0], 10, 10.0, &[0.0, 0.0]);
+        assert_eq!(
+            DeadlineDropout::from_mean_factor(&c, 1.2),
+            Err(ScheduleError::Infeasible)
+        );
+    }
+
+    #[test]
+    fn empty_round_yields_error_not_panic() {
+        let c = CostMatrix::from_linear_rates(&[1.0, 2.0], 0, 10.0, &[0.0, 0.0]);
+        assert_eq!(
+            DeadlineDropout::from_mean_factor(&c, 1.2),
+            Err(ScheduleError::Infeasible)
+        );
+    }
+
+    #[test]
+    fn non_positive_factor_yields_error_not_panic() {
+        let c = costs();
+        for factor in [0.0, -1.0, f64::NAN] {
+            assert_eq!(
+                DeadlineDropout::from_mean_factor(&c, factor),
+                Err(ScheduleError::Infeasible),
+                "factor {factor}"
+            );
+        }
+    }
+
+    #[test]
+    fn traced_schedule_emits_drop_events_and_decision() {
+        use fedsched_telemetry::{EventLog, Probe};
+        use std::sync::Arc;
+        let c = costs();
+        let log = Arc::new(EventLog::new());
+        let policy = DeadlineDropout::new(20.0);
+        let traced = policy
+            .schedule_traced(&c, &Probe::attached(log.clone()))
+            .unwrap();
+        assert_eq!(traced, policy.schedule(&c).unwrap());
+        let events = log.events();
+        let drops: Vec<(usize, usize)> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::DeadlineDrop {
+                    user,
+                    predicted_s,
+                    deadline_s,
+                    lost_shards,
+                } => {
+                    assert!(*predicted_s > *deadline_s);
+                    Some((*user, *lost_shards))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(drops, vec![(1, 10)]);
+        assert!(events.iter().any(|e| matches!(
+            e,
+            Event::ScheduleDecision {
+                threshold: Some(d),
+                ..
+            } if *d == 20.0
+        )));
     }
 }

@@ -1,0 +1,588 @@
+//! Deterministic, seedable fault injection for the simulation stack.
+//!
+//! Production federated learning treats client churn and communication
+//! failure as the norm, not the exception (Bonawitz et al., SysML'19): phones
+//! crash mid-round, leave the cohort, lose packets, and slow down when a
+//! background app grabs the CPU. This crate models all of that as a
+//! **precomputed plan** derived from a seed, so a chaos run replays
+//! byte-identically:
+//!
+//! * [`FaultConfig`] — the knobs: per-round crash/churn/contention
+//!   probabilities, per-transfer loss probability, network-outage windows;
+//! * [`FaultPlan`] — the materialized per-round, per-device fate table,
+//!   generated once from `(config, n_devices, n_rounds, seed)`;
+//! * [`FaultInjector`] — the query interface the round controller consumes:
+//!   [`FaultInjector::fate`], [`FaultInjector::contention`],
+//!   [`FaultInjector::outages`], plus counter-based auxiliary randomness
+//!   ([`DrawStream`]) for per-transfer loss decisions and retry jitter.
+//!
+//! The auxiliary draws are *hash-derived*, not taken from the simulation's
+//! main RNG: a fault-free configuration therefore consumes exactly the same
+//! main-RNG stream as a fault-free simulator, which is what lets
+//! `ResilientRoundSim` be bit-identical to `RoundSim` when no faults are
+//! configured.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+/// Fault-model knobs. All probabilities are per device per round (crash,
+/// churn, contention) or per transfer attempt (loss); an all-zero config
+/// injects nothing.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FaultConfig {
+    /// Probability a healthy device crashes mid-round (reboots after
+    /// [`FaultConfig::reboot_rounds`] rounds).
+    pub crash_prob: f64,
+    /// Rounds a crashed device stays offline before rejoining.
+    pub reboot_rounds: usize,
+    /// Probability a healthy device leaves the cohort mid-round, permanently.
+    pub churn_prob: f64,
+    /// Probability a background app contends for CPU this round.
+    pub contention_prob: f64,
+    /// Compute-time multiplier while contended (>= 1).
+    pub contention_factor: f64,
+    /// Probability any single transfer attempt is lost.
+    pub loss_prob: f64,
+    /// Probability a network outage window opens this round.
+    pub outage_prob: f64,
+    /// Outage start times are drawn uniformly in `[0, horizon)` seconds from
+    /// round start (set it near the expected round makespan).
+    pub outage_horizon_s: f64,
+    /// Duration of each outage window, seconds.
+    pub outage_duration_s: f64,
+}
+
+impl FaultConfig {
+    /// A configuration that injects nothing at all.
+    pub fn none() -> Self {
+        FaultConfig {
+            crash_prob: 0.0,
+            reboot_rounds: 1,
+            churn_prob: 0.0,
+            contention_prob: 0.0,
+            contention_factor: 1.0,
+            loss_prob: 0.0,
+            outage_prob: 0.0,
+            outage_horizon_s: 0.0,
+            outage_duration_s: 0.0,
+        }
+    }
+
+    /// Start from [`FaultConfig::none`] and set the crash probability.
+    pub fn with_crash_prob(mut self, p: f64) -> Self {
+        self.crash_prob = p;
+        self
+    }
+
+    /// Set the per-transfer loss probability.
+    pub fn with_loss_prob(mut self, p: f64) -> Self {
+        self.loss_prob = p;
+        self
+    }
+
+    /// Set the per-round churn probability.
+    pub fn with_churn_prob(mut self, p: f64) -> Self {
+        self.churn_prob = p;
+        self
+    }
+
+    /// Set the contention probability and slowdown factor.
+    pub fn with_contention(mut self, prob: f64, factor: f64) -> Self {
+        self.contention_prob = prob;
+        self.contention_factor = factor;
+        self
+    }
+
+    /// Set the outage probability and window shape.
+    pub fn with_outages(mut self, prob: f64, horizon_s: f64, duration_s: f64) -> Self {
+        self.outage_prob = prob;
+        self.outage_horizon_s = horizon_s;
+        self.outage_duration_s = duration_s;
+        self
+    }
+
+    /// True when this configuration can never inject a fault.
+    pub fn is_quiet(&self) -> bool {
+        self.crash_prob == 0.0
+            && self.churn_prob == 0.0
+            && self.contention_prob == 0.0
+            && self.loss_prob == 0.0
+            && self.outage_prob == 0.0
+    }
+
+    /// Check every knob is in range.
+    ///
+    /// # Panics
+    /// Panics on probabilities outside `[0, 1]`, a contention factor below
+    /// 1, or negative durations.
+    pub fn validate(&self) {
+        for (name, p) in [
+            ("crash_prob", self.crash_prob),
+            ("churn_prob", self.churn_prob),
+            ("contention_prob", self.contention_prob),
+            ("loss_prob", self.loss_prob),
+            ("outage_prob", self.outage_prob),
+        ] {
+            assert!(
+                (0.0..=1.0).contains(&p) && p.is_finite(),
+                "{name} must be a probability, got {p}"
+            );
+        }
+        assert!(
+            self.contention_factor >= 1.0 && self.contention_factor.is_finite(),
+            "contention_factor must be >= 1"
+        );
+        assert!(
+            self.outage_horizon_s >= 0.0 && self.outage_duration_s >= 0.0,
+            "outage windows must be non-negative"
+        );
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig::none()
+    }
+}
+
+/// What the plan decrees for one device in one round.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub enum DeviceFate {
+    /// Participates normally.
+    Healthy,
+    /// Crashes mid-round after completing this fraction of its local
+    /// compute; its partial work is lost and it reboots later.
+    Crash {
+        /// Fraction of local compute completed when the crash hits, in
+        /// `[0, 1)`.
+        at_frac: f64,
+    },
+    /// Leaves the cohort mid-round (same in-round effect as a crash) and
+    /// never returns.
+    Depart {
+        /// Fraction of local compute completed at departure, in `[0, 1)`.
+        at_frac: f64,
+    },
+    /// Offline this whole round (rebooting after a crash).
+    Offline,
+    /// Permanently gone (churned out in an earlier round).
+    Departed,
+}
+
+impl DeviceFate {
+    /// Whether the device is available at round start.
+    pub fn is_online(&self) -> bool {
+        !matches!(self, DeviceFate::Offline | DeviceFate::Departed)
+    }
+}
+
+/// The materialized fault schedule: per-round per-device fates, contention
+/// multipliers and per-round outage windows, all derived from one seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    config: FaultConfig,
+    n_devices: usize,
+    n_rounds: usize,
+    seed: u64,
+    /// Row-major `[round * n_devices + device]`.
+    fates: Vec<DeviceFate>,
+    /// Compute-time multipliers, same layout as `fates`.
+    contention: Vec<f64>,
+    /// Per-round outage windows `(start_s, end_s)` relative to round start.
+    outages: Vec<Vec<(f64, f64)>>,
+    /// Devices departed by the end of the plan (fate carried past the
+    /// planned horizon).
+    departed_at_end: Vec<bool>,
+}
+
+impl FaultPlan {
+    /// Generate a plan. Draw counts per cell are fixed regardless of which
+    /// faults fire, so two configs with the same seed disagree only where
+    /// their probabilities do.
+    ///
+    /// # Panics
+    /// Panics via [`FaultConfig::validate`] on an invalid config, or when
+    /// `n_devices == 0`.
+    pub fn generate(config: FaultConfig, n_devices: usize, n_rounds: usize, seed: u64) -> Self {
+        config.validate();
+        assert!(n_devices > 0, "fault plan needs at least one device");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut fates = Vec::with_capacity(n_devices * n_rounds);
+        let mut contention = Vec::with_capacity(n_devices * n_rounds);
+        let mut outages = Vec::with_capacity(n_rounds);
+        let mut offline_for = vec![0usize; n_devices];
+        let mut departed = vec![false; n_devices];
+
+        for _round in 0..n_rounds {
+            let outage_u: f64 = rng.gen();
+            let start_u: f64 = rng.gen();
+            let mut windows = Vec::new();
+            if outage_u < config.outage_prob {
+                let start = start_u * config.outage_horizon_s;
+                windows.push((start, start + config.outage_duration_s));
+            }
+            outages.push(windows);
+
+            for j in 0..n_devices {
+                // Fixed draw order: crash, fraction, churn, contention.
+                let crash_u: f64 = rng.gen();
+                let frac_u: f64 = rng.gen();
+                let churn_u: f64 = rng.gen();
+                let cont_u: f64 = rng.gen();
+
+                let fate = if departed[j] {
+                    DeviceFate::Departed
+                } else if offline_for[j] > 0 {
+                    offline_for[j] -= 1;
+                    DeviceFate::Offline
+                } else if churn_u < config.churn_prob {
+                    departed[j] = true;
+                    DeviceFate::Depart { at_frac: frac_u }
+                } else if crash_u < config.crash_prob {
+                    offline_for[j] = config.reboot_rounds;
+                    DeviceFate::Crash { at_frac: frac_u }
+                } else {
+                    DeviceFate::Healthy
+                };
+                fates.push(fate);
+                contention.push(if fate.is_online() && cont_u < config.contention_prob {
+                    config.contention_factor
+                } else {
+                    1.0
+                });
+            }
+        }
+
+        FaultPlan {
+            config,
+            n_devices,
+            n_rounds,
+            seed,
+            fates,
+            contention,
+            outages,
+            departed_at_end: departed,
+        }
+    }
+
+    /// The configuration this plan was generated from.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// Number of devices covered.
+    pub fn n_devices(&self) -> usize {
+        self.n_devices
+    }
+
+    /// Number of rounds planned. Rounds past the horizon are fault-free
+    /// (departed devices stay departed).
+    pub fn n_rounds(&self) -> usize {
+        self.n_rounds
+    }
+
+    /// Fate of `device` in `round`.
+    ///
+    /// # Panics
+    /// Panics if `device >= n_devices`.
+    pub fn fate(&self, round: usize, device: usize) -> DeviceFate {
+        assert!(device < self.n_devices, "device index out of range");
+        if round >= self.n_rounds {
+            return if self.departed_at_end[device] {
+                DeviceFate::Departed
+            } else {
+                DeviceFate::Healthy
+            };
+        }
+        self.fates[round * self.n_devices + device]
+    }
+
+    /// Compute-time multiplier for `device` in `round` (1.0 = no
+    /// contention).
+    pub fn contention(&self, round: usize, device: usize) -> f64 {
+        assert!(device < self.n_devices, "device index out of range");
+        if round >= self.n_rounds {
+            return 1.0;
+        }
+        self.contention[round * self.n_devices + device]
+    }
+
+    /// Network outage windows for `round`, `(start_s, end_s)` from round
+    /// start.
+    pub fn outages(&self, round: usize) -> &[(f64, f64)] {
+        if round >= self.n_rounds {
+            return &[];
+        }
+        &self.outages[round]
+    }
+
+    /// A stable 64-bit digest of the whole plan — two plans with the same
+    /// fingerprint injected the same faults. Used by replay-identity tests.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = 0xcbf29ce484222325u64; // FNV offset basis
+        let mut mix = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x100000001b3);
+        };
+        mix(self.n_devices as u64);
+        mix(self.n_rounds as u64);
+        for fate in &self.fates {
+            let (tag, frac) = match fate {
+                DeviceFate::Healthy => (0u64, 0.0),
+                DeviceFate::Crash { at_frac } => (1, *at_frac),
+                DeviceFate::Depart { at_frac } => (2, *at_frac),
+                DeviceFate::Offline => (3, 0.0),
+                DeviceFate::Departed => (4, 0.0),
+            };
+            mix(tag);
+            mix(frac.to_bits());
+        }
+        for c in &self.contention {
+            mix(c.to_bits());
+        }
+        for windows in &self.outages {
+            for (s, e) in windows {
+                mix(s.to_bits());
+                mix(e.to_bits());
+            }
+        }
+        h
+    }
+}
+
+/// Counter-based deterministic uniform stream (splitmix64). Independent of
+/// the simulation's main RNG, so consuming it never perturbs jitter or
+/// training randomness — the property that keeps fault-free chaos runs
+/// bit-identical to the plain simulator.
+#[derive(Debug, Clone)]
+pub struct DrawStream {
+    state: u64,
+}
+
+impl DrawStream {
+    /// A stream seeded from an arbitrary value.
+    pub fn new(seed: u64) -> Self {
+        DrawStream { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Next uniform value in `[0, 1)`.
+    pub fn next_u01(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// The query interface a round controller consumes: plan lookups plus
+/// derived auxiliary draw streams for per-transfer decisions.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+}
+
+impl FaultInjector {
+    /// Wrap an existing plan.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultInjector { plan }
+    }
+
+    /// Generate a plan and wrap it.
+    pub fn from_config(config: FaultConfig, n_devices: usize, n_rounds: usize, seed: u64) -> Self {
+        FaultInjector::new(FaultPlan::generate(config, n_devices, n_rounds, seed))
+    }
+
+    /// An injector that never injects anything (for `n_devices` devices).
+    pub fn quiet(n_devices: usize) -> Self {
+        FaultInjector::from_config(FaultConfig::none(), n_devices, 0, 0)
+    }
+
+    /// The underlying plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Fate of `device` in `round` (see [`FaultPlan::fate`]).
+    pub fn fate(&self, round: usize, device: usize) -> DeviceFate {
+        self.plan.fate(round, device)
+    }
+
+    /// Contention multiplier (see [`FaultPlan::contention`]).
+    pub fn contention(&self, round: usize, device: usize) -> f64 {
+        self.plan.contention(round, device)
+    }
+
+    /// Outage windows for `round`.
+    pub fn outages(&self, round: usize) -> &[(f64, f64)] {
+        self.plan.outages(round)
+    }
+
+    /// Per-transfer loss probability from the config.
+    pub fn loss_prob(&self) -> f64 {
+        self.plan.config.loss_prob
+    }
+
+    /// A deterministic draw stream scoped to `(round, channel)` — use a
+    /// distinct `channel` per logical consumer (e.g. device index for
+    /// phase-1 transfers, `n_devices + index` for rescue transfers) so
+    /// streams never alias.
+    pub fn draw_stream(&self, round: usize, channel: usize) -> DrawStream {
+        let seed = self
+            .plan
+            .seed
+            .wrapping_mul(0x9e3779b97f4a7c15)
+            .wrapping_add((round as u64) << 32)
+            .wrapping_add(channel as u64 + 1);
+        DrawStream::new(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chaos_config() -> FaultConfig {
+        FaultConfig::none()
+            .with_crash_prob(0.3)
+            .with_churn_prob(0.05)
+            .with_loss_prob(0.1)
+            .with_contention(0.2, 1.5)
+            .with_outages(0.25, 30.0, 5.0)
+    }
+
+    #[test]
+    fn same_seed_gives_identical_plans() {
+        let a = FaultPlan::generate(chaos_config(), 6, 40, 42);
+        let b = FaultPlan::generate(chaos_config(), 6, 40, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let a = FaultPlan::generate(chaos_config(), 6, 40, 1);
+        let b = FaultPlan::generate(chaos_config(), 6, 40, 2);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn quiet_plan_is_all_healthy() {
+        let plan = FaultPlan::generate(FaultConfig::none(), 4, 20, 7);
+        for r in 0..25 {
+            for j in 0..4 {
+                assert_eq!(plan.fate(r, j), DeviceFate::Healthy);
+                assert_eq!(plan.contention(r, j), 1.0);
+            }
+            assert!(plan.outages(r).is_empty());
+        }
+        assert!(FaultConfig::none().is_quiet());
+        assert!(!chaos_config().is_quiet());
+    }
+
+    #[test]
+    fn crash_is_followed_by_reboot_rounds_offline() {
+        let mut config = FaultConfig::none().with_crash_prob(1.0);
+        config.reboot_rounds = 2;
+        let plan = FaultPlan::generate(config, 1, 6, 3);
+        // Round 0 crashes, rounds 1-2 offline, round 3 crashes again, ...
+        assert!(matches!(plan.fate(0, 0), DeviceFate::Crash { .. }));
+        assert_eq!(plan.fate(1, 0), DeviceFate::Offline);
+        assert_eq!(plan.fate(2, 0), DeviceFate::Offline);
+        assert!(matches!(plan.fate(3, 0), DeviceFate::Crash { .. }));
+    }
+
+    #[test]
+    fn churn_is_permanent_and_carries_past_horizon() {
+        let config = FaultConfig::none().with_churn_prob(1.0);
+        let plan = FaultPlan::generate(config, 2, 3, 5);
+        assert!(matches!(plan.fate(0, 0), DeviceFate::Depart { .. }));
+        assert_eq!(plan.fate(1, 0), DeviceFate::Departed);
+        assert_eq!(plan.fate(2, 1), DeviceFate::Departed);
+        // Past the planned horizon the departure sticks.
+        assert_eq!(plan.fate(10, 0), DeviceFate::Departed);
+    }
+
+    #[test]
+    fn crash_fractions_are_valid() {
+        let plan = FaultPlan::generate(chaos_config(), 8, 50, 11);
+        for r in 0..50 {
+            for j in 0..8 {
+                if let DeviceFate::Crash { at_frac } | DeviceFate::Depart { at_frac } =
+                    plan.fate(r, j)
+                {
+                    assert!((0.0..1.0).contains(&at_frac));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn contention_only_hits_online_devices() {
+        let config = chaos_config().with_contention(1.0, 2.0);
+        let plan = FaultPlan::generate(config, 4, 30, 13);
+        for r in 0..30 {
+            for j in 0..4 {
+                let c = plan.contention(r, j);
+                if plan.fate(r, j).is_online() {
+                    assert_eq!(c, 2.0);
+                } else {
+                    assert_eq!(c, 1.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn outage_windows_respect_config_shape() {
+        let config = FaultConfig::none().with_outages(1.0, 20.0, 4.0);
+        let plan = FaultPlan::generate(config, 2, 10, 17);
+        for r in 0..10 {
+            let windows = plan.outages(r);
+            assert_eq!(windows.len(), 1);
+            let (s, e) = windows[0];
+            assert!((0.0..20.0).contains(&s));
+            assert!((e - s - 4.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn draw_streams_are_deterministic_and_scoped() {
+        let inj = FaultInjector::from_config(chaos_config(), 3, 10, 99);
+        let a: Vec<f64> = {
+            let mut s = inj.draw_stream(2, 1);
+            (0..5).map(|_| s.next_u01()).collect()
+        };
+        let b: Vec<f64> = {
+            let mut s = inj.draw_stream(2, 1);
+            (0..5).map(|_| s.next_u01()).collect()
+        };
+        assert_eq!(a, b);
+        let mut other = inj.draw_stream(2, 2);
+        assert_ne!(a[0], other.next_u01());
+        for v in a {
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_probability_rejected() {
+        let _ = FaultPlan::generate(FaultConfig::none().with_crash_prob(1.5), 2, 5, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn empty_cohort_rejected() {
+        let _ = FaultPlan::generate(FaultConfig::none(), 0, 5, 0);
+    }
+}

@@ -14,6 +14,7 @@ use fedsched_data::Dataset;
 use fedsched_device::{Device, TrainingWorkload};
 use fedsched_net::Link;
 use fedsched_nn::ModelKind;
+use fedsched_telemetry::{Event, Probe};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
@@ -69,6 +70,17 @@ impl<'a> AsyncFlSetup<'a> {
     /// # Panics
     /// Panics if `assignment`/`devices` lengths differ or nobody has data.
     pub fn run(&self) -> AsyncFlOutcome {
+        self.run_traced(&Probe::disabled())
+    }
+
+    /// [`AsyncFlSetup::run`], emitting one `async_merge` event per merged
+    /// update (the staleness-discount decision point) through `probe`.
+    /// Telemetry never perturbs the simulation: a disabled probe makes this
+    /// exactly `run`.
+    ///
+    /// # Panics
+    /// Panics if `assignment`/`devices` lengths differ or nobody has data.
+    pub fn run_traced(&self, probe: &Probe) -> AsyncFlOutcome {
         assert_eq!(
             self.assignment.len(),
             self.devices.len(),
@@ -148,6 +160,12 @@ impl<'a> AsyncFlSetup<'a> {
             let update = net.flat_params();
 
             let weight = (self.eta / (1.0 + staleness as f64)) as f32;
+            probe.emit(|| Event::AsyncMerge {
+                t_s: t,
+                user: j,
+                staleness,
+                weight: f64::from(weight),
+            });
             for (g, &u) in global.iter_mut().zip(&update) {
                 *g = (1.0 - weight) * *g + weight * u;
             }
@@ -258,6 +276,32 @@ mod tests {
         let out = setup(&train, &test, 0.5).run();
         assert_eq!(out.merged_updates, 0);
         assert_eq!(out.mean_staleness, 0.0);
+    }
+
+    #[test]
+    fn traced_run_logs_merges_without_perturbing_them() {
+        use fedsched_telemetry::{Event, EventLog, Probe};
+        use std::sync::Arc;
+        let (train, test) = Dataset::generate_split(DatasetKind::MnistLike, 200, 100, 5);
+        let plain = setup(&train, &test, 60.0).run();
+        let log = Arc::new(EventLog::new());
+        let traced = setup(&train, &test, 60.0).run_traced(&Probe::attached(log.clone()));
+        assert_eq!(plain.global, traced.global);
+        assert_eq!(plain.merged_updates, traced.merged_updates);
+        let merges: Vec<(usize, f64)> = log
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                Event::AsyncMerge {
+                    staleness, weight, ..
+                } => Some((*staleness, *weight)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(merges.len(), traced.merged_updates);
+        for (staleness, weight) in merges {
+            assert!((weight - 0.6 / (1.0 + staleness as f64)).abs() < 1e-6);
+        }
     }
 
     #[test]

@@ -11,6 +11,7 @@
 use fedsched_data::Dataset;
 use fedsched_nn::ModelKind;
 use fedsched_parallel::{parallel_map, recommended_threads};
+use fedsched_telemetry::{Event, Probe};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
@@ -26,6 +27,14 @@ pub enum Topology {
 }
 
 impl Topology {
+    /// Display name used in telemetry and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Topology::Ring => "ring",
+            Topology::Complete => "complete",
+        }
+    }
+
     /// Row `i` of the mixing matrix for `n` users.
     fn weights(&self, i: usize, n: usize) -> Vec<f64> {
         let mut w = vec![0.0; n];
@@ -90,6 +99,17 @@ impl<'a> GossipSetup<'a> {
     /// # Panics
     /// Panics if no user has data.
     pub fn run(&self) -> GossipOutcome {
+        self.run_traced(&Probe::disabled())
+    }
+
+    /// [`GossipSetup::run`], emitting one `gossip_mix` event per mixing
+    /// round (with the post-mix consensus gap) through `probe`. The gap is
+    /// computed lazily inside the emission closure, so a disabled probe
+    /// pays nothing.
+    ///
+    /// # Panics
+    /// Panics if no user has data.
+    pub fn run_traced(&self, probe: &Probe) -> GossipOutcome {
         assert!(
             self.assignment.iter().any(|a| !a.is_empty()),
             "gossip run needs at least one user with data"
@@ -142,28 +162,18 @@ impl<'a> GossipSetup<'a> {
                     out.into_iter().map(|v| v as f32).collect()
                 })
                 .collect();
+
+            probe.emit(|| Event::GossipMix {
+                round,
+                topology: self.topology.name().to_string(),
+                consensus_gap: consensus_gap_of(&replicas),
+            });
         }
 
         // Consensus statistics.
-        let dim = replicas[0].len();
-        let mut consensus = vec![0.0f64; dim];
-        for r in &replicas {
-            for (c, &v) in consensus.iter_mut().zip(r) {
-                *c += f64::from(v) / n as f64;
-            }
-        }
+        let consensus = consensus_mean(&replicas);
         let consensus_f32: Vec<f32> = consensus.iter().map(|&v| v as f32).collect();
-        let consensus_gap = replicas
-            .iter()
-            .map(|r| {
-                r.iter()
-                    .zip(&consensus)
-                    .map(|(&a, &c)| (f64::from(a) - c).powi(2))
-                    .sum::<f64>()
-                    .sqrt()
-            })
-            .sum::<f64>()
-            / n as f64;
+        let consensus_gap = consensus_gap_of(&replicas);
 
         let evaluate = |params: &[f32]| -> f64 {
             let mut net = self.model.build_with_threads(dims, self.seed, 1);
@@ -184,6 +194,34 @@ impl<'a> GossipSetup<'a> {
             consensus_gap,
         }
     }
+}
+
+/// Element-wise mean of all replicas (the consensus model), in f64.
+fn consensus_mean(replicas: &[Vec<f32>]) -> Vec<f64> {
+    let n = replicas.len();
+    let mut consensus = vec![0.0f64; replicas[0].len()];
+    for r in replicas {
+        for (c, &v) in consensus.iter_mut().zip(r) {
+            *c += f64::from(v) / n as f64;
+        }
+    }
+    consensus
+}
+
+/// Mean L2 distance of replicas from their consensus (0 = full consensus).
+fn consensus_gap_of(replicas: &[Vec<f32>]) -> f64 {
+    let consensus = consensus_mean(replicas);
+    replicas
+        .iter()
+        .map(|r| {
+            r.iter()
+                .zip(&consensus)
+                .map(|(&a, &c)| (f64::from(a) - c).powi(2))
+                .sum::<f64>()
+                .sqrt()
+        })
+        .sum::<f64>()
+        / replicas.len() as f64
 }
 
 #[cfg(test)]
@@ -251,6 +289,32 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn traced_run_logs_one_mix_per_round() {
+        use fedsched_telemetry::{Event, EventLog, Probe};
+        use std::sync::Arc;
+        let (train, test) = datasets();
+        let log = Arc::new(EventLog::new());
+        let out = setup(&train, &test, Topology::Ring).run_traced(&Probe::attached(log.clone()));
+        let gaps: Vec<(usize, f64)> = log
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                Event::GossipMix {
+                    round,
+                    topology,
+                    consensus_gap,
+                } => {
+                    assert_eq!(topology, "ring");
+                    Some((*round, *consensus_gap))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(gaps.len(), 6);
+        assert_eq!(gaps.last().unwrap().1, out.consensus_gap);
     }
 
     #[test]

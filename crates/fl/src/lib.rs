@@ -7,7 +7,10 @@
 //!   and link models to measure wall-clock round times (Figs. 5 and 7,
 //!   Table II) — no actual ML runs, so 50-round sweeps cost milliseconds.
 //!   Device thermal state persists across rounds, exactly like the paper's
-//!   continuously-training phones.
+//!   continuously-training phones. [`resilient::ResilientRoundSim`] layers a
+//!   fault model on top — crashes, churn, lossy links, retries, deadlines
+//!   and mid-round straggler rescue — while staying bit-identical to
+//!   `RoundSim` when no faults are configured.
 //! * [`engine`] actually trains: synchronous FedAvg over `fedsched-nn`
 //!   networks on partitioned synthetic data (Figs. 2, 3 and 6, Tables III
 //!   and V). Clients train in parallel on scoped threads; aggregation is
@@ -25,6 +28,7 @@ pub mod asyncfl;
 pub mod engine;
 pub mod gossip;
 pub mod metrics;
+pub mod resilient;
 pub mod roundsim;
 pub mod secure;
 pub mod server;
@@ -34,6 +38,7 @@ pub use asyncfl::{AsyncFlOutcome, AsyncFlSetup};
 pub use engine::{FlOutcome, FlSetup};
 pub use gossip::{GossipOutcome, GossipSetup, Topology};
 pub use metrics::{analyze_round, cosine_similarity, DivergenceReport};
+pub use resilient::{ChaosReport, ResilientRoundSim, RoundOutcome};
 pub use roundsim::{RoundSim, TimingReport};
 pub use secure::{mask_update, secure_fedavg, unmask_sum};
 pub use server::fedavg_aggregate;

@@ -1,0 +1,983 @@
+//! A resilient round controller: [`RoundSim`](crate::RoundSim) semantics
+//! under injected faults, with retries, deadlines, straggler rescue and
+//! between-round rescheduling.
+//!
+//! Production federated learning loses clients constantly — phones crash,
+//! churn out of the cohort, drop packets and slow down under background
+//! load. [`ResilientRoundSim`] replays a schedule against the device
+//! simulator while a [`FaultInjector`] decrees per-round fates, and models
+//! the server-side countermeasures:
+//!
+//! * **Retries** — every model push/pull goes through
+//!   [`LossyLink::transfer`] under a [`RetryPolicy`] (capped exponential
+//!   backoff, per-attempt timeout), all simulated in round time;
+//! * **Deadlines** — an optional per-round deadline cuts stragglers off
+//!   with partial credit for the shards they finished;
+//! * **Rescue** — once failures are detected, the failed users' unfinished
+//!   shards are greedily reassigned (LPT) to the round's survivors, who
+//!   receive an extra transfer and compute the remainder;
+//! * **Rescheduling** — an optional scheduler re-plans the shard allocation
+//!   every few rounds from [`OnlineProfiler`] estimates fitted to what the
+//!   faulted cohort actually delivered.
+//!
+//! Determinism contract: with a quiet injector and the default
+//! configuration, `ResilientRoundSim` consumes the main RNG stream exactly
+//! like `RoundSim` (one comm sample + one compute call per participating
+//! device, in device-index order) and produces a bit-identical
+//! [`TimingReport`]. All fault-only randomness (loss decisions, backoff
+//! jitter) comes from counter-based [`DrawStream`](fedsched_faults::DrawStream)s.
+
+use fedsched_core::{CostMatrix, Schedule, Scheduler};
+use fedsched_device::{Device, TrainingWorkload};
+use fedsched_faults::{DeviceFate, FaultInjector};
+use fedsched_net::{Link, LossyLink, RetryPolicy};
+use fedsched_profiler::{LinearProfile, OnlineProfiler};
+use fedsched_telemetry::{Event, Probe};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+use crate::roundsim::TimingReport;
+
+/// Cost profile assigned to devices the server knows nothing about (never
+/// observed) or knows to be gone: large but finite, so cost matrices stay
+/// valid while schedulers starve the device of work.
+const PENALTY_FIXED_S: f64 = 1e6;
+/// Per-sample slope of the penalty profile.
+const PENALTY_PER_SAMPLE_S: f64 = 1e3;
+/// Forgetting factor for the per-device online profilers: recent rounds
+/// dominate, so estimates track thermal drift and contention.
+const PROFILER_LAMBDA: f64 = 0.9;
+
+/// What one simulated round delivered under faults.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct RoundOutcome {
+    /// Global round index.
+    pub round: usize,
+    /// Shards scheduled this round.
+    pub scheduled: usize,
+    /// Shards completed by their originally assigned user (including
+    /// partial credit for deadline-cut stragglers).
+    pub completed: usize,
+    /// Shards recovered by reassignment to survivors.
+    pub rescued: usize,
+    /// Shards lost outright (crashes, failed transfers, no rescue target).
+    pub lost_shards: usize,
+    /// Fraction of scheduled shards aggregated: `(completed + rescued) /
+    /// scheduled`.
+    pub coverage: f64,
+    /// Synchronous round time including any rescue phase.
+    pub makespan_s: f64,
+    /// Users that lost at least one shard in the primary phase.
+    pub failed_users: usize,
+    /// Users cut off by the round deadline.
+    pub timed_out: usize,
+}
+
+/// Full report of a chaos run: plain timing plus per-round fault outcomes.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ChaosReport {
+    /// Timing statistics, shape-compatible with [`RoundSim`](crate::RoundSim)
+    /// output.
+    pub timing: TimingReport,
+    /// One outcome per simulated round.
+    pub rounds: Vec<RoundOutcome>,
+}
+
+impl ChaosReport {
+    /// Total shards lost across all rounds.
+    pub fn total_lost(&self) -> usize {
+        self.rounds.iter().map(|r| r.lost_shards).sum()
+    }
+
+    /// Total shards rescued across all rounds.
+    pub fn total_rescued(&self) -> usize {
+        self.rounds.iter().map(|r| r.rescued).sum()
+    }
+
+    /// Mean per-round coverage.
+    pub fn mean_coverage(&self) -> f64 {
+        if self.rounds.is_empty() {
+            return 1.0;
+        }
+        self.rounds.iter().map(|r| r.coverage).sum::<f64>() / self.rounds.len() as f64
+    }
+}
+
+/// Between-round rescheduling configuration.
+struct Rescheduler {
+    scheduler: Box<dyn Scheduler>,
+    every: usize,
+}
+
+/// Phase-1 result for one participating device.
+enum Phase1 {
+    /// Delivered all its shards.
+    Survivor {
+        finish: f64,
+        comm: f64,
+        compute: f64,
+        shards: usize,
+    },
+    /// Alive but cut off by the deadline; delivered `done` shards.
+    Cut {
+        comm: f64,
+        done: usize,
+        at_risk: usize,
+    },
+    /// Transfer never went through (retries exhausted).
+    CommFail { elapsed: f64, shards: usize },
+    /// Crashed or churned mid-compute at `t_fail`.
+    Fail { t_fail: f64, shards: usize },
+    /// Offline the whole round.
+    Offline { shards: usize },
+}
+
+/// [`RoundSim`](crate::RoundSim) with a fault model and recovery controls.
+pub struct ResilientRoundSim {
+    devices: Vec<Device>,
+    workload: TrainingWorkload,
+    link: Link,
+    model_bytes: f64,
+    rng: StdRng,
+    probe: Probe,
+    rounds_done: usize,
+    injector: FaultInjector,
+    retry: RetryPolicy,
+    deadline_s: Option<f64>,
+    rescue: bool,
+    rescheduler: Option<Rescheduler>,
+    profilers: Vec<OnlineProfiler>,
+    has_prior: bool,
+    /// Devices the server has observed leaving for good.
+    known_gone: Vec<bool>,
+}
+
+impl ResilientRoundSim {
+    /// Create a resilient simulator over `devices` with faults drawn from
+    /// `injector`. Defaults: single-attempt transfers, no deadline, rescue
+    /// enabled, no rescheduling.
+    ///
+    /// # Panics
+    /// Panics if the injector was planned for a different cohort size.
+    pub fn new(
+        devices: Vec<Device>,
+        workload: TrainingWorkload,
+        link: Link,
+        model_bytes: f64,
+        seed: u64,
+        injector: FaultInjector,
+    ) -> Self {
+        assert_eq!(
+            injector.plan().n_devices(),
+            devices.len(),
+            "fault plan/cohort size mismatch"
+        );
+        let n = devices.len();
+        ResilientRoundSim {
+            devices,
+            workload,
+            link,
+            model_bytes,
+            rng: StdRng::seed_from_u64(seed),
+            probe: Probe::disabled(),
+            rounds_done: 0,
+            injector,
+            retry: RetryPolicy::single_attempt(),
+            deadline_s: None,
+            rescue: true,
+            rescheduler: None,
+            profilers: vec![OnlineProfiler::new(PROFILER_LAMBDA); n],
+            has_prior: false,
+            known_gone: vec![false; n],
+        }
+    }
+
+    /// Attach a telemetry probe (builder form). Emits the same
+    /// `round_start` / `user_span` / `round_end` timeline as
+    /// [`RoundSim`](crate::RoundSim), plus the fault vocabulary
+    /// (`fault_injected`, `transfer_retry`, `user_timeout`,
+    /// `shards_reassigned`, `round_degraded`).
+    pub fn with_probe(mut self, probe: Probe) -> Self {
+        for d in &mut self.devices {
+            d.set_probe(probe.clone());
+        }
+        self.probe = probe;
+        self
+    }
+
+    /// Set the retry policy applied to every transfer.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        retry.validate();
+        self.retry = retry;
+        self
+    }
+
+    /// Set (or clear) the per-round deadline. Stragglers past the deadline
+    /// are cut off with partial credit; crashed users are detected at the
+    /// deadline instead of when the rest of the round drains.
+    pub fn with_deadline(mut self, deadline_s: Option<f64>) -> Self {
+        if let Some(d) = deadline_s {
+            assert!(d > 0.0 && d.is_finite(), "deadline must be positive");
+        }
+        self.deadline_s = deadline_s;
+        self
+    }
+
+    /// Disable mid-round straggler rescue (failed users' shards are lost).
+    pub fn without_rescue(mut self) -> Self {
+        self.rescue = false;
+        self
+    }
+
+    /// Re-plan the shard allocation with `scheduler` every `every` rounds,
+    /// using online profiles fitted to observed (faulted) round behaviour.
+    ///
+    /// # Panics
+    /// Panics if `every == 0`.
+    pub fn with_rescheduler(mut self, scheduler: Box<dyn Scheduler>, every: usize) -> Self {
+        assert!(every > 0, "rescheduling interval must be positive");
+        self.rescheduler = Some(Rescheduler { scheduler, every });
+        self
+    }
+
+    /// Warm-start the per-device online profilers from offline profiles, so
+    /// the first reschedule has an estimate even for devices that have not
+    /// been observed yet.
+    ///
+    /// # Panics
+    /// Panics if `priors` does not match the cohort size.
+    pub fn with_priors(mut self, priors: &[LinearProfile]) -> Self {
+        assert_eq!(
+            priors.len(),
+            self.devices.len(),
+            "priors/cohort size mismatch"
+        );
+        self.profilers = priors
+            .iter()
+            .map(|p| OnlineProfiler::with_prior(PROFILER_LAMBDA, p))
+            .collect();
+        self.has_prior = true;
+        self
+    }
+
+    /// Number of devices.
+    pub fn n_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Borrow the devices (e.g. to inspect battery drain afterwards).
+    pub fn devices(&self) -> &[Device] {
+        &self.devices
+    }
+
+    /// The fault injector driving this run.
+    pub fn injector(&self) -> &FaultInjector {
+        &self.injector
+    }
+
+    /// Reset every device's thermal state (between experiment arms).
+    pub fn cool_down(&mut self) {
+        for d in &mut self.devices {
+            d.cool_down();
+        }
+    }
+
+    /// Simulate `rounds` synchronous rounds under faults, starting from
+    /// `schedule` (which a configured rescheduler may replace between
+    /// rounds). Device thermal state persists across rounds.
+    ///
+    /// # Panics
+    /// Panics if the schedule's user count differs from the cohort size.
+    pub fn run(&mut self, schedule: &Schedule, rounds: usize) -> ChaosReport {
+        assert_eq!(
+            schedule.shards.len(),
+            self.devices.len(),
+            "schedule/cohort size mismatch"
+        );
+        let n = self.devices.len();
+        let orig_total = schedule.total_shards();
+        let mut current = schedule.clone();
+        let mut per_round = Vec::with_capacity(rounds);
+        let mut user_totals = vec![0.0f64; n];
+        let mut straggler_comm = 0.0f64;
+        let mut outcomes = Vec::with_capacity(rounds);
+
+        for _ in 0..rounds {
+            let round = self.rounds_done;
+            let participants = current.shards.iter().filter(|&&k| k > 0).count();
+            self.probe.emit(|| Event::RoundStart {
+                round,
+                n_users: participants,
+            });
+
+            let outage_windows = self.injector.outages(round).to_vec();
+            for &(s, e) in &outage_windows {
+                self.probe.emit(|| Event::FaultInjected {
+                    round,
+                    device: None,
+                    kind: "outage".to_string(),
+                    magnitude: e - s,
+                });
+            }
+            let lossy =
+                LossyLink::new(self.link, self.injector.loss_prob()).with_outages(outage_windows);
+
+            // Phase 1: every scheduled device attempts its round. Device
+            // iteration order and main-RNG consumption match `RoundSim`
+            // exactly when no fault fires.
+            let mut entries: Vec<(usize, Phase1)> = Vec::new();
+            // Profiler observations `(device, samples, seconds)` gathered
+            // from everything the server actually received this round.
+            let mut observed: Vec<(usize, f64, f64)> = Vec::new();
+            for j in 0..n {
+                let k = current.shards[j];
+                let samples = (k as f64 * current.shard_size) as usize;
+                if samples == 0 {
+                    continue;
+                }
+                let fate = self.injector.fate(round, j);
+                if !fate.is_online() {
+                    if matches!(fate, DeviceFate::Departed) {
+                        self.known_gone[j] = true;
+                    }
+                    self.probe.emit(|| Event::UserTimeout {
+                        round,
+                        user: j,
+                        cause: "offline".to_string(),
+                        shards_at_risk: k,
+                    });
+                    entries.push((j, Phase1::Offline { shards: k }));
+                    continue;
+                }
+                let cont = self.injector.contention(round, j);
+                if cont > 1.0 {
+                    self.probe.emit(|| Event::FaultInjected {
+                        round,
+                        device: Some(j),
+                        kind: "contention".to_string(),
+                        magnitude: cont,
+                    });
+                }
+                let mut ds = self.injector.draw_stream(round, j);
+                let transfer = lossy.transfer(
+                    self.model_bytes,
+                    0.0,
+                    &self.retry,
+                    &mut self.rng,
+                    &mut || ds.next_u01(),
+                );
+                for (i, &(el, cause)) in transfer.failures.iter().enumerate() {
+                    self.probe.emit(|| Event::TransferRetry {
+                        round,
+                        user: j,
+                        attempt: i + 1,
+                        cause: cause.as_str().to_string(),
+                        elapsed_s: el,
+                    });
+                }
+                if !transfer.delivered {
+                    self.probe.emit(|| Event::UserTimeout {
+                        round,
+                        user: j,
+                        cause: "comm".to_string(),
+                        shards_at_risk: k,
+                    });
+                    entries.push((
+                        j,
+                        Phase1::CommFail {
+                            elapsed: transfer.elapsed_s,
+                            shards: k,
+                        },
+                    ));
+                    continue;
+                }
+                let comm = transfer.elapsed_s;
+                let compute = self.devices[j].train_samples(&self.workload, samples) * cont;
+                match fate {
+                    DeviceFate::Crash { at_frac } | DeviceFate::Depart { at_frac } => {
+                        let kind = if matches!(fate, DeviceFate::Depart { .. }) {
+                            self.known_gone[j] = true;
+                            "churn"
+                        } else {
+                            "crash"
+                        };
+                        self.probe.emit(|| Event::FaultInjected {
+                            round,
+                            device: Some(j),
+                            kind: kind.to_string(),
+                            magnitude: at_frac,
+                        });
+                        self.probe.emit(|| Event::UserTimeout {
+                            round,
+                            user: j,
+                            cause: kind.to_string(),
+                            shards_at_risk: k,
+                        });
+                        entries.push((
+                            j,
+                            Phase1::Fail {
+                                t_fail: comm + at_frac * compute,
+                                shards: k,
+                            },
+                        ));
+                    }
+                    _ => {
+                        let finish = comm + compute;
+                        match self.deadline_s {
+                            Some(d) if finish > d => {
+                                let progress = if compute > 0.0 {
+                                    ((d - comm) / compute).clamp(0.0, 1.0)
+                                } else {
+                                    0.0
+                                };
+                                let done = ((k as f64 * progress).floor() as usize).min(k - 1);
+                                let span_compute = (d - comm).max(0.0);
+                                self.probe.emit(|| Event::UserSpan {
+                                    round,
+                                    user: j,
+                                    compute_s: span_compute,
+                                    comm_s: comm,
+                                });
+                                self.probe.emit(|| Event::UserTimeout {
+                                    round,
+                                    user: j,
+                                    cause: "deadline".to_string(),
+                                    shards_at_risk: k - done,
+                                });
+                                observed.push((j, done as f64 * current.shard_size, span_compute));
+                                entries.push((
+                                    j,
+                                    Phase1::Cut {
+                                        comm,
+                                        done,
+                                        at_risk: k - done,
+                                    },
+                                ));
+                            }
+                            _ => {
+                                self.probe.emit(|| Event::UserSpan {
+                                    round,
+                                    user: j,
+                                    compute_s: compute,
+                                    comm_s: comm,
+                                });
+                                observed.push((j, samples as f64, compute));
+                                entries.push((
+                                    j,
+                                    Phase1::Survivor {
+                                        finish,
+                                        comm,
+                                        compute,
+                                        shards: k,
+                                    },
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Crashed users are detected at the deadline when one is set;
+            // otherwise the server only notices once everyone who will
+            // respond has responded.
+            let mut responder_max = 0.0f64;
+            let mut fail_max = 0.0f64;
+            for (_, e) in &entries {
+                match e {
+                    Phase1::Survivor { finish, .. } => responder_max = responder_max.max(*finish),
+                    Phase1::Cut { .. } => {
+                        responder_max = responder_max.max(self.deadline_s.unwrap_or(0.0))
+                    }
+                    Phase1::CommFail { elapsed, .. } => fail_max = fail_max.max(*elapsed),
+                    Phase1::Fail { t_fail, .. } => fail_max = fail_max.max(*t_fail),
+                    Phase1::Offline { .. } => {}
+                }
+            }
+            let crash_det = self.deadline_s.unwrap_or(if responder_max > 0.0 {
+                responder_max
+            } else {
+                fail_max
+            });
+
+            // Aggregate phase 1: makespan/straggler selection runs in device
+            // index order with the same tie-breaking as `RoundSim`.
+            let mut worst = 0.0f64;
+            let mut worst_comm = 0.0f64;
+            let mut straggler = 0usize;
+            let mut completed = 0usize;
+            let mut failed_users = 0usize;
+            let mut timed_out = 0usize;
+            // Unfinished shards awaiting rescue: `(original user, count)`.
+            let mut pool: Vec<(usize, usize)> = Vec::new();
+            // When the server has detected every failure and can reassign.
+            let mut detection = 0.0f64;
+            for (j, e) in &entries {
+                // `total` is what the server waits on; `busy` is the user's
+                // own occupied time (they differ for crashed users, whose
+                // absence is only *noticed* at `crash_det`).
+                let (total, busy, comm_v) = match e {
+                    Phase1::Survivor {
+                        finish,
+                        comm,
+                        shards,
+                        ..
+                    } => {
+                        completed += shards;
+                        (*finish, *finish, *comm)
+                    }
+                    Phase1::Cut {
+                        comm,
+                        done,
+                        at_risk,
+                    } => {
+                        completed += done;
+                        pool.push((*j, *at_risk));
+                        let d = self.deadline_s.unwrap_or(0.0);
+                        detection = detection.max(d);
+                        failed_users += 1;
+                        timed_out += 1;
+                        (d, d, *comm)
+                    }
+                    Phase1::CommFail { elapsed, shards } => {
+                        pool.push((*j, *shards));
+                        detection = detection.max(*elapsed);
+                        failed_users += 1;
+                        (*elapsed, *elapsed, *elapsed)
+                    }
+                    Phase1::Fail { t_fail, shards } => {
+                        pool.push((*j, *shards));
+                        detection = detection.max(crash_det);
+                        failed_users += 1;
+                        (crash_det, *t_fail, 0.0)
+                    }
+                    Phase1::Offline { shards } => {
+                        pool.push((*j, *shards));
+                        failed_users += 1;
+                        (0.0, 0.0, 0.0)
+                    }
+                };
+                user_totals[*j] += busy;
+                if total > worst {
+                    worst = total;
+                    worst_comm = comm_v;
+                    straggler = *j;
+                }
+            }
+
+            // Phase 2: rescue. Reassign the pool per-shard (LPT greedy) to
+            // survivors; each rescuer pays an extra transfer plus the
+            // reassigned compute, simulated on the real device model.
+            let pool_total: usize = pool.iter().map(|(_, s)| s).sum();
+            let mut rescued = 0usize;
+            if self.rescue && pool_total > 0 {
+                struct Target {
+                    j: usize,
+                    avail: f64,
+                    per_shard: f64,
+                    assigned: usize,
+                }
+                let mut targets: Vec<Target> = entries
+                    .iter()
+                    .filter_map(|(j, e)| match e {
+                        Phase1::Survivor {
+                            finish,
+                            compute,
+                            shards,
+                            ..
+                        } => Some(Target {
+                            j: *j,
+                            avail: finish.max(detection),
+                            per_shard: compute / *shards as f64,
+                            assigned: 0,
+                        }),
+                        _ => None,
+                    })
+                    .collect();
+                if !targets.is_empty() {
+                    // `(from, to, shards)` reassignment ledger for telemetry.
+                    let mut ledger: Vec<(usize, usize, usize)> = Vec::new();
+                    for &(from, count) in &pool {
+                        for _ in 0..count {
+                            let ti = targets
+                                .iter()
+                                .enumerate()
+                                .min_by(|(_, a), (_, b)| {
+                                    let ca = a.avail + (a.assigned + 1) as f64 * a.per_shard;
+                                    let cb = b.avail + (b.assigned + 1) as f64 * b.per_shard;
+                                    ca.partial_cmp(&cb).expect("finite rescue costs")
+                                })
+                                .map(|(i, _)| i)
+                                .expect("targets non-empty");
+                            targets[ti].assigned += 1;
+                            let to = targets[ti].j;
+                            match ledger.iter_mut().find(|l| l.0 == from && l.1 == to) {
+                                Some(l) => l.2 += 1,
+                                None => ledger.push((from, to, 1)),
+                            }
+                        }
+                    }
+                    for &(from_user, to_user, shards) in &ledger {
+                        self.probe.emit(|| Event::ShardsReassigned {
+                            round,
+                            from_user,
+                            to_user,
+                            shards,
+                        });
+                    }
+                    // Execute in target index order so main-RNG consumption
+                    // is a pure function of the plan.
+                    for t in &targets {
+                        if t.assigned == 0 {
+                            continue;
+                        }
+                        let mut ds = self.injector.draw_stream(round, n + t.j);
+                        let transfer = lossy.transfer(
+                            self.model_bytes,
+                            t.avail,
+                            &self.retry,
+                            &mut self.rng,
+                            &mut || ds.next_u01(),
+                        );
+                        for (i, &(el, cause)) in transfer.failures.iter().enumerate() {
+                            self.probe.emit(|| Event::TransferRetry {
+                                round,
+                                user: t.j,
+                                attempt: i + 1,
+                                cause: cause.as_str().to_string(),
+                                elapsed_s: el,
+                            });
+                        }
+                        if !transfer.delivered {
+                            self.probe.emit(|| Event::UserTimeout {
+                                round,
+                                user: t.j,
+                                cause: "comm".to_string(),
+                                shards_at_risk: t.assigned,
+                            });
+                            user_totals[t.j] += transfer.elapsed_s;
+                            let at = t.avail + transfer.elapsed_s;
+                            if at > worst {
+                                worst = at;
+                                worst_comm = transfer.elapsed_s;
+                                straggler = t.j;
+                            }
+                            continue;
+                        }
+                        let extra_samples = (t.assigned as f64 * current.shard_size) as usize;
+                        let cont = self.injector.contention(round, t.j);
+                        let compute =
+                            self.devices[t.j].train_samples(&self.workload, extra_samples) * cont;
+                        rescued += t.assigned;
+                        observed.push((t.j, extra_samples as f64, compute));
+                        user_totals[t.j] += transfer.elapsed_s + compute;
+                        let finish = t.avail + transfer.elapsed_s + compute;
+                        if finish > worst {
+                            worst = finish;
+                            worst_comm = transfer.elapsed_s;
+                            straggler = t.j;
+                        }
+                    }
+                }
+            }
+
+            let scheduled = current.total_shards();
+            let lost = pool_total - rescued;
+            let coverage = if scheduled == 0 {
+                1.0
+            } else {
+                (completed + rescued) as f64 / scheduled as f64
+            };
+            if completed < scheduled {
+                self.probe.emit(|| Event::RoundDegraded {
+                    round,
+                    scheduled,
+                    completed,
+                    rescued,
+                    lost,
+                    coverage,
+                });
+            }
+            self.probe.emit(|| Event::RoundEnd {
+                round,
+                makespan_s: worst,
+                straggler,
+            });
+
+            per_round.push(worst);
+            straggler_comm += if worst > 0.0 { worst_comm / worst } else { 0.0 };
+            outcomes.push(RoundOutcome {
+                round,
+                scheduled,
+                completed,
+                rescued,
+                lost_shards: lost,
+                coverage,
+                makespan_s: worst,
+                failed_users,
+                timed_out,
+            });
+            self.rounds_done += 1;
+
+            for (j, samples, seconds) in observed {
+                self.profilers[j].observe(samples, seconds);
+            }
+
+            // Between-round rescheduling: re-plan the *next* round from the
+            // online profiles fitted above.
+            if let Some(rs) = &self.rescheduler {
+                if self.rounds_done.is_multiple_of(rs.every) && orig_total > 0 {
+                    let comm_est = self.link.round_seconds(self.model_bytes);
+                    let profiles: Vec<LinearProfile> = (0..n)
+                        .map(|j| {
+                            if self.known_gone[j]
+                                || (self.profilers[j].observations() == 0 && !self.has_prior)
+                            {
+                                LinearProfile::new(PENALTY_FIXED_S, PENALTY_PER_SAMPLE_S)
+                            } else {
+                                self.profilers[j].profile()
+                            }
+                        })
+                        .collect();
+                    let costs = CostMatrix::from_profiles(
+                        &profiles,
+                        orig_total,
+                        current.shard_size,
+                        &vec![comm_est; n],
+                    );
+                    if let Ok(next) = rs.scheduler.schedule_traced(&costs, &self.probe) {
+                        current = next;
+                    }
+                }
+            }
+        }
+
+        ChaosReport {
+            timing: TimingReport {
+                per_round_makespan: per_round,
+                per_user_mean: user_totals.iter().map(|t| t / rounds as f64).collect(),
+                comm_fraction: if rounds == 0 {
+                    0.0
+                } else {
+                    straggler_comm / rounds as f64
+                },
+            },
+            rounds: outcomes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::roundsim::RoundSim;
+    use fedsched_device::Testbed;
+    use fedsched_faults::FaultConfig;
+
+    fn devices(seed: u64) -> Vec<Device> {
+        Testbed::testbed_1(seed).devices().to_vec()
+    }
+
+    fn link() -> Link {
+        Link::new(100.0, 100.0, 0.0, 0.05)
+    }
+
+    fn schedule() -> Schedule {
+        Schedule::new(vec![10, 10, 10], 100.0)
+    }
+
+    #[test]
+    fn quiet_run_is_bit_identical_to_roundsim() {
+        let mut plain = RoundSim::new(devices(11), TrainingWorkload::lenet(), link(), 2.5e6, 11);
+        let mut resilient = ResilientRoundSim::new(
+            devices(11),
+            TrainingWorkload::lenet(),
+            link(),
+            2.5e6,
+            11,
+            FaultInjector::quiet(3),
+        );
+        let a = plain.run(&schedule(), 4);
+        let b = resilient.run(&schedule(), 4);
+        assert_eq!(a, b.timing, "quiet chaos must not perturb the simulation");
+        for r in &b.rounds {
+            assert_eq!(r.completed, 30);
+            assert_eq!(r.lost_shards, 0);
+            assert_eq!(r.coverage, 1.0);
+        }
+    }
+
+    #[test]
+    fn same_seed_replays_identically() {
+        let config = FaultConfig::none()
+            .with_crash_prob(0.3)
+            .with_loss_prob(0.1)
+            .with_contention(0.2, 1.5);
+        let run = || {
+            let inj = FaultInjector::from_config(config.clone(), 3, 10, 77);
+            let mut sim = ResilientRoundSim::new(
+                devices(7),
+                TrainingWorkload::lenet(),
+                link(),
+                2.5e6,
+                7,
+                inj,
+            )
+            .with_retry(RetryPolicy::default_chaos())
+            .with_deadline(Some(60.0));
+            sim.run(&schedule(), 10)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shard_accounting_is_conserved_every_round() {
+        let config = FaultConfig::none()
+            .with_crash_prob(0.4)
+            .with_churn_prob(0.05)
+            .with_loss_prob(0.2)
+            .with_outages(0.3, 40.0, 10.0);
+        let inj = FaultInjector::from_config(config, 3, 12, 5);
+        let mut sim =
+            ResilientRoundSim::new(devices(5), TrainingWorkload::lenet(), link(), 2.5e6, 5, inj)
+                .with_retry(RetryPolicy::default_chaos())
+                .with_deadline(Some(45.0));
+        let report = sim.run(&schedule(), 12);
+        for r in &report.rounds {
+            assert_eq!(
+                r.completed + r.rescued + r.lost_shards,
+                r.scheduled,
+                "round {}: {} + {} + {} != {}",
+                r.round,
+                r.completed,
+                r.rescued,
+                r.lost_shards,
+                r.scheduled
+            );
+            assert!((0.0..=1.0).contains(&r.coverage));
+        }
+    }
+
+    #[test]
+    fn rescue_recovers_shards_lost_without_it() {
+        let config = FaultConfig::none().with_crash_prob(0.35);
+        let run = |rescue: bool| {
+            let inj = FaultInjector::from_config(config.clone(), 3, 15, 21);
+            let mut sim = ResilientRoundSim::new(
+                devices(21),
+                TrainingWorkload::lenet(),
+                link(),
+                2.5e6,
+                21,
+                inj,
+            )
+            .with_deadline(Some(60.0));
+            if !rescue {
+                sim = sim.without_rescue();
+            }
+            sim.run(&schedule(), 15)
+        };
+        let with = run(true);
+        let without = run(false);
+        assert!(without.total_lost() > 0, "chaos config should cause losses");
+        assert!(
+            with.total_lost() < without.total_lost(),
+            "rescue {} !< no-rescue {}",
+            with.total_lost(),
+            without.total_lost()
+        );
+        assert_eq!(
+            with.total_rescued() + with.total_lost(),
+            without.total_lost()
+        );
+    }
+
+    #[test]
+    fn deadline_caps_phase_one_makespan() {
+        let mut sim = ResilientRoundSim::new(
+            devices(9),
+            TrainingWorkload::lenet(),
+            link(),
+            2.5e6,
+            9,
+            FaultInjector::quiet(3),
+        )
+        .with_deadline(Some(5.0))
+        .without_rescue();
+        let report = sim.run(&schedule(), 3);
+        for r in &report.rounds {
+            assert!(r.makespan_s <= 5.0 + 1e-9, "makespan {}", r.makespan_s);
+            assert!(r.timed_out > 0);
+            assert!(r.lost_shards > 0);
+        }
+    }
+
+    #[test]
+    fn rescheduler_starves_departed_devices() {
+        use fedsched_core::lbap::FedLbap;
+        // Device 0 churns out in round 0 with certainty.
+        let config = FaultConfig::none().with_churn_prob(1.0);
+        let inj = FaultInjector::from_config(config, 3, 1, 2);
+        let mut sim = ResilientRoundSim::new(
+            devices(13),
+            TrainingWorkload::lenet(),
+            link(),
+            2.5e6,
+            13,
+            inj,
+        )
+        .with_rescheduler(Box::new(FedLbap), 1);
+        let report = sim.run(&schedule(), 4);
+        // After round 0 every device is known gone... all three churn in
+        // round 0, so later rounds keep the old schedule only if the
+        // scheduler fails; coverage must collapse to zero from round 1 on
+        // (everyone is Departed).
+        assert!(report.rounds[1..].iter().all(|r| r.completed == 0));
+    }
+
+    #[test]
+    fn probed_and_unprobed_chaos_runs_agree() {
+        use fedsched_telemetry::EventLog;
+        use std::sync::Arc;
+        let config = FaultConfig::none()
+            .with_crash_prob(0.3)
+            .with_loss_prob(0.15);
+        let run = |probe: Option<Probe>| {
+            let inj = FaultInjector::from_config(config.clone(), 3, 8, 3);
+            let mut sim = ResilientRoundSim::new(
+                devices(3),
+                TrainingWorkload::lenet(),
+                link(),
+                2.5e6,
+                3,
+                inj,
+            )
+            .with_retry(RetryPolicy::default_chaos())
+            .with_deadline(Some(50.0));
+            if let Some(p) = probe {
+                sim = sim.with_probe(p);
+            }
+            sim.run(&schedule(), 8)
+        };
+        let log = Arc::new(EventLog::new());
+        let plain = run(None);
+        let probed = run(Some(Probe::attached(log.clone())));
+        assert_eq!(plain, probed, "observation must not perturb the run");
+        assert!(!log.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "fault plan/cohort size mismatch")]
+    fn wrong_injector_arity_panics() {
+        let _ = ResilientRoundSim::new(
+            devices(1),
+            TrainingWorkload::lenet(),
+            link(),
+            2.5e6,
+            1,
+            FaultInjector::quiet(2),
+        );
+    }
+}

@@ -17,6 +17,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod faulty;
+
+pub use faulty::{LossyLink, RetryPolicy, TransferFailure, TransferOutcome};
+
 use fedsched_profiler::ModelArch;
 use rand::Rng;
 use serde::{Deserialize, Serialize};

@@ -111,6 +111,79 @@ pub enum Event {
     RoundDivergence { round: usize, mean_cosine: f64 },
     /// Accuracy after a round's aggregation.
     RoundAccuracy { round: usize, accuracy: f64 },
+
+    // ---- fault injection / resilient round control -------------------------
+    /// The fault layer injected a fault. `device` is `None` for link-level
+    /// faults (outages); `magnitude` carries the fault-specific scalar
+    /// (crash/churn progress fraction, contention factor, outage start).
+    FaultInjected {
+        round: usize,
+        device: Option<usize>,
+        /// Snake_case kind: `"crash"`, `"churn"`, `"contention"`, `"outage"`.
+        kind: String,
+        magnitude: f64,
+    },
+    /// A transfer attempt failed and was retried (or abandoned).
+    TransferRetry {
+        round: usize,
+        user: usize,
+        /// Failed attempt number (1-based).
+        attempt: usize,
+        /// Failure cause: `"loss"`, `"outage"`, `"timeout"`.
+        cause: String,
+        /// Elapsed simulated seconds within the transfer at the failure.
+        elapsed_s: f64,
+    },
+    /// The round controller gave up on a user this round.
+    UserTimeout {
+        round: usize,
+        user: usize,
+        /// Why: `"crash"`, `"churn"`, `"comm"`, `"deadline"`.
+        cause: String,
+        /// Shards that need rescue (or are lost) because of it.
+        shards_at_risk: usize,
+    },
+    /// Rescue: part of a failed user's work was reassigned to a survivor.
+    ShardsReassigned {
+        round: usize,
+        from_user: usize,
+        to_user: usize,
+        shards: usize,
+    },
+    /// Coverage accounting for a round that saw faults or losses.
+    RoundDegraded {
+        round: usize,
+        scheduled: usize,
+        completed: usize,
+        rescued: usize,
+        lost: usize,
+        coverage: f64,
+    },
+
+    // ---- async / gossip / dropout decision points --------------------------
+    /// The async FL server merged a client update with a
+    /// staleness-discounted weight.
+    AsyncMerge {
+        t_s: f64,
+        user: usize,
+        staleness: usize,
+        weight: f64,
+    },
+    /// A gossip mixing round completed.
+    GossipMix {
+        round: usize,
+        /// Topology name (`"ring"`, `"complete"`).
+        topology: String,
+        /// Mean L2 distance of replicas from the consensus after mixing.
+        consensus_gap: f64,
+    },
+    /// Deadline-Dropout hard-dropped a user, losing its data for the round.
+    DeadlineDrop {
+        user: usize,
+        predicted_s: f64,
+        deadline_s: f64,
+        lost_shards: usize,
+    },
 }
 
 impl Event {
@@ -130,6 +203,14 @@ impl Event {
             Event::RoundEnd { .. } => "round_end",
             Event::RoundDivergence { .. } => "round_divergence",
             Event::RoundAccuracy { .. } => "round_accuracy",
+            Event::FaultInjected { .. } => "fault_injected",
+            Event::TransferRetry { .. } => "transfer_retry",
+            Event::UserTimeout { .. } => "user_timeout",
+            Event::ShardsReassigned { .. } => "shards_reassigned",
+            Event::RoundDegraded { .. } => "round_degraded",
+            Event::AsyncMerge { .. } => "async_merge",
+            Event::GossipMix { .. } => "gossip_mix",
+            Event::DeadlineDrop { .. } => "deadline_drop",
         }
     }
 
@@ -265,6 +346,106 @@ impl Event {
                 let _ = write!(out, ",\"round\":{round}");
                 push_f64_field(&mut out, "accuracy", *accuracy);
             }
+            Event::FaultInjected {
+                round,
+                device,
+                kind,
+                magnitude,
+            } => {
+                let _ = write!(out, ",\"round\":{round},\"device\":");
+                match device {
+                    Some(d) => {
+                        let _ = write!(out, "{d}");
+                    }
+                    None => out.push_str("null"),
+                }
+                out.push_str(",\"kind\":");
+                json::push_str(&mut out, kind);
+                push_f64_field(&mut out, "magnitude", *magnitude);
+            }
+            Event::TransferRetry {
+                round,
+                user,
+                attempt,
+                cause,
+                elapsed_s,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"round\":{round},\"user\":{user},\"attempt\":{attempt}"
+                );
+                out.push_str(",\"cause\":");
+                json::push_str(&mut out, cause);
+                push_f64_field(&mut out, "elapsed_s", *elapsed_s);
+            }
+            Event::UserTimeout {
+                round,
+                user,
+                cause,
+                shards_at_risk,
+            } => {
+                let _ = write!(out, ",\"round\":{round},\"user\":{user}");
+                out.push_str(",\"cause\":");
+                json::push_str(&mut out, cause);
+                let _ = write!(out, ",\"shards_at_risk\":{shards_at_risk}");
+            }
+            Event::ShardsReassigned {
+                round,
+                from_user,
+                to_user,
+                shards,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"round\":{round},\"from_user\":{from_user},\
+                     \"to_user\":{to_user},\"shards\":{shards}"
+                );
+            }
+            Event::RoundDegraded {
+                round,
+                scheduled,
+                completed,
+                rescued,
+                lost,
+                coverage,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"round\":{round},\"scheduled\":{scheduled},\
+                     \"completed\":{completed},\"rescued\":{rescued},\"lost\":{lost}"
+                );
+                push_f64_field(&mut out, "coverage", *coverage);
+            }
+            Event::AsyncMerge {
+                t_s,
+                user,
+                staleness,
+                weight,
+            } => {
+                push_f64_field(&mut out, "t_s", *t_s);
+                let _ = write!(out, ",\"user\":{user},\"staleness\":{staleness}");
+                push_f64_field(&mut out, "weight", *weight);
+            }
+            Event::GossipMix {
+                round,
+                topology,
+                consensus_gap,
+            } => {
+                let _ = write!(out, ",\"round\":{round},\"topology\":");
+                json::push_str(&mut out, topology);
+                push_f64_field(&mut out, "consensus_gap", *consensus_gap);
+            }
+            Event::DeadlineDrop {
+                user,
+                predicted_s,
+                deadline_s,
+                lost_shards,
+            } => {
+                let _ = write!(out, ",\"user\":{user}");
+                push_f64_field(&mut out, "predicted_s", *predicted_s);
+                push_f64_field(&mut out, "deadline_s", *deadline_s);
+                let _ = write!(out, ",\"lost_shards\":{lost_shards}");
+            }
         }
         out.push('}');
         out
@@ -386,6 +567,107 @@ mod tests {
     }
 
     #[test]
+    fn fault_events_encode_with_fixed_key_order() {
+        let ev = Event::FaultInjected {
+            round: 3,
+            device: Some(1),
+            kind: "crash".into(),
+            magnitude: 0.25,
+        };
+        assert_eq!(
+            ev.to_json(),
+            "{\"ev\":\"fault_injected\",\"round\":3,\"device\":1,\
+             \"kind\":\"crash\",\"magnitude\":0.25}"
+        );
+        let ev = Event::FaultInjected {
+            round: 0,
+            device: None,
+            kind: "outage".into(),
+            magnitude: 12.0,
+        };
+        assert!(ev.to_json().contains("\"device\":null"));
+        let ev = Event::TransferRetry {
+            round: 1,
+            user: 2,
+            attempt: 1,
+            cause: "loss".into(),
+            elapsed_s: 30.0,
+        };
+        assert_eq!(
+            ev.to_json(),
+            "{\"ev\":\"transfer_retry\",\"round\":1,\"user\":2,\"attempt\":1,\
+             \"cause\":\"loss\",\"elapsed_s\":30.0}"
+        );
+        let ev = Event::UserTimeout {
+            round: 4,
+            user: 0,
+            cause: "deadline".into(),
+            shards_at_risk: 7,
+        };
+        assert_eq!(
+            ev.to_json(),
+            "{\"ev\":\"user_timeout\",\"round\":4,\"user\":0,\
+             \"cause\":\"deadline\",\"shards_at_risk\":7}"
+        );
+        let ev = Event::ShardsReassigned {
+            round: 4,
+            from_user: 0,
+            to_user: 2,
+            shards: 5,
+        };
+        assert_eq!(
+            ev.to_json(),
+            "{\"ev\":\"shards_reassigned\",\"round\":4,\"from_user\":0,\
+             \"to_user\":2,\"shards\":5}"
+        );
+        let ev = Event::RoundDegraded {
+            round: 4,
+            scheduled: 30,
+            completed: 28,
+            rescued: 5,
+            lost: 2,
+            coverage: 28.0 / 30.0,
+        };
+        let json = ev.to_json();
+        assert!(json.starts_with("{\"ev\":\"round_degraded\",\"round\":4,\"scheduled\":30"));
+        assert!(json.contains("\"coverage\":0.9333333333333333"));
+    }
+
+    #[test]
+    fn decision_point_events_encode() {
+        assert_eq!(
+            Event::AsyncMerge {
+                t_s: 10.5,
+                user: 3,
+                staleness: 2,
+                weight: 0.2
+            }
+            .to_json(),
+            "{\"ev\":\"async_merge\",\"t_s\":10.5,\"user\":3,\"staleness\":2,\"weight\":0.2}"
+        );
+        assert_eq!(
+            Event::GossipMix {
+                round: 1,
+                topology: "ring".into(),
+                consensus_gap: 0.5
+            }
+            .to_json(),
+            "{\"ev\":\"gossip_mix\",\"round\":1,\"topology\":\"ring\",\"consensus_gap\":0.5}"
+        );
+        assert_eq!(
+            Event::DeadlineDrop {
+                user: 1,
+                predicted_s: 100.0,
+                deadline_s: 20.0,
+                lost_shards: 10
+            }
+            .to_json(),
+            "{\"ev\":\"deadline_drop\",\"user\":1,\"predicted_s\":100.0,\
+             \"deadline_s\":20.0,\"lost_shards\":10}"
+        );
+    }
+
+    #[test]
     fn kind_matches_tag_in_json() {
         let events = [
             Event::BigClusterOffline {
@@ -408,6 +690,56 @@ mod tests {
             Event::RoundAccuracy {
                 round: 0,
                 accuracy: 0.87,
+            },
+            Event::FaultInjected {
+                round: 0,
+                device: Some(0),
+                kind: "churn".into(),
+                magnitude: 0.5,
+            },
+            Event::TransferRetry {
+                round: 0,
+                user: 0,
+                attempt: 2,
+                cause: "outage".into(),
+                elapsed_s: 1.0,
+            },
+            Event::UserTimeout {
+                round: 0,
+                user: 0,
+                cause: "crash".into(),
+                shards_at_risk: 1,
+            },
+            Event::ShardsReassigned {
+                round: 0,
+                from_user: 0,
+                to_user: 1,
+                shards: 1,
+            },
+            Event::RoundDegraded {
+                round: 0,
+                scheduled: 1,
+                completed: 1,
+                rescued: 0,
+                lost: 0,
+                coverage: 1.0,
+            },
+            Event::AsyncMerge {
+                t_s: 0.0,
+                user: 0,
+                staleness: 0,
+                weight: 0.6,
+            },
+            Event::GossipMix {
+                round: 0,
+                topology: "complete".into(),
+                consensus_gap: 0.0,
+            },
+            Event::DeadlineDrop {
+                user: 0,
+                predicted_s: 1.0,
+                deadline_s: 0.5,
+                lost_shards: 1,
             },
         ];
         for ev in events {

@@ -184,6 +184,14 @@ impl MetricsRegistry {
     /// | `round_end` | — | `round_makespan_s` |
     /// | `round_divergence` | — | `divergence_mean_cosine` |
     /// | `round_accuracy` | — | `round_accuracy` |
+    /// | `fault_injected` | `faults_injected`, `fault_<kind>` | — |
+    /// | `transfer_retry` | `transfer_retries`, `transfer_retry_<cause>` | — |
+    /// | `user_timeout` | `user_timeouts` | — |
+    /// | `shards_reassigned` | `shards_reassigned` (by shard count) | — |
+    /// | `round_degraded` | `rounds_degraded`, `shards_lost`, `shards_rescued` | `round_coverage` |
+    /// | `async_merge` | `async_merges` | `async_staleness`, `async_mix_weight` |
+    /// | `gossip_mix` | `gossip_mixes` | `gossip_consensus_gap` |
+    /// | `deadline_drop` | `deadline_drops`, `deadline_lost_shards` | — |
     pub fn ingest<'a, I: IntoIterator<Item = &'a Event>>(&mut self, events: I) {
         for event in events {
             match event {
@@ -226,6 +234,44 @@ impl MetricsRegistry {
                 }
                 Event::RoundAccuracy { accuracy, .. } => {
                     self.observe("round_accuracy", *accuracy);
+                }
+                Event::FaultInjected { kind, .. } => {
+                    self.incr("faults_injected", 1);
+                    self.incr(&format!("fault_{kind}"), 1);
+                }
+                Event::TransferRetry { cause, .. } => {
+                    self.incr("transfer_retries", 1);
+                    self.incr(&format!("transfer_retry_{cause}"), 1);
+                }
+                Event::UserTimeout { .. } => self.incr("user_timeouts", 1),
+                Event::ShardsReassigned { shards, .. } => {
+                    self.incr("shards_reassigned", *shards as u64);
+                }
+                Event::RoundDegraded {
+                    rescued,
+                    lost,
+                    coverage,
+                    ..
+                } => {
+                    self.incr("rounds_degraded", 1);
+                    self.incr("shards_lost", *lost as u64);
+                    self.incr("shards_rescued", *rescued as u64);
+                    self.observe("round_coverage", *coverage);
+                }
+                Event::AsyncMerge {
+                    staleness, weight, ..
+                } => {
+                    self.incr("async_merges", 1);
+                    self.observe("async_staleness", *staleness as f64);
+                    self.observe("async_mix_weight", *weight);
+                }
+                Event::GossipMix { consensus_gap, .. } => {
+                    self.incr("gossip_mixes", 1);
+                    self.observe("gossip_consensus_gap", *consensus_gap);
+                }
+                Event::DeadlineDrop { lost_shards, .. } => {
+                    self.incr("deadline_drops", 1);
+                    self.incr("deadline_lost_shards", *lost_shards as u64);
                 }
             }
         }
@@ -322,6 +368,86 @@ mod tests {
         assert_eq!(a.counter("m"), 5);
         assert_eq!(a.histogram("t").unwrap().count(), 2);
         assert!((a.histogram("t").unwrap().mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chaos_events_ingest_into_stable_names() {
+        let events = [
+            Event::FaultInjected {
+                round: 0,
+                device: Some(1),
+                kind: "crash".into(),
+                magnitude: 0.5,
+            },
+            Event::FaultInjected {
+                round: 1,
+                device: None,
+                kind: "outage".into(),
+                magnitude: 3.0,
+            },
+            Event::TransferRetry {
+                round: 0,
+                user: 1,
+                attempt: 1,
+                cause: "loss".into(),
+                elapsed_s: 30.0,
+            },
+            Event::UserTimeout {
+                round: 0,
+                user: 1,
+                cause: "crash".into(),
+                shards_at_risk: 4,
+            },
+            Event::ShardsReassigned {
+                round: 0,
+                from_user: 1,
+                to_user: 0,
+                shards: 4,
+            },
+            Event::RoundDegraded {
+                round: 0,
+                scheduled: 10,
+                completed: 9,
+                rescued: 3,
+                lost: 1,
+                coverage: 0.9,
+            },
+            Event::AsyncMerge {
+                t_s: 1.0,
+                user: 0,
+                staleness: 2,
+                weight: 0.2,
+            },
+            Event::GossipMix {
+                round: 0,
+                topology: "ring".into(),
+                consensus_gap: 0.25,
+            },
+            Event::DeadlineDrop {
+                user: 2,
+                predicted_s: 50.0,
+                deadline_s: 20.0,
+                lost_shards: 6,
+            },
+        ];
+        let mut reg = MetricsRegistry::new();
+        reg.ingest(events.iter());
+        assert_eq!(reg.counter("faults_injected"), 2);
+        assert_eq!(reg.counter("fault_crash"), 1);
+        assert_eq!(reg.counter("fault_outage"), 1);
+        assert_eq!(reg.counter("transfer_retries"), 1);
+        assert_eq!(reg.counter("transfer_retry_loss"), 1);
+        assert_eq!(reg.counter("user_timeouts"), 1);
+        assert_eq!(reg.counter("shards_reassigned"), 4);
+        assert_eq!(reg.counter("rounds_degraded"), 1);
+        assert_eq!(reg.counter("shards_lost"), 1);
+        assert_eq!(reg.counter("shards_rescued"), 3);
+        assert_eq!(reg.histogram("round_coverage").unwrap().mean(), 0.9);
+        assert_eq!(reg.counter("async_merges"), 1);
+        assert_eq!(reg.histogram("async_staleness").unwrap().mean(), 2.0);
+        assert_eq!(reg.counter("gossip_mixes"), 1);
+        assert_eq!(reg.counter("deadline_drops"), 1);
+        assert_eq!(reg.counter("deadline_lost_shards"), 6);
     }
 
     #[test]

@@ -24,6 +24,7 @@ FEDSCHED_CRATES=(
   -p fedsched-profiler
   -p fedsched-device
   -p fedsched-net
+  -p fedsched-faults
   -p fedsched-data
   -p fedsched-nn
   -p fedsched-fl
@@ -45,5 +46,10 @@ fi
 
 echo "==> cargo test -q"
 cargo test -q
+
+echo "==> chaos suite (pinned seed: fault invariants + replay determinism)"
+cargo test -q --test failure_injection
+cargo test -q -p fedsched-faults
+cargo test -q -p fedsched-fl resilient
 
 echo "==> verify OK"

@@ -13,7 +13,10 @@
 //! * [`profiler`] — the two-step linear-regression performance profiler.
 //! * [`device`] — simulated battery-powered phones (DVFS, thermal model,
 //!   big.LITTLE) calibrated to the paper's Table II testbed.
-//! * [`net`] — WiFi / LTE link models for model push/pull.
+//! * [`net`] — WiFi / LTE link models for model push/pull, plus lossy
+//!   links and retry policies for chaos runs.
+//! * [`faults`] — deterministic, seedable fault injection (crashes, churn,
+//!   outages, contention) for resilience experiments.
 //! * [`data`] — synthetic MNIST-like / CIFAR-like datasets and IID /
 //!   non-IID partitioners.
 //! * [`nn`] — from-scratch neural-network training (LeNet, VGG6).
@@ -42,6 +45,7 @@
 pub use fedsched_core as core;
 pub use fedsched_data as data;
 pub use fedsched_device as device;
+pub use fedsched_faults as faults;
 pub use fedsched_fl as fl;
 pub use fedsched_net as net;
 pub use fedsched_nn as nn;
