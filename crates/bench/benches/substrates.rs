@@ -50,6 +50,68 @@ fn bench_device_sim(c: &mut Criterion) {
     group.finish();
 }
 
+/// The device hot loop with telemetry on vs off: `train_samples` is the
+/// inner loop of every round simulation, so a disabled probe must cost
+/// nothing measurable and an attached one only its event dispatch.
+fn bench_device_probe(c: &mut Criterion) {
+    use fedsched_telemetry::{NullRecorder, Probe};
+    use std::sync::Arc;
+
+    let mut group = c.benchmark_group("device_probe");
+    let wl = TrainingWorkload::lenet();
+    for (name, probe) in [
+        ("train_200_detached", Probe::disabled()),
+        (
+            "train_200_attached",
+            Probe::attached(Arc::new(NullRecorder)),
+        ),
+    ] {
+        group.bench_function(name, |b| {
+            let mut d = Device::from_model(DeviceModel::Pixel2, 1);
+            d.set_probe(probe.clone());
+            b.iter(|| black_box(d.train_samples(&wl, 200)))
+        });
+    }
+    group.finish();
+}
+
+/// Engine thread scaling on a fixed 1,024-device population.
+fn bench_parallel_engine(c: &mut Criterion) {
+    use fedsched_core::Schedule;
+    use fedsched_fl::ParallelRoundEngine;
+    use fedsched_net::Link;
+
+    let mut group = c.benchmark_group("parallel_engine");
+    let n = 1_024usize;
+    for threads in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("run_1024dev_1round", threads),
+            &threads,
+            |b, &t| {
+                let schedule = Schedule::new(vec![2; n], 100.0);
+                let devices: Vec<Device> = (0..n)
+                    .map(|i| {
+                        Device::from_model(
+                            DeviceModel::all()[i % 4],
+                            1u64.wrapping_add(i as u64 * 0x9E37_79B9),
+                        )
+                    })
+                    .collect();
+                let mut eng = ParallelRoundEngine::new(
+                    devices,
+                    TrainingWorkload::lenet(),
+                    Link::wifi_campus(),
+                    2.5e6,
+                    1,
+                )
+                .with_threads(t);
+                b.iter(|| black_box(eng.run(&schedule, 1).timing.per_round_makespan[0]))
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_dataset(c: &mut Criterion) {
     let ds = Dataset::generate(DatasetKind::CifarLike, 10_000, 2);
     let idx: Vec<usize> = (0..128).collect();
@@ -78,6 +140,7 @@ fn bench_parallel(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_nn_kernels, bench_device_sim, bench_dataset, bench_parallel
+    targets = bench_nn_kernels, bench_device_sim, bench_device_probe,
+        bench_parallel_engine, bench_dataset, bench_parallel
 }
 criterion_main!(benches);

@@ -1,0 +1,10 @@
+//! Regenerates the scale-out sweep: the parallel multi-cohort engine from
+//! 10 to 10,000 devices across worker thread counts.
+use fedsched_bench::{scaleout, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("[exp_scale] scale = {}", scale.name());
+    let sweep = scaleout::run(scale, 42);
+    println!("{}", scaleout::render(&sweep));
+}

@@ -24,6 +24,7 @@
 //! | Fig. 7 (non-IID computation time) | [`fig7`] | `exp_fig7` |
 //! | Table V (non-IID accuracy) | [`table5`] | `exp_table5` |
 //! | Chaos sweep (crashes, lossy links) | [`chaos`] | `exp_chaos` |
+//! | Scale-out sweep (multi-cohort engine) | [`scaleout`] | `exp_scale` |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -40,6 +41,7 @@ pub mod fig7;
 pub mod noniid;
 pub mod report;
 pub mod scale;
+pub mod scaleout;
 pub mod table2;
 pub mod table3;
 pub mod table4;

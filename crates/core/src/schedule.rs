@@ -88,7 +88,12 @@ impl Schedule {
 
 /// A scheduler for the IID setting: consumes a cost matrix, produces a
 /// shard assignment covering exactly `costs.total_shards()` shards.
-pub trait Scheduler {
+///
+/// Schedulers are `Send + Sync` so controllers that own one (e.g. the
+/// resilient round simulator's between-round rescheduler) can be shipped to
+/// worker threads by the parallel multi-cohort engine. All schedulers here
+/// are immutable value types, so the bound costs nothing.
+pub trait Scheduler: Send + Sync {
     /// Human-readable name for reports ("Fed-LBAP", "Equal", ...).
     fn name(&self) -> &'static str;
 

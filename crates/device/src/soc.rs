@@ -53,6 +53,15 @@ pub struct Device {
     probe: Probe,
 }
 
+// The parallel round engine ships whole device cohorts to worker threads;
+// this fails to compile if `Device` (or anything inside it — RNG, probe,
+// thermal state) ever stops being `Send + Sync`.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Device>();
+    assert_send_sync::<Telemetry>();
+};
+
 impl Device {
     /// Build a device from a spec with a deterministic RNG seed.
     pub fn new(spec: DeviceSpec, seed: u64) -> Self {
@@ -137,6 +146,34 @@ impl Device {
     /// Battery accessor.
     pub fn battery(&self) -> &Battery {
         &self.battery
+    }
+
+    /// Current battery state of charge in `[0, 1]` — the one field
+    /// energy-aware scheduling policies poll on their hot path.
+    pub fn battery_soc(&self) -> f64 {
+        self.battery.soc()
+    }
+
+    /// Pre-drain the battery to `soc` (in `[0, 1]`) without advancing time
+    /// or thermal state. Scenario setup only: models a device entering the
+    /// cohort already low on charge.
+    ///
+    /// # Panics
+    /// Panics if `soc` is outside `[0, 1]`.
+    pub fn set_battery_soc(&mut self, soc: f64) {
+        assert!(
+            (0.0..=1.0).contains(&soc) && soc.is_finite(),
+            "soc must be in [0, 1], got {soc}"
+        );
+        let target_drained = self.battery.capacity_j() * (1.0 - soc);
+        let delta = target_drained - self.battery.drained_j();
+        if delta > 0.0 {
+            // drain(dt, p) removes dt * p joules; one second at `delta` W.
+            self.battery.drain(1.0, delta);
+        } else {
+            self.battery.recharge();
+            self.battery.drain(1.0, target_drained);
+        }
     }
 
     /// Reset thermal, governor and burst state to cold (battery unchanged);
@@ -672,6 +709,24 @@ mod tests {
             probed.train_samples(&wl, 500)
         );
         assert_eq!(plain.telemetry(), probed.telemetry());
+    }
+
+    #[test]
+    fn set_battery_soc_moves_charge_both_ways() {
+        let mut d = Device::from_model(DeviceModel::Pixel2, 3);
+        assert!((d.battery_soc() - 1.0).abs() < 1e-12);
+        d.set_battery_soc(0.25);
+        assert!((d.battery_soc() - 0.25).abs() < 1e-9);
+        d.set_battery_soc(0.8);
+        assert!((d.battery_soc() - 0.8).abs() < 1e-9);
+        // Setup must not advance simulated time.
+        assert_eq!(d.telemetry().time_s, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "soc must be in [0, 1]")]
+    fn set_battery_soc_rejects_out_of_range() {
+        Device::from_model(DeviceModel::Pixel2, 3).set_battery_soc(1.5);
     }
 
     #[test]

@@ -25,6 +25,7 @@
 
 pub mod assign;
 pub mod asyncfl;
+pub mod cohorts;
 pub mod engine;
 pub mod gossip;
 pub mod metrics;
@@ -35,6 +36,10 @@ pub mod server;
 
 pub use assign::{assignment_from_schedule_iid, assignment_from_schedule_noniid};
 pub use asyncfl::{AsyncFlOutcome, AsyncFlSetup};
+pub use cohorts::{
+    default_engine_threads, derive_cohort_seed, ChaosOptions, CohortReport, EngineReport,
+    ParallelRoundEngine, DEFAULT_COHORT_SIZE, THREADS_ENV,
+};
 pub use engine::{FlOutcome, FlSetup};
 pub use gossip::{GossipOutcome, GossipSetup, Topology};
 pub use metrics::{analyze_round, cosine_similarity, DivergenceReport};

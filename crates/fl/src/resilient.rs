@@ -146,6 +146,7 @@ pub struct ResilientRoundSim {
     retry: RetryPolicy,
     deadline_s: Option<f64>,
     rescue: bool,
+    rescue_soc_floor: f64,
     rescheduler: Option<Rescheduler>,
     profilers: Vec<OnlineProfiler>,
     has_prior: bool,
@@ -186,6 +187,7 @@ impl ResilientRoundSim {
             retry: RetryPolicy::single_attempt(),
             deadline_s: None,
             rescue: true,
+            rescue_soc_floor: 0.0,
             rescheduler: None,
             profilers: vec![OnlineProfiler::new(PROFILER_LAMBDA); n],
             has_prior: false,
@@ -227,6 +229,28 @@ impl ResilientRoundSim {
     /// Disable mid-round straggler rescue (failed users' shards are lost).
     pub fn without_rescue(mut self) -> Self {
         self.rescue = false;
+        self
+    }
+
+    /// Energy-aware rescue: never reassign orphaned shards to a survivor
+    /// whose battery state of charge is below `floor` (in `[0, 1]`).
+    ///
+    /// Rescue work is *extra* drain a device's owner never signed up for;
+    /// piling it onto a nearly-empty phone trades one lost allocation this
+    /// round for a depleted (hence permanently lost) device in the next.
+    /// The floor is checked against each survivor's SoC at rescue time —
+    /// after this round's own training drain. The default floor of `0.0`
+    /// accepts every survivor, preserving the pre-existing behaviour bit
+    /// for bit.
+    ///
+    /// # Panics
+    /// Panics if `floor` is outside `[0, 1]`.
+    pub fn with_rescue_soc_floor(mut self, floor: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&floor) && floor.is_finite(),
+            "rescue SoC floor must be in [0, 1], got {floor}"
+        );
+        self.rescue_soc_floor = floor;
         self
     }
 
@@ -585,12 +609,14 @@ impl ResilientRoundSim {
                             compute,
                             shards,
                             ..
-                        } => Some(Target {
-                            j: *j,
-                            avail: finish.max(detection),
-                            per_shard: compute / *shards as f64,
-                            assigned: 0,
-                        }),
+                        } if self.devices[*j].battery_soc() >= self.rescue_soc_floor => {
+                            Some(Target {
+                                j: *j,
+                                avail: finish.max(detection),
+                                per_shard: compute / *shards as f64,
+                                assigned: 0,
+                            })
+                        }
                         _ => None,
                     })
                     .collect();
@@ -935,6 +961,84 @@ mod tests {
         // scheduler fails; coverage must collapse to zero from round 1 on
         // (everyone is Departed).
         assert!(report.rounds[1..].iter().all(|r| r.completed == 0));
+    }
+
+    #[test]
+    fn rescue_respects_battery_soc_floor() {
+        // Find a seed whose plan crashes device 1 in round 0 and leaves
+        // device 0 healthy, so device 0 is the round's only rescue target.
+        let config = FaultConfig::none().with_crash_prob(0.5);
+        let seed = (0..200u64)
+            .find(|&s| {
+                let inj = FaultInjector::from_config(config.clone(), 2, 1, s);
+                matches!(inj.fate(0, 0), DeviceFate::Healthy)
+                    && matches!(inj.fate(0, 1), DeviceFate::Crash { .. })
+            })
+            .expect("some seed crashes exactly device 1");
+        let run = |floor: Option<f64>| {
+            let mut devs = devices(31);
+            devs.truncate(2);
+            // The only survivor enters the round nearly empty.
+            devs[0].set_battery_soc(0.05);
+            let inj = FaultInjector::from_config(config.clone(), 2, 1, seed);
+            let mut sim =
+                ResilientRoundSim::new(devs, TrainingWorkload::lenet(), link(), 2.5e6, 31, inj);
+            if let Some(f) = floor {
+                sim = sim.with_rescue_soc_floor(f);
+            }
+            sim.run(&Schedule::new(vec![5, 5], 100.0), 1)
+        };
+
+        // Without a floor the critical device absorbs the orphaned shards.
+        let greedy = run(None);
+        assert_eq!(greedy.total_rescued(), 5);
+        assert_eq!(greedy.total_lost(), 0);
+
+        // With the floor it is protected: the shards are lost instead.
+        let guarded = run(Some(0.3));
+        assert_eq!(guarded.total_rescued(), 0);
+        assert_eq!(guarded.total_lost(), 5);
+        assert_eq!(guarded.rounds[0].completed, 5);
+
+        // A floor below the survivor's SoC changes nothing.
+        let permissive = run(Some(0.01));
+        assert_eq!(permissive.total_rescued(), 5);
+    }
+
+    #[test]
+    fn zero_soc_floor_is_bit_identical_to_default() {
+        let config = FaultConfig::none().with_crash_prob(0.3).with_loss_prob(0.1);
+        let run = |explicit_floor: bool| {
+            let inj = FaultInjector::from_config(config.clone(), 3, 8, 17);
+            let mut sim = ResilientRoundSim::new(
+                devices(17),
+                TrainingWorkload::lenet(),
+                link(),
+                2.5e6,
+                17,
+                inj,
+            )
+            .with_retry(RetryPolicy::default_chaos());
+            if explicit_floor {
+                sim = sim.with_rescue_soc_floor(0.0);
+            }
+            sim.run(&schedule(), 8)
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    #[should_panic(expected = "rescue SoC floor must be in [0, 1]")]
+    fn out_of_range_soc_floor_panics() {
+        let _ = ResilientRoundSim::new(
+            devices(1),
+            TrainingWorkload::lenet(),
+            link(),
+            2.5e6,
+            1,
+            FaultInjector::quiet(3),
+        )
+        .with_rescue_soc_floor(1.5);
     }
 
     #[test]

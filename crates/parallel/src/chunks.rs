@@ -66,6 +66,57 @@ pub fn chunk_ranges(len: usize, chunks: usize) -> ChunkRanges {
     }
 }
 
+/// Iterator over fixed-size sub-ranges of `0..len` (see [`fixed_chunks`]).
+#[derive(Debug, Clone)]
+pub struct FixedChunks {
+    len: usize,
+    size: usize,
+    next_start: usize,
+}
+
+impl Iterator for FixedChunks {
+    type Item = Range<usize>;
+
+    fn next(&mut self) -> Option<Range<usize>> {
+        if self.next_start >= self.len {
+            return None;
+        }
+        let start = self.next_start;
+        let end = (start + self.size).min(self.len);
+        self.next_start = end;
+        Some(start..end)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = (self.len - self.next_start).div_ceil(self.size);
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for FixedChunks {}
+
+/// Split `0..len` into contiguous ranges of exactly `size` elements; only the
+/// last range may be shorter. Unlike [`chunk_ranges`] (which balances a fixed
+/// *number* of chunks), this fixes the chunk *size* — the sharding rule for
+/// cohorts, where cohort membership must not depend on the population size.
+///
+/// # Panics
+/// Panics if `size == 0`.
+///
+/// # Examples
+/// ```
+/// let ranges: Vec<_> = fedsched_parallel::fixed_chunks(10, 4).collect();
+/// assert_eq!(ranges, vec![0..4, 4..8, 8..10]);
+/// ```
+pub fn fixed_chunks(len: usize, size: usize) -> FixedChunks {
+    assert!(size > 0, "fixed_chunks: size must be non-zero");
+    FixedChunks {
+        len,
+        size,
+        next_start: 0,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,5 +175,56 @@ mod tests {
         assert_eq!(it.len(), 3);
         it.next();
         assert_eq!(it.len(), 2);
+    }
+
+    #[test]
+    fn fixed_chunks_cover_whole_range_in_order() {
+        for len in 0..60usize {
+            for size in 1..9usize {
+                let ranges: Vec<_> = fixed_chunks(len, size).collect();
+                let mut cursor = 0;
+                for (i, r) in ranges.iter().enumerate() {
+                    assert_eq!(r.start, cursor, "gap/overlap at len={len} size={size}");
+                    if i + 1 < ranges.len() {
+                        assert_eq!(r.len(), size, "non-final chunk must be full");
+                    } else {
+                        assert!(r.len() <= size && !r.is_empty());
+                    }
+                    cursor = r.end;
+                }
+                assert_eq!(cursor, len);
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_chunks_are_stable_under_population_growth() {
+        // Growing the population must not move earlier cohort boundaries.
+        let small: Vec<_> = fixed_chunks(10, 4).collect();
+        let large: Vec<_> = fixed_chunks(22, 4).collect();
+        assert_eq!(&large[..2], &small[..2]);
+    }
+
+    #[test]
+    fn fixed_chunks_empty_and_oversized() {
+        assert_eq!(fixed_chunks(0, 4).count(), 0);
+        assert_eq!(fixed_chunks(3, 10).collect::<Vec<_>>(), vec![0..3]);
+    }
+
+    #[test]
+    fn fixed_chunks_exact_size_hint() {
+        let mut it = fixed_chunks(10, 4);
+        assert_eq!(it.len(), 3);
+        it.next();
+        assert_eq!(it.len(), 2);
+        it.next();
+        it.next();
+        assert_eq!(it.len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn fixed_chunks_zero_size_panics() {
+        let _ = fixed_chunks(5, 0);
     }
 }

@@ -23,8 +23,9 @@ mod chunks;
 mod pool;
 mod scope_par;
 
-pub use chunks::{chunk_ranges, ChunkRanges};
+pub use chunks::{chunk_ranges, fixed_chunks, ChunkRanges, FixedChunks};
 pub use pool::{PoolError, ThreadPool};
 pub use scope_par::{
-    parallel_for, parallel_for_slices, parallel_map, parallel_reduce, recommended_threads,
+    parallel_for, parallel_for_slices, parallel_map, parallel_map_stealing, parallel_reduce,
+    recommended_threads,
 };

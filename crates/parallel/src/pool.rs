@@ -8,7 +8,7 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 
@@ -163,6 +163,42 @@ impl ThreadPool {
             Err(PoolError)
         }
     }
+
+    /// Map `0..len` through `f` on the pool and collect the results in
+    /// index order.
+    ///
+    /// The deterministic counterpart of [`ThreadPool::run`] for jobs that
+    /// produce values: every result lands in its own slot, so the output —
+    /// and any fold over it — is independent of worker scheduling. Grain
+    /// size is 1 (dynamic claiming), which suits coarse, uneven items like
+    /// whole-cohort simulations.
+    ///
+    /// Returns `Err(PoolError)` if `f` panicked on any worker; completed
+    /// slots are discarded in that case.
+    pub fn map_ordered<T, F>(&self, len: usize, f: F) -> Result<Vec<T>, PoolError>
+    where
+        T: Send + 'static,
+        F: Fn(usize) -> T + Send + Sync + 'static,
+    {
+        let slots: Arc<Vec<Mutex<Option<T>>>> =
+            Arc::new((0..len).map(|_| Mutex::new(None)).collect());
+        let writer = Arc::clone(&slots);
+        self.run_with_grain(len, 1, move |i| {
+            *writer[i].lock().unwrap() = Some(f(i));
+        })?;
+        // Workers may still hold clones of the job Arc for an instant after
+        // completion is signalled, so drain through the mutexes rather than
+        // unwrapping the Arc.
+        Ok(slots
+            .iter()
+            .map(|slot| {
+                slot.lock()
+                    .unwrap()
+                    .take()
+                    .expect("map_ordered slot not filled")
+            })
+            .collect())
+    }
 }
 
 impl Drop for ThreadPool {
@@ -230,6 +266,33 @@ mod tests {
         })
         .unwrap();
         assert_eq!(sum.load(Ordering::Relaxed), 45);
+    }
+
+    #[test]
+    fn map_ordered_returns_results_in_index_order() {
+        let pool = ThreadPool::new(4);
+        let out = pool.map_ordered(300, |i| i * i).unwrap();
+        assert_eq!(out, (0..300).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_ordered_empty_is_empty() {
+        let pool = ThreadPool::new(2);
+        assert_eq!(pool.map_ordered(0, |i| i).unwrap(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn map_ordered_reports_panics() {
+        let pool = ThreadPool::new(2);
+        let err = pool.map_ordered(8, |i| {
+            if i == 3 {
+                panic!("boom");
+            }
+            i
+        });
+        assert_eq!(err, Err(PoolError));
+        // The pool survives a poisoned map job.
+        assert_eq!(pool.map_ordered(4, |i| i).unwrap(), vec![0, 1, 2, 3]);
     }
 
     #[test]

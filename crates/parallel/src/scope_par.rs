@@ -1,6 +1,7 @@
 //! Scoped fork-join helpers with dynamic scheduling and deterministic results.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use crate::chunk_ranges;
 
@@ -143,6 +144,56 @@ where
     .expect("parallel_for_slices worker panicked");
 }
 
+/// Map `0..len` through `f` in parallel with *dynamic* (work-stealing style)
+/// scheduling, returning results in index order.
+///
+/// Unlike [`parallel_map`], which statically partitions the index range into
+/// one contiguous slice per worker, here workers claim indices one at a time
+/// through a shared atomic cursor. When item costs are wildly uneven — e.g.
+/// simulating device cohorts whose round times differ by an order of
+/// magnitude — static partitioning leaves workers idle behind the unlucky
+/// one; dynamic claiming keeps them all busy until the queue drains.
+///
+/// Output order (and therefore any subsequent reduction) is deterministic
+/// regardless of which worker computed which item: each result lands in its
+/// own index slot. Falls back to a plain sequential map when `threads <= 1`
+/// or `len <= 1`, which is bit-identical to the parallel path for any `f`
+/// whose output depends only on its index.
+pub fn parallel_map_stealing<T, F>(len: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if threads <= 1 || len <= 1 {
+        return (0..len).map(f).collect();
+    }
+    let workers = threads.min(len);
+    let slots: Vec<Mutex<Option<T>>> = (0..len).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    crossbeam::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|_| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= len {
+                    break;
+                }
+                // Each index is claimed exactly once, so the lock is never
+                // contended; it only exists to hand `&mut` to the slot.
+                *slots[i].lock().unwrap() = Some(f(i));
+            });
+        }
+    })
+    .expect("parallel_map_stealing worker panicked");
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("parallel_map_stealing slot not filled")
+        })
+        .collect()
+}
+
 /// Parallel map-reduce over `0..len`: compute `f(i)` in parallel, then fold
 /// the results **in index order** with `fold`, starting from `init`.
 ///
@@ -247,6 +298,44 @@ mod tests {
     fn parallel_for_slices_zero_items_is_noop() {
         let mut out: Vec<u8> = Vec::new();
         parallel_for_slices(&mut out, 0, 4, |_, _| panic!("must not run"));
+    }
+
+    #[test]
+    fn stealing_map_preserves_order_across_thread_counts() {
+        let expect: Vec<_> = (0..233usize).map(|i| i * 3 + 1).collect();
+        for threads in [1, 2, 4, 8, 16] {
+            assert_eq!(
+                parallel_map_stealing(233, threads, |i| i * 3 + 1),
+                expect,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn stealing_map_handles_uneven_item_costs() {
+        // Front-loaded costs: a static partition would serialize behind the
+        // first worker; this just checks correctness under real imbalance.
+        let out = parallel_map_stealing(64, 4, |i| {
+            if i < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            i as u64
+        });
+        assert_eq!(out, (0..64u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stealing_map_empty_and_single() {
+        assert_eq!(parallel_map_stealing(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(parallel_map_stealing(1, 4, |i| i + 9), vec![9]);
+    }
+
+    #[test]
+    fn stealing_map_visits_each_index_exactly_once() {
+        let hits: Vec<AtomicU64> = (0..500).map(|_| AtomicU64::new(0)).collect();
+        let _ = parallel_map_stealing(500, 8, |i| hits[i].fetch_add(1, Ordering::Relaxed));
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
     }
 
     #[test]

@@ -214,6 +214,108 @@ impl Event {
         }
     }
 
+    /// Shift every *user/device index* field by `offset`, consuming the
+    /// event. Round indices, counts, times and device *names* are left
+    /// untouched.
+    ///
+    /// This is the splice adapter for multi-cohort simulation: a cohort
+    /// simulator emits events with cohort-local user indices (`0..k`), and
+    /// the engine remaps them onto the global population index space
+    /// (`start..start+k`) when merging per-cohort buffers into one log.
+    pub fn with_user_offset(self, offset: usize) -> Event {
+        match self {
+            Event::UserSpan {
+                round,
+                user,
+                compute_s,
+                comm_s,
+            } => Event::UserSpan {
+                round,
+                user: user + offset,
+                compute_s,
+                comm_s,
+            },
+            Event::RoundEnd {
+                round,
+                makespan_s,
+                straggler,
+            } => Event::RoundEnd {
+                round,
+                makespan_s,
+                straggler: straggler + offset,
+            },
+            Event::FaultInjected {
+                round,
+                device,
+                kind,
+                magnitude,
+            } => Event::FaultInjected {
+                round,
+                device: device.map(|d| d + offset),
+                kind,
+                magnitude,
+            },
+            Event::TransferRetry {
+                round,
+                user,
+                attempt,
+                cause,
+                elapsed_s,
+            } => Event::TransferRetry {
+                round,
+                user: user + offset,
+                attempt,
+                cause,
+                elapsed_s,
+            },
+            Event::UserTimeout {
+                round,
+                user,
+                cause,
+                shards_at_risk,
+            } => Event::UserTimeout {
+                round,
+                user: user + offset,
+                cause,
+                shards_at_risk,
+            },
+            Event::ShardsReassigned {
+                round,
+                from_user,
+                to_user,
+                shards,
+            } => Event::ShardsReassigned {
+                round,
+                from_user: from_user + offset,
+                to_user: to_user + offset,
+                shards,
+            },
+            Event::AsyncMerge {
+                t_s,
+                user,
+                staleness,
+                weight,
+            } => Event::AsyncMerge {
+                t_s,
+                user: user + offset,
+                staleness,
+                weight,
+            },
+            Event::DeadlineDrop {
+                user,
+                predicted_s,
+                deadline_s,
+                lost_shards,
+            } => Event::DeadlineDrop {
+                user: user + offset,
+                predicted_s,
+                deadline_s,
+                lost_shards,
+            },
+            other => other,
+        }
+    }
+
     /// Encode as one deterministic JSON object (no trailing newline).
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(96);
@@ -665,6 +767,123 @@ mod tests {
             "{\"ev\":\"deadline_drop\",\"user\":1,\"predicted_s\":100.0,\
              \"deadline_s\":20.0,\"lost_shards\":10}"
         );
+    }
+
+    #[test]
+    fn user_offset_shifts_only_index_fields() {
+        let shifted = Event::UserSpan {
+            round: 1,
+            user: 2,
+            compute_s: 3.0,
+            comm_s: 4.0,
+        }
+        .with_user_offset(10);
+        assert_eq!(
+            shifted,
+            Event::UserSpan {
+                round: 1,
+                user: 12,
+                compute_s: 3.0,
+                comm_s: 4.0
+            }
+        );
+        let shifted = Event::RoundEnd {
+            round: 7,
+            makespan_s: 1.5,
+            straggler: 3,
+        }
+        .with_user_offset(4);
+        assert_eq!(
+            shifted,
+            Event::RoundEnd {
+                round: 7,
+                makespan_s: 1.5,
+                straggler: 7
+            }
+        );
+        let shifted = Event::ShardsReassigned {
+            round: 0,
+            from_user: 1,
+            to_user: 2,
+            shards: 9,
+        }
+        .with_user_offset(5);
+        assert_eq!(
+            shifted,
+            Event::ShardsReassigned {
+                round: 0,
+                from_user: 6,
+                to_user: 7,
+                shards: 9
+            }
+        );
+        // Link-level faults have no device index; counts are not indices.
+        let outage = Event::FaultInjected {
+            round: 2,
+            device: None,
+            kind: "outage".into(),
+            magnitude: 8.0,
+        };
+        assert_eq!(outage.clone().with_user_offset(3), outage);
+        let start = Event::RoundStart {
+            round: 2,
+            n_users: 6,
+        };
+        assert_eq!(start.clone().with_user_offset(3), start);
+        // Device-simulator events carry names, not indices.
+        let cap = Event::ThermalCap {
+            t_s: 1.0,
+            device: "Mate10".into(),
+            temp_c: 50.0,
+            cap_ghz: 2.0,
+        };
+        assert_eq!(cap.clone().with_user_offset(100), cap);
+    }
+
+    #[test]
+    fn zero_offset_is_identity_for_every_indexed_variant() {
+        let events = [
+            Event::UserSpan {
+                round: 0,
+                user: 1,
+                compute_s: 0.5,
+                comm_s: 0.25,
+            },
+            Event::FaultInjected {
+                round: 0,
+                device: Some(2),
+                kind: "crash".into(),
+                magnitude: 0.5,
+            },
+            Event::TransferRetry {
+                round: 0,
+                user: 3,
+                attempt: 1,
+                cause: "loss".into(),
+                elapsed_s: 1.0,
+            },
+            Event::UserTimeout {
+                round: 0,
+                user: 4,
+                cause: "deadline".into(),
+                shards_at_risk: 2,
+            },
+            Event::AsyncMerge {
+                t_s: 0.0,
+                user: 5,
+                staleness: 1,
+                weight: 0.5,
+            },
+            Event::DeadlineDrop {
+                user: 6,
+                predicted_s: 2.0,
+                deadline_s: 1.0,
+                lost_shards: 3,
+            },
+        ];
+        for ev in events {
+            assert_eq!(ev.clone().with_user_offset(0), ev);
+        }
     }
 
     #[test]

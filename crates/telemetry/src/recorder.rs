@@ -50,6 +50,18 @@ impl EventLog {
         self.events.lock().unwrap().clone()
     }
 
+    /// Drain the log: return all events in arrival order and leave it
+    /// empty. Used by the multi-cohort engine to splice per-worker buffers
+    /// into one ordered stream without cloning every event.
+    pub fn take(&self) -> Vec<Event> {
+        std::mem::take(&mut *self.events.lock().unwrap())
+    }
+
+    /// Append `events` in order (one lock acquisition for the whole batch).
+    pub fn extend(&self, events: impl IntoIterator<Item = Event>) {
+        self.events.lock().unwrap().extend(events);
+    }
+
     /// Encode the whole log as JSON Lines (one event per line, trailing
     /// newline). Byte-deterministic for a deterministic event stream.
     pub fn to_jsonl(&self) -> String {
@@ -252,6 +264,26 @@ mod tests {
         probe.emit(|| sample(0));
         clone.emit(|| sample(1));
         assert_eq!(log.len(), 2);
+    }
+
+    #[test]
+    fn take_drains_and_preserves_order() {
+        let log = EventLog::new();
+        for round in 0..5 {
+            log.record(&sample(round));
+        }
+        let drained = log.take();
+        assert_eq!(drained.len(), 5);
+        assert_eq!(drained[3], sample(3));
+        assert!(log.is_empty(), "take must leave the log empty");
+    }
+
+    #[test]
+    fn extend_appends_in_order() {
+        let log = EventLog::new();
+        log.record(&sample(0));
+        log.extend([sample(1), sample(2)]);
+        assert_eq!(log.events(), vec![sample(0), sample(1), sample(2)]);
     }
 
     #[test]

@@ -52,4 +52,15 @@ cargo test -q --test failure_injection
 cargo test -q -p fedsched-faults
 cargo test -q -p fedsched-fl resilient
 
+echo "==> parallel identity suite (default worker pool)"
+cargo test -q --test parallel_identity
+cargo test -q -p fedsched-fl cohorts
+
+echo "==> parallel identity suite (forced multi-worker pool)"
+FEDSCHED_THREADS=4 cargo test -q --test parallel_identity
+FEDSCHED_THREADS=8 cargo test -q --test parallel_identity
+
+echo "==> scale smoke (engine speedup sweep + makespan parity)"
+cargo test -q -p fedsched-bench scaleout
+
 echo "==> verify OK"

@@ -13,22 +13,27 @@
 //! UPDATE_GOLDEN=1 cargo test --test golden_trace
 //! ```
 //!
-//! then commit the updated `tests/golden/table1_presets.jsonl` together
-//! with the change that caused it.
+//! then commit the updated snapshots under `tests/golden/` together with
+//! the change that caused it.
 
 use std::path::PathBuf;
 use std::sync::Arc;
 
 use fedsched::core::{CostMatrix, FedLbap, Scheduler};
-use fedsched::device::{DeviceModel, Testbed, TrainingWorkload};
-use fedsched::fl::RoundSim;
-use fedsched::net::Link;
+use fedsched::device::{Device, DeviceModel, Testbed, TrainingWorkload};
+use fedsched::faults::FaultConfig;
+use fedsched::fl::{ChaosOptions, ParallelRoundEngine, RoundSim};
+use fedsched::net::{Link, RetryPolicy};
 use fedsched::telemetry::{EventLog, Probe};
 
 const SEED: u64 = 2020;
 
 fn golden_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/table1_presets.jsonl")
+}
+
+fn chaos_golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/chaos_multicohort.jsonl")
 }
 
 /// Run the fixed scenario and return its telemetry stream as JSONL.
@@ -64,29 +69,47 @@ fn trace() -> String {
     log.to_jsonl()
 }
 
-#[test]
-fn trace_is_byte_identical_across_invocations() {
-    assert_eq!(trace(), trace(), "same seed must give the same bytes");
+/// Chaos preset: a two-cohort parallel engine run under crashes, packet
+/// loss and retries. Pins the resilient path's event vocabulary *and* the
+/// engine's cohort splicing (user-index remapping, cohort-ordered merge) in
+/// golden form — the engine guarantees these bytes are thread-invariant.
+fn chaos_trace() -> String {
+    let log = Arc::new(EventLog::new());
+    let models = DeviceModel::all();
+    let devices: Vec<Device> = (0..8)
+        .map(|i| {
+            Device::from_model(
+                models[i % models.len()],
+                SEED.wrapping_add(i as u64 * 0x9E37_79B9),
+            )
+        })
+        .collect();
+    let config = FaultConfig::none()
+        .with_crash_prob(0.25)
+        .with_loss_prob(0.15);
+    let mut engine = ParallelRoundEngine::new(
+        devices,
+        TrainingWorkload::lenet(),
+        Link::new(100.0, 100.0, 0.0, 0.0),
+        2.5e6,
+        SEED,
+    )
+    .with_cohort_size(4)
+    .with_threads(4)
+    .with_chaos(ChaosOptions::new(config, 3).with_retry(RetryPolicy::default_chaos()))
+    .with_probe(Probe::attached(log.clone()));
+    let _ = engine.run(&fedsched::core::Schedule::new(vec![3; 8], 100.0), 3);
+    log.to_jsonl()
 }
 
-#[test]
-fn trace_matches_golden_snapshot() {
-    let got = trace();
-    assert!(
-        got.contains("\"ev\":\"schedule_decision\""),
-        "missing decision:\n{got}"
-    );
-    assert!(
-        got.contains("\"ev\":\"round_end\""),
-        "missing round_end:\n{got}"
-    );
-
-    let path = golden_path();
+/// Compare `got` against the snapshot at `path`, regenerating when
+/// `UPDATE_GOLDEN` is set; on mismatch, report the first differing line.
+fn assert_matches_golden(got: &str, path: &PathBuf) {
     if std::env::var_os("UPDATE_GOLDEN").is_some() {
-        std::fs::write(&path, &got).expect("write golden snapshot");
+        std::fs::write(path, got).expect("write golden snapshot");
         return;
     }
-    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+    let want = std::fs::read_to_string(path).unwrap_or_else(|e| {
         panic!(
             "cannot read {} ({e}); generate it with UPDATE_GOLDEN=1 cargo test --test golden_trace",
             path.display()
@@ -113,8 +136,51 @@ fn trace_matches_golden_snapshot() {
                 )
             });
         panic!(
-            "telemetry trace diverged from tests/golden/table1_presets.jsonl.\n{first_diff}\n\
-             If the change is intentional, regenerate with UPDATE_GOLDEN=1 cargo test --test golden_trace"
+            "telemetry trace diverged from {}.\n{first_diff}\n\
+             If the change is intentional, regenerate with UPDATE_GOLDEN=1 cargo test --test golden_trace",
+            path.display()
         );
     }
+}
+
+#[test]
+fn trace_is_byte_identical_across_invocations() {
+    assert_eq!(trace(), trace(), "same seed must give the same bytes");
+}
+
+#[test]
+fn trace_matches_golden_snapshot() {
+    let got = trace();
+    assert!(
+        got.contains("\"ev\":\"schedule_decision\""),
+        "missing decision:\n{got}"
+    );
+    assert!(
+        got.contains("\"ev\":\"round_end\""),
+        "missing round_end:\n{got}"
+    );
+    assert_matches_golden(&got, &golden_path());
+}
+
+#[test]
+fn chaos_trace_is_byte_identical_across_invocations() {
+    assert_eq!(
+        chaos_trace(),
+        chaos_trace(),
+        "same seed must give the same bytes"
+    );
+}
+
+#[test]
+fn chaos_trace_matches_golden_snapshot() {
+    let got = chaos_trace();
+    assert!(
+        got.contains("\"ev\":\"fault_injected\"") || got.contains("\"ev\":\"transfer_retry\""),
+        "chaos preset produced a quiet trace:\n{got}"
+    );
+    assert!(
+        got.contains("\"ev\":\"round_end\""),
+        "missing round_end:\n{got}"
+    );
+    assert_matches_golden(&got, &chaos_golden_path());
 }
