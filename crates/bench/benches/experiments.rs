@@ -12,7 +12,7 @@ use fedsched_bench::noniid::{minavg_problem, random_class_sets};
 use fedsched_core::{FedLbap, FedMinAvg, Schedule, Scheduler};
 use fedsched_data::{iid_imbalanced, n_class_noniid, Dataset, DatasetKind};
 use fedsched_device::{Device, DeviceModel, Testbed, TrainingWorkload};
-use fedsched_fl::{fedavg_aggregate, FlSetup, RoundSim};
+use fedsched_fl::{fedavg_aggregate, FlSetup, RoundConfig, SimBuilder};
 use fedsched_net::{model_transfer_bytes, Link};
 use fedsched_nn::ModelKind;
 use fedsched_profiler::{ModelArch, TwoStepProfiler};
@@ -167,7 +167,12 @@ fn bench_fig7(c: &mut Criterion) {
     let schedule = Schedule::new(vec![10, 10, 2, 2, 8, 12], 100.0);
     c.bench_function("fig7_roundsim_one_round", |b| {
         b.iter(|| {
-            let mut sim = RoundSim::new(testbed.devices().to_vec(), wl, link, bytes, 9);
+            let mut sim = SimBuilder::new(
+                testbed.devices().to_vec(),
+                RoundConfig::new(wl, link, bytes, 9),
+            )
+            .build_sim()
+            .expect("valid sim config");
             black_box(sim.run(&schedule, 1).mean_makespan())
         })
     });

@@ -78,7 +78,7 @@ fn bench_device_probe(c: &mut Criterion) {
 /// Engine thread scaling on a fixed 1,024-device population.
 fn bench_parallel_engine(c: &mut Criterion) {
     use fedsched_core::Schedule;
-    use fedsched_fl::ParallelRoundEngine;
+    use fedsched_fl::{RoundConfig, SimBuilder};
     use fedsched_net::Link;
 
     let mut group = c.benchmark_group("parallel_engine");
@@ -97,14 +97,13 @@ fn bench_parallel_engine(c: &mut Criterion) {
                         )
                     })
                     .collect();
-                let mut eng = ParallelRoundEngine::new(
+                let mut eng = SimBuilder::new(
                     devices,
-                    TrainingWorkload::lenet(),
-                    Link::wifi_campus(),
-                    2.5e6,
-                    1,
+                    RoundConfig::new(TrainingWorkload::lenet(), Link::wifi_campus(), 2.5e6, 1),
                 )
-                .with_threads(t);
+                .threads(t)
+                .build_engine()
+                .expect("valid engine config");
                 b.iter(|| black_box(eng.run(&schedule, 1).timing.per_round_makespan[0]))
             },
         );

@@ -30,10 +30,10 @@
 
 use std::sync::Arc;
 
-use fedsched_core::{DeadlineDropout, FedLbap, Scheduler};
+use fedsched_core::{DeadlineDropout, DeadlinePolicy, FedLbap, Scheduler};
 use fedsched_device::{Testbed, TrainingWorkload};
 use fedsched_faults::{FaultConfig, FaultInjector};
-use fedsched_fl::{ChaosReport, ResilientRoundSim};
+use fedsched_fl::{ChaosReport, RoundConfig, SimBuilder};
 use fedsched_net::{model_transfer_bytes, Link, RetryPolicy};
 use fedsched_profiler::{CostProfile, LinearProfile, ModelArch};
 use fedsched_telemetry::{EventLog, MetricsRegistry, Probe};
@@ -167,9 +167,15 @@ pub fn run(scale: Scale, seed: u64) -> ChaosSweep {
         let injector = || FaultInjector::from_config(config.clone(), n, rounds, fault_seed);
         let sim_seed = seed ^ ((pi as u64) << 8);
         let base_sim = |inj: FaultInjector, log: &Arc<EventLog>| {
-            ResilientRoundSim::new(testbed.devices().to_vec(), wl, link, bytes, sim_seed, inj)
-                .with_retry(RetryPolicy::default_chaos())
-                .with_probe(Probe::attached(log.clone()))
+            SimBuilder::new(
+                testbed.devices().to_vec(),
+                RoundConfig::new(wl, link, bytes, sim_seed),
+            )
+            .injector(inj)
+            .retry(RetryPolicy::default_chaos())
+            .probe(Probe::attached(log.clone()))
+            .build_resilient()
+            .expect("valid chaos sim config")
         };
 
         let mut arms = Vec::new();
@@ -188,7 +194,7 @@ pub fn run(scale: Scale, seed: u64) -> ChaosSweep {
                 // deadline before closing the round (and cuts anyone who
                 // drifts past it mid-run).
                 "Deadline-Dropout" => base_sim(injector(), &log)
-                    .with_deadline(Some(policy.deadline_s))
+                    .with_deadline_policy(DeadlinePolicy::Fixed(policy.deadline_s))
                     .without_rescue(),
                 _ => base_sim(injector(), &log).without_rescue(),
             };

@@ -10,7 +10,7 @@
 use std::sync::Arc;
 
 use fedsched_device::{Testbed, TrainingWorkload};
-use fedsched_fl::RoundSim;
+use fedsched_fl::{RoundConfig, SimBuilder};
 use fedsched_net::{model_transfer_bytes, Link};
 use fedsched_profiler::ModelArch;
 use fedsched_telemetry::{EventLog, MetricsRegistry, Probe};
@@ -114,14 +114,13 @@ pub fn run(scale: Scale, seed: u64) -> Vec<Panel> {
             for (name, scheduler) in iid_schedulers(&testbed.models(), seed ^ tb_index as u64) {
                 let schedule = scheduler.schedule(&costs).expect("feasible IID schedule");
                 let log = Arc::new(EventLog::new());
-                let mut sim = RoundSim::new(
+                let mut sim = SimBuilder::new(
                     testbed.devices().to_vec(),
-                    wl,
-                    link,
-                    bytes,
-                    seed ^ (tb_index as u64) << 8,
+                    RoundConfig::new(wl, link, bytes, seed ^ (tb_index as u64) << 8),
                 )
-                .with_probe(Probe::attached(log.clone()));
+                .probe(Probe::attached(log.clone()))
+                .build_sim()
+                .expect("valid sim config");
                 let _ = sim.run(&schedule, rounds);
                 // The replay's telemetry is the measurement: per-cell mean
                 // comes from this cell's round_end events, the panel-wide

@@ -4,7 +4,7 @@
 use fedsched_core::FedMinAvg;
 use fedsched_data::{Dataset, DatasetKind, Scenario};
 use fedsched_device::TrainingWorkload;
-use fedsched_fl::{FlSetup, RoundSim};
+use fedsched_fl::{FlSetup, RoundConfig, SimBuilder};
 use fedsched_net::{model_transfer_bytes, Link};
 use fedsched_nn::ModelKind;
 use fedsched_profiler::ModelArch;
@@ -77,7 +77,10 @@ pub fn run(scale: Scale, seed: u64) -> Vec<Point> {
                 let outcome = FedMinAvg.schedule(&problem).expect("feasible MinAvg");
                 let schedule = &outcome.schedule;
 
-                let mut sim = RoundSim::new(devices.clone(), wl, link, bytes, seed);
+                let mut sim =
+                    SimBuilder::new(devices.clone(), RoundConfig::new(wl, link, bytes, seed))
+                        .build_sim()
+                        .expect("valid sim config");
                 let time_s = sim.run(schedule, scale.pick(1usize, 3)).mean_makespan();
 
                 let assignment = materialize_assignment(&train, &sets, schedule, seed);

@@ -10,7 +10,7 @@ use std::sync::Arc;
 use fedsched_core::{FedMinAvg, Schedule};
 use fedsched_data::{Dataset, DatasetKind};
 use fedsched_device::{Testbed, TrainingWorkload};
-use fedsched_fl::RoundSim;
+use fedsched_fl::{RoundConfig, SimBuilder};
 use fedsched_net::{model_transfer_bytes, Link};
 use fedsched_profiler::ModelArch;
 use fedsched_telemetry::{EventLog, Histogram, MetricsRegistry, Probe};
@@ -218,8 +218,13 @@ fn replay(
     metrics: &mut MetricsRegistry,
 ) -> f64 {
     let log = Arc::new(EventLog::new());
-    let mut sim = RoundSim::new(testbed.devices().to_vec(), *wl, *link, bytes, seed)
-        .with_probe(Probe::attached(log.clone()));
+    let mut sim = SimBuilder::new(
+        testbed.devices().to_vec(),
+        RoundConfig::new(*wl, *link, bytes, seed),
+    )
+    .probe(Probe::attached(log.clone()))
+    .build_sim()
+    .expect("valid sim config");
     let _ = sim.run(schedule, rounds);
     let mut run_metrics = MetricsRegistry::new();
     run_metrics.ingest(log.events().iter());

@@ -24,7 +24,9 @@ use std::time::Instant;
 
 use fedsched_core::Schedule;
 use fedsched_device::{Device, DeviceModel, TrainingWorkload};
-use fedsched_fl::{EngineReport, ParallelRoundEngine, DEFAULT_COHORT_SIZE};
+use fedsched_fl::{
+    DeadlinePolicy, EngineReport, ParallelRoundEngine, RoundConfig, SimBuilder, DEFAULT_COHORT_SIZE,
+};
 use fedsched_net::{model_transfer_bytes, Link};
 use fedsched_profiler::ModelArch;
 use fedsched_telemetry::{NullRecorder, Probe};
@@ -80,6 +82,35 @@ pub struct ProbeOverhead {
     pub attached_ns: f64,
 }
 
+/// One population size's coordination comparison: per-cohort deadlines vs
+/// one global pooled deadline vs buffered-async aggregation, over a
+/// *clustered* population (cohorts homogeneous by device model) where the
+/// difference between pooling scopes is starkest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoordinationPoint {
+    /// Devices simulated.
+    pub population: usize,
+    /// Cohorts the population partitioned into.
+    pub cohorts: usize,
+    /// Total population makespan with each cohort resolving its own
+    /// mean-factor deadline from its local predicted times.
+    pub per_cohort_makespan_s: f64,
+    /// Shards lost to the per-cohort deadlines.
+    pub per_cohort_lost: usize,
+    /// Total population makespan under the coordinator's single global
+    /// deadline pooled over every cohort's predictions.
+    pub global_makespan_s: f64,
+    /// Shards lost to the global deadline.
+    pub global_lost: usize,
+    /// Simulated span of the buffered-async run (slowest cohort's busy
+    /// time — nobody waits at a barrier).
+    pub async_span_s: f64,
+    /// Shards lost in the async run.
+    pub async_lost: usize,
+    /// Staleness-discounted merges the async aggregator performed.
+    pub async_merges: usize,
+}
+
 /// The full sweep.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScaleoutSweep {
@@ -94,6 +125,8 @@ pub struct ScaleoutSweep {
     pub host_threads: usize,
     /// The probe micro-bench result.
     pub probe: ProbeOverhead,
+    /// Deadline-scope comparison, one point per population size.
+    pub coordination: Vec<CoordinationPoint>,
 }
 
 /// A mixed-model population of `n` devices cycling the Table I presets.
@@ -109,15 +142,97 @@ pub fn population(n: usize, seed: u64) -> Vec<Device> {
         .collect()
 }
 
+/// A population sorted so each cohort is homogeneous: the slowest model
+/// fills whole cohorts instead of hiding inside mixed ones. This is the
+/// regime where deadline-pooling scope matters most — a slow cohort's
+/// local mean-factor deadline drifts far above the population's.
+pub fn clustered_population(n: usize, seed: u64) -> Vec<Device> {
+    let models = DeviceModel::all();
+    (0..n)
+        .map(|i| {
+            Device::from_model(
+                models[(i * models.len()) / n.max(1)],
+                seed.wrapping_add(i as u64 * 0x9E37_79B9),
+            )
+        })
+        .collect()
+}
+
+/// Mean-factor slack shared by both deadline arms.
+const DEADLINE_FACTOR: f64 = 1.2;
+/// Buffered-async mixing rate.
+const ASYNC_ETA: f64 = 0.5;
+
+/// Measure the three coordination arms at one population size.
+pub fn coordination_point(n: usize, seed: u64, rounds: usize) -> CoordinationPoint {
+    let schedule = Schedule::new(vec![SHARDS_PER_DEVICE; n], SHARD_SIZE);
+    let cohorts = n.div_ceil(DEFAULT_COHORT_SIZE);
+    let builder = || {
+        SimBuilder::new(
+            clustered_population(n, seed),
+            RoundConfig::new(
+                TrainingWorkload::lenet(),
+                Link::wifi_campus(),
+                model_transfer_bytes(&ModelArch::lenet()),
+                seed,
+            ),
+        )
+    };
+
+    // Both deadline arms use Deadline-Dropout semantics (no rescue):
+    // stragglers past the deadline are cut and their shards counted lost,
+    // so the deadline bounds the round instead of triggering mid-round
+    // shard redistribution inside an already-slow cohort.
+    //
+    // Arm 1: every cohort resolves its own deadline from local predictions.
+    let mut per_cohort = builder()
+        .deadline(DeadlinePolicy::MeanFactor(DEADLINE_FACTOR))
+        .no_rescue()
+        .build_engine()
+        .expect("per-cohort deadline engine config is valid");
+    let per_report = per_cohort.run(&schedule, rounds);
+
+    // Arm 2: the coordinator pools all predictions into one deadline.
+    let mut global = builder()
+        .deadline(DeadlinePolicy::MeanFactor(DEADLINE_FACTOR))
+        .no_rescue()
+        .build_coordinator()
+        .expect("global deadline coordinator config is valid");
+    let global_report = global.run(&schedule, rounds);
+
+    // Arm 3: no barrier at all — buffered staleness-weighted aggregation.
+    let mut buffered = builder()
+        .buffered_async((cohorts / 2).max(1), ASYNC_ETA)
+        .build_coordinator()
+        .expect("buffered-async coordinator config is valid");
+    let async_report = buffered.run(&schedule, rounds);
+
+    CoordinationPoint {
+        population: n,
+        cohorts,
+        per_cohort_makespan_s: per_report.timing.per_round_makespan.iter().sum(),
+        per_cohort_lost: per_report.total_lost(),
+        global_makespan_s: global_report.span_s,
+        global_lost: global_report.total_lost(),
+        async_span_s: async_report.span_s,
+        async_lost: async_report.total_lost(),
+        async_merges: async_report.merges.len(),
+    }
+}
+
 fn engine(n: usize, seed: u64, threads: usize) -> ParallelRoundEngine {
-    ParallelRoundEngine::new(
+    SimBuilder::new(
         population(n, seed),
-        TrainingWorkload::lenet(),
-        Link::wifi_campus(),
-        model_transfer_bytes(&ModelArch::lenet()),
-        seed,
+        RoundConfig::new(
+            TrainingWorkload::lenet(),
+            Link::wifi_campus(),
+            model_transfer_bytes(&ModelArch::lenet()),
+            seed,
+        ),
     )
-    .with_threads(threads)
+    .threads(threads)
+    .build_engine()
+    .expect("valid engine config")
 }
 
 /// Time one full engine run, returning the report and wall seconds.
@@ -188,12 +303,19 @@ pub fn run(scale: Scale, seed: u64) -> ScaleoutSweep {
             parity,
         });
     }
+    let coordination = scale
+        .pick(vec![10, 100, 1_000], vec![10, 100, 1_000, 10_000])
+        .into_iter()
+        .map(|n| coordination_point(n, seed, rounds))
+        .collect();
+
     ScaleoutSweep {
         points,
         rounds,
         cohort_size: DEFAULT_COHORT_SIZE,
         host_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
         probe: probe_overhead(seed),
+        coordination,
     }
 }
 
@@ -227,6 +349,39 @@ pub fn render(sweep: &ScaleoutSweep) -> String {
         }
     }
     out.push_str(&t.render());
+
+    out.push_str(&format!(
+        "\n### Deadline scope — per-cohort vs global vs buffered async\n\n\
+         Clustered population (cohorts homogeneous by model), mean-factor \
+         {DEADLINE_FACTOR} deadlines, async eta {ASYNC_ETA}. A slow cohort \
+         sets its own generous local deadline; the coordinator's pooled \
+         deadline cuts it to the population average instead.\n\n",
+    ));
+    let mut c = Table::new(vec![
+        "population",
+        "cohorts",
+        "per-cohort [s]",
+        "lost",
+        "global [s]",
+        "lost",
+        "async span [s]",
+        "lost",
+        "merges",
+    ]);
+    for p in &sweep.coordination {
+        c.row(vec![
+            p.population.to_string(),
+            p.cohorts.to_string(),
+            format!("{:.1}", p.per_cohort_makespan_s),
+            p.per_cohort_lost.to_string(),
+            format!("{:.1}", p.global_makespan_s),
+            p.global_lost.to_string(),
+            format!("{:.1}", p.async_span_s),
+            p.async_lost.to_string(),
+            p.async_merges.to_string(),
+        ]);
+    }
+    out.push_str(&c.render());
     out.push_str(&format!(
         "\nDevice hot loop (train_samples, LeNet): {:.1} ns/sample with the \
          probe detached vs {:.1} ns/sample attached to a null recorder.\n",
@@ -284,6 +439,25 @@ mod tests {
         let probe = &sweep().probe;
         assert!(probe.detached_ns > 0.0);
         assert!(probe.attached_ns > 0.0);
+    }
+
+    #[test]
+    fn global_deadline_strictly_beats_per_cohort_at_thousand_devices() {
+        for point in &sweep().coordination {
+            assert!(point.per_cohort_makespan_s > 0.0);
+            assert!(point.global_makespan_s > 0.0);
+            assert!(point.async_span_s > 0.0);
+            if point.population >= 1_000 {
+                assert!(
+                    point.global_makespan_s < point.per_cohort_makespan_s,
+                    "population {}: global deadline {:.2}s must beat \
+                     per-cohort {:.2}s",
+                    point.population,
+                    point.global_makespan_s,
+                    point.per_cohort_makespan_s,
+                );
+            }
+        }
     }
 
     #[test]

@@ -7,7 +7,7 @@
 
 use fedsched_data::{Dataset, DatasetKind};
 use fedsched_device::{Testbed, TrainingWorkload};
-use fedsched_fl::{assignment_from_schedule_iid, FlSetup, RoundSim};
+use fedsched_fl::{assignment_from_schedule_iid, FlSetup, RoundConfig, SimBuilder};
 use fedsched_net::{model_transfer_bytes, Link};
 use fedsched_nn::ModelKind;
 use fedsched_profiler::ModelArch;
@@ -56,7 +56,12 @@ pub fn run(scale: Scale, seed: u64) -> Vec<Cell> {
                 let schedule = scheduler.schedule(&costs).expect("feasible schedule");
                 let assignment = assignment_from_schedule_iid(&train, &schedule, seed);
                 let out = FlSetup::new(&train, &test, assignment, model, rounds, seed).run();
-                let mut sim = RoundSim::new(testbed.devices().to_vec(), wl, link, bytes, seed);
+                let mut sim = SimBuilder::new(
+                    testbed.devices().to_vec(),
+                    RoundConfig::new(wl, link, bytes, seed),
+                )
+                .build_sim()
+                .expect("valid sim config");
                 let makespan = sim.run(&schedule, 2).mean_makespan();
                 cells.push(Cell {
                     dataset: kind.name(),

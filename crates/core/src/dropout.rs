@@ -14,6 +14,114 @@ use crate::baselines::EqualScheduler;
 use crate::cost::CostMatrix;
 use crate::schedule::{emit_decision, Schedule, ScheduleError, Scheduler};
 
+/// How a per-round straggler deadline is derived from predicted per-user
+/// round times.
+///
+/// This is the single deadline vocabulary shared by the scheduling layer
+/// (calibrating [`DeadlineDropout`]) and the round simulators in
+/// `fedsched-fl` (cutting stragglers mid-round): one policy type instead of
+/// the historical `Option<f64>` / bare `f64` split.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub enum DeadlinePolicy {
+    /// No deadline: rounds wait for the slowest participant.
+    Off,
+    /// A fixed deadline in seconds.
+    Fixed(f64),
+    /// `factor` times the mean of the pooled predicted times — the common
+    /// "wait a bit longer than average, then cut" production policy.
+    MeanFactor(f64),
+    /// The nearest-rank `q`-quantile (`q` in `[0, 1]`) of the pooled
+    /// predicted times: wait for the fastest `q` fraction, cut the rest.
+    Quantile(f64),
+}
+
+impl DeadlinePolicy {
+    /// Whether this policy never cuts anyone.
+    pub fn is_off(&self) -> bool {
+        matches!(self, DeadlinePolicy::Off)
+    }
+
+    /// Snake_case policy name for telemetry (`"off"`, `"fixed"`,
+    /// `"mean_factor"`, `"quantile"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            DeadlinePolicy::Off => "off",
+            DeadlinePolicy::Fixed(_) => "fixed",
+            DeadlinePolicy::MeanFactor(_) => "mean_factor",
+            DeadlinePolicy::Quantile(_) => "quantile",
+        }
+    }
+
+    /// Check the policy parameters are well-formed, returning the violated
+    /// rule otherwise. `Off` is always valid; `Fixed` and `MeanFactor` need
+    /// a positive finite parameter; `Quantile` needs `q` in `[0, 1]`.
+    pub fn check(&self) -> Result<(), &'static str> {
+        match *self {
+            DeadlinePolicy::Off => Ok(()),
+            DeadlinePolicy::Fixed(d) => {
+                if d > 0.0 && d.is_finite() {
+                    Ok(())
+                } else {
+                    Err("fixed deadline must be positive and finite")
+                }
+            }
+            DeadlinePolicy::MeanFactor(f) => {
+                if f > 0.0 && f.is_finite() {
+                    Ok(())
+                } else {
+                    Err("mean factor must be positive and finite")
+                }
+            }
+            DeadlinePolicy::Quantile(q) => {
+                if (0.0..=1.0).contains(&q) {
+                    Ok(())
+                } else {
+                    Err("quantile must be in [0, 1]")
+                }
+            }
+        }
+    }
+
+    /// Resolve the policy against pooled predicted per-user round times.
+    ///
+    /// Non-positive and non-finite entries (idle users, degenerate
+    /// predictions) are ignored. Returns `None` when the policy is `Off` or
+    /// no meaningful deadline can be derived (empty pool, non-positive
+    /// result) — callers treat `None` as "no deadline this round".
+    pub fn resolve(&self, predicted_times: &[f64]) -> Option<f64> {
+        let deadline = match *self {
+            DeadlinePolicy::Off => return None,
+            DeadlinePolicy::Fixed(d) => d,
+            DeadlinePolicy::MeanFactor(factor) => {
+                let active: Vec<f64> = pool_active(predicted_times);
+                if active.is_empty() {
+                    return None;
+                }
+                active.iter().sum::<f64>() / active.len() as f64 * factor
+            }
+            DeadlinePolicy::Quantile(q) => {
+                let mut active = pool_active(predicted_times);
+                if active.is_empty() {
+                    return None;
+                }
+                active.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+                let rank = (q.clamp(0.0, 1.0) * (active.len() - 1) as f64).round() as usize;
+                active[rank.min(active.len() - 1)]
+            }
+        };
+        (deadline > 0.0 && deadline.is_finite()).then_some(deadline)
+    }
+}
+
+/// Positive finite entries of a predicted-time pool.
+fn pool_active(times: &[f64]) -> Vec<f64> {
+    times
+        .iter()
+        .copied()
+        .filter(|t| *t > 0.0 && t.is_finite())
+        .collect()
+}
+
 /// Equal-share scheduling with a hard per-round deadline.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DeadlineDropout {
@@ -51,15 +159,32 @@ impl DeadlineDropout {
     /// `factor` — yield [`ScheduleError::Infeasible`] instead of a panic:
     /// there is no meaningful deadline to calibrate.
     pub fn from_mean_factor(costs: &CostMatrix, factor: f64) -> Result<Self, ScheduleError> {
+        match DeadlineDropout::from_policy(costs, DeadlinePolicy::MeanFactor(factor))? {
+            Some(dropout) => Ok(dropout),
+            None => Err(ScheduleError::Infeasible),
+        }
+    }
+
+    /// Calibrate a dropout deadline from any [`DeadlinePolicy`], resolved
+    /// against the equal split's predicted per-user times.
+    ///
+    /// `Off` yields `Ok(None)` (no dropout stage at all); calibrated
+    /// policies that cannot resolve to a positive finite deadline yield
+    /// [`ScheduleError::Infeasible`], mirroring
+    /// [`DeadlineDropout::from_mean_factor`].
+    pub fn from_policy(
+        costs: &CostMatrix,
+        policy: DeadlinePolicy,
+    ) -> Result<Option<Self>, ScheduleError> {
+        if policy.is_off() {
+            return Ok(None);
+        }
         let equal = EqualScheduler.schedule(costs)?;
         let times = equal.predicted_times(costs);
-        let active: Vec<f64> = times.into_iter().filter(|&t| t > 0.0).collect();
-        let mean = active.iter().sum::<f64>() / active.len().max(1) as f64;
-        let deadline = mean * factor;
-        if !(deadline > 0.0 && deadline.is_finite()) {
-            return Err(ScheduleError::Infeasible);
+        match policy.resolve(&times) {
+            Some(deadline) => Ok(Some(DeadlineDropout::new(deadline))),
+            None => Err(ScheduleError::Infeasible),
         }
-        Ok(DeadlineDropout::new(deadline))
     }
 
     /// Schedule and report what was dropped.
@@ -242,6 +367,60 @@ mod tests {
                 "factor {factor}"
             );
         }
+    }
+
+    #[test]
+    fn policy_resolution_matches_its_definition() {
+        let times = [10.0, 100.0, 12.0, 0.0, f64::INFINITY];
+        assert_eq!(DeadlinePolicy::Off.resolve(&times), None);
+        assert_eq!(DeadlinePolicy::Fixed(25.0).resolve(&times), Some(25.0));
+        // Active pool is {10, 100, 12}: mean ≈ 40.67.
+        let mean = (10.0 + 100.0 + 12.0) / 3.0;
+        assert_eq!(
+            DeadlinePolicy::MeanFactor(1.2).resolve(&times),
+            Some(mean * 1.2)
+        );
+        // Nearest-rank quantiles over the sorted pool [10, 12, 100].
+        assert_eq!(DeadlinePolicy::Quantile(0.0).resolve(&times), Some(10.0));
+        assert_eq!(DeadlinePolicy::Quantile(0.5).resolve(&times), Some(12.0));
+        assert_eq!(DeadlinePolicy::Quantile(1.0).resolve(&times), Some(100.0));
+        // Degenerate pools resolve to nothing.
+        assert_eq!(DeadlinePolicy::MeanFactor(1.2).resolve(&[]), None);
+        assert_eq!(DeadlinePolicy::Quantile(0.5).resolve(&[0.0]), None);
+        assert_eq!(DeadlinePolicy::MeanFactor(0.0).resolve(&times), None);
+    }
+
+    #[test]
+    fn policy_check_rejects_malformed_parameters() {
+        assert!(DeadlinePolicy::Off.check().is_ok());
+        assert!(DeadlinePolicy::Fixed(10.0).check().is_ok());
+        assert!(DeadlinePolicy::Fixed(0.0).check().is_err());
+        assert!(DeadlinePolicy::Fixed(f64::INFINITY).check().is_err());
+        assert!(DeadlinePolicy::MeanFactor(-1.0).check().is_err());
+        assert!(DeadlinePolicy::MeanFactor(f64::NAN).check().is_err());
+        assert!(DeadlinePolicy::Quantile(0.9).check().is_ok());
+        assert!(DeadlinePolicy::Quantile(1.5).check().is_err());
+    }
+
+    #[test]
+    fn from_policy_matches_mean_factor_and_handles_off() {
+        let c = costs();
+        assert_eq!(
+            DeadlineDropout::from_policy(&c, DeadlinePolicy::Off),
+            Ok(None)
+        );
+        assert_eq!(
+            DeadlineDropout::from_policy(&c, DeadlinePolicy::MeanFactor(1.2))
+                .unwrap()
+                .unwrap(),
+            DeadlineDropout::from_mean_factor(&c, 1.2).unwrap()
+        );
+        // Quantile 1.0 waits for the equal split's slowest user: drops nobody.
+        let q = DeadlineDropout::from_policy(&c, DeadlinePolicy::Quantile(1.0))
+            .unwrap()
+            .unwrap();
+        let (_, report) = q.schedule_with_report(&c).unwrap();
+        assert!(report.dropped.is_empty());
     }
 
     #[test]

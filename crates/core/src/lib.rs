@@ -45,7 +45,7 @@ pub use acc::AccuracyCost;
 pub use analysis::{analyze, ScheduleAnalysis};
 pub use baselines::{EqualScheduler, ProportionalScheduler, RandomScheduler};
 pub use cost::CostMatrix;
-pub use dropout::{DeadlineDropout, DropReport};
+pub use dropout::{DeadlineDropout, DeadlinePolicy, DropReport};
 pub use exact::ExactMinMax;
 pub use lbap::FedLbap;
 pub use minavg::{FedMinAvg, MinAvgProblem, UserSpec};

@@ -19,6 +19,14 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
 
+/// FedAsync staleness discount: the effective mixing weight of an update
+/// that is `staleness` server versions old, given base rate `eta`. Shared
+/// by [`AsyncFlSetup`] and the coordinator's buffered-async merge
+/// ([`Coordinator`](crate::Coordinator)) so both paths discount identically.
+pub fn staleness_weight(eta: f64, staleness: usize) -> f64 {
+    eta / (1.0 + staleness as f64)
+}
+
 /// Configuration for an asynchronous run.
 #[derive(Debug, Clone)]
 pub struct AsyncFlSetup<'a> {
@@ -159,7 +167,7 @@ impl<'a> AsyncFlSetup<'a> {
             }
             let update = net.flat_params();
 
-            let weight = (self.eta / (1.0 + staleness as f64)) as f32;
+            let weight = staleness_weight(self.eta, staleness) as f32;
             probe.emit(|| Event::AsyncMerge {
                 t_s: t,
                 user: j,

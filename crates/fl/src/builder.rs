@@ -1,0 +1,760 @@
+//! One shared, fallible construction surface for every simulator in this
+//! crate.
+//!
+//! Historically each sim grew its own positional constructor plus a trail
+//! of panicking `with_*` builders; call sites repeated the same five
+//! arguments in the same order and learned about bad configuration at
+//! runtime, mid-panic. [`SimBuilder`] replaces that: one [`RoundConfig`]
+//! carries the knobs every path shares (workload, link, payload size,
+//! seed), chainable setters record intent without validating eagerly, and
+//! the terminal `build_*` methods validate everything at once, returning a
+//! typed [`ConfigError`] instead of panicking. The old constructors remain
+//! as thin `#[deprecated]` shims delegating here.
+//!
+//! ```
+//! use fedsched_fl::{RoundConfig, SimBuilder};
+//! use fedsched_device::Testbed;
+//! use fedsched_net::Link;
+//! use fedsched_device::TrainingWorkload;
+//!
+//! let config = RoundConfig::new(TrainingWorkload::lenet(), Link::wifi_campus(), 2.5e6, 7);
+//! let sim = SimBuilder::new(Testbed::testbed_1(7).devices().to_vec(), config)
+//!     .build_sim()
+//!     .unwrap();
+//! # let _ = sim;
+//! ```
+
+use std::fmt;
+
+use fedsched_core::{DeadlinePolicy, Scheduler};
+use fedsched_device::{Device, TrainingWorkload};
+use fedsched_faults::{FaultConfig, FaultInjector};
+use fedsched_net::{Link, RetryPolicy};
+use fedsched_profiler::LinearProfile;
+use fedsched_telemetry::Probe;
+
+use crate::cohorts::{ChaosOptions, ParallelRoundEngine};
+use crate::coordinator::{CoordinationMode, Coordinator};
+use crate::resilient::ResilientRoundSim;
+use crate::roundsim::RoundSim;
+
+/// Why a simulator could not be built or reconfigured.
+///
+/// Every variant has a stable machine-readable [`cause_code`] (snake_case,
+/// never reworded) so scripts can branch on failures without parsing the
+/// human-oriented `Display` text.
+///
+/// [`cause_code`]: ConfigError::cause_code
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// Cohort size of zero devices.
+    ZeroCohortSize,
+    /// Worker pool of zero threads.
+    ZeroThreads,
+    /// A builder was applied after the first run already froze the
+    /// configuration; the payload names the offending knob.
+    ConfiguredAfterRun(&'static str),
+    /// Every user in a federated training setup is idle.
+    EmptyAssignment,
+    /// Malformed deadline policy; the payload is the violated rule.
+    InvalidDeadline(&'static str),
+    /// Rescue SoC floor outside `[0, 1]`.
+    InvalidSocFloor(f64),
+    /// Malformed retry policy; the payload is the violated rule.
+    InvalidRetry(&'static str),
+    /// Malformed buffered-async options; the payload is the violated rule.
+    InvalidAsync(&'static str),
+    /// A knob that the requested build target does not support; the
+    /// payload names the knob.
+    UnsupportedOption(&'static str),
+    /// A per-device input whose length does not match the cohort.
+    ArityMismatch {
+        /// What was mis-sized (e.g. `"priors"`, `"fault plan"`).
+        what: &'static str,
+        /// The cohort size.
+        expected: usize,
+        /// The length actually supplied.
+        got: usize,
+    },
+    /// Rescheduling interval of zero rounds.
+    ZeroRescheduleInterval,
+}
+
+impl ConfigError {
+    /// Stable machine-readable cause tag.
+    pub fn cause_code(&self) -> &'static str {
+        match self {
+            ConfigError::ZeroCohortSize => "zero_cohort_size",
+            ConfigError::ZeroThreads => "zero_threads",
+            ConfigError::ConfiguredAfterRun(_) => "configured_after_run",
+            ConfigError::EmptyAssignment => "empty_assignment",
+            ConfigError::InvalidDeadline(_) => "invalid_deadline",
+            ConfigError::InvalidSocFloor(_) => "invalid_soc_floor",
+            ConfigError::InvalidRetry(_) => "invalid_retry",
+            ConfigError::InvalidAsync(_) => "invalid_async",
+            ConfigError::UnsupportedOption(_) => "unsupported_option",
+            ConfigError::ArityMismatch { .. } => "arity_mismatch",
+            ConfigError::ZeroRescheduleInterval => "zero_reschedule_interval",
+        }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroCohortSize => write!(f, "cohort size must be positive"),
+            ConfigError::ZeroThreads => write!(f, "thread count must be positive"),
+            ConfigError::ConfiguredAfterRun(what) => {
+                write!(f, "cannot set {what} after the first run")
+            }
+            ConfigError::EmptyAssignment => {
+                write!(f, "federated run needs at least one user with data")
+            }
+            ConfigError::InvalidDeadline(rule) => write!(f, "invalid deadline policy: {rule}"),
+            ConfigError::InvalidSocFloor(floor) => {
+                write!(f, "rescue SoC floor must be in [0, 1], got {floor}")
+            }
+            ConfigError::InvalidRetry(rule) => write!(f, "invalid retry policy: {rule}"),
+            ConfigError::InvalidAsync(rule) => write!(f, "invalid async options: {rule}"),
+            ConfigError::UnsupportedOption(what) => {
+                write!(f, "{what} is not supported by this build target")
+            }
+            ConfigError::ArityMismatch {
+                what,
+                expected,
+                got,
+            } => write!(f, "{what} sized for {got} devices, cohort has {expected}"),
+            ConfigError::ZeroRescheduleInterval => {
+                write!(f, "rescheduling interval must be positive")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// The four knobs every round-level simulator shares: what each device
+/// computes, how bytes move, how many bytes move, and the master seed.
+#[derive(Debug, Clone, Copy)]
+pub struct RoundConfig {
+    /// Device-side training workload (per-sample cost model).
+    pub workload: TrainingWorkload,
+    /// Uplink/downlink model.
+    pub link: Link,
+    /// Transfer payload per direction, bytes.
+    pub model_bytes: f64,
+    /// Master RNG seed; everything stochastic derives from it.
+    pub seed: u64,
+}
+
+impl RoundConfig {
+    /// Bundle the shared simulator knobs.
+    pub fn new(workload: TrainingWorkload, link: Link, model_bytes: f64, seed: u64) -> Self {
+        RoundConfig {
+            workload,
+            link,
+            model_bytes,
+            seed,
+        }
+    }
+}
+
+/// Buffered-async coordination knobs recorded by
+/// [`SimBuilder::buffered_async`].
+#[derive(Debug, Clone, Copy)]
+struct AsyncOptions {
+    buffer: usize,
+    eta: f64,
+}
+
+/// One builder for every simulator: [`RoundSim`], [`ResilientRoundSim`],
+/// [`ParallelRoundEngine`] and [`Coordinator`].
+///
+/// Setters are infallible and record raw values; each terminal `build_*`
+/// validates the full configuration against its target and rejects knobs
+/// the target cannot honour with
+/// [`ConfigError::UnsupportedOption`] — a deadline on a plain
+/// [`RoundSim`] is an error, not a silent no-op.
+pub struct SimBuilder {
+    devices: Vec<Device>,
+    config: RoundConfig,
+    probe: Probe,
+    deadline: DeadlinePolicy,
+    retry: Option<RetryPolicy>,
+    rescue: bool,
+    rescue_soc_floor: f64,
+    faults: Option<(FaultConfig, usize)>,
+    injector: Option<FaultInjector>,
+    rescheduler: Option<(Box<dyn Scheduler>, usize)>,
+    priors: Option<Vec<LinearProfile>>,
+    cohort_size: Option<usize>,
+    threads: Option<usize>,
+    async_opts: Option<AsyncOptions>,
+}
+
+impl SimBuilder {
+    /// Start building over `devices` with the shared `config`.
+    pub fn new(devices: Vec<Device>, config: RoundConfig) -> Self {
+        SimBuilder {
+            devices,
+            config,
+            probe: Probe::disabled(),
+            deadline: DeadlinePolicy::Off,
+            retry: None,
+            rescue: true,
+            rescue_soc_floor: 0.0,
+            faults: None,
+            injector: None,
+            rescheduler: None,
+            priors: None,
+            cohort_size: None,
+            threads: None,
+            async_opts: None,
+        }
+    }
+
+    /// Attach a telemetry probe. Valid for every build target.
+    pub fn probe(mut self, probe: Probe) -> Self {
+        self.probe = probe;
+        self
+    }
+
+    /// Set the per-round deadline policy. On [`build_resilient`] adaptive
+    /// policies resolve against the cohort's own predicted times each
+    /// round; on [`build_engine`] against each cohort separately; on
+    /// [`build_coordinator`] against the pooled population
+    /// (the tentpole difference).
+    ///
+    /// [`build_resilient`]: SimBuilder::build_resilient
+    /// [`build_engine`]: SimBuilder::build_engine
+    /// [`build_coordinator`]: SimBuilder::build_coordinator
+    pub fn deadline(mut self, policy: DeadlinePolicy) -> Self {
+        self.deadline = policy;
+        self
+    }
+
+    /// Set the transfer retry policy (resilient/engine/coordinator).
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = Some(retry);
+        self
+    }
+
+    /// Disable mid-round straggler rescue.
+    pub fn no_rescue(mut self) -> Self {
+        self.rescue = false;
+        self
+    }
+
+    /// Energy-aware rescue floor: survivors below this SoC are exempt.
+    pub fn rescue_soc_floor(mut self, floor: f64) -> Self {
+        self.rescue_soc_floor = floor;
+        self
+    }
+
+    /// Inject faults drawn from `config`, planned for `planned_rounds`.
+    /// On the engine/coordinator each cohort derives its own injector.
+    pub fn faults(mut self, config: FaultConfig, planned_rounds: usize) -> Self {
+        self.faults = Some((config, planned_rounds));
+        self
+    }
+
+    /// Use a pre-built fault injector (resilient target only). Overrides
+    /// [`faults`](SimBuilder::faults); lets callers decouple the fault-plan
+    /// seed from the simulation seed.
+    pub fn injector(mut self, injector: FaultInjector) -> Self {
+        self.injector = Some(injector);
+        self
+    }
+
+    /// Re-plan the shard allocation every `every` rounds (resilient only).
+    pub fn rescheduler(mut self, scheduler: Box<dyn Scheduler>, every: usize) -> Self {
+        self.rescheduler = Some((scheduler, every));
+        self
+    }
+
+    /// Warm-start online profilers from offline priors (resilient only).
+    pub fn priors(mut self, priors: Vec<LinearProfile>) -> Self {
+        self.priors = Some(priors);
+        self
+    }
+
+    /// Devices per cohort (engine/coordinator only).
+    pub fn cohort_size(mut self, size: usize) -> Self {
+        self.cohort_size = Some(size);
+        self
+    }
+
+    /// Worker threads (engine/coordinator only). Never changes results.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Coordinate cohorts through a buffered asynchronous aggregator
+    /// (coordinator only): merge as soon as `buffer` cohort updates are
+    /// queued, discounting each by FedAsync staleness weight with base
+    /// rate `eta`.
+    pub fn buffered_async(mut self, buffer: usize, eta: f64) -> Self {
+        self.async_opts = Some(AsyncOptions { buffer, eta });
+        self
+    }
+
+    /// True iff some knob forces the fault-tolerant path.
+    fn wants_chaos(&self) -> bool {
+        self.faults.is_some()
+            || self.injector.is_some()
+            || self.retry.is_some()
+            || !self.deadline.is_off()
+            || !self.rescue
+            || self.rescue_soc_floor > 0.0
+            || self.rescheduler.is_some()
+            || self.priors.is_some()
+    }
+
+    /// The first chaos-only knob set, for precise error payloads.
+    fn first_chaos_option(&self) -> &'static str {
+        if self.faults.is_some() {
+            "faults"
+        } else if self.injector.is_some() {
+            "injector"
+        } else if self.retry.is_some() {
+            "retry"
+        } else if !self.deadline.is_off() {
+            "deadline"
+        } else if !self.rescue {
+            "no_rescue"
+        } else if self.rescue_soc_floor > 0.0 {
+            "rescue_soc_floor"
+        } else if self.rescheduler.is_some() {
+            "rescheduler"
+        } else {
+            "priors"
+        }
+    }
+
+    fn check_deadline(&self) -> Result<(), ConfigError> {
+        self.deadline.check().map_err(ConfigError::InvalidDeadline)
+    }
+
+    fn check_retry(&self) -> Result<(), ConfigError> {
+        if let Some(retry) = &self.retry {
+            retry.check().map_err(ConfigError::InvalidRetry)?;
+        }
+        Ok(())
+    }
+
+    fn check_soc_floor(&self) -> Result<(), ConfigError> {
+        let floor = self.rescue_soc_floor;
+        if (0.0..=1.0).contains(&floor) && floor.is_finite() {
+            Ok(())
+        } else {
+            Err(ConfigError::InvalidSocFloor(floor))
+        }
+    }
+
+    fn check_async(&self) -> Result<Option<CoordinationMode>, ConfigError> {
+        match self.async_opts {
+            None => Ok(None),
+            Some(AsyncOptions { buffer, eta }) => {
+                if buffer == 0 {
+                    return Err(ConfigError::InvalidAsync(
+                        "buffer must hold at least one update",
+                    ));
+                }
+                if !(eta > 0.0 && eta.is_finite()) {
+                    return Err(ConfigError::InvalidAsync("eta must be positive and finite"));
+                }
+                Ok(Some(CoordinationMode::BufferedAsync { buffer, eta }))
+            }
+        }
+    }
+
+    /// Build a plain sequential [`RoundSim`]. Rejects every fault,
+    /// deadline, cohort and async knob — the quiet sim has no machinery to
+    /// honour them, and dropping them silently would fake fidelity.
+    pub fn build_sim(self) -> Result<RoundSim, ConfigError> {
+        if self.wants_chaos() {
+            return Err(ConfigError::UnsupportedOption(self.first_chaos_option()));
+        }
+        if self.cohort_size.is_some() {
+            return Err(ConfigError::UnsupportedOption("cohort_size"));
+        }
+        if self.threads.is_some() {
+            return Err(ConfigError::UnsupportedOption("threads"));
+        }
+        if self.async_opts.is_some() {
+            return Err(ConfigError::UnsupportedOption("buffered_async"));
+        }
+        let c = self.config;
+        Ok(
+            RoundSim::from_parts(self.devices, c.workload, c.link, c.model_bytes, c.seed)
+                .with_probe(self.probe),
+        )
+    }
+
+    /// Build a sequential fault-tolerant [`ResilientRoundSim`]. With no
+    /// fault source configured the injector is quiet, which is
+    /// bit-identical to [`RoundSim`] by the crate's determinism contract.
+    pub fn build_resilient(self) -> Result<ResilientRoundSim, ConfigError> {
+        if self.cohort_size.is_some() {
+            return Err(ConfigError::UnsupportedOption("cohort_size"));
+        }
+        if self.threads.is_some() {
+            return Err(ConfigError::UnsupportedOption("threads"));
+        }
+        if self.async_opts.is_some() {
+            return Err(ConfigError::UnsupportedOption("buffered_async"));
+        }
+        self.check_deadline()?;
+        self.check_retry()?;
+        self.check_soc_floor()?;
+        let n = self.devices.len();
+        if let Some((_, every)) = &self.rescheduler {
+            if *every == 0 {
+                return Err(ConfigError::ZeroRescheduleInterval);
+            }
+        }
+        if let Some(priors) = &self.priors {
+            if priors.len() != n {
+                return Err(ConfigError::ArityMismatch {
+                    what: "priors",
+                    expected: n,
+                    got: priors.len(),
+                });
+            }
+        }
+        let c = self.config;
+        let injector = match (self.injector, &self.faults) {
+            (Some(injector), _) => injector,
+            (None, Some((config, planned))) => {
+                FaultInjector::from_config(config.clone(), n, *planned, c.seed)
+            }
+            (None, None) => FaultInjector::quiet(n),
+        };
+        if injector.plan().n_devices() != n {
+            return Err(ConfigError::ArityMismatch {
+                what: "fault plan",
+                expected: n,
+                got: injector.plan().n_devices(),
+            });
+        }
+        let mut sim = ResilientRoundSim::from_parts(
+            self.devices,
+            c.workload,
+            c.link,
+            c.model_bytes,
+            c.seed,
+            injector,
+        )
+        .with_probe(self.probe)
+        .with_deadline_policy(self.deadline)
+        .with_rescue_soc_floor(self.rescue_soc_floor);
+        if let Some(retry) = self.retry {
+            sim = sim.with_retry(retry);
+        }
+        if !self.rescue {
+            sim = sim.without_rescue();
+        }
+        if let Some((scheduler, every)) = self.rescheduler {
+            sim = sim.with_rescheduler(scheduler, every);
+        }
+        if let Some(priors) = self.priors {
+            sim = sim.with_priors(&priors);
+        }
+        Ok(sim)
+    }
+
+    /// Build a [`ParallelRoundEngine`]. Any fault/deadline knob switches
+    /// every cohort to the resilient path; adaptive deadlines resolve *per
+    /// cohort* (use [`build_coordinator`](SimBuilder::build_coordinator)
+    /// for one population-pooled deadline).
+    pub fn build_engine(self) -> Result<ParallelRoundEngine, ConfigError> {
+        if self.injector.is_some() {
+            return Err(ConfigError::UnsupportedOption("injector"));
+        }
+        if self.rescheduler.is_some() {
+            return Err(ConfigError::UnsupportedOption("rescheduler"));
+        }
+        if self.priors.is_some() {
+            return Err(ConfigError::UnsupportedOption("priors"));
+        }
+        if self.async_opts.is_some() {
+            return Err(ConfigError::UnsupportedOption("buffered_async"));
+        }
+        self.build_engine_with(false)
+    }
+
+    /// Build a [`Coordinator`]: a [`ParallelRoundEngine`] driven by a
+    /// cross-cohort control loop. The deadline policy resolves against the
+    /// *pooled population* predictions (one global straggler cutoff per
+    /// round) in barrier mode, or is rejected in buffered-async mode where
+    /// no global barrier exists.
+    pub fn build_coordinator(self) -> Result<Coordinator, ConfigError> {
+        if self.injector.is_some() {
+            return Err(ConfigError::UnsupportedOption("injector"));
+        }
+        if self.rescheduler.is_some() {
+            return Err(ConfigError::UnsupportedOption("rescheduler"));
+        }
+        if self.priors.is_some() {
+            return Err(ConfigError::UnsupportedOption("priors"));
+        }
+        let mode = self.check_async()?.unwrap_or(CoordinationMode::Barrier);
+        let policy = self.deadline;
+        if !policy.is_off() && matches!(mode, CoordinationMode::BufferedAsync { .. }) {
+            return Err(ConfigError::InvalidAsync(
+                "global deadline policies require barrier mode",
+            ));
+        }
+        // The coordinator owns deadline resolution: cohorts must not also
+        // resolve per-cohort, so the engine is always built with its own
+        // policy Off. Applying a global deadline needs chaos machinery in
+        // every cohort, hence the forced (quiet) chaos path below.
+        let mut builder = self;
+        builder.deadline = DeadlinePolicy::Off;
+        builder.async_opts = None;
+        policy.check().map_err(ConfigError::InvalidDeadline)?;
+        let force_chaos = !policy.is_off();
+        let engine = builder.build_engine_with(force_chaos)?;
+        Ok(Coordinator::from_parts(engine, policy, mode))
+    }
+
+    fn build_engine_with(self, force_chaos: bool) -> Result<ParallelRoundEngine, ConfigError> {
+        self.check_deadline()?;
+        self.check_retry()?;
+        self.check_soc_floor()?;
+        let c = self.config;
+        let mut engine = ParallelRoundEngine::from_parts(
+            self.devices,
+            c.workload,
+            c.link,
+            c.model_bytes,
+            c.seed,
+        )
+        .try_with_probe(self.probe)?;
+        if let Some(size) = self.cohort_size {
+            engine = engine.try_with_cohort_size(size)?;
+        }
+        if let Some(threads) = self.threads {
+            engine = engine.try_with_threads(threads)?;
+        }
+        let wants_chaos = self.faults.is_some()
+            || self.retry.is_some()
+            || !self.deadline.is_off()
+            || !self.rescue
+            || self.rescue_soc_floor > 0.0;
+        if wants_chaos || force_chaos {
+            let (config, planned) = self
+                .faults
+                .clone()
+                .unwrap_or_else(|| (FaultConfig::none(), 0));
+            let mut opts = ChaosOptions::new(config, planned)
+                .with_deadline_policy(self.deadline)
+                .with_rescue_soc_floor(self.rescue_soc_floor);
+            if let Some(retry) = self.retry {
+                opts = opts.with_retry(retry);
+            }
+            if !self.rescue {
+                opts = opts.without_rescue();
+            }
+            engine = engine.try_with_chaos(opts)?;
+        }
+        Ok(engine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedsched_core::Schedule;
+    use fedsched_device::Testbed;
+
+    fn config(seed: u64) -> RoundConfig {
+        RoundConfig::new(TrainingWorkload::lenet(), Link::wifi_campus(), 2.5e6, seed)
+    }
+
+    fn devices(seed: u64) -> Vec<Device> {
+        Testbed::testbed_1(seed).devices().to_vec()
+    }
+
+    fn schedule() -> Schedule {
+        Schedule::new(vec![10, 10, 10], 100.0)
+    }
+
+    #[test]
+    fn builder_sim_matches_positional_constructor() {
+        let mut a = SimBuilder::new(devices(7), config(7)).build_sim().unwrap();
+        #[allow(deprecated)]
+        let mut b = RoundSim::new(
+            devices(7),
+            TrainingWorkload::lenet(),
+            Link::wifi_campus(),
+            2.5e6,
+            7,
+        );
+        assert_eq!(a.run(&schedule(), 3), b.run(&schedule(), 3));
+    }
+
+    #[test]
+    fn builder_resilient_defaults_to_quiet_injector() {
+        let mut quiet = SimBuilder::new(devices(9), config(9))
+            .build_resilient()
+            .unwrap();
+        let mut plain = SimBuilder::new(devices(9), config(9)).build_sim().unwrap();
+        let report = quiet.run(&schedule(), 3);
+        assert_eq!(report.timing, plain.run(&schedule(), 3));
+        assert!(report.rounds.iter().all(|r| r.lost_shards == 0));
+    }
+
+    #[test]
+    fn unsupported_knobs_are_rejected_not_dropped() {
+        let err = SimBuilder::new(devices(1), config(1))
+            .deadline(DeadlinePolicy::Fixed(10.0))
+            .build_sim()
+            .err()
+            .unwrap();
+        assert_eq!(err, ConfigError::UnsupportedOption("deadline"));
+        assert_eq!(err.cause_code(), "unsupported_option");
+
+        let err = SimBuilder::new(devices(1), config(1))
+            .cohort_size(4)
+            .build_resilient()
+            .err()
+            .unwrap();
+        assert_eq!(err, ConfigError::UnsupportedOption("cohort_size"));
+
+        let err = SimBuilder::new(devices(1), config(1))
+            .buffered_async(2, 0.5)
+            .build_engine()
+            .err()
+            .unwrap();
+        assert_eq!(err, ConfigError::UnsupportedOption("buffered_async"));
+    }
+
+    #[test]
+    fn invalid_values_map_to_typed_errors() {
+        let err = SimBuilder::new(devices(1), config(1))
+            .cohort_size(0)
+            .build_engine()
+            .err()
+            .unwrap();
+        assert_eq!(err, ConfigError::ZeroCohortSize);
+        assert_eq!(err.cause_code(), "zero_cohort_size");
+
+        let err = SimBuilder::new(devices(1), config(1))
+            .threads(0)
+            .build_engine()
+            .err()
+            .unwrap();
+        assert_eq!(err, ConfigError::ZeroThreads);
+
+        let err = SimBuilder::new(devices(1), config(1))
+            .deadline(DeadlinePolicy::Fixed(-1.0))
+            .build_resilient()
+            .err()
+            .unwrap();
+        assert_eq!(err.cause_code(), "invalid_deadline");
+
+        let err = SimBuilder::new(devices(1), config(1))
+            .rescue_soc_floor(1.5)
+            .build_resilient()
+            .err()
+            .unwrap();
+        assert_eq!(err, ConfigError::InvalidSocFloor(1.5));
+
+        let err = SimBuilder::new(devices(1), config(1))
+            .priors(Vec::new())
+            .build_resilient()
+            .err()
+            .unwrap();
+        assert_eq!(
+            err,
+            ConfigError::ArityMismatch {
+                what: "priors",
+                expected: 3,
+                got: 0
+            }
+        );
+
+        let err = SimBuilder::new(devices(1), config(1))
+            .buffered_async(0, 0.5)
+            .build_coordinator()
+            .err()
+            .unwrap();
+        assert_eq!(err.cause_code(), "invalid_async");
+
+        let err = SimBuilder::new(devices(1), config(1))
+            .deadline(DeadlinePolicy::MeanFactor(1.5))
+            .buffered_async(2, 0.5)
+            .build_coordinator()
+            .err()
+            .unwrap();
+        assert_eq!(err.cause_code(), "invalid_async");
+    }
+
+    #[test]
+    fn configure_after_run_is_typed() {
+        let mut engine = SimBuilder::new(devices(3), config(3))
+            .build_engine()
+            .unwrap();
+        let _ = engine.run(&schedule(), 1);
+        let err = engine.try_with_cohort_size(2).err().unwrap();
+        assert_eq!(err, ConfigError::ConfiguredAfterRun("cohort size"));
+        assert_eq!(err.cause_code(), "configured_after_run");
+    }
+
+    #[test]
+    fn display_and_cause_codes_are_stable() {
+        let cases: Vec<(ConfigError, &str)> = vec![
+            (ConfigError::ZeroCohortSize, "zero_cohort_size"),
+            (ConfigError::ZeroThreads, "zero_threads"),
+            (
+                ConfigError::ConfiguredAfterRun("probe"),
+                "configured_after_run",
+            ),
+            (ConfigError::EmptyAssignment, "empty_assignment"),
+            (ConfigError::InvalidDeadline("x"), "invalid_deadline"),
+            (ConfigError::InvalidSocFloor(2.0), "invalid_soc_floor"),
+            (ConfigError::InvalidRetry("x"), "invalid_retry"),
+            (ConfigError::InvalidAsync("x"), "invalid_async"),
+            (ConfigError::UnsupportedOption("x"), "unsupported_option"),
+            (
+                ConfigError::ArityMismatch {
+                    what: "priors",
+                    expected: 3,
+                    got: 1,
+                },
+                "arity_mismatch",
+            ),
+            (
+                ConfigError::ZeroRescheduleInterval,
+                "zero_reschedule_interval",
+            ),
+        ];
+        for (err, code) in cases {
+            assert_eq!(err.cause_code(), code);
+            assert!(!err.to_string().is_empty());
+            let _: &dyn std::error::Error = &err;
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_delegate() {
+        use fedsched_faults::FaultInjector;
+        let mut new_style = SimBuilder::new(devices(5), config(5))
+            .deadline(DeadlinePolicy::Fixed(60.0))
+            .build_resilient()
+            .unwrap();
+        let mut old_style = ResilientRoundSim::new(
+            devices(5),
+            TrainingWorkload::lenet(),
+            Link::wifi_campus(),
+            2.5e6,
+            5,
+            FaultInjector::quiet(3),
+        )
+        .with_deadline(Some(60.0));
+        assert_eq!(new_style.run(&schedule(), 4), old_style.run(&schedule(), 4));
+    }
+}

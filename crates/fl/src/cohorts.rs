@@ -43,7 +43,7 @@
 use std::ops::Range;
 use std::sync::{Arc, Mutex};
 
-use fedsched_core::Schedule;
+use fedsched_core::{DeadlinePolicy, Schedule};
 use fedsched_device::{Device, TrainingWorkload};
 use fedsched_faults::{FaultConfig, FaultInjector};
 use fedsched_net::{Link, RetryPolicy};
@@ -51,8 +51,9 @@ use fedsched_parallel::{fixed_chunks, parallel_map_stealing, recommended_threads
 use fedsched_telemetry::{Event, EventLog, Probe};
 use serde::Serialize;
 
+use crate::builder::ConfigError;
 use crate::resilient::{ResilientRoundSim, RoundOutcome};
-use crate::roundsim::{RoundSim, TimingReport};
+use crate::roundsim::{predict_round_times, RoundSim, TimingReport};
 
 /// Default devices per cohort. Large enough that the per-cohort setup cost
 /// is amortized, small enough that a 10k-device population spreads over
@@ -104,8 +105,10 @@ pub struct ChaosOptions {
     pub planned_rounds: usize,
     /// Retry policy applied to every transfer.
     pub retry: RetryPolicy,
-    /// Optional per-round deadline (seconds).
-    pub deadline_s: Option<f64>,
+    /// Per-round deadline policy, resolved per cohort (adaptive policies
+    /// pool *that cohort's* predicted times — for a population-wide pooled
+    /// deadline, wrap the engine in a [`Coordinator`](crate::Coordinator)).
+    pub deadline: DeadlinePolicy,
     /// Whether mid-round straggler rescue is enabled.
     pub rescue: bool,
     /// Battery SoC floor below which survivors are exempt from rescue work.
@@ -120,7 +123,7 @@ impl ChaosOptions {
             config,
             planned_rounds,
             retry: RetryPolicy::single_attempt(),
-            deadline_s: None,
+            deadline: DeadlinePolicy::Off,
             rescue: true,
             rescue_soc_floor: 0.0,
         }
@@ -132,9 +135,18 @@ impl ChaosOptions {
         self
     }
 
-    /// Set the per-round deadline.
-    pub fn with_deadline(mut self, deadline_s: f64) -> Self {
-        self.deadline_s = Some(deadline_s);
+    /// Set a fixed per-round deadline.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use with_deadline_policy(DeadlinePolicy::Fixed(..))"
+    )]
+    pub fn with_deadline(self, deadline_s: f64) -> Self {
+        self.with_deadline_policy(DeadlinePolicy::Fixed(deadline_s))
+    }
+
+    /// Set the per-round deadline policy (see [`ChaosOptions::deadline`]).
+    pub fn with_deadline_policy(mut self, policy: DeadlinePolicy) -> Self {
+        self.deadline = policy;
         self
     }
 
@@ -246,7 +258,24 @@ impl ParallelRoundEngine {
     /// Create an engine over `devices` with the default cohort size and
     /// [`default_engine_threads`] workers. Configuration builders must be
     /// applied before the first [`run`](ParallelRoundEngine::run).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use fedsched_fl::SimBuilder::new(devices, config).build_engine()"
+    )]
     pub fn new(
+        devices: Vec<Device>,
+        workload: TrainingWorkload,
+        link: Link,
+        model_bytes: f64,
+        seed: u64,
+    ) -> Self {
+        Self::from_parts(devices, workload, link, model_bytes, seed)
+    }
+
+    /// Positional constructor backing both the deprecated
+    /// [`ParallelRoundEngine::new`] shim and the
+    /// [`SimBuilder`](crate::SimBuilder).
+    pub(crate) fn from_parts(
         devices: Vec<Device>,
         workload: TrainingWorkload,
         link: Link,
@@ -276,21 +305,41 @@ impl ParallelRoundEngine {
     ///
     /// # Panics
     /// Panics if `size` is zero or the engine has already run.
-    pub fn with_cohort_size(mut self, size: usize) -> Self {
+    pub fn with_cohort_size(self, size: usize) -> Self {
         assert!(size > 0, "cohort size must be positive");
-        self.assert_unbuilt();
+        match self.try_with_cohort_size(size) {
+            Ok(eng) => eng,
+            Err(err) => panic!("configure the engine before its first run ({err})"),
+        }
+    }
+
+    /// Fallible form of [`ParallelRoundEngine::with_cohort_size`].
+    pub fn try_with_cohort_size(mut self, size: usize) -> Result<Self, ConfigError> {
+        if size == 0 {
+            return Err(ConfigError::ZeroCohortSize);
+        }
+        self.check_unbuilt("cohort size")?;
         self.cohort_size = size;
-        self
+        Ok(self)
     }
 
     /// Set the worker thread count. Affects wall-clock only, never results.
     ///
     /// # Panics
     /// Panics if `threads` is zero.
-    pub fn with_threads(mut self, threads: usize) -> Self {
+    pub fn with_threads(self, threads: usize) -> Self {
         assert!(threads > 0, "thread count must be positive");
+        self.try_with_threads(threads)
+            .expect("positive thread count is always accepted")
+    }
+
+    /// Fallible form of [`ParallelRoundEngine::with_threads`].
+    pub fn try_with_threads(mut self, threads: usize) -> Result<Self, ConfigError> {
+        if threads == 0 {
+            return Err(ConfigError::ZeroThreads);
+        }
         self.threads = threads;
-        self
+        Ok(self)
     }
 
     /// Attach a telemetry probe. During the parallel phase each cohort
@@ -301,10 +350,18 @@ impl ParallelRoundEngine {
     ///
     /// # Panics
     /// Panics if the engine has already run.
-    pub fn with_probe(mut self, probe: Probe) -> Self {
-        self.assert_unbuilt();
+    pub fn with_probe(self, probe: Probe) -> Self {
+        match self.try_with_probe(probe) {
+            Ok(eng) => eng,
+            Err(err) => panic!("configure the engine before its first run ({err})"),
+        }
+    }
+
+    /// Fallible form of [`ParallelRoundEngine::with_probe`].
+    pub fn try_with_probe(mut self, probe: Probe) -> Result<Self, ConfigError> {
+        self.check_unbuilt("probe")?;
         self.probe = probe;
-        self
+        Ok(self)
     }
 
     /// Switch every cohort to the resilient path with faults drawn from
@@ -314,22 +371,37 @@ impl ParallelRoundEngine {
     ///
     /// # Panics
     /// Panics if the engine has already run.
-    pub fn with_chaos(mut self, options: ChaosOptions) -> Self {
-        self.assert_unbuilt();
-        self.chaos = Some(options);
-        self
+    pub fn with_chaos(self, options: ChaosOptions) -> Self {
+        match self.try_with_chaos(options) {
+            Ok(eng) => eng,
+            Err(err) => panic!("configure the engine before its first run ({err})"),
+        }
     }
 
-    fn assert_unbuilt(&self) {
-        assert!(
-            self.slots.is_empty(),
-            "configure the engine before its first run"
-        );
+    /// Fallible form of [`ParallelRoundEngine::with_chaos`].
+    pub fn try_with_chaos(mut self, options: ChaosOptions) -> Result<Self, ConfigError> {
+        self.check_unbuilt("chaos options")?;
+        self.chaos = Some(options);
+        Ok(self)
+    }
+
+    fn check_unbuilt(&self, what: &'static str) -> Result<(), ConfigError> {
+        if self.slots.is_empty() {
+            Ok(())
+        } else {
+            Err(ConfigError::ConfiguredAfterRun(what))
+        }
     }
 
     /// Population size.
     pub fn n_devices(&self) -> usize {
         self.n
+    }
+
+    /// A clone of the engine's probe (shares the attached sink), for the
+    /// coordinator to emit population-level events into the same stream.
+    pub(crate) fn probe_handle(&self) -> Probe {
+        self.probe.clone()
     }
 
     /// Number of cohorts the population partitions into.
@@ -402,7 +474,7 @@ impl ParallelRoundEngine {
             };
             let sim = match &self.chaos {
                 None => CohortSim::Quiet(Box::new(
-                    RoundSim::new(
+                    RoundSim::from_parts(
                         cohort_devices,
                         self.workload,
                         self.link,
@@ -418,7 +490,7 @@ impl ParallelRoundEngine {
                         opts.planned_rounds,
                         seed,
                     );
-                    let mut sim = ResilientRoundSim::new(
+                    let mut sim = ResilientRoundSim::from_parts(
                         cohort_devices,
                         self.workload,
                         self.link,
@@ -428,7 +500,7 @@ impl ParallelRoundEngine {
                     )
                     .with_probe(cohort_probe)
                     .with_retry(opts.retry)
-                    .with_deadline(opts.deadline_s)
+                    .with_deadline_policy(opts.deadline)
                     .with_rescue_soc_floor(opts.rescue_soc_floor);
                     if !opts.rescue {
                         sim = sim.without_rescue();
@@ -514,6 +586,42 @@ impl ParallelRoundEngine {
         let report = merge_runs(&self.slots, &sub_schedules, runs, rounds, first_round);
         self.rounds_done += rounds;
         report
+    }
+
+    /// Push one straggler deadline into every chaos cohort (or clear them
+    /// with `None`). Quiet cohorts have no deadline machinery and are left
+    /// untouched. This is the [`Coordinator`](crate::Coordinator) hook for
+    /// applying a globally-resolved deadline before a round runs; it builds
+    /// the cohort sims if needed but never advances any RNG stream.
+    pub(crate) fn set_cohort_deadlines(&mut self, deadline_s: Option<f64>) {
+        self.ensure_slots();
+        for slot in &self.slots {
+            let mut sim = slot.sim.lock().unwrap();
+            if let CohortSim::Chaos(rs) = &mut *sim {
+                rs.set_deadline(deadline_s);
+            }
+        }
+    }
+
+    /// Side-effect-free per-user predicted round times for `schedule`,
+    /// pooled over the *whole population* in population order. Built from a
+    /// snapshot of current device state (thermal throttling included) and
+    /// never draws from any RNG — calling it does not perturb the simulated
+    /// timeline. The [`Coordinator`](crate::Coordinator) resolves adaptive
+    /// [`DeadlinePolicy`] values against this pool.
+    pub fn predicted_user_times(&self, schedule: &Schedule) -> Vec<f64> {
+        assert_eq!(
+            schedule.shards.len(),
+            self.n,
+            "schedule/population size mismatch"
+        );
+        predict_round_times(
+            &self.devices(),
+            &self.workload,
+            &self.link,
+            self.model_bytes,
+            schedule,
+        )
     }
 }
 
@@ -657,7 +765,7 @@ mod tests {
     }
 
     fn engine(n: usize, seed: u64) -> ParallelRoundEngine {
-        ParallelRoundEngine::new(
+        ParallelRoundEngine::from_parts(
             population(n, seed),
             TrainingWorkload::lenet(),
             Link::wifi_campus(),
@@ -682,7 +790,7 @@ mod tests {
     fn single_cohort_engine_matches_sequential_roundsim() {
         let tb = Testbed::testbed_1(7);
         let schedule = Schedule::new(vec![10, 10, 10], 100.0);
-        let mut reference = RoundSim::new(
+        let mut reference = RoundSim::from_parts(
             tb.devices().to_vec(),
             TrainingWorkload::lenet(),
             Link::wifi_campus(),
@@ -692,7 +800,7 @@ mod tests {
         let expected = reference.run(&schedule, 4);
 
         for threads in [1, 4] {
-            let mut eng = ParallelRoundEngine::new(
+            let mut eng = ParallelRoundEngine::from_parts(
                 tb.devices().to_vec(),
                 TrainingWorkload::lenet(),
                 Link::wifi_campus(),
@@ -818,7 +926,7 @@ mod tests {
         let n = 9;
         let schedule = uniform_schedule(n, 2);
         let config = FaultConfig::none().with_crash_prob(0.3);
-        let mut reference = ResilientRoundSim::new(
+        let mut reference = ResilientRoundSim::from_parts(
             population(n, 13),
             TrainingWorkload::lenet(),
             Link::wifi_campus(),

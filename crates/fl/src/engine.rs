@@ -17,6 +17,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
 
+use crate::builder::ConfigError;
 use crate::metrics::analyze_round;
 use crate::server::fedavg_aggregate;
 
@@ -82,6 +83,18 @@ impl<'a> FlSetup<'a> {
             self.assignment.iter().any(|a| !a.is_empty()),
             "federated run needs at least one user with data"
         );
+        match self.try_run() {
+            Ok(out) => out,
+            Err(err) => panic!("{err}"),
+        }
+    }
+
+    /// Fallible form of [`FlSetup::run`]: a setup where every user is idle
+    /// yields [`ConfigError::EmptyAssignment`] instead of panicking.
+    pub fn try_run(&self) -> Result<FlOutcome, ConfigError> {
+        if !self.assignment.iter().any(|a| !a.is_empty()) {
+            return Err(ConfigError::EmptyAssignment);
+        }
         let dims = self.train.kind().dims();
         let template = self.model.build_with_threads(dims, self.seed, 1);
         let mut global = template.flat_params();
@@ -164,12 +177,12 @@ impl<'a> FlSetup<'a> {
                 accuracy: final_accuracy,
             });
         }
-        FlOutcome {
+        Ok(FlOutcome {
             final_accuracy,
             round_accuracies,
             round_losses,
             global,
-        }
+        })
     }
 
     /// Test-set accuracy of a parameter vector.

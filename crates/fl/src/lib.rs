@@ -25,7 +25,9 @@
 
 pub mod assign;
 pub mod asyncfl;
+pub mod builder;
 pub mod cohorts;
+pub mod coordinator;
 pub mod engine;
 pub mod gossip;
 pub mod metrics;
@@ -35,10 +37,14 @@ pub mod secure;
 pub mod server;
 
 pub use assign::{assignment_from_schedule_iid, assignment_from_schedule_noniid};
-pub use asyncfl::{AsyncFlOutcome, AsyncFlSetup};
+pub use asyncfl::{staleness_weight, AsyncFlOutcome, AsyncFlSetup};
+pub use builder::{ConfigError, RoundConfig, SimBuilder};
 pub use cohorts::{
     default_engine_threads, derive_cohort_seed, ChaosOptions, CohortReport, EngineReport,
     ParallelRoundEngine, DEFAULT_COHORT_SIZE, THREADS_ENV,
+};
+pub use coordinator::{
+    CoordinationMode, Coordinator, CoordinatorReport, GlobalRoundOutcome, MergeRecord,
 };
 pub use engine::{FlOutcome, FlSetup};
 pub use gossip::{GossipOutcome, GossipSetup, Topology};
@@ -47,3 +53,6 @@ pub use resilient::{ChaosReport, ResilientRoundSim, RoundOutcome};
 pub use roundsim::{RoundSim, TimingReport};
 pub use secure::{mask_update, secure_fedavg, unmask_sum};
 pub use server::fedavg_aggregate;
+
+// Re-exported so downstream builder call sites need only this crate.
+pub use fedsched_core::DeadlinePolicy;

@@ -27,7 +27,7 @@
 //! [`TimingReport`]. All fault-only randomness (loss decisions, backoff
 //! jitter) comes from counter-based [`DrawStream`](fedsched_faults::DrawStream)s.
 
-use fedsched_core::{CostMatrix, Schedule, Scheduler};
+use fedsched_core::{CostMatrix, DeadlinePolicy, Schedule, Scheduler};
 use fedsched_device::{Device, TrainingWorkload};
 use fedsched_faults::{DeviceFate, FaultInjector};
 use fedsched_net::{Link, LossyLink, RetryPolicy};
@@ -37,7 +37,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
 
-use crate::roundsim::TimingReport;
+use crate::roundsim::{predict_round_times, TimingReport};
 
 /// Cost profile assigned to devices the server knows nothing about (never
 /// observed) or knows to be gone: large but finite, so cost matrices stay
@@ -144,7 +144,7 @@ pub struct ResilientRoundSim {
     rounds_done: usize,
     injector: FaultInjector,
     retry: RetryPolicy,
-    deadline_s: Option<f64>,
+    deadline: DeadlinePolicy,
     rescue: bool,
     rescue_soc_floor: f64,
     rescheduler: Option<Rescheduler>,
@@ -161,7 +161,28 @@ impl ResilientRoundSim {
     ///
     /// # Panics
     /// Panics if the injector was planned for a different cohort size.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use fedsched_fl::SimBuilder::new(devices, config).build_resilient()"
+    )]
     pub fn new(
+        devices: Vec<Device>,
+        workload: TrainingWorkload,
+        link: Link,
+        model_bytes: f64,
+        seed: u64,
+        injector: FaultInjector,
+    ) -> Self {
+        Self::from_parts(devices, workload, link, model_bytes, seed, injector)
+    }
+
+    /// Positional constructor backing both the deprecated
+    /// [`ResilientRoundSim::new`] shim and the
+    /// [`SimBuilder`](crate::SimBuilder).
+    ///
+    /// # Panics
+    /// Panics if the injector was planned for a different cohort size.
+    pub(crate) fn from_parts(
         devices: Vec<Device>,
         workload: TrainingWorkload,
         link: Link,
@@ -185,7 +206,7 @@ impl ResilientRoundSim {
             rounds_done: 0,
             injector,
             retry: RetryPolicy::single_attempt(),
-            deadline_s: None,
+            deadline: DeadlinePolicy::Off,
             rescue: true,
             rescue_soc_floor: 0.0,
             rescheduler: None,
@@ -218,12 +239,71 @@ impl ResilientRoundSim {
     /// Set (or clear) the per-round deadline. Stragglers past the deadline
     /// are cut off with partial credit; crashed users are detected at the
     /// deadline instead of when the rest of the round drains.
-    pub fn with_deadline(mut self, deadline_s: Option<f64>) -> Self {
+    #[deprecated(
+        since = "0.1.0",
+        note = "use with_deadline_policy(DeadlinePolicy::Fixed(..) / Off) or SimBuilder::deadline"
+    )]
+    pub fn with_deadline(self, deadline_s: Option<f64>) -> Self {
         if let Some(d) = deadline_s {
             assert!(d > 0.0 && d.is_finite(), "deadline must be positive");
         }
-        self.deadline_s = deadline_s;
+        self.with_deadline_policy(match deadline_s {
+            Some(d) => DeadlinePolicy::Fixed(d),
+            None => DeadlinePolicy::Off,
+        })
+    }
+
+    /// Set the per-round deadline policy. `Fixed` applies a constant cutoff;
+    /// `MeanFactor` / `Quantile` re-resolve the cutoff **every round** from
+    /// side-effect-free predicted per-user times
+    /// ([`predict_round_times`](crate::roundsim::predict_round_times)) on
+    /// the *current* schedule and thermal state, so the deadline tightens
+    /// or relaxes as the cohort drifts.
+    ///
+    /// # Panics
+    /// Panics on a malformed policy (non-positive fixed deadline or mean
+    /// factor, quantile outside `[0, 1]`) — the fallible path is
+    /// [`SimBuilder::deadline`](crate::SimBuilder::deadline).
+    pub fn with_deadline_policy(mut self, policy: DeadlinePolicy) -> Self {
+        if let Err(rule) = policy.check() {
+            panic!("{rule}");
+        }
+        self.deadline = policy;
         self
+    }
+
+    /// Overwrite the deadline for the *next* rounds with an
+    /// already-resolved cutoff (or clear it). This is the coordination
+    /// hook: [`Coordinator`](crate::Coordinator) resolves one global
+    /// deadline from population-pooled predictions and pushes it into every
+    /// cohort before the cohorts run.
+    pub fn set_deadline(&mut self, deadline_s: Option<f64>) {
+        if let Some(d) = deadline_s {
+            assert!(d > 0.0 && d.is_finite(), "deadline must be positive");
+        }
+        self.deadline = match deadline_s {
+            Some(d) => DeadlinePolicy::Fixed(d),
+            None => DeadlinePolicy::Off,
+        };
+    }
+
+    /// The deadline resolved for the coming round: `Fixed` passes through,
+    /// adaptive policies pool the cohort's predicted per-user times.
+    fn round_deadline(&self, current: &Schedule) -> Option<f64> {
+        match self.deadline {
+            DeadlinePolicy::Off => None,
+            DeadlinePolicy::Fixed(d) => Some(d),
+            _ => {
+                let predicted = predict_round_times(
+                    &self.devices,
+                    &self.workload,
+                    &self.link,
+                    self.model_bytes,
+                    current,
+                );
+                self.deadline.resolve(&predicted)
+            }
+        }
     }
 
     /// Disable mid-round straggler rescue (failed users' shards are lost).
@@ -329,6 +409,10 @@ impl ResilientRoundSim {
 
         for _ in 0..rounds {
             let round = self.rounds_done;
+            // Resolve the deadline for this round *before* anything draws
+            // from the RNG: adaptive policies predict on clones, so the
+            // resolution is invisible to the simulation proper.
+            let deadline_s = self.round_deadline(&current);
             let participants = current.shards.iter().filter(|&&k| k > 0).count();
             self.probe.emit(|| Event::RoundStart {
                 round,
@@ -448,7 +532,7 @@ impl ResilientRoundSim {
                     }
                     _ => {
                         let finish = comm + compute;
-                        match self.deadline_s {
+                        match deadline_s {
                             Some(d) if finish > d => {
                                 let progress = if compute > 0.0 {
                                     ((d - comm) / compute).clamp(0.0, 1.0)
@@ -511,14 +595,14 @@ impl ResilientRoundSim {
                 match e {
                     Phase1::Survivor { finish, .. } => responder_max = responder_max.max(*finish),
                     Phase1::Cut { .. } => {
-                        responder_max = responder_max.max(self.deadline_s.unwrap_or(0.0))
+                        responder_max = responder_max.max(deadline_s.unwrap_or(0.0))
                     }
                     Phase1::CommFail { elapsed, .. } => fail_max = fail_max.max(*elapsed),
                     Phase1::Fail { t_fail, .. } => fail_max = fail_max.max(*t_fail),
                     Phase1::Offline { .. } => {}
                 }
             }
-            let crash_det = self.deadline_s.unwrap_or(if responder_max > 0.0 {
+            let crash_det = deadline_s.unwrap_or(if responder_max > 0.0 {
                 responder_max
             } else {
                 fail_max
@@ -557,7 +641,7 @@ impl ResilientRoundSim {
                     } => {
                         completed += done;
                         pool.push((*j, *at_risk));
-                        let d = self.deadline_s.unwrap_or(0.0);
+                        let d = deadline_s.unwrap_or(0.0);
                         detection = detection.max(d);
                         failed_users += 1;
                         timed_out += 1;
@@ -814,8 +898,9 @@ mod tests {
 
     #[test]
     fn quiet_run_is_bit_identical_to_roundsim() {
-        let mut plain = RoundSim::new(devices(11), TrainingWorkload::lenet(), link(), 2.5e6, 11);
-        let mut resilient = ResilientRoundSim::new(
+        let mut plain =
+            RoundSim::from_parts(devices(11), TrainingWorkload::lenet(), link(), 2.5e6, 11);
+        let mut resilient = ResilientRoundSim::from_parts(
             devices(11),
             TrainingWorkload::lenet(),
             link(),
@@ -841,7 +926,7 @@ mod tests {
             .with_contention(0.2, 1.5);
         let run = || {
             let inj = FaultInjector::from_config(config.clone(), 3, 10, 77);
-            let mut sim = ResilientRoundSim::new(
+            let mut sim = ResilientRoundSim::from_parts(
                 devices(7),
                 TrainingWorkload::lenet(),
                 link(),
@@ -850,7 +935,7 @@ mod tests {
                 inj,
             )
             .with_retry(RetryPolicy::default_chaos())
-            .with_deadline(Some(60.0));
+            .with_deadline_policy(DeadlinePolicy::Fixed(60.0));
             sim.run(&schedule(), 10)
         };
         let a = run();
@@ -866,10 +951,16 @@ mod tests {
             .with_loss_prob(0.2)
             .with_outages(0.3, 40.0, 10.0);
         let inj = FaultInjector::from_config(config, 3, 12, 5);
-        let mut sim =
-            ResilientRoundSim::new(devices(5), TrainingWorkload::lenet(), link(), 2.5e6, 5, inj)
-                .with_retry(RetryPolicy::default_chaos())
-                .with_deadline(Some(45.0));
+        let mut sim = ResilientRoundSim::from_parts(
+            devices(5),
+            TrainingWorkload::lenet(),
+            link(),
+            2.5e6,
+            5,
+            inj,
+        )
+        .with_retry(RetryPolicy::default_chaos())
+        .with_deadline_policy(DeadlinePolicy::Fixed(45.0));
         let report = sim.run(&schedule(), 12);
         for r in &report.rounds {
             assert_eq!(
@@ -891,7 +982,7 @@ mod tests {
         let config = FaultConfig::none().with_crash_prob(0.35);
         let run = |rescue: bool| {
             let inj = FaultInjector::from_config(config.clone(), 3, 15, 21);
-            let mut sim = ResilientRoundSim::new(
+            let mut sim = ResilientRoundSim::from_parts(
                 devices(21),
                 TrainingWorkload::lenet(),
                 link(),
@@ -899,7 +990,7 @@ mod tests {
                 21,
                 inj,
             )
-            .with_deadline(Some(60.0));
+            .with_deadline_policy(DeadlinePolicy::Fixed(60.0));
             if !rescue {
                 sim = sim.without_rescue();
             }
@@ -922,7 +1013,7 @@ mod tests {
 
     #[test]
     fn deadline_caps_phase_one_makespan() {
-        let mut sim = ResilientRoundSim::new(
+        let mut sim = ResilientRoundSim::from_parts(
             devices(9),
             TrainingWorkload::lenet(),
             link(),
@@ -930,7 +1021,7 @@ mod tests {
             9,
             FaultInjector::quiet(3),
         )
-        .with_deadline(Some(5.0))
+        .with_deadline_policy(DeadlinePolicy::Fixed(5.0))
         .without_rescue();
         let report = sim.run(&schedule(), 3);
         for r in &report.rounds {
@@ -946,7 +1037,7 @@ mod tests {
         // Device 0 churns out in round 0 with certainty.
         let config = FaultConfig::none().with_churn_prob(1.0);
         let inj = FaultInjector::from_config(config, 3, 1, 2);
-        let mut sim = ResilientRoundSim::new(
+        let mut sim = ResilientRoundSim::from_parts(
             devices(13),
             TrainingWorkload::lenet(),
             link(),
@@ -981,8 +1072,14 @@ mod tests {
             // The only survivor enters the round nearly empty.
             devs[0].set_battery_soc(0.05);
             let inj = FaultInjector::from_config(config.clone(), 2, 1, seed);
-            let mut sim =
-                ResilientRoundSim::new(devs, TrainingWorkload::lenet(), link(), 2.5e6, 31, inj);
+            let mut sim = ResilientRoundSim::from_parts(
+                devs,
+                TrainingWorkload::lenet(),
+                link(),
+                2.5e6,
+                31,
+                inj,
+            );
             if let Some(f) = floor {
                 sim = sim.with_rescue_soc_floor(f);
             }
@@ -1010,7 +1107,7 @@ mod tests {
         let config = FaultConfig::none().with_crash_prob(0.3).with_loss_prob(0.1);
         let run = |explicit_floor: bool| {
             let inj = FaultInjector::from_config(config.clone(), 3, 8, 17);
-            let mut sim = ResilientRoundSim::new(
+            let mut sim = ResilientRoundSim::from_parts(
                 devices(17),
                 TrainingWorkload::lenet(),
                 link(),
@@ -1030,7 +1127,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "rescue SoC floor must be in [0, 1]")]
     fn out_of_range_soc_floor_panics() {
-        let _ = ResilientRoundSim::new(
+        let _ = ResilientRoundSim::from_parts(
             devices(1),
             TrainingWorkload::lenet(),
             link(),
@@ -1050,7 +1147,7 @@ mod tests {
             .with_loss_prob(0.15);
         let run = |probe: Option<Probe>| {
             let inj = FaultInjector::from_config(config.clone(), 3, 8, 3);
-            let mut sim = ResilientRoundSim::new(
+            let mut sim = ResilientRoundSim::from_parts(
                 devices(3),
                 TrainingWorkload::lenet(),
                 link(),
@@ -1059,7 +1156,7 @@ mod tests {
                 inj,
             )
             .with_retry(RetryPolicy::default_chaos())
-            .with_deadline(Some(50.0));
+            .with_deadline_policy(DeadlinePolicy::Fixed(50.0));
             if let Some(p) = probe {
                 sim = sim.with_probe(p);
             }
@@ -1075,7 +1172,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "fault plan/cohort size mismatch")]
     fn wrong_injector_arity_panics() {
-        let _ = ResilientRoundSim::new(
+        let _ = ResilientRoundSim::from_parts(
             devices(1),
             TrainingWorkload::lenet(),
             link(),

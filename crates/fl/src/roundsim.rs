@@ -57,7 +57,23 @@ pub struct RoundSim {
 impl RoundSim {
     /// Create a simulator over `devices`. `model_bytes` is the transfer
     /// payload per direction (see `fedsched_net::model_transfer_bytes`).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use fedsched_fl::SimBuilder::new(devices, config).build_sim()"
+    )]
     pub fn new(
+        devices: Vec<Device>,
+        workload: TrainingWorkload,
+        link: Link,
+        model_bytes: f64,
+        seed: u64,
+    ) -> Self {
+        Self::from_parts(devices, workload, link, model_bytes, seed)
+    }
+
+    /// Positional constructor backing both the deprecated [`RoundSim::new`]
+    /// shim and the [`SimBuilder`](crate::SimBuilder).
+    pub(crate) fn from_parts(
         devices: Vec<Device>,
         workload: TrainingWorkload,
         link: Link,
@@ -176,6 +192,44 @@ impl RoundSim {
     }
 }
 
+/// Predicted per-user round times for `schedule` on `devices`, with zero
+/// side effects: communication is the link's deterministic expectation (no
+/// jitter draw) and computation runs on *clones* of the devices with
+/// telemetry detached, so neither the RNG stream, the thermal state, nor
+/// the event log of the real simulation is perturbed. Idle users predict
+/// `0.0`.
+///
+/// This is the pooling input for [`DeadlinePolicy`](fedsched_core::DeadlinePolicy)
+/// resolution — both the per-cohort resolution inside
+/// [`ResilientRoundSim`](crate::ResilientRoundSim) and the population-wide
+/// pooling in [`Coordinator`](crate::Coordinator).
+pub fn predict_round_times(
+    devices: &[Device],
+    workload: &TrainingWorkload,
+    link: &Link,
+    model_bytes: f64,
+    schedule: &Schedule,
+) -> Vec<f64> {
+    debug_assert_eq!(devices.len(), schedule.shards.len());
+    let comm = link.round_seconds(model_bytes);
+    schedule
+        .shards
+        .iter()
+        .zip(devices)
+        .map(|(&k, device)| {
+            let samples = (k as f64 * schedule.shard_size) as usize;
+            if samples == 0 {
+                return 0.0;
+            }
+            // Clones share the Arc-backed probe with the original — detach
+            // it so speculative training never reaches the event log.
+            let mut scratch = device.clone();
+            scratch.set_probe(Probe::disabled());
+            comm + scratch.train_samples(workload, samples)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -183,7 +237,7 @@ mod tests {
 
     fn sim(seed: u64) -> RoundSim {
         let tb = Testbed::testbed_1(seed);
-        RoundSim::new(
+        RoundSim::from_parts(
             tb.devices().to_vec(),
             TrainingWorkload::lenet(),
             Link::new(100.0, 100.0, 0.0, 0.0),
@@ -235,7 +289,7 @@ mod tests {
     #[test]
     fn comm_fraction_is_small_for_lenet_wifi() {
         // Paper Observation 3: ~5% average comm share.
-        let mut s = RoundSim::new(
+        let mut s = RoundSim::from_parts(
             Testbed::testbed_1(4).devices().to_vec(),
             TrainingWorkload::lenet(),
             Link::wifi_campus(),
@@ -250,7 +304,7 @@ mod tests {
     #[test]
     fn thermal_state_persists_across_rounds() {
         // A Nexus6P-only cohort slows down in later rounds as it heats.
-        let mut s = RoundSim::new(
+        let mut s = RoundSim::from_parts(
             vec![Device::from_model(DeviceModel::Nexus6P, 5)],
             TrainingWorkload::lenet(),
             Link::new(1000.0, 1000.0, 0.0, 0.0),

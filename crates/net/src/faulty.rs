@@ -89,24 +89,38 @@ impl RetryPolicy {
         }
     }
 
+    /// Check the policy is well-formed, returning the offending rule on
+    /// failure — the non-panicking twin of [`RetryPolicy::validate`] that
+    /// the fallible builder surface (`fedsched-fl`'s `SimBuilder`) maps
+    /// into its `ConfigError`.
+    pub fn check(&self) -> Result<(), &'static str> {
+        if self.max_attempts < 1 {
+            return Err("need at least one attempt");
+        }
+        if self.timeout_s <= 0.0 || self.timeout_s.is_nan() {
+            return Err("timeout must be positive");
+        }
+        if !(self.base_backoff_s >= 0.0
+            && self.backoff_multiplier >= 1.0
+            && self.max_backoff_s >= 0.0)
+        {
+            return Err("backoff must be non-negative and non-shrinking");
+        }
+        if !(0.0..=1.0).contains(&self.jitter_frac) {
+            return Err("jitter must be in [0, 1]");
+        }
+        Ok(())
+    }
+
     /// Check the policy is well-formed.
     ///
     /// # Panics
     /// Panics on zero attempts, non-positive timeout, negative backoff, or
     /// jitter outside `[0, 1]`.
     pub fn validate(&self) {
-        assert!(self.max_attempts >= 1, "need at least one attempt");
-        assert!(self.timeout_s > 0.0, "timeout must be positive");
-        assert!(
-            self.base_backoff_s >= 0.0
-                && self.backoff_multiplier >= 1.0
-                && self.max_backoff_s >= 0.0,
-            "backoff must be non-negative and non-shrinking"
-        );
-        assert!(
-            (0.0..=1.0).contains(&self.jitter_frac),
-            "jitter must be in [0, 1]"
-        );
+        if let Err(rule) = self.check() {
+            panic!("{rule}");
+        }
     }
 
     /// Simulated wait before retry number `retry` (1-based), with

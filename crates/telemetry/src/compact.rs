@@ -1,0 +1,218 @@
+//! Trace compaction: thin out chatty device-level events from a JSONL
+//! trace while preserving every round-, schedule-, and chaos-level event.
+//!
+//! Long scale-out runs are dominated by the device simulator's DVFS /
+//! thermal / battery stream (one event per decade of state-of-charge per
+//! device, thermal cap flips, cluster hotplug). Those events are useful at
+//! full resolution only for small traces; for archival the analysis layer
+//! needs the *envelope*, not every sample. [`compact_jsonl`] keeps every
+//! `N`th device-level line (a deterministic systematic sample over the
+//! whole trace) and passes everything else through untouched, so round
+//! accounting, schedule decisions, and fault forensics stay lossless.
+//!
+//! The `telemetry-compact` binary (see `scripts/telemetry-compact.sh`)
+//! wraps this for files on disk.
+
+/// Event kinds emitted by the *device* simulator — the high-frequency
+/// stream that compaction downsamples. Everything else (rounds, schedule
+/// decisions, faults, retries, merges, deadlines, …) is always kept.
+pub const DEVICE_LEVEL_KINDS: [&str; 5] = [
+    "thermal_cap",
+    "big_cluster_offline",
+    "big_cluster_online",
+    "battery_soc",
+    "battery_depleted",
+];
+
+/// What [`compact_jsonl`] did, for logging and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompactStats {
+    /// Input lines (excluding a trailing empty line).
+    pub lines_in: usize,
+    /// Lines written to the output.
+    pub lines_out: usize,
+    /// Input lines classified as device-level.
+    pub device_in: usize,
+    /// Device-level lines kept by the systematic sample.
+    pub device_kept: usize,
+}
+
+/// The `"ev"` tag of a JSONL trace line, if it has the canonical
+/// `{"ev":"<kind>"` prefix every [`crate::Event`] serializes with.
+fn line_kind(line: &str) -> Option<&str> {
+    let rest = line.strip_prefix("{\"ev\":\"")?;
+    let end = rest.find('"')?;
+    Some(&rest[..end])
+}
+
+/// Rewrite a JSONL trace keeping every `keep_every`th device-level event
+/// (the first, the `N`th after it, …) and *all* other lines verbatim.
+///
+/// `keep_every` is clamped to at least 1; `keep_every == 1` is the
+/// identity. Lines that don't parse as events (blank, foreign) are passed
+/// through so the tool is safe on mixed logs. Output is deterministic:
+/// the sample is positional, counted over device-level lines across the
+/// whole input.
+pub fn compact_jsonl(input: &str, keep_every: usize) -> (String, CompactStats) {
+    let keep_every = keep_every.max(1);
+    let mut out = String::with_capacity(input.len() / keep_every.min(4));
+    let mut stats = CompactStats::default();
+    let mut device_seen = 0usize;
+    for line in input.lines() {
+        stats.lines_in += 1;
+        let is_device = line_kind(line)
+            .map(|kind| DEVICE_LEVEL_KINDS.contains(&kind))
+            .unwrap_or(false);
+        let keep = if is_device {
+            stats.device_in += 1;
+            let keep = device_seen.is_multiple_of(keep_every);
+            device_seen += 1;
+            keep
+        } else {
+            true
+        };
+        if keep {
+            if is_device {
+                stats.device_kept += 1;
+            }
+            stats.lines_out += 1;
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+
+    fn sample_trace() -> String {
+        let events = [
+            Event::RoundStart {
+                round: 0,
+                n_users: 2,
+            },
+            Event::BatterySoc {
+                t_s: 1.0,
+                device: "pixel".into(),
+                soc_pct: 90,
+            },
+            Event::ThermalCap {
+                t_s: 2.0,
+                device: "pixel".into(),
+                temp_c: 75.0,
+                cap_ghz: 1.8,
+            },
+            Event::UserSpan {
+                round: 0,
+                user: 0,
+                compute_s: 3.0,
+                comm_s: 1.0,
+            },
+            Event::BatterySoc {
+                t_s: 3.0,
+                device: "mate".into(),
+                soc_pct: 80,
+            },
+            Event::BigClusterOffline {
+                t_s: 3.5,
+                device: "mate".into(),
+                temp_c: 80.0,
+            },
+            Event::RoundEnd {
+                round: 0,
+                makespan_s: 4.0,
+                straggler: 0,
+            },
+            Event::BatteryDepleted {
+                t_s: 4.5,
+                device: "mate".into(),
+                drained_j: 12.0,
+            },
+            Event::FaultInjected {
+                round: 0,
+                device: Some(1),
+                kind: "crash".into(),
+                magnitude: 1.0,
+            },
+        ];
+        let mut s = String::new();
+        for ev in &events {
+            s.push_str(&ev.to_json());
+            s.push('\n');
+        }
+        s
+    }
+
+    #[test]
+    fn keep_every_one_is_the_identity() {
+        let trace = sample_trace();
+        let (out, stats) = compact_jsonl(&trace, 1);
+        assert_eq!(out, trace);
+        assert_eq!(stats.lines_in, stats.lines_out);
+        assert_eq!(stats.device_in, stats.device_kept);
+        // Zero is clamped, not a wipe-everything footgun.
+        assert_eq!(compact_jsonl(&trace, 0).0, trace);
+    }
+
+    #[test]
+    fn every_nth_device_event_survives_and_rounds_are_lossless() {
+        let trace = sample_trace();
+        let (out, stats) = compact_jsonl(&trace, 2);
+        // 5 device-level lines -> positions 0, 2, 4 survive.
+        assert_eq!(stats.device_in, 5);
+        assert_eq!(stats.device_kept, 3);
+        assert_eq!(stats.lines_out, stats.lines_in - 2);
+        // Every non-device event is still present, in order.
+        for kept in ["round_start", "user_span", "round_end", "fault_injected"] {
+            assert!(
+                out.contains(&format!("{{\"ev\":\"{kept}\"")),
+                "{kept} missing from compacted trace"
+            );
+        }
+        // The survivors are the 1st, 3rd, and 5th device events.
+        assert!(out.contains("\"soc_pct\":90"));
+        assert!(!out.contains("thermal_cap"));
+        assert!(out.contains("\"soc_pct\":80"));
+        assert!(!out.contains("big_cluster_offline"));
+        assert!(out.contains("battery_depleted"));
+        // Relative order is preserved (it's a filter, not a sort).
+        let round_end = out.find("round_end").unwrap();
+        let depleted = out.find("battery_depleted").unwrap();
+        assert!(round_end < depleted);
+    }
+
+    #[test]
+    fn foreign_lines_pass_through() {
+        let input = "not json\n\n{\"ev\":\"battery_soc\",\"t_s\":1.0}\n# comment\n";
+        let (out, stats) = compact_jsonl(input, 10);
+        assert_eq!(
+            out,
+            "not json\n\n{\"ev\":\"battery_soc\",\"t_s\":1.0}\n# comment\n"
+        );
+        assert_eq!(stats.device_in, 1);
+        assert_eq!(stats.device_kept, 1);
+        assert_eq!(stats.lines_in, 4);
+    }
+
+    /// The kind classifier agrees with `Event::kind()` for every device
+    /// event and rejects everything else.
+    #[test]
+    fn device_kind_list_matches_event_tags() {
+        let device = Event::BatterySoc {
+            t_s: 0.0,
+            device: "d".into(),
+            soc_pct: 50,
+        };
+        assert_eq!(line_kind(&device.to_json()), Some(device.kind()));
+        assert!(DEVICE_LEVEL_KINDS.contains(&device.kind()));
+        let round = Event::RoundStart {
+            round: 0,
+            n_users: 1,
+        };
+        assert!(!DEVICE_LEVEL_KINDS.contains(&round.kind()));
+        assert_eq!(line_kind("plain text"), None);
+    }
+}

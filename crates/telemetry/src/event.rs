@@ -160,6 +160,35 @@ pub enum Event {
         coverage: f64,
     },
 
+    // ---- cross-cohort coordination -----------------------------------------
+    /// The coordinator resolved one global straggler deadline for a round
+    /// from pooled per-user predictions and pushed it into every cohort.
+    GlobalDeadlineSet {
+        round: usize,
+        /// Deadline policy name (`"fixed"`, `"mean_factor"`, `"quantile"`).
+        policy: String,
+        /// The resolved deadline; `None` when the policy could not derive
+        /// one (so cohorts run uncapped this round).
+        deadline_s: Option<f64>,
+        /// Predicted per-user times pooled to resolve the deadline.
+        pooled: usize,
+        /// Cohorts the deadline was pushed into.
+        cohorts: usize,
+    },
+    /// A cohort straggled in a coordinated round: it set the population
+    /// makespan, or the global deadline cut some of its users.
+    CohortStraggling {
+        round: usize,
+        /// Cohort index (not a user index; never remapped).
+        cohort: usize,
+        /// The cohort's round makespan.
+        makespan_s: f64,
+        /// The global deadline in force, if any.
+        deadline_s: Option<f64>,
+        /// Users in the cohort cut off by the deadline.
+        timed_out: usize,
+    },
+
     // ---- async / gossip / dropout decision points --------------------------
     /// The async FL server merged a client update with a
     /// staleness-discounted weight.
@@ -208,6 +237,8 @@ impl Event {
             Event::UserTimeout { .. } => "user_timeout",
             Event::ShardsReassigned { .. } => "shards_reassigned",
             Event::RoundDegraded { .. } => "round_degraded",
+            Event::GlobalDeadlineSet { .. } => "global_deadline_set",
+            Event::CohortStraggling { .. } => "cohort_straggling",
             Event::AsyncMerge { .. } => "async_merge",
             Event::GossipMix { .. } => "gossip_mix",
             Event::DeadlineDrop { .. } => "deadline_drop",
@@ -518,6 +549,38 @@ impl Event {
                 );
                 push_f64_field(&mut out, "coverage", *coverage);
             }
+            Event::GlobalDeadlineSet {
+                round,
+                policy,
+                deadline_s,
+                pooled,
+                cohorts,
+            } => {
+                let _ = write!(out, ",\"round\":{round},\"policy\":");
+                json::push_str(&mut out, policy);
+                out.push_str(",\"deadline_s\":");
+                match deadline_s {
+                    Some(d) => json::push_f64(&mut out, *d),
+                    None => out.push_str("null"),
+                }
+                let _ = write!(out, ",\"pooled\":{pooled},\"cohorts\":{cohorts}");
+            }
+            Event::CohortStraggling {
+                round,
+                cohort,
+                makespan_s,
+                deadline_s,
+                timed_out,
+            } => {
+                let _ = write!(out, ",\"round\":{round},\"cohort\":{cohort}");
+                push_f64_field(&mut out, "makespan_s", *makespan_s);
+                out.push_str(",\"deadline_s\":");
+                match deadline_s {
+                    Some(d) => json::push_f64(&mut out, *d),
+                    None => out.push_str("null"),
+                }
+                let _ = write!(out, ",\"timed_out\":{timed_out}");
+            }
             Event::AsyncMerge {
                 t_s,
                 user,
@@ -767,6 +830,64 @@ mod tests {
             "{\"ev\":\"deadline_drop\",\"user\":1,\"predicted_s\":100.0,\
              \"deadline_s\":20.0,\"lost_shards\":10}"
         );
+    }
+
+    #[test]
+    fn coordination_events_encode_with_fixed_key_order() {
+        let ev = Event::GlobalDeadlineSet {
+            round: 3,
+            policy: "mean_factor".into(),
+            deadline_s: Some(42.5),
+            pooled: 128,
+            cohorts: 2,
+        };
+        assert_eq!(
+            ev.to_json(),
+            "{\"ev\":\"global_deadline_set\",\"round\":3,\"policy\":\"mean_factor\",\
+             \"deadline_s\":42.5,\"pooled\":128,\"cohorts\":2}"
+        );
+        let ev = Event::GlobalDeadlineSet {
+            round: 0,
+            policy: "quantile".into(),
+            deadline_s: None,
+            pooled: 0,
+            cohorts: 1,
+        };
+        assert!(ev.to_json().contains("\"deadline_s\":null"));
+        let ev = Event::CohortStraggling {
+            round: 1,
+            cohort: 4,
+            makespan_s: 99.25,
+            deadline_s: Some(60.0),
+            timed_out: 3,
+        };
+        assert_eq!(
+            ev.to_json(),
+            "{\"ev\":\"cohort_straggling\",\"round\":1,\"cohort\":4,\
+             \"makespan_s\":99.25,\"deadline_s\":60.0,\"timed_out\":3}"
+        );
+    }
+
+    #[test]
+    fn coordination_events_ignore_user_offsets() {
+        // Cohort indices are already population-level, so the splice
+        // adapter must leave them alone.
+        let set = Event::GlobalDeadlineSet {
+            round: 0,
+            policy: "fixed".into(),
+            deadline_s: Some(5.0),
+            pooled: 10,
+            cohorts: 3,
+        };
+        assert_eq!(set.clone().with_user_offset(64), set);
+        let straggle = Event::CohortStraggling {
+            round: 0,
+            cohort: 2,
+            makespan_s: 1.0,
+            deadline_s: None,
+            timed_out: 0,
+        };
+        assert_eq!(straggle.clone().with_user_offset(64), straggle);
     }
 
     #[test]

@@ -31,11 +31,13 @@
 //! assert_eq!(log.to_jsonl(), "{\"ev\":\"round_start\",\"round\":0,\"n_users\":4}\n");
 //! ```
 
+mod compact;
 mod event;
 mod json;
 mod metrics;
 mod recorder;
 
+pub use compact::{compact_jsonl, CompactStats, DEVICE_LEVEL_KINDS};
 pub use event::Event;
 pub use metrics::{Histogram, MetricsRegistry};
 pub use recorder::{EventLog, JsonlSink, NullRecorder, Probe, Recorder};

@@ -10,101 +10,215 @@ use crate::json;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-/// A sample distribution: retains every observation, in order.
+/// Per-level capacity of the quantile sketch. Error for rank queries is
+/// roughly `levels / CAP` of the total weight, so 256 keeps long scale-out
+/// sweeps (10^5+ observations) under a couple of percent while bounding
+/// memory at a few KiB per histogram name.
+const SKETCH_LEVEL_CAP: usize = 256;
+
+/// A sample distribution: exact streaming moments plus a fixed-size
+/// quantile sketch.
 ///
-/// Retaining samples keeps the type simple and exact (`mean`, `std_dev`,
-/// `percentile` are computed, not approximated); simulation runs observe at
-/// most a few thousand values per name, so memory is not a concern.
+/// Moments (`count`, `sum`, `mean`, `std_dev`, `min`, `max`) are kept
+/// exactly via Welford's recurrence, so summary statistics never degrade.
+/// Order statistics come from a deterministic KLL-style compaction sketch:
+/// each level holds at most [`SKETCH_LEVEL_CAP`] items of weight
+/// `2^level`; an overflowing level sorts itself and promotes every other
+/// item to the next level (weight doubles, total weight is conserved).
+/// Memory is `O(CAP · log(n / CAP))` regardless of how many values are
+/// observed, and the whole structure is deterministic — no RNG — so equal
+/// observation sequences produce equal sketches.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Histogram {
-    samples: Vec<f64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    mean: f64,
+    m2: f64,
+    /// `levels[l]` holds unsorted items of weight `2^l`.
+    levels: Vec<Vec<f64>>,
+    /// Compaction counter; its parity alternates which half of a sorted
+    /// level survives promotion, cancelling systematic rank bias.
+    compactions: u64,
 }
 
 impl Histogram {
     /// Record one observation.
     pub fn observe(&mut self, value: f64) {
-        self.samples.push(value);
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum += value;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (value - self.mean);
+
+        if self.levels.is_empty() {
+            self.levels.push(Vec::new());
+        }
+        self.levels[0].push(value);
+        if self.levels[0].len() > SKETCH_LEVEL_CAP {
+            self.compact(0);
+        }
+    }
+
+    /// Sort level `l` and promote every other item to level `l + 1`,
+    /// doubling its weight. An odd item stays behind so total weight —
+    /// and therefore `count` — is conserved exactly.
+    fn compact(&mut self, l: usize) {
+        let mut items = std::mem::take(&mut self.levels[l]);
+        items.sort_by(f64::total_cmp);
+        if items.len() % 2 == 1 {
+            // Hold the median-most leftover back at this level.
+            let mid = items.len() / 2;
+            self.levels[l].push(items.remove(mid));
+        }
+        let parity = (self.compactions % 2) as usize;
+        self.compactions += 1;
+        if self.levels.len() <= l + 1 {
+            self.levels.push(Vec::new());
+        }
+        for (i, v) in items.into_iter().enumerate() {
+            if i % 2 == parity {
+                self.levels[l + 1].push(v);
+            }
+        }
+        if self.levels[l + 1].len() > SKETCH_LEVEL_CAP {
+            self.compact(l + 1);
+        }
     }
 
     /// Number of observations.
     pub fn count(&self) -> usize {
-        self.samples.len()
+        self.count as usize
     }
 
     /// Sum of observations.
     pub fn sum(&self) -> f64 {
-        self.samples.iter().sum()
+        self.sum
     }
 
     /// Arithmetic mean, or 0.0 with no samples.
     pub fn mean(&self) -> f64 {
-        if self.samples.is_empty() {
+        if self.count == 0 {
             0.0
         } else {
-            self.sum() / self.samples.len() as f64
+            self.mean
         }
     }
 
     /// Population standard deviation, or 0.0 with fewer than two samples.
     pub fn std_dev(&self) -> f64 {
-        if self.samples.len() < 2 {
+        if self.count < 2 {
             return 0.0;
         }
-        let mean = self.mean();
-        let var = self
-            .samples
-            .iter()
-            .map(|v| (v - mean) * (v - mean))
-            .sum::<f64>()
-            / self.samples.len() as f64;
-        var.sqrt()
+        (self.m2 / self.count as f64).max(0.0).sqrt()
     }
 
     /// Sample (Bessel-corrected) standard deviation, or 0.0 with fewer
     /// than two samples — what experiment reports quote.
     pub fn sample_std_dev(&self) -> f64 {
-        let n = self.samples.len();
-        if n < 2 {
+        if self.count < 2 {
             return 0.0;
         }
-        self.std_dev() * (n as f64 / (n as f64 - 1.0)).sqrt()
+        (self.m2 / (self.count - 1) as f64).max(0.0).sqrt()
     }
 
     /// Smallest observation, or 0.0 with no samples.
     pub fn min(&self) -> f64 {
-        if self.samples.is_empty() {
+        if self.count == 0 {
             0.0
         } else {
-            self.samples.iter().copied().fold(f64::INFINITY, f64::min)
+            self.min
         }
     }
 
     /// Largest observation, or 0.0 with no samples.
     pub fn max(&self) -> f64 {
-        if self.samples.is_empty() {
+        if self.count == 0 {
             0.0
         } else {
-            self.samples
-                .iter()
-                .copied()
-                .fold(f64::NEG_INFINITY, f64::max)
+            self.max
         }
     }
 
-    /// Nearest-rank percentile (`p` in `[0, 100]`), or 0.0 with no samples.
-    pub fn percentile(&self, p: f64) -> f64 {
-        if self.samples.is_empty() {
+    /// Estimated quantile (`q` in `[0, 1]`) by weighted nearest rank, or
+    /// 0.0 with no samples. Exact while all observations still fit in the
+    /// sketch's first level (≤ [`SKETCH_LEVEL_CAP`] values); beyond that
+    /// the rank error is bounded by the sketch resolution (see the
+    /// `sketch_quantile_error_is_bounded` test).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
             return 0.0;
         }
-        let mut sorted = self.samples.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-        let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
-        sorted[rank.min(sorted.len() - 1)]
+        let mut weighted: Vec<(f64, u64)> = Vec::new();
+        for (l, items) in self.levels.iter().enumerate() {
+            let w = 1u64 << l;
+            weighted.extend(items.iter().map(|&v| (v, w)));
+        }
+        weighted.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let total: u64 = weighted.iter().map(|&(_, w)| w).sum();
+        debug_assert_eq!(total, self.count, "sketch weight must equal count");
+        let target = (q.clamp(0.0, 1.0) * (total - 1) as f64).round() as u64;
+        let mut cum = 0u64;
+        for &(v, w) in &weighted {
+            if target < cum + w {
+                return v;
+            }
+            cum += w;
+        }
+        weighted.last().map(|&(v, _)| v).unwrap_or(0.0)
     }
 
-    /// The raw samples in observation order.
-    pub fn samples(&self) -> &[f64] {
-        &self.samples
+    /// Nearest-rank percentile (`p` in `[0, 100]`), or 0.0 with no
+    /// samples. Thin wrapper over [`Histogram::quantile`].
+    pub fn percentile(&self, p: f64) -> f64 {
+        self.quantile(p / 100.0)
+    }
+
+    /// Fold another histogram into this one: moments combine exactly
+    /// (Chan's parallel recurrence), sketch levels concatenate and
+    /// re-compact.
+    pub fn merge_from(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / (n1 + n2);
+        self.mean = (self.mean * n1 + other.mean * n2) / (n1 + n2);
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        while self.levels.len() < other.levels.len() {
+            self.levels.push(Vec::new());
+        }
+        for (l, items) in other.levels.iter().enumerate() {
+            self.levels[l].extend_from_slice(items);
+        }
+        for l in 0..self.levels.len() {
+            while self.levels[l].len() > SKETCH_LEVEL_CAP {
+                self.compact(l);
+            }
+        }
+    }
+
+    /// Number of values currently retained by the sketch — bounded by
+    /// `CAP · levels`, independent of `count()`.
+    pub fn retained(&self) -> usize {
+        self.levels.iter().map(Vec::len).sum()
     }
 }
 
@@ -155,14 +269,16 @@ impl MetricsRegistry {
     }
 
     /// Fold another registry into this one (counters add, histograms
-    /// concatenate) — used to combine per-run registries into a report.
+    /// merge) — used to combine per-run registries into a report.
     pub fn merge(&mut self, other: &MetricsRegistry) {
         for (name, value) in &other.counters {
             *self.counters.entry(name.clone()).or_insert(0) += value;
         }
         for (name, hist) in &other.histograms {
-            let entry = self.histograms.entry(name.clone()).or_default();
-            entry.samples.extend_from_slice(&hist.samples);
+            self.histograms
+                .entry(name.clone())
+                .or_default()
+                .merge_from(hist);
         }
     }
 
@@ -189,6 +305,8 @@ impl MetricsRegistry {
     /// | `user_timeout` | `user_timeouts` | — |
     /// | `shards_reassigned` | `shards_reassigned` (by shard count) | — |
     /// | `round_degraded` | `rounds_degraded`, `shards_lost`, `shards_rescued` | `round_coverage` |
+    /// | `global_deadline_set` | `global_deadlines_set` | `global_deadline_s` |
+    /// | `cohort_straggling` | `cohort_straggling` | `cohort_straggle_makespan_s` |
     /// | `async_merge` | `async_merges` | `async_staleness`, `async_mix_weight` |
     /// | `gossip_mix` | `gossip_mixes` | `gossip_consensus_gap` |
     /// | `deadline_drop` | `deadline_drops`, `deadline_lost_shards` | — |
@@ -257,6 +375,16 @@ impl MetricsRegistry {
                     self.incr("shards_lost", *lost as u64);
                     self.incr("shards_rescued", *rescued as u64);
                     self.observe("round_coverage", *coverage);
+                }
+                Event::GlobalDeadlineSet { deadline_s, .. } => {
+                    self.incr("global_deadlines_set", 1);
+                    if let Some(d) = deadline_s {
+                        self.observe("global_deadline_s", *d);
+                    }
+                }
+                Event::CohortStraggling { makespan_s, .. } => {
+                    self.incr("cohort_straggling", 1);
+                    self.observe("cohort_straggle_makespan_s", *makespan_s);
                 }
                 Event::AsyncMerge {
                     staleness, weight, ..
@@ -341,6 +469,8 @@ mod tests {
         assert_eq!(h.percentile(100.0), 9.0);
         // Nearest rank on 8 samples: round(0.5 * 7) = 4 -> sorted[4].
         assert_eq!(h.percentile(50.0), 5.0);
+        // quantile() is the same scale in [0, 1].
+        assert_eq!(h.quantile(0.5), 5.0);
     }
 
     #[test]
@@ -352,6 +482,61 @@ mod tests {
         assert_eq!(h.min(), 0.0);
         assert_eq!(h.max(), 0.0);
         assert_eq!(h.percentile(50.0), 0.0);
+        assert_eq!(h.quantile(0.5), 0.0);
+    }
+
+    /// While all observations fit in level 0 the sketch *is* the sample
+    /// set, so quantiles stay exactly nearest-rank — the regime every
+    /// simulation-scale histogram (≲ a few hundred values) lives in.
+    #[test]
+    fn small_histograms_are_exact() {
+        let mut h = Histogram::default();
+        let values: Vec<f64> = (0..SKETCH_LEVEL_CAP).map(|i| i as f64).collect();
+        for &v in &values {
+            h.observe(v);
+        }
+        assert_eq!(h.retained(), SKETCH_LEVEL_CAP);
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0] {
+            let rank = (q * (values.len() - 1) as f64).round() as usize;
+            assert_eq!(h.quantile(q), values[rank], "q={q}");
+        }
+    }
+
+    /// Max-error pin on a known distribution: 100k uniformly spaced
+    /// values, so the true quantile is the rank itself. The sketch must
+    /// stay within 2% rank error at every probed quantile while retaining
+    /// only a bounded number of values.
+    #[test]
+    fn sketch_quantile_error_is_bounded() {
+        const N: usize = 100_000;
+        let mut h = Histogram::default();
+        for i in 0..N {
+            // Deterministic shuffle of 0..N (LCG step over a coprime
+            // stride) so insertion order is not adversarially sorted.
+            let v = (i * 48_271 + 11) % N;
+            h.observe(v as f64);
+        }
+        assert_eq!(h.count(), N);
+        // Bounded memory: a handful of levels, each capped.
+        assert!(
+            h.retained() <= 16 * SKETCH_LEVEL_CAP,
+            "sketch retained {} values",
+            h.retained()
+        );
+        // Exact moments survive the sketching.
+        let true_mean = (N - 1) as f64 / 2.0;
+        assert!((h.mean() - true_mean).abs() / true_mean < 1e-9);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), (N - 1) as f64);
+        for q in [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
+            let got = h.quantile(q);
+            let want = q * (N - 1) as f64;
+            let rank_err = (got - want).abs() / N as f64;
+            assert!(
+                rank_err <= 0.02,
+                "q={q}: estimated {got}, true {want}, rank error {rank_err:.4}"
+            );
+        }
     }
 
     #[test]
@@ -368,6 +553,34 @@ mod tests {
         assert_eq!(a.counter("m"), 5);
         assert_eq!(a.histogram("t").unwrap().count(), 2);
         assert!((a.histogram("t").unwrap().mean() - 2.0).abs() < 1e-12);
+    }
+
+    /// Merging two sketches is equivalent (in moments, and in quantiles
+    /// up to sketch resolution) to observing the union.
+    #[test]
+    fn merged_histograms_match_union_statistics() {
+        let mut left = Histogram::default();
+        let mut right = Histogram::default();
+        let mut union = Histogram::default();
+        for i in 0..1000 {
+            let v = (i * 7 % 1000) as f64;
+            if i % 2 == 0 {
+                left.observe(v);
+            } else {
+                right.observe(v);
+            }
+            union.observe(v);
+        }
+        left.merge_from(&right);
+        assert_eq!(left.count(), union.count());
+        assert!((left.mean() - union.mean()).abs() < 1e-9);
+        assert!((left.std_dev() - union.std_dev()).abs() < 1e-9);
+        assert_eq!(left.min(), union.min());
+        assert_eq!(left.max(), union.max());
+        for q in [0.1, 0.5, 0.9] {
+            let diff = (left.quantile(q) - union.quantile(q)).abs();
+            assert!(diff <= 0.02 * 1000.0, "q={q}: merged vs union diff {diff}");
+        }
     }
 
     #[test]
@@ -448,6 +661,43 @@ mod tests {
         assert_eq!(reg.counter("gossip_mixes"), 1);
         assert_eq!(reg.counter("deadline_drops"), 1);
         assert_eq!(reg.counter("deadline_lost_shards"), 6);
+    }
+
+    #[test]
+    fn coordination_events_ingest_into_stable_names() {
+        let events = [
+            Event::GlobalDeadlineSet {
+                round: 0,
+                policy: "mean_factor".into(),
+                deadline_s: Some(40.0),
+                pooled: 32,
+                cohorts: 4,
+            },
+            Event::GlobalDeadlineSet {
+                round: 1,
+                policy: "quantile".into(),
+                deadline_s: None,
+                pooled: 0,
+                cohorts: 4,
+            },
+            Event::CohortStraggling {
+                round: 0,
+                cohort: 2,
+                makespan_s: 55.0,
+                deadline_s: Some(40.0),
+                timed_out: 3,
+            },
+        ];
+        let mut reg = MetricsRegistry::new();
+        reg.ingest(events.iter());
+        assert_eq!(reg.counter("global_deadlines_set"), 2);
+        assert_eq!(reg.histogram("global_deadline_s").unwrap().count(), 1);
+        assert_eq!(reg.histogram("global_deadline_s").unwrap().mean(), 40.0);
+        assert_eq!(reg.counter("cohort_straggling"), 1);
+        assert_eq!(
+            reg.histogram("cohort_straggle_makespan_s").unwrap().mean(),
+            55.0
+        );
     }
 
     #[test]

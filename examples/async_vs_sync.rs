@@ -13,7 +13,7 @@
 use fedsched::core::{CostMatrix, EqualScheduler, FedLbap, Scheduler};
 use fedsched::data::{Dataset, DatasetKind};
 use fedsched::device::{Device, DeviceModel, TrainingWorkload};
-use fedsched::fl::{assignment_from_schedule_iid, AsyncFlSetup, FlSetup, RoundSim};
+use fedsched::fl::{assignment_from_schedule_iid, AsyncFlSetup, FlSetup, RoundConfig, SimBuilder};
 use fedsched::net::{model_transfer_bytes, Link};
 use fedsched::nn::ModelKind;
 use fedsched::profiler::ModelArch;
@@ -52,7 +52,9 @@ fn main() {
         ("sync/Fed-LBAP", FedLbap.schedule(&costs).unwrap()),
     ] {
         // How many rounds fit in the budget?
-        let mut sim = RoundSim::new(devices.clone(), workload, link, bytes, 11);
+        let mut sim = SimBuilder::new(devices.clone(), RoundConfig::new(workload, link, bytes, 11))
+            .build_sim()
+            .expect("valid sim config");
         let mut rounds = 0usize;
         let mut elapsed = 0.0;
         while elapsed < budget_s {

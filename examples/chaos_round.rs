@@ -17,7 +17,7 @@ use std::sync::Arc;
 use fedsched::core::{CostMatrix, FedLbap, Scheduler};
 use fedsched::device::{Testbed, TrainingWorkload};
 use fedsched::faults::{FaultConfig, FaultInjector};
-use fedsched::fl::ResilientRoundSim;
+use fedsched::fl::{RoundConfig, SimBuilder};
 use fedsched::net::{model_transfer_bytes, Link, RetryPolicy};
 use fedsched::profiler::ModelArch;
 use fedsched::telemetry::{Event, EventLog, MetricsRegistry, Probe};
@@ -61,19 +61,17 @@ fn main() {
 
     for rescue in [false, true] {
         let log = Arc::new(EventLog::new());
-        let mut sim = ResilientRoundSim::new(
+        let mut builder = SimBuilder::new(
             testbed.devices().to_vec(),
-            workload,
-            link,
-            bytes,
-            7,
-            injector(),
+            RoundConfig::new(workload, link, bytes, 7),
         )
-        .with_retry(RetryPolicy::default_chaos())
-        .with_probe(Probe::attached(log.clone()));
+        .injector(injector())
+        .retry(RetryPolicy::default_chaos())
+        .probe(Probe::attached(log.clone()));
         if !rescue {
-            sim = sim.without_rescue();
+            builder = builder.no_rescue();
         }
+        let mut sim = builder.build_resilient().expect("valid chaos config");
         let report = sim.run(&schedule, rounds);
 
         println!(

@@ -9,7 +9,7 @@
 use fedsched::core::{CostMatrix, EqualScheduler, FedLbap, Scheduler};
 use fedsched::data::{Dataset, DatasetKind};
 use fedsched::device::{Testbed, TrainingWorkload};
-use fedsched::fl::{assignment_from_schedule_iid, FlSetup, RoundSim};
+use fedsched::fl::{assignment_from_schedule_iid, FlSetup, RoundConfig, SimBuilder};
 use fedsched::net::{model_transfer_bytes, Link};
 use fedsched::nn::ModelKind;
 use fedsched::profiler::ModelArch;
@@ -36,7 +36,12 @@ fn main() {
         let assignment = assignment_from_schedule_iid(&train, &schedule, 13);
 
         // Simulated device time for the whole training run.
-        let mut sim = RoundSim::new(testbed.devices().to_vec(), workload, link, bytes, 13);
+        let mut sim = SimBuilder::new(
+            testbed.devices().to_vec(),
+            RoundConfig::new(workload, link, bytes, 13),
+        )
+        .build_sim()
+        .expect("valid sim config");
         let timing = sim.run(&schedule, rounds);
 
         // The actual learning, with per-round accuracy checkpoints.

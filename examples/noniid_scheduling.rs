@@ -13,7 +13,7 @@
 use fedsched::core::FedMinAvg;
 use fedsched::data::{Dataset, DatasetKind, Scenario};
 use fedsched::device::{Device, TrainingWorkload};
-use fedsched::fl::{FlSetup, RoundSim};
+use fedsched::fl::{FlSetup, RoundConfig, SimBuilder};
 use fedsched::net::{model_transfer_bytes, Link};
 use fedsched::nn::ModelKind;
 use fedsched::profiler::{ModelArch, TabulatedProfile};
@@ -87,7 +87,9 @@ fn main() {
         let outcome = FedMinAvg.schedule(&problem).expect("feasible");
 
         // Time: replay on the simulator. Accuracy: actually train.
-        let mut sim = RoundSim::new(devices.clone(), workload, link, bytes, 3);
+        let mut sim = SimBuilder::new(devices.clone(), RoundConfig::new(workload, link, bytes, 3))
+            .build_sim()
+            .expect("valid sim config");
         let time = sim.run(&outcome.schedule, 1).mean_makespan();
 
         let assignment: Vec<Vec<usize>> = scenario

@@ -12,7 +12,7 @@
 
 use fedsched::core::{CostMatrix, EqualScheduler, FedLbap, ProportionalScheduler, Scheduler};
 use fedsched::device::{Testbed, TrainingWorkload};
-use fedsched::fl::RoundSim;
+use fedsched::fl::{RoundConfig, SimBuilder};
 use fedsched::net::{model_transfer_bytes, Link};
 use fedsched::profiler::ModelArch;
 
@@ -52,7 +52,12 @@ fn main() {
     );
     for (name, scheduler) in schedulers {
         let schedule = scheduler.schedule(&costs).expect("schedulable");
-        let mut sim = RoundSim::new(testbed.devices().to_vec(), workload, link, bytes, 7);
+        let mut sim = SimBuilder::new(
+            testbed.devices().to_vec(),
+            RoundConfig::new(workload, link, bytes, 7),
+        )
+        .build_sim()
+        .expect("valid sim config");
         let report = sim.run(&schedule, 5);
         println!("{name:>13}: shards {:?}", schedule.shards);
         println!(

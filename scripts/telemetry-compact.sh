@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Compact a telemetry JSONL trace: keep every Nth device-level event but
+# all round/schedule/chaos events. Thin wrapper over the workspace's
+# `telemetry-compact` binary so trace post-processing is one command:
+#
+#   scripts/telemetry-compact.sh trace.jsonl --keep-every 20 --out small.jsonl
+set -euo pipefail
+cd "$(dirname "$0")/.."
+exec cargo run --quiet --release --bin telemetry-compact -- "$@"

@@ -60,6 +60,18 @@ echo "==> parallel identity suite (forced multi-worker pool)"
 FEDSCHED_THREADS=4 cargo test -q --test parallel_identity
 FEDSCHED_THREADS=8 cargo test -q --test parallel_identity
 
+echo "==> builder + coordinator differential suite (default worker pool)"
+cargo test -q --test builder_identity
+cargo test -q --test coordinator_identity
+cargo test -q -p fedsched-fl builder
+cargo test -q -p fedsched-fl coordinator
+
+echo "==> builder + coordinator differential suite (forced multi-worker pool)"
+FEDSCHED_THREADS=4 cargo test -q --test builder_identity
+FEDSCHED_THREADS=4 cargo test -q --test coordinator_identity
+FEDSCHED_THREADS=8 cargo test -q --test builder_identity
+FEDSCHED_THREADS=8 cargo test -q --test coordinator_identity
+
 echo "==> scale smoke (engine speedup sweep + makespan parity)"
 cargo test -q -p fedsched-bench scaleout
 

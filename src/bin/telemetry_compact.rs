@@ -1,0 +1,112 @@
+//! Compact a telemetry JSONL trace: keep every Nth device-level event,
+//! all round/schedule/chaos events, and write the result atomically.
+//!
+//! ```text
+//! telemetry-compact <trace.jsonl> [--keep-every N] [--out FILE]
+//! ```
+//!
+//! With no `--out` the compacted trace goes to stdout and the stats line
+//! to stderr, so the tool composes in pipelines. `--in-place` rewrites
+//! the input file. See `fedsched_telemetry::compact_jsonl` for the exact
+//! sampling contract.
+
+use std::io::Write as _;
+use std::process::ExitCode;
+
+use fedsched::telemetry::compact_jsonl;
+
+struct Args {
+    input: String,
+    keep_every: usize,
+    out: Option<String>,
+    in_place: bool,
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: telemetry-compact <trace.jsonl> [--keep-every N] [--out FILE | --in-place]");
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Args, ExitCode> {
+    let mut input = None;
+    let mut keep_every = 10usize;
+    let mut out = None;
+    let mut in_place = false;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--keep-every" | "-n" => {
+                let v = argv.next().ok_or_else(usage)?;
+                keep_every = v.parse().map_err(|_| {
+                    eprintln!(
+                        "telemetry-compact: --keep-every wants a positive integer, got {v:?}"
+                    );
+                    ExitCode::from(2)
+                })?;
+            }
+            "--out" | "-o" => out = Some(argv.next().ok_or_else(usage)?),
+            "--in-place" => in_place = true,
+            "--help" | "-h" => return Err(usage()),
+            _ if input.is_none() && !arg.starts_with('-') => input = Some(arg),
+            _ => return Err(usage()),
+        }
+    }
+    match input {
+        Some(input) => Ok(Args {
+            input,
+            keep_every,
+            out,
+            in_place,
+        }),
+        None => Err(usage()),
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(code) => return code,
+    };
+    let trace = match std::fs::read_to_string(&args.input) {
+        Ok(trace) => trace,
+        Err(err) => {
+            eprintln!("telemetry-compact: cannot read {}: {err}", args.input);
+            return ExitCode::FAILURE;
+        }
+    };
+    let (compacted, stats) = compact_jsonl(&trace, args.keep_every);
+    eprintln!(
+        "telemetry-compact: {} -> {} lines ({} of {} device events kept, every {}th)",
+        stats.lines_in,
+        stats.lines_out,
+        stats.device_kept,
+        stats.device_in,
+        args.keep_every.max(1),
+    );
+    let target = if args.in_place {
+        Some(args.input.clone())
+    } else {
+        args.out.clone()
+    };
+    match target {
+        Some(path) => {
+            // Write-then-rename so an interrupted run never truncates the
+            // only copy of a trace.
+            let tmp = format!("{path}.tmp");
+            let result =
+                std::fs::write(&tmp, &compacted).and_then(|()| std::fs::rename(&tmp, &path));
+            if let Err(err) = result {
+                eprintln!("telemetry-compact: cannot write {path}: {err}");
+                let _ = std::fs::remove_file(&tmp);
+                return ExitCode::FAILURE;
+            }
+        }
+        None => {
+            let mut stdout = std::io::stdout().lock();
+            if stdout.write_all(compacted.as_bytes()).is_err() {
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

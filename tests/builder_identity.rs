@@ -1,0 +1,240 @@
+//! Differential tests for the unified [`SimBuilder`] surface.
+//!
+//! The builder is a pure re-plumbing of the deprecated positional
+//! constructors: for every Table I testbed preset and every build target
+//! (quiet sim, resilient sim, parallel engine) it must produce reports and
+//! telemetry streams byte-identical to the old call sites. The error half
+//! of the contract is pinned too: invalid knobs surface as typed
+//! [`ConfigError`]s with stable `cause_code`s at the facade level, never
+//! as silently-dropped options.
+#![allow(deprecated)]
+
+use std::sync::Arc;
+
+use fedsched::core::Schedule;
+use fedsched::device::{Testbed, TrainingWorkload};
+use fedsched::faults::{FaultConfig, FaultInjector};
+use fedsched::fl::{
+    DeadlinePolicy, ParallelRoundEngine, ResilientRoundSim, RoundConfig, RoundSim, SimBuilder,
+};
+use fedsched::net::{Link, RetryPolicy};
+use fedsched::telemetry::{EventLog, Probe};
+
+const SEED: u64 = 4047;
+const MODEL_BYTES: f64 = 2.5e6;
+const ROUNDS: usize = 3;
+
+fn round_config(seed: u64) -> RoundConfig {
+    RoundConfig::new(
+        TrainingWorkload::lenet(),
+        Link::wifi_campus(),
+        MODEL_BYTES,
+        seed,
+    )
+}
+
+fn uniform(n: usize, shards: usize) -> Schedule {
+    Schedule::new(vec![shards; n], 100.0)
+}
+
+#[test]
+fn builder_sim_is_bit_identical_to_positional_for_every_preset() {
+    for preset in 1..=3usize {
+        let tb = Testbed::by_index(preset, SEED);
+        let n = tb.devices().len();
+        let schedule = uniform(n, 8);
+
+        let (want_report, want_jsonl) = {
+            let log = Arc::new(EventLog::new());
+            let mut sim = RoundSim::new(
+                tb.devices().to_vec(),
+                TrainingWorkload::lenet(),
+                Link::wifi_campus(),
+                MODEL_BYTES,
+                SEED,
+            )
+            .with_probe(Probe::attached(log.clone()));
+            let report = sim.run(&schedule, ROUNDS);
+            (format!("{report:?}"), log.to_jsonl())
+        };
+
+        let (got_report, got_jsonl) = {
+            let log = Arc::new(EventLog::new());
+            let mut sim = SimBuilder::new(tb.devices().to_vec(), round_config(SEED))
+                .probe(Probe::attached(log.clone()))
+                .build_sim()
+                .expect("quiet sim config is valid");
+            let report = sim.run(&schedule, ROUNDS);
+            (format!("{report:?}"), log.to_jsonl())
+        };
+
+        assert!(!want_jsonl.is_empty());
+        assert_eq!(got_report, want_report, "preset {preset}: report diverged");
+        assert_eq!(
+            got_jsonl, want_jsonl,
+            "preset {preset}: trace bytes diverged"
+        );
+    }
+}
+
+#[test]
+fn builder_resilient_is_bit_identical_to_positional_for_every_preset() {
+    let config = FaultConfig::none()
+        .with_crash_prob(0.3)
+        .with_loss_prob(0.2)
+        .with_churn_prob(0.1);
+
+    for preset in 1..=3usize {
+        let tb = Testbed::by_index(preset, SEED);
+        let n = tb.devices().len();
+        let schedule = uniform(n, 4);
+        let injector = || FaultInjector::from_config(config.clone(), n, ROUNDS, SEED ^ 0xfa);
+
+        let (want_report, want_jsonl) = {
+            let log = Arc::new(EventLog::new());
+            let mut sim = ResilientRoundSim::new(
+                tb.devices().to_vec(),
+                TrainingWorkload::lenet(),
+                Link::wifi_campus(),
+                MODEL_BYTES,
+                SEED,
+                injector(),
+            )
+            .with_retry(RetryPolicy::default_chaos())
+            .with_deadline(Some(60.0))
+            .with_probe(Probe::attached(log.clone()));
+            let report = sim.run(&schedule, ROUNDS);
+            (format!("{report:?}"), log.to_jsonl())
+        };
+
+        let (got_report, got_jsonl) = {
+            let log = Arc::new(EventLog::new());
+            let mut sim = SimBuilder::new(tb.devices().to_vec(), round_config(SEED))
+                .injector(injector())
+                .retry(RetryPolicy::default_chaos())
+                .deadline(DeadlinePolicy::Fixed(60.0))
+                .probe(Probe::attached(log.clone()))
+                .build_resilient()
+                .expect("chaos sim config is valid");
+            let report = sim.run(&schedule, ROUNDS);
+            (format!("{report:?}"), log.to_jsonl())
+        };
+
+        assert!(!want_jsonl.is_empty());
+        assert_eq!(got_report, want_report, "preset {preset}: report diverged");
+        assert_eq!(
+            got_jsonl, want_jsonl,
+            "preset {preset}: trace bytes diverged"
+        );
+    }
+}
+
+#[test]
+fn builder_engine_is_bit_identical_to_positional_for_every_preset() {
+    for preset in 1..=3usize {
+        let tb = Testbed::by_index(preset, SEED);
+        let n = tb.devices().len();
+        let schedule = uniform(n, 6);
+
+        let (want_report, want_jsonl) = {
+            let log = Arc::new(EventLog::new());
+            let mut eng = ParallelRoundEngine::new(
+                tb.devices().to_vec(),
+                TrainingWorkload::lenet(),
+                Link::wifi_campus(),
+                MODEL_BYTES,
+                SEED,
+            )
+            .with_cohort_size(3)
+            .with_threads(4)
+            .with_probe(Probe::attached(log.clone()));
+            let report = eng.run(&schedule, ROUNDS);
+            (format!("{report:?}"), log.to_jsonl())
+        };
+
+        let (got_report, got_jsonl) = {
+            let log = Arc::new(EventLog::new());
+            let mut eng = SimBuilder::new(tb.devices().to_vec(), round_config(SEED))
+                .cohort_size(3)
+                .threads(4)
+                .probe(Probe::attached(log.clone()))
+                .build_engine()
+                .expect("engine config is valid");
+            let report = eng.run(&schedule, ROUNDS);
+            (format!("{report:?}"), log.to_jsonl())
+        };
+
+        assert!(!want_jsonl.is_empty());
+        assert_eq!(got_report, want_report, "preset {preset}: report diverged");
+        assert_eq!(
+            got_jsonl, want_jsonl,
+            "preset {preset}: trace bytes diverged"
+        );
+    }
+}
+
+#[test]
+fn facade_level_config_errors_carry_stable_cause_codes() {
+    let tb = Testbed::testbed_1(SEED);
+    let builder = || SimBuilder::new(tb.devices().to_vec(), round_config(SEED));
+
+    let cases: Vec<(&str, fedsched::fl::ConfigError)> = vec![
+        (
+            "zero_cohort_size",
+            builder().cohort_size(0).build_engine().err().unwrap(),
+        ),
+        (
+            "zero_threads",
+            builder().threads(0).build_engine().err().unwrap(),
+        ),
+        (
+            "invalid_deadline",
+            builder()
+                .deadline(DeadlinePolicy::Fixed(-1.0))
+                .build_resilient()
+                .err()
+                .unwrap(),
+        ),
+        (
+            "invalid_soc_floor",
+            builder()
+                .rescue_soc_floor(1.5)
+                .build_resilient()
+                .err()
+                .unwrap(),
+        ),
+        (
+            "invalid_async",
+            builder()
+                .buffered_async(0, 0.5)
+                .build_coordinator()
+                .err()
+                .unwrap(),
+        ),
+        (
+            "invalid_async",
+            builder()
+                .buffered_async(2, 0.5)
+                .deadline(DeadlinePolicy::Quantile(0.9))
+                .build_coordinator()
+                .err()
+                .unwrap(),
+        ),
+        (
+            "unsupported_option",
+            builder().threads(2).build_sim().err().unwrap(),
+        ),
+        (
+            "unsupported_option",
+            builder()
+                .injector(FaultInjector::quiet(tb.devices().len()))
+                .build_engine()
+                .err()
+                .unwrap(),
+        ),
+    ];
+    for (want, err) in cases {
+        assert_eq!(err.cause_code(), want, "wrong cause for {err}");
+        assert!(!format!("{err}").is_empty());
+    }
+}

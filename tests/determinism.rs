@@ -4,7 +4,7 @@
 use fedsched::core::{CostMatrix, FedLbap, RandomScheduler, Scheduler};
 use fedsched::data::{iid_imbalanced, n_class_noniid, Dataset, DatasetKind};
 use fedsched::device::{Device, DeviceModel, Testbed, TrainingWorkload};
-use fedsched::fl::{assignment_from_schedule_iid, FlSetup, RoundSim};
+use fedsched::fl::{assignment_from_schedule_iid, FlSetup, RoundConfig, SimBuilder};
 use fedsched::net::Link;
 use fedsched::nn::ModelKind;
 
@@ -55,13 +55,12 @@ fn datasets_and_partitions_are_stable() {
 fn roundsim_is_stable() {
     let run = || {
         let testbed = Testbed::testbed_1(3);
-        let mut sim = RoundSim::new(
+        let mut sim = SimBuilder::new(
             testbed.devices().to_vec(),
-            TrainingWorkload::lenet(),
-            Link::lte_tmobile(),
-            2.5e6,
-            3,
-        );
+            RoundConfig::new(TrainingWorkload::lenet(), Link::lte_tmobile(), 2.5e6, 3),
+        )
+        .build_sim()
+        .expect("quiet sim config is valid");
         sim.run(&fedsched::core::Schedule::new(vec![10, 8, 12], 100.0), 3)
     };
     assert_eq!(run(), run());

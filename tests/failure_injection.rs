@@ -12,7 +12,9 @@ use fedsched::core::{
 use fedsched::data::{Dataset, DatasetKind, Partition};
 use fedsched::device::{Device, DeviceModel, TrainingWorkload};
 use fedsched::faults::{FaultConfig, FaultInjector, FaultPlan};
-use fedsched::fl::{fedavg_aggregate, FlSetup, ResilientRoundSim, RoundSim};
+use fedsched::fl::{
+    fedavg_aggregate, DeadlinePolicy, FlSetup, ResilientRoundSim, RoundConfig, SimBuilder,
+};
 use fedsched::net::{Link, RetryPolicy};
 use fedsched::nn::ModelKind;
 use fedsched::profiler::LinearProfile;
@@ -24,13 +26,17 @@ fn single_device_cohort_works_end_to_end() {
     let schedule = FedLbap.schedule(&costs).unwrap();
     assert_eq!(schedule.shards, vec![10]);
 
-    let mut sim = RoundSim::new(
+    let mut sim = SimBuilder::new(
         vec![Device::from_model(DeviceModel::Pixel2, 1)],
-        TrainingWorkload::lenet(),
-        fedsched::net::Link::wifi_campus(),
-        2.5e6,
-        1,
-    );
+        RoundConfig::new(
+            TrainingWorkload::lenet(),
+            fedsched::net::Link::wifi_campus(),
+            2.5e6,
+            1,
+        ),
+    )
+    .build_sim()
+    .expect("quiet sim config is valid");
     let report = sim.run(&schedule, 2);
     assert!(report.mean_makespan() > 0.0);
 }
@@ -150,14 +156,13 @@ fn chaos_cohort(n: usize, seed: u64) -> Vec<Device> {
 }
 
 fn chaos_sim(n: usize, seed: u64, injector: FaultInjector) -> ResilientRoundSim {
-    ResilientRoundSim::new(
+    SimBuilder::new(
         chaos_cohort(n, seed),
-        TrainingWorkload::lenet(),
-        Link::wifi_campus(),
-        2.5e6,
-        seed,
-        injector,
+        RoundConfig::new(TrainingWorkload::lenet(), Link::wifi_campus(), 2.5e6, seed),
     )
+    .injector(injector)
+    .build_resilient()
+    .expect("chaos sim config is valid")
 }
 
 fn stormy_config() -> FaultConfig {
@@ -219,7 +224,9 @@ fn zero_fault_resilient_sim_is_bit_identical_to_round_sim() {
     let schedule = Schedule::new(vec![9, 0, 6, 4], 100.0);
     let wl = TrainingWorkload::lenet();
     let link = Link::wifi_campus();
-    let mut plain = RoundSim::new(chaos_cohort(n, 3), wl, link, 2.5e6, 3);
+    let mut plain = SimBuilder::new(chaos_cohort(n, 3), RoundConfig::new(wl, link, 2.5e6, 3))
+        .build_sim()
+        .expect("quiet sim config is valid");
     let mut resilient = chaos_sim(n, 3, FaultInjector::quiet(n));
     let a = plain.run(&schedule, 4);
     let b = resilient.run(&schedule, 4);
@@ -261,8 +268,10 @@ proptest! {
         let schedule = Schedule::new(shards.clone(), 100.0);
         let scheduled_total: usize = shards.iter().sum();
         let mut sim = chaos_sim(n, fault_seed ^ 0xABCD, FaultInjector::new(plan))
-            .with_retry(RetryPolicy::default_chaos())
-            .with_deadline(deadline);
+            .with_retry(RetryPolicy::default_chaos());
+        if let Some(d) = deadline {
+            sim = sim.with_deadline_policy(DeadlinePolicy::Fixed(d));
+        }
         if !rescue {
             sim = sim.without_rescue();
         }

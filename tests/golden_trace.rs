@@ -22,7 +22,7 @@ use std::sync::Arc;
 use fedsched::core::{CostMatrix, FedLbap, Scheduler};
 use fedsched::device::{Device, DeviceModel, Testbed, TrainingWorkload};
 use fedsched::faults::FaultConfig;
-use fedsched::fl::{ChaosOptions, ParallelRoundEngine, RoundSim};
+use fedsched::fl::{RoundConfig, SimBuilder};
 use fedsched::net::{Link, RetryPolicy};
 use fedsched::telemetry::{EventLog, Probe};
 
@@ -57,14 +57,13 @@ fn trace() -> String {
     let costs = CostMatrix::from_profiles(&profiles, 60, 100.0, &[0.5; 4]);
     let schedule = FedLbap.schedule_traced(&costs, &probe).expect("feasible");
 
-    let mut sim = RoundSim::new(
+    let mut sim = SimBuilder::new(
         testbed.devices().to_vec(),
-        wl,
-        Link::new(100.0, 100.0, 0.0, 0.0),
-        2.5e6,
-        SEED,
+        RoundConfig::new(wl, Link::new(100.0, 100.0, 0.0, 0.0), 2.5e6, SEED),
     )
-    .with_probe(probe);
+    .probe(probe)
+    .build_sim()
+    .expect("golden sim config is valid");
     let _ = sim.run(&schedule, 3);
     log.to_jsonl()
 }
@@ -87,17 +86,22 @@ fn chaos_trace() -> String {
     let config = FaultConfig::none()
         .with_crash_prob(0.25)
         .with_loss_prob(0.15);
-    let mut engine = ParallelRoundEngine::new(
+    let mut engine = SimBuilder::new(
         devices,
-        TrainingWorkload::lenet(),
-        Link::new(100.0, 100.0, 0.0, 0.0),
-        2.5e6,
-        SEED,
+        RoundConfig::new(
+            TrainingWorkload::lenet(),
+            Link::new(100.0, 100.0, 0.0, 0.0),
+            2.5e6,
+            SEED,
+        ),
     )
-    .with_cohort_size(4)
-    .with_threads(4)
-    .with_chaos(ChaosOptions::new(config, 3).with_retry(RetryPolicy::default_chaos()))
-    .with_probe(Probe::attached(log.clone()));
+    .cohort_size(4)
+    .threads(4)
+    .faults(config, 3)
+    .retry(RetryPolicy::default_chaos())
+    .probe(Probe::attached(log.clone()))
+    .build_engine()
+    .expect("golden chaos engine config is valid");
     let _ = engine.run(&fedsched::core::Schedule::new(vec![3; 8], 100.0), 3);
     log.to_jsonl()
 }

@@ -14,10 +14,8 @@ use proptest::prelude::*;
 
 use fedsched::core::Schedule;
 use fedsched::device::{Device, DeviceModel, Testbed, TrainingWorkload};
-use fedsched::faults::{FaultConfig, FaultInjector};
-use fedsched::fl::{
-    default_engine_threads, ChaosOptions, ParallelRoundEngine, ResilientRoundSim, RoundSim,
-};
+use fedsched::faults::FaultConfig;
+use fedsched::fl::{default_engine_threads, RoundConfig, SimBuilder};
 use fedsched::net::{Link, RetryPolicy};
 use fedsched::telemetry::{EventLog, Probe};
 
@@ -27,6 +25,10 @@ const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
 fn link() -> Link {
     Link::wifi_campus()
+}
+
+fn round_config(seed: u64) -> RoundConfig {
+    RoundConfig::new(TrainingWorkload::lenet(), link(), MODEL_BYTES, seed)
 }
 
 /// A mixed-model population of `n` devices (cycling Table I presets).
@@ -49,14 +51,10 @@ fn uniform(n: usize, shards: usize) -> Schedule {
 /// Sequential quiet reference: report + JSONL from a plain `RoundSim`.
 fn sequential_quiet(devices: Vec<Device>, schedule: &Schedule, rounds: usize) -> (String, String) {
     let log = Arc::new(EventLog::new());
-    let mut sim = RoundSim::new(
-        devices,
-        TrainingWorkload::lenet(),
-        link(),
-        MODEL_BYTES,
-        SEED,
-    )
-    .with_probe(Probe::attached(log.clone()));
+    let mut sim = SimBuilder::new(devices, round_config(SEED))
+        .probe(Probe::attached(log.clone()))
+        .build_sim()
+        .expect("quiet sim config is valid");
     let report = sim.run(schedule, rounds);
     (format!("{report:?}"), log.to_jsonl())
 }
@@ -70,16 +68,12 @@ fn engine_quiet(
     threads: usize,
 ) -> (String, String) {
     let log = Arc::new(EventLog::new());
-    let mut eng = ParallelRoundEngine::new(
-        devices,
-        TrainingWorkload::lenet(),
-        link(),
-        MODEL_BYTES,
-        SEED,
-    )
-    .with_cohort_size(cohort_size)
-    .with_threads(threads)
-    .with_probe(Probe::attached(log.clone()));
+    let mut eng = SimBuilder::new(devices, round_config(SEED))
+        .cohort_size(cohort_size)
+        .threads(threads)
+        .probe(Probe::attached(log.clone()))
+        .build_engine()
+        .expect("quiet engine config is valid");
     let report = eng.run(schedule, rounds);
     (format!("{:?}", report.timing), log.to_jsonl())
 }
@@ -120,16 +114,12 @@ fn chaos_fault_plan_is_bit_identical_to_sequential_resilient() {
 
     let want = {
         let log = Arc::new(EventLog::new());
-        let mut sim = ResilientRoundSim::new(
-            population(n, SEED),
-            TrainingWorkload::lenet(),
-            link(),
-            MODEL_BYTES,
-            SEED,
-            FaultInjector::from_config(config.clone(), n, rounds, SEED),
-        )
-        .with_probe(Probe::attached(log.clone()))
-        .with_retry(retry);
+        let mut sim = SimBuilder::new(population(n, SEED), round_config(SEED))
+            .faults(config.clone(), rounds)
+            .retry(retry)
+            .probe(Probe::attached(log.clone()))
+            .build_resilient()
+            .expect("chaos sim config is valid");
         let report = sim.run(&schedule, rounds);
         (format!("{report:?}"), log.to_jsonl())
     };
@@ -141,17 +131,14 @@ fn chaos_fault_plan_is_bit_identical_to_sequential_resilient() {
 
     for threads in THREAD_COUNTS {
         let log = Arc::new(EventLog::new());
-        let mut eng = ParallelRoundEngine::new(
-            population(n, SEED),
-            TrainingWorkload::lenet(),
-            link(),
-            MODEL_BYTES,
-            SEED,
-        )
-        .with_cohort_size(n)
-        .with_threads(threads)
-        .with_chaos(ChaosOptions::new(config.clone(), rounds).with_retry(retry))
-        .with_probe(Probe::attached(log.clone()));
+        let mut eng = SimBuilder::new(population(n, SEED), round_config(SEED))
+            .cohort_size(n)
+            .threads(threads)
+            .faults(config.clone(), rounds)
+            .retry(retry)
+            .probe(Probe::attached(log.clone()))
+            .build_engine()
+            .expect("chaos engine config is valid");
         let report = eng.run(&schedule, rounds);
         let got = (
             format!(
@@ -178,15 +165,11 @@ fn default_worker_pool_matches_explicit_single_thread() {
     let n = 41;
     let schedule = uniform(n, 2);
     let log = Arc::new(EventLog::new());
-    let mut eng = ParallelRoundEngine::new(
-        population(n, SEED),
-        TrainingWorkload::lenet(),
-        link(),
-        MODEL_BYTES,
-        SEED,
-    )
-    .with_cohort_size(6)
-    .with_probe(Probe::attached(log.clone()));
+    let mut eng = SimBuilder::new(population(n, SEED), round_config(SEED))
+        .cohort_size(6)
+        .probe(Probe::attached(log.clone()))
+        .build_engine()
+        .expect("default-pool engine config is valid");
     assert_eq!(eng.threads(), default_engine_threads());
     let report = eng.run(&schedule, 2);
 
@@ -224,16 +207,12 @@ proptest! {
         let rounds = 2;
         let schedule = uniform(n, shards);
         let run = |threads: usize| {
-            ParallelRoundEngine::new(
-                population(n, seed),
-                TrainingWorkload::lenet(),
-                link(),
-                MODEL_BYTES,
-                seed,
-            )
-            .with_cohort_size(cohort_size)
-            .with_threads(threads)
-            .run(&schedule, rounds)
+            SimBuilder::new(population(n, seed), round_config(seed))
+                .cohort_size(cohort_size)
+                .threads(threads)
+                .build_engine()
+                .expect("random geometry config is valid")
+                .run(&schedule, rounds)
         };
         let report = run(threads);
 

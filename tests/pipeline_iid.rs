@@ -5,7 +5,7 @@
 use fedsched::core::{CostMatrix, EqualScheduler, FedLbap, RandomScheduler, Scheduler};
 use fedsched::data::{Dataset, DatasetKind};
 use fedsched::device::{Testbed, TrainingWorkload};
-use fedsched::fl::{assignment_from_schedule_iid, FlSetup, RoundSim};
+use fedsched::fl::{assignment_from_schedule_iid, FlSetup, RoundConfig, SimBuilder};
 use fedsched::net::{model_transfer_bytes, Link};
 use fedsched::nn::ModelKind;
 use fedsched::profiler::ModelArch;
@@ -34,7 +34,12 @@ fn lbap_speeds_up_rounds_without_accuracy_loss() {
     let lbap_t = FedLbap.schedule(&time_costs).unwrap();
     let equal_t = EqualScheduler.schedule(&time_costs).unwrap();
     let time = |schedule| {
-        let mut sim = RoundSim::new(testbed.devices().to_vec(), wl, link, bytes, 11);
+        let mut sim = SimBuilder::new(
+            testbed.devices().to_vec(),
+            RoundConfig::new(wl, link, bytes, 11),
+        )
+        .build_sim()
+        .expect("quiet sim config is valid");
         sim.run(schedule, 3).mean_makespan()
     };
     let t_lbap = time(&lbap_t);

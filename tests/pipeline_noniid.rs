@@ -6,7 +6,7 @@ use std::collections::BTreeSet;
 use fedsched::core::{AccuracyCost, FedMinAvg, MinAvgProblem, UserSpec};
 use fedsched::data::{Dataset, DatasetKind, Scenario};
 use fedsched::device::{Device, DeviceModel, TrainingWorkload};
-use fedsched::fl::{FlSetup, RoundSim};
+use fedsched::fl::{FlSetup, RoundConfig, SimBuilder};
 use fedsched::net::{model_transfer_bytes, Link};
 use fedsched::nn::ModelKind;
 use fedsched::profiler::{ModelArch, TabulatedProfile};
@@ -152,7 +152,9 @@ fn end_to_end_noniid_training_learns() {
     let wl = TrainingWorkload::lenet();
     let link = Link::wifi_campus();
     let bytes = model_transfer_bytes(&ModelArch::lenet());
-    let mut sim = RoundSim::new(devices, wl, link, bytes, 31);
+    let mut sim = SimBuilder::new(devices, RoundConfig::new(wl, link, bytes, 31))
+        .build_sim()
+        .expect("quiet sim config is valid");
     let timing = sim.run(&outcome.schedule, 2);
     assert!(timing.mean_makespan() > 0.0);
 
