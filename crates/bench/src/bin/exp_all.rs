@@ -17,4 +17,5 @@ fn main() {
     println!("{}", fig7::render(&fig7::run(scale, 42)));
     println!("{}", table5::render(&table5::run(scale, 42)));
     println!("{}", chaos::render(&chaos::run(scale, 42)));
+    println!("{}", attack::render(&attack::run(scale, 2020)));
 }

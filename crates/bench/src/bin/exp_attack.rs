@@ -1,0 +1,10 @@
+//! Regenerates the attack sweep: robust aggregators under sign-flip
+//! adversaries plus the correlated failure-domain arm.
+use fedsched_bench::{attack, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("[exp_attack] scale = {}", scale.name());
+    let sweep = attack::run(scale, 2020);
+    println!("{}", attack::render(&sweep));
+}

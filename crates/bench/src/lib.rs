@@ -25,10 +25,12 @@
 //! | Table V (non-IID accuracy) | [`table5`] | `exp_table5` |
 //! | Chaos sweep (crashes, lossy links) | [`chaos`] | `exp_chaos` |
 //! | Scale-out sweep (multi-cohort engine) | [`scaleout`] | `exp_scale` |
+//! | Attack sweep (Byzantine adversaries, group outages) | [`attack`] | `exp_attack` |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod attack;
 pub mod chaos;
 pub mod common;
 pub mod fig1;

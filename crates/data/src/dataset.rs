@@ -254,6 +254,24 @@ impl Dataset {
     }
 }
 
+/// Flip every label to its "mirror" class, `n_classes - 1 - label` — the
+/// standard label-flipping poisoning attack (a compromised client trains on
+/// systematically wrong targets). The involution property (`flip ∘ flip =
+/// id`) makes the attack deterministic and self-inverse, so tests can
+/// round-trip it.
+///
+/// # Panics
+/// Panics if any label is outside `0..n_classes`.
+pub fn flip_labels(labels: &mut [usize], n_classes: usize) {
+    for label in labels {
+        assert!(
+            *label < n_classes,
+            "label {label} outside 0..{n_classes}, cannot flip"
+        );
+        *label = n_classes - 1 - *label;
+    }
+}
+
 fn gaussian_f32(rng: &mut StdRng) -> f32 {
     let u1: f64 = rng.gen::<f64>().max(1e-12);
     let u2: f64 = rng.gen::<f64>();
@@ -364,6 +382,21 @@ mod tests {
                 assert_eq!(ds.label(i), class);
             }
         }
+    }
+
+    #[test]
+    fn flip_labels_is_an_involution() {
+        let mut labels = vec![0, 3, 9, 5];
+        flip_labels(&mut labels, 10);
+        assert_eq!(labels, vec![9, 6, 0, 4]);
+        flip_labels(&mut labels, 10);
+        assert_eq!(labels, vec![0, 3, 9, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot flip")]
+    fn out_of_range_label_cannot_flip() {
+        flip_labels(&mut [10], 10);
     }
 
     #[test]

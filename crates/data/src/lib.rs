@@ -26,7 +26,7 @@ pub mod dataset;
 pub mod partition;
 pub mod scenarios;
 
-pub use dataset::{Dataset, DatasetKind};
+pub use dataset::{flip_labels, Dataset, DatasetKind};
 pub use partition::{
     iid_equal, iid_imbalanced, imbalance_ratio_of, n_class_noniid, outlier_scenario,
     partition_by_classes, OutlierMode, Partition,

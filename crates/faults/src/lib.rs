@@ -25,6 +25,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversary;
+
+pub use adversary::{AdversaryConfig, AdversaryPlan, AttackKind};
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
@@ -54,6 +58,16 @@ pub struct FaultConfig {
     pub outage_horizon_s: f64,
     /// Duration of each outage window, seconds.
     pub outage_duration_s: f64,
+    /// Probability per round that an idle failure domain goes down,
+    /// taking its whole device group offline for
+    /// [`FaultConfig::group_outage_rounds`] rounds.
+    pub group_outage_prob: f64,
+    /// Number of failure domains devices are partitioned into
+    /// (`device % group_count`). Ignored while
+    /// [`FaultConfig::group_outage_prob`] is zero.
+    pub group_count: usize,
+    /// Rounds a downed failure domain stays offline.
+    pub group_outage_rounds: usize,
 }
 
 impl FaultConfig {
@@ -69,6 +83,9 @@ impl FaultConfig {
             outage_prob: 0.0,
             outage_horizon_s: 0.0,
             outage_duration_s: 0.0,
+            group_outage_prob: 0.0,
+            group_count: 1,
+            group_outage_rounds: 1,
         }
     }
 
@@ -105,6 +122,16 @@ impl FaultConfig {
         self
     }
 
+    /// Set the correlated failure-domain knobs: each round, each idle
+    /// domain goes down with probability `prob`, forcing every device in
+    /// it (`device % groups`) offline for `duration_rounds` rounds.
+    pub fn with_group_outages(mut self, prob: f64, groups: usize, duration_rounds: usize) -> Self {
+        self.group_outage_prob = prob;
+        self.group_count = groups;
+        self.group_outage_rounds = duration_rounds;
+        self
+    }
+
     /// True when this configuration can never inject a fault.
     pub fn is_quiet(&self) -> bool {
         self.crash_prob == 0.0
@@ -112,6 +139,7 @@ impl FaultConfig {
             && self.contention_prob == 0.0
             && self.loss_prob == 0.0
             && self.outage_prob == 0.0
+            && self.group_outage_prob == 0.0
     }
 
     /// Check every knob is in range.
@@ -126,6 +154,7 @@ impl FaultConfig {
             ("contention_prob", self.contention_prob),
             ("loss_prob", self.loss_prob),
             ("outage_prob", self.outage_prob),
+            ("group_outage_prob", self.group_outage_prob),
         ] {
             assert!(
                 (0.0..=1.0).contains(&p) && p.is_finite(),
@@ -140,6 +169,16 @@ impl FaultConfig {
             self.outage_horizon_s >= 0.0 && self.outage_duration_s >= 0.0,
             "outage windows must be non-negative"
         );
+        if self.group_outage_prob > 0.0 {
+            assert!(
+                self.group_count >= 1,
+                "group outages need at least one failure domain"
+            );
+            assert!(
+                self.group_outage_rounds >= 1,
+                "group outage duration must be at least one round"
+            );
+        }
     }
 }
 
@@ -194,6 +233,8 @@ pub struct FaultPlan {
     contention: Vec<f64>,
     /// Per-round outage windows `(start_s, end_s)` relative to round start.
     outages: Vec<Vec<(f64, f64)>>,
+    /// Failure-domain outages *starting* each round: `(group, duration_rounds)`.
+    group_outages: Vec<Vec<(usize, usize)>>,
     /// Devices departed by the end of the plan (fate carried past the
     /// planned horizon).
     departed_at_end: Vec<bool>,
@@ -257,6 +298,39 @@ impl FaultPlan {
             }
         }
 
+        // Correlated failure domains are overlaid *after* the per-device
+        // loop, from a separate salted draw stream: the main-RNG draw order
+        // above is frozen, so plans without group outages stay byte-identical
+        // to plans generated before the knob existed.
+        let mut group_outages = vec![Vec::new(); n_rounds];
+        if config.group_outage_prob > 0.0 {
+            let n_groups = config.group_count.min(n_devices);
+            let mut stream = DrawStream::new(seed ^ 0x6f75_7461_6765_5f67); // "g_outage"
+            let mut down_for = vec![0usize; n_groups];
+            for (round, round_outages) in group_outages.iter_mut().enumerate() {
+                for (group, remaining) in down_for.iter_mut().enumerate() {
+                    // One draw per (round, group) regardless of what fires,
+                    // so plans with the same seed disagree only where their
+                    // probabilities do.
+                    let u = stream.next_u01();
+                    if *remaining == 0 && u < config.group_outage_prob {
+                        *remaining = config.group_outage_rounds;
+                        round_outages.push((group, config.group_outage_rounds));
+                    }
+                    if *remaining > 0 {
+                        *remaining -= 1;
+                        for j in (group..n_devices).step_by(n_groups) {
+                            let cell = round * n_devices + j;
+                            if fates[cell] != DeviceFate::Departed {
+                                fates[cell] = DeviceFate::Offline;
+                                contention[cell] = 1.0;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
         FaultPlan {
             config,
             n_devices,
@@ -265,6 +339,7 @@ impl FaultPlan {
             fates,
             contention,
             outages,
+            group_outages,
             departed_at_end: departed,
         }
     }
@@ -320,6 +395,33 @@ impl FaultPlan {
         &self.outages[round]
     }
 
+    /// Failure-domain outages *starting* in `round`: `(group, duration_rounds)`
+    /// pairs. Devices in a downed group are [`DeviceFate::Offline`] for the
+    /// window (already reflected in [`FaultPlan::fate`]); this query exists
+    /// for telemetry.
+    pub fn group_outages(&self, round: usize) -> &[(usize, usize)] {
+        if round >= self.n_rounds {
+            return &[];
+        }
+        &self.group_outages[round]
+    }
+
+    /// Failure domain `device` belongs to, or `None` when the config has no
+    /// group outages.
+    pub fn group_of(&self, device: usize) -> Option<usize> {
+        assert!(device < self.n_devices, "device index out of range");
+        if self.config.group_outage_prob == 0.0 {
+            return None;
+        }
+        Some(device % self.config.group_count.min(self.n_devices))
+    }
+
+    /// Devices in failure domain `group` (`device % group_count`).
+    pub fn group_members(&self, group: usize) -> Vec<usize> {
+        let n_groups = self.config.group_count.min(self.n_devices).max(1);
+        (group..self.n_devices).step_by(n_groups).collect()
+    }
+
     /// A stable 64-bit digest of the whole plan — two plans with the same
     /// fingerprint injected the same faults. Used by replay-identity tests.
     pub fn fingerprint(&self) -> u64 {
@@ -348,6 +450,12 @@ impl FaultPlan {
             for (s, e) in windows {
                 mix(s.to_bits());
                 mix(e.to_bits());
+            }
+        }
+        for starts in &self.group_outages {
+            for (g, d) in starts {
+                mix(*g as u64);
+                mix(*d as u64);
             }
         }
         h
@@ -425,6 +533,17 @@ impl FaultInjector {
     /// Outage windows for `round`.
     pub fn outages(&self, round: usize) -> &[(f64, f64)] {
         self.plan.outages(round)
+    }
+
+    /// Failure-domain outages starting in `round` (see
+    /// [`FaultPlan::group_outages`]).
+    pub fn group_outages(&self, round: usize) -> &[(usize, usize)] {
+        self.plan.group_outages(round)
+    }
+
+    /// Failure domain of `device` (see [`FaultPlan::group_of`]).
+    pub fn group_of(&self, device: usize) -> Option<usize> {
+        self.plan.group_of(device)
     }
 
     /// Per-transfer loss probability from the config.
@@ -572,6 +691,62 @@ mod tests {
         for v in a {
             assert!((0.0..1.0).contains(&v));
         }
+    }
+
+    #[test]
+    fn group_outage_takes_down_whole_domain() {
+        let config = FaultConfig::none().with_group_outages(1.0, 2, 2);
+        let plan = FaultPlan::generate(config, 6, 4, 21);
+        // With prob 1 both groups go down at round 0 for 2 rounds, come back
+        // up at round 2 and immediately go down again.
+        for r in 0..4 {
+            let starts = plan.group_outages(r);
+            if r % 2 == 0 {
+                assert_eq!(starts, &[(0, 2), (1, 2)], "round {r}");
+            } else {
+                assert!(starts.is_empty(), "round {r}");
+            }
+            for j in 0..6 {
+                assert_eq!(plan.fate(r, j), DeviceFate::Offline, "round {r} dev {j}");
+                assert_eq!(plan.contention(r, j), 1.0);
+            }
+        }
+        assert_eq!(plan.group_of(0), Some(0));
+        assert_eq!(plan.group_of(3), Some(1));
+        assert_eq!(plan.group_members(1), vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn group_outages_leave_base_faults_byte_identical() {
+        // Adding the group-outage knob must not disturb the main draw
+        // stream: a plan without group outages is unchanged, and one *with*
+        // them differs only in the overlaid cells.
+        let base = FaultPlan::generate(chaos_config(), 6, 40, 42);
+        let overlaid = FaultPlan::generate(chaos_config().with_group_outages(0.3, 3, 2), 6, 40, 42);
+        for r in 0..40 {
+            for j in 0..6 {
+                let (b, o) = (base.fate(r, j), overlaid.fate(r, j));
+                if b != o {
+                    assert_eq!(o, DeviceFate::Offline, "round {r} dev {j}: {b:?} -> {o:?}");
+                }
+            }
+        }
+        assert_ne!(base.fingerprint(), overlaid.fingerprint());
+    }
+
+    #[test]
+    fn quiet_configs_report_group_outages() {
+        assert!(FaultConfig::none().is_quiet());
+        assert!(!FaultConfig::none().with_group_outages(0.1, 2, 1).is_quiet());
+        let plan = FaultPlan::generate(FaultConfig::none(), 3, 5, 1);
+        assert!(plan.group_outages(0).is_empty());
+        assert_eq!(plan.group_of(0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "failure domain")]
+    fn zero_group_count_rejected() {
+        let _ = FaultPlan::generate(FaultConfig::none().with_group_outages(0.5, 0, 1), 4, 5, 0);
     }
 
     #[test]

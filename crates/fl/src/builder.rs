@@ -28,9 +28,10 @@ use std::fmt;
 
 use fedsched_core::{DeadlinePolicy, Scheduler};
 use fedsched_device::{Device, TrainingWorkload};
-use fedsched_faults::{FaultConfig, FaultInjector};
+use fedsched_faults::{AdversaryConfig, AdversaryPlan, FaultConfig, FaultInjector};
 use fedsched_net::{Link, RetryPolicy};
 use fedsched_profiler::LinearProfile;
+use fedsched_robust::AggregatorKind;
 use fedsched_telemetry::Probe;
 
 use crate::cohorts::{ChaosOptions, ParallelRoundEngine};
@@ -78,6 +79,10 @@ pub enum ConfigError {
     },
     /// Rescheduling interval of zero rounds.
     ZeroRescheduleInterval,
+    /// Malformed robust-aggregator kind; the payload is the violated rule.
+    InvalidAggregator(&'static str),
+    /// Malformed adversary configuration; the payload is the violated rule.
+    InvalidAdversary(&'static str),
 }
 
 impl ConfigError {
@@ -95,6 +100,8 @@ impl ConfigError {
             ConfigError::UnsupportedOption(_) => "unsupported_option",
             ConfigError::ArityMismatch { .. } => "arity_mismatch",
             ConfigError::ZeroRescheduleInterval => "zero_reschedule_interval",
+            ConfigError::InvalidAggregator(_) => "invalid_aggregator",
+            ConfigError::InvalidAdversary(_) => "invalid_adversary",
         }
     }
 }
@@ -126,6 +133,12 @@ impl fmt::Display for ConfigError {
             } => write!(f, "{what} sized for {got} devices, cohort has {expected}"),
             ConfigError::ZeroRescheduleInterval => {
                 write!(f, "rescheduling interval must be positive")
+            }
+            ConfigError::InvalidAggregator(rule) => {
+                write!(f, "invalid robust aggregator: {rule}")
+            }
+            ConfigError::InvalidAdversary(rule) => {
+                write!(f, "invalid adversary config: {rule}")
             }
         }
     }
@@ -190,6 +203,8 @@ pub struct SimBuilder {
     cohort_size: Option<usize>,
     threads: Option<usize>,
     async_opts: Option<AsyncOptions>,
+    aggregator: Option<AggregatorKind>,
+    adversary: Option<(AdversaryConfig, usize)>,
 }
 
 impl SimBuilder {
@@ -210,6 +225,8 @@ impl SimBuilder {
             cohort_size: None,
             threads: None,
             async_opts: None,
+            aggregator: None,
+            adversary: None,
         }
     }
 
@@ -290,6 +307,24 @@ impl SimBuilder {
         self
     }
 
+    /// Select the robust aggregation rule the server scores deliveries
+    /// with (resilient/engine/coordinator). [`AggregatorKind::FedAvg`] —
+    /// the default — keeps today's behaviour bit for bit; any other kind
+    /// forces the fault-tolerant path so rejections have somewhere to go.
+    pub fn aggregator(mut self, kind: AggregatorKind) -> Self {
+        self.aggregator = Some(kind);
+        self
+    }
+
+    /// Attach an adversary model planned for `planned_rounds`
+    /// (resilient/engine/coordinator). On the engine/coordinator each
+    /// cohort derives its own [`AdversaryPlan`] from the cohort seed,
+    /// mirroring per-cohort fault injectors.
+    pub fn adversary(mut self, config: AdversaryConfig, planned_rounds: usize) -> Self {
+        self.adversary = Some((config, planned_rounds));
+        self
+    }
+
     /// Coordinate cohorts through a buffered asynchronous aggregator
     /// (coordinator only): merge as soon as `buffer` cohort updates are
     /// queued, discounting each by FedAsync staleness weight with base
@@ -309,6 +344,8 @@ impl SimBuilder {
             || self.rescue_soc_floor > 0.0
             || self.rescheduler.is_some()
             || self.priors.is_some()
+            || self.aggregator.is_some_and(|k| !k.is_fedavg())
+            || self.adversary.is_some()
     }
 
     /// The first chaos-only knob set, for precise error payloads.
@@ -327,9 +364,26 @@ impl SimBuilder {
             "rescue_soc_floor"
         } else if self.rescheduler.is_some() {
             "rescheduler"
-        } else {
+        } else if self.priors.is_some() {
             "priors"
+        } else if self.adversary.is_some() {
+            "adversary"
+        } else {
+            "aggregator"
         }
+    }
+
+    fn check_aggregator(&self) -> Result<AggregatorKind, ConfigError> {
+        let kind = self.aggregator.unwrap_or_default();
+        kind.validate().map_err(ConfigError::InvalidAggregator)?;
+        Ok(kind)
+    }
+
+    fn check_adversary(&self) -> Result<Option<(AdversaryConfig, usize)>, ConfigError> {
+        if let Some((config, _)) = &self.adversary {
+            config.check().map_err(ConfigError::InvalidAdversary)?;
+        }
+        Ok(self.adversary)
     }
 
     fn check_deadline(&self) -> Result<(), ConfigError> {
@@ -408,6 +462,8 @@ impl SimBuilder {
         self.check_deadline()?;
         self.check_retry()?;
         self.check_soc_floor()?;
+        let aggregator = self.check_aggregator()?;
+        let adversary = self.check_adversary()?;
         let n = self.devices.len();
         if let Some((_, every)) = &self.rescheduler {
             if *every == 0 {
@@ -448,7 +504,11 @@ impl SimBuilder {
         )
         .with_probe(self.probe)
         .with_deadline_policy(self.deadline)
-        .with_rescue_soc_floor(self.rescue_soc_floor);
+        .with_rescue_soc_floor(self.rescue_soc_floor)
+        .with_aggregator(aggregator);
+        if let Some((config, planned)) = adversary {
+            sim = sim.with_adversary(AdversaryPlan::generate(config, n, planned, c.seed));
+        }
         if let Some(retry) = self.retry {
             sim = sim.with_retry(retry);
         }
@@ -523,6 +583,8 @@ impl SimBuilder {
         self.check_deadline()?;
         self.check_retry()?;
         self.check_soc_floor()?;
+        let aggregator = self.check_aggregator()?;
+        let adversary = self.check_adversary()?;
         let c = self.config;
         let mut engine = ParallelRoundEngine::from_parts(
             self.devices,
@@ -542,7 +604,9 @@ impl SimBuilder {
             || self.retry.is_some()
             || !self.deadline.is_off()
             || !self.rescue
-            || self.rescue_soc_floor > 0.0;
+            || self.rescue_soc_floor > 0.0
+            || !aggregator.is_fedavg()
+            || adversary.is_some();
         if wants_chaos || force_chaos {
             let (config, planned) = self
                 .faults
@@ -550,7 +614,11 @@ impl SimBuilder {
                 .unwrap_or_else(|| (FaultConfig::none(), 0));
             let mut opts = ChaosOptions::new(config, planned)
                 .with_deadline_policy(self.deadline)
-                .with_rescue_soc_floor(self.rescue_soc_floor);
+                .with_rescue_soc_floor(self.rescue_soc_floor)
+                .with_aggregator(aggregator);
+            if let Some((adv, adv_rounds)) = adversary {
+                opts = opts.with_adversary(adv, adv_rounds);
+            }
             if let Some(retry) = self.retry {
                 opts = opts.with_retry(retry);
             }
@@ -629,6 +697,20 @@ mod tests {
             .err()
             .unwrap();
         assert_eq!(err, ConfigError::UnsupportedOption("buffered_async"));
+
+        let err = SimBuilder::new(devices(1), config(1))
+            .aggregator(AggregatorKind::Median)
+            .build_sim()
+            .err()
+            .unwrap();
+        assert_eq!(err, ConfigError::UnsupportedOption("aggregator"));
+
+        let err = SimBuilder::new(devices(1), config(1))
+            .adversary(AdversaryConfig::none(), 4)
+            .build_sim()
+            .err()
+            .unwrap();
+        assert_eq!(err, ConfigError::UnsupportedOption("adversary"));
     }
 
     #[test]
@@ -684,6 +766,23 @@ mod tests {
         assert_eq!(err.cause_code(), "invalid_async");
 
         let err = SimBuilder::new(devices(1), config(1))
+            .aggregator(AggregatorKind::MultiKrum { f: 1, k: 0 })
+            .build_resilient()
+            .err()
+            .unwrap();
+        assert_eq!(err.cause_code(), "invalid_aggregator");
+
+        let err = SimBuilder::new(devices(1), config(1))
+            .adversary(
+                AdversaryConfig::none().with_attackers(1.5, fedsched_faults::AttackKind::SignFlip),
+                4,
+            )
+            .build_engine()
+            .err()
+            .unwrap();
+        assert_eq!(err.cause_code(), "invalid_adversary");
+
+        let err = SimBuilder::new(devices(1), config(1))
             .deadline(DeadlinePolicy::MeanFactor(1.5))
             .buffered_async(2, 0.5)
             .build_coordinator()
@@ -730,6 +829,8 @@ mod tests {
                 ConfigError::ZeroRescheduleInterval,
                 "zero_reschedule_interval",
             ),
+            (ConfigError::InvalidAggregator("x"), "invalid_aggregator"),
+            (ConfigError::InvalidAdversary("x"), "invalid_adversary"),
         ];
         for (err, code) in cases {
             assert_eq!(err.cause_code(), code);

@@ -45,9 +45,10 @@ use std::sync::{Arc, Mutex};
 
 use fedsched_core::{DeadlinePolicy, Schedule};
 use fedsched_device::{Device, TrainingWorkload};
-use fedsched_faults::{FaultConfig, FaultInjector};
+use fedsched_faults::{AdversaryConfig, AdversaryPlan, FaultConfig, FaultInjector};
 use fedsched_net::{Link, RetryPolicy};
 use fedsched_parallel::{fixed_chunks, parallel_map_stealing, recommended_threads};
+use fedsched_robust::AggregatorKind;
 use fedsched_telemetry::{Event, EventLog, Probe};
 use serde::Serialize;
 
@@ -113,6 +114,16 @@ pub struct ChaosOptions {
     pub rescue: bool,
     /// Battery SoC floor below which survivors are exempt from rescue work.
     pub rescue_soc_floor: f64,
+    /// Robust aggregation rule every cohort scores deliveries with
+    /// (cohort-local scoring; population-level filtering is rolled up by
+    /// [`merge_runs`] into [`RoundOutcome::rejected_updates`]).
+    pub aggregator: AggregatorKind,
+    /// Adversary model and its planned horizon, instantiated per cohort:
+    /// each cohort derives its own [`AdversaryPlan`] from the cohort's
+    /// size and seed — exactly like fault plans. The horizon is separate
+    /// from [`ChaosOptions::planned_rounds`] so attacks and faults can
+    /// cover different spans.
+    pub adversary: Option<(AdversaryConfig, usize)>,
 }
 
 impl ChaosOptions {
@@ -126,6 +137,8 @@ impl ChaosOptions {
             deadline: DeadlinePolicy::Off,
             rescue: true,
             rescue_soc_floor: 0.0,
+            aggregator: AggregatorKind::FedAvg,
+            adversary: None,
         }
     }
 
@@ -159,6 +172,19 @@ impl ChaosOptions {
     /// Set the energy-aware rescue SoC floor.
     pub fn with_rescue_soc_floor(mut self, floor: f64) -> Self {
         self.rescue_soc_floor = floor;
+        self
+    }
+
+    /// Select the robust aggregation rule (see [`ChaosOptions::aggregator`]).
+    pub fn with_aggregator(mut self, kind: AggregatorKind) -> Self {
+        self.aggregator = kind;
+        self
+    }
+
+    /// Attach an adversary model planned for `planned_rounds` (see
+    /// [`ChaosOptions::adversary`]).
+    pub fn with_adversary(mut self, adversary: AdversaryConfig, planned_rounds: usize) -> Self {
+        self.adversary = Some((adversary, planned_rounds));
         self
     }
 }
@@ -501,9 +527,18 @@ impl ParallelRoundEngine {
                     .with_probe(cohort_probe)
                     .with_retry(opts.retry)
                     .with_deadline_policy(opts.deadline)
-                    .with_rescue_soc_floor(opts.rescue_soc_floor);
+                    .with_rescue_soc_floor(opts.rescue_soc_floor)
+                    .with_aggregator(opts.aggregator);
                     if !opts.rescue {
                         sim = sim.without_rescue();
+                    }
+                    if let Some((adv, adv_rounds)) = &opts.adversary {
+                        sim = sim.with_adversary(AdversaryPlan::generate(
+                            *adv,
+                            range.len(),
+                            *adv_rounds,
+                            seed,
+                        ));
                     }
                     CohortSim::Chaos(Box::new(sim))
                 }
@@ -643,6 +678,7 @@ fn synth_outcomes(timing: &TimingReport, sub: &Schedule, first_round: usize) -> 
             makespan_s,
             failed_users: 0,
             timed_out: 0,
+            rejected_updates: 0,
         })
         .collect()
 }
@@ -674,6 +710,7 @@ fn merge_runs(
             makespan_s: 0.0,
             failed_users: 0,
             timed_out: 0,
+            rejected_updates: 0,
         })
         .collect();
     let mut cohorts = Vec::with_capacity(runs.len());
@@ -697,6 +734,7 @@ fn merge_runs(
             merged.lost_shards += outcome.lost_shards;
             merged.failed_users += outcome.failed_users;
             merged.timed_out += outcome.timed_out;
+            merged.rejected_updates += outcome.rejected_updates;
             if outcome.makespan_s > merged.makespan_s {
                 merged.makespan_s = outcome.makespan_s;
             }

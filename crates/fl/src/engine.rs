@@ -9,9 +9,11 @@
 //! cores); the aggregation order is fixed by user index, so results are
 //! deterministic for a given seed regardless of the thread count.
 
-use fedsched_data::Dataset;
+use fedsched_data::{flip_labels, Dataset};
+use fedsched_faults::AdversaryPlan;
 use fedsched_nn::ModelKind;
 use fedsched_parallel::{parallel_map, recommended_threads};
+use fedsched_robust::AggregatorKind;
 use fedsched_telemetry::{Event, Probe};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -48,6 +50,14 @@ pub struct FlSetup<'a> {
     /// updates, which costs extra work only while recording) and
     /// `round_accuracy` events.
     pub probe: Probe,
+    /// Robust aggregation rule. Engaged only while `adversary` is present
+    /// and non-quiet — without an adversary every kind is byte-identical to
+    /// plain FedAvg, preserving the baseline experiments bit for bit.
+    pub aggregator: AggregatorKind,
+    /// Adversary plan: compromised users corrupt their training (label
+    /// flips happen at the data level, vector attacks transform the
+    /// uploaded parameters). `None` = everyone honest.
+    pub adversary: Option<AdversaryPlan>,
 }
 
 impl<'a> FlSetup<'a> {
@@ -71,6 +81,8 @@ impl<'a> FlSetup<'a> {
             eval_every: 0,
             seed,
             probe: Probe::disabled(),
+            aggregator: AggregatorKind::FedAvg,
+            adversary: None,
         }
     }
 
@@ -95,6 +107,22 @@ impl<'a> FlSetup<'a> {
         if !self.assignment.iter().any(|a| !a.is_empty()) {
             return Err(ConfigError::EmptyAssignment);
         }
+        self.aggregator
+            .validate()
+            .map_err(ConfigError::InvalidAggregator)?;
+        if let Some(plan) = &self.adversary {
+            if plan.n_devices() != self.assignment.len() {
+                return Err(ConfigError::ArityMismatch {
+                    what: "adversary plan",
+                    expected: self.assignment.len(),
+                    got: plan.n_devices(),
+                });
+            }
+        }
+        // The robust layer engages only under a live adversary; otherwise
+        // the run is byte-identical to the historical FedAvg path.
+        let adversary = self.adversary.as_ref().filter(|p| !p.is_quiet());
+        let n_classes = self.train.n_classes();
         let dims = self.train.kind().dims();
         let template = self.model.build_with_threads(dims, self.seed, 1);
         let mut global = template.flat_params();
@@ -105,6 +133,7 @@ impl<'a> FlSetup<'a> {
         let mut round_accuracies = Vec::new();
 
         let active_users = self.assignment.iter().filter(|a| !a.is_empty()).count();
+        let mut rejected_updates = 0usize;
         for round in 0..self.rounds {
             self.probe.emit(|| Event::RoundStart {
                 round,
@@ -116,6 +145,9 @@ impl<'a> FlSetup<'a> {
                 if indices.is_empty() {
                     return None;
                 }
+                let flip = adversary.is_some_and(|p| {
+                    p.is_attacker(round, user) && p.config().attack.flips_labels()
+                });
                 let mut net = self.model.build_with_threads(dims, self.seed, 1);
                 net.set_flat_params(global_ref);
                 // Per-(round, user) deterministic shuffle.
@@ -129,22 +161,33 @@ impl<'a> FlSetup<'a> {
                 let mut batches = 0usize;
                 for _epoch in 0..self.local_epochs.max(1) {
                     for chunk in order.chunks(self.batch_size) {
-                        let (x, y) = self.train.batch(chunk);
+                        let (x, mut y) = self.train.batch(chunk);
+                        if flip {
+                            flip_labels(&mut y, n_classes);
+                        }
                         loss_sum += f64::from(net.train_batch(&x, &y));
                         batches += 1;
                     }
                 }
-                Some((
-                    net.flat_params(),
-                    indices.len(),
-                    loss_sum / batches.max(1) as f64,
-                ))
+                let mut params = net.flat_params();
+                // Vector attacks transform the upload in place; honest
+                // users and label-flippers pass through unchanged.
+                if let Some(plan) = adversary {
+                    plan.apply(round, user, global_ref, &mut params);
+                }
+                Some((params, indices.len(), loss_sum / batches.max(1) as f64))
             });
 
+            let mut update_users: Vec<usize> = Vec::new();
             let updates: Vec<(Vec<f32>, usize)> = results
                 .iter()
-                .flatten()
-                .map(|(p, n, _)| (p.clone(), *n))
+                .enumerate()
+                .filter_map(|(user, r)| {
+                    r.as_ref().map(|(p, n, _)| {
+                        update_users.push(user);
+                        (p.clone(), *n)
+                    })
+                })
                 .collect();
             // Divergence is derived data; only pay for it while recording.
             if self.probe.is_enabled() && !updates.is_empty() {
@@ -152,7 +195,40 @@ impl<'a> FlSetup<'a> {
                 let divergence = analyze_round(&params, &global);
                 self.probe.emit(|| divergence.to_event(round));
             }
-            global = fedavg_aggregate(&updates);
+            if adversary.is_some() && !self.aggregator.is_fedavg() && !updates.is_empty() {
+                // Robust kinds aggregate *deltas* so norm-based scoring sees
+                // the per-round movement, not the absolute parameter scale.
+                let deltas: Vec<(Vec<f32>, usize)> = updates
+                    .iter()
+                    .map(|(p, w)| (p.iter().zip(&global).map(|(u, g)| u - g).collect(), *w))
+                    .collect();
+                let agg = self.aggregator.build();
+                let outcome = agg.aggregate(&deltas);
+                for &idx in &outcome.rejected {
+                    let user = update_users[idx];
+                    let score = outcome.scores[idx];
+                    self.probe.emit(|| Event::UpdateRejected {
+                        round,
+                        user,
+                        aggregator: agg.name().to_string(),
+                        score,
+                    });
+                }
+                rejected_updates += outcome.rejected.len();
+                let mean_score = outcome.mean_score();
+                self.probe.emit(|| Event::RobustAggregate {
+                    round,
+                    aggregator: agg.name().to_string(),
+                    n_updates: deltas.len(),
+                    rejected: outcome.rejected.len(),
+                    mean_score,
+                });
+                for (g, d) in global.iter_mut().zip(&outcome.global) {
+                    *g += d;
+                }
+            } else {
+                global = fedavg_aggregate(&updates);
+            }
             let mean_loss = {
                 let ls: Vec<f64> = results.iter().flatten().map(|(_, _, l)| *l).collect();
                 ls.iter().sum::<f64>() / ls.len().max(1) as f64
@@ -182,6 +258,7 @@ impl<'a> FlSetup<'a> {
             round_accuracies,
             round_losses,
             global,
+            rejected_updates,
         })
     }
 
@@ -213,6 +290,9 @@ pub struct FlOutcome {
     pub round_losses: Vec<f64>,
     /// The final global parameters.
     pub global: Vec<f32>,
+    /// Updates the robust aggregator excluded over the whole run (0 when no
+    /// adversary is configured).
+    pub rejected_updates: usize,
 }
 
 #[cfg(test)]
@@ -346,6 +426,107 @@ mod tests {
         let p = n_class_noniid(&train, 5, 4, 0.2, 11);
         let out = FlSetup::new(&train, &test, p.users.clone(), ModelKind::Mlp, 10, 5).run();
         assert!(out.final_accuracy > 0.6, "accuracy {}", out.final_accuracy);
+    }
+
+    #[test]
+    fn zero_adversary_robust_kinds_match_fedavg_bitwise() {
+        use fedsched_faults::{AdversaryConfig, AdversaryPlan};
+        use fedsched_robust::AggregatorKind;
+        let (train, test) = datasets();
+        let p = iid_equal(&train, 3, 5);
+        let base = FlSetup::new(&train, &test, p.users.clone(), ModelKind::Mlp, 4, 42).run();
+        for kind in [
+            AggregatorKind::FedAvg,
+            AggregatorKind::TrimmedMean { trim: 1 },
+            AggregatorKind::Median,
+            AggregatorKind::NormClip { tau: 0.0 },
+            AggregatorKind::MultiKrum { f: 1, k: 2 },
+        ] {
+            let mut setup = FlSetup::new(&train, &test, p.users.clone(), ModelKind::Mlp, 4, 42);
+            setup.aggregator = kind;
+            setup.adversary = Some(AdversaryPlan::generate(AdversaryConfig::none(), 3, 4, 42));
+            let out = setup.run();
+            assert_eq!(
+                out.global,
+                base.global,
+                "{}: quiet adversary must leave training bit-identical",
+                kind.name()
+            );
+            assert_eq!(out.rejected_updates, 0);
+        }
+    }
+
+    #[test]
+    fn noisy_attackers_poison_fedavg_but_not_multi_krum() {
+        use fedsched_faults::{AdversaryConfig, AdversaryPlan, AttackKind};
+        use fedsched_robust::AggregatorKind;
+        let (train, test) = datasets();
+        let p = iid_equal(&train, 5, 5);
+        // Heavy additive noise: the attacked update drowns the honest mean
+        // (sigma ≫ typical delta), while staying trivially far from the
+        // honest cluster for Krum distance scoring.
+        let adv =
+            AdversaryConfig::none().with_attackers(0.3, AttackKind::GaussianNoise { sigma: 30.0 });
+        // A seed whose plan compromises exactly one of the 5 users.
+        let seed = (0..200u64)
+            .find(|&s| {
+                let plan = AdversaryPlan::generate(adv, 5, 6, s);
+                (0..5).filter(|&j| plan.is_compromised(j)).count() == 1
+            })
+            .expect("some seed compromises exactly one user");
+        let run = |aggregator: AggregatorKind, attacked: bool| {
+            let mut setup = FlSetup::new(&train, &test, p.users.clone(), ModelKind::Mlp, 6, 42);
+            setup.aggregator = aggregator;
+            if attacked {
+                setup.adversary = Some(AdversaryPlan::generate(adv, 5, 6, seed));
+            }
+            setup.run()
+        };
+        let clean = run(AggregatorKind::FedAvg, false);
+        let poisoned = run(AggregatorKind::FedAvg, true);
+        let robust = run(AggregatorKind::MultiKrum { f: 1, k: 3 }, true);
+        assert!(
+            poisoned.final_accuracy < clean.final_accuracy - 0.1,
+            "noisy update must hurt FedAvg: clean {} vs poisoned {}",
+            clean.final_accuracy,
+            poisoned.final_accuracy
+        );
+        assert!(
+            robust.final_accuracy > clean.final_accuracy - 0.05,
+            "multi-krum must shrug the attack off: clean {} vs robust {}",
+            clean.final_accuracy,
+            robust.final_accuracy
+        );
+        assert!(robust.rejected_updates > 0);
+    }
+
+    #[test]
+    fn label_flip_attack_happens_at_the_data_level() {
+        use fedsched_faults::{AdversaryConfig, AdversaryPlan, AttackKind};
+        let (train, test) = datasets();
+        let p = iid_equal(&train, 4, 5);
+        let adv = AdversaryConfig::none().with_attackers(1.0, AttackKind::LabelFlip);
+        let mut setup = FlSetup::new(&train, &test, p.users.clone(), ModelKind::Mlp, 6, 42);
+        setup.adversary = Some(AdversaryPlan::generate(adv, 4, 6, 1));
+        let flipped = setup.run();
+        // Every client trains against mirrored labels: the model learns the
+        // flipped task, so true-label accuracy collapses below chance-ish.
+        assert!(
+            flipped.final_accuracy < 0.3,
+            "all-flipped training should not learn the true labels, got {}",
+            flipped.final_accuracy
+        );
+    }
+
+    #[test]
+    fn mismatched_adversary_plan_is_a_typed_error() {
+        use fedsched_faults::{AdversaryConfig, AdversaryPlan};
+        let (train, test) = datasets();
+        let p = iid_equal(&train, 2, 7);
+        let mut setup = FlSetup::new(&train, &test, p.users.clone(), ModelKind::Mlp, 1, 1);
+        setup.adversary = Some(AdversaryPlan::generate(AdversaryConfig::none(), 5, 1, 1));
+        let err = setup.try_run().err().unwrap();
+        assert_eq!(err.cause_code(), "arity_mismatch");
     }
 
     #[test]

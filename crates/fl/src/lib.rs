@@ -56,3 +56,5 @@ pub use server::fedavg_aggregate;
 
 // Re-exported so downstream builder call sites need only this crate.
 pub use fedsched_core::DeadlinePolicy;
+pub use fedsched_faults::{AdversaryConfig, AdversaryPlan, AttackKind};
+pub use fedsched_robust::{AggregatorKind, RobustAggregator, RobustOutcome};

@@ -29,9 +29,10 @@
 
 use fedsched_core::{CostMatrix, DeadlinePolicy, Schedule, Scheduler};
 use fedsched_device::{Device, TrainingWorkload};
-use fedsched_faults::{DeviceFate, FaultInjector};
+use fedsched_faults::{AdversaryPlan, DeviceFate, FaultInjector};
 use fedsched_net::{Link, LossyLink, RetryPolicy};
 use fedsched_profiler::{LinearProfile, OnlineProfiler};
+use fedsched_robust::AggregatorKind;
 use fedsched_telemetry::{Event, Probe};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -48,6 +49,10 @@ const PENALTY_PER_SAMPLE_S: f64 = 1e3;
 /// Forgetting factor for the per-device online profilers: recent rounds
 /// dominate, so estimates track thermal drift and contention.
 const PROFILER_LAMBDA: f64 = 0.9;
+/// Dimension of the proxy update vectors the timing simulator feeds the
+/// robust aggregator (the real training engine aggregates full parameter
+/// vectors; the timing path only needs enough coordinates to score).
+const PROXY_DIM: usize = 8;
 
 /// What one simulated round delivered under faults.
 #[derive(Debug, Clone, PartialEq, Serialize)]
@@ -72,6 +77,9 @@ pub struct RoundOutcome {
     pub failed_users: usize,
     /// Users cut off by the round deadline.
     pub timed_out: usize,
+    /// Updates the robust aggregator excluded this round (0 unless an
+    /// adversary is configured).
+    pub rejected_updates: usize,
 }
 
 /// Full report of a chaos run: plain timing plus per-round fault outcomes.
@@ -152,6 +160,8 @@ pub struct ResilientRoundSim {
     has_prior: bool,
     /// Devices the server has observed leaving for good.
     known_gone: Vec<bool>,
+    aggregator: AggregatorKind,
+    adversary: Option<AdversaryPlan>,
 }
 
 impl ResilientRoundSim {
@@ -213,6 +223,8 @@ impl ResilientRoundSim {
             profilers: vec![OnlineProfiler::new(PROFILER_LAMBDA); n],
             has_prior: false,
             known_gone: vec![false; n],
+            aggregator: AggregatorKind::FedAvg,
+            adversary: None,
         }
     }
 
@@ -309,6 +321,41 @@ impl ResilientRoundSim {
     /// Disable mid-round straggler rescue (failed users' shards are lost).
     pub fn without_rescue(mut self) -> Self {
         self.rescue = false;
+        self
+    }
+
+    /// Select the robust aggregation rule the server scores deliveries with.
+    ///
+    /// With the default [`AggregatorKind::FedAvg`] (or with no adversary
+    /// configured) the robust layer is entirely inert: no extra telemetry,
+    /// no RNG consumption, bit-identical traces. The fallible counterpart is
+    /// [`SimBuilder::aggregator`](crate::SimBuilder::aggregator).
+    ///
+    /// # Panics
+    /// Panics on an invalid kind (e.g. Multi-Krum with `k == 0`).
+    pub fn with_aggregator(mut self, kind: AggregatorKind) -> Self {
+        if let Err(rule) = kind.validate() {
+            panic!("{rule}");
+        }
+        self.aggregator = kind;
+        self
+    }
+
+    /// Attach an adversary plan: compromised devices submit attacked proxy
+    /// updates which the configured aggregator scores every round
+    /// (`update_rejected` / `robust_aggregate` telemetry, plus the
+    /// [`RoundOutcome::rejected_updates`] counter). A quiet plan (zero
+    /// attacker fraction) leaves the run byte-identical to no plan at all.
+    ///
+    /// # Panics
+    /// Panics if the plan was generated for a different cohort size.
+    pub fn with_adversary(mut self, plan: AdversaryPlan) -> Self {
+        assert_eq!(
+            plan.n_devices(),
+            self.devices.len(),
+            "adversary plan/cohort size mismatch"
+        );
+        self.adversary = Some(plan);
         self
     }
 
@@ -426,6 +473,15 @@ impl ResilientRoundSim {
                     device: None,
                     kind: "outage".to_string(),
                     magnitude: e - s,
+                });
+            }
+            for &(group, duration_rounds) in self.injector.group_outages(round) {
+                let members = self.injector.plan().group_members(group).len();
+                self.probe.emit(|| Event::GroupOutage {
+                    round,
+                    group,
+                    members,
+                    duration_rounds,
                 });
             }
             let lossy =
@@ -791,6 +847,73 @@ impl ResilientRoundSim {
                 }
             }
 
+            // Robust aggregation overlay: when a (non-quiet) adversary is
+            // attached, the server scores every primary-phase delivery with
+            // the configured aggregator over low-dimensional proxy updates.
+            // The timing path has no parameter vectors, so deliveries are
+            // synthesized as a shared per-round direction plus per-user
+            // jitter — both from the plan's scoped draw streams — and the
+            // plan's attack transform is applied on top for compromised
+            // users. Nothing here touches the main RNG or round timing, and
+            // the whole block is skipped (zero events, zero draws) without
+            // an adversary, preserving trace byte-identity.
+            let mut rejected_updates = 0usize;
+            if let Some(plan) = &self.adversary {
+                if !plan.is_quiet() {
+                    // `(user, shards delivered)` for phase-1 deliveries.
+                    let deliverers: Vec<(usize, usize)> = entries
+                        .iter()
+                        .filter_map(|(j, e)| match e {
+                            Phase1::Survivor { shards, .. } => Some((*j, *shards)),
+                            Phase1::Cut { done, .. } if *done > 0 => Some((*j, *done)),
+                            _ => None,
+                        })
+                        .collect();
+                    if !deliverers.is_empty() {
+                        let zeros = vec![0.0f32; PROXY_DIM];
+                        // Channels below `2 * n` are reserved for the plan's
+                        // own attack noise; proxy synthesis starts past them.
+                        let mut dir = plan.draw_stream(round, 2 * n);
+                        let direction: Vec<f32> = (0..PROXY_DIM)
+                            .map(|_| (dir.next_u01() * 2.0 - 1.0) as f32)
+                            .collect();
+                        let updates: Vec<(Vec<f32>, usize)> = deliverers
+                            .iter()
+                            .map(|&(j, shards)| {
+                                let mut jitter = plan.draw_stream(round, 2 * n + 1 + j);
+                                let mut u: Vec<f32> = direction
+                                    .iter()
+                                    .map(|&d| d + 0.1 * (jitter.next_u01() * 2.0 - 1.0) as f32)
+                                    .collect();
+                                plan.apply(round, j, &zeros, &mut u);
+                                (u, shards)
+                            })
+                            .collect();
+                        let agg = self.aggregator.build();
+                        let outcome = agg.aggregate(&updates);
+                        for &idx in &outcome.rejected {
+                            let user = deliverers[idx].0;
+                            let score = outcome.scores[idx];
+                            self.probe.emit(|| Event::UpdateRejected {
+                                round,
+                                user,
+                                aggregator: agg.name().to_string(),
+                                score,
+                            });
+                        }
+                        rejected_updates = outcome.rejected.len();
+                        let mean_score = outcome.mean_score();
+                        self.probe.emit(|| Event::RobustAggregate {
+                            round,
+                            aggregator: agg.name().to_string(),
+                            n_updates: updates.len(),
+                            rejected: rejected_updates,
+                            mean_score,
+                        });
+                    }
+                }
+            }
+
             let scheduled = current.total_shards();
             let lost = pool_total - rescued;
             let coverage = if scheduled == 0 {
@@ -826,6 +949,7 @@ impl ResilientRoundSim {
                 makespan_s: worst,
                 failed_users,
                 timed_out,
+                rejected_updates,
             });
             self.rounds_done += 1;
 
@@ -1167,6 +1291,148 @@ mod tests {
         let probed = run(Some(Probe::attached(log.clone())));
         assert_eq!(plain, probed, "observation must not perturb the run");
         assert!(!log.is_empty());
+    }
+
+    #[test]
+    fn quiet_adversary_is_bit_identical_to_no_adversary() {
+        use fedsched_faults::{AdversaryConfig, AdversaryPlan};
+        use fedsched_telemetry::EventLog;
+        use std::sync::Arc;
+        let config = FaultConfig::none().with_crash_prob(0.2).with_loss_prob(0.1);
+        let run = |adversary: Option<AdversaryPlan>, kind: AggregatorKind| {
+            let log = Arc::new(EventLog::new());
+            let inj = FaultInjector::from_config(config.clone(), 3, 6, 41);
+            let mut sim = ResilientRoundSim::from_parts(
+                devices(41),
+                TrainingWorkload::lenet(),
+                link(),
+                2.5e6,
+                41,
+                inj,
+            )
+            .with_probe(Probe::attached(log.clone()))
+            .with_aggregator(kind);
+            if let Some(plan) = adversary {
+                sim = sim.with_adversary(plan);
+            }
+            let report = sim.run(&schedule(), 6);
+            (report, log.to_jsonl())
+        };
+        let baseline = run(None, AggregatorKind::FedAvg);
+        for kind in [
+            AggregatorKind::FedAvg,
+            AggregatorKind::TrimmedMean { trim: 1 },
+            AggregatorKind::Median,
+            AggregatorKind::Krum { f: 1 },
+        ] {
+            let quiet = AdversaryPlan::generate(AdversaryConfig::none(), 3, 6, 41);
+            let got = run(Some(quiet), kind);
+            assert_eq!(
+                baseline,
+                got,
+                "{}: quiet adversary must be invisible",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn attacked_round_scores_and_rejects_updates() {
+        use fedsched_faults::{AdversaryConfig, AdversaryPlan, AttackKind};
+        use fedsched_telemetry::EventLog;
+        use std::sync::Arc;
+        let adv = AdversaryConfig::none().with_attackers(0.34, AttackKind::Boost { factor: 50.0 });
+        // Find a seed whose plan compromises exactly one of the 3 devices,
+        // so honest updates outnumber attacked ones and Krum can isolate it.
+        let seed = (0..200u64)
+            .find(|&s| {
+                let p = AdversaryPlan::generate(adv, 3, 6, s);
+                (0..3).filter(|&j| p.is_compromised(j)).count() == 1
+            })
+            .expect("some seed compromises exactly one device");
+        let plan = AdversaryPlan::generate(adv, 3, 6, seed);
+        let log = Arc::new(EventLog::new());
+        let mut sim = ResilientRoundSim::from_parts(
+            devices(9),
+            TrainingWorkload::lenet(),
+            link(),
+            2.5e6,
+            9,
+            FaultInjector::quiet(3),
+        )
+        .with_probe(Probe::attached(log.clone()))
+        .with_aggregator(AggregatorKind::MultiKrum { f: 1, k: 2 })
+        .with_adversary(plan);
+        let report = sim.run(&schedule(), 6);
+        let total_rejected: usize = report.rounds.iter().map(|r| r.rejected_updates).sum();
+        assert!(
+            total_rejected > 0,
+            "multi-krum must exclude boosted updates"
+        );
+        let events = log.events();
+        assert!(events.iter().any(|e| e.kind() == "update_rejected"));
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| e.kind() == "robust_aggregate")
+                .count(),
+            6,
+            "one robust_aggregate per round"
+        );
+    }
+
+    #[test]
+    fn group_outage_downs_the_domain_and_emits_events() {
+        use fedsched_telemetry::EventLog;
+        use std::sync::Arc;
+        let config = FaultConfig::none().with_group_outages(1.0, 3, 1);
+        let inj = FaultInjector::from_config(config, 6, 2, 23);
+        let log = Arc::new(EventLog::new());
+        let mut devs = devices(23);
+        devs.extend(devices(24));
+        devs.truncate(6);
+        let mut sim =
+            ResilientRoundSim::from_parts(devs, TrainingWorkload::lenet(), link(), 2.5e6, 23, inj)
+                .with_probe(Probe::attached(log.clone()));
+        let report = sim.run(&Schedule::new(vec![5; 6], 100.0), 2);
+        // Probability 1 downs every domain every round: nothing completes.
+        assert!(report.rounds.iter().all(|r| r.completed == 0));
+        let outages: Vec<_> = log
+            .events()
+            .into_iter()
+            .filter(|e| e.kind() == "group_outage")
+            .collect();
+        assert_eq!(outages.len(), 6, "3 groups x 2 rounds");
+    }
+
+    #[test]
+    #[should_panic(expected = "adversary plan/cohort size mismatch")]
+    fn wrong_adversary_arity_panics() {
+        use fedsched_faults::{AdversaryConfig, AdversaryPlan};
+        let plan = AdversaryPlan::generate(AdversaryConfig::none(), 5, 2, 1);
+        let _ = ResilientRoundSim::from_parts(
+            devices(1),
+            TrainingWorkload::lenet(),
+            link(),
+            2.5e6,
+            1,
+            FaultInjector::quiet(3),
+        )
+        .with_adversary(plan);
+    }
+
+    #[test]
+    #[should_panic(expected = "multi_krum needs k >= 1")]
+    fn invalid_aggregator_kind_panics() {
+        let _ = ResilientRoundSim::from_parts(
+            devices(1),
+            TrainingWorkload::lenet(),
+            link(),
+            2.5e6,
+            1,
+            FaultInjector::quiet(3),
+        )
+        .with_aggregator(AggregatorKind::MultiKrum { f: 1, k: 0 });
     }
 
     #[test]

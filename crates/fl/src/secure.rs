@@ -66,11 +66,15 @@ pub fn unmask_sum(masked: &[Vec<f32>]) -> Vec<f32> {
 /// Securely aggregate a round: mask every update, sum on the "server", and
 /// divide by the total weight. Returns the same result as plain weighted
 /// FedAvg would — secure aggregation is transparency-checked in tests.
+/// When every weight is zero the result is the zero vector, matching
+/// [`crate::server::fedavg_aggregate`] (previously this divided by zero).
 pub fn secure_fedavg(updates: &[(Vec<f32>, usize)], round_seed: u64) -> Vec<f32> {
     assert!(!updates.is_empty(), "secure_fedavg: no updates");
     let n = updates.len();
     let total: usize = updates.iter().map(|&(_, w)| w).sum();
-    assert!(total > 0, "secure_fedavg: zero total weight");
+    if total == 0 {
+        return vec![0.0; updates[0].0.len()];
+    }
     // Weight before masking (weights are public metadata in the protocol).
     let weighted: Vec<Vec<f32>> = updates
         .iter()
@@ -137,6 +141,16 @@ mod tests {
         for (a, b) in plain.iter().zip(&secure) {
             assert!((a - b).abs() < 1e-3, "{a} vs {b}");
         }
+    }
+
+    #[test]
+    fn all_zero_weights_yield_zero_vector_not_nans() {
+        // Regression: mirrors fedavg_aggregate — a fully-dropped round must
+        // not divide by zero.
+        let updates = vec![(vec![1.0f32, 2.0], 0usize), (vec![3.0, 4.0], 0)];
+        let out = secure_fedavg(&updates, 42);
+        assert_eq!(out, vec![0.0, 0.0]);
+        assert_eq!(out, fedavg_aggregate(&updates));
     }
 
     #[test]

@@ -1,10 +1,13 @@
 //! The parameter server: FedAvg aggregation.
 
 /// Weighted FedAvg: `global = sum_j (n_j / sum n) * w_j` (McMahan et al.,
-/// AISTATS 2017). Updates with zero weight are ignored.
+/// AISTATS 2017). Updates with zero weight are ignored. When *every*
+/// weight is zero (all users dropped this round) the result is the zero
+/// vector — the server keeps its previous model by adding a zero delta,
+/// instead of dividing by zero and poisoning the model with NaNs.
 ///
 /// # Panics
-/// Panics on an empty update set, mismatched lengths, or all-zero weights.
+/// Panics on an empty update set or mismatched lengths.
 pub fn fedavg_aggregate(updates: &[(Vec<f32>, usize)]) -> Vec<f32> {
     assert!(!updates.is_empty(), "fedavg: no updates to aggregate");
     let dim = updates[0].0.len();
@@ -13,16 +16,17 @@ pub fn fedavg_aggregate(updates: &[(Vec<f32>, usize)]) -> Vec<f32> {
         "fedavg: update dimensions differ"
     );
     let total: usize = updates.iter().map(|&(_, n)| n).sum();
-    assert!(total > 0, "fedavg: total weight is zero");
 
     let mut out = vec![0.0f64; dim];
-    for (w, n) in updates {
-        if *n == 0 {
-            continue;
-        }
-        let scale = *n as f64 / total as f64;
-        for (o, &v) in out.iter_mut().zip(w) {
-            *o += scale * f64::from(v);
+    if total > 0 {
+        for (w, n) in updates {
+            if *n == 0 {
+                continue;
+            }
+            let scale = *n as f64 / total as f64;
+            for (o, &v) in out.iter_mut().zip(w) {
+                *o += scale * f64::from(v);
+            }
         }
     }
     out.into_iter().map(|v| v as f32).collect()
@@ -67,8 +71,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "total weight is zero")]
-    fn all_zero_weights_panic() {
-        let _ = fedavg_aggregate(&[(vec![1.0], 0)]);
+    fn all_zero_weights_yield_zero_vector_not_nans() {
+        // Regression: this used to divide by zero. All users dropping out
+        // must leave the global model unchanged (zero delta), not NaN.
+        let out = fedavg_aggregate(&[(vec![1.0, -2.0], 0), (vec![3.0, 4.0], 0)]);
+        assert_eq!(out, vec![0.0, 0.0]);
+        assert!(out.iter().all(|v| v.is_finite()));
     }
 }

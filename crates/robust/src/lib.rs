@@ -1,0 +1,758 @@
+//! Byzantine-robust aggregation rules behind one trait.
+//!
+//! Plain FedAvg is a weighted mean, and a mean has a breakdown point of
+//! zero: one boosted or sign-flipped update can move the global model
+//! arbitrarily far. This crate packages the standard robust estimators —
+//! coordinate-wise trimmed mean, coordinate-wise median, norm clipping, and
+//! Krum / Multi-Krum (Blanchard et al., NeurIPS'17) — behind a single
+//! [`RobustAggregator`] trait so the round controllers can swap the
+//! aggregation rule via one [`AggregatorKind`] knob.
+//!
+//! Every aggregator returns a [`RobustOutcome`]: the aggregate vector, one
+//! anomaly **score** per input update (higher = more suspicious, scale
+//! documented per rule), and the set of **rejected** update indices. The
+//! [`AggregatorKind::FedAvg`] implementation reproduces the arithmetic of
+//! `fl::server::fedavg_aggregate` bit-for-bit (f64 accumulation in input
+//! order), which is what lets the zero-adversary identity tests demand
+//! byte-equal traces.
+//!
+//! Determinism: no RNG anywhere — ties are broken by input index, sorts use
+//! `f32::total_cmp`, and all reductions run in fixed order.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::Serialize;
+
+/// Which aggregation rule a round controller should apply.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub enum AggregatorKind {
+    /// Sample-count-weighted mean — the paper's baseline, today's default.
+    #[default]
+    FedAvg,
+    /// Coordinate-wise trimmed mean: drop the `trim` largest and `trim`
+    /// smallest values per coordinate, average the rest (unweighted).
+    /// Tolerates up to `trim` Byzantine updates per coordinate.
+    TrimmedMean {
+        /// Values trimmed from each end, per coordinate.
+        trim: usize,
+    },
+    /// Coordinate-wise median (unweighted). Maximal per-coordinate
+    /// breakdown point, at the cost of statistical efficiency.
+    Median,
+    /// Clip every update's L2 norm to a reference before the weighted
+    /// mean. Defuses boosted updates without rejecting anyone.
+    NormClip {
+        /// Clipping threshold; `0.0` means adaptive (median of the input
+        /// norms).
+        tau: f64,
+    },
+    /// Krum: score each update by its summed squared distance to its
+    /// closest peers, keep only the single best-supported one.
+    Krum {
+        /// Number of Byzantine updates to defend against.
+        f: usize,
+    },
+    /// Multi-Krum: Krum scores, but average the `k` best-supported updates
+    /// (weighted) instead of keeping one.
+    MultiKrum {
+        /// Number of Byzantine updates to defend against.
+        f: usize,
+        /// Updates averaged after scoring; must be at least 1.
+        k: usize,
+    },
+}
+
+impl AggregatorKind {
+    /// Stable snake_case tag used in telemetry events and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggregatorKind::FedAvg => "fedavg",
+            AggregatorKind::TrimmedMean { .. } => "trimmed_mean",
+            AggregatorKind::Median => "median",
+            AggregatorKind::NormClip { .. } => "norm_clip",
+            AggregatorKind::Krum { .. } => "krum",
+            AggregatorKind::MultiKrum { .. } => "multi_krum",
+        }
+    }
+
+    /// True for the plain FedAvg rule (the identity-preserving default).
+    pub fn is_fedavg(&self) -> bool {
+        matches!(self, AggregatorKind::FedAvg)
+    }
+
+    /// Check the rule's parameters; the error string is stable and
+    /// human-readable (builders wrap it in their own typed error).
+    pub fn validate(&self) -> Result<(), &'static str> {
+        match self {
+            AggregatorKind::NormClip { tau } => {
+                if !tau.is_finite() || *tau < 0.0 {
+                    return Err("norm_clip tau must be finite and non-negative");
+                }
+            }
+            AggregatorKind::MultiKrum { k, .. } => {
+                if *k == 0 {
+                    return Err("multi_krum needs k >= 1 selected updates");
+                }
+            }
+            AggregatorKind::FedAvg
+            | AggregatorKind::TrimmedMean { .. }
+            | AggregatorKind::Median
+            | AggregatorKind::Krum { .. } => {}
+        }
+        Ok(())
+    }
+
+    /// Instantiate the aggregator this kind describes.
+    ///
+    /// # Panics
+    /// Panics when [`AggregatorKind::validate`] fails; callers that accept
+    /// user input should validate first.
+    pub fn build(&self) -> Box<dyn RobustAggregator> {
+        self.validate().expect("invalid aggregator kind");
+        match *self {
+            AggregatorKind::FedAvg => Box::new(FedAvgAggregator),
+            AggregatorKind::TrimmedMean { trim } => Box::new(TrimmedMeanAggregator { trim }),
+            AggregatorKind::Median => Box::new(MedianAggregator),
+            AggregatorKind::NormClip { tau } => Box::new(NormClipAggregator { tau }),
+            AggregatorKind::Krum { f } => Box::new(KrumAggregator { f, multi_k: None }),
+            AggregatorKind::MultiKrum { f, k } => Box::new(KrumAggregator {
+                f,
+                multi_k: Some(k),
+            }),
+        }
+    }
+}
+
+/// What an aggregation rule produced for one round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RobustOutcome {
+    /// The aggregate vector (same dimension as every input).
+    pub global: Vec<f32>,
+    /// One anomaly score per input update, in input order. Higher is more
+    /// suspicious; the scale is rule-specific (documented per aggregator)
+    /// but always deterministic and finite.
+    pub scores: Vec<f64>,
+    /// Indices of updates the rule excluded from the aggregate, ascending.
+    pub rejected: Vec<usize>,
+}
+
+impl RobustOutcome {
+    /// Mean anomaly score (0.0 for an empty score list).
+    pub fn mean_score(&self) -> f64 {
+        if self.scores.is_empty() {
+            0.0
+        } else {
+            self.scores.iter().sum::<f64>() / self.scores.len() as f64
+        }
+    }
+}
+
+/// One aggregation rule. Inputs are `(vector, sample_count)` pairs — full
+/// parameter vectors or deltas; every rule is translation-agnostic except
+/// [`AggregatorKind::NormClip`], which assumes *deltas* (clipping the norm
+/// of an absolute parameter vector is meaningless).
+pub trait RobustAggregator: Send + Sync {
+    /// The rule's stable snake_case name (matches [`AggregatorKind::name`]).
+    fn name(&self) -> &'static str;
+
+    /// Aggregate `updates` into one vector plus per-update scores.
+    ///
+    /// # Panics
+    /// Panics when `updates` is empty or dimensions differ (same contract
+    /// as `fl::server::fedavg_aggregate`).
+    fn aggregate(&self, updates: &[(Vec<f32>, usize)]) -> RobustOutcome;
+}
+
+fn check_dims(updates: &[(Vec<f32>, usize)]) -> usize {
+    assert!(!updates.is_empty(), "robust: no updates to aggregate");
+    let dim = updates[0].0.len();
+    assert!(
+        updates.iter().all(|(v, _)| v.len() == dim),
+        "robust: update dimensions differ"
+    );
+    dim
+}
+
+/// Sample-count-weighted mean over a subset of updates, reproducing the
+/// arithmetic of `fl::server::fedavg_aggregate` exactly: f64 accumulation,
+/// input order, zero-weight updates skipped, zero *total* weight yielding
+/// the zero vector.
+fn weighted_mean(updates: &[(Vec<f32>, usize)], selected: &[usize], dim: usize) -> Vec<f32> {
+    let total: usize = selected.iter().map(|&j| updates[j].1).sum();
+    let mut acc = vec![0.0f64; dim];
+    if total > 0 {
+        for &j in selected {
+            let (v, n) = &updates[j];
+            if *n == 0 {
+                continue;
+            }
+            let w = *n as f64 / total as f64;
+            for (a, &x) in acc.iter_mut().zip(v.iter()) {
+                *a += w * f64::from(x);
+            }
+        }
+    }
+    acc.into_iter().map(|a| a as f32).collect()
+}
+
+/// Plain weighted mean; scores are all zero, nothing is rejected.
+struct FedAvgAggregator;
+
+impl RobustAggregator for FedAvgAggregator {
+    fn name(&self) -> &'static str {
+        "fedavg"
+    }
+
+    fn aggregate(&self, updates: &[(Vec<f32>, usize)]) -> RobustOutcome {
+        let dim = check_dims(updates);
+        let all: Vec<usize> = (0..updates.len()).collect();
+        RobustOutcome {
+            global: weighted_mean(updates, &all, dim),
+            scores: vec![0.0; updates.len()],
+            rejected: Vec::new(),
+        }
+    }
+}
+
+/// Coordinate-wise trimmed mean. Score: fraction of coordinates in which
+/// the update was trimmed (in `[0, 1]`); updates trimmed in a majority of
+/// coordinates (score > 0.5) are reported rejected. Falls back to the
+/// coordinate median when `2 * trim >= n`.
+struct TrimmedMeanAggregator {
+    trim: usize,
+}
+
+impl RobustAggregator for TrimmedMeanAggregator {
+    fn name(&self) -> &'static str {
+        "trimmed_mean"
+    }
+
+    fn aggregate(&self, updates: &[(Vec<f32>, usize)]) -> RobustOutcome {
+        let dim = check_dims(updates);
+        let n = updates.len();
+        if 2 * self.trim >= n {
+            return MedianAggregator.aggregate(updates);
+        }
+        let mut global = Vec::with_capacity(dim);
+        let mut trimmed_counts = vec![0usize; n];
+        let mut order: Vec<usize> = (0..n).collect();
+        for i in 0..dim {
+            order.sort_unstable_by(|&a, &b| {
+                updates[a].0[i].total_cmp(&updates[b].0[i]).then(a.cmp(&b))
+            });
+            let kept = &order[self.trim..n - self.trim];
+            let sum: f64 = kept.iter().map(|&j| f64::from(updates[j].0[i])).sum();
+            global.push((sum / kept.len() as f64) as f32);
+            for &j in &order[..self.trim] {
+                trimmed_counts[j] += 1;
+            }
+            for &j in &order[n - self.trim..] {
+                trimmed_counts[j] += 1;
+            }
+        }
+        let scores: Vec<f64> = trimmed_counts
+            .iter()
+            .map(|&c| if dim == 0 { 0.0 } else { c as f64 / dim as f64 })
+            .collect();
+        let rejected: Vec<usize> = (0..n).filter(|&j| scores[j] > 0.5).collect();
+        RobustOutcome {
+            global,
+            scores,
+            rejected,
+        }
+    }
+}
+
+/// Coordinate-wise median (even counts average the two middle values).
+/// Score: L2 distance to the median vector, normalized by the largest such
+/// distance (in `[0, 1]`; all-zero when every update is identical). Nothing
+/// is rejected — the median already ignores outliers per coordinate.
+struct MedianAggregator;
+
+impl RobustAggregator for MedianAggregator {
+    fn name(&self) -> &'static str {
+        "median"
+    }
+
+    fn aggregate(&self, updates: &[(Vec<f32>, usize)]) -> RobustOutcome {
+        let dim = check_dims(updates);
+        let n = updates.len();
+        let mut global = Vec::with_capacity(dim);
+        let mut column: Vec<f32> = Vec::with_capacity(n);
+        for i in 0..dim {
+            column.clear();
+            column.extend(updates.iter().map(|(v, _)| v[i]));
+            column.sort_unstable_by(f32::total_cmp);
+            let mid = n / 2;
+            let med = if n % 2 == 1 {
+                f64::from(column[mid])
+            } else {
+                (f64::from(column[mid - 1]) + f64::from(column[mid])) / 2.0
+            };
+            global.push(med as f32);
+        }
+        let dists: Vec<f64> = updates
+            .iter()
+            .map(|(v, _)| {
+                v.iter()
+                    .zip(&global)
+                    .map(|(&x, &m)| {
+                        let d = f64::from(x) - f64::from(m);
+                        d * d
+                    })
+                    .sum::<f64>()
+                    .sqrt()
+            })
+            .collect();
+        let max = dists.iter().cloned().fold(0.0f64, f64::max);
+        let scores = if max > 0.0 {
+            dists.iter().map(|d| d / max).collect()
+        } else {
+            vec![0.0; n]
+        };
+        RobustOutcome {
+            global,
+            scores,
+            rejected: Vec::new(),
+        }
+    }
+}
+
+/// Norm clipping: scale any update whose L2 norm exceeds the reference
+/// down to it, then take the weighted mean. Reference is `tau`, or the
+/// median input norm when `tau == 0` (adaptive). Score: `norm / reference`
+/// (1.0 = at the threshold). Nothing is rejected — energy is capped, not
+/// discarded.
+struct NormClipAggregator {
+    tau: f64,
+}
+
+impl RobustAggregator for NormClipAggregator {
+    fn name(&self) -> &'static str {
+        "norm_clip"
+    }
+
+    fn aggregate(&self, updates: &[(Vec<f32>, usize)]) -> RobustOutcome {
+        let dim = check_dims(updates);
+        let n = updates.len();
+        let norms: Vec<f64> = updates
+            .iter()
+            .map(|(v, _)| {
+                v.iter()
+                    .map(|&x| f64::from(x) * f64::from(x))
+                    .sum::<f64>()
+                    .sqrt()
+            })
+            .collect();
+        let reference = if self.tau > 0.0 {
+            self.tau
+        } else {
+            let mut sorted = norms.clone();
+            sorted.sort_unstable_by(f64::total_cmp);
+            let mid = n / 2;
+            if n % 2 == 1 {
+                sorted[mid]
+            } else {
+                (sorted[mid - 1] + sorted[mid]) / 2.0
+            }
+        };
+        let scores: Vec<f64> = norms
+            .iter()
+            .map(|&norm| {
+                if reference > 0.0 {
+                    norm / reference
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let clipped: Vec<(Vec<f32>, usize)> = updates
+            .iter()
+            .zip(&norms)
+            .map(|((v, w), &norm)| {
+                if norm > reference && norm > 0.0 {
+                    let scale = reference / norm;
+                    (
+                        v.iter().map(|&x| (f64::from(x) * scale) as f32).collect(),
+                        *w,
+                    )
+                } else {
+                    (v.clone(), *w)
+                }
+            })
+            .collect();
+        let all: Vec<usize> = (0..n).collect();
+        RobustOutcome {
+            global: weighted_mean(&clipped, &all, dim),
+            scores,
+            rejected: Vec::new(),
+        }
+    }
+}
+
+/// Krum and Multi-Krum share their scoring pass. Score: summed squared L2
+/// distance to the `n - f - 2` nearest peers (clamped to at least one
+/// peer). Krum keeps the single minimizer and rejects everything else;
+/// Multi-Krum keeps the `k` best (weighted mean) and rejects the rest.
+struct KrumAggregator {
+    f: usize,
+    /// `None` = plain Krum; `Some(k)` = Multi-Krum averaging `k` updates.
+    multi_k: Option<usize>,
+}
+
+impl RobustAggregator for KrumAggregator {
+    fn name(&self) -> &'static str {
+        if self.multi_k.is_some() {
+            "multi_krum"
+        } else {
+            "krum"
+        }
+    }
+
+    fn aggregate(&self, updates: &[(Vec<f32>, usize)]) -> RobustOutcome {
+        let dim = check_dims(updates);
+        let n = updates.len();
+        if n == 1 {
+            return RobustOutcome {
+                global: updates[0].0.clone(),
+                scores: vec![0.0],
+                rejected: Vec::new(),
+            };
+        }
+        // Pairwise squared distances (symmetric; computed once).
+        let mut dist = vec![0.0f64; n * n];
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let d: f64 = updates[a]
+                    .0
+                    .iter()
+                    .zip(&updates[b].0)
+                    .map(|(&x, &y)| {
+                        let d = f64::from(x) - f64::from(y);
+                        d * d
+                    })
+                    .sum();
+                dist[a * n + b] = d;
+                dist[b * n + a] = d;
+            }
+        }
+        // Sum over the closest n - f - 2 peers, clamped to [1, n - 1].
+        let neighbors = n.saturating_sub(self.f + 2).clamp(1, n - 1);
+        let scores: Vec<f64> = (0..n)
+            .map(|a| {
+                let mut row: Vec<f64> = (0..n)
+                    .filter(|&b| b != a)
+                    .map(|b| dist[a * n + b])
+                    .collect();
+                row.sort_unstable_by(f64::total_cmp);
+                row[..neighbors].iter().sum()
+            })
+            .collect();
+        let mut ranked: Vec<usize> = (0..n).collect();
+        ranked.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]).then(a.cmp(&b)));
+        let keep = self.multi_k.unwrap_or(1).min(n);
+        let mut selected = ranked[..keep].to_vec();
+        selected.sort_unstable();
+        let mut rejected: Vec<usize> = ranked[keep..].to_vec();
+        rejected.sort_unstable();
+        let global = if keep == 1 {
+            updates[selected[0]].0.clone()
+        } else {
+            weighted_mean(updates, &selected, dim)
+        };
+        RobustOutcome {
+            global,
+            scores,
+            rejected,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn updates(vecs: &[&[f32]]) -> Vec<(Vec<f32>, usize)> {
+        vecs.iter().map(|v| (v.to_vec(), 1)).collect()
+    }
+
+    /// The arithmetic `fl::server::fedavg_aggregate` uses, inlined here so
+    /// the bitwise-equality contract is pinned inside this crate too.
+    fn reference_fedavg(ups: &[(Vec<f32>, usize)]) -> Vec<f32> {
+        let total: usize = ups.iter().map(|(_, n)| n).sum();
+        let dim = ups[0].0.len();
+        let mut acc = vec![0.0f64; dim];
+        if total > 0 {
+            for (v, n) in ups {
+                if *n == 0 {
+                    continue;
+                }
+                let w = *n as f64 / total as f64;
+                for (a, &x) in acc.iter_mut().zip(v.iter()) {
+                    *a += w * f64::from(x);
+                }
+            }
+        }
+        acc.into_iter().map(|a| a as f32).collect()
+    }
+
+    #[test]
+    fn fedavg_matches_reference_bitwise() {
+        let ups = vec![
+            (vec![1.0f32, -0.5, 0.25], 3),
+            (vec![0.1f32, 0.7, -2.0], 5),
+            (vec![0.33f32, 0.66, 0.99], 0),
+            (vec![-1.0f32, 2.0, 3.0], 2),
+        ];
+        let out = AggregatorKind::FedAvg.build().aggregate(&ups);
+        let reference = reference_fedavg(&ups);
+        assert_eq!(
+            out.global.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            reference.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+        assert_eq!(out.scores, vec![0.0; 4]);
+        assert!(out.rejected.is_empty());
+    }
+
+    #[test]
+    fn fedavg_zero_total_weight_yields_zero_vector() {
+        let ups = vec![(vec![1.0f32, 2.0], 0), (vec![3.0f32, 4.0], 0)];
+        let out = AggregatorKind::FedAvg.build().aggregate(&ups);
+        assert_eq!(out.global, vec![0.0f32, 0.0]);
+    }
+
+    #[test]
+    fn trimmed_mean_drops_the_outlier_and_scores_it() {
+        let ups = updates(&[
+            &[1.0, 1.0],
+            &[1.2, 0.95],
+            &[0.8, 1.0],
+            &[1.1, 1.2],
+            &[0.9, 0.8],
+            &[100.0, -100.0], // the attacker
+        ]);
+        let out = AggregatorKind::TrimmedMean { trim: 1 }
+            .build()
+            .aggregate(&ups);
+        for &g in &out.global {
+            assert!(
+                (0.8..=1.2).contains(&g),
+                "coordinate {g} not in honest range"
+            );
+        }
+        // Only the attacker lands in the trim zone of *every* coordinate;
+        // honest extremes are trimmed in at most half of them.
+        assert_eq!(out.rejected, vec![5]);
+        assert_eq!(out.scores[5], 1.0);
+        assert!(out.scores.iter().take(5).all(|&s| s <= 0.5));
+    }
+
+    #[test]
+    fn trimmed_mean_falls_back_to_median_when_overtrimmed() {
+        let ups = updates(&[&[1.0], &[2.0], &[3.0]]);
+        let trimmed = AggregatorKind::TrimmedMean { trim: 2 }
+            .build()
+            .aggregate(&ups);
+        let median = AggregatorKind::Median.build().aggregate(&ups);
+        assert_eq!(trimmed.global, median.global);
+    }
+
+    #[test]
+    fn median_is_exact_for_odd_counts_and_averages_even() {
+        let odd = updates(&[&[1.0], &[5.0], &[3.0]]);
+        assert_eq!(
+            AggregatorKind::Median.build().aggregate(&odd).global,
+            vec![3.0]
+        );
+        let even = updates(&[&[1.0], &[3.0]]);
+        assert_eq!(
+            AggregatorKind::Median.build().aggregate(&even).global,
+            vec![2.0]
+        );
+    }
+
+    #[test]
+    fn median_scores_rank_the_outlier_highest() {
+        let ups = updates(&[&[0.0, 0.0], &[0.1, -0.1], &[10.0, 10.0]]);
+        let out = AggregatorKind::Median.build().aggregate(&ups);
+        assert_eq!(out.scores[2], 1.0);
+        assert!(out.scores[0] < out.scores[2] && out.scores[1] < out.scores[2]);
+        assert!(out.rejected.is_empty());
+    }
+
+    #[test]
+    fn norm_clip_caps_the_boosted_update() {
+        // Three unit-norm honest deltas, one boosted 100x.
+        let ups = updates(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 0.0], &[100.0, 0.0]]);
+        let out = AggregatorKind::NormClip { tau: 0.0 }
+            .build()
+            .aggregate(&ups);
+        // Adaptive reference = median norm = 1; clipped mean stays bounded.
+        let norm: f64 = out
+            .global
+            .iter()
+            .map(|&x| f64::from(x) * f64::from(x))
+            .sum::<f64>()
+            .sqrt();
+        assert!(norm <= 1.0 + 1e-9, "clipped aggregate norm {norm}");
+        assert!(out.scores[3] > 50.0);
+        assert!((out.scores[0] - 1.0).abs() < 1e-12);
+        // Fixed tau behaves the same way.
+        let fixed = AggregatorKind::NormClip { tau: 1.0 }
+            .build()
+            .aggregate(&ups);
+        assert_eq!(fixed.global, out.global);
+    }
+
+    #[test]
+    fn krum_picks_a_clustered_update_and_rejects_f_outliers() {
+        let ups = updates(&[
+            &[1.0, 1.0],
+            &[1.05, 0.95],
+            &[0.95, 1.05],
+            &[1.02, 1.01],
+            &[-50.0, 50.0], // attacker
+        ]);
+        let out = AggregatorKind::Krum { f: 1 }.build().aggregate(&ups);
+        // The winner is one of the clustered updates, verbatim.
+        assert!(ups[..4].iter().any(|(v, _)| v == &out.global));
+        assert!(out.rejected.contains(&4));
+        assert_eq!(
+            out.rejected.len(),
+            4,
+            "krum rejects everything but the winner"
+        );
+        let worst = out
+            .scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert_eq!(worst, 4);
+    }
+
+    #[test]
+    fn multi_krum_averages_k_best_and_rejects_the_rest() {
+        let ups = updates(&[
+            &[1.0, 1.0],
+            &[1.1, 0.9],
+            &[0.9, 1.1],
+            &[1.0, 1.0],
+            &[-50.0, 50.0],
+        ]);
+        let out = AggregatorKind::MultiKrum { f: 1, k: 3 }
+            .build()
+            .aggregate(&ups);
+        assert_eq!(out.rejected.len(), 2);
+        assert!(out.rejected.contains(&4));
+        for &g in &out.global {
+            assert!((0.8..=1.2).contains(&g));
+        }
+    }
+
+    #[test]
+    fn single_update_is_returned_verbatim_by_krum() {
+        let ups = updates(&[&[7.0, -7.0]]);
+        for kind in [
+            AggregatorKind::Krum { f: 1 },
+            AggregatorKind::MultiKrum { f: 1, k: 2 },
+        ] {
+            let out = kind.build().aggregate(&ups);
+            assert_eq!(out.global, vec![7.0, -7.0]);
+            assert!(out.rejected.is_empty());
+        }
+    }
+
+    #[test]
+    fn kind_validation_and_names_are_stable() {
+        assert!(AggregatorKind::MultiKrum { f: 1, k: 0 }.validate().is_err());
+        assert!(AggregatorKind::NormClip { tau: -1.0 }.validate().is_err());
+        assert!(AggregatorKind::NormClip { tau: f64::NAN }
+            .validate()
+            .is_err());
+        for (kind, name) in [
+            (AggregatorKind::FedAvg, "fedavg"),
+            (AggregatorKind::TrimmedMean { trim: 1 }, "trimmed_mean"),
+            (AggregatorKind::Median, "median"),
+            (AggregatorKind::NormClip { tau: 1.0 }, "norm_clip"),
+            (AggregatorKind::Krum { f: 1 }, "krum"),
+            (AggregatorKind::MultiKrum { f: 1, k: 2 }, "multi_krum"),
+        ] {
+            assert!(kind.validate().is_ok());
+            assert_eq!(kind.name(), name);
+            assert_eq!(kind.build().name(), name);
+        }
+        assert!(AggregatorKind::default().is_fedavg());
+    }
+
+    #[test]
+    #[should_panic(expected = "no updates")]
+    fn empty_input_panics() {
+        let _ = AggregatorKind::Median.build().aggregate(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions differ")]
+    fn mismatched_dims_panic() {
+        let ups = vec![(vec![1.0f32], 1), (vec![1.0f32, 2.0], 1)];
+        let _ = AggregatorKind::FedAvg.build().aggregate(&ups);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// With at least as much trimming as there are attackers, every
+        /// trimmed-mean coordinate stays inside the honest value range, no
+        /// matter what the attackers submit.
+        #[test]
+        fn trimmed_mean_is_bounded_by_honest_range(
+            honest in prop::collection::vec(
+                prop::collection::vec(-10.0f32..10.0, 4), 3..8),
+            attackers in prop::collection::vec(
+                prop::collection::vec(-1e6f32..1e6, 4), 1..3),
+        ) {
+            let trim = attackers.len();
+            let mut ups: Vec<(Vec<f32>, usize)> =
+                honest.iter().map(|v| (v.clone(), 1)).collect();
+            ups.extend(attackers.iter().map(|v| (v.clone(), 1)));
+            let out = AggregatorKind::TrimmedMean { trim }.build().aggregate(&ups);
+            for i in 0..4 {
+                let lo = honest.iter().map(|v| v[i]).fold(f32::INFINITY, f32::min);
+                let hi = honest.iter().map(|v| v[i]).fold(f32::NEG_INFINITY, f32::max);
+                prop_assert!(
+                    out.global[i] >= lo - 1e-4 && out.global[i] <= hi + 1e-4,
+                    "coord {i}: {} outside honest [{lo}, {hi}]", out.global[i]
+                );
+            }
+        }
+
+        /// With attackers a strict minority, every median coordinate stays
+        /// inside the honest value range.
+        #[test]
+        fn median_is_bounded_by_honest_range(
+            honest in prop::collection::vec(
+                prop::collection::vec(-10.0f32..10.0, 4), 4..9),
+            attacker_count in 1usize..3,
+            attack_value in -1e6f32..1e6,
+        ) {
+            // attacker_count <= 2 and honest.len() >= 4: always a strict minority.
+            let mut ups: Vec<(Vec<f32>, usize)> =
+                honest.iter().map(|v| (v.clone(), 1)).collect();
+            for _ in 0..attacker_count {
+                ups.push((vec![attack_value; 4], 1));
+            }
+            let out = AggregatorKind::Median.build().aggregate(&ups);
+            for i in 0..4 {
+                let lo = honest.iter().map(|v| v[i]).fold(f32::INFINITY, f32::min);
+                let hi = honest.iter().map(|v| v[i]).fold(f32::NEG_INFINITY, f32::max);
+                prop_assert!(
+                    out.global[i] >= lo - 1e-4 && out.global[i] <= hi + 1e-4,
+                    "coord {i}: {} outside honest [{lo}, {hi}]", out.global[i]
+                );
+            }
+        }
+    }
+}

@@ -137,6 +137,25 @@ mod tests {
                 kind: "crash".into(),
                 magnitude: 1.0,
             },
+            Event::UpdateRejected {
+                round: 0,
+                user: 1,
+                aggregator: "krum".into(),
+                score: 3.0,
+            },
+            Event::RobustAggregate {
+                round: 0,
+                aggregator: "krum".into(),
+                n_updates: 2,
+                rejected: 1,
+                mean_score: 1.5,
+            },
+            Event::GroupOutage {
+                round: 0,
+                group: 0,
+                members: 2,
+                duration_rounds: 1,
+            },
         ];
         let mut s = String::new();
         for ev in &events {
@@ -165,8 +184,17 @@ mod tests {
         assert_eq!(stats.device_in, 5);
         assert_eq!(stats.device_kept, 3);
         assert_eq!(stats.lines_out, stats.lines_in - 2);
-        // Every non-device event is still present, in order.
-        for kept in ["round_start", "user_span", "round_end", "fault_injected"] {
+        // Every non-device event is still present, in order. The robustness
+        // events are round-level, so compaction must never drop them.
+        for kept in [
+            "round_start",
+            "user_span",
+            "round_end",
+            "fault_injected",
+            "update_rejected",
+            "robust_aggregate",
+            "group_outage",
+        ] {
             assert!(
                 out.contains(&format!("{{\"ev\":\"{kept}\"")),
                 "{kept} missing from compacted trace"

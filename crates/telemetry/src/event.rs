@@ -160,6 +160,42 @@ pub enum Event {
         coverage: f64,
     },
 
+    // ---- Byzantine-robust aggregation / correlated failures ----------------
+    /// A robust aggregator excluded one user's update from the aggregate.
+    UpdateRejected {
+        round: usize,
+        user: usize,
+        /// Aggregation rule name (`"trimmed_mean"`, `"krum"`, ...).
+        aggregator: String,
+        /// The update's anomaly score (rule-specific scale, higher = more
+        /// suspicious).
+        score: f64,
+    },
+    /// A robust aggregation rule ran for a round (round-level summary of
+    /// the per-user scores).
+    RobustAggregate {
+        round: usize,
+        aggregator: String,
+        /// Updates that reached the aggregator.
+        n_updates: usize,
+        /// Updates it excluded.
+        rejected: usize,
+        /// Mean anomaly score across all updates.
+        mean_score: f64,
+    },
+    /// A correlated failure domain went down, taking a device group
+    /// offline for a window of rounds.
+    GroupOutage {
+        round: usize,
+        /// Failure-domain index (cohort-local, like cohort seeds; never
+        /// remapped).
+        group: usize,
+        /// Devices in the domain.
+        members: usize,
+        /// Rounds the domain stays down.
+        duration_rounds: usize,
+    },
+
     // ---- cross-cohort coordination -----------------------------------------
     /// The coordinator resolved one global straggler deadline for a round
     /// from pooled per-user predictions and pushed it into every cohort.
@@ -237,6 +273,9 @@ impl Event {
             Event::UserTimeout { .. } => "user_timeout",
             Event::ShardsReassigned { .. } => "shards_reassigned",
             Event::RoundDegraded { .. } => "round_degraded",
+            Event::UpdateRejected { .. } => "update_rejected",
+            Event::RobustAggregate { .. } => "robust_aggregate",
+            Event::GroupOutage { .. } => "group_outage",
             Event::GlobalDeadlineSet { .. } => "global_deadline_set",
             Event::CohortStraggling { .. } => "cohort_straggling",
             Event::AsyncMerge { .. } => "async_merge",
@@ -320,6 +359,17 @@ impl Event {
                 from_user: from_user + offset,
                 to_user: to_user + offset,
                 shards,
+            },
+            Event::UpdateRejected {
+                round,
+                user,
+                aggregator,
+                score,
+            } => Event::UpdateRejected {
+                round,
+                user: user + offset,
+                aggregator,
+                score,
             },
             Event::AsyncMerge {
                 t_s,
@@ -548,6 +598,41 @@ impl Event {
                      \"completed\":{completed},\"rescued\":{rescued},\"lost\":{lost}"
                 );
                 push_f64_field(&mut out, "coverage", *coverage);
+            }
+            Event::UpdateRejected {
+                round,
+                user,
+                aggregator,
+                score,
+            } => {
+                let _ = write!(out, ",\"round\":{round},\"user\":{user}");
+                out.push_str(",\"aggregator\":");
+                json::push_str(&mut out, aggregator);
+                push_f64_field(&mut out, "score", *score);
+            }
+            Event::RobustAggregate {
+                round,
+                aggregator,
+                n_updates,
+                rejected,
+                mean_score,
+            } => {
+                let _ = write!(out, ",\"round\":{round},\"aggregator\":");
+                json::push_str(&mut out, aggregator);
+                let _ = write!(out, ",\"n_updates\":{n_updates},\"rejected\":{rejected}");
+                push_f64_field(&mut out, "mean_score", *mean_score);
+            }
+            Event::GroupOutage {
+                round,
+                group,
+                members,
+                duration_rounds,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"round\":{round},\"group\":{group},\
+                     \"members\":{members},\"duration_rounds\":{duration_rounds}"
+                );
             }
             Event::GlobalDeadlineSet {
                 round,
@@ -830,6 +915,81 @@ mod tests {
             "{\"ev\":\"deadline_drop\",\"user\":1,\"predicted_s\":100.0,\
              \"deadline_s\":20.0,\"lost_shards\":10}"
         );
+    }
+
+    #[test]
+    fn robustness_events_encode_with_fixed_key_order() {
+        let ev = Event::UpdateRejected {
+            round: 2,
+            user: 5,
+            aggregator: "krum".into(),
+            score: 12.5,
+        };
+        assert_eq!(
+            ev.to_json(),
+            "{\"ev\":\"update_rejected\",\"round\":2,\"user\":5,\
+             \"aggregator\":\"krum\",\"score\":12.5}"
+        );
+        let ev = Event::RobustAggregate {
+            round: 2,
+            aggregator: "trimmed_mean".into(),
+            n_updates: 8,
+            rejected: 1,
+            mean_score: 0.25,
+        };
+        assert_eq!(
+            ev.to_json(),
+            "{\"ev\":\"robust_aggregate\",\"round\":2,\"aggregator\":\"trimmed_mean\",\
+             \"n_updates\":8,\"rejected\":1,\"mean_score\":0.25}"
+        );
+        let ev = Event::GroupOutage {
+            round: 4,
+            group: 1,
+            members: 3,
+            duration_rounds: 2,
+        };
+        assert_eq!(
+            ev.to_json(),
+            "{\"ev\":\"group_outage\",\"round\":4,\"group\":1,\
+             \"members\":3,\"duration_rounds\":2}"
+        );
+    }
+
+    #[test]
+    fn robustness_event_offsets_shift_only_the_user() {
+        let rejected = Event::UpdateRejected {
+            round: 1,
+            user: 2,
+            aggregator: "median".into(),
+            score: 0.9,
+        };
+        assert_eq!(
+            rejected.clone().with_user_offset(10),
+            Event::UpdateRejected {
+                round: 1,
+                user: 12,
+                aggregator: "median".into(),
+                score: 0.9,
+            }
+        );
+        assert_eq!(rejected.clone().with_user_offset(0), rejected);
+        // Aggregate summaries and group indices are cohort/population
+        // level, never remapped.
+        let agg = Event::RobustAggregate {
+            round: 1,
+            aggregator: "multi_krum".into(),
+            n_updates: 4,
+            rejected: 2,
+            mean_score: 1.0,
+        };
+        assert_eq!(agg.clone().with_user_offset(64), agg);
+        let outage = Event::GroupOutage {
+            round: 0,
+            group: 2,
+            members: 4,
+            duration_rounds: 3,
+        };
+        assert_eq!(outage.clone().with_user_offset(64), outage);
     }
 
     #[test]

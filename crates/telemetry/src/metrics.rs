@@ -305,6 +305,9 @@ impl MetricsRegistry {
     /// | `user_timeout` | `user_timeouts` | — |
     /// | `shards_reassigned` | `shards_reassigned` (by shard count) | — |
     /// | `round_degraded` | `rounds_degraded`, `shards_lost`, `shards_rescued` | `round_coverage` |
+    /// | `update_rejected` | `updates_rejected` | `rejected_update_score` |
+    /// | `robust_aggregate` | `robust_aggregations` | `robust_mean_score` |
+    /// | `group_outage` | `group_outages`, `group_outage_devices` | — |
     /// | `global_deadline_set` | `global_deadlines_set` | `global_deadline_s` |
     /// | `cohort_straggling` | `cohort_straggling` | `cohort_straggle_makespan_s` |
     /// | `async_merge` | `async_merges` | `async_staleness`, `async_mix_weight` |
@@ -375,6 +378,18 @@ impl MetricsRegistry {
                     self.incr("shards_lost", *lost as u64);
                     self.incr("shards_rescued", *rescued as u64);
                     self.observe("round_coverage", *coverage);
+                }
+                Event::UpdateRejected { score, .. } => {
+                    self.incr("updates_rejected", 1);
+                    self.observe("rejected_update_score", *score);
+                }
+                Event::RobustAggregate { mean_score, .. } => {
+                    self.incr("robust_aggregations", 1);
+                    self.observe("robust_mean_score", *mean_score);
+                }
+                Event::GroupOutage { members, .. } => {
+                    self.incr("group_outages", 1);
+                    self.incr("group_outage_devices", *members as u64);
                 }
                 Event::GlobalDeadlineSet { deadline_s, .. } => {
                     self.incr("global_deadlines_set", 1);

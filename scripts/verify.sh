@@ -25,6 +25,7 @@ FEDSCHED_CRATES=(
   -p fedsched-device
   -p fedsched-net
   -p fedsched-faults
+  -p fedsched-robust
   -p fedsched-data
   -p fedsched-nn
   -p fedsched-fl
@@ -71,6 +72,12 @@ FEDSCHED_THREADS=4 cargo test -q --test builder_identity
 FEDSCHED_THREADS=4 cargo test -q --test coordinator_identity
 FEDSCHED_THREADS=8 cargo test -q --test builder_identity
 FEDSCHED_THREADS=8 cargo test -q --test coordinator_identity
+
+echo "==> robustness suite (zero-adversary bit-identity + attacked thread invariance)"
+cargo test -q -p fedsched-robust
+cargo test -q --test robust_identity
+FEDSCHED_THREADS=4 cargo test -q --test robust_identity
+FEDSCHED_THREADS=8 cargo test -q --test robust_identity
 
 echo "==> scale smoke (engine speedup sweep + makespan parity)"
 cargo test -q -p fedsched-bench scaleout

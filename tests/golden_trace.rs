@@ -36,6 +36,10 @@ fn chaos_golden_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/chaos_multicohort.jsonl")
 }
 
+fn attack_golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/attacked_multicohort.jsonl")
+}
+
 /// Run the fixed scenario and return its telemetry stream as JSONL.
 fn trace() -> String {
     let log = Arc::new(EventLog::new());
@@ -102,6 +106,52 @@ fn chaos_trace() -> String {
     .probe(Probe::attached(log.clone()))
     .build_engine()
     .expect("golden chaos engine config is valid");
+    let _ = engine.run(&fedsched::core::Schedule::new(vec![3; 8], 100.0), 3);
+    log.to_jsonl()
+}
+
+/// Byzantine preset: the same two-cohort engine under a sign-flip adversary
+/// with trimmed-mean aggregation and correlated group outages. Pins the
+/// robustness event vocabulary (`update_rejected`, `robust_aggregate`,
+/// `group_outage`) and the per-cohort adversary-plan derivation in golden
+/// form.
+fn attack_trace() -> String {
+    use fedsched::faults::{AdversaryConfig, AttackKind};
+    use fedsched::fl::AggregatorKind;
+    let log = Arc::new(EventLog::new());
+    let models = DeviceModel::all();
+    let devices: Vec<Device> = (0..8)
+        .map(|i| {
+            Device::from_model(
+                models[i % models.len()],
+                SEED.wrapping_add(i as u64 * 0x9E37_79B9),
+            )
+        })
+        .collect();
+    let config = FaultConfig::none()
+        .with_loss_prob(0.1)
+        .with_group_outages(0.5, 2, 1);
+    let adversary = AdversaryConfig::none()
+        .with_attackers(0.5, AttackKind::SignFlip)
+        .with_collusion(1);
+    let mut engine = SimBuilder::new(
+        devices,
+        RoundConfig::new(
+            TrainingWorkload::lenet(),
+            Link::new(100.0, 100.0, 0.0, 0.0),
+            2.5e6,
+            SEED,
+        ),
+    )
+    .cohort_size(4)
+    .threads(4)
+    .faults(config, 3)
+    .adversary(adversary, 3)
+    .aggregator(AggregatorKind::TrimmedMean { trim: 1 })
+    .retry(RetryPolicy::default_chaos())
+    .probe(Probe::attached(log.clone()))
+    .build_engine()
+    .expect("golden attack engine config is valid");
     let _ = engine.run(&fedsched::core::Schedule::new(vec![3; 8], 100.0), 3);
     log.to_jsonl()
 }
@@ -187,4 +237,31 @@ fn chaos_trace_matches_golden_snapshot() {
         "missing round_end:\n{got}"
     );
     assert_matches_golden(&got, &chaos_golden_path());
+}
+
+#[test]
+fn attack_trace_is_byte_identical_across_invocations() {
+    assert_eq!(
+        attack_trace(),
+        attack_trace(),
+        "same seed must give the same bytes"
+    );
+}
+
+#[test]
+fn attack_trace_matches_golden_snapshot() {
+    let got = attack_trace();
+    assert!(
+        got.contains("\"ev\":\"robust_aggregate\""),
+        "attack preset never scored a round:\n{got}"
+    );
+    assert!(
+        got.contains("\"ev\":\"update_rejected\""),
+        "attack preset rejected nothing:\n{got}"
+    );
+    assert!(
+        got.contains("\"ev\":\"group_outage\""),
+        "attack preset never downed a failure domain:\n{got}"
+    );
+    assert_matches_golden(&got, &attack_golden_path());
 }
