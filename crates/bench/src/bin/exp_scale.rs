@@ -1,8 +1,39 @@
 //! Regenerates the scale-out sweep: the parallel multi-cohort engine from
 //! 10 to 10,000 devices across worker thread counts.
+//!
+//! `--event-check` runs only the event-vs-lockstep comparison as a CI
+//! gate: report parity at 1k devices, then parity plus a wall-clock win
+//! at 10k devices under sparse participation.
 use fedsched_bench::{scaleout, Scale};
 
 fn main() {
+    if std::env::args().any(|a| a == "--event-check") {
+        let small = scaleout::event_point(1_000, 10, 20, 42);
+        assert!(
+            small.parity,
+            "event engine diverged from lockstep at 1k devices"
+        );
+        let big = scaleout::event_point(10_000, 25, 100, 42);
+        assert!(
+            big.parity,
+            "event engine diverged from lockstep at 10k devices"
+        );
+        assert!(
+            big.speedup > 1.0,
+            "event engine must beat the lockstep scan at 10k devices \
+             (lockstep {:.2} ms, event {:.2} ms)",
+            big.lockstep_wall_s * 1e3,
+            big.event_wall_s * 1e3,
+        );
+        println!(
+            "[exp_scale] event check ok: 1k parity; 10k parity, \
+             lockstep {:.2} ms vs event {:.2} ms ({:.2}x)",
+            big.lockstep_wall_s * 1e3,
+            big.event_wall_s * 1e3,
+            big.speedup,
+        );
+        return;
+    }
     let scale = Scale::from_args();
     eprintln!("[exp_scale] scale = {}", scale.name());
     let sweep = scaleout::run(scale, 42);

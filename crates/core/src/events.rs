@@ -1,0 +1,364 @@
+//! Deterministic discrete-event machinery for the simulation layer.
+//!
+//! The round simulators in `fedsched-fl` historically advanced the whole
+//! population in lockstep sweeps: every round touches every device, even
+//! the ones with nothing scheduled. At the population sizes the roadmap
+//! targets, most of those cycles are wasted on idle devices. The
+//! event-driven engine replaces the sweep with a priority queue of timed
+//! events: a device is only touched when its next event fires.
+//!
+//! Two primitives live here, deliberately free of any simulation
+//! semantics so they can be property-tested in isolation:
+//!
+//! * [`EventQueue`] — a binary-heap min-queue keyed by
+//!   `(sim_time, seq)`. The explicit, monotonically increasing sequence
+//!   number makes the pop order *total*: two events at the same simulated
+//!   time pop in insertion order, on every platform, for every seed. This
+//!   is the foundation of the event engine's byte-identity contract —
+//!   float-keyed heaps alone leave equal-time ordering unspecified.
+//! * [`Parking`] — park/unpark bookkeeping for idle entities. A parked
+//!   device owns no queued event and costs nothing per round; unparking
+//!   is the only way back into the hot loop. The structure counts parks
+//!   and unparks so conservation (nothing dropped, nothing duplicated)
+//!   is checkable.
+//!
+//! # Determinism rules
+//!
+//! 1. Event times are `f64` seconds compared with [`f64::total_cmp`], so
+//!    ordering is total even in the presence of exotic floats.
+//! 2. Ties break on the sequence number, never on payload contents.
+//! 3. The sequence counter is owned by the queue and survives across
+//!    rounds — replaying the same schedule of pushes replays the same
+//!    pops, bit for bit.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One queued event: fire time, tie-breaking sequence number, payload.
+#[derive(Debug, Clone)]
+struct Entry<E> {
+    time: f64,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq && self.time.total_cmp(&other.time) == Ordering::Equal
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse both keys: `BinaryHeap` is a max-heap, we want the
+        // earliest (time, seq) out first.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic min-queue of timed events.
+///
+/// Pops strictly in `(time, seq)` order, where `seq` is assigned at
+/// [`schedule`](EventQueue::schedule) time from a monotonic counter —
+/// equal-time events therefore pop in insertion order.
+#[derive(Debug, Clone, Default)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue with the sequence counter at zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedule `event` at simulated time `time`, returning the sequence
+    /// number it was stamped with.
+    ///
+    /// # Panics
+    /// Panics on a NaN time — a NaN would still order totally under
+    /// `total_cmp` (after every real number), but it is always a bug in
+    /// the caller's clock arithmetic and must not be silently enqueued.
+    pub fn schedule(&mut self, time: f64, event: E) -> u64 {
+        assert!(!time.is_nan(), "event time must not be NaN");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, event });
+        seq
+    }
+
+    /// Remove and return the earliest event as `(time, seq, event)`.
+    pub fn pop(&mut self) -> Option<(f64, u64, E)> {
+        self.heap.pop().map(|e| (e.time, e.seq, e.event))
+    }
+
+    /// Fire time of the next event without removing it.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total events scheduled over the queue's lifetime (the next
+    /// sequence number). Monotone across rounds; never reset by pops.
+    pub fn scheduled_total(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Drop all pending events without touching the sequence counter.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+/// Park/unpark bookkeeping over a fixed population of `n` slots.
+///
+/// A *parked* slot is out of the hot loop: the event engine must not
+/// schedule events for it, and must not iterate it per round. Unparking
+/// re-admits it. The structure is a plain bitmap plus conservation
+/// counters; it carries no event payloads itself, so "a parked device
+/// still owns its pending work" is the caller's invariant — checked in
+/// the simulators by shard-conservation tests.
+#[derive(Debug, Clone)]
+pub struct Parking {
+    parked: Vec<bool>,
+    parked_count: usize,
+    /// Lifetime number of park transitions (for conservation checks).
+    parks: u64,
+    /// Lifetime number of unpark transitions.
+    unparks: u64,
+}
+
+impl Parking {
+    /// All `n` slots start *unparked* (active).
+    pub fn new(n: usize) -> Self {
+        Parking {
+            parked: vec![false; n],
+            parked_count: 0,
+            parks: 0,
+            unparks: 0,
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.parked.len()
+    }
+
+    /// Whether the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parked.is_empty()
+    }
+
+    /// Park slot `i`. Returns `true` iff the slot transitioned (it was
+    /// active); parking a parked slot is a counted no-op that returns
+    /// `false`, so double-parks are visible to tests.
+    pub fn park(&mut self, i: usize) -> bool {
+        if self.parked[i] {
+            return false;
+        }
+        self.parked[i] = true;
+        self.parked_count += 1;
+        self.parks += 1;
+        true
+    }
+
+    /// Unpark slot `i`. Returns `true` iff the slot transitioned.
+    pub fn unpark(&mut self, i: usize) -> bool {
+        if !self.parked[i] {
+            return false;
+        }
+        self.parked[i] = false;
+        self.parked_count -= 1;
+        self.unparks += 1;
+        true
+    }
+
+    /// Whether slot `i` is parked.
+    pub fn is_parked(&self, i: usize) -> bool {
+        self.parked[i]
+    }
+
+    /// Number of currently parked slots.
+    pub fn parked_count(&self) -> usize {
+        self.parked_count
+    }
+
+    /// Number of currently active (unparked) slots.
+    pub fn active_count(&self) -> usize {
+        self.parked.len() - self.parked_count
+    }
+
+    /// Lifetime `(parks, unparks)` transition counters.
+    pub fn transitions(&self) -> (u64, u64) {
+        (self.parks, self.unparks)
+    }
+
+    /// Indices of active slots, ascending.
+    pub fn active_indices(&self) -> Vec<usize> {
+        self.parked
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &p)| (!p).then_some(i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(3.0, "c");
+        q.schedule(1.0, "a");
+        q.schedule(2.0, "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, _, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn equal_times_pop_in_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(7.5, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, _, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequence_survives_interleaved_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(1.0, "a");
+        assert_eq!(q.pop().map(|(_, s, e)| (s, e)), Some((0, "a")));
+        // New pushes keep counting; a later push at the same time as an
+        // even later push still pops first.
+        q.schedule(5.0, "b");
+        q.schedule(5.0, "c");
+        assert_eq!(q.scheduled_total(), 3);
+        assert_eq!(q.pop().map(|(_, _, e)| e), Some("b"));
+        assert_eq!(q.pop().map(|(_, _, e)| e), Some("c"));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(2.0, ());
+        q.schedule(1.0, ());
+        assert_eq!(q.peek_time(), Some(1.0));
+        assert_eq!(q.pop().map(|(t, _, _)| t), Some(1.0));
+        assert_eq!(q.peek_time(), Some(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be NaN")]
+    fn nan_time_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(f64::NAN, ());
+    }
+
+    #[test]
+    fn parking_tracks_transitions() {
+        let mut p = Parking::new(4);
+        assert_eq!(p.active_count(), 4);
+        assert!(p.park(2));
+        assert!(!p.park(2), "double park is a no-op");
+        assert_eq!(p.parked_count(), 1);
+        assert_eq!(p.active_indices(), vec![0, 1, 3]);
+        assert!(p.unpark(2));
+        assert!(!p.unpark(2), "double unpark is a no-op");
+        assert_eq!(p.transitions(), (1, 1));
+        assert_eq!(p.active_count(), 4);
+    }
+
+    proptest! {
+        /// Any interleaving of pushes pops in (time, seq) order: times
+        /// non-decreasing, and equal times strictly increasing in seq.
+        #[test]
+        fn pop_order_is_total_over_random_pushes(
+            times in proptest::collection::vec(0u32..1000, 1..200)
+        ) {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                // Coarse integer times maximize collisions, stressing the
+                // tie-break rather than the float ordering.
+                q.schedule((t / 10) as f64, i);
+            }
+            let mut popped = Vec::new();
+            while let Some((t, s, e)) = q.pop() {
+                popped.push((t, s, e));
+            }
+            prop_assert_eq!(popped.len(), times.len());
+            for w in popped.windows(2) {
+                let (t0, s0, _) = w[0];
+                let (t1, s1, _) = w[1];
+                prop_assert!(t0 <= t1, "times must be non-decreasing");
+                if t0 == t1 {
+                    prop_assert!(s0 < s1, "equal times must pop in insertion order");
+                }
+            }
+            // Payload i was stamped with seq i, so equal-time runs are in
+            // insertion order exactly when seq order == payload order.
+            for (_, s, e) in popped {
+                prop_assert_eq!(s as usize, e);
+            }
+        }
+
+        /// Park/unpark conservation: after any transition sequence, the
+        /// parked set matches a reference model — nothing is dropped,
+        /// nothing duplicated — and the counters balance.
+        #[test]
+        fn parking_conserves_slots(
+            ops in proptest::collection::vec((0usize..16, 0u32..2), 0..200)
+        ) {
+            let mut p = Parking::new(16);
+            let mut model = [false; 16];
+            for (i, park) in ops {
+                if park == 1 {
+                    let changed = p.park(i);
+                    prop_assert_eq!(changed, !model[i]);
+                    model[i] = true;
+                } else {
+                    let changed = p.unpark(i);
+                    prop_assert_eq!(changed, model[i]);
+                    model[i] = false;
+                }
+            }
+            let want_parked = model.iter().filter(|&&b| b).count();
+            prop_assert_eq!(p.parked_count(), want_parked);
+            prop_assert_eq!(p.active_count(), 16 - want_parked);
+            for (i, &parked) in model.iter().enumerate() {
+                prop_assert_eq!(p.is_parked(i), parked);
+            }
+            let (parks, unparks) = p.transitions();
+            prop_assert_eq!(parks as i64 - unparks as i64, want_parked as i64);
+        }
+    }
+}

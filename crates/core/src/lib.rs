@@ -35,6 +35,7 @@ pub mod analysis;
 pub mod baselines;
 pub mod cost;
 pub mod dropout;
+pub mod events;
 pub mod exact;
 pub mod lbap;
 pub mod minavg;
@@ -46,6 +47,7 @@ pub use analysis::{analyze, ScheduleAnalysis};
 pub use baselines::{EqualScheduler, ProportionalScheduler, RandomScheduler};
 pub use cost::CostMatrix;
 pub use dropout::{DeadlineDropout, DeadlinePolicy, DropReport};
+pub use events::{EventQueue, Parking};
 pub use exact::ExactMinMax;
 pub use lbap::FedLbap;
 pub use minavg::{FedMinAvg, MinAvgProblem, UserSpec};

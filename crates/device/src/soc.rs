@@ -500,6 +500,28 @@ mod tests {
     }
 
     #[test]
+    fn training_a_clone_never_perturbs_the_original() {
+        // The event engine predicts straggler times on probe-detached
+        // clones and leaves parked devices untouched between their
+        // events; both rely on simulation state never leaking across
+        // `Device` instances. After training a clone hard, the original
+        // must still follow the exact trajectory of an untouched twin.
+        let wl = TrainingWorkload::lenet();
+        let mut original = Device::from_model(DeviceModel::Nexus6P, 42);
+        let mut twin = Device::from_model(DeviceModel::Nexus6P, 42);
+        let mut probe = original.clone();
+        for _ in 0..5 {
+            let _ = probe.train_samples(&wl, 200);
+        }
+        for _ in 0..3 {
+            assert_eq!(
+                original.train_samples(&wl, 50).to_bits(),
+                twin.train_samples(&wl, 50).to_bits()
+            );
+        }
+    }
+
+    #[test]
     fn different_seeds_differ_when_jittered() {
         let wl = TrainingWorkload::lenet();
         let mut a = Device::from_model(DeviceModel::Nexus6, 1);

@@ -34,8 +34,9 @@ use fedsched_profiler::LinearProfile;
 use fedsched_robust::AggregatorKind;
 use fedsched_telemetry::Probe;
 
-use crate::cohorts::{ChaosOptions, ParallelRoundEngine};
+use crate::cohorts::{ChaosOptions, EngineKind, ParallelRoundEngine};
 use crate::coordinator::{CoordinationMode, Coordinator};
+use crate::eventsim::EventRoundSim;
 use crate::resilient::ResilientRoundSim;
 use crate::roundsim::RoundSim;
 
@@ -205,6 +206,7 @@ pub struct SimBuilder {
     async_opts: Option<AsyncOptions>,
     aggregator: Option<AggregatorKind>,
     adversary: Option<(AdversaryConfig, usize)>,
+    engine_kind: Option<EngineKind>,
 }
 
 impl SimBuilder {
@@ -227,6 +229,7 @@ impl SimBuilder {
             async_opts: None,
             aggregator: None,
             adversary: None,
+            engine_kind: None,
         }
     }
 
@@ -322,6 +325,16 @@ impl SimBuilder {
     /// mirroring per-cohort fault injectors.
     pub fn adversary(mut self, config: AdversaryConfig, planned_rounds: usize) -> Self {
         self.adversary = Some((config, planned_rounds));
+        self
+    }
+
+    /// Select the per-cohort round engine (engine/coordinator only).
+    /// [`EngineKind::Lockstep`] — the default — scans every scheduled
+    /// device each round; [`EngineKind::EventDriven`] drains a discrete
+    /// event queue instead, producing bit-identical reports and traces
+    /// while touching parked devices only when one of their events fires.
+    pub fn engine_kind(mut self, kind: EngineKind) -> Self {
+        self.engine_kind = Some(kind);
         self
     }
 
@@ -439,6 +452,9 @@ impl SimBuilder {
         if self.async_opts.is_some() {
             return Err(ConfigError::UnsupportedOption("buffered_async"));
         }
+        if self.engine_kind.is_some() {
+            return Err(ConfigError::UnsupportedOption("engine_kind"));
+        }
         let c = self.config;
         Ok(
             RoundSim::from_parts(self.devices, c.workload, c.link, c.model_bytes, c.seed)
@@ -458,6 +474,9 @@ impl SimBuilder {
         }
         if self.async_opts.is_some() {
             return Err(ConfigError::UnsupportedOption("buffered_async"));
+        }
+        if self.engine_kind.is_some() {
+            return Err(ConfigError::UnsupportedOption("engine_kind"));
         }
         self.check_deadline()?;
         self.check_retry()?;
@@ -522,6 +541,21 @@ impl SimBuilder {
             sim = sim.with_priors(&priors);
         }
         Ok(sim)
+    }
+
+    /// Build a sequential event-driven [`EventRoundSim`]: the same
+    /// machinery as [`build_resilient`](SimBuilder::build_resilient) —
+    /// every fault, deadline, rescue, rescheduler and adversary knob is
+    /// honoured — but rounds advance by draining a discrete event queue
+    /// rather than scanning every device. Reports and traces are
+    /// bit-identical to the lockstep path; requesting
+    /// [`EngineKind::Lockstep`] here is a contradiction and is rejected.
+    pub fn build_event_sim(mut self) -> Result<EventRoundSim, ConfigError> {
+        if self.engine_kind == Some(EngineKind::Lockstep) {
+            return Err(ConfigError::UnsupportedOption("engine_kind"));
+        }
+        self.engine_kind = None;
+        Ok(EventRoundSim::new(self.build_resilient()?))
     }
 
     /// Build a [`ParallelRoundEngine`]. Any fault/deadline knob switches
@@ -599,6 +633,9 @@ impl SimBuilder {
         }
         if let Some(threads) = self.threads {
             engine = engine.try_with_threads(threads)?;
+        }
+        if let Some(kind) = self.engine_kind {
+            engine = engine.try_with_engine_kind(kind)?;
         }
         let wants_chaos = self.faults.is_some()
             || self.retry.is_some()
@@ -789,6 +826,49 @@ mod tests {
             .err()
             .unwrap();
         assert_eq!(err.cause_code(), "invalid_async");
+    }
+
+    #[test]
+    fn event_sim_matches_resilient_bit_for_bit() {
+        use fedsched_faults::FaultConfig;
+        let chaos = FaultConfig::none().with_crash_prob(0.3).with_loss_prob(0.2);
+        let mut lockstep = SimBuilder::new(devices(11), config(11))
+            .faults(chaos.clone(), 4)
+            .deadline(DeadlinePolicy::Fixed(55.0))
+            .build_resilient()
+            .unwrap();
+        let mut event = SimBuilder::new(devices(11), config(11))
+            .faults(chaos, 4)
+            .deadline(DeadlinePolicy::Fixed(55.0))
+            .build_event_sim()
+            .unwrap();
+        assert_eq!(lockstep.run(&schedule(), 4), event.run(&schedule(), 4));
+    }
+
+    #[test]
+    fn engine_kind_is_rejected_where_meaningless() {
+        let err = SimBuilder::new(devices(1), config(1))
+            .engine_kind(EngineKind::EventDriven)
+            .build_sim()
+            .err()
+            .unwrap();
+        assert_eq!(err, ConfigError::UnsupportedOption("engine_kind"));
+
+        let err = SimBuilder::new(devices(1), config(1))
+            .engine_kind(EngineKind::EventDriven)
+            .build_resilient()
+            .err()
+            .unwrap();
+        assert_eq!(err, ConfigError::UnsupportedOption("engine_kind"));
+
+        // Asking the event-sim terminal for a lockstep engine is a
+        // contradiction, not a silent fallback.
+        let err = SimBuilder::new(devices(1), config(1))
+            .engine_kind(EngineKind::Lockstep)
+            .build_event_sim()
+            .err()
+            .unwrap();
+        assert_eq!(err, ConfigError::UnsupportedOption("engine_kind"));
     }
 
     #[test]

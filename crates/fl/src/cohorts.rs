@@ -53,8 +53,26 @@ use fedsched_telemetry::{Event, EventLog, Probe};
 use serde::Serialize;
 
 use crate::builder::ConfigError;
+use crate::eventsim::EventRoundSim;
 use crate::resilient::{ResilientRoundSim, RoundOutcome};
 use crate::roundsim::{predict_round_times, RoundSim, TimingReport};
+
+/// Which execution core each cohort runs on.
+///
+/// Both kinds produce byte-identical reports and telemetry for the same
+/// configuration (pinned by `tests/event_identity.rs` and the golden
+/// traces); they differ only in how the hot loop scales. Selected through
+/// [`SimBuilder::engine_kind`](crate::SimBuilder::engine_kind).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// Sweep every device every round ([`RoundSim`] /
+    /// [`ResilientRoundSim`]): `O(devices × rounds)`.
+    #[default]
+    Lockstep,
+    /// Discrete-event core ([`EventRoundSim`]): parked (idle) devices are
+    /// never touched, so the hot loop is `O(active + events)` per round.
+    EventDriven,
+}
 
 /// Default devices per cohort. Large enough that the per-cohort setup cost
 /// is amortized, small enough that a 10k-device population spreads over
@@ -235,11 +253,17 @@ impl EngineReport {
     }
 }
 
-/// A cohort's simulator: quiet or fault-injected, chosen at engine build
-/// time for the whole population.
+/// A cohort's simulator: quiet or fault-injected lockstep, or the
+/// event-driven core — chosen at engine build time for the whole
+/// population.
 enum CohortSim {
     Quiet(Box<RoundSim>),
     Chaos(Box<ResilientRoundSim>),
+    /// Event-driven path. Hosts both quiet and chaotic configurations: a
+    /// quiet one is an [`EventRoundSim`] over a quiet injector, which is
+    /// bit-identical to [`RoundSim`] by the resilient determinism
+    /// contract.
+    Event(Box<EventRoundSim>),
 }
 
 /// A cohort and its long-lived simulator. The `Mutex` is never contended —
@@ -276,6 +300,7 @@ pub struct ParallelRoundEngine {
     threads: usize,
     probe: Probe,
     chaos: Option<ChaosOptions>,
+    engine_kind: EngineKind,
     slots: Vec<CohortSlot>,
     rounds_done: usize,
 }
@@ -320,9 +345,34 @@ impl ParallelRoundEngine {
             threads: default_engine_threads(),
             probe: Probe::disabled(),
             chaos: None,
+            engine_kind: EngineKind::default(),
             slots: Vec::new(),
             rounds_done: 0,
         }
+    }
+
+    /// Select the per-cohort execution core (see [`EngineKind`]). The
+    /// default is [`EngineKind::Lockstep`].
+    ///
+    /// # Panics
+    /// Panics if the engine has already run.
+    pub fn with_engine_kind(self, kind: EngineKind) -> Self {
+        match self.try_with_engine_kind(kind) {
+            Ok(eng) => eng,
+            Err(err) => panic!("configure the engine before its first run ({err})"),
+        }
+    }
+
+    /// Fallible form of [`ParallelRoundEngine::with_engine_kind`].
+    pub fn try_with_engine_kind(mut self, kind: EngineKind) -> Result<Self, ConfigError> {
+        self.check_unbuilt("engine kind")?;
+        self.engine_kind = kind;
+        Ok(self)
+    }
+
+    /// The execution core cohorts run on.
+    pub fn engine_kind(&self) -> EngineKind {
+        self.engine_kind
     }
 
     /// Set the cohort size (devices per parallel unit). Changing it changes
@@ -458,6 +508,7 @@ impl ParallelRoundEngine {
             match &*sim {
                 CohortSim::Quiet(rs) => out.extend_from_slice(rs.devices()),
                 CohortSim::Chaos(rs) => out.extend_from_slice(rs.devices()),
+                CohortSim::Event(rs) => out.extend_from_slice(rs.devices()),
             }
         }
         out
@@ -473,6 +524,7 @@ impl ParallelRoundEngine {
             match &mut *sim {
                 CohortSim::Quiet(rs) => rs.cool_down(),
                 CohortSim::Chaos(rs) => rs.cool_down(),
+                CohortSim::Event(rs) => rs.cool_down(),
             }
         }
     }
@@ -498,8 +550,8 @@ impl ParallelRoundEngine {
                 Some(log) => Probe::attached(log.clone() as Arc<_>),
                 None => Probe::disabled(),
             };
-            let sim = match &self.chaos {
-                None => CohortSim::Quiet(Box::new(
+            let sim = match (&self.chaos, self.engine_kind) {
+                (None, EngineKind::Lockstep) => CohortSim::Quiet(Box::new(
                     RoundSim::from_parts(
                         cohort_devices,
                         self.workload,
@@ -509,13 +561,20 @@ impl ParallelRoundEngine {
                     )
                     .with_probe(cohort_probe),
                 )),
-                Some(opts) => {
-                    let injector = FaultInjector::from_config(
-                        opts.config.clone(),
-                        range.len(),
-                        opts.planned_rounds,
-                        seed,
-                    );
+                // Everything else is resilient machinery: chaotic lockstep
+                // cohorts, and event-driven cohorts of either kind (a quiet
+                // event cohort wraps a quiet injector, bit-identical to
+                // `RoundSim` by the resilient determinism contract).
+                (chaos, kind) => {
+                    let injector = match chaos {
+                        Some(opts) => FaultInjector::from_config(
+                            opts.config.clone(),
+                            range.len(),
+                            opts.planned_rounds,
+                            seed,
+                        ),
+                        None => FaultInjector::quiet(range.len()),
+                    };
                     let mut sim = ResilientRoundSim::from_parts(
                         cohort_devices,
                         self.workload,
@@ -524,23 +583,31 @@ impl ParallelRoundEngine {
                         seed,
                         injector,
                     )
-                    .with_probe(cohort_probe)
-                    .with_retry(opts.retry)
-                    .with_deadline_policy(opts.deadline)
-                    .with_rescue_soc_floor(opts.rescue_soc_floor)
-                    .with_aggregator(opts.aggregator);
-                    if !opts.rescue {
-                        sim = sim.without_rescue();
+                    .with_probe(cohort_probe);
+                    if let Some(opts) = chaos {
+                        sim = sim
+                            .with_retry(opts.retry)
+                            .with_deadline_policy(opts.deadline)
+                            .with_rescue_soc_floor(opts.rescue_soc_floor)
+                            .with_aggregator(opts.aggregator);
+                        if !opts.rescue {
+                            sim = sim.without_rescue();
+                        }
+                        if let Some((adv, adv_rounds)) = &opts.adversary {
+                            sim = sim.with_adversary(AdversaryPlan::generate(
+                                *adv,
+                                range.len(),
+                                *adv_rounds,
+                                seed,
+                            ));
+                        }
                     }
-                    if let Some((adv, adv_rounds)) = &opts.adversary {
-                        sim = sim.with_adversary(AdversaryPlan::generate(
-                            *adv,
-                            range.len(),
-                            *adv_rounds,
-                            seed,
-                        ));
+                    match kind {
+                        EngineKind::Lockstep => CohortSim::Chaos(Box::new(sim)),
+                        EngineKind::EventDriven => {
+                            CohortSim::Event(Box::new(EventRoundSim::new(sim)))
+                        }
                     }
-                    CohortSim::Chaos(Box::new(sim))
                 }
             };
             slots.push(CohortSlot {
@@ -593,6 +660,10 @@ impl ParallelRoundEngine {
                     let report = rs.run(sub, rounds);
                     (report.timing, report.rounds)
                 }
+                CohortSim::Event(rs) => {
+                    let report = rs.run(sub, rounds);
+                    (report.timing, report.rounds)
+                }
             };
             let events = match &slot.log {
                 Some(log) => log
@@ -632,8 +703,10 @@ impl ParallelRoundEngine {
         self.ensure_slots();
         for slot in &self.slots {
             let mut sim = slot.sim.lock().unwrap();
-            if let CohortSim::Chaos(rs) = &mut *sim {
-                rs.set_deadline(deadline_s);
+            match &mut *sim {
+                CohortSim::Chaos(rs) => rs.set_deadline(deadline_s),
+                CohortSim::Event(rs) => rs.set_deadline(deadline_s),
+                CohortSim::Quiet(_) => {}
             }
         }
     }

@@ -1,0 +1,398 @@
+//! Event-driven round execution: the same rounds as
+//! [`ResilientRoundSim`], replayed from a discrete-event queue instead of
+//! a lockstep sweep.
+//!
+//! The lockstep paths touch every device every round — `RoundSim` hoists
+//! the idle check but still scans `O(devices)` per round, which at the
+//! roadmap's population targets means almost all cycles go to devices with
+//! nothing scheduled. [`EventRoundSim`] keeps a
+//! [`Parking`](fedsched_core::Parking) bitmap over the cohort: devices
+//! with no scheduled shards are *parked* and are never iterated, never
+//! predicted against, and never scheduled into the queue. The per-round
+//! hot loop is `O(active + events)` instead of `O(devices)` — the
+//! `exp_scale` benchmark's event arm demonstrates the win.
+//!
+//! # Determinism contract
+//!
+//! Byte-identical reports and telemetry with the lockstep path, for every
+//! configuration, enforced by `tests/event_identity.rs` and the golden
+//! traces. The load-bearing rules:
+//!
+//! * All round phases delegate to the *same* `pub(crate)` primitives as
+//!   `ResilientRoundSim::run` (`phase1_device`, `RoundTally::absorb`,
+//!   `rescue_phase`, `robust_overlay`, `close_round`), in the same order,
+//!   so RNG consumption and telemetry are shared by construction.
+//! * Completion events are pushed into the [`EventQueue`] in device index
+//!   order, *after* the full phase-1 loop — a crashed user's server-side
+//!   wait (`crash_det`) is only known once everyone has been swept, and
+//!   pushing afterwards makes sequence order equal index order. The
+//!   straggler is then selected from ascending `(time, seq)` pops with a
+//!   strictly-greater comparison, which picks the lowest-index device
+//!   among equal-time finishers — exactly the lockstep index scan.
+//! * Rescue begins only after the phase-1 queue drains ([`RoundEvent::RescueBegin`]
+//!   fires at the failure-detection time): a mid-drain rescue could race a
+//!   later finisher for the straggler slot and flip a tie.
+//! * Adaptive deadlines resolve over the *active set only*; idle devices
+//!   predict `0.0` and [`fedsched_core::DeadlinePolicy::resolve`] ignores
+//!   non-positive entries, so the resolved cutoff is unchanged.
+
+use fedsched_core::{EventQueue, Parking, Schedule};
+use fedsched_device::Device;
+use fedsched_faults::FaultInjector;
+use fedsched_telemetry::Event;
+
+use crate::clock;
+use crate::resilient::{
+    assemble_report, ChaosReport, Phase1, ResilientRoundSim, RoundTally, StragglerTrack,
+};
+
+/// Timed events within one simulated round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum RoundEvent {
+    /// A device's phase-1 outcome reaches the server (its finish, cutoff,
+    /// failure-detection or timeout instant). `comm_s` is the straggler
+    /// communication share should this event win the makespan.
+    DeviceDone { user: usize, comm_s: f64 },
+    /// The round deadline elapses (bookkeeping marker; cuts themselves
+    /// are resolved by the shared clock helpers).
+    DeadlineFire,
+    /// All phase-1 failures are detected; shard reassignment may start.
+    RescueBegin,
+    /// The round's synchronous barrier: everything the server waits on
+    /// has fired.
+    RoundClose,
+}
+
+/// [`ResilientRoundSim`] semantics on a discrete-event core.
+///
+/// Construct through
+/// [`SimBuilder::build_event_sim`](crate::SimBuilder::build_event_sim),
+/// or host it per cohort inside
+/// [`ParallelRoundEngine`](crate::ParallelRoundEngine) via
+/// [`SimBuilder::engine_kind`](crate::SimBuilder::engine_kind) /
+/// [`EngineKind::EventDriven`](crate::EngineKind::EventDriven).
+pub struct EventRoundSim {
+    inner: ResilientRoundSim,
+    queue: EventQueue<RoundEvent>,
+    parking: Parking,
+    /// Unparked device indices, ascending — the only per-round iterable.
+    active: Vec<usize>,
+    /// Users with any scheduled shard (`k > 0`), for round framing. May
+    /// exceed `active.len()` when fractional shard sizes round a user's
+    /// sample count to zero.
+    participants: usize,
+}
+
+impl EventRoundSim {
+    /// Wrap a fully configured resilient simulator. All knobs (retry,
+    /// deadline policy, rescue, rescheduler, adversary, ...) are the
+    /// inner simulator's.
+    pub(crate) fn new(inner: ResilientRoundSim) -> Self {
+        let n = inner.n_devices();
+        EventRoundSim {
+            inner,
+            queue: EventQueue::new(),
+            parking: Parking::new(n),
+            active: (0..n).collect(),
+            participants: 0,
+        }
+    }
+
+    /// Re-derive the parked set and active list from `schedule`. Runs
+    /// once per `run` call and once per between-round reschedule — never
+    /// in the per-round hot loop.
+    fn rebind(&mut self, schedule: &Schedule) {
+        self.participants = schedule.shards.iter().filter(|&&k| k > 0).count();
+        for (j, &k) in schedule.shards.iter().enumerate() {
+            let samples = (k as f64 * schedule.shard_size) as usize;
+            if samples > 0 {
+                self.parking.unpark(j);
+            } else {
+                self.parking.park(j);
+            }
+        }
+        self.active = self.parking.active_indices();
+    }
+
+    /// Number of devices.
+    pub fn n_devices(&self) -> usize {
+        self.inner.n_devices()
+    }
+
+    /// Borrow the devices (e.g. to inspect battery drain afterwards).
+    pub fn devices(&self) -> &[Device] {
+        self.inner.devices()
+    }
+
+    /// The fault injector driving this run.
+    pub fn injector(&self) -> &FaultInjector {
+        self.inner.injector()
+    }
+
+    /// Reset every device's thermal state (between experiment arms).
+    pub fn cool_down(&mut self) {
+        self.inner.cool_down();
+    }
+
+    /// Overwrite the deadline for the next rounds with an
+    /// already-resolved cutoff (or clear it) — the
+    /// [`Coordinator`](crate::Coordinator) hook, same contract as
+    /// [`ResilientRoundSim::set_deadline`].
+    pub fn set_deadline(&mut self, deadline_s: Option<f64>) {
+        self.inner.set_deadline(deadline_s);
+    }
+
+    /// Devices currently parked (idle under the last bound schedule).
+    pub fn parked_devices(&self) -> usize {
+        self.parking.parked_count()
+    }
+
+    /// Lifetime count of events pushed through the queue — the `O(events)`
+    /// side of the complexity claim, exposed for tests and benchmarks.
+    pub fn events_scheduled(&self) -> u64 {
+        self.queue.scheduled_total()
+    }
+
+    /// Simulate `rounds` synchronous rounds under faults, starting from
+    /// `schedule`. Same semantics, reports and telemetry as
+    /// [`ResilientRoundSim::run`], bit for bit.
+    ///
+    /// # Panics
+    /// Panics if the schedule's user count differs from the cohort size.
+    pub fn run(&mut self, schedule: &Schedule, rounds: usize) -> ChaosReport {
+        assert_eq!(
+            schedule.shards.len(),
+            self.inner.n_devices(),
+            "schedule/cohort size mismatch"
+        );
+        let n = self.inner.n_devices();
+        let orig_total = schedule.total_shards();
+        let mut current = schedule.clone();
+        self.rebind(&current);
+        let mut scheduled_total = orig_total;
+        let probe = self.inner.probe_handle();
+        let mut per_round = Vec::with_capacity(rounds);
+        let mut user_totals = vec![0.0f64; n];
+        let mut straggler_comm = 0.0f64;
+        let mut outcomes = Vec::with_capacity(rounds);
+
+        for _ in 0..rounds {
+            let round = self.inner.current_round();
+            // Deadline first (prediction draws nothing from the RNG), then
+            // round framing — the same order as the lockstep path.
+            let deadline_s = self.inner.round_deadline_active(&current, &self.active);
+            let participants = self.participants;
+            probe.emit(|| Event::RoundStart {
+                round,
+                n_users: participants,
+            });
+            let lossy = self.inner.emit_round_faults(round);
+
+            // Phase 1 over the active set only. Parked devices are never
+            // touched: no fate check, no RNG draw, no event.
+            let mut entries: Vec<(usize, Phase1)> = Vec::with_capacity(self.active.len());
+            let mut observed: Vec<(usize, f64, f64)> = Vec::new();
+            let mut responder_max = 0.0f64;
+            let mut fail_max = 0.0f64;
+            for idx in 0..self.active.len() {
+                let j = self.active[idx];
+                let entry =
+                    self.inner
+                        .phase1_device(round, j, &current, &lossy, deadline_s, &mut observed);
+                let (r, f) = entry.detection_bounds(deadline_s);
+                responder_max = responder_max.max(r);
+                fail_max = fail_max.max(f);
+                entries.push((j, entry));
+            }
+            let crash_det = clock::crash_detection(deadline_s, responder_max, fail_max);
+
+            // Schedule completion events in device index order (sequence
+            // number == index rank), after the full sweep so `crash_det`
+            // is final. Order-independent tallies fold here too.
+            let mut tally = RoundTally::new();
+            debug_assert!(
+                self.queue.is_empty(),
+                "round must start with a drained queue"
+            );
+            for (j, e) in &entries {
+                let (total, busy, comm_v) = tally.absorb(*j, e, deadline_s, crash_det);
+                user_totals[*j] += busy;
+                self.queue.schedule(
+                    total,
+                    RoundEvent::DeviceDone {
+                        user: *j,
+                        comm_s: comm_v,
+                    },
+                );
+            }
+            if let Some(d) = deadline_s {
+                self.queue.schedule(d, RoundEvent::DeadlineFire);
+            }
+
+            // Drain: the straggler emerges from ascending (time, seq) pops
+            // under a strictly-greater update — equal-time ties resolve to
+            // the earliest sequence number, i.e. the lowest device index.
+            let mut track = StragglerTrack::new();
+            while let Some((t, _seq, ev)) = self.queue.pop() {
+                match ev {
+                    RoundEvent::DeviceDone { user, comm_s } => track.observe(user, t, comm_s),
+                    RoundEvent::DeadlineFire => {}
+                    RoundEvent::RescueBegin | RoundEvent::RoundClose => {
+                        unreachable!("phase-2 events are never queued during phase 1")
+                    }
+                }
+            }
+
+            // Phase 2: rescue fires strictly after the phase-1 drain, at
+            // the failure-detection instant.
+            let mut rescued = 0usize;
+            if self.inner.rescue_enabled() && tally.pool_total() > 0 {
+                self.queue
+                    .schedule(tally.detection, RoundEvent::RescueBegin);
+                let fired = self.queue.pop();
+                debug_assert!(matches!(fired, Some((_, _, RoundEvent::RescueBegin))));
+                rescued = self.inner.rescue_phase(
+                    round,
+                    &lossy,
+                    current.shard_size,
+                    &entries,
+                    &tally,
+                    &mut track,
+                    &mut user_totals,
+                    &mut observed,
+                );
+            }
+            let rejected_updates = self.inner.robust_overlay(round, &entries);
+
+            // The synchronous barrier: close at the final makespan.
+            self.queue.schedule(track.worst, RoundEvent::RoundClose);
+            let closed = self.queue.pop();
+            debug_assert!(matches!(closed, Some((_, _, RoundEvent::RoundClose))));
+            let outcome = self.inner.close_round(
+                round,
+                scheduled_total,
+                &tally,
+                &track,
+                rescued,
+                rejected_updates,
+                observed,
+            );
+            per_round.push(track.worst);
+            straggler_comm += if track.worst > 0.0 {
+                track.worst_comm / track.worst
+            } else {
+                0.0
+            };
+            outcomes.push(outcome);
+
+            if self.inner.maybe_reschedule(&mut current, orig_total) {
+                self.rebind(&current);
+                scheduled_total = current.total_shards();
+            }
+        }
+
+        assemble_report(per_round, outcomes, &user_totals, straggler_comm, rounds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resilient::ResilientRoundSim;
+    use fedsched_core::DeadlinePolicy;
+    use fedsched_device::{Testbed, TrainingWorkload};
+    use fedsched_faults::{FaultConfig, FaultInjector};
+    use fedsched_net::{Link, RetryPolicy};
+    use fedsched_telemetry::{EventLog, Probe};
+    use std::sync::Arc;
+
+    fn devices(seed: u64) -> Vec<fedsched_device::Device> {
+        Testbed::testbed_1(seed).devices().to_vec()
+    }
+
+    fn link() -> Link {
+        Link::new(100.0, 100.0, 0.0, 0.05)
+    }
+
+    fn chaos_pair(deadline: Option<f64>) -> (ResilientRoundSim, EventRoundSim) {
+        let config = FaultConfig::none()
+            .with_crash_prob(0.3)
+            .with_loss_prob(0.15)
+            .with_churn_prob(0.05);
+        let build = || {
+            let inj = FaultInjector::from_config(config.clone(), 3, 8, 19);
+            let mut sim = ResilientRoundSim::from_parts(
+                devices(19),
+                TrainingWorkload::lenet(),
+                link(),
+                2.5e6,
+                19,
+                inj,
+            )
+            .with_retry(RetryPolicy::default_chaos());
+            if let Some(d) = deadline {
+                sim = sim.with_deadline_policy(DeadlinePolicy::Fixed(d));
+            }
+            sim
+        };
+        (build(), EventRoundSim::new(build()))
+    }
+
+    #[test]
+    fn chaos_run_matches_lockstep_bit_for_bit() {
+        let (mut lockstep, mut event) = chaos_pair(Some(50.0));
+        let schedule = Schedule::new(vec![10, 10, 10], 100.0);
+        let a = lockstep.run(&schedule, 8);
+        let b = event.run(&schedule, 8);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn traces_match_lockstep_byte_for_byte() {
+        let log_a = Arc::new(EventLog::new());
+        let log_b = Arc::new(EventLog::new());
+        let (lockstep, _) = chaos_pair(Some(50.0));
+        let mut lockstep = lockstep.with_probe(Probe::attached(log_a.clone()));
+        let (inner, _) = chaos_pair(Some(50.0));
+        let mut event = EventRoundSim::new(inner.with_probe(Probe::attached(log_b.clone())));
+        let schedule = Schedule::new(vec![10, 10, 10], 100.0);
+        let a = lockstep.run(&schedule, 8);
+        let b = event.run(&schedule, 8);
+        assert_eq!(a, b);
+        assert_eq!(log_a.to_jsonl(), log_b.to_jsonl());
+    }
+
+    #[test]
+    fn idle_devices_stay_parked_and_unqueued() {
+        let mut sim = EventRoundSim::new(ResilientRoundSim::from_parts(
+            devices(5),
+            TrainingWorkload::lenet(),
+            link(),
+            2.5e6,
+            5,
+            FaultInjector::quiet(3),
+        ));
+        let report = sim.run(&Schedule::new(vec![20, 0, 0], 100.0), 4);
+        assert_eq!(sim.parked_devices(), 2);
+        // Per round: one device event + one round-close marker.
+        assert_eq!(sim.events_scheduled(), 4 * 2);
+        assert_eq!(report.timing.per_user_mean[1], 0.0);
+        assert_eq!(report.timing.per_user_mean[2], 0.0);
+    }
+
+    #[test]
+    fn sequence_counter_survives_rounds() {
+        let mut sim = EventRoundSim::new(ResilientRoundSim::from_parts(
+            devices(6),
+            TrainingWorkload::lenet(),
+            link(),
+            2.5e6,
+            6,
+            FaultInjector::quiet(3),
+        ));
+        sim.run(&Schedule::new(vec![5, 5, 5], 100.0), 2);
+        let after_two = sim.events_scheduled();
+        sim.run(&Schedule::new(vec![5, 5, 5], 100.0), 1);
+        assert!(sim.events_scheduled() > after_two);
+    }
+}

@@ -26,9 +26,11 @@
 pub mod assign;
 pub mod asyncfl;
 pub mod builder;
+pub mod clock;
 pub mod cohorts;
 pub mod coordinator;
 pub mod engine;
+pub mod eventsim;
 pub mod gossip;
 pub mod metrics;
 pub mod resilient;
@@ -40,13 +42,14 @@ pub use assign::{assignment_from_schedule_iid, assignment_from_schedule_noniid};
 pub use asyncfl::{staleness_weight, AsyncFlOutcome, AsyncFlSetup};
 pub use builder::{ConfigError, RoundConfig, SimBuilder};
 pub use cohorts::{
-    default_engine_threads, derive_cohort_seed, ChaosOptions, CohortReport, EngineReport,
-    ParallelRoundEngine, DEFAULT_COHORT_SIZE, THREADS_ENV,
+    default_engine_threads, derive_cohort_seed, ChaosOptions, CohortReport, EngineKind,
+    EngineReport, ParallelRoundEngine, DEFAULT_COHORT_SIZE, THREADS_ENV,
 };
 pub use coordinator::{
     CoordinationMode, Coordinator, CoordinatorReport, GlobalRoundOutcome, MergeRecord,
 };
 pub use engine::{FlOutcome, FlSetup};
+pub use eventsim::EventRoundSim;
 pub use gossip::{GossipOutcome, GossipSetup, Topology};
 pub use metrics::{analyze_round, cosine_similarity, DivergenceReport};
 pub use resilient::{ChaosReport, ResilientRoundSim, RoundOutcome};

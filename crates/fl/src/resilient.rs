@@ -38,6 +38,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
 
+use crate::clock;
 use crate::roundsim::{predict_round_times, TimingReport};
 
 /// Cost profile assigned to devices the server knows nothing about (never
@@ -119,7 +120,11 @@ struct Rescheduler {
 }
 
 /// Phase-1 result for one participating device.
-enum Phase1 {
+///
+/// Produced by [`ResilientRoundSim::phase1_device`] and consumed by both
+/// execution paths (the lockstep sweep here and
+/// [`EventRoundSim`](crate::EventRoundSim)'s queue drain).
+pub(crate) enum Phase1 {
     /// Delivered all its shards.
     Survivor {
         finish: f64,
@@ -139,6 +144,142 @@ enum Phase1 {
     Fail { t_fail: f64, shards: usize },
     /// Offline the whole round.
     Offline { shards: usize },
+}
+
+impl Phase1 {
+    /// This entry's contribution to crash detection, as
+    /// `(responder candidate, failure candidate)` maxima feeding
+    /// [`clock::crash_detection`](crate::clock::crash_detection).
+    pub(crate) fn detection_bounds(&self, deadline_s: Option<f64>) -> (f64, f64) {
+        match self {
+            Phase1::Survivor { finish, .. } => (*finish, 0.0),
+            Phase1::Cut { .. } => (deadline_s.unwrap_or(0.0), 0.0),
+            Phase1::CommFail { elapsed, .. } => (0.0, *elapsed),
+            Phase1::Fail { t_fail, .. } => (0.0, *t_fail),
+            Phase1::Offline { .. } => (0.0, 0.0),
+        }
+    }
+}
+
+/// Order-independent per-round accumulators over phase-1 entries.
+///
+/// Everything in here is a sum, count or max, so absorbing entries in any
+/// order yields the same tally — except [`RoundTally::pool`], which is
+/// built in *absorption order* and therefore must be fed entries in device
+/// index order (the rescue LPT ledger and its telemetry depend on pool
+/// order). Both execution paths absorb in index order.
+pub(crate) struct RoundTally {
+    /// Shards completed by their originally assigned user.
+    pub(crate) completed: usize,
+    /// Users that lost at least one shard in phase 1.
+    pub(crate) failed_users: usize,
+    /// Users cut off by the round deadline.
+    pub(crate) timed_out: usize,
+    /// Unfinished shards awaiting rescue: `(original user, count)`.
+    pub(crate) pool: Vec<(usize, usize)>,
+    /// When the server has detected every failure and can reassign.
+    pub(crate) detection: f64,
+}
+
+impl RoundTally {
+    pub(crate) fn new() -> Self {
+        RoundTally {
+            completed: 0,
+            failed_users: 0,
+            timed_out: 0,
+            pool: Vec::new(),
+            detection: 0.0,
+        }
+    }
+
+    /// Account one phase-1 entry. Returns `(total, busy, comm)`: `total`
+    /// is what the server waits on, `busy` the user's own occupied time
+    /// (they differ for crashed users, whose absence is only *noticed* at
+    /// `crash_det`), `comm` the straggler's communication share if this
+    /// entry ends up being the straggler.
+    pub(crate) fn absorb(
+        &mut self,
+        user: usize,
+        entry: &Phase1,
+        deadline_s: Option<f64>,
+        crash_det: f64,
+    ) -> (f64, f64, f64) {
+        match entry {
+            Phase1::Survivor {
+                finish,
+                comm,
+                shards,
+                ..
+            } => {
+                self.completed += shards;
+                (*finish, *finish, *comm)
+            }
+            Phase1::Cut {
+                comm,
+                done,
+                at_risk,
+            } => {
+                self.completed += done;
+                self.pool.push((user, *at_risk));
+                let d = deadline_s.unwrap_or(0.0);
+                self.detection = self.detection.max(d);
+                self.failed_users += 1;
+                self.timed_out += 1;
+                (d, d, *comm)
+            }
+            Phase1::CommFail { elapsed, shards } => {
+                self.pool.push((user, *shards));
+                self.detection = self.detection.max(*elapsed);
+                self.failed_users += 1;
+                (*elapsed, *elapsed, *elapsed)
+            }
+            Phase1::Fail { t_fail, shards } => {
+                self.pool.push((user, *shards));
+                self.detection = self.detection.max(crash_det);
+                self.failed_users += 1;
+                (crash_det, *t_fail, 0.0)
+            }
+            Phase1::Offline { shards } => {
+                self.pool.push((user, *shards));
+                self.failed_users += 1;
+                (0.0, 0.0, 0.0)
+            }
+        }
+    }
+
+    /// Shards awaiting rescue.
+    pub(crate) fn pool_total(&self) -> usize {
+        self.pool.iter().map(|(_, s)| s).sum()
+    }
+}
+
+/// Running straggler selection: strictly-greater comparison, so among
+/// equal-time finishers the *first observed* wins. The lockstep sweep
+/// observes in device index order; the event path observes in `(time,
+/// seq)` pop order with sequence numbers assigned in index order — the
+/// same winner either way.
+pub(crate) struct StragglerTrack {
+    pub(crate) worst: f64,
+    pub(crate) worst_comm: f64,
+    pub(crate) straggler: usize,
+}
+
+impl StragglerTrack {
+    pub(crate) fn new() -> Self {
+        StragglerTrack {
+            worst: 0.0,
+            worst_comm: 0.0,
+            straggler: 0,
+        }
+    }
+
+    pub(crate) fn observe(&mut self, user: usize, total: f64, comm: f64) {
+        if total > self.worst {
+            self.worst = total;
+            self.worst_comm = comm;
+            self.straggler = user;
+        }
+    }
 }
 
 /// [`RoundSim`](crate::RoundSim) with a fault model and recovery controls.
@@ -318,6 +459,38 @@ impl ResilientRoundSim {
         }
     }
 
+    /// [`ResilientRoundSim::round_deadline`] restricted to an active set:
+    /// the event-driven path predicts only the users it will actually
+    /// touch. Identical result — idle users predict `0.0` and
+    /// [`DeadlinePolicy::resolve`] ignores non-positive entries, so
+    /// dropping them from the pool never changes the resolved cutoff.
+    pub(crate) fn round_deadline_active(
+        &self,
+        current: &Schedule,
+        active: &[usize],
+    ) -> Option<f64> {
+        match self.deadline {
+            DeadlinePolicy::Off => None,
+            DeadlinePolicy::Fixed(d) => Some(d),
+            _ => {
+                let comm = self.link.round_seconds(self.model_bytes);
+                let predicted: Vec<f64> = active
+                    .iter()
+                    .map(|&j| {
+                        let samples = (current.shards[j] as f64 * current.shard_size) as usize;
+                        crate::roundsim::predict_user_time(
+                            &self.devices[j],
+                            &self.workload,
+                            comm,
+                            samples,
+                        )
+                    })
+                    .collect();
+                self.deadline.resolve(&predicted)
+            }
+        }
+    }
+
     /// Disable mid-round straggler rescue (failed users' shards are lost).
     pub fn without_rescue(mut self) -> Self {
         self.rescue = false;
@@ -466,26 +639,7 @@ impl ResilientRoundSim {
                 n_users: participants,
             });
 
-            let outage_windows = self.injector.outages(round).to_vec();
-            for &(s, e) in &outage_windows {
-                self.probe.emit(|| Event::FaultInjected {
-                    round,
-                    device: None,
-                    kind: "outage".to_string(),
-                    magnitude: e - s,
-                });
-            }
-            for &(group, duration_rounds) in self.injector.group_outages(round) {
-                let members = self.injector.plan().group_members(group).len();
-                self.probe.emit(|| Event::GroupOutage {
-                    round,
-                    group,
-                    members,
-                    duration_rounds,
-                });
-            }
-            let lossy =
-                LossyLink::new(self.link, self.injector.loss_prob()).with_outages(outage_windows);
+            let lossy = self.emit_round_faults(round);
 
             // Phase 1: every scheduled device attempts its round. Device
             // iteration order and main-RNG consumption match `RoundSim`
@@ -495,151 +649,13 @@ impl ResilientRoundSim {
             // from everything the server actually received this round.
             let mut observed: Vec<(usize, f64, f64)> = Vec::new();
             for j in 0..n {
-                let k = current.shards[j];
-                let samples = (k as f64 * current.shard_size) as usize;
+                let samples = (current.shards[j] as f64 * current.shard_size) as usize;
                 if samples == 0 {
                     continue;
                 }
-                let fate = self.injector.fate(round, j);
-                if !fate.is_online() {
-                    if matches!(fate, DeviceFate::Departed) {
-                        self.known_gone[j] = true;
-                    }
-                    self.probe.emit(|| Event::UserTimeout {
-                        round,
-                        user: j,
-                        cause: "offline".to_string(),
-                        shards_at_risk: k,
-                    });
-                    entries.push((j, Phase1::Offline { shards: k }));
-                    continue;
-                }
-                let cont = self.injector.contention(round, j);
-                if cont > 1.0 {
-                    self.probe.emit(|| Event::FaultInjected {
-                        round,
-                        device: Some(j),
-                        kind: "contention".to_string(),
-                        magnitude: cont,
-                    });
-                }
-                let mut ds = self.injector.draw_stream(round, j);
-                let transfer = lossy.transfer(
-                    self.model_bytes,
-                    0.0,
-                    &self.retry,
-                    &mut self.rng,
-                    &mut || ds.next_u01(),
-                );
-                for (i, &(el, cause)) in transfer.failures.iter().enumerate() {
-                    self.probe.emit(|| Event::TransferRetry {
-                        round,
-                        user: j,
-                        attempt: i + 1,
-                        cause: cause.as_str().to_string(),
-                        elapsed_s: el,
-                    });
-                }
-                if !transfer.delivered {
-                    self.probe.emit(|| Event::UserTimeout {
-                        round,
-                        user: j,
-                        cause: "comm".to_string(),
-                        shards_at_risk: k,
-                    });
-                    entries.push((
-                        j,
-                        Phase1::CommFail {
-                            elapsed: transfer.elapsed_s,
-                            shards: k,
-                        },
-                    ));
-                    continue;
-                }
-                let comm = transfer.elapsed_s;
-                let compute = self.devices[j].train_samples(&self.workload, samples) * cont;
-                match fate {
-                    DeviceFate::Crash { at_frac } | DeviceFate::Depart { at_frac } => {
-                        let kind = if matches!(fate, DeviceFate::Depart { .. }) {
-                            self.known_gone[j] = true;
-                            "churn"
-                        } else {
-                            "crash"
-                        };
-                        self.probe.emit(|| Event::FaultInjected {
-                            round,
-                            device: Some(j),
-                            kind: kind.to_string(),
-                            magnitude: at_frac,
-                        });
-                        self.probe.emit(|| Event::UserTimeout {
-                            round,
-                            user: j,
-                            cause: kind.to_string(),
-                            shards_at_risk: k,
-                        });
-                        entries.push((
-                            j,
-                            Phase1::Fail {
-                                t_fail: comm + at_frac * compute,
-                                shards: k,
-                            },
-                        ));
-                    }
-                    _ => {
-                        let finish = comm + compute;
-                        match deadline_s {
-                            Some(d) if finish > d => {
-                                let progress = if compute > 0.0 {
-                                    ((d - comm) / compute).clamp(0.0, 1.0)
-                                } else {
-                                    0.0
-                                };
-                                let done = ((k as f64 * progress).floor() as usize).min(k - 1);
-                                let span_compute = (d - comm).max(0.0);
-                                self.probe.emit(|| Event::UserSpan {
-                                    round,
-                                    user: j,
-                                    compute_s: span_compute,
-                                    comm_s: comm,
-                                });
-                                self.probe.emit(|| Event::UserTimeout {
-                                    round,
-                                    user: j,
-                                    cause: "deadline".to_string(),
-                                    shards_at_risk: k - done,
-                                });
-                                observed.push((j, done as f64 * current.shard_size, span_compute));
-                                entries.push((
-                                    j,
-                                    Phase1::Cut {
-                                        comm,
-                                        done,
-                                        at_risk: k - done,
-                                    },
-                                ));
-                            }
-                            _ => {
-                                self.probe.emit(|| Event::UserSpan {
-                                    round,
-                                    user: j,
-                                    compute_s: compute,
-                                    comm_s: comm,
-                                });
-                                observed.push((j, samples as f64, compute));
-                                entries.push((
-                                    j,
-                                    Phase1::Survivor {
-                                        finish,
-                                        comm,
-                                        compute,
-                                        shards: k,
-                                    },
-                                ));
-                            }
-                        }
-                    }
-                }
+                let entry =
+                    self.phase1_device(round, j, &current, &lossy, deadline_s, &mut observed);
+                entries.push((j, entry));
             }
 
             // Crashed users are detected at the deadline when one is set;
@@ -648,356 +664,549 @@ impl ResilientRoundSim {
             let mut responder_max = 0.0f64;
             let mut fail_max = 0.0f64;
             for (_, e) in &entries {
-                match e {
-                    Phase1::Survivor { finish, .. } => responder_max = responder_max.max(*finish),
-                    Phase1::Cut { .. } => {
-                        responder_max = responder_max.max(deadline_s.unwrap_or(0.0))
-                    }
-                    Phase1::CommFail { elapsed, .. } => fail_max = fail_max.max(*elapsed),
-                    Phase1::Fail { t_fail, .. } => fail_max = fail_max.max(*t_fail),
-                    Phase1::Offline { .. } => {}
-                }
+                let (r, f) = e.detection_bounds(deadline_s);
+                responder_max = responder_max.max(r);
+                fail_max = fail_max.max(f);
             }
-            let crash_det = deadline_s.unwrap_or(if responder_max > 0.0 {
-                responder_max
-            } else {
-                fail_max
-            });
+            let crash_det = clock::crash_detection(deadline_s, responder_max, fail_max);
 
             // Aggregate phase 1: makespan/straggler selection runs in device
             // index order with the same tie-breaking as `RoundSim`.
-            let mut worst = 0.0f64;
-            let mut worst_comm = 0.0f64;
-            let mut straggler = 0usize;
-            let mut completed = 0usize;
-            let mut failed_users = 0usize;
-            let mut timed_out = 0usize;
-            // Unfinished shards awaiting rescue: `(original user, count)`.
-            let mut pool: Vec<(usize, usize)> = Vec::new();
-            // When the server has detected every failure and can reassign.
-            let mut detection = 0.0f64;
+            let mut tally = RoundTally::new();
+            let mut track = StragglerTrack::new();
             for (j, e) in &entries {
-                // `total` is what the server waits on; `busy` is the user's
-                // own occupied time (they differ for crashed users, whose
-                // absence is only *noticed* at `crash_det`).
-                let (total, busy, comm_v) = match e {
-                    Phase1::Survivor {
-                        finish,
-                        comm,
-                        shards,
-                        ..
-                    } => {
-                        completed += shards;
-                        (*finish, *finish, *comm)
-                    }
-                    Phase1::Cut {
-                        comm,
-                        done,
-                        at_risk,
-                    } => {
-                        completed += done;
-                        pool.push((*j, *at_risk));
-                        let d = deadline_s.unwrap_or(0.0);
-                        detection = detection.max(d);
-                        failed_users += 1;
-                        timed_out += 1;
-                        (d, d, *comm)
-                    }
-                    Phase1::CommFail { elapsed, shards } => {
-                        pool.push((*j, *shards));
-                        detection = detection.max(*elapsed);
-                        failed_users += 1;
-                        (*elapsed, *elapsed, *elapsed)
-                    }
-                    Phase1::Fail { t_fail, shards } => {
-                        pool.push((*j, *shards));
-                        detection = detection.max(crash_det);
-                        failed_users += 1;
-                        (crash_det, *t_fail, 0.0)
-                    }
-                    Phase1::Offline { shards } => {
-                        pool.push((*j, *shards));
-                        failed_users += 1;
-                        (0.0, 0.0, 0.0)
-                    }
-                };
+                let (total, busy, comm_v) = tally.absorb(*j, e, deadline_s, crash_det);
                 user_totals[*j] += busy;
-                if total > worst {
-                    worst = total;
-                    worst_comm = comm_v;
-                    straggler = *j;
-                }
+                track.observe(*j, total, comm_v);
             }
 
             // Phase 2: rescue. Reassign the pool per-shard (LPT greedy) to
             // survivors; each rescuer pays an extra transfer plus the
             // reassigned compute, simulated on the real device model.
-            let pool_total: usize = pool.iter().map(|(_, s)| s).sum();
             let mut rescued = 0usize;
-            if self.rescue && pool_total > 0 {
-                struct Target {
-                    j: usize,
-                    avail: f64,
-                    per_shard: f64,
-                    assigned: usize,
+            if self.rescue && tally.pool_total() > 0 {
+                rescued = self.rescue_phase(
+                    round,
+                    &lossy,
+                    current.shard_size,
+                    &entries,
+                    &tally,
+                    &mut track,
+                    &mut user_totals,
+                    &mut observed,
+                );
+            }
+
+            let rejected_updates = self.robust_overlay(round, &entries);
+
+            let outcome = self.close_round(
+                round,
+                current.total_shards(),
+                &tally,
+                &track,
+                rescued,
+                rejected_updates,
+                observed,
+            );
+            per_round.push(track.worst);
+            straggler_comm += if track.worst > 0.0 {
+                track.worst_comm / track.worst
+            } else {
+                0.0
+            };
+            outcomes.push(outcome);
+
+            self.maybe_reschedule(&mut current, orig_total);
+        }
+
+        assemble_report(per_round, outcomes, &user_totals, straggler_comm, rounds)
+    }
+
+    /// Emit this round's injected-fault telemetry (outage windows, group
+    /// outages) and build the lossy link every transfer goes through.
+    pub(crate) fn emit_round_faults(&self, round: usize) -> LossyLink {
+        let outage_windows = self.injector.outages(round).to_vec();
+        for &(s, e) in &outage_windows {
+            self.probe.emit(|| Event::FaultInjected {
+                round,
+                device: None,
+                kind: "outage".to_string(),
+                magnitude: e - s,
+            });
+        }
+        for &(group, duration_rounds) in self.injector.group_outages(round) {
+            let members = self.injector.plan().group_members(group).len();
+            self.probe.emit(|| Event::GroupOutage {
+                round,
+                group,
+                members,
+                duration_rounds,
+            });
+        }
+        LossyLink::new(self.link, self.injector.loss_prob()).with_outages(outage_windows)
+    }
+
+    /// Phase 1 for one scheduled device: fate check, transfer under the
+    /// retry policy, compute, deadline cut — with all per-user telemetry
+    /// and profiler observations. Main-RNG consumption matches `RoundSim`
+    /// exactly when no fault fires, so callers must invoke this in device
+    /// index order over the scheduled (non-idle) users.
+    pub(crate) fn phase1_device(
+        &mut self,
+        round: usize,
+        j: usize,
+        current: &Schedule,
+        lossy: &LossyLink,
+        deadline_s: Option<f64>,
+        observed: &mut Vec<(usize, f64, f64)>,
+    ) -> Phase1 {
+        let k = current.shards[j];
+        let samples = (k as f64 * current.shard_size) as usize;
+        debug_assert!(samples > 0, "idle devices never enter phase 1");
+        let fate = self.injector.fate(round, j);
+        if !fate.is_online() {
+            if matches!(fate, DeviceFate::Departed) {
+                self.known_gone[j] = true;
+            }
+            self.probe.emit(|| Event::UserTimeout {
+                round,
+                user: j,
+                cause: "offline".to_string(),
+                shards_at_risk: k,
+            });
+            return Phase1::Offline { shards: k };
+        }
+        let cont = self.injector.contention(round, j);
+        if cont > 1.0 {
+            self.probe.emit(|| Event::FaultInjected {
+                round,
+                device: Some(j),
+                kind: "contention".to_string(),
+                magnitude: cont,
+            });
+        }
+        let mut ds = self.injector.draw_stream(round, j);
+        let transfer = lossy.transfer(
+            self.model_bytes,
+            0.0,
+            &self.retry,
+            &mut self.rng,
+            &mut || ds.next_u01(),
+        );
+        for (i, &(el, cause)) in transfer.failures.iter().enumerate() {
+            self.probe.emit(|| Event::TransferRetry {
+                round,
+                user: j,
+                attempt: i + 1,
+                cause: cause.as_str().to_string(),
+                elapsed_s: el,
+            });
+        }
+        if !transfer.delivered {
+            self.probe.emit(|| Event::UserTimeout {
+                round,
+                user: j,
+                cause: "comm".to_string(),
+                shards_at_risk: k,
+            });
+            return Phase1::CommFail {
+                elapsed: transfer.elapsed_s,
+                shards: k,
+            };
+        }
+        let comm = transfer.elapsed_s;
+        let compute = self.devices[j].train_samples(&self.workload, samples) * cont;
+        match fate {
+            DeviceFate::Crash { at_frac } | DeviceFate::Depart { at_frac } => {
+                let kind = if matches!(fate, DeviceFate::Depart { .. }) {
+                    self.known_gone[j] = true;
+                    "churn"
+                } else {
+                    "crash"
+                };
+                self.probe.emit(|| Event::FaultInjected {
+                    round,
+                    device: Some(j),
+                    kind: kind.to_string(),
+                    magnitude: at_frac,
+                });
+                self.probe.emit(|| Event::UserTimeout {
+                    round,
+                    user: j,
+                    cause: kind.to_string(),
+                    shards_at_risk: k,
+                });
+                Phase1::Fail {
+                    t_fail: comm + at_frac * compute,
+                    shards: k,
                 }
-                let mut targets: Vec<Target> = entries
-                    .iter()
-                    .filter_map(|(j, e)| match e {
+            }
+            _ => {
+                let finish = comm + compute;
+                match deadline_s {
+                    Some(d) if finish > d => {
+                        let cut = clock::deadline_cut(k, comm, compute, d);
+                        self.probe.emit(|| Event::UserSpan {
+                            round,
+                            user: j,
+                            compute_s: cut.span_compute,
+                            comm_s: comm,
+                        });
+                        self.probe.emit(|| Event::UserTimeout {
+                            round,
+                            user: j,
+                            cause: "deadline".to_string(),
+                            shards_at_risk: k - cut.done,
+                        });
+                        observed.push((j, cut.done as f64 * current.shard_size, cut.span_compute));
+                        Phase1::Cut {
+                            comm,
+                            done: cut.done,
+                            at_risk: k - cut.done,
+                        }
+                    }
+                    _ => {
+                        self.probe.emit(|| Event::UserSpan {
+                            round,
+                            user: j,
+                            compute_s: compute,
+                            comm_s: comm,
+                        });
+                        observed.push((j, samples as f64, compute));
                         Phase1::Survivor {
                             finish,
+                            comm,
                             compute,
-                            shards,
-                            ..
-                        } if self.devices[*j].battery_soc() >= self.rescue_soc_floor => {
-                            Some(Target {
-                                j: *j,
-                                avail: finish.max(detection),
-                                per_shard: compute / *shards as f64,
-                                assigned: 0,
-                            })
+                            shards: k,
                         }
-                        _ => None,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Phase 2: LPT-reassign the tally's unfinished pool to eligible
+    /// survivors; each rescuer pays an extra transfer plus the reassigned
+    /// compute, simulated on the real device model. Mutates the straggler
+    /// track / per-user totals / profiler observations in place and
+    /// returns the number of rescued shards.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn rescue_phase(
+        &mut self,
+        round: usize,
+        lossy: &LossyLink,
+        shard_size: f64,
+        entries: &[(usize, Phase1)],
+        tally: &RoundTally,
+        track: &mut StragglerTrack,
+        user_totals: &mut [f64],
+        observed: &mut Vec<(usize, f64, f64)>,
+    ) -> usize {
+        let n = self.devices.len();
+        struct Target {
+            j: usize,
+            avail: f64,
+            per_shard: f64,
+            assigned: usize,
+        }
+        let mut targets: Vec<Target> = entries
+            .iter()
+            .filter_map(|(j, e)| match e {
+                Phase1::Survivor {
+                    finish,
+                    compute,
+                    shards,
+                    ..
+                } if self.devices[*j].battery_soc() >= self.rescue_soc_floor => Some(Target {
+                    j: *j,
+                    avail: clock::rescue_available(*finish, tally.detection),
+                    per_shard: compute / *shards as f64,
+                    assigned: 0,
+                }),
+                _ => None,
+            })
+            .collect();
+        if targets.is_empty() {
+            return 0;
+        }
+        // `(from, to, shards)` reassignment ledger for telemetry.
+        let mut ledger: Vec<(usize, usize, usize)> = Vec::new();
+        for &(from, count) in &tally.pool {
+            for _ in 0..count {
+                let ti = targets
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, a), (_, b)| {
+                        let ca = a.avail + (a.assigned + 1) as f64 * a.per_shard;
+                        let cb = b.avail + (b.assigned + 1) as f64 * b.per_shard;
+                        ca.partial_cmp(&cb).expect("finite rescue costs")
                     })
-                    .collect();
-                if !targets.is_empty() {
-                    // `(from, to, shards)` reassignment ledger for telemetry.
-                    let mut ledger: Vec<(usize, usize, usize)> = Vec::new();
-                    for &(from, count) in &pool {
-                        for _ in 0..count {
-                            let ti = targets
-                                .iter()
-                                .enumerate()
-                                .min_by(|(_, a), (_, b)| {
-                                    let ca = a.avail + (a.assigned + 1) as f64 * a.per_shard;
-                                    let cb = b.avail + (b.assigned + 1) as f64 * b.per_shard;
-                                    ca.partial_cmp(&cb).expect("finite rescue costs")
-                                })
-                                .map(|(i, _)| i)
-                                .expect("targets non-empty");
-                            targets[ti].assigned += 1;
-                            let to = targets[ti].j;
-                            match ledger.iter_mut().find(|l| l.0 == from && l.1 == to) {
-                                Some(l) => l.2 += 1,
-                                None => ledger.push((from, to, 1)),
-                            }
-                        }
-                    }
-                    for &(from_user, to_user, shards) in &ledger {
-                        self.probe.emit(|| Event::ShardsReassigned {
-                            round,
-                            from_user,
-                            to_user,
-                            shards,
-                        });
-                    }
-                    // Execute in target index order so main-RNG consumption
-                    // is a pure function of the plan.
-                    for t in &targets {
-                        if t.assigned == 0 {
-                            continue;
-                        }
-                        let mut ds = self.injector.draw_stream(round, n + t.j);
-                        let transfer = lossy.transfer(
-                            self.model_bytes,
-                            t.avail,
-                            &self.retry,
-                            &mut self.rng,
-                            &mut || ds.next_u01(),
-                        );
-                        for (i, &(el, cause)) in transfer.failures.iter().enumerate() {
-                            self.probe.emit(|| Event::TransferRetry {
-                                round,
-                                user: t.j,
-                                attempt: i + 1,
-                                cause: cause.as_str().to_string(),
-                                elapsed_s: el,
-                            });
-                        }
-                        if !transfer.delivered {
-                            self.probe.emit(|| Event::UserTimeout {
-                                round,
-                                user: t.j,
-                                cause: "comm".to_string(),
-                                shards_at_risk: t.assigned,
-                            });
-                            user_totals[t.j] += transfer.elapsed_s;
-                            let at = t.avail + transfer.elapsed_s;
-                            if at > worst {
-                                worst = at;
-                                worst_comm = transfer.elapsed_s;
-                                straggler = t.j;
-                            }
-                            continue;
-                        }
-                        let extra_samples = (t.assigned as f64 * current.shard_size) as usize;
-                        let cont = self.injector.contention(round, t.j);
-                        let compute =
-                            self.devices[t.j].train_samples(&self.workload, extra_samples) * cont;
-                        rescued += t.assigned;
-                        observed.push((t.j, extra_samples as f64, compute));
-                        user_totals[t.j] += transfer.elapsed_s + compute;
-                        let finish = t.avail + transfer.elapsed_s + compute;
-                        if finish > worst {
-                            worst = finish;
-                            worst_comm = transfer.elapsed_s;
-                            straggler = t.j;
-                        }
-                    }
+                    .map(|(i, _)| i)
+                    .expect("targets non-empty");
+                targets[ti].assigned += 1;
+                let to = targets[ti].j;
+                match ledger.iter_mut().find(|l| l.0 == from && l.1 == to) {
+                    Some(l) => l.2 += 1,
+                    None => ledger.push((from, to, 1)),
                 }
             }
-
-            // Robust aggregation overlay: when a (non-quiet) adversary is
-            // attached, the server scores every primary-phase delivery with
-            // the configured aggregator over low-dimensional proxy updates.
-            // The timing path has no parameter vectors, so deliveries are
-            // synthesized as a shared per-round direction plus per-user
-            // jitter — both from the plan's scoped draw streams — and the
-            // plan's attack transform is applied on top for compromised
-            // users. Nothing here touches the main RNG or round timing, and
-            // the whole block is skipped (zero events, zero draws) without
-            // an adversary, preserving trace byte-identity.
-            let mut rejected_updates = 0usize;
-            if let Some(plan) = &self.adversary {
-                if !plan.is_quiet() {
-                    // `(user, shards delivered)` for phase-1 deliveries.
-                    let deliverers: Vec<(usize, usize)> = entries
-                        .iter()
-                        .filter_map(|(j, e)| match e {
-                            Phase1::Survivor { shards, .. } => Some((*j, *shards)),
-                            Phase1::Cut { done, .. } if *done > 0 => Some((*j, *done)),
-                            _ => None,
-                        })
-                        .collect();
-                    if !deliverers.is_empty() {
-                        let zeros = vec![0.0f32; PROXY_DIM];
-                        // Channels below `2 * n` are reserved for the plan's
-                        // own attack noise; proxy synthesis starts past them.
-                        let mut dir = plan.draw_stream(round, 2 * n);
-                        let direction: Vec<f32> = (0..PROXY_DIM)
-                            .map(|_| (dir.next_u01() * 2.0 - 1.0) as f32)
-                            .collect();
-                        let updates: Vec<(Vec<f32>, usize)> = deliverers
-                            .iter()
-                            .map(|&(j, shards)| {
-                                let mut jitter = plan.draw_stream(round, 2 * n + 1 + j);
-                                let mut u: Vec<f32> = direction
-                                    .iter()
-                                    .map(|&d| d + 0.1 * (jitter.next_u01() * 2.0 - 1.0) as f32)
-                                    .collect();
-                                plan.apply(round, j, &zeros, &mut u);
-                                (u, shards)
-                            })
-                            .collect();
-                        let agg = self.aggregator.build();
-                        let outcome = agg.aggregate(&updates);
-                        for &idx in &outcome.rejected {
-                            let user = deliverers[idx].0;
-                            let score = outcome.scores[idx];
-                            self.probe.emit(|| Event::UpdateRejected {
-                                round,
-                                user,
-                                aggregator: agg.name().to_string(),
-                                score,
-                            });
-                        }
-                        rejected_updates = outcome.rejected.len();
-                        let mean_score = outcome.mean_score();
-                        self.probe.emit(|| Event::RobustAggregate {
-                            round,
-                            aggregator: agg.name().to_string(),
-                            n_updates: updates.len(),
-                            rejected: rejected_updates,
-                            mean_score,
-                        });
-                    }
-                }
+        }
+        for &(from_user, to_user, shards) in &ledger {
+            self.probe.emit(|| Event::ShardsReassigned {
+                round,
+                from_user,
+                to_user,
+                shards,
+            });
+        }
+        // Execute in target index order so main-RNG consumption is a pure
+        // function of the plan.
+        let mut rescued = 0usize;
+        for t in &targets {
+            if t.assigned == 0 {
+                continue;
             }
-
-            let scheduled = current.total_shards();
-            let lost = pool_total - rescued;
-            let coverage = if scheduled == 0 {
-                1.0
-            } else {
-                (completed + rescued) as f64 / scheduled as f64
-            };
-            if completed < scheduled {
-                self.probe.emit(|| Event::RoundDegraded {
+            let mut ds = self.injector.draw_stream(round, n + t.j);
+            let transfer = lossy.transfer(
+                self.model_bytes,
+                t.avail,
+                &self.retry,
+                &mut self.rng,
+                &mut || ds.next_u01(),
+            );
+            for (i, &(el, cause)) in transfer.failures.iter().enumerate() {
+                self.probe.emit(|| Event::TransferRetry {
                     round,
-                    scheduled,
-                    completed,
-                    rescued,
-                    lost,
-                    coverage,
+                    user: t.j,
+                    attempt: i + 1,
+                    cause: cause.as_str().to_string(),
+                    elapsed_s: el,
                 });
             }
-            self.probe.emit(|| Event::RoundEnd {
-                round,
-                makespan_s: worst,
-                straggler,
-            });
+            if !transfer.delivered {
+                self.probe.emit(|| Event::UserTimeout {
+                    round,
+                    user: t.j,
+                    cause: "comm".to_string(),
+                    shards_at_risk: t.assigned,
+                });
+                user_totals[t.j] += transfer.elapsed_s;
+                track.observe(t.j, t.avail + transfer.elapsed_s, transfer.elapsed_s);
+                continue;
+            }
+            let extra_samples = (t.assigned as f64 * shard_size) as usize;
+            let cont = self.injector.contention(round, t.j);
+            let compute = self.devices[t.j].train_samples(&self.workload, extra_samples) * cont;
+            rescued += t.assigned;
+            observed.push((t.j, extra_samples as f64, compute));
+            user_totals[t.j] += transfer.elapsed_s + compute;
+            track.observe(
+                t.j,
+                t.avail + transfer.elapsed_s + compute,
+                transfer.elapsed_s,
+            );
+        }
+        rescued
+    }
 
-            per_round.push(worst);
-            straggler_comm += if worst > 0.0 { worst_comm / worst } else { 0.0 };
-            outcomes.push(RoundOutcome {
+    /// Robust aggregation overlay: when a (non-quiet) adversary is
+    /// attached, the server scores every primary-phase delivery with the
+    /// configured aggregator over low-dimensional proxy updates. The
+    /// timing path has no parameter vectors, so deliveries are synthesized
+    /// as a shared per-round direction plus per-user jitter — both from
+    /// the plan's scoped draw streams — and the plan's attack transform is
+    /// applied on top for compromised users. Nothing here touches the main
+    /// RNG or round timing, and the whole block is skipped (zero events,
+    /// zero draws) without an adversary, preserving trace byte-identity.
+    pub(crate) fn robust_overlay(&self, round: usize, entries: &[(usize, Phase1)]) -> usize {
+        let n = self.devices.len();
+        let Some(plan) = &self.adversary else {
+            return 0;
+        };
+        if plan.is_quiet() {
+            return 0;
+        }
+        // `(user, shards delivered)` for phase-1 deliveries.
+        let deliverers: Vec<(usize, usize)> = entries
+            .iter()
+            .filter_map(|(j, e)| match e {
+                Phase1::Survivor { shards, .. } => Some((*j, *shards)),
+                Phase1::Cut { done, .. } if *done > 0 => Some((*j, *done)),
+                _ => None,
+            })
+            .collect();
+        if deliverers.is_empty() {
+            return 0;
+        }
+        let zeros = vec![0.0f32; PROXY_DIM];
+        // Channels below `2 * n` are reserved for the plan's own attack
+        // noise; proxy synthesis starts past them.
+        let mut dir = plan.draw_stream(round, 2 * n);
+        let direction: Vec<f32> = (0..PROXY_DIM)
+            .map(|_| (dir.next_u01() * 2.0 - 1.0) as f32)
+            .collect();
+        let updates: Vec<(Vec<f32>, usize)> = deliverers
+            .iter()
+            .map(|&(j, shards)| {
+                let mut jitter = plan.draw_stream(round, 2 * n + 1 + j);
+                let mut u: Vec<f32> = direction
+                    .iter()
+                    .map(|&d| d + 0.1 * (jitter.next_u01() * 2.0 - 1.0) as f32)
+                    .collect();
+                plan.apply(round, j, &zeros, &mut u);
+                (u, shards)
+            })
+            .collect();
+        let agg = self.aggregator.build();
+        let outcome = agg.aggregate(&updates);
+        for &idx in &outcome.rejected {
+            let user = deliverers[idx].0;
+            let score = outcome.scores[idx];
+            self.probe.emit(|| Event::UpdateRejected {
+                round,
+                user,
+                aggregator: agg.name().to_string(),
+                score,
+            });
+        }
+        let rejected_updates = outcome.rejected.len();
+        let mean_score = outcome.mean_score();
+        self.probe.emit(|| Event::RobustAggregate {
+            round,
+            aggregator: agg.name().to_string(),
+            n_updates: updates.len(),
+            rejected: rejected_updates,
+            mean_score,
+        });
+        rejected_updates
+    }
+
+    /// Close the round: degradation + round-end telemetry, advance the
+    /// global round counter, fold `observed` into the online profilers,
+    /// and produce the round's [`RoundOutcome`].
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn close_round(
+        &mut self,
+        round: usize,
+        scheduled: usize,
+        tally: &RoundTally,
+        track: &StragglerTrack,
+        rescued: usize,
+        rejected_updates: usize,
+        observed: Vec<(usize, f64, f64)>,
+    ) -> RoundOutcome {
+        let completed = tally.completed;
+        let lost = tally.pool_total() - rescued;
+        let coverage = if scheduled == 0 {
+            1.0
+        } else {
+            (completed + rescued) as f64 / scheduled as f64
+        };
+        if completed < scheduled {
+            self.probe.emit(|| Event::RoundDegraded {
                 round,
                 scheduled,
                 completed,
                 rescued,
-                lost_shards: lost,
+                lost,
                 coverage,
-                makespan_s: worst,
-                failed_users,
-                timed_out,
-                rejected_updates,
             });
-            self.rounds_done += 1;
+        }
+        self.probe.emit(|| Event::RoundEnd {
+            round,
+            makespan_s: track.worst,
+            straggler: track.straggler,
+        });
+        self.rounds_done += 1;
+        for (j, samples, seconds) in observed {
+            self.profilers[j].observe(samples, seconds);
+        }
+        RoundOutcome {
+            round,
+            scheduled,
+            completed,
+            rescued,
+            lost_shards: lost,
+            coverage,
+            makespan_s: track.worst,
+            failed_users: tally.failed_users,
+            timed_out: tally.timed_out,
+            rejected_updates,
+        }
+    }
 
-            for (j, samples, seconds) in observed {
-                self.profilers[j].observe(samples, seconds);
-            }
-
-            // Between-round rescheduling: re-plan the *next* round from the
-            // online profiles fitted above.
-            if let Some(rs) = &self.rescheduler {
-                if self.rounds_done.is_multiple_of(rs.every) && orig_total > 0 {
-                    let comm_est = self.link.round_seconds(self.model_bytes);
-                    let profiles: Vec<LinearProfile> = (0..n)
-                        .map(|j| {
-                            if self.known_gone[j]
-                                || (self.profilers[j].observations() == 0 && !self.has_prior)
-                            {
-                                LinearProfile::new(PENALTY_FIXED_S, PENALTY_PER_SAMPLE_S)
-                            } else {
-                                self.profilers[j].profile()
-                            }
-                        })
-                        .collect();
-                    let costs = CostMatrix::from_profiles(
-                        &profiles,
-                        orig_total,
-                        current.shard_size,
-                        &vec![comm_est; n],
-                    );
-                    if let Ok(next) = rs.scheduler.schedule_traced(&costs, &self.probe) {
-                        current = next;
-                    }
+    /// Between-round rescheduling: re-plan the *next* round from the
+    /// online profiles fitted this round. Returns whether `current` was
+    /// replaced — the event path rebuilds its active set when it was.
+    pub(crate) fn maybe_reschedule(&mut self, current: &mut Schedule, orig_total: usize) -> bool {
+        let n = self.devices.len();
+        if let Some(rs) = &self.rescheduler {
+            if self.rounds_done.is_multiple_of(rs.every) && orig_total > 0 {
+                let comm_est = self.link.round_seconds(self.model_bytes);
+                let profiles: Vec<LinearProfile> = (0..n)
+                    .map(|j| {
+                        if self.known_gone[j]
+                            || (self.profilers[j].observations() == 0 && !self.has_prior)
+                        {
+                            LinearProfile::new(PENALTY_FIXED_S, PENALTY_PER_SAMPLE_S)
+                        } else {
+                            self.profilers[j].profile()
+                        }
+                    })
+                    .collect();
+                let costs = CostMatrix::from_profiles(
+                    &profiles,
+                    orig_total,
+                    current.shard_size,
+                    &vec![comm_est; n],
+                );
+                if let Ok(next) = rs.scheduler.schedule_traced(&costs, &self.probe) {
+                    *current = next;
+                    return true;
                 }
             }
         }
+        false
+    }
 
-        ChaosReport {
-            timing: TimingReport {
-                per_round_makespan: per_round,
-                per_user_mean: user_totals.iter().map(|t| t / rounds as f64).collect(),
-                comm_fraction: if rounds == 0 {
-                    0.0
-                } else {
-                    straggler_comm / rounds as f64
-                },
+    /// Round index the next per-round primitive call will use.
+    pub(crate) fn current_round(&self) -> usize {
+        self.rounds_done
+    }
+
+    /// Whether mid-round straggler rescue is enabled.
+    pub(crate) fn rescue_enabled(&self) -> bool {
+        self.rescue
+    }
+
+    /// Clone of the attached probe — the event path emits round framing
+    /// (`round_start`) itself before delegating to the shared primitives.
+    pub(crate) fn probe_handle(&self) -> Probe {
+        self.probe.clone()
+    }
+}
+
+/// Fold run-level accumulators into the final [`ChaosReport`]. Shared by
+/// the lockstep and event-driven paths so the report arithmetic lives in
+/// exactly one place.
+pub(crate) fn assemble_report(
+    per_round: Vec<f64>,
+    outcomes: Vec<RoundOutcome>,
+    user_totals: &[f64],
+    straggler_comm: f64,
+    rounds: usize,
+) -> ChaosReport {
+    ChaosReport {
+        timing: TimingReport {
+            per_round_makespan: per_round,
+            per_user_mean: user_totals.iter().map(|t| t / rounds as f64).collect(),
+            comm_fraction: if rounds == 0 {
+                0.0
+            } else {
+                straggler_comm / rounds as f64
             },
-            rounds: outcomes,
-        }
+        },
+        rounds: outcomes,
     }
 }
 

@@ -218,16 +218,32 @@ pub fn predict_round_times(
         .zip(devices)
         .map(|(&k, device)| {
             let samples = (k as f64 * schedule.shard_size) as usize;
-            if samples == 0 {
-                return 0.0;
-            }
-            // Clones share the Arc-backed probe with the original — detach
-            // it so speculative training never reaches the event log.
-            let mut scratch = device.clone();
-            scratch.set_probe(Probe::disabled());
-            comm + scratch.train_samples(workload, samples)
+            predict_user_time(device, workload, comm, samples)
         })
         .collect()
+}
+
+/// Predicted round time for one user: `comm` (the link's deterministic
+/// per-round expectation) plus speculative training of `samples` on a
+/// clone of the device. Idle users (`samples == 0`) predict `0.0`.
+///
+/// Shared by [`predict_round_times`] and the event-driven engine's
+/// active-set-only deadline resolution, so both resolve deadlines from
+/// the same per-user predictor.
+pub fn predict_user_time(
+    device: &Device,
+    workload: &TrainingWorkload,
+    comm: f64,
+    samples: usize,
+) -> f64 {
+    if samples == 0 {
+        return 0.0;
+    }
+    // Clones share the Arc-backed probe with the original — detach it so
+    // speculative training never reaches the event log.
+    let mut scratch = device.clone();
+    scratch.set_probe(Probe::disabled());
+    comm + scratch.train_samples(workload, samples)
 }
 
 #[cfg(test)]

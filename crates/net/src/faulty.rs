@@ -349,6 +349,34 @@ mod faulty_tests {
     }
 
     #[test]
+    fn outage_overlap_is_open_at_exact_boundaries() {
+        // The event-driven engine schedules transfer attempts at exact
+        // simulated instants, so the lockstep and event paths must agree
+        // on boundary ties: an attempt that only *touches* an outage
+        // endpoint does not overlap the window.
+        let lossy = LossyLink::clean(flat_link()).with_outages(vec![(10.0, 20.0)]);
+        assert!(
+            !lossy.in_outage(0.0, 10.0),
+            "ending exactly at window start is clear"
+        );
+        assert!(
+            !lossy.in_outage(20.0, 25.0),
+            "starting exactly at window end is clear"
+        );
+        assert!(
+            !lossy.in_outage(10.0, 10.0),
+            "a zero-length instant at the window edge is clear"
+        );
+        assert!(lossy.in_outage(9.0, 10.5));
+        assert!(lossy.in_outage(19.5, 19.75));
+        assert!(lossy.in_outage(0.0, 30.0), "window strictly inside counts");
+        assert!(
+            lossy.in_outage(15.0, 15.0),
+            "a zero-length instant inside the window counts"
+        );
+    }
+
+    #[test]
     fn timeout_cuts_overlong_attempts() {
         // 1 byte/s effectively: duration far above the 1 s timeout.
         let slow = Link::new(0.001, 0.001, 0.0, 0.0);

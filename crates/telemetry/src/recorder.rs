@@ -287,6 +287,49 @@ mod tests {
     }
 
     #[test]
+    fn cohort_buffer_splice_is_byte_identical_to_direct_recording() {
+        // Both round engines (lockstep and event-driven) buffer each
+        // cohort's events in a private log and splice the offset-remapped
+        // buffers into the session log in cohort order. The golden-trace
+        // contract needs that buffering to be invisible in the bytes.
+        let events = |base: usize| {
+            vec![
+                Event::RoundStart {
+                    round: 0,
+                    n_users: 2,
+                },
+                Event::UserSpan {
+                    round: 0,
+                    user: base,
+                    compute_s: 0.5,
+                    comm_s: 0.25,
+                },
+            ]
+        };
+        let direct = EventLog::new();
+        for cohort in 0..2usize {
+            for ev in events(cohort * 2) {
+                direct.record(&ev);
+            }
+        }
+
+        let spliced = EventLog::new();
+        for cohort in 0..2usize {
+            let buffer = EventLog::new();
+            for ev in events(0) {
+                buffer.record(&ev);
+            }
+            spliced.extend(
+                buffer
+                    .take()
+                    .into_iter()
+                    .map(|e| e.with_user_offset(cohort * 2)),
+            );
+        }
+        assert_eq!(spliced.to_jsonl(), direct.to_jsonl());
+    }
+
+    #[test]
     fn event_log_jsonl_is_reproducible() {
         let make = || {
             let log = EventLog::new();

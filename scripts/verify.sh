@@ -79,7 +79,19 @@ cargo test -q --test robust_identity
 FEDSCHED_THREADS=4 cargo test -q --test robust_identity
 FEDSCHED_THREADS=8 cargo test -q --test robust_identity
 
+echo "==> event engine suite (lockstep-vs-event bit identity)"
+cargo test -q -p fedsched-core events
+cargo test -q -p fedsched-fl eventsim
+cargo test -q --test event_identity
+FEDSCHED_THREADS=4 cargo test -q --test event_identity
+FEDSCHED_THREADS=8 cargo test -q --test event_identity
+
 echo "==> scale smoke (engine speedup sweep + makespan parity)"
 cargo test -q -p fedsched-bench scaleout
+
+if [[ "$QUICK" -eq 0 ]]; then
+  echo "==> event engine scale smoke (parity at 1k, wall-clock win at 10k)"
+  cargo run -q --release -p fedsched-bench --bin exp_scale -- --event-check
+fi
 
 echo "==> verify OK"

@@ -1,0 +1,312 @@
+//! Differential lockstep-vs-event bit-identity tests.
+//!
+//! The discrete-event engine's contract is that *how* a round advances is
+//! invisible: draining a `(time, seq)` event queue must produce reports
+//! and telemetry byte-identical to the lockstep device scan, for every
+//! Table I testbed preset, under chaos fault plans, under adversary
+//! attack, hosted by the coordinator, and at 1, 2, 4 and 8 worker
+//! threads. CI re-runs this suite with `FEDSCHED_THREADS` forced to 4 and
+//! 8 so the default pool is exercised at several widths too.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use fedsched::core::Schedule;
+use fedsched::device::{Device, DeviceModel, Testbed, TrainingWorkload};
+use fedsched::faults::{AdversaryConfig, AttackKind, FaultConfig};
+use fedsched::fl::{AggregatorKind, DeadlinePolicy, EngineKind, RoundConfig, SimBuilder};
+use fedsched::net::{Link, RetryPolicy};
+use fedsched::telemetry::{EventLog, Probe};
+
+const SEED: u64 = 2020;
+const MODEL_BYTES: f64 = 2.5e6;
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn round_config(seed: u64) -> RoundConfig {
+    RoundConfig::new(
+        TrainingWorkload::lenet(),
+        Link::wifi_campus(),
+        MODEL_BYTES,
+        seed,
+    )
+}
+
+/// A mixed-model population of `n` devices (cycling Table I presets).
+fn population(n: usize, seed: u64) -> Vec<Device> {
+    let models = DeviceModel::all();
+    (0..n)
+        .map(|i| {
+            Device::from_model(
+                models[i % models.len()],
+                seed.wrapping_add(i as u64 * 0x9E37_79B9),
+            )
+        })
+        .collect()
+}
+
+fn uniform(n: usize, shards: usize) -> Schedule {
+    Schedule::new(vec![shards; n], 100.0)
+}
+
+fn chaos_plan() -> FaultConfig {
+    FaultConfig::none()
+        .with_crash_prob(0.25)
+        .with_loss_prob(0.15)
+        .with_churn_prob(0.05)
+}
+
+/// Run the engine with `customize`d knobs under `kind` and return
+/// `(debug-formatted report, trace bytes)`.
+fn engine_run(
+    devices: Vec<Device>,
+    schedule: &Schedule,
+    rounds: usize,
+    kind: EngineKind,
+    customize: impl FnOnce(SimBuilder) -> SimBuilder,
+) -> (String, String) {
+    let log = Arc::new(EventLog::new());
+    let mut eng = customize(SimBuilder::new(devices, round_config(SEED)))
+        .engine_kind(kind)
+        .probe(Probe::attached(log.clone()))
+        .build_engine()
+        .expect("engine config is valid");
+    let report = eng.run(schedule, rounds);
+    (format!("{report:?}"), log.to_jsonl())
+}
+
+#[test]
+fn every_testbed_preset_event_engine_matches_sequential_roundsim() {
+    for preset in 1..=3usize {
+        let tb = Testbed::by_index(preset, SEED);
+        let n = tb.devices().len();
+        let schedule = uniform(n, 10);
+
+        // Sequential quiet reference: a plain `RoundSim`.
+        let (want_timing, want_jsonl) = {
+            let log = Arc::new(EventLog::new());
+            let mut sim = SimBuilder::new(tb.devices().to_vec(), round_config(SEED))
+                .probe(Probe::attached(log.clone()))
+                .build_sim()
+                .expect("quiet sim config is valid");
+            let report = sim.run(&schedule, 3);
+            (format!("{report:?}"), log.to_jsonl())
+        };
+        assert!(!want_jsonl.is_empty());
+
+        for threads in THREAD_COUNTS {
+            let log = Arc::new(EventLog::new());
+            let mut eng = SimBuilder::new(tb.devices().to_vec(), round_config(SEED))
+                .cohort_size(n)
+                .threads(threads)
+                .engine_kind(EngineKind::EventDriven)
+                .probe(Probe::attached(log.clone()))
+                .build_engine()
+                .expect("quiet event engine config is valid");
+            let report = eng.run(&schedule, 3);
+            assert_eq!(
+                format!("{:?}", report.timing),
+                want_timing,
+                "testbed {preset}, threads {threads}: timing diverged"
+            );
+            assert_eq!(
+                log.to_jsonl(),
+                want_jsonl,
+                "testbed {preset}, threads {threads}: trace bytes diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn chaos_plan_event_engine_is_bit_identical_at_every_thread_count() {
+    let n = 8;
+    let rounds = 4;
+    let schedule = uniform(n, 3);
+    let knobs = |b: SimBuilder| {
+        b.cohort_size(n)
+            .faults(chaos_plan(), rounds)
+            .retry(RetryPolicy::default_chaos())
+            .deadline(DeadlinePolicy::MeanFactor(2.0))
+    };
+
+    let want = engine_run(
+        population(n, SEED),
+        &schedule,
+        rounds,
+        EngineKind::Lockstep,
+        |b| knobs(b).threads(1),
+    );
+    // The plan must actually contain faults, or this test proves nothing.
+    assert!(
+        want.1.contains("fault_injected") || want.1.contains("transfer_retry"),
+        "chaos config produced a quiet trace"
+    );
+
+    for threads in THREAD_COUNTS {
+        let got = engine_run(
+            population(n, SEED),
+            &schedule,
+            rounds,
+            EngineKind::EventDriven,
+            |b| knobs(b).threads(threads),
+        );
+        assert_eq!(got.0, want.0, "threads {threads}: chaos report diverged");
+        assert_eq!(got.1, want.1, "threads {threads}: chaos trace diverged");
+    }
+}
+
+#[test]
+fn sequential_event_sim_matches_resilient_with_every_knob_engaged() {
+    let n = 10;
+    let rounds = 5;
+    let schedule = uniform(n, 3);
+    let build = |devices: Vec<Device>| {
+        SimBuilder::new(devices, round_config(SEED))
+            .faults(chaos_plan(), rounds)
+            .retry(RetryPolicy::default_chaos())
+            .deadline(DeadlinePolicy::MeanFactor(1.5))
+            .rescue_soc_floor(0.1)
+            .aggregator(AggregatorKind::TrimmedMean { trim: 1 })
+            .adversary(
+                AdversaryConfig::none().with_attackers(0.3, AttackKind::SignFlip),
+                rounds,
+            )
+    };
+
+    let (want, want_jsonl) = {
+        let log = Arc::new(EventLog::new());
+        let mut sim = build(population(n, SEED))
+            .probe(Probe::attached(log.clone()))
+            .build_resilient()
+            .expect("resilient config is valid");
+        (format!("{:?}", sim.run(&schedule, rounds)), log.to_jsonl())
+    };
+    let (got, got_jsonl) = {
+        let log = Arc::new(EventLog::new());
+        let mut sim = build(population(n, SEED))
+            .probe(Probe::attached(log.clone()))
+            .build_event_sim()
+            .expect("event sim config is valid");
+        (format!("{:?}", sim.run(&schedule, rounds)), log.to_jsonl())
+    };
+    assert_eq!(got, want, "full-knob event report diverged");
+    assert_eq!(got_jsonl, want_jsonl, "full-knob event trace diverged");
+}
+
+#[test]
+fn attacked_event_engine_is_bit_identical_at_every_thread_count() {
+    let n = 8;
+    let rounds = 3;
+    let schedule = uniform(n, 3);
+    let knobs = |b: SimBuilder| {
+        b.cohort_size(4)
+            .faults(
+                FaultConfig::none().with_crash_prob(0.2).with_loss_prob(0.1),
+                rounds,
+            )
+            .aggregator(AggregatorKind::TrimmedMean { trim: 1 })
+            .adversary(
+                AdversaryConfig::none().with_attackers(0.5, AttackKind::SignFlip),
+                rounds,
+            )
+    };
+
+    let want = engine_run(
+        population(n, SEED),
+        &schedule,
+        rounds,
+        EngineKind::Lockstep,
+        |b| knobs(b).threads(1),
+    );
+    assert!(
+        want.1.contains("robust_aggregate"),
+        "attack preset must engage the robust layer"
+    );
+
+    for threads in THREAD_COUNTS {
+        let got = engine_run(
+            population(n, SEED),
+            &schedule,
+            rounds,
+            EngineKind::EventDriven,
+            |b| knobs(b).threads(threads),
+        );
+        assert_eq!(got.0, want.0, "threads {threads}: attacked report diverged");
+        assert_eq!(got.1, want.1, "threads {threads}: attacked trace diverged");
+    }
+}
+
+/// The coordinator resolves one global deadline against pooled
+/// predictions and pushes it into every cohort before the round runs —
+/// the event cohorts must accept it through the same `set_deadline` seam
+/// and replay the round byte-identically.
+#[test]
+fn coordinator_hosts_event_cohorts_unchanged() {
+    let n = 24;
+    let rounds = 3;
+    let schedule = uniform(n, 5);
+    let run = |kind: EngineKind, threads: usize| {
+        let log = Arc::new(EventLog::new());
+        let mut coord = SimBuilder::new(population(n, SEED), round_config(SEED))
+            .cohort_size(6)
+            .threads(threads)
+            .faults(chaos_plan(), rounds)
+            .retry(RetryPolicy::default_chaos())
+            .deadline(DeadlinePolicy::MeanFactor(1.5))
+            .engine_kind(kind)
+            .probe(Probe::attached(log.clone()))
+            .build_coordinator()
+            .expect("coordinator config is valid");
+        let report = coord.run(&schedule, rounds);
+        (format!("{report:?}"), log.to_jsonl())
+    };
+
+    let want = run(EngineKind::Lockstep, 1);
+    for threads in THREAD_COUNTS {
+        let got = run(EngineKind::EventDriven, threads);
+        assert_eq!(
+            got.0, want.0,
+            "threads {threads}: coordinator report diverged"
+        );
+        assert_eq!(
+            got.1, want.1,
+            "threads {threads}: coordinator trace diverged"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random (population, cohort size, threads, seed, fault mix)
+    /// geometry: the event engine's report equals the lockstep engine's
+    /// exactly, including chaotic configurations with rescue and churn.
+    #[test]
+    fn event_engine_matches_lockstep_for_random_geometry(
+        n in 1usize..40,
+        cohort_size in 1usize..12,
+        threads in 1usize..8,
+        seed in 0u64..500,
+        shards in 1usize..4,
+        crash_pct in 0u32..35,
+    ) {
+        let rounds = 2;
+        let schedule = uniform(n, shards);
+        let config = FaultConfig::none()
+            .with_crash_prob(f64::from(crash_pct) / 100.0)
+            .with_loss_prob(0.1);
+        let run = |kind: EngineKind| {
+            SimBuilder::new(population(n, seed), round_config(seed))
+                .cohort_size(cohort_size)
+                .threads(threads)
+                .faults(config.clone(), rounds)
+                .retry(RetryPolicy::default_chaos())
+                .engine_kind(kind)
+                .build_engine()
+                .expect("random geometry config is valid")
+                .run(&schedule, rounds)
+        };
+        prop_assert_eq!(run(EngineKind::EventDriven), run(EngineKind::Lockstep));
+    }
+}

@@ -22,7 +22,7 @@ use std::sync::Arc;
 use fedsched::core::{CostMatrix, FedLbap, Scheduler};
 use fedsched::device::{Device, DeviceModel, Testbed, TrainingWorkload};
 use fedsched::faults::FaultConfig;
-use fedsched::fl::{RoundConfig, SimBuilder};
+use fedsched::fl::{DeadlinePolicy, EngineKind, RoundConfig, SimBuilder};
 use fedsched::net::{Link, RetryPolicy};
 use fedsched::telemetry::{EventLog, Probe};
 
@@ -40,8 +40,14 @@ fn attack_golden_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/attacked_multicohort.jsonl")
 }
 
+fn event_golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/event_multicohort.jsonl")
+}
+
 /// Run the fixed scenario and return its telemetry stream as JSONL.
-fn trace() -> String {
+/// With `event` set, the replay goes through the discrete-event sim
+/// instead of the lockstep scan — the bytes must not change.
+fn trace_with(event: bool) -> String {
     let log = Arc::new(EventLog::new());
     let probe = Probe::attached(log.clone());
 
@@ -61,22 +67,32 @@ fn trace() -> String {
     let costs = CostMatrix::from_profiles(&profiles, 60, 100.0, &[0.5; 4]);
     let schedule = FedLbap.schedule_traced(&costs, &probe).expect("feasible");
 
-    let mut sim = SimBuilder::new(
+    let builder = SimBuilder::new(
         testbed.devices().to_vec(),
         RoundConfig::new(wl, Link::new(100.0, 100.0, 0.0, 0.0), 2.5e6, SEED),
     )
-    .probe(probe)
-    .build_sim()
-    .expect("golden sim config is valid");
-    let _ = sim.run(&schedule, 3);
+    .probe(probe);
+    if event {
+        let mut sim = builder
+            .build_event_sim()
+            .expect("golden sim config is valid");
+        let _ = sim.run(&schedule, 3);
+    } else {
+        let mut sim = builder.build_sim().expect("golden sim config is valid");
+        let _ = sim.run(&schedule, 3);
+    }
     log.to_jsonl()
+}
+
+fn trace() -> String {
+    trace_with(false)
 }
 
 /// Chaos preset: a two-cohort parallel engine run under crashes, packet
 /// loss and retries. Pins the resilient path's event vocabulary *and* the
 /// engine's cohort splicing (user-index remapping, cohort-ordered merge) in
 /// golden form — the engine guarantees these bytes are thread-invariant.
-fn chaos_trace() -> String {
+fn chaos_trace_with(kind: EngineKind) -> String {
     let log = Arc::new(EventLog::new());
     let models = DeviceModel::all();
     let devices: Vec<Device> = (0..8)
@@ -103,6 +119,7 @@ fn chaos_trace() -> String {
     .threads(4)
     .faults(config, 3)
     .retry(RetryPolicy::default_chaos())
+    .engine_kind(kind)
     .probe(Probe::attached(log.clone()))
     .build_engine()
     .expect("golden chaos engine config is valid");
@@ -110,12 +127,16 @@ fn chaos_trace() -> String {
     log.to_jsonl()
 }
 
+fn chaos_trace() -> String {
+    chaos_trace_with(EngineKind::Lockstep)
+}
+
 /// Byzantine preset: the same two-cohort engine under a sign-flip adversary
 /// with trimmed-mean aggregation and correlated group outages. Pins the
 /// robustness event vocabulary (`update_rejected`, `robust_aggregate`,
 /// `group_outage`) and the per-cohort adversary-plan derivation in golden
 /// form.
-fn attack_trace() -> String {
+fn attack_trace_with(kind: EngineKind) -> String {
     use fedsched::faults::{AdversaryConfig, AttackKind};
     use fedsched::fl::AggregatorKind;
     let log = Arc::new(EventLog::new());
@@ -149,9 +170,56 @@ fn attack_trace() -> String {
     .adversary(adversary, 3)
     .aggregator(AggregatorKind::TrimmedMean { trim: 1 })
     .retry(RetryPolicy::default_chaos())
+    .engine_kind(kind)
     .probe(Probe::attached(log.clone()))
     .build_engine()
     .expect("golden attack engine config is valid");
+    let _ = engine.run(&fedsched::core::Schedule::new(vec![3; 8], 100.0), 3);
+    log.to_jsonl()
+}
+
+fn attack_trace() -> String {
+    attack_trace_with(EngineKind::Lockstep)
+}
+
+/// Event preset: a two-cohort *event-driven* engine under crashes, churn,
+/// packet loss and a fixed deadline tight enough to cut stragglers, so
+/// the mid-round rescue ledger engages. Pins the full event vocabulary —
+/// deadline cuts, `shards_reassigned`, retries — as produced by the
+/// discrete-event drain, in golden form.
+fn event_trace() -> String {
+    let log = Arc::new(EventLog::new());
+    let models = DeviceModel::all();
+    let devices: Vec<Device> = (0..8)
+        .map(|i| {
+            Device::from_model(
+                models[i % models.len()],
+                SEED.wrapping_add(i as u64 * 0x9E37_79B9),
+            )
+        })
+        .collect();
+    let config = FaultConfig::none()
+        .with_crash_prob(0.3)
+        .with_loss_prob(0.15)
+        .with_churn_prob(0.1);
+    let mut engine = SimBuilder::new(
+        devices,
+        RoundConfig::new(
+            TrainingWorkload::lenet(),
+            Link::new(100.0, 100.0, 0.0, 0.0),
+            2.5e6,
+            SEED,
+        ),
+    )
+    .cohort_size(4)
+    .threads(4)
+    .faults(config, 3)
+    .retry(RetryPolicy::default_chaos())
+    .deadline(DeadlinePolicy::Fixed(55.0))
+    .engine_kind(EngineKind::EventDriven)
+    .probe(Probe::attached(log.clone()))
+    .build_engine()
+    .expect("golden event engine config is valid");
     let _ = engine.run(&fedsched::core::Schedule::new(vec![3; 8], 100.0), 3);
     log.to_jsonl()
 }
@@ -264,4 +332,56 @@ fn attack_trace_matches_golden_snapshot() {
         "attack preset never downed a failure domain:\n{got}"
     );
     assert_matches_golden(&got, &attack_golden_path());
+}
+
+/// Every pre-existing golden scenario must replay byte-identically when
+/// the rounds advance through the discrete-event queue instead of the
+/// lockstep scan. The lockstep side of each pair is pinned to its
+/// checked-in snapshot by the tests above, so equality here extends the
+/// golden guarantee to the event path without a second writer racing
+/// `UPDATE_GOLDEN` regeneration.
+#[test]
+fn golden_scenarios_replay_byte_identical_through_event_path() {
+    assert_eq!(
+        trace_with(true),
+        trace(),
+        "table1_presets golden diverged through the event sim"
+    );
+    assert_eq!(
+        chaos_trace_with(EngineKind::EventDriven),
+        chaos_trace(),
+        "chaos_multicohort golden diverged through the event engine"
+    );
+    assert_eq!(
+        attack_trace_with(EngineKind::EventDriven),
+        attack_trace(),
+        "attacked_multicohort golden diverged through the event engine"
+    );
+}
+
+#[test]
+fn event_trace_is_byte_identical_across_invocations() {
+    assert_eq!(
+        event_trace(),
+        event_trace(),
+        "same seed must give the same bytes"
+    );
+}
+
+#[test]
+fn event_trace_matches_golden_snapshot() {
+    let got = event_trace();
+    assert!(
+        got.contains("\"ev\":\"fault_injected\""),
+        "event preset produced a quiet trace:\n{got}"
+    );
+    assert!(
+        got.contains("\"ev\":\"shards_reassigned\""),
+        "event preset never engaged mid-round rescue:\n{got}"
+    );
+    assert!(
+        got.contains("\"ev\":\"round_end\""),
+        "missing round_end:\n{got}"
+    );
+    assert_matches_golden(&got, &event_golden_path());
 }
