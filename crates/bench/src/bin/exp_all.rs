@@ -18,4 +18,5 @@ fn main() {
     println!("{}", table5::render(&table5::run(scale, 42)));
     println!("{}", chaos::render(&chaos::run(scale, 42)));
     println!("{}", attack::render(&attack::run(scale, 2020)));
+    println!("{}", churn::render(&churn::run(scale, 42)));
 }

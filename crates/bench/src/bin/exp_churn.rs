@@ -1,0 +1,9 @@
+//! Regenerates the churn sweep: mid-round arrivals/departures on the event core.
+use fedsched_bench::{churn, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("[exp_churn] scale = {}", scale.name());
+    let sweep = churn::run(scale, 42);
+    println!("{}", churn::render(&sweep));
+}

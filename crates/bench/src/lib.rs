@@ -26,12 +26,14 @@
 //! | Chaos sweep (crashes, lossy links) | [`chaos`] | `exp_chaos` |
 //! | Scale-out sweep (multi-cohort engine) | [`scaleout`] | `exp_scale` |
 //! | Attack sweep (Byzantine adversaries, group outages) | [`attack`] | `exp_attack` |
+//! | Churn sweep (mid-round arrivals/departures) | [`churn`] | `exp_churn` |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod attack;
 pub mod chaos;
+pub mod churn;
 pub mod common;
 pub mod fig1;
 pub mod fig2;

@@ -33,6 +33,70 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
 
+/// Continuous mid-round churn process: per-device exponential departure
+/// and arrival clocks, sampled per round from a hash-derived counter
+/// stream (never the plan's main RNG, so adding churn leaves every other
+/// fate byte-identical).
+///
+/// Each round, each device draws one departure time and one arrival time
+/// `t = -ln(1 - u) / rate` (exponential with the given rate, in simulated
+/// seconds from round start). The event *fires* iff the rate is positive
+/// and `t < horizon_s`; the draws themselves always happen, so two
+/// configs with the same seed disagree only where their rates do. How a
+/// fired cell is interpreted (orphaning, rescue, admission) is the round
+/// controller's business — see `fl::eventsim`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ChurnConfig {
+    /// Rate (events per simulated second) of the per-device departure
+    /// clock. Zero disables departures.
+    pub depart_rate: f64,
+    /// Rate of the per-device arrival (rejoin) clock for devices that are
+    /// currently out of the cohort. Zero disables arrivals.
+    pub arrive_rate: f64,
+    /// Churn events beyond this many seconds from round start do not fire
+    /// this round (set it near the expected round makespan).
+    pub horizon_s: f64,
+}
+
+impl ChurnConfig {
+    /// Symmetric process: equal departure and arrival rates.
+    pub fn symmetric(rate: f64, horizon_s: f64) -> Self {
+        ChurnConfig {
+            depart_rate: rate,
+            arrive_rate: rate,
+            horizon_s,
+        }
+    }
+
+    /// True when this process can never fire an event.
+    pub fn is_quiet(&self) -> bool {
+        self.depart_rate == 0.0 && self.arrive_rate == 0.0
+    }
+
+    /// Check every knob is in range.
+    ///
+    /// # Panics
+    /// Panics on negative or non-finite rates, or a non-positive horizon
+    /// while any rate is positive.
+    pub fn validate(&self) {
+        for (name, r) in [
+            ("depart_rate", self.depart_rate),
+            ("arrive_rate", self.arrive_rate),
+        ] {
+            assert!(
+                r >= 0.0 && r.is_finite(),
+                "{name} must be a finite non-negative rate, got {r}"
+            );
+        }
+        if !self.is_quiet() {
+            assert!(
+                self.horizon_s > 0.0 && self.horizon_s.is_finite(),
+                "churn horizon must be positive while a rate is nonzero"
+            );
+        }
+    }
+}
+
 /// Fault-model knobs. All probabilities are per device per round (crash,
 /// churn, contention) or per transfer attempt (loss); an all-zero config
 /// injects nothing.
@@ -68,6 +132,10 @@ pub struct FaultConfig {
     pub group_count: usize,
     /// Rounds a downed failure domain stays offline.
     pub group_outage_rounds: usize,
+    /// Continuous mid-round arrival/departure process. `None` (the
+    /// default) generates no churn timeline at all, keeping legacy plans
+    /// byte-identical. Only the event-driven engine interprets it.
+    pub churn_process: Option<ChurnConfig>,
 }
 
 impl FaultConfig {
@@ -86,6 +154,7 @@ impl FaultConfig {
             group_outage_prob: 0.0,
             group_count: 1,
             group_outage_rounds: 1,
+            churn_process: None,
         }
     }
 
@@ -102,8 +171,57 @@ impl FaultConfig {
     }
 
     /// Set the per-round churn probability.
+    ///
+    /// **Deprecated path** — this is the legacy round-boundary fate table:
+    /// the whole round's departure is decided by one per-round coin and
+    /// lowered onto a mid-round crash-like fate. Prefer
+    /// [`FaultConfig::with_churn_process`], which models arrivals and
+    /// departures as timed events on the simulated clock. The knob is kept
+    /// (not removed) because existing plans must replay byte-identically;
+    /// [`FaultConfig::lower_churn_prob`] bridges a legacy config onto the
+    /// event process at matched per-round intensity.
     pub fn with_churn_prob(mut self, p: f64) -> Self {
         self.churn_prob = p;
+        self
+    }
+
+    /// Set the continuous mid-round arrival/departure process.
+    pub fn with_churn_process(mut self, churn: ChurnConfig) -> Self {
+        self.churn_process = Some(churn);
+        self
+    }
+
+    /// Bridge the legacy per-round churn fate path onto the event process:
+    /// moves [`FaultConfig::churn_prob`] `p` into an equivalent-intensity
+    /// departure process over `horizon_s` (rate `-ln(1-p)/horizon`, so the
+    /// probability of at least one departure event per round-horizon equals
+    /// `p`), with no arrivals — matching the legacy "departures are
+    /// permanent" semantics.
+    ///
+    /// Lowering a config with `churn_prob == 0` is the identity on the
+    /// generated plan: the resulting quiet process draws nothing.
+    ///
+    /// # Panics
+    /// Panics when `churn_prob == 1` (no finite rate reproduces a certain
+    /// departure) or when `horizon_s` is not positive and finite.
+    pub fn lower_churn_prob(mut self, horizon_s: f64) -> Self {
+        assert!(
+            self.churn_prob < 1.0,
+            "churn_prob 1.0 has no finite-rate equivalent"
+        );
+        assert!(
+            horizon_s > 0.0 && horizon_s.is_finite(),
+            "lowering horizon must be positive"
+        );
+        let rate = -(1.0 - self.churn_prob).ln() / horizon_s;
+        self.churn_prob = 0.0;
+        if rate > 0.0 {
+            self.churn_process = Some(ChurnConfig {
+                depart_rate: rate,
+                arrive_rate: 0.0,
+                horizon_s,
+            });
+        }
         self
     }
 
@@ -140,6 +258,10 @@ impl FaultConfig {
             && self.loss_prob == 0.0
             && self.outage_prob == 0.0
             && self.group_outage_prob == 0.0
+            && self
+                .churn_process
+                .as_ref()
+                .is_none_or(ChurnConfig::is_quiet)
     }
 
     /// Check every knob is in range.
@@ -178,6 +300,9 @@ impl FaultConfig {
                 self.group_outage_rounds >= 1,
                 "group outage duration must be at least one round"
             );
+        }
+        if let Some(churn) = &self.churn_process {
+            churn.validate();
         }
     }
 }
@@ -238,6 +363,12 @@ pub struct FaultPlan {
     /// Devices departed by the end of the plan (fate carried past the
     /// planned horizon).
     departed_at_end: Vec<bool>,
+    /// Mid-round departure times, row-major like `fates`; empty unless a
+    /// churn process is configured. `Some(t)` = the device's departure
+    /// clock fired `t` seconds into the round.
+    churn_departs: Vec<Option<f64>>,
+    /// Mid-round arrival times, same layout as `churn_departs`.
+    churn_arrives: Vec<Option<f64>>,
 }
 
 impl FaultPlan {
@@ -331,6 +462,35 @@ impl FaultPlan {
             }
         }
 
+        // The continuous churn timeline is overlaid from its own salted
+        // stream, after the frozen draws above, for the same reason as the
+        // group outages: configs without a churn process generate not a
+        // single extra draw, so legacy plans stay byte-identical. Both
+        // clocks are sampled for every (round, device) cell regardless of
+        // whether they fire.
+        let mut churn_departs = Vec::new();
+        let mut churn_arrives = Vec::new();
+        if let Some(churn) = config.churn_process.as_ref().filter(|c| !c.is_quiet()) {
+            let mut stream = DrawStream::new(seed ^ 0x6368_7572_6e5f_6576); // "churn_ev"
+            let exp_sample = |rate: f64, u: f64, horizon: f64| {
+                if rate <= 0.0 {
+                    return None;
+                }
+                let t = -(1.0 - u).ln() / rate;
+                (t < horizon).then_some(t)
+            };
+            churn_departs.reserve(n_devices * n_rounds);
+            churn_arrives.reserve(n_devices * n_rounds);
+            for _round in 0..n_rounds {
+                for _j in 0..n_devices {
+                    let dep_u = stream.next_u01();
+                    let arr_u = stream.next_u01();
+                    churn_departs.push(exp_sample(churn.depart_rate, dep_u, churn.horizon_s));
+                    churn_arrives.push(exp_sample(churn.arrive_rate, arr_u, churn.horizon_s));
+                }
+            }
+        }
+
         FaultPlan {
             config,
             n_devices,
@@ -341,6 +501,8 @@ impl FaultPlan {
             outages,
             group_outages,
             departed_at_end: departed,
+            churn_departs,
+            churn_arrives,
         }
     }
 
@@ -422,6 +584,40 @@ impl FaultPlan {
         (group..self.n_devices).step_by(n_groups).collect()
     }
 
+    /// Whether this plan carries a live churn timeline.
+    pub fn churn_active(&self) -> bool {
+        !self.churn_departs.is_empty()
+    }
+
+    /// Mid-round departure time of `device` in `round`, seconds from round
+    /// start, if its departure clock fires within the churn horizon.
+    /// Always `None` past the planned horizon or without a churn process.
+    ///
+    /// # Panics
+    /// Panics if `device >= n_devices`.
+    pub fn departure_at(&self, round: usize, device: usize) -> Option<f64> {
+        assert!(device < self.n_devices, "device index out of range");
+        if !self.churn_active() || round >= self.n_rounds {
+            return None;
+        }
+        self.churn_departs[round * self.n_devices + device]
+    }
+
+    /// Mid-round arrival (rejoin) time of `device` in `round` — meaningful
+    /// only when the device is out of the cohort at round start; the round
+    /// controller ignores the cell otherwise. Same bounds behaviour as
+    /// [`FaultPlan::departure_at`].
+    ///
+    /// # Panics
+    /// Panics if `device >= n_devices`.
+    pub fn arrival_at(&self, round: usize, device: usize) -> Option<f64> {
+        assert!(device < self.n_devices, "device index out of range");
+        if !self.churn_active() || round >= self.n_rounds {
+            return None;
+        }
+        self.churn_arrives[round * self.n_devices + device]
+    }
+
     /// A stable 64-bit digest of the whole plan — two plans with the same
     /// fingerprint injected the same faults. Used by replay-identity tests.
     pub fn fingerprint(&self) -> u64 {
@@ -456,6 +652,17 @@ impl FaultPlan {
             for (g, d) in starts {
                 mix(*g as u64);
                 mix(*d as u64);
+            }
+        }
+        // Churn cells are mixed only when a timeline exists, so legacy
+        // fingerprints (no churn process) are unchanged by the knob.
+        for cell in self.churn_departs.iter().chain(&self.churn_arrives) {
+            match cell {
+                Some(t) => {
+                    mix(1);
+                    mix(t.to_bits());
+                }
+                None => mix(0),
             }
         }
         h
@@ -549,6 +756,22 @@ impl FaultInjector {
     /// Per-transfer loss probability from the config.
     pub fn loss_prob(&self) -> f64 {
         self.plan.config.loss_prob
+    }
+
+    /// Whether the plan carries a live churn timeline (see
+    /// [`FaultPlan::churn_active`]).
+    pub fn churn_active(&self) -> bool {
+        self.plan.churn_active()
+    }
+
+    /// Mid-round departure time (see [`FaultPlan::departure_at`]).
+    pub fn departure_at(&self, round: usize, device: usize) -> Option<f64> {
+        self.plan.departure_at(round, device)
+    }
+
+    /// Mid-round arrival time (see [`FaultPlan::arrival_at`]).
+    pub fn arrival_at(&self, round: usize, device: usize) -> Option<f64> {
+        self.plan.arrival_at(round, device)
     }
 
     /// A deterministic draw stream scoped to `(round, channel)` — use a
@@ -741,6 +964,157 @@ mod tests {
         let plan = FaultPlan::generate(FaultConfig::none(), 3, 5, 1);
         assert!(plan.group_outages(0).is_empty());
         assert_eq!(plan.group_of(0), None);
+    }
+
+    #[test]
+    fn churn_process_leaves_base_plan_byte_identical() {
+        // The churn timeline comes from its own salted stream: every fate,
+        // contention cell and outage window of the base plan is unchanged,
+        // and only the fingerprint (which mixes the new cells) moves.
+        let base = FaultPlan::generate(chaos_config(), 6, 40, 42);
+        let churned = FaultPlan::generate(
+            chaos_config().with_churn_process(ChurnConfig::symmetric(0.02, 50.0)),
+            6,
+            40,
+            42,
+        );
+        for r in 0..40 {
+            for j in 0..6 {
+                assert_eq!(base.fate(r, j), churned.fate(r, j), "round {r} dev {j}");
+                assert_eq!(base.contention(r, j), churned.contention(r, j));
+            }
+            assert_eq!(base.outages(r), churned.outages(r));
+        }
+        assert!(churned.churn_active());
+        assert!(!base.churn_active());
+        assert_ne!(base.fingerprint(), churned.fingerprint());
+    }
+
+    #[test]
+    fn quiet_churn_process_draws_nothing() {
+        // Rate 0 generates no timeline at all: the plan (and fingerprint)
+        // is byte-identical to one with no churn process configured.
+        let base = FaultPlan::generate(chaos_config(), 6, 40, 42);
+        let quiet = FaultPlan::generate(
+            chaos_config().with_churn_process(ChurnConfig::symmetric(0.0, 50.0)),
+            6,
+            40,
+            42,
+        );
+        assert!(!quiet.churn_active());
+        assert_eq!(base.fingerprint(), quiet.fingerprint());
+        assert_eq!(quiet.departure_at(0, 0), None);
+        assert_eq!(quiet.arrival_at(0, 0), None);
+        assert!(FaultConfig::none()
+            .with_churn_process(ChurnConfig::symmetric(0.0, 50.0))
+            .is_quiet());
+        assert!(!FaultConfig::none()
+            .with_churn_process(ChurnConfig::symmetric(0.1, 50.0))
+            .is_quiet());
+    }
+
+    #[test]
+    fn churn_times_replay_and_respect_the_horizon() {
+        let config = FaultConfig::none().with_churn_process(ChurnConfig {
+            depart_rate: 0.05,
+            arrive_rate: 0.02,
+            horizon_s: 40.0,
+        });
+        let a = FaultPlan::generate(config.clone(), 5, 30, 9);
+        let b = FaultPlan::generate(config, 5, 30, 9);
+        assert_eq!(a, b);
+        let mut fired = 0usize;
+        for r in 0..30 {
+            for j in 0..5 {
+                assert_eq!(a.departure_at(r, j), b.departure_at(r, j));
+                for t in [a.departure_at(r, j), a.arrival_at(r, j)]
+                    .into_iter()
+                    .flatten()
+                {
+                    assert!((0.0..40.0).contains(&t), "churn time {t} out of horizon");
+                    fired += 1;
+                }
+            }
+        }
+        assert!(fired > 0, "a nonzero-rate process must fire somewhere");
+        // Past the planned horizon nothing fires.
+        assert_eq!(a.departure_at(30, 0), None);
+        assert_eq!(a.arrival_at(30, 0), None);
+    }
+
+    #[test]
+    fn lowering_legacy_churn_matches_per_round_intensity() {
+        // The bridge converts churn_prob p into a departure process whose
+        // probability of firing within the horizon is exactly p; check the
+        // empirical per-cell departure frequency over many cells.
+        let p = 0.3;
+        let lowered = FaultConfig::none()
+            .with_churn_prob(p)
+            .lower_churn_prob(25.0);
+        assert_eq!(lowered.churn_prob, 0.0);
+        let churn = lowered.churn_process.expect("bridge installs a process");
+        assert_eq!(churn.arrive_rate, 0.0);
+        let plan = FaultPlan::generate(lowered, 40, 250, 77);
+        let mut fired = 0usize;
+        let cells = 40 * 250;
+        for r in 0..250 {
+            for j in 0..40 {
+                if plan.departure_at(r, j).is_some() {
+                    fired += 1;
+                }
+            }
+        }
+        let freq = fired as f64 / cells as f64;
+        assert!(
+            (freq - p).abs() < 0.02,
+            "lowered departure frequency {freq} far from churn_prob {p}"
+        );
+    }
+
+    #[test]
+    fn lowering_zero_churn_is_the_identity() {
+        let base = FaultPlan::generate(chaos_config().with_churn_prob(0.0), 6, 40, 42);
+        let lowered = FaultPlan::generate(
+            chaos_config().with_churn_prob(0.0).lower_churn_prob(25.0),
+            6,
+            40,
+            42,
+        );
+        assert_eq!(base.fingerprint(), lowered.fingerprint());
+        assert!(!lowered.churn_active());
+    }
+
+    #[test]
+    fn legacy_boundary_churn_fingerprint_is_pinned() {
+        // Plans that churn only through the legacy per-round fate table
+        // must replay byte-identically forever: pin the digest so neither
+        // the main draw order nor the fingerprint mix can silently move.
+        let plan = FaultPlan::generate(FaultConfig::none().with_churn_prob(0.5), 4, 6, 42);
+        assert_eq!(plan.fingerprint(), 0xf3e7_e07b_714d_7223);
+        let replay = FaultPlan::generate(FaultConfig::none().with_churn_prob(0.5), 4, 6, 42);
+        assert_eq!(plan.fingerprint(), replay.fingerprint());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite non-negative rate")]
+    fn negative_churn_rate_rejected() {
+        let _ = FaultPlan::generate(
+            FaultConfig::none().with_churn_process(ChurnConfig::symmetric(-0.1, 10.0)),
+            2,
+            5,
+            0,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon must be positive")]
+    fn zero_churn_horizon_rejected() {
+        let _ = FaultPlan::generate(
+            FaultConfig::none().with_churn_process(ChurnConfig::symmetric(0.1, 0.0)),
+            2,
+            5,
+            0,
+        );
     }
 
     #[test]

@@ -28,7 +28,7 @@ use std::fmt;
 
 use fedsched_core::{DeadlinePolicy, Scheduler};
 use fedsched_device::{Device, TrainingWorkload};
-use fedsched_faults::{AdversaryConfig, AdversaryPlan, FaultConfig, FaultInjector};
+use fedsched_faults::{AdversaryConfig, AdversaryPlan, ChurnConfig, FaultConfig, FaultInjector};
 use fedsched_net::{Link, RetryPolicy};
 use fedsched_profiler::LinearProfile;
 use fedsched_robust::AggregatorKind;
@@ -36,7 +36,7 @@ use fedsched_telemetry::Probe;
 
 use crate::cohorts::{ChaosOptions, EngineKind, ParallelRoundEngine};
 use crate::coordinator::{CoordinationMode, Coordinator};
-use crate::eventsim::EventRoundSim;
+use crate::eventsim::{AdmissionPolicy, EventRoundSim};
 use crate::resilient::ResilientRoundSim;
 use crate::roundsim::RoundSim;
 
@@ -84,6 +84,9 @@ pub enum ConfigError {
     InvalidAggregator(&'static str),
     /// Malformed adversary configuration; the payload is the violated rule.
     InvalidAdversary(&'static str),
+    /// Malformed churn process or admission policy combination; the
+    /// payload is the violated rule.
+    InvalidChurn(&'static str),
 }
 
 impl ConfigError {
@@ -103,6 +106,7 @@ impl ConfigError {
             ConfigError::ZeroRescheduleInterval => "zero_reschedule_interval",
             ConfigError::InvalidAggregator(_) => "invalid_aggregator",
             ConfigError::InvalidAdversary(_) => "invalid_adversary",
+            ConfigError::InvalidChurn(_) => "invalid_churn",
         }
     }
 }
@@ -140,6 +144,9 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::InvalidAdversary(rule) => {
                 write!(f, "invalid adversary config: {rule}")
+            }
+            ConfigError::InvalidChurn(rule) => {
+                write!(f, "invalid churn config: {rule}")
             }
         }
     }
@@ -207,6 +214,8 @@ pub struct SimBuilder {
     aggregator: Option<AggregatorKind>,
     adversary: Option<(AdversaryConfig, usize)>,
     engine_kind: Option<EngineKind>,
+    churn: Option<ChurnConfig>,
+    admission: Option<AdmissionPolicy>,
 }
 
 impl SimBuilder {
@@ -230,6 +239,8 @@ impl SimBuilder {
             aggregator: None,
             adversary: None,
             engine_kind: None,
+            churn: None,
+            admission: None,
         }
     }
 
@@ -338,6 +349,25 @@ impl SimBuilder {
         self
     }
 
+    /// Continuous mid-round churn: devices arrive and depart inside
+    /// rounds at seed-derived exponential times (event-driven targets
+    /// only — [`build_event_sim`](SimBuilder::build_event_sim) or an
+    /// [`EngineKind::EventDriven`] engine/coordinator). Requires a fault
+    /// source ([`faults`](SimBuilder::faults)) because churn timelines
+    /// ride on the fault plan; lockstep targets reject the knob with
+    /// [`ConfigError::UnsupportedOption`].
+    pub fn churn(mut self, config: ChurnConfig) -> Self {
+        self.churn = Some(config);
+        self
+    }
+
+    /// What to do with devices that arrive mid-round (event-driven
+    /// targets only; requires [`churn`](SimBuilder::churn)).
+    pub fn admission(mut self, policy: AdmissionPolicy) -> Self {
+        self.admission = Some(policy);
+        self
+    }
+
     /// Coordinate cohorts through a buffered asynchronous aggregator
     /// (coordinator only): merge as soon as `buffer` cohort updates are
     /// queued, discounting each by FedAsync staleness weight with base
@@ -359,6 +389,8 @@ impl SimBuilder {
             || self.priors.is_some()
             || self.aggregator.is_some_and(|k| !k.is_fedavg())
             || self.adversary.is_some()
+            || self.churn.is_some()
+            || self.admission.is_some()
     }
 
     /// The first chaos-only knob set, for precise error payloads.
@@ -381,9 +413,65 @@ impl SimBuilder {
             "priors"
         } else if self.adversary.is_some() {
             "adversary"
+        } else if self.churn.is_some() {
+            "churn"
+        } else if self.admission.is_some() {
+            "admission"
         } else {
             "aggregator"
         }
+    }
+
+    /// Validate the churn/admission knob combination and, when a churn
+    /// process is configured, fold it into the fault config so per-cohort
+    /// injectors derive their churn timelines from cohort seeds.
+    fn take_churn(&mut self) -> Result<Option<AdmissionPolicy>, ConfigError> {
+        let admission = self.admission.take();
+        if admission.is_some() && self.churn.is_none() {
+            return Err(ConfigError::InvalidChurn(
+                "admission requires a churn process",
+            ));
+        }
+        if let Some(cfg) = self.churn.take() {
+            let rate_ok = |r: f64| r.is_finite() && r >= 0.0;
+            if !rate_ok(cfg.depart_rate) || !rate_ok(cfg.arrive_rate) {
+                return Err(ConfigError::InvalidChurn(
+                    "rates must be finite and non-negative",
+                ));
+            }
+            if (cfg.depart_rate > 0.0 || cfg.arrive_rate > 0.0)
+                && !(cfg.horizon_s > 0.0 && cfg.horizon_s.is_finite())
+            {
+                return Err(ConfigError::InvalidChurn(
+                    "horizon must be positive while a rate is nonzero",
+                ));
+            }
+            match &mut self.faults {
+                Some((fc, _)) => *fc = fc.clone().with_churn_process(cfg),
+                None => {
+                    return Err(ConfigError::InvalidChurn(
+                        "churn requires a fault source (faults(..))",
+                    ))
+                }
+            }
+        }
+        Ok(admission)
+    }
+
+    /// True iff a churn timeline reached this builder by any route — the
+    /// `churn(..)` knob, a fault config carrying a churn process, or a
+    /// pre-built injector whose plan has churn cells. Lockstep targets
+    /// reject all of them.
+    fn carries_churn(&self) -> bool {
+        self.churn.is_some()
+            || self
+                .faults
+                .as_ref()
+                .is_some_and(|(fc, _)| fc.churn_process.is_some_and(|c| !c.is_quiet()))
+            || self
+                .injector
+                .as_ref()
+                .is_some_and(|inj| inj.plan().churn_active())
     }
 
     fn check_aggregator(&self) -> Result<AggregatorKind, ConfigError> {
@@ -465,7 +553,27 @@ impl SimBuilder {
     /// Build a sequential fault-tolerant [`ResilientRoundSim`]. With no
     /// fault source configured the injector is quiet, which is
     /// bit-identical to [`RoundSim`] by the crate's determinism contract.
+    ///
+    /// The lockstep sweep has no mid-round event stream, so churn by any
+    /// route — the [`churn`](SimBuilder::churn) knob, a fault config with
+    /// a churn process, or an injector with churn cells — is rejected
+    /// rather than silently ignored; so is
+    /// [`admission`](SimBuilder::admission).
     pub fn build_resilient(self) -> Result<ResilientRoundSim, ConfigError> {
+        if self.carries_churn() {
+            return Err(ConfigError::UnsupportedOption("churn"));
+        }
+        if self.admission.is_some() {
+            return Err(ConfigError::UnsupportedOption("admission"));
+        }
+        self.build_resilient_core()
+    }
+
+    /// [`build_resilient`](SimBuilder::build_resilient) minus the churn
+    /// rejections — the shared tail that
+    /// [`build_event_sim`](SimBuilder::build_event_sim) reaches after
+    /// folding churn into the fault config.
+    fn build_resilient_core(self) -> Result<ResilientRoundSim, ConfigError> {
         if self.cohort_size.is_some() {
             return Err(ConfigError::UnsupportedOption("cohort_size"));
         }
@@ -555,7 +663,12 @@ impl SimBuilder {
             return Err(ConfigError::UnsupportedOption("engine_kind"));
         }
         self.engine_kind = None;
-        Ok(EventRoundSim::new(self.build_resilient()?))
+        let admission = self.take_churn()?;
+        let mut sim = EventRoundSim::new(self.build_resilient_core()?);
+        if let Some(policy) = admission {
+            sim.set_admission(policy);
+        }
+        Ok(sim)
     }
 
     /// Build a [`ParallelRoundEngine`]. Any fault/deadline knob switches
@@ -613,7 +726,21 @@ impl SimBuilder {
         Ok(Coordinator::from_parts(engine, policy, mode))
     }
 
-    fn build_engine_with(self, force_chaos: bool) -> Result<ParallelRoundEngine, ConfigError> {
+    fn build_engine_with(mut self, force_chaos: bool) -> Result<ParallelRoundEngine, ConfigError> {
+        // Churn is an event-core feature: per-cohort event sims drain the
+        // arrive/depart stream; the lockstep sweep cannot, so anything but
+        // an explicit event-driven engine rejects it.
+        let admission = if self.engine_kind == Some(EngineKind::EventDriven) {
+            self.take_churn()?
+        } else {
+            if self.carries_churn() {
+                return Err(ConfigError::UnsupportedOption("churn"));
+            }
+            if self.admission.is_some() {
+                return Err(ConfigError::UnsupportedOption("admission"));
+            }
+            None
+        };
         self.check_deadline()?;
         self.check_retry()?;
         self.check_soc_floor()?;
@@ -655,6 +782,9 @@ impl SimBuilder {
                 .with_aggregator(aggregator);
             if let Some((adv, adv_rounds)) = adversary {
                 opts = opts.with_adversary(adv, adv_rounds);
+            }
+            if let Some(policy) = admission {
+                opts = opts.with_admission(policy);
             }
             if let Some(retry) = self.retry {
                 opts = opts.with_retry(retry);
@@ -872,6 +1002,92 @@ mod tests {
     }
 
     #[test]
+    fn churn_is_rejected_on_lockstep_targets() {
+        use fedsched_faults::ChurnConfig;
+        let churn = ChurnConfig::symmetric(0.05, 60.0);
+
+        let err = SimBuilder::new(devices(1), config(1))
+            .faults(FaultConfig::none(), 4)
+            .churn(churn)
+            .build_resilient()
+            .err()
+            .unwrap();
+        assert_eq!(err, ConfigError::UnsupportedOption("churn"));
+
+        // A churn process smuggled in through the fault config is caught
+        // too — lockstep would silently ignore the timeline otherwise.
+        let err = SimBuilder::new(devices(1), config(1))
+            .faults(FaultConfig::none().with_churn_process(churn), 4)
+            .build_resilient()
+            .err()
+            .unwrap();
+        assert_eq!(err, ConfigError::UnsupportedOption("churn"));
+
+        // Engine default (lockstep cohorts) rejects as well; the explicit
+        // event-driven engine accepts.
+        let err = SimBuilder::new(devices(1), config(1))
+            .faults(FaultConfig::none(), 4)
+            .churn(churn)
+            .build_engine()
+            .err()
+            .unwrap();
+        assert_eq!(err, ConfigError::UnsupportedOption("churn"));
+        assert!(SimBuilder::new(devices(1), config(1))
+            .faults(FaultConfig::none(), 4)
+            .churn(churn)
+            .engine_kind(EngineKind::EventDriven)
+            .build_engine()
+            .is_ok());
+
+        let err = SimBuilder::new(devices(1), config(1))
+            .faults(FaultConfig::none(), 4)
+            .churn(churn)
+            .admission(crate::AdmissionPolicy::MidRoundFill)
+            .build_resilient()
+            .err()
+            .unwrap();
+        assert_eq!(err, ConfigError::UnsupportedOption("churn"));
+    }
+
+    #[test]
+    fn malformed_churn_combinations_are_typed() {
+        use fedsched_faults::ChurnConfig;
+
+        // Churn with no fault source has no plan to ride on.
+        let err = SimBuilder::new(devices(1), config(1))
+            .churn(ChurnConfig::symmetric(0.05, 60.0))
+            .build_event_sim()
+            .err()
+            .unwrap();
+        assert_eq!(err.cause_code(), "invalid_churn");
+
+        // Admission without churn is a contradiction.
+        let err = SimBuilder::new(devices(1), config(1))
+            .faults(FaultConfig::none(), 4)
+            .admission(crate::AdmissionPolicy::NextRound)
+            .build_event_sim()
+            .err()
+            .unwrap();
+        assert_eq!(err.cause_code(), "invalid_churn");
+
+        // Malformed numeric knobs.
+        let err = SimBuilder::new(devices(1), config(1))
+            .faults(FaultConfig::none(), 4)
+            .churn(ChurnConfig::symmetric(-1.0, 60.0))
+            .build_event_sim()
+            .err()
+            .unwrap();
+        assert_eq!(err.cause_code(), "invalid_churn");
+        let err = SimBuilder::new(devices(1), config(1))
+            .faults(FaultConfig::none(), 4)
+            .churn(ChurnConfig::symmetric(0.05, 0.0))
+            .build_event_sim()
+            .err()
+            .unwrap();
+        assert_eq!(err.cause_code(), "invalid_churn");
+    }
+
+    #[test]
     fn configure_after_run_is_typed() {
         let mut engine = SimBuilder::new(devices(3), config(3))
             .build_engine()
@@ -911,6 +1127,7 @@ mod tests {
             ),
             (ConfigError::InvalidAggregator("x"), "invalid_aggregator"),
             (ConfigError::InvalidAdversary("x"), "invalid_adversary"),
+            (ConfigError::InvalidChurn("x"), "invalid_churn"),
         ];
         for (err, code) in cases {
             assert_eq!(err.cause_code(), code);

@@ -68,6 +68,15 @@ pub fn rescue_available(finish: f64, detection: f64) -> f64 {
     finish.max(detection)
 }
 
+/// When a mid-round-admitted arrival can start on orphaned work: not
+/// before it arrived, and not before the server has detected the failures
+/// that orphaned the shards it is inheriting. Same shape as
+/// [`rescue_available`], named separately because the first operand is an
+/// arrival timestamp, not a survivor finish.
+pub fn admission_start(arrive_s: f64, detection: f64) -> f64 {
+    arrive_s.max(detection)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -115,5 +124,12 @@ mod tests {
     fn rescue_waits_for_both_finish_and_detection() {
         assert_eq!(rescue_available(10.0, 4.0), 10.0);
         assert_eq!(rescue_available(4.0, 10.0), 10.0);
+    }
+
+    #[test]
+    fn admission_waits_for_both_arrival_and_detection() {
+        assert_eq!(admission_start(12.0, 4.0), 12.0);
+        assert_eq!(admission_start(4.0, 12.0), 12.0);
+        assert_eq!(admission_start(5.0, 5.0), 5.0);
     }
 }

@@ -53,7 +53,7 @@ use fedsched_telemetry::{Event, EventLog, Probe};
 use serde::Serialize;
 
 use crate::builder::ConfigError;
-use crate::eventsim::EventRoundSim;
+use crate::eventsim::{AdmissionPolicy, EventRoundSim};
 use crate::resilient::{ResilientRoundSim, RoundOutcome};
 use crate::roundsim::{predict_round_times, RoundSim, TimingReport};
 
@@ -142,6 +142,10 @@ pub struct ChaosOptions {
     /// from [`ChaosOptions::planned_rounds`] so attacks and faults can
     /// cover different spans.
     pub adversary: Option<(AdversaryConfig, usize)>,
+    /// Mid-round arrival admission policy, applied to every event-driven
+    /// cohort. Ignored by lockstep cohorts (the builder rejects churn on
+    /// them before it ever reaches here).
+    pub admission: AdmissionPolicy,
 }
 
 impl ChaosOptions {
@@ -157,6 +161,7 @@ impl ChaosOptions {
             rescue_soc_floor: 0.0,
             aggregator: AggregatorKind::FedAvg,
             adversary: None,
+            admission: AdmissionPolicy::default(),
         }
     }
 
@@ -203,6 +208,13 @@ impl ChaosOptions {
     /// [`ChaosOptions::adversary`]).
     pub fn with_adversary(mut self, adversary: AdversaryConfig, planned_rounds: usize) -> Self {
         self.adversary = Some((adversary, planned_rounds));
+        self
+    }
+
+    /// Set the mid-round arrival admission policy (see
+    /// [`ChaosOptions::admission`]).
+    pub fn with_admission(mut self, policy: AdmissionPolicy) -> Self {
+        self.admission = policy;
         self
     }
 }
@@ -605,7 +617,11 @@ impl ParallelRoundEngine {
                     match kind {
                         EngineKind::Lockstep => CohortSim::Chaos(Box::new(sim)),
                         EngineKind::EventDriven => {
-                            CohortSim::Event(Box::new(EventRoundSim::new(sim)))
+                            let mut ev = EventRoundSim::new(sim);
+                            if let Some(opts) = chaos {
+                                ev.set_admission(opts.admission);
+                            }
+                            CohortSim::Event(Box::new(ev))
                         }
                     }
                 }
@@ -747,6 +763,9 @@ fn synth_outcomes(timing: &TimingReport, sub: &Schedule, first_round: usize) -> 
             completed: scheduled,
             rescued: 0,
             lost_shards: 0,
+            admitted: 0,
+            admit_done: 0,
+            carried: 0,
             coverage: 1.0,
             makespan_s,
             failed_users: 0,
@@ -779,6 +798,9 @@ fn merge_runs(
             completed: 0,
             rescued: 0,
             lost_shards: 0,
+            admitted: 0,
+            admit_done: 0,
+            carried: 0,
             coverage: 1.0,
             makespan_s: 0.0,
             failed_users: 0,
@@ -805,6 +827,9 @@ fn merge_runs(
             merged.completed += outcome.completed;
             merged.rescued += outcome.rescued;
             merged.lost_shards += outcome.lost_shards;
+            merged.admitted += outcome.admitted;
+            merged.admit_done += outcome.admit_done;
+            merged.carried += outcome.carried;
             merged.failed_users += outcome.failed_users;
             merged.timed_out += outcome.timed_out;
             merged.rejected_updates += outcome.rejected_updates;
@@ -826,7 +851,8 @@ fn merge_runs(
         merged.coverage = if merged.scheduled == 0 {
             1.0
         } else {
-            (merged.completed + merged.rescued) as f64 / merged.scheduled as f64
+            (merged.completed + merged.rescued + merged.admit_done) as f64
+                / (merged.scheduled + merged.admitted) as f64
         };
     }
 

@@ -31,7 +31,7 @@
 //! pass-through — byte-identical reports and event streams to driving the
 //! engine directly (pinned by `tests/coordinator_identity.rs`).
 
-use fedsched_core::{DeadlinePolicy, Schedule};
+use fedsched_core::{DeadlinePolicy, EventQueue, Schedule};
 use fedsched_telemetry::{Event, Probe};
 use serde::Serialize;
 
@@ -280,8 +280,16 @@ impl Coordinator {
     /// Buffered-async mode: the cohorts simulate exactly as in
     /// pass-through, but aggregation is re-timed — each cohort reports in
     /// at its own cumulative pace and the server merges per `buffer`
-    /// arrivals with staleness discount. All bookkeeping is post-hoc
-    /// arithmetic over per-cohort makespans, hence thread-invariant.
+    /// arrivals with staleness discount.
+    ///
+    /// Cohort merges are *events in one global simulated-time stream*: a
+    /// per-call [`EventQueue`] keyed by `(time, seq)`, with completions
+    /// scheduled cohort-major so equal-time ties pop lowest-cohort first
+    /// and a cohort's own rounds pop in round order — exactly the ordering
+    /// the old per-cohort clock bookkeeping sorted into, now produced by
+    /// the same event core the round engines drain. All scheduling is
+    /// post-hoc arithmetic over per-cohort makespans, hence
+    /// thread-invariant; the staleness-weighted merge ledger is unchanged.
     fn run_async(
         &mut self,
         schedule: &Schedule,
@@ -296,28 +304,24 @@ impl Coordinator {
             self.cohort_pull_version = vec![0; n_cohorts];
         }
 
-        // (arrival time, cohort, global round) — each cohort finishes its
-        // rounds back-to-back on its own clock; nobody waits for anybody.
-        let mut arrivals: Vec<(f64, usize, usize)> = Vec::new();
+        // Each cohort finishes its rounds back-to-back on its own clock;
+        // nobody waits for anybody. Its completions enter the global
+        // stream at cumulative cohort time, carrying (cohort, round).
+        let mut stream: EventQueue<(usize, usize)> = EventQueue::new();
         let mut span_s = 0.0f64;
         for (c, cohort) in report.cohorts.iter().enumerate() {
             let start = self.cohort_clock[c];
             let mut t = start;
             for (r, &m) in cohort.timing.per_round_makespan.iter().enumerate() {
                 t += m;
-                arrivals.push((t, c, cohort.rounds[r].round));
+                stream.schedule(t, (c, cohort.rounds[r].round));
             }
             self.cohort_clock[c] = t;
             span_s = span_s.max(t - start);
         }
-        arrivals.sort_by(|a, b| {
-            a.0.partial_cmp(&b.0)
-                .expect("finite arrival times")
-                .then(a.1.cmp(&b.1))
-        });
 
         let mut merges = Vec::new();
-        for (t, c, round) in arrivals {
+        while let Some((t, _seq, (c, round))) = stream.pop() {
             self.buffer.push(PendingUpdate {
                 cohort: c,
                 round,

@@ -53,6 +53,15 @@ enum RoundEvent {
     /// failure-detection or timeout instant). `comm_s` is the straggler
     /// communication share should this event win the makespan.
     DeviceDone { user: usize, comm_s: f64 },
+    /// A device leaves mid-round via the continuous churn process; its
+    /// partial credit reaches the server at the departure timestamp and
+    /// its remaining shards are already in the rescue pool.
+    DeviceDepart { user: usize, comm_s: f64 },
+    /// An absent device comes online mid-round. What happens next is the
+    /// admission policy's call: `Reject` parks it forever, the other
+    /// policies make it eligible again (and `MidRoundFill` may hand it
+    /// orphaned work this very round).
+    DeviceArrive { user: usize },
     /// The round deadline elapses (bookkeeping marker; cuts themselves
     /// are resolved by the shared clock helpers).
     DeadlineFire,
@@ -61,6 +70,25 @@ enum RoundEvent {
     /// The round's synchronous barrier: everything the server waits on
     /// has fired.
     RoundClose,
+}
+
+/// What the server does with a device that arrives mid-round via the
+/// churn process (builder knob: [`SimBuilder::admission`](crate::SimBuilder::admission)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionPolicy {
+    /// Ignore arrivals: the device stays parked forever. The arrival is
+    /// still visible in telemetry (`device_arrive`). Default.
+    #[default]
+    Reject,
+    /// The device becomes eligible again from the *next* round: the
+    /// server clears its gone-for-good flag so a rescheduler may assign
+    /// it work, but it receives nothing mid-round.
+    NextRound,
+    /// `NextRound`, plus the earliest arrival of the round (lowest device
+    /// index on ties) is handed the shards that rescue left orphaned,
+    /// starting at [`clock::admission_start`] and honoring the rescue SoC
+    /// floor.
+    MidRoundFill,
 }
 
 /// [`ResilientRoundSim`] semantics on a discrete-event core.
@@ -81,6 +109,14 @@ pub struct EventRoundSim {
     /// exceed `active.len()` when fractional shard sizes round a user's
     /// sample count to zero.
     participants: usize,
+    /// Devices that left via the churn process and have not re-arrived.
+    /// Distinct from the inner sim's gone flag: legacy per-round fates
+    /// stay on the plan-driven path for lockstep byte-identity, while
+    /// process-gone devices short-circuit to offline without touching the
+    /// plan or the RNG.
+    gone: Vec<bool>,
+    /// What to do with mid-round arrivals.
+    admission: AdmissionPolicy,
 }
 
 impl EventRoundSim {
@@ -95,7 +131,14 @@ impl EventRoundSim {
             parking: Parking::new(n),
             active: (0..n).collect(),
             participants: 0,
+            gone: vec![false; n],
+            admission: AdmissionPolicy::default(),
         }
+    }
+
+    /// Set the mid-round arrival admission policy (builder hook).
+    pub fn set_admission(&mut self, policy: AdmissionPolicy) {
+        self.admission = policy;
     }
 
     /// Re-derive the parked set and active list from `schedule`. Runs
@@ -188,17 +231,62 @@ impl EventRoundSim {
             });
             let lossy = self.inner.emit_round_faults(round);
 
+            // Continuous churn (inert unless the fault plan carries a
+            // churn timeline: no scan, no events, no RNG). Arrival cells
+            // are read for devices absent *at round start* — parked, or
+            // gone from an earlier round — before the sweep can mark
+            // anyone else gone.
+            let churn = self.inner.injector().plan().churn_active();
+            let arrival_cells: Vec<(usize, f64)> = if churn {
+                (0..n)
+                    .filter(|&j| {
+                        let samples = (current.shards[j] as f64 * current.shard_size) as usize;
+                        samples == 0 || self.gone[j]
+                    })
+                    .filter_map(|j| self.inner.injector().arrival_at(round, j).map(|t| (j, t)))
+                    .collect()
+            } else {
+                Vec::new()
+            };
+
             // Phase 1 over the active set only. Parked devices are never
-            // touched: no fate check, no RNG draw, no event.
+            // touched: no fate check, no RNG draw, no event. Process-gone
+            // devices short-circuit to offline (shards straight to the
+            // rescue pool) without consuming plan fates or RNG.
             let mut entries: Vec<(usize, Phase1)> = Vec::with_capacity(self.active.len());
             let mut observed: Vec<(usize, f64, f64)> = Vec::new();
             let mut responder_max = 0.0f64;
             let mut fail_max = 0.0f64;
             for idx in 0..self.active.len() {
                 let j = self.active[idx];
-                let entry =
-                    self.inner
-                        .phase1_device(round, j, &current, &lossy, deadline_s, &mut observed);
+                let entry = if self.gone[j] {
+                    let k = current.shards[j];
+                    probe.emit(|| Event::UserTimeout {
+                        round,
+                        user: j,
+                        cause: "offline".to_string(),
+                        shards_at_risk: k,
+                    });
+                    Phase1::Offline { shards: k }
+                } else {
+                    let depart_at = if churn {
+                        self.inner.injector().departure_at(round, j)
+                    } else {
+                        None
+                    };
+                    self.inner.phase1_device(
+                        round,
+                        j,
+                        &current,
+                        &lossy,
+                        deadline_s,
+                        depart_at,
+                        &mut observed,
+                    )
+                };
+                if let Phase1::Departed { .. } = entry {
+                    self.gone[j] = true;
+                }
                 let (r, f) = entry.detection_bounds(deadline_s);
                 responder_max = responder_max.max(r);
                 fail_max = fail_max.max(f);
@@ -217,25 +305,51 @@ impl EventRoundSim {
             for (j, e) in &entries {
                 let (total, busy, comm_v) = tally.absorb(*j, e, deadline_s, crash_det);
                 user_totals[*j] += busy;
-                self.queue.schedule(
-                    total,
-                    RoundEvent::DeviceDone {
+                let ev = match e {
+                    Phase1::Departed { .. } => RoundEvent::DeviceDepart {
                         user: *j,
                         comm_s: comm_v,
                     },
-                );
+                    _ => RoundEvent::DeviceDone {
+                        user: *j,
+                        comm_s: comm_v,
+                    },
+                };
+                self.queue.schedule(total, ev);
             }
             if let Some(d) = deadline_s {
                 self.queue.schedule(d, RoundEvent::DeadlineFire);
+            }
+            // Arrivals enter the same (time, seq) stream, scheduled in
+            // device index order after the completions so equal-time ties
+            // still resolve to the lowest index.
+            for &(j, t) in &arrival_cells {
+                self.queue.schedule(t, RoundEvent::DeviceArrive { user: j });
             }
 
             // Drain: the straggler emerges from ascending (time, seq) pops
             // under a strictly-greater update — equal-time ties resolve to
             // the earliest sequence number, i.e. the lowest device index.
+            // Arrivals fold into the pending list in the same pop order,
+            // so its head is the admission winner (earliest, lowest index).
             let mut track = StragglerTrack::new();
+            let mut arrivals_pending: Vec<(f64, usize)> = Vec::new();
             while let Some((t, _seq, ev)) = self.queue.pop() {
                 match ev {
-                    RoundEvent::DeviceDone { user, comm_s } => track.observe(user, t, comm_s),
+                    RoundEvent::DeviceDone { user, comm_s }
+                    | RoundEvent::DeviceDepart { user, comm_s } => track.observe(user, t, comm_s),
+                    RoundEvent::DeviceArrive { user } => {
+                        probe.emit(|| Event::DeviceArrive {
+                            round,
+                            t_s: t,
+                            user,
+                        });
+                        if self.admission != AdmissionPolicy::Reject {
+                            self.gone[user] = false;
+                            self.inner.set_known_gone(user, false);
+                            arrivals_pending.push((t, user));
+                        }
+                    }
                     RoundEvent::DeadlineFire => {}
                     RoundEvent::RescueBegin | RoundEvent::RoundClose => {
                         unreachable!("phase-2 events are never queued during phase 1")
@@ -262,6 +376,34 @@ impl EventRoundSim {
                     &mut observed,
                 );
             }
+            // Mid-round admission: whatever rescue left orphaned goes to
+            // the round's earliest arrival (head of the pop-ordered
+            // pending list), starting no earlier than failure detection.
+            let mut admitted = 0usize;
+            let mut admit_done = 0usize;
+            if self.admission == AdmissionPolicy::MidRoundFill {
+                let leftover = tally.pool_total() - rescued;
+                if leftover > 0 {
+                    if let Some(&(t_arr, joiner)) = arrivals_pending.first() {
+                        let start = clock::admission_start(t_arr, tally.detection);
+                        if let Some(done) = self.inner.admission_phase(
+                            round,
+                            &lossy,
+                            current.shard_size,
+                            joiner,
+                            start,
+                            leftover,
+                            &mut track,
+                            &mut user_totals,
+                            &mut observed,
+                        ) {
+                            admitted = leftover;
+                            admit_done = done;
+                        }
+                    }
+                }
+            }
+
             let rejected_updates = self.inner.robust_overlay(round, &entries);
 
             // The synchronous barrier: close at the final makespan.
@@ -274,6 +416,8 @@ impl EventRoundSim {
                 &tally,
                 &track,
                 rescued,
+                admitted,
+                admit_done,
                 rejected_updates,
                 observed,
             );
@@ -378,6 +522,133 @@ mod tests {
         assert_eq!(sim.events_scheduled(), 4 * 2);
         assert_eq!(report.timing.per_user_mean[1], 0.0);
         assert_eq!(report.timing.per_user_mean[2], 0.0);
+    }
+
+    fn churn_builder(
+        seed: u64,
+        churn: Option<fedsched_faults::ChurnConfig>,
+        admission: Option<AdmissionPolicy>,
+        probe: Probe,
+    ) -> EventRoundSim {
+        use crate::builder::{RoundConfig, SimBuilder};
+        let config = RoundConfig::new(TrainingWorkload::lenet(), link(), 2.5e6, seed);
+        let mut b = SimBuilder::new(devices(seed), config)
+            .probe(probe)
+            .faults(FaultConfig::none().with_crash_prob(0.1), 12)
+            .retry(RetryPolicy::default_chaos());
+        if let Some(c) = churn {
+            b = b.churn(c);
+        }
+        if let Some(a) = admission {
+            b = b.admission(a);
+        }
+        b.build_event_sim().unwrap()
+    }
+
+    fn conservation_holds(report: &ChaosReport) {
+        for r in &report.rounds {
+            assert_eq!(
+                r.completed + r.admit_done + r.lost_shards + r.rescued + r.carried,
+                r.scheduled + r.admitted,
+                "round {} breaks shard conservation: {:?}",
+                r.round,
+                r
+            );
+            assert!(
+                r.coverage <= 1.0,
+                "round {} coverage {}",
+                r.round,
+                r.coverage
+            );
+            assert_eq!(r.carried, r.admitted - r.admit_done);
+        }
+    }
+
+    #[test]
+    fn zero_rate_churn_is_bit_identical_and_inert() {
+        use fedsched_faults::ChurnConfig;
+        let schedule = Schedule::new(vec![10, 10, 10], 100.0);
+        let log_a = Arc::new(EventLog::new());
+        let log_b = Arc::new(EventLog::new());
+        let mut plain = churn_builder(23, None, None, Probe::attached(log_a.clone()));
+        let mut quiet = churn_builder(
+            23,
+            Some(ChurnConfig::symmetric(0.0, 60.0)),
+            None,
+            Probe::attached(log_b.clone()),
+        );
+        let a = plain.run(&schedule, 6);
+        let b = quiet.run(&schedule, 6);
+        assert_eq!(a, b);
+        assert_eq!(log_a.to_jsonl(), log_b.to_jsonl());
+        assert_eq!(plain.events_scheduled(), quiet.events_scheduled());
+    }
+
+    #[test]
+    fn departures_orphan_shards_and_trigger_rescue() {
+        use fedsched_faults::ChurnConfig;
+        let churn = ChurnConfig {
+            depart_rate: 0.08,
+            arrive_rate: 0.0,
+            horizon_s: 60.0,
+        };
+        let mut sim = churn_builder(41, Some(churn), None, Probe::disabled());
+        let report = sim.run(&Schedule::new(vec![10, 10, 10], 100.0), 10);
+        conservation_holds(&report);
+        let touched: usize = report.rounds.iter().map(|r| r.failed_users).sum();
+        assert!(touched > 0, "no departure fired; pick another seed");
+        // Departed devices stay gone: once everyone has left, whole rounds
+        // complete nothing.
+        let rescued: usize = report.rounds.iter().map(|r| r.rescued).sum();
+        let lost: usize = report.rounds.iter().map(|r| r.lost_shards).sum();
+        assert!(rescued + lost > 0);
+    }
+
+    #[test]
+    fn departed_devices_stay_offline_until_arrival_policy_admits() {
+        use fedsched_faults::ChurnConfig;
+        let churn = ChurnConfig {
+            depart_rate: 0.08,
+            arrive_rate: 0.05,
+            horizon_s: 60.0,
+        };
+        let log_reject = Arc::new(EventLog::new());
+        let log_fill = Arc::new(EventLog::new());
+        let run = |admission, log: &Arc<EventLog>| {
+            use crate::builder::{RoundConfig, SimBuilder};
+            let config = RoundConfig::new(TrainingWorkload::lenet(), link(), 2.5e6, 41);
+            let mut sim = SimBuilder::new(devices(41), config)
+                .probe(Probe::attached(log.clone() as Arc<_>))
+                .faults(FaultConfig::none().with_crash_prob(0.1), 12)
+                .retry(RetryPolicy::default_chaos())
+                .churn(churn)
+                .admission(admission)
+                .build_event_sim()
+                .unwrap();
+            sim.run(&Schedule::new(vec![10, 10, 10], 100.0), 12)
+        };
+        let reject = run(AdmissionPolicy::Reject, &log_reject);
+        let fill = run(AdmissionPolicy::MidRoundFill, &log_fill);
+        conservation_holds(&reject);
+        conservation_holds(&fill);
+        assert!(reject.rounds.iter().all(|r| r.admitted == 0));
+        assert!(!log_reject.to_jsonl().contains("mid_round_admit"));
+        // Same churn timeline, different policy: the fill arm admits work
+        // and the telemetry shows it.
+        assert!(
+            fill.rounds.iter().any(|r| r.admitted > 0),
+            "no admission fired; pick another seed"
+        );
+        assert!(log_fill.to_jsonl().contains("\"ev\":\"mid_round_admit\""));
+        assert!(log_fill.to_jsonl().contains("\"ev\":\"device_arrive\""));
+        assert!(log_fill.to_jsonl().contains("\"ev\":\"device_depart\""));
+        assert!(log_fill.to_jsonl().contains("\"ev\":\"shards_orphaned\""));
+        // Coverage never exceeds 1 even with joiners (the satellite-1
+        // regression), and the fill arm covers at least as much as reject.
+        let mean = |r: &ChaosReport| {
+            r.rounds.iter().map(|o| o.coverage).sum::<f64>() / r.rounds.len() as f64
+        };
+        assert!(mean(&fill) >= mean(&reject));
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub use coordinator::{
     CoordinationMode, Coordinator, CoordinatorReport, GlobalRoundOutcome, MergeRecord,
 };
 pub use engine::{FlOutcome, FlSetup};
-pub use eventsim::EventRoundSim;
+pub use eventsim::{AdmissionPolicy, EventRoundSim};
 pub use gossip::{GossipOutcome, GossipSetup, Topology};
 pub use metrics::{analyze_round, cosine_similarity, DivergenceReport};
 pub use resilient::{ChaosReport, ResilientRoundSim, RoundOutcome};
@@ -59,5 +59,5 @@ pub use server::fedavg_aggregate;
 
 // Re-exported so downstream builder call sites need only this crate.
 pub use fedsched_core::DeadlinePolicy;
-pub use fedsched_faults::{AdversaryConfig, AdversaryPlan, AttackKind};
+pub use fedsched_faults::{AdversaryConfig, AdversaryPlan, AttackKind, ChurnConfig};
 pub use fedsched_robust::{AggregatorKind, RobustAggregator, RobustOutcome};

@@ -69,8 +69,19 @@ pub struct RoundOutcome {
     pub rescued: usize,
     /// Shards lost outright (crashes, failed transfers, no rescue target).
     pub lost_shards: usize,
-    /// Fraction of scheduled shards aggregated: `(completed + rescued) /
-    /// scheduled`.
+    /// Shards handed to mid-round-admitted arrivals (event engine with
+    /// `AdmissionPolicy::MidRoundFill` only; 0 everywhere else).
+    pub admitted: usize,
+    /// Admitted shards the arrival actually completed (`<= admitted`).
+    pub admit_done: usize,
+    /// Admitted shards the arrival did *not* complete this round (its
+    /// transfer failed); the device keeps the data, so they are carried,
+    /// not lost twice: `carried = admitted - admit_done`.
+    pub carried: usize,
+    /// Fraction of planned-plus-admitted work aggregated:
+    /// `(completed + rescued + admit_done) / (scheduled + admitted)`.
+    /// Admitted work joins the *denominator* too, so mid-round joiners can
+    /// never push coverage above 1.
     pub coverage: f64,
     /// Synchronous round time including any rescue phase.
     pub makespan_s: f64,
@@ -144,6 +155,16 @@ pub(crate) enum Phase1 {
     Fail { t_fail: f64, shards: usize },
     /// Offline the whole round.
     Offline { shards: usize },
+    /// Departed mid-round at `t` via the continuous churn process (event
+    /// engine only — the lockstep path never constructs this variant).
+    /// Delivered `done` shards of partial credit before leaving; the
+    /// remaining `at_risk` shards are orphaned and rescueable from `t`.
+    Departed {
+        t: f64,
+        comm: f64,
+        done: usize,
+        at_risk: usize,
+    },
 }
 
 impl Phase1 {
@@ -157,6 +178,10 @@ impl Phase1 {
             Phase1::CommFail { elapsed, .. } => (0.0, *elapsed),
             Phase1::Fail { t_fail, .. } => (0.0, *t_fail),
             Phase1::Offline { .. } => (0.0, 0.0),
+            // The server heard from the device until `t` (partial credit
+            // was delivered), so a departure bounds detection like a
+            // responder, not like a silent crash.
+            Phase1::Departed { t, .. } => (*t, 0.0),
         }
     }
 }
@@ -243,6 +268,18 @@ impl RoundTally {
                 self.pool.push((user, *shards));
                 self.failed_users += 1;
                 (0.0, 0.0, 0.0)
+            }
+            Phase1::Departed {
+                t,
+                comm,
+                done,
+                at_risk,
+            } => {
+                self.completed += done;
+                self.pool.push((user, *at_risk));
+                self.detection = self.detection.max(*t);
+                self.failed_users += 1;
+                (*t, *t, comm.min(*t))
             }
         }
     }
@@ -654,7 +691,7 @@ impl ResilientRoundSim {
                     continue;
                 }
                 let entry =
-                    self.phase1_device(round, j, &current, &lossy, deadline_s, &mut observed);
+                    self.phase1_device(round, j, &current, &lossy, deadline_s, None, &mut observed);
                 entries.push((j, entry));
             }
 
@@ -705,6 +742,8 @@ impl ResilientRoundSim {
                 &tally,
                 &track,
                 rescued,
+                0,
+                0,
                 rejected_updates,
                 observed,
             );
@@ -751,6 +790,7 @@ impl ResilientRoundSim {
     /// and profiler observations. Main-RNG consumption matches `RoundSim`
     /// exactly when no fault fires, so callers must invoke this in device
     /// index order over the scheduled (non-idle) users.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn phase1_device(
         &mut self,
         round: usize,
@@ -758,6 +798,7 @@ impl ResilientRoundSim {
         current: &Schedule,
         lossy: &LossyLink,
         deadline_s: Option<f64>,
+        depart_at: Option<f64>,
         observed: &mut Vec<(usize, f64, f64)>,
     ) -> Phase1 {
         let k = current.shards[j];
@@ -843,6 +884,44 @@ impl ResilientRoundSim {
             }
             _ => {
                 let finish = comm + compute;
+                // Mid-round process departure (event engine only — the
+                // lockstep call site always passes `None`). Legacy fates
+                // take precedence above; a departure fires only on the
+                // otherwise healthy path, and only if it *strictly*
+                // precedes both the device's own finish and any deadline
+                // (on a tie the deadline cut wins).
+                if let Some(t_dep) = depart_at {
+                    if t_dep < finish && deadline_s.is_none_or(|d| t_dep < d) {
+                        self.known_gone[j] = true;
+                        let cut = clock::deadline_cut(k, comm, compute, t_dep);
+                        let done = if t_dep <= comm { 0 } else { cut.done };
+                        if done > 0 {
+                            self.probe.emit(|| Event::UserSpan {
+                                round,
+                                user: j,
+                                compute_s: cut.span_compute,
+                                comm_s: comm,
+                            });
+                            observed.push((j, done as f64 * current.shard_size, cut.span_compute));
+                        }
+                        self.probe.emit(|| Event::DeviceDepart {
+                            round,
+                            t_s: t_dep,
+                            user: j,
+                        });
+                        self.probe.emit(|| Event::ShardsOrphaned {
+                            round,
+                            user: j,
+                            shards: k - done,
+                        });
+                        return Phase1::Departed {
+                            t: t_dep,
+                            comm,
+                            done,
+                            at_risk: k - done,
+                        };
+                    }
+                }
                 match deadline_s {
                     Some(d) if finish > d => {
                         let cut = clock::deadline_cut(k, comm, compute, d);
@@ -1032,6 +1111,7 @@ impl ResilientRoundSim {
             .filter_map(|(j, e)| match e {
                 Phase1::Survivor { shards, .. } => Some((*j, *shards)),
                 Phase1::Cut { done, .. } if *done > 0 => Some((*j, *done)),
+                Phase1::Departed { done, .. } if *done > 0 => Some((*j, *done)),
                 _ => None,
             })
             .collect();
@@ -1092,15 +1172,21 @@ impl ResilientRoundSim {
         tally: &RoundTally,
         track: &StragglerTrack,
         rescued: usize,
+        admitted: usize,
+        admit_done: usize,
         rejected_updates: usize,
         observed: Vec<(usize, f64, f64)>,
     ) -> RoundOutcome {
+        debug_assert!(admit_done <= admitted, "admission credit exceeds grant");
         let completed = tally.completed;
         let lost = tally.pool_total() - rescued;
+        // Admitted work joins the denominator as well as the numerator, so
+        // mid-round joiners can never push coverage above 1. With no churn
+        // (`admitted == 0`) this is exactly the legacy formula.
         let coverage = if scheduled == 0 {
             1.0
         } else {
-            (completed + rescued) as f64 / scheduled as f64
+            (completed + rescued + admit_done) as f64 / (scheduled + admitted) as f64
         };
         if completed < scheduled {
             self.probe.emit(|| Event::RoundDegraded {
@@ -1127,6 +1213,9 @@ impl ResilientRoundSim {
             completed,
             rescued,
             lost_shards: lost,
+            admitted,
+            admit_done,
+            carried: admitted - admit_done,
             coverage,
             makespan_s: track.worst,
             failed_users: tally.failed_users,
@@ -1183,6 +1272,89 @@ impl ResilientRoundSim {
     /// (`round_start`) itself before delegating to the shared primitives.
     pub(crate) fn probe_handle(&self) -> Probe {
         self.probe.clone()
+    }
+
+    /// Flip the server's "gone for good" flag for a device. The event path
+    /// sets it on a process departure (the rescheduler then starves the
+    /// device exactly like a legacy `DeviceFate::Departed`) and clears it
+    /// when the device re-arrives under a non-`Reject` admission policy.
+    pub(crate) fn set_known_gone(&mut self, j: usize, gone: bool) {
+        self.known_gone[j] = gone;
+    }
+
+    /// Mid-round admission: hand `shards` orphaned shards to an arrived
+    /// `joiner`, starting at `start` (its arrival clamped by failure
+    /// detection — [`clock::admission_start`]). The joiner pays a model
+    /// transfer plus the assigned compute on the real device model, on
+    /// fault channel `3n + 1 + joiner` (disjoint from phase-1 `0..n` and
+    /// rescue `n..2n`). Honors the rescue SoC floor.
+    ///
+    /// Returns `None` when the joiner is ineligible (below the SoC floor:
+    /// nothing is granted, nothing emitted), otherwise `Some(done)` — the
+    /// shards actually completed (`0` when the transfer failed; the grant
+    /// itself is then *carried*, not lost twice).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn admission_phase(
+        &mut self,
+        round: usize,
+        lossy: &LossyLink,
+        shard_size: f64,
+        joiner: usize,
+        start: f64,
+        shards: usize,
+        track: &mut StragglerTrack,
+        user_totals: &mut [f64],
+        observed: &mut Vec<(usize, f64, f64)>,
+    ) -> Option<usize> {
+        if self.devices[joiner].battery_soc() < self.rescue_soc_floor {
+            return None;
+        }
+        self.probe.emit(|| Event::MidRoundAdmit {
+            round,
+            t_s: start,
+            user: joiner,
+            shards,
+        });
+        let n = self.devices.len();
+        let mut ds = self.injector.draw_stream(round, 3 * n + 1 + joiner);
+        let transfer = lossy.transfer(
+            self.model_bytes,
+            start,
+            &self.retry,
+            &mut self.rng,
+            &mut || ds.next_u01(),
+        );
+        for (i, &(el, cause)) in transfer.failures.iter().enumerate() {
+            self.probe.emit(|| Event::TransferRetry {
+                round,
+                user: joiner,
+                attempt: i + 1,
+                cause: cause.as_str().to_string(),
+                elapsed_s: el,
+            });
+        }
+        if !transfer.delivered {
+            self.probe.emit(|| Event::UserTimeout {
+                round,
+                user: joiner,
+                cause: "comm".to_string(),
+                shards_at_risk: shards,
+            });
+            user_totals[joiner] += transfer.elapsed_s;
+            track.observe(joiner, start + transfer.elapsed_s, transfer.elapsed_s);
+            return Some(0);
+        }
+        let samples = (shards as f64 * shard_size) as usize;
+        let cont = self.injector.contention(round, joiner);
+        let compute = self.devices[joiner].train_samples(&self.workload, samples) * cont;
+        observed.push((joiner, samples as f64, compute));
+        user_totals[joiner] += transfer.elapsed_s + compute;
+        track.observe(
+            joiner,
+            start + transfer.elapsed_s + compute,
+            transfer.elapsed_s,
+        );
+        Some(shards)
     }
 }
 

@@ -24,6 +24,18 @@ pub const DEVICE_LEVEL_KINDS: [&str; 5] = [
     "battery_depleted",
 ];
 
+/// Churn forensics events — always retained, never downsampled. These are
+/// round-level chaos events (like `fault_injected` or `shards_reassigned`),
+/// but the list is spelled out so the retention guarantee is explicit:
+/// adding one of these kinds to [`DEVICE_LEVEL_KINDS`] is a compile-visible
+/// contract change, not a silent behavioural one.
+pub const CHURN_KINDS: [&str; 4] = [
+    "device_arrive",
+    "device_depart",
+    "shards_orphaned",
+    "mid_round_admit",
+];
+
 /// What [`compact_jsonl`] did, for logging and tests.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CompactStats {
@@ -223,6 +235,104 @@ mod tests {
         assert_eq!(stats.device_in, 1);
         assert_eq!(stats.device_kept, 1);
         assert_eq!(stats.lines_in, 4);
+    }
+
+    /// Churn events survive compaction verbatim at any sampling rate: the
+    /// compacted trace round-trips every churn line byte-for-byte, in
+    /// order, even when every device-level line around them is dropped.
+    #[test]
+    fn churn_events_round_trip_through_compaction() {
+        let churn = [
+            Event::DeviceDepart {
+                round: 1,
+                t_s: 4.5,
+                user: 2,
+            },
+            Event::ShardsOrphaned {
+                round: 1,
+                user: 2,
+                shards: 5,
+            },
+            Event::DeviceArrive {
+                round: 1,
+                t_s: 5.0,
+                user: 3,
+            },
+            Event::MidRoundAdmit {
+                round: 1,
+                t_s: 6.25,
+                user: 3,
+                shards: 5,
+            },
+        ];
+        // Interleave each churn event with noisy device-level lines so an
+        // off-by-one in the classifier would drop one of them.
+        let mut trace = String::new();
+        for (i, ev) in churn.iter().enumerate() {
+            trace.push_str(
+                &Event::BatterySoc {
+                    t_s: i as f64,
+                    device: "pixel".into(),
+                    soc_pct: 90 - 10 * i as u32,
+                }
+                .to_json(),
+            );
+            trace.push('\n');
+            trace.push_str(&ev.to_json());
+            trace.push('\n');
+        }
+        for keep_every in [1, 2, 1000] {
+            let (out, _) = compact_jsonl(&trace, keep_every);
+            let kept: Vec<&str> = out
+                .lines()
+                .filter(|l| line_kind(l).is_some_and(|k| CHURN_KINDS.contains(&k)))
+                .collect();
+            let want: Vec<String> = churn.iter().map(|ev| ev.to_json()).collect();
+            assert_eq!(kept, want, "keep_every={keep_every}");
+        }
+        // At keep_every=1000 only the first device line survives, yet all
+        // four churn lines are still present.
+        let (out, stats) = compact_jsonl(&trace, 1000);
+        assert_eq!(stats.device_kept, 1);
+        assert_eq!(out.lines().count(), 5);
+    }
+
+    /// The churn retention list agrees with `Event::kind()` and is
+    /// disjoint from the downsampled device-level kinds.
+    #[test]
+    fn churn_kind_list_matches_event_tags_and_is_always_kept() {
+        let churn = [
+            Event::DeviceArrive {
+                round: 0,
+                t_s: 0.0,
+                user: 0,
+            },
+            Event::DeviceDepart {
+                round: 0,
+                t_s: 0.0,
+                user: 0,
+            },
+            Event::ShardsOrphaned {
+                round: 0,
+                user: 0,
+                shards: 1,
+            },
+            Event::MidRoundAdmit {
+                round: 0,
+                t_s: 0.0,
+                user: 0,
+                shards: 1,
+            },
+        ];
+        for ev in &churn {
+            assert!(CHURN_KINDS.contains(&ev.kind()), "{} missing", ev.kind());
+            assert!(
+                !DEVICE_LEVEL_KINDS.contains(&ev.kind()),
+                "{} must never be downsampled",
+                ev.kind()
+            );
+            assert_eq!(line_kind(&ev.to_json()), Some(ev.kind()));
+        }
     }
 
     /// The kind classifier agrees with `Event::kind()` for every device

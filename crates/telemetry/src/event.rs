@@ -160,6 +160,37 @@ pub enum Event {
         coverage: f64,
     },
 
+    // ---- mid-round device churn --------------------------------------------
+    /// A device arrived mid-round and was parked pending admission.
+    DeviceArrive {
+        round: usize,
+        /// Simulated time of the arrival within the round.
+        t_s: f64,
+        user: usize,
+    },
+    /// A device departed mid-round, abandoning its remaining work.
+    DeviceDepart {
+        round: usize,
+        /// Simulated time of the departure within the round.
+        t_s: f64,
+        user: usize,
+    },
+    /// Shards orphaned by a mid-round departure (queued for rescue).
+    ShardsOrphaned {
+        round: usize,
+        user: usize,
+        shards: usize,
+    },
+    /// A mid-round arrival was admitted and assigned orphaned or
+    /// late-straggler shards.
+    MidRoundAdmit {
+        round: usize,
+        /// Simulated time the admitted device started its transfer.
+        t_s: f64,
+        user: usize,
+        shards: usize,
+    },
+
     // ---- Byzantine-robust aggregation / correlated failures ----------------
     /// A robust aggregator excluded one user's update from the aggregate.
     UpdateRejected {
@@ -273,6 +304,10 @@ impl Event {
             Event::UserTimeout { .. } => "user_timeout",
             Event::ShardsReassigned { .. } => "shards_reassigned",
             Event::RoundDegraded { .. } => "round_degraded",
+            Event::DeviceArrive { .. } => "device_arrive",
+            Event::DeviceDepart { .. } => "device_depart",
+            Event::ShardsOrphaned { .. } => "shards_orphaned",
+            Event::MidRoundAdmit { .. } => "mid_round_admit",
             Event::UpdateRejected { .. } => "update_rejected",
             Event::RobustAggregate { .. } => "robust_aggregate",
             Event::GroupOutage { .. } => "group_outage",
@@ -358,6 +393,36 @@ impl Event {
                 round,
                 from_user: from_user + offset,
                 to_user: to_user + offset,
+                shards,
+            },
+            Event::DeviceArrive { round, t_s, user } => Event::DeviceArrive {
+                round,
+                t_s,
+                user: user + offset,
+            },
+            Event::DeviceDepart { round, t_s, user } => Event::DeviceDepart {
+                round,
+                t_s,
+                user: user + offset,
+            },
+            Event::ShardsOrphaned {
+                round,
+                user,
+                shards,
+            } => Event::ShardsOrphaned {
+                round,
+                user: user + offset,
+                shards,
+            },
+            Event::MidRoundAdmit {
+                round,
+                t_s,
+                user,
+                shards,
+            } => Event::MidRoundAdmit {
+                round,
+                t_s,
+                user: user + offset,
                 shards,
             },
             Event::UpdateRejected {
@@ -598,6 +663,31 @@ impl Event {
                      \"completed\":{completed},\"rescued\":{rescued},\"lost\":{lost}"
                 );
                 push_f64_field(&mut out, "coverage", *coverage);
+            }
+            Event::DeviceArrive { round, t_s, user } | Event::DeviceDepart { round, t_s, user } => {
+                let _ = write!(out, ",\"round\":{round}");
+                push_f64_field(&mut out, "t_s", *t_s);
+                let _ = write!(out, ",\"user\":{user}");
+            }
+            Event::ShardsOrphaned {
+                round,
+                user,
+                shards,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"round\":{round},\"user\":{user},\"shards\":{shards}"
+                );
+            }
+            Event::MidRoundAdmit {
+                round,
+                t_s,
+                user,
+                shards,
+            } => {
+                let _ = write!(out, ",\"round\":{round}");
+                push_f64_field(&mut out, "t_s", *t_s);
+                let _ = write!(out, ",\"user\":{user},\"shards\":{shards}");
             }
             Event::UpdateRejected {
                 round,
@@ -884,6 +974,109 @@ mod tests {
     }
 
     #[test]
+    fn churn_events_encode_with_fixed_key_order() {
+        let ev = Event::DeviceArrive {
+            round: 2,
+            t_s: 12.25,
+            user: 3,
+        };
+        assert_eq!(
+            ev.to_json(),
+            "{\"ev\":\"device_arrive\",\"round\":2,\"t_s\":12.25,\"user\":3}"
+        );
+        let ev = Event::DeviceDepart {
+            round: 2,
+            t_s: 8.5,
+            user: 1,
+        };
+        assert_eq!(
+            ev.to_json(),
+            "{\"ev\":\"device_depart\",\"round\":2,\"t_s\":8.5,\"user\":1}"
+        );
+        let ev = Event::ShardsOrphaned {
+            round: 2,
+            user: 1,
+            shards: 6,
+        };
+        assert_eq!(
+            ev.to_json(),
+            "{\"ev\":\"shards_orphaned\",\"round\":2,\"user\":1,\"shards\":6}"
+        );
+        let ev = Event::MidRoundAdmit {
+            round: 2,
+            t_s: 9.75,
+            user: 3,
+            shards: 6,
+        };
+        assert_eq!(
+            ev.to_json(),
+            "{\"ev\":\"mid_round_admit\",\"round\":2,\"t_s\":9.75,\"user\":3,\"shards\":6}"
+        );
+    }
+
+    #[test]
+    fn churn_event_offsets_shift_only_the_user() {
+        let arrive = Event::DeviceArrive {
+            round: 1,
+            t_s: 3.5,
+            user: 2,
+        };
+        assert_eq!(
+            arrive.clone().with_user_offset(10),
+            Event::DeviceArrive {
+                round: 1,
+                t_s: 3.5,
+                user: 12,
+            }
+        );
+        assert_eq!(arrive.clone().with_user_offset(0), arrive);
+        let depart = Event::DeviceDepart {
+            round: 1,
+            t_s: 4.5,
+            user: 0,
+        };
+        assert_eq!(
+            depart.clone().with_user_offset(7),
+            Event::DeviceDepart {
+                round: 1,
+                t_s: 4.5,
+                user: 7,
+            }
+        );
+        assert_eq!(depart.clone().with_user_offset(0), depart);
+        let orphaned = Event::ShardsOrphaned {
+            round: 0,
+            user: 3,
+            shards: 2,
+        };
+        assert_eq!(
+            orphaned.clone().with_user_offset(4),
+            Event::ShardsOrphaned {
+                round: 0,
+                user: 7,
+                shards: 2,
+            }
+        );
+        assert_eq!(orphaned.clone().with_user_offset(0), orphaned);
+        let admit = Event::MidRoundAdmit {
+            round: 0,
+            t_s: 1.0,
+            user: 5,
+            shards: 3,
+        };
+        assert_eq!(
+            admit.clone().with_user_offset(20),
+            Event::MidRoundAdmit {
+                round: 0,
+                t_s: 1.0,
+                user: 25,
+                shards: 3,
+            }
+        );
+        assert_eq!(admit.clone().with_user_offset(0), admit);
+    }
+
+    #[test]
     fn decision_point_events_encode() {
         assert_eq!(
             Event::AsyncMerge {
@@ -1161,6 +1354,27 @@ mod tests {
                 deadline_s: 1.0,
                 lost_shards: 3,
             },
+            Event::DeviceArrive {
+                round: 0,
+                t_s: 1.0,
+                user: 7,
+            },
+            Event::DeviceDepart {
+                round: 0,
+                t_s: 2.0,
+                user: 8,
+            },
+            Event::ShardsOrphaned {
+                round: 0,
+                user: 9,
+                shards: 4,
+            },
+            Event::MidRoundAdmit {
+                round: 0,
+                t_s: 3.0,
+                user: 10,
+                shards: 4,
+            },
         ];
         for ev in events {
             assert_eq!(ev.clone().with_user_offset(0), ev);
@@ -1223,6 +1437,27 @@ mod tests {
                 rescued: 0,
                 lost: 0,
                 coverage: 1.0,
+            },
+            Event::DeviceArrive {
+                round: 0,
+                t_s: 1.0,
+                user: 0,
+            },
+            Event::DeviceDepart {
+                round: 0,
+                t_s: 1.0,
+                user: 0,
+            },
+            Event::ShardsOrphaned {
+                round: 0,
+                user: 0,
+                shards: 1,
+            },
+            Event::MidRoundAdmit {
+                round: 0,
+                t_s: 1.0,
+                user: 0,
+                shards: 1,
             },
             Event::AsyncMerge {
                 t_s: 0.0,

@@ -305,6 +305,10 @@ impl MetricsRegistry {
     /// | `user_timeout` | `user_timeouts` | — |
     /// | `shards_reassigned` | `shards_reassigned` (by shard count) | — |
     /// | `round_degraded` | `rounds_degraded`, `shards_lost`, `shards_rescued` | `round_coverage` |
+    /// | `device_arrive` | `device_arrivals` | — |
+    /// | `device_depart` | `device_departures` | — |
+    /// | `shards_orphaned` | `shards_orphaned` (by shard count) | — |
+    /// | `mid_round_admit` | `mid_round_admits`, `mid_round_admitted_shards` | — |
     /// | `update_rejected` | `updates_rejected` | `rejected_update_score` |
     /// | `robust_aggregate` | `robust_aggregations` | `robust_mean_score` |
     /// | `group_outage` | `group_outages`, `group_outage_devices` | — |
@@ -378,6 +382,15 @@ impl MetricsRegistry {
                     self.incr("shards_lost", *lost as u64);
                     self.incr("shards_rescued", *rescued as u64);
                     self.observe("round_coverage", *coverage);
+                }
+                Event::DeviceArrive { .. } => self.incr("device_arrivals", 1),
+                Event::DeviceDepart { .. } => self.incr("device_departures", 1),
+                Event::ShardsOrphaned { shards, .. } => {
+                    self.incr("shards_orphaned", *shards as u64);
+                }
+                Event::MidRoundAdmit { shards, .. } => {
+                    self.incr("mid_round_admits", 1);
+                    self.incr("mid_round_admitted_shards", *shards as u64);
                 }
                 Event::UpdateRejected { score, .. } => {
                     self.incr("updates_rejected", 1);

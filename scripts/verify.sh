@@ -86,6 +86,14 @@ cargo test -q --test event_identity
 FEDSCHED_THREADS=4 cargo test -q --test event_identity
 FEDSCHED_THREADS=8 cargo test -q --test event_identity
 
+echo "==> churn suite (quiet-churn inertness + conservation + thread invariance)"
+cargo test -q -p fedsched-fl eventsim
+cargo test -q --test event_identity churn
+FEDSCHED_THREADS=4 cargo test -q --test event_identity churn
+FEDSCHED_THREADS=8 cargo test -q --test event_identity churn
+cargo test -q --test golden_trace churn
+cargo test -q -p fedsched-bench churn
+
 echo "==> scale smoke (engine speedup sweep + makespan parity)"
 cargo test -q -p fedsched-bench scaleout
 

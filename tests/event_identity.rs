@@ -15,7 +15,10 @@ use proptest::prelude::*;
 use fedsched::core::Schedule;
 use fedsched::device::{Device, DeviceModel, Testbed, TrainingWorkload};
 use fedsched::faults::{AdversaryConfig, AttackKind, FaultConfig};
-use fedsched::fl::{AggregatorKind, DeadlinePolicy, EngineKind, RoundConfig, SimBuilder};
+use fedsched::fl::{
+    AdmissionPolicy, AggregatorKind, ChurnConfig, DeadlinePolicy, EngineKind, RoundConfig,
+    SimBuilder,
+};
 use fedsched::net::{Link, RetryPolicy};
 use fedsched::telemetry::{EventLog, Probe};
 
@@ -237,6 +240,55 @@ fn attacked_event_engine_is_bit_identical_at_every_thread_count() {
     }
 }
 
+/// A configured-but-quiet churn process (both rates zero) must be
+/// strictly inert: the event engine with the churn and admission knobs
+/// engaged replays the churn-free *lockstep* engine byte-for-byte at
+/// every thread count — no extra RNG draws, no extra queue events, no
+/// trace bytes.
+#[test]
+fn zero_rate_churn_event_engine_is_bit_identical_at_every_thread_count() {
+    let n = 8;
+    let rounds = 4;
+    let schedule = uniform(n, 3);
+    let knobs = |b: SimBuilder| {
+        b.cohort_size(4)
+            .faults(chaos_plan(), rounds)
+            .retry(RetryPolicy::default_chaos())
+            .deadline(DeadlinePolicy::MeanFactor(2.0))
+    };
+
+    let want = engine_run(
+        population(n, SEED),
+        &schedule,
+        rounds,
+        EngineKind::Lockstep,
+        |b| knobs(b).threads(1),
+    );
+
+    for threads in THREAD_COUNTS {
+        let got = engine_run(
+            population(n, SEED),
+            &schedule,
+            rounds,
+            EngineKind::EventDriven,
+            |b| {
+                knobs(b)
+                    .threads(threads)
+                    .churn(ChurnConfig::symmetric(0.0, 60.0))
+                    .admission(AdmissionPolicy::MidRoundFill)
+            },
+        );
+        assert_eq!(
+            got.0, want.0,
+            "threads {threads}: quiet-churn report diverged"
+        );
+        assert_eq!(
+            got.1, want.1,
+            "threads {threads}: quiet-churn trace left bytes"
+        );
+    }
+}
+
 /// The coordinator resolves one global deadline against pooled
 /// predictions and pushes it into every cohort before the round runs —
 /// the event cohorts must accept it through the same `set_deadline` seam
@@ -308,5 +360,61 @@ proptest! {
                 .run(&schedule, rounds)
         };
         prop_assert_eq!(run(EngineKind::EventDriven), run(EngineKind::Lockstep));
+    }
+
+    /// Random churn-process geometry: for every interleaving of mid-round
+    /// arrivals and departures, (a) per-round double-entry accounting
+    /// balances — `completed + admit_done + lost + rescued + carried ==
+    /// scheduled + admitted` — with coverage capped at 1, and (b) the
+    /// churned report and trace are thread-invariant.
+    #[test]
+    fn churned_event_engine_conserves_shards_and_is_thread_invariant(
+        n in 2usize..24,
+        cohort_size in 1usize..8,
+        seed in 0u64..200,
+        depart_pct in 0u32..12,
+        arrive_pct in 0u32..12,
+    ) {
+        let rounds = 2;
+        let schedule = uniform(n, 3);
+        let churn = ChurnConfig {
+            depart_rate: f64::from(depart_pct) / 100.0,
+            arrive_rate: f64::from(arrive_pct) / 100.0,
+            horizon_s: 60.0,
+        };
+        let run = |threads: usize| {
+            let log = Arc::new(EventLog::new());
+            let mut eng = SimBuilder::new(population(n, seed), round_config(seed))
+                .cohort_size(cohort_size)
+                .threads(threads)
+                .faults(
+                    FaultConfig::none().with_crash_prob(0.15).with_loss_prob(0.1),
+                    rounds,
+                )
+                .retry(RetryPolicy::default_chaos())
+                .churn(churn)
+                .admission(AdmissionPolicy::MidRoundFill)
+                .engine_kind(EngineKind::EventDriven)
+                .probe(Probe::attached(log.clone()))
+                .build_engine()
+                .expect("churned geometry config is valid");
+            let report = eng.run(&schedule, rounds);
+            (report, log.to_jsonl())
+        };
+
+        let (want, want_jsonl) = run(1);
+        for r in &want.rounds {
+            prop_assert_eq!(
+                r.completed + r.admit_done + r.lost_shards + r.rescued + r.carried,
+                r.scheduled + r.admitted
+            );
+            prop_assert!(r.coverage <= 1.0, "round {} coverage {}", r.round, r.coverage);
+            prop_assert_eq!(r.carried, r.admitted - r.admit_done);
+        }
+        for threads in [2usize, 4, 8] {
+            let (got, got_jsonl) = run(threads);
+            prop_assert_eq!(&got, &want);
+            prop_assert_eq!(&got_jsonl, &want_jsonl);
+        }
     }
 }

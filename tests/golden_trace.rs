@@ -44,6 +44,10 @@ fn event_golden_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/event_multicohort.jsonl")
 }
 
+fn churn_golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/churn_multicohort.jsonl")
+}
+
 /// Run the fixed scenario and return its telemetry stream as JSONL.
 /// With `event` set, the replay goes through the discrete-event sim
 /// instead of the lockstep scan — the bytes must not change.
@@ -224,6 +228,48 @@ fn event_trace() -> String {
     log.to_jsonl()
 }
 
+/// Churn preset: a two-cohort event-driven engine under a continuous
+/// arrival/departure process with mid-round admission. Pins the churn
+/// event vocabulary — `device_depart`, `shards_orphaned`, `device_arrive`,
+/// `mid_round_admit` — and the per-cohort churn-timeline derivation in
+/// golden form; the engine guarantees these bytes are thread-invariant.
+fn churn_trace() -> String {
+    use fedsched::faults::ChurnConfig;
+    use fedsched::fl::AdmissionPolicy;
+    let log = Arc::new(EventLog::new());
+    let models = DeviceModel::all();
+    let devices: Vec<Device> = (0..8)
+        .map(|i| {
+            Device::from_model(
+                models[i % models.len()],
+                SEED.wrapping_add(i as u64 * 0x9E37_79B9),
+            )
+        })
+        .collect();
+    let config = FaultConfig::none().with_loss_prob(0.1);
+    let mut engine = SimBuilder::new(
+        devices,
+        RoundConfig::new(
+            TrainingWorkload::lenet(),
+            Link::new(100.0, 100.0, 0.0, 0.0),
+            2.5e6,
+            SEED,
+        ),
+    )
+    .cohort_size(4)
+    .threads(4)
+    .faults(config, 3)
+    .churn(ChurnConfig::symmetric(0.25, 60.0))
+    .admission(AdmissionPolicy::MidRoundFill)
+    .retry(RetryPolicy::default_chaos())
+    .engine_kind(EngineKind::EventDriven)
+    .probe(Probe::attached(log.clone()))
+    .build_engine()
+    .expect("golden churn engine config is valid");
+    let _ = engine.run(&fedsched::core::Schedule::new(vec![3; 8], 100.0), 3);
+    log.to_jsonl()
+}
+
 /// Compare `got` against the snapshot at `path`, regenerating when
 /// `UPDATE_GOLDEN` is set; on mismatch, report the first differing line.
 fn assert_matches_golden(got: &str, path: &PathBuf) {
@@ -357,6 +403,31 @@ fn golden_scenarios_replay_byte_identical_through_event_path() {
         attack_trace(),
         "attacked_multicohort golden diverged through the event engine"
     );
+}
+
+#[test]
+fn churn_trace_is_byte_identical_across_invocations() {
+    assert_eq!(
+        churn_trace(),
+        churn_trace(),
+        "same seed must give the same bytes"
+    );
+}
+
+#[test]
+fn churn_trace_matches_golden_snapshot() {
+    let got = churn_trace();
+    for ev in fedsched::telemetry::CHURN_KINDS {
+        assert!(
+            got.contains(&format!("\"ev\":\"{ev}\"")),
+            "churn preset never emitted {ev}:\n{got}"
+        );
+    }
+    assert!(
+        got.contains("\"ev\":\"round_end\""),
+        "missing round_end:\n{got}"
+    );
+    assert_matches_golden(&got, &churn_golden_path());
 }
 
 #[test]
