@@ -23,13 +23,16 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use fedsched_core::Schedule;
-use fedsched_device::{Device, DeviceModel, TrainingWorkload};
+use fedsched_device::{Device, DeviceArena, DeviceModel, TrainingWorkload};
 use fedsched_fl::{
-    DeadlinePolicy, EngineReport, ParallelRoundEngine, RoundConfig, SimBuilder, DEFAULT_COHORT_SIZE,
+    derive_cohort_seed, DeadlinePolicy, EngineReport, ParallelRoundEngine, RoundConfig,
+    RoundOutcome, SimBuilder, TimingReport, DEFAULT_COHORT_SIZE,
 };
 use fedsched_net::{model_transfer_bytes, Link};
 use fedsched_profiler::ModelArch;
 use fedsched_telemetry::{NullRecorder, Probe};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 use crate::common::SHARD_SIZE;
 use crate::report::Table;
@@ -135,6 +138,66 @@ pub struct EventEnginePoint {
     pub parity: bool,
 }
 
+/// Flat-vs-hierarchical parity at one population size: the two-tier
+/// [`HierEngine`](fedsched_fl::HierEngine) in its default one-edge-per-
+/// cohort topology must reproduce the flat engine's report byte for byte
+/// at every thread count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HierParityPoint {
+    /// Devices simulated.
+    pub population: usize,
+    /// Cohorts (= edges in the parity topology).
+    pub cohorts: usize,
+    /// Thread counts checked.
+    pub thread_counts: Vec<usize>,
+    /// Whether every thread count's hierarchical report matched the flat
+    /// single-threaded baseline exactly (floats compared with `==`).
+    pub parity: bool,
+    /// Wall-clock seconds of the flat single-threaded baseline.
+    pub flat_wall_s: f64,
+    /// Wall-clock seconds of the single-threaded hierarchical run.
+    pub hier_wall_s: f64,
+}
+
+/// The million-device arm: an arena-backed quiet sweep over a sparse
+/// active set, replicating the engine's per-cohort arithmetic exactly
+/// (see [`mega_run`]) so it stays differential-testable against
+/// [`HierEngine`](fedsched_fl::HierEngine) at small n.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MegaScalePoint {
+    /// Devices in the population.
+    pub population: usize,
+    /// Devices holding shards each round.
+    pub active: usize,
+    /// Rounds simulated.
+    pub rounds: usize,
+    /// Cohorts the population partitions into.
+    pub cohorts: usize,
+    /// Wall-clock seconds for the whole sweep, population build included.
+    pub wall_s: f64,
+    /// Estimated resident bytes of the device population after the run.
+    pub resident_bytes: usize,
+    /// Devices that were actually inflated to full simulator state
+    /// (should equal the active set).
+    pub inflated: usize,
+    /// Mean per-round makespan.
+    pub mean_makespan_s: f64,
+    /// Whether every round reported full coverage (quiet sweep: must).
+    pub full_coverage: bool,
+}
+
+/// A [`MegaScalePoint`] together with the report it folded, for parity
+/// checks against the real engines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MegaRun {
+    /// The measurements.
+    pub point: MegaScalePoint,
+    /// Population-wide timing, engine-shaped.
+    pub timing: TimingReport,
+    /// Population-wide per-round outcomes, engine-shaped.
+    pub rounds: Vec<RoundOutcome>,
+}
+
 /// The full sweep.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScaleoutSweep {
@@ -153,6 +216,10 @@ pub struct ScaleoutSweep {
     pub coordination: Vec<CoordinationPoint>,
     /// Event-vs-lockstep comparison under sparse participation.
     pub event: EventEnginePoint,
+    /// Flat-vs-hierarchical byte-identity check.
+    pub hier: HierParityPoint,
+    /// The arena-backed mega-scale arm.
+    pub mega: MegaScalePoint,
 }
 
 /// A mixed-model population of `n` devices cycling the Table I presets.
@@ -308,6 +375,294 @@ pub fn event_point(n: usize, active: usize, rounds: usize, seed: u64) -> EventEn
     }
 }
 
+/// Measure flat-vs-hierarchical byte-identity at one population size:
+/// the default one-edge-per-cohort [`HierEngine`] against the flat
+/// engine's single-threaded baseline, at every requested thread count.
+pub fn hier_point(n: usize, seed: u64, rounds: usize, thread_counts: &[usize]) -> HierParityPoint {
+    let schedule = Schedule::new(vec![SHARDS_PER_DEVICE; n], SHARD_SIZE);
+    let config = RoundConfig::new(
+        TrainingWorkload::lenet(),
+        Link::wifi_campus(),
+        model_transfer_bytes(&ModelArch::lenet()),
+        seed,
+    );
+
+    let mut flat = SimBuilder::new(population(n, seed), config)
+        .threads(1)
+        .build_engine()
+        .expect("valid flat engine config");
+    let start = Instant::now();
+    let baseline = flat.run(&schedule, rounds);
+    let flat_wall_s = start.elapsed().as_secs_f64();
+
+    let mut parity = true;
+    let mut hier_wall_s = 0.0;
+    for &t in thread_counts {
+        let mut hier = SimBuilder::new(population(n, seed), config)
+            .threads(t)
+            .build_hier()
+            .expect("valid hier engine config");
+        let start = Instant::now();
+        let report = hier.run(&schedule, rounds);
+        let wall = start.elapsed().as_secs_f64();
+        if t == 1 {
+            hier_wall_s = wall;
+        }
+        let same = report.timing == baseline.timing
+            && report.rounds == baseline.rounds
+            && report.cohorts == baseline.cohorts;
+        assert!(
+            same,
+            "threads={t}, n={n}: hierarchical report diverged from flat"
+        );
+        parity &= same;
+    }
+
+    HierParityPoint {
+        population: n,
+        cohorts: n.div_ceil(DEFAULT_COHORT_SIZE),
+        thread_counts: thread_counts.to_vec(),
+        parity,
+        flat_wall_s,
+        hier_wall_s,
+    }
+}
+
+/// A sparse schedule: `active` of `n` devices hold one single-sample
+/// shard, spread evenly across the population (and therefore across
+/// cohorts).
+pub fn sparse_schedule(n: usize, active: usize) -> Schedule {
+    let mut shards = vec![0usize; n];
+    if let Some(stride) = n.checked_div(active) {
+        let stride = stride.max(1);
+        for slot in 0..active {
+            shards[(slot * stride).min(n - 1)] = 1;
+        }
+    }
+    Schedule::new(shards, 1.0)
+}
+
+/// One cohort of the arena-backed quiet sweep: replicates
+/// `RoundSim::run`'s arithmetic exactly — comm sampled before compute,
+/// idle users skipped without an RNG draw, strictly-greater straggler
+/// update, `straggler_comm` accumulated per round — against the cohort's
+/// own seeded RNG stream. Only active devices inflate.
+#[allow(clippy::too_many_arguments)]
+fn sweep_cohort(
+    arena: &mut DeviceArena,
+    wl: &TrainingWorkload,
+    link: Link,
+    model_bytes: f64,
+    start: usize,
+    sub: &[usize],
+    shard_size: f64,
+    seed: u64,
+    rounds: usize,
+) -> TimingReport {
+    let active: Vec<(usize, usize)> = sub
+        .iter()
+        .enumerate()
+        .filter_map(|(j, &k)| {
+            let samples = (k as f64 * shard_size) as usize;
+            (samples > 0).then_some((start + j, samples))
+        })
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut per_round = Vec::with_capacity(rounds);
+    let mut user_totals = vec![0.0f64; sub.len()];
+    let mut straggler_comm = 0.0f64;
+    for _ in 0..rounds {
+        let mut worst = 0.0f64;
+        let mut worst_comm = 0.0f64;
+        for &(g, samples) in &active {
+            let comm = link.sample_round_seconds(model_bytes, &mut rng);
+            let compute = arena.device(g).train_samples(wl, samples);
+            let total = comm + compute;
+            user_totals[g - start] += total;
+            if total > worst {
+                worst = total;
+                worst_comm = comm;
+            }
+        }
+        per_round.push(worst);
+        straggler_comm += if worst > 0.0 { worst_comm / worst } else { 0.0 };
+    }
+    TimingReport {
+        per_round_makespan: per_round,
+        per_user_mean: user_totals.iter().map(|t| t / rounds as f64).collect(),
+        comm_fraction: if rounds == 0 {
+            0.0
+        } else {
+            straggler_comm / rounds as f64
+        },
+    }
+}
+
+/// The arena-backed quiet sweep: the engine's cohort geometry, seed
+/// derivation, per-cohort round loop and merge fold replicated over a
+/// [`DeviceArena`], touching only devices that hold shards. The output is
+/// engine-shaped and byte-identical to a real [`HierEngine`] /
+/// flat-engine run of the same scenario — `mega_matches_hier` and the
+/// differential suite pin that — while the resident population stays at
+/// tens of bytes per pristine device, which is what lets the sweep reach
+/// a million devices.
+pub fn mega_run(n: usize, active: usize, rounds: usize, seed: u64) -> MegaRun {
+    let schedule = sparse_schedule(n, active);
+    let wl = TrainingWorkload::lenet();
+    let link = Link::wifi_campus();
+    let model_bytes = model_transfer_bytes(&ModelArch::lenet());
+    let models = DeviceModel::all();
+
+    let start_t = Instant::now();
+    let mut arena = DeviceArena::from_models((0..n).map(|i| {
+        (
+            models[i % models.len()],
+            seed.wrapping_add(i as u64 * 0x9E37_79B9),
+        )
+    }));
+    let n_cohorts = n.div_ceil(DEFAULT_COHORT_SIZE);
+
+    // Fold accumulators, mirroring the engine's merge: max per-round
+    // makespan, population-ordered user means, participant-weighted comm
+    // fraction, integer sums with coverage recomputed at the end.
+    let mut per_round_makespan = vec![0.0f64; rounds];
+    let mut per_user_mean = Vec::with_capacity(n);
+    let mut comm_weighted = 0.0f64;
+    let mut total_participants = 0usize;
+    let mut merged: Vec<RoundOutcome> = (0..rounds)
+        .map(|r| RoundOutcome {
+            round: r,
+            scheduled: 0,
+            completed: 0,
+            rescued: 0,
+            lost_shards: 0,
+            admitted: 0,
+            admit_done: 0,
+            carried: 0,
+            coverage: 1.0,
+            makespan_s: 0.0,
+            failed_users: 0,
+            timed_out: 0,
+            rejected_updates: 0,
+        })
+        .collect();
+    let mut single_timing = None;
+
+    for c in 0..n_cohorts {
+        let lo = c * DEFAULT_COHORT_SIZE;
+        let hi = ((c + 1) * DEFAULT_COHORT_SIZE).min(n);
+        let sub = &schedule.shards[lo..hi];
+        let scheduled: usize = sub.iter().sum();
+        let participants = sub.iter().filter(|&&k| k > 0).count();
+        let timing = sweep_cohort(
+            &mut arena,
+            &wl,
+            link,
+            model_bytes,
+            lo,
+            sub,
+            schedule.shard_size,
+            derive_cohort_seed(seed, c),
+            rounds,
+        );
+
+        for (r, &m) in timing.per_round_makespan.iter().enumerate() {
+            if m > per_round_makespan[r] {
+                per_round_makespan[r] = m;
+            }
+        }
+        per_user_mean.extend_from_slice(&timing.per_user_mean);
+        comm_weighted += timing.comm_fraction * participants as f64;
+        total_participants += participants;
+        // Quiet cohorts synthesize full-coverage outcomes: everything
+        // scheduled completes, makespan comes straight from timing.
+        for (r, out) in merged.iter_mut().enumerate() {
+            out.scheduled += scheduled;
+            out.completed += scheduled;
+            let m = timing.per_round_makespan[r];
+            if m > out.makespan_s {
+                out.makespan_s = m;
+            }
+        }
+        if n_cohorts == 1 {
+            single_timing = Some(timing);
+        }
+    }
+
+    for out in &mut merged {
+        out.coverage = if out.scheduled == 0 {
+            1.0
+        } else {
+            (out.completed + out.rescued + out.admit_done) as f64
+                / (out.scheduled + out.admitted) as f64
+        };
+    }
+
+    // Single cohort: the engine passes the cohort report through
+    // verbatim, so the fold must too (the weighted comm fraction would
+    // multiply and divide by the same participant count — not always a
+    // bit-level no-op).
+    let timing = match single_timing {
+        Some(t) => t,
+        None => TimingReport {
+            per_round_makespan,
+            per_user_mean,
+            comm_fraction: if total_participants == 0 {
+                0.0
+            } else {
+                comm_weighted / total_participants as f64
+            },
+        },
+    };
+
+    let wall_s = start_t.elapsed().as_secs_f64();
+    let point = MegaScalePoint {
+        population: n,
+        active: schedule.active_users(),
+        rounds,
+        cohorts: n_cohorts,
+        wall_s,
+        resident_bytes: arena.resident_bytes(),
+        inflated: arena.n_inflated(),
+        mean_makespan_s: timing.mean_makespan(),
+        full_coverage: merged.iter().all(|r| r.coverage == 1.0),
+    };
+    MegaRun {
+        point,
+        timing,
+        rounds: merged,
+    }
+}
+
+/// Differential gate for the mega sweep: run the same sparse scenario
+/// through the real two-tier [`HierEngine`] (scalar devices, default
+/// parity topology) and demand byte-identical timing and outcomes.
+pub fn mega_matches_hier(n: usize, active: usize, rounds: usize, seed: u64) -> bool {
+    let mega = mega_run(n, active, rounds, seed);
+    let mut hier = SimBuilder::new(
+        population(n, seed),
+        RoundConfig::new(
+            TrainingWorkload::lenet(),
+            Link::wifi_campus(),
+            model_transfer_bytes(&ModelArch::lenet()),
+            seed,
+        ),
+    )
+    .build_hier()
+    .expect("valid hier engine config");
+    let report = hier.run(&sparse_schedule(n, active), rounds);
+    report.timing == mega.timing && report.rounds == mega.rounds
+}
+
+/// Peak resident set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`); `None` where procfs is unavailable.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
 fn engine(n: usize, seed: u64, threads: usize) -> ParallelRoundEngine {
     SimBuilder::new(
         population(n, seed),
@@ -398,6 +753,9 @@ pub fn run(scale: Scale, seed: u64) -> ScaleoutSweep {
         .collect();
 
     let (event_pop, event_active, event_rounds) = scale.pick((1_000, 10, 20), (10_000, 25, 100));
+    let (hier_pop, hier_threads) = scale.pick((1_000, vec![1, 2, 4]), (10_000, vec![1, 2, 4, 8]));
+    let (mega_pop, mega_active, mega_rounds) =
+        scale.pick((10_000, 100, 10), (1_000_000, 1_000, 100));
     ScaleoutSweep {
         points,
         rounds,
@@ -406,6 +764,8 @@ pub fn run(scale: Scale, seed: u64) -> ScaleoutSweep {
         probe: probe_overhead(seed),
         coordination,
         event: event_point(event_pop, event_active, event_rounds, seed),
+        hier: hier_point(hier_pop, seed, rounds, &hier_threads),
+        mega: mega_run(mega_pop, mega_active, mega_rounds, seed).point,
     }
 }
 
@@ -486,6 +846,39 @@ pub fn render(sweep: &ScaleoutSweep) -> String {
         ev.event_wall_s * 1e3,
         ev.speedup,
         if ev.parity { "identical" } else { "DIVERGED" },
+    ));
+    let h = &sweep.hier;
+    out.push_str(&format!(
+        "\n### Two-tier hierarchy — flat-vs-hierarchical byte-identity\n\n\
+         {} devices, {} cohorts (= edges, one per cohort), threads {:?}: \
+         every hierarchical report {} the flat single-threaded baseline. \
+         Flat {:.2} ms vs hierarchical {:.2} ms at one thread.\n",
+        h.population,
+        h.cohorts,
+        h.thread_counts,
+        if h.parity { "matched" } else { "DIVERGED from" },
+        h.flat_wall_s * 1e3,
+        h.hier_wall_s * 1e3,
+    ));
+    let m = &sweep.mega;
+    out.push_str(&format!(
+        "\n### Mega-scale — arena-backed sparse sweep\n\n\
+         {} devices ({} cohorts), {} active per round, {} rounds: \
+         {:.1} s wall, {} devices inflated, {:.1} MB resident \
+         ({:.1} B/device), coverage {}.\n",
+        m.population,
+        m.cohorts,
+        m.active,
+        m.rounds,
+        m.wall_s,
+        m.inflated,
+        m.resident_bytes as f64 / 1e6,
+        m.resident_bytes as f64 / m.population.max(1) as f64,
+        if m.full_coverage {
+            "full"
+        } else {
+            "INCOMPLETE"
+        },
     ));
     out.push_str(&format!(
         "\nDevice hot loop (train_samples, LeNet): {:.1} ns/sample with the \
@@ -583,6 +976,57 @@ mod tests {
         assert!(ev.lockstep_wall_s > 0.0);
         assert!(ev.event_wall_s > 0.0);
         assert!(ev.speedup > 0.0);
+    }
+
+    #[test]
+    fn hier_arm_keeps_byte_identity_at_every_thread_count() {
+        let h = &sweep().hier;
+        assert!(h.parity, "hierarchical engine diverged from flat");
+        assert_eq!(h.population, 1_000);
+        assert_eq!(h.thread_counts, vec![1, 2, 4]);
+        assert!(h.flat_wall_s > 0.0);
+        assert!(h.hier_wall_s > 0.0);
+    }
+
+    #[test]
+    fn mega_arm_inflates_only_the_active_set() {
+        let m = &sweep().mega;
+        assert_eq!(m.population, 10_000);
+        assert_eq!(m.active, 100);
+        assert_eq!(m.inflated, m.active, "idle devices must stay pristine");
+        assert!(m.full_coverage);
+        assert!(m.mean_makespan_s > 0.0);
+        // Resident cost must stay far below full materialization:
+        // pristine columns plus the inflated active set only.
+        let per_device = m.resident_bytes as f64 / m.population as f64;
+        assert!(per_device < 128.0, "resident {per_device:.1} B/device");
+    }
+
+    #[test]
+    fn mega_sweep_is_byte_identical_to_the_hier_engine_at_small_n() {
+        assert!(mega_matches_hier(200, 20, 3, 7));
+        // Degenerate geometries: single cohort (passthrough fold) and a
+        // fully idle population.
+        assert!(mega_matches_hier(40, 5, 2, 7));
+        assert!(mega_matches_hier(130, 0, 2, 7));
+    }
+
+    #[test]
+    fn sparse_schedule_spreads_the_active_set() {
+        let s = sparse_schedule(1_000, 10);
+        assert_eq!(s.active_users(), 10);
+        // Spread across cohorts, not packed into the first one.
+        let first_cohort: usize = s.shards[..DEFAULT_COHORT_SIZE].iter().sum();
+        assert!(first_cohort < 10);
+        assert_eq!(sparse_schedule(100, 0).active_users(), 0);
+    }
+
+    #[test]
+    fn render_reports_hierarchy_and_mega_sections() {
+        let s = render(sweep());
+        assert!(s.contains("Two-tier hierarchy"), "missing section:\n{s}");
+        assert!(s.contains("Mega-scale"), "missing section:\n{s}");
+        assert!(s.contains("matched"), "parity not rendered:\n{s}");
     }
 
     #[test]

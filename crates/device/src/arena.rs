@@ -1,0 +1,317 @@
+//! Struct-of-arrays device population for million-device simulations.
+//!
+//! A full [`Device`] carries a thermal integrator, per-cluster governors,
+//! a battery and an RNG — hundreds of bytes that only matter once the
+//! device actually trains. At 1M devices the vast majority never train in
+//! a given run (schedulers activate sparse cohorts), so [`DeviceArena`]
+//! keeps the population as three flat columns — a `u32` index into a
+//! deduplicated spec table, a seed, and an inflation slot — and only
+//! materialises the full simulator state for devices that are touched.
+//!
+//! # Bit-identity contract
+//!
+//! The arena is a *storage layout*, never an approximation. Inflating
+//! device `i` runs exactly `Device::new(spec.clone(), seed)` — the same
+//! constructor a scalar population uses — and every subsequent step runs
+//! the real `Device` integrator on that state. Pristine devices answer
+//! the two queries schedulers poll without inflating, with the values a
+//! fresh `Device` would report:
+//!
+//! * [`battery_soc`](DeviceArena::battery_soc) — a fresh battery is full,
+//!   so pristine devices report `1.0`;
+//! * [`cool_down`](DeviceArena::cool_down) — on a fresh device this is
+//!   the identity (thermal and governors reset to the state they were
+//!   constructed in; the burst window is already cleared), so the arena
+//!   only touches inflated devices.
+//!
+//! `tests/hier_identity.rs` pins the contract by driving arena-backed and
+//! scalar populations through the golden scenarios and comparing traces
+//! byte for byte.
+//!
+//! # Cost
+//!
+//! A pristine device costs 20 bytes of column data (4 + 8 + 8): ~20 MB
+//! for a million-device population, versus gigabytes fully materialised.
+
+use std::mem;
+
+use fedsched_telemetry::Probe;
+
+use crate::presets::{DeviceModel, DeviceSpec};
+use crate::soc::Device;
+
+/// Flat, lazily-inflated device population. See the module docs for the
+/// bit-identity contract.
+pub struct DeviceArena {
+    /// Deduplicated spec table; real populations cycle a handful of phone
+    /// models, so this stays tiny and the per-device column is a `u32`.
+    specs: Vec<DeviceSpec>,
+    /// Per-device index into `specs`.
+    spec_of: Vec<u32>,
+    /// Per-device RNG seed.
+    seeds: Vec<u64>,
+    /// Inflation slots: `None` = pristine (reconstructible on demand).
+    state: Vec<Option<Box<Device>>>,
+    /// Probe attached to devices at inflation time.
+    probe: Probe,
+}
+
+impl DeviceArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        DeviceArena {
+            specs: Vec::new(),
+            spec_of: Vec::new(),
+            seeds: Vec::new(),
+            state: Vec::new(),
+            probe: Probe::disabled(),
+        }
+    }
+
+    /// Build from `(model, seed)` pairs using the calibrated presets.
+    pub fn from_models(pairs: impl IntoIterator<Item = (DeviceModel, u64)>) -> Self {
+        let mut arena = DeviceArena::new();
+        for (model, seed) in pairs {
+            arena.push(model.spec(), seed);
+        }
+        arena
+    }
+
+    /// Attach the probe devices receive when they inflate (builder form).
+    /// Already-inflated devices are updated too.
+    pub fn with_probe(mut self, probe: Probe) -> Self {
+        self.set_probe(probe);
+        self
+    }
+
+    /// Attach or replace the inflation probe in place; already-inflated
+    /// devices are updated too.
+    pub fn set_probe(&mut self, probe: Probe) {
+        self.probe = probe;
+        for slot in self.state.iter_mut().flatten() {
+            slot.set_probe(self.probe.clone());
+        }
+    }
+
+    /// Append a device; returns its index. The spec is deduplicated
+    /// against the table by structural equality.
+    pub fn push(&mut self, spec: DeviceSpec, seed: u64) -> usize {
+        let spec_idx = match self.specs.iter().position(|s| *s == spec) {
+            Some(idx) => idx,
+            None => {
+                assert!(
+                    self.specs.len() < u32::MAX as usize,
+                    "spec table overflow: {} distinct specs",
+                    self.specs.len()
+                );
+                self.specs.push(spec);
+                self.specs.len() - 1
+            }
+        };
+        self.spec_of.push(spec_idx as u32);
+        self.seeds.push(seed);
+        self.state.push(None);
+        self.spec_of.len() - 1
+    }
+
+    /// Devices in the arena.
+    pub fn len(&self) -> usize {
+        self.spec_of.len()
+    }
+
+    /// True iff the arena holds no devices.
+    pub fn is_empty(&self) -> bool {
+        self.spec_of.is_empty()
+    }
+
+    /// Distinct specs in the deduplicated table.
+    pub fn n_specs(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Devices currently inflated to full simulator state.
+    pub fn n_inflated(&self) -> usize {
+        self.state.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// True iff device `i` has never been inflated.
+    pub fn is_pristine(&self, i: usize) -> bool {
+        self.state[i].is_none()
+    }
+
+    /// Device `i`'s spec (never inflates).
+    pub fn spec(&self, i: usize) -> &DeviceSpec {
+        &self.specs[self.spec_of[i] as usize]
+    }
+
+    /// Device `i`'s seed (never inflates).
+    pub fn seed(&self, i: usize) -> u64 {
+        self.seeds[i]
+    }
+
+    /// Device `i`'s battery state of charge — the field energy-aware
+    /// schedulers poll on their hot path. Pristine devices report a full
+    /// battery without inflating.
+    pub fn battery_soc(&self, i: usize) -> f64 {
+        match &self.state[i] {
+            Some(device) => device.battery_soc(),
+            None => 1.0,
+        }
+    }
+
+    /// Full simulator access to device `i`, inflating it on first touch.
+    pub fn device(&mut self, i: usize) -> &mut Device {
+        if self.state[i].is_none() {
+            let device =
+                Device::new(self.spec(i).clone(), self.seeds[i]).with_probe(self.probe.clone());
+            self.state[i] = Some(Box::new(device));
+        }
+        self.state[i].as_mut().unwrap()
+    }
+
+    /// Idle the whole population between training sessions. Pristine
+    /// devices are untouched: a fresh device is already cold, so
+    /// `cool_down` is the identity on them (see the module docs).
+    pub fn cool_down(&mut self) {
+        for slot in self.state.iter_mut().flatten() {
+            slot.cool_down();
+        }
+    }
+
+    /// Inflate everything and hand back the population as scalar devices,
+    /// in index order — the bridge to APIs that take `Vec<Device>`.
+    pub fn into_devices(mut self) -> Vec<Device> {
+        (0..self.len())
+            .map(|i| {
+                if self.state[i].is_none() {
+                    let _ = self.device(i);
+                }
+                *self.state[i].take().unwrap()
+            })
+            .collect()
+    }
+
+    /// Estimated resident bytes: the flat columns plus the inflated
+    /// slots. The per-device floor (pristine) is 20 bytes of column data
+    /// plus the slot pointer.
+    pub fn resident_bytes(&self) -> usize {
+        let columns = self.spec_of.capacity() * mem::size_of::<u32>()
+            + self.seeds.capacity() * mem::size_of::<u64>()
+            + self.state.capacity() * mem::size_of::<Option<Box<Device>>>();
+        columns + self.n_inflated() * mem::size_of::<Device>()
+    }
+}
+
+impl Default for DeviceArena {
+    fn default() -> Self {
+        DeviceArena::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::TrainingWorkload;
+
+    fn population(n: usize, master: u64) -> Vec<(DeviceModel, u64)> {
+        let models = DeviceModel::all();
+        (0..n)
+            .map(|i| {
+                (
+                    models[i % models.len()],
+                    master.wrapping_add(i as u64 * 0x9E37_79B9),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn arena_dedupes_specs_and_stays_pristine_until_touched() {
+        let arena = DeviceArena::from_models(population(64, 7));
+        assert_eq!(arena.len(), 64);
+        assert_eq!(arena.n_specs(), DeviceModel::all().len());
+        assert_eq!(arena.n_inflated(), 0);
+        assert!((0..64).all(|i| arena.is_pristine(i)));
+        assert!((0..64).all(|i| arena.battery_soc(i) == 1.0));
+    }
+
+    #[test]
+    fn inflated_device_is_bit_identical_to_scalar_construction() {
+        let wl = TrainingWorkload::lenet();
+        let mut arena = DeviceArena::from_models(population(8, 2020));
+        let mut scalars: Vec<Device> = population(8, 2020)
+            .into_iter()
+            .map(|(m, s)| Device::from_model(m, s))
+            .collect();
+        for (i, b) in scalars.iter_mut().enumerate() {
+            let a = arena.device(i);
+            // Drive both through the same stateful sequence: train, query,
+            // cool down, train again. Every float must match bit for bit.
+            let ta = a.train_samples(&wl, 300);
+            let tb = b.train_samples(&wl, 300);
+            assert_eq!(ta.to_bits(), tb.to_bits(), "device {i} diverged");
+            assert_eq!(a.battery_soc().to_bits(), b.battery_soc().to_bits());
+            a.cool_down();
+            b.cool_down();
+            let ta = a.train_samples(&wl, 500);
+            let tb = b.train_samples(&wl, 500);
+            assert_eq!(ta.to_bits(), tb.to_bits(), "device {i} diverged post-cool");
+        }
+        assert_eq!(arena.n_inflated(), 8);
+    }
+
+    #[test]
+    fn cool_down_leaves_pristine_devices_pristine_and_exact() {
+        let wl = TrainingWorkload::lenet();
+        let mut arena = DeviceArena::from_models(population(4, 99));
+        let _ = arena.device(1).train_samples(&wl, 200);
+        arena.cool_down();
+        assert!(arena.is_pristine(0));
+        assert!(!arena.is_pristine(1));
+        assert_eq!(arena.n_inflated(), 1);
+
+        // A pristine device inflated *after* a cool_down behaves exactly
+        // like a fresh scalar device that was cooled before ever training
+        // — cool_down on a fresh device is the identity.
+        let mut scalar = Device::from_model(arena.spec(0).model, arena.seed(0));
+        scalar.cool_down();
+        let ta = arena.device(0).train_samples(&wl, 200);
+        let tb = scalar.train_samples(&wl, 200);
+        assert_eq!(ta.to_bits(), tb.to_bits());
+    }
+
+    #[test]
+    fn into_devices_preserves_state_and_order() {
+        let wl = TrainingWorkload::lenet();
+        let mut arena = DeviceArena::from_models(population(6, 42));
+        let t_before = arena.device(3).train_samples(&wl, 400);
+        let devices = arena.into_devices();
+        assert_eq!(devices.len(), 6);
+        // Device 3 kept its advanced state (warmer => different timing
+        // than a fresh twin); device 0 is exactly a fresh twin.
+        let mut fresh3 =
+            Device::from_model(devices[3].model(), 42u64.wrapping_add(3 * 0x9E37_79B9));
+        let t_fresh = fresh3.train_samples(&wl, 400);
+        assert_eq!(t_before.to_bits(), t_fresh.to_bits());
+        let mut carried = devices;
+        let t_after = carried[3].train_samples(&wl, 400);
+        assert_ne!(
+            t_after.to_bits(),
+            t_before.to_bits(),
+            "carried state must differ from a fresh run"
+        );
+    }
+
+    #[test]
+    fn pristine_cost_is_tens_of_bytes_per_device() {
+        let mut arena = DeviceArena::new();
+        for (m, s) in population(10_000, 5) {
+            arena.push(m.spec(), s);
+        }
+        let per_device = arena.resident_bytes() as f64 / arena.len() as f64;
+        assert!(
+            per_device < 64.0,
+            "pristine cost {per_device:.1} B/device, want tens of bytes"
+        );
+    }
+}

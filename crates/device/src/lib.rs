@@ -29,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod battery;
 pub mod governor;
 pub mod presets;
@@ -38,6 +39,7 @@ pub mod thermal;
 pub mod trace;
 pub mod workload;
 
+pub use arena::DeviceArena;
 pub use battery::Battery;
 pub use governor::InteractiveGovernor;
 pub use presets::{DeviceModel, DeviceSpec};

@@ -37,6 +37,7 @@ use fedsched_telemetry::Probe;
 use crate::cohorts::{ChaosOptions, EngineKind, ParallelRoundEngine};
 use crate::coordinator::{CoordinationMode, Coordinator};
 use crate::eventsim::{AdmissionPolicy, EventRoundSim};
+use crate::hier::HierEngine;
 use crate::resilient::ResilientRoundSim;
 use crate::roundsim::RoundSim;
 
@@ -87,6 +88,9 @@ pub enum ConfigError {
     /// Malformed churn process or admission policy combination; the
     /// payload is the violated rule.
     InvalidChurn(&'static str),
+    /// Malformed hierarchical topology (edge/cohort geometry); the
+    /// payload is the violated rule.
+    InvalidTopology(&'static str),
 }
 
 impl ConfigError {
@@ -107,6 +111,7 @@ impl ConfigError {
             ConfigError::InvalidAggregator(_) => "invalid_aggregator",
             ConfigError::InvalidAdversary(_) => "invalid_adversary",
             ConfigError::InvalidChurn(_) => "invalid_churn",
+            ConfigError::InvalidTopology(_) => "invalid_topology",
         }
     }
 }
@@ -147,6 +152,9 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::InvalidChurn(rule) => {
                 write!(f, "invalid churn config: {rule}")
+            }
+            ConfigError::InvalidTopology(rule) => {
+                write!(f, "invalid hierarchical topology: {rule}")
             }
         }
     }
@@ -216,6 +224,10 @@ pub struct SimBuilder {
     engine_kind: Option<EngineKind>,
     churn: Option<ChurnConfig>,
     admission: Option<AdmissionPolicy>,
+    edges: Option<usize>,
+    edge_link: Option<Link>,
+    edge_aggregator: Option<AggregatorKind>,
+    server_aggregator: Option<AggregatorKind>,
 }
 
 impl SimBuilder {
@@ -241,6 +253,10 @@ impl SimBuilder {
             engine_kind: None,
             churn: None,
             admission: None,
+            edges: None,
+            edge_link: None,
+            edge_aggregator: None,
+            server_aggregator: None,
         }
     }
 
@@ -368,6 +384,39 @@ impl SimBuilder {
         self
     }
 
+    /// Number of edge aggregators in a two-tier topology
+    /// ([`build_hier`](SimBuilder::build_hier) only). Cohorts are split
+    /// across edges in balanced contiguous spans; defaults to one edge
+    /// per cohort, the parity topology that is byte-identical to the
+    /// flat engine.
+    pub fn edges(mut self, edges: usize) -> Self {
+        self.edges = Some(edges);
+        self
+    }
+
+    /// Edge→server backhaul link ([`build_hier`](SimBuilder::build_hier)
+    /// only): each edge's round makespan gains one sampled transfer of
+    /// the model payload, drawn from the edge's own RNG stream.
+    pub fn edge_link(mut self, link: Link) -> Self {
+        self.edge_link = Some(link);
+        self
+    }
+
+    /// Robust aggregation rule applied at the *edge* tier over per-cohort
+    /// proxy updates ([`build_hier`](SimBuilder::build_hier) only).
+    pub fn edge_aggregator(mut self, kind: AggregatorKind) -> Self {
+        self.edge_aggregator = Some(kind);
+        self
+    }
+
+    /// Robust aggregation rule applied at the *server* tier over
+    /// per-edge proxy updates ([`build_hier`](SimBuilder::build_hier)
+    /// only).
+    pub fn server_aggregator(mut self, kind: AggregatorKind) -> Self {
+        self.server_aggregator = Some(kind);
+        self
+    }
+
     /// Coordinate cohorts through a buffered asynchronous aggregator
     /// (coordinator only): merge as soon as `buffer` cohort updates are
     /// queued, discounting each by FedAsync staleness weight with base
@@ -375,6 +424,24 @@ impl SimBuilder {
     pub fn buffered_async(mut self, buffer: usize, eta: f64) -> Self {
         self.async_opts = Some(AsyncOptions { buffer, eta });
         self
+    }
+
+    /// Reject hierarchy knobs on every non-hierarchical build target —
+    /// dropping a topology silently would fake a two-tier run.
+    fn reject_hier(&self) -> Result<(), ConfigError> {
+        if self.edges.is_some() {
+            return Err(ConfigError::UnsupportedOption("edges"));
+        }
+        if self.edge_link.is_some() {
+            return Err(ConfigError::UnsupportedOption("edge_link"));
+        }
+        if self.edge_aggregator.is_some() {
+            return Err(ConfigError::UnsupportedOption("edge_aggregator"));
+        }
+        if self.server_aggregator.is_some() {
+            return Err(ConfigError::UnsupportedOption("server_aggregator"));
+        }
+        Ok(())
     }
 
     /// True iff some knob forces the fault-tolerant path.
@@ -528,6 +595,7 @@ impl SimBuilder {
     /// deadline, cohort and async knob — the quiet sim has no machinery to
     /// honour them, and dropping them silently would fake fidelity.
     pub fn build_sim(self) -> Result<RoundSim, ConfigError> {
+        self.reject_hier()?;
         if self.wants_chaos() {
             return Err(ConfigError::UnsupportedOption(self.first_chaos_option()));
         }
@@ -574,6 +642,7 @@ impl SimBuilder {
     /// [`build_event_sim`](SimBuilder::build_event_sim) reaches after
     /// folding churn into the fault config.
     fn build_resilient_core(self) -> Result<ResilientRoundSim, ConfigError> {
+        self.reject_hier()?;
         if self.cohort_size.is_some() {
             return Err(ConfigError::UnsupportedOption("cohort_size"));
         }
@@ -676,6 +745,7 @@ impl SimBuilder {
     /// cohort* (use [`build_coordinator`](SimBuilder::build_coordinator)
     /// for one population-pooled deadline).
     pub fn build_engine(self) -> Result<ParallelRoundEngine, ConfigError> {
+        self.reject_hier()?;
         if self.injector.is_some() {
             return Err(ConfigError::UnsupportedOption("injector"));
         }
@@ -697,6 +767,7 @@ impl SimBuilder {
     /// round) in barrier mode, or is rejected in buffered-async mode where
     /// no global barrier exists.
     pub fn build_coordinator(self) -> Result<Coordinator, ConfigError> {
+        self.reject_hier()?;
         if self.injector.is_some() {
             return Err(ConfigError::UnsupportedOption("injector"));
         }
@@ -724,6 +795,63 @@ impl SimBuilder {
         let force_chaos = !policy.is_off();
         let engine = builder.build_engine_with(force_chaos)?;
         Ok(Coordinator::from_parts(engine, policy, mode))
+    }
+
+    /// Build a two-tier [`HierEngine`]: edge aggregators reduce balanced
+    /// contiguous cohort spans, the server reduces the edge aggregates.
+    /// The underlying cohorts honour every engine knob (faults,
+    /// deadlines, event-driven cores, churn on event cores); topology
+    /// knobs add on top. With the defaults — one edge per cohort, no
+    /// backhaul link, FedAvg at both tiers — reports *and traces* are
+    /// byte-identical to [`build_engine`](SimBuilder::build_engine) at
+    /// every thread count.
+    pub fn build_hier(mut self) -> Result<HierEngine, ConfigError> {
+        if self.injector.is_some() {
+            return Err(ConfigError::UnsupportedOption("injector"));
+        }
+        if self.rescheduler.is_some() {
+            return Err(ConfigError::UnsupportedOption("rescheduler"));
+        }
+        if self.priors.is_some() {
+            return Err(ConfigError::UnsupportedOption("priors"));
+        }
+        if self.async_opts.is_some() {
+            return Err(ConfigError::UnsupportedOption("buffered_async"));
+        }
+        let edges = self.edges.take();
+        let edge_link = self.edge_link.take();
+        let edge_aggregator = self.edge_aggregator.take().unwrap_or_default();
+        let server_aggregator = self.server_aggregator.take().unwrap_or_default();
+        edge_aggregator
+            .validate()
+            .map_err(ConfigError::InvalidAggregator)?;
+        server_aggregator
+            .validate()
+            .map_err(ConfigError::InvalidAggregator)?;
+        if edges == Some(0) {
+            return Err(ConfigError::InvalidTopology(
+                "hierarchy needs at least one edge aggregator",
+            ));
+        }
+        let model_bytes = self.config.model_bytes;
+        let seed = self.config.seed;
+        let engine = self.build_engine_with(false)?;
+        let n_cohorts = engine.n_cohorts();
+        let edges = edges.unwrap_or(n_cohorts);
+        if edges > n_cohorts {
+            return Err(ConfigError::InvalidTopology(
+                "more edge aggregators than cohorts",
+            ));
+        }
+        Ok(HierEngine::from_parts(
+            engine,
+            edges,
+            edge_link,
+            edge_aggregator,
+            server_aggregator,
+            model_bytes,
+            seed,
+        ))
     }
 
     fn build_engine_with(mut self, force_chaos: bool) -> Result<ParallelRoundEngine, ConfigError> {
@@ -1088,6 +1216,97 @@ mod tests {
     }
 
     #[test]
+    fn hier_knobs_are_rejected_off_the_hier_target() {
+        let err = SimBuilder::new(devices(1), config(1))
+            .edges(2)
+            .build_sim()
+            .err()
+            .unwrap();
+        assert_eq!(err, ConfigError::UnsupportedOption("edges"));
+
+        let err = SimBuilder::new(devices(1), config(1))
+            .edge_link(Link::lte_tmobile())
+            .build_resilient()
+            .err()
+            .unwrap();
+        assert_eq!(err, ConfigError::UnsupportedOption("edge_link"));
+
+        let err = SimBuilder::new(devices(1), config(1))
+            .edge_aggregator(AggregatorKind::Median)
+            .build_engine()
+            .err()
+            .unwrap();
+        assert_eq!(err, ConfigError::UnsupportedOption("edge_aggregator"));
+
+        let err = SimBuilder::new(devices(1), config(1))
+            .server_aggregator(AggregatorKind::Median)
+            .build_coordinator()
+            .err()
+            .unwrap();
+        assert_eq!(err, ConfigError::UnsupportedOption("server_aggregator"));
+
+        let err = SimBuilder::new(devices(1), config(1))
+            .edges(1)
+            .build_event_sim()
+            .err()
+            .unwrap();
+        assert_eq!(err, ConfigError::UnsupportedOption("edges"));
+    }
+
+    #[test]
+    fn malformed_topologies_are_typed() {
+        let err = SimBuilder::new(devices(1), config(1))
+            .edges(0)
+            .build_hier()
+            .err()
+            .unwrap();
+        assert_eq!(err.cause_code(), "invalid_topology");
+
+        // testbed_1 has 3 devices => 1 cohort at the default cohort size.
+        let err = SimBuilder::new(devices(1), config(1))
+            .edges(2)
+            .build_hier()
+            .err()
+            .unwrap();
+        assert_eq!(
+            err,
+            ConfigError::InvalidTopology("more edge aggregators than cohorts")
+        );
+
+        // Hier still rejects knobs the engine core cannot honour.
+        let err = SimBuilder::new(devices(1), config(1))
+            .buffered_async(2, 0.5)
+            .build_hier()
+            .err()
+            .unwrap();
+        assert_eq!(err, ConfigError::UnsupportedOption("buffered_async"));
+
+        // Tier aggregators are validated like the device-tier one.
+        let err = SimBuilder::new(devices(1), config(1))
+            .edge_aggregator(AggregatorKind::MultiKrum { f: 1, k: 0 })
+            .build_hier()
+            .err()
+            .unwrap();
+        assert_eq!(err.cause_code(), "invalid_aggregator");
+    }
+
+    #[test]
+    fn hier_defaults_build_and_report_parity_shape() {
+        let mut hier = SimBuilder::new(devices(3), config(3)).build_hier().unwrap();
+        assert_eq!(hier.n_edges(), hier.n_cohorts());
+        let report = hier.run(&schedule(), 2);
+        let mut flat = SimBuilder::new(devices(3), config(3))
+            .build_engine()
+            .unwrap();
+        let flat_report = flat.run(&schedule(), 2);
+        assert_eq!(report.timing, flat_report.timing);
+        assert_eq!(report.rounds, flat_report.rounds);
+        assert_eq!(report.cohorts, flat_report.cohorts);
+        assert_eq!(report.edge_rejections, 0);
+        assert_eq!(report.server_rejections, 0);
+    }
+
+    #[test]
     fn configure_after_run_is_typed() {
         let mut engine = SimBuilder::new(devices(3), config(3))
             .build_engine()
@@ -1128,6 +1347,7 @@ mod tests {
             (ConfigError::InvalidAggregator("x"), "invalid_aggregator"),
             (ConfigError::InvalidAdversary("x"), "invalid_adversary"),
             (ConfigError::InvalidChurn("x"), "invalid_churn"),
+            (ConfigError::InvalidTopology("x"), "invalid_topology"),
         ];
         for (err, code) in cases {
             assert_eq!(err.cause_code(), code);

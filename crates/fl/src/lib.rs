@@ -32,6 +32,7 @@ pub mod coordinator;
 pub mod engine;
 pub mod eventsim;
 pub mod gossip;
+pub mod hier;
 pub mod metrics;
 pub mod resilient;
 pub mod roundsim;
@@ -51,6 +52,7 @@ pub use coordinator::{
 pub use engine::{FlOutcome, FlSetup};
 pub use eventsim::{AdmissionPolicy, EventRoundSim};
 pub use gossip::{GossipOutcome, GossipSetup, Topology};
+pub use hier::{derive_edge_seed, edge_cohort_ranges, EdgeReport, HierEngine, HierReport};
 pub use metrics::{analyze_round, cosine_similarity, DivergenceReport};
 pub use resilient::{ChaosReport, ResilientRoundSim, RoundOutcome};
 pub use roundsim::{RoundSim, TimingReport};

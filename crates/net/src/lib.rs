@@ -96,6 +96,19 @@ impl Link {
         }
     }
 
+    /// Edge-aggregator backhaul: a wired metro link from an edge site to
+    /// the parameter server. Fast and symmetric with low jitter — the
+    /// hierarchy's edge→server hop should cost far less than the device
+    /// tier it aggregates.
+    pub fn edge_backhaul() -> Self {
+        Link {
+            uplink_mbps: 1000.0,
+            downlink_mbps: 1000.0,
+            rtt_s: 0.005,
+            jitter_sigma: 0.01,
+        }
+    }
+
     /// A custom link.
     ///
     /// # Panics
@@ -236,6 +249,22 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn invalid_link_rejected() {
         let _ = Link::new(0.0, 10.0, 0.0, 0.0);
+    }
+
+    #[test]
+    fn edge_backhaul_is_far_cheaper_than_device_links() {
+        let backhaul = Link::edge_backhaul();
+        let bytes = model_transfer_bytes(&ModelArch::vgg6());
+        assert!(backhaul.round_seconds(bytes) < Link::wifi_campus().round_seconds(bytes) / 5.0);
+        assert!(backhaul.jitter_sigma < Link::wifi_campus().jitter_sigma);
+        // Valid under the constructor's own rules.
+        let rebuilt = Link::new(
+            backhaul.uplink_mbps,
+            backhaul.downlink_mbps,
+            backhaul.rtt_s,
+            backhaul.jitter_sigma,
+        );
+        assert_eq!(rebuilt, backhaul);
     }
 
     #[test]

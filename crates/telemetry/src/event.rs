@@ -255,6 +255,23 @@ pub enum Event {
         /// Users in the cohort cut off by the deadline.
         timed_out: usize,
     },
+    /// An edge aggregator reduced its cohorts' round results before
+    /// forwarding one aggregate to the server (two-tier topology).
+    EdgeReduce {
+        round: usize,
+        /// Edge aggregator index (topology-level, like cohort indices;
+        /// never remapped).
+        edge: usize,
+        /// Cohorts this edge reduced.
+        cohorts: usize,
+        /// Devices under this edge.
+        devices: usize,
+        /// The edge's reduced round makespan (edge-link time included
+        /// when a backhaul link is configured).
+        makespan_s: f64,
+        /// Sampled edge→server backhaul seconds (0 when no edge link).
+        link_s: f64,
+    },
 
     // ---- async / gossip / dropout decision points --------------------------
     /// The async FL server merged a client update with a
@@ -313,6 +330,7 @@ impl Event {
             Event::GroupOutage { .. } => "group_outage",
             Event::GlobalDeadlineSet { .. } => "global_deadline_set",
             Event::CohortStraggling { .. } => "cohort_straggling",
+            Event::EdgeReduce { .. } => "edge_reduce",
             Event::AsyncMerge { .. } => "async_merge",
             Event::GossipMix { .. } => "gossip_mix",
             Event::DeadlineDrop { .. } => "deadline_drop",
@@ -755,6 +773,22 @@ impl Event {
                     None => out.push_str("null"),
                 }
                 let _ = write!(out, ",\"timed_out\":{timed_out}");
+            }
+            Event::EdgeReduce {
+                round,
+                edge,
+                cohorts,
+                devices,
+                makespan_s,
+                link_s,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"round\":{round},\"edge\":{edge},\
+                     \"cohorts\":{cohorts},\"devices\":{devices}"
+                );
+                push_f64_field(&mut out, "makespan_s", *makespan_s);
+                push_f64_field(&mut out, "link_s", *link_s);
             }
             Event::AsyncMerge {
                 t_s,
@@ -1219,6 +1253,19 @@ mod tests {
             "{\"ev\":\"cohort_straggling\",\"round\":1,\"cohort\":4,\
              \"makespan_s\":99.25,\"deadline_s\":60.0,\"timed_out\":3}"
         );
+        let ev = Event::EdgeReduce {
+            round: 2,
+            edge: 3,
+            cohorts: 4,
+            devices: 256,
+            makespan_s: 75.5,
+            link_s: 0.25,
+        };
+        assert_eq!(
+            ev.to_json(),
+            "{\"ev\":\"edge_reduce\",\"round\":2,\"edge\":3,\"cohorts\":4,\
+             \"devices\":256,\"makespan_s\":75.5,\"link_s\":0.25}"
+        );
     }
 
     #[test]
@@ -1241,6 +1288,98 @@ mod tests {
             timed_out: 0,
         };
         assert_eq!(straggle.clone().with_user_offset(64), straggle);
+        // Edge indices are topology-level, never remapped either.
+        let reduce = Event::EdgeReduce {
+            round: 0,
+            edge: 5,
+            cohorts: 2,
+            devices: 128,
+            makespan_s: 3.0,
+            link_s: 0.0,
+        };
+        assert_eq!(reduce.clone().with_user_offset(64), reduce);
+    }
+
+    #[test]
+    fn million_scale_ids_survive_offsets_and_encoding() {
+        // Device/user indices are `usize` end to end: offsets past the
+        // 16/32-bit boundaries must neither wrap nor truncate, for every
+        // remapped variant. This is the 1M-id regression guard for the
+        // hierarchical scale-out path (cohort splicing at offsets near
+        // the end of a million-device population).
+        let big = 1_000_000usize;
+        let huge = big * 1_000; // 1e9 — far past any 32-bit-ish boundary
+        let span = Event::UserSpan {
+            round: 99,
+            user: 999_999,
+            compute_s: 1.0,
+            comm_s: 0.5,
+        };
+        let shifted = span.with_user_offset(huge);
+        assert_eq!(
+            shifted,
+            Event::UserSpan {
+                round: 99,
+                user: 1_000_999_999,
+                compute_s: 1.0,
+                comm_s: 0.5,
+            }
+        );
+        assert!(
+            shifted.to_json().contains("\"user\":1000999999"),
+            "large ids must encode verbatim: {}",
+            shifted.to_json()
+        );
+        let reassigned = Event::ShardsReassigned {
+            round: 0,
+            from_user: big - 1,
+            to_user: big - 2,
+            shards: 3,
+        }
+        .with_user_offset(big);
+        assert_eq!(
+            reassigned,
+            Event::ShardsReassigned {
+                round: 0,
+                from_user: 2 * big - 1,
+                to_user: 2 * big - 2,
+                shards: 3,
+            }
+        );
+        let fault = Event::FaultInjected {
+            round: 1,
+            device: Some(big - 1),
+            kind: "crash".into(),
+            magnitude: 0.5,
+        }
+        .with_user_offset(big);
+        assert_eq!(
+            fault,
+            Event::FaultInjected {
+                round: 1,
+                device: Some(2 * big - 1),
+                kind: "crash".into(),
+                magnitude: 0.5,
+            }
+        );
+        assert!(fault.to_json().contains("\"device\":1999999"));
+        // Stacked offsets compose additively (splice-of-splice, as in a
+        // two-tier topology replaying cohort buffers through an edge).
+        let stacked = Event::RoundEnd {
+            round: 0,
+            makespan_s: 1.0,
+            straggler: 7,
+        }
+        .with_user_offset(big)
+        .with_user_offset(big);
+        assert_eq!(
+            stacked,
+            Event::RoundEnd {
+                round: 0,
+                makespan_s: 1.0,
+                straggler: 2 * big + 7,
+            }
+        );
     }
 
     #[test]
@@ -1475,6 +1614,14 @@ mod tests {
                 predicted_s: 1.0,
                 deadline_s: 0.5,
                 lost_shards: 1,
+            },
+            Event::EdgeReduce {
+                round: 0,
+                edge: 0,
+                cohorts: 1,
+                devices: 64,
+                makespan_s: 1.0,
+                link_s: 0.0,
             },
         ];
         for ev in events {

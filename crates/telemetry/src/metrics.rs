@@ -314,6 +314,7 @@ impl MetricsRegistry {
     /// | `group_outage` | `group_outages`, `group_outage_devices` | — |
     /// | `global_deadline_set` | `global_deadlines_set` | `global_deadline_s` |
     /// | `cohort_straggling` | `cohort_straggling` | `cohort_straggle_makespan_s` |
+    /// | `edge_reduce` | `edge_reduces` | `edge_reduce_makespan_s`, `edge_link_s` |
     /// | `async_merge` | `async_merges` | `async_staleness`, `async_mix_weight` |
     /// | `gossip_mix` | `gossip_mixes` | `gossip_consensus_gap` |
     /// | `deadline_drop` | `deadline_drops`, `deadline_lost_shards` | — |
@@ -413,6 +414,13 @@ impl MetricsRegistry {
                 Event::CohortStraggling { makespan_s, .. } => {
                     self.incr("cohort_straggling", 1);
                     self.observe("cohort_straggle_makespan_s", *makespan_s);
+                }
+                Event::EdgeReduce {
+                    makespan_s, link_s, ..
+                } => {
+                    self.incr("edge_reduces", 1);
+                    self.observe("edge_reduce_makespan_s", *makespan_s);
+                    self.observe("edge_link_s", *link_s);
                 }
                 Event::AsyncMerge {
                     staleness, weight, ..

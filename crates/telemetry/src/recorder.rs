@@ -330,6 +330,33 @@ mod tests {
     }
 
     #[test]
+    fn splice_offsets_past_a_million_devices_do_not_truncate() {
+        // The hierarchical engine splices cohort buffers at offsets near
+        // the end of a 1M-device population; the remap must stay `usize`
+        // arithmetic with no narrow intermediate anywhere in the splice.
+        let offset = 1_000_000usize - 64;
+        let buffer = EventLog::new();
+        buffer.record(&Event::UserSpan {
+            round: 0,
+            user: 63,
+            compute_s: 0.5,
+            comm_s: 0.25,
+        });
+        let spliced = EventLog::new();
+        spliced.extend(
+            buffer
+                .take()
+                .into_iter()
+                .map(|e| e.with_user_offset(offset)),
+        );
+        assert_eq!(
+            spliced.to_jsonl(),
+            "{\"ev\":\"user_span\",\"round\":0,\"user\":999999,\
+             \"compute_s\":0.5,\"comm_s\":0.25}\n"
+        );
+    }
+
+    #[test]
     fn event_log_jsonl_is_reproducible() {
         let make = || {
             let log = EventLog::new();

@@ -94,12 +94,22 @@ FEDSCHED_THREADS=8 cargo test -q --test event_identity churn
 cargo test -q --test golden_trace churn
 cargo test -q -p fedsched-bench churn
 
+echo "==> hierarchy suite (flat-vs-hier bit identity + arena + topology proptests)"
+cargo test -q -p fedsched-fl hier
+cargo test -q -p fedsched-device arena
+cargo test -q --test hier_identity
+FEDSCHED_THREADS=4 cargo test -q --test hier_identity
+FEDSCHED_THREADS=8 cargo test -q --test hier_identity
+cargo test -q --test golden_trace hier
+
 echo "==> scale smoke (engine speedup sweep + makespan parity)"
 cargo test -q -p fedsched-bench scaleout
 
 if [[ "$QUICK" -eq 0 ]]; then
   echo "==> event engine scale smoke (parity at 1k, wall-clock win at 10k)"
   cargo run -q --release -p fedsched-bench --bin exp_scale -- --event-check
+  echo "==> hierarchy scale smoke (parity at 1k; arena-vs-hier + budgets at 100k)"
+  cargo run -q --release -p fedsched-bench --bin exp_scale -- --hier-check
 fi
 
 echo "==> verify OK"

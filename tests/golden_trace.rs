@@ -48,10 +48,22 @@ fn churn_golden_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/churn_multicohort.jsonl")
 }
 
+fn hier_golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/hier_multicohort.jsonl")
+}
+
+/// Which runtime replays a golden scenario. Every path must produce the
+/// same bytes: `Event` swaps the lockstep scan for the discrete-event
+/// queue, `Hier` layers the default (trivial) two-tier topology on top.
+#[derive(Clone, Copy)]
+enum ReplayPath {
+    Lockstep,
+    Event,
+    Hier,
+}
+
 /// Run the fixed scenario and return its telemetry stream as JSONL.
-/// With `event` set, the replay goes through the discrete-event sim
-/// instead of the lockstep scan — the bytes must not change.
-fn trace_with(event: bool) -> String {
+fn trace_with(path: ReplayPath) -> String {
     let log = Arc::new(EventLog::new());
     let probe = Probe::attached(log.clone());
 
@@ -76,27 +88,34 @@ fn trace_with(event: bool) -> String {
         RoundConfig::new(wl, Link::new(100.0, 100.0, 0.0, 0.0), 2.5e6, SEED),
     )
     .probe(probe);
-    if event {
-        let mut sim = builder
-            .build_event_sim()
-            .expect("golden sim config is valid");
-        let _ = sim.run(&schedule, 3);
-    } else {
-        let mut sim = builder.build_sim().expect("golden sim config is valid");
-        let _ = sim.run(&schedule, 3);
+    match path {
+        ReplayPath::Lockstep => {
+            let mut sim = builder.build_sim().expect("golden sim config is valid");
+            let _ = sim.run(&schedule, 3);
+        }
+        ReplayPath::Event => {
+            let mut sim = builder
+                .build_event_sim()
+                .expect("golden sim config is valid");
+            let _ = sim.run(&schedule, 3);
+        }
+        ReplayPath::Hier => {
+            let mut sim = builder.build_hier().expect("golden sim config is valid");
+            let _ = sim.run(&schedule, 3);
+        }
     }
     log.to_jsonl()
 }
 
 fn trace() -> String {
-    trace_with(false)
+    trace_with(ReplayPath::Lockstep)
 }
 
 /// Chaos preset: a two-cohort parallel engine run under crashes, packet
 /// loss and retries. Pins the resilient path's event vocabulary *and* the
 /// engine's cohort splicing (user-index remapping, cohort-ordered merge) in
 /// golden form — the engine guarantees these bytes are thread-invariant.
-fn chaos_trace_with(kind: EngineKind) -> String {
+fn chaos_trace_with(kind: EngineKind, hier: bool) -> String {
     let log = Arc::new(EventLog::new());
     let models = DeviceModel::all();
     let devices: Vec<Device> = (0..8)
@@ -110,7 +129,7 @@ fn chaos_trace_with(kind: EngineKind) -> String {
     let config = FaultConfig::none()
         .with_crash_prob(0.25)
         .with_loss_prob(0.15);
-    let mut engine = SimBuilder::new(
+    let builder = SimBuilder::new(
         devices,
         RoundConfig::new(
             TrainingWorkload::lenet(),
@@ -124,15 +143,24 @@ fn chaos_trace_with(kind: EngineKind) -> String {
     .faults(config, 3)
     .retry(RetryPolicy::default_chaos())
     .engine_kind(kind)
-    .probe(Probe::attached(log.clone()))
-    .build_engine()
-    .expect("golden chaos engine config is valid");
-    let _ = engine.run(&fedsched::core::Schedule::new(vec![3; 8], 100.0), 3);
+    .probe(Probe::attached(log.clone()));
+    let schedule = fedsched::core::Schedule::new(vec![3; 8], 100.0);
+    if hier {
+        let mut engine = builder
+            .build_hier()
+            .expect("golden chaos hier config is valid");
+        let _ = engine.run(&schedule, 3);
+    } else {
+        let mut engine = builder
+            .build_engine()
+            .expect("golden chaos engine config is valid");
+        let _ = engine.run(&schedule, 3);
+    }
     log.to_jsonl()
 }
 
 fn chaos_trace() -> String {
-    chaos_trace_with(EngineKind::Lockstep)
+    chaos_trace_with(EngineKind::Lockstep, false)
 }
 
 /// Byzantine preset: the same two-cohort engine under a sign-flip adversary
@@ -140,7 +168,7 @@ fn chaos_trace() -> String {
 /// robustness event vocabulary (`update_rejected`, `robust_aggregate`,
 /// `group_outage`) and the per-cohort adversary-plan derivation in golden
 /// form.
-fn attack_trace_with(kind: EngineKind) -> String {
+fn attack_trace_with(kind: EngineKind, hier: bool) -> String {
     use fedsched::faults::{AdversaryConfig, AttackKind};
     use fedsched::fl::AggregatorKind;
     let log = Arc::new(EventLog::new());
@@ -159,7 +187,7 @@ fn attack_trace_with(kind: EngineKind) -> String {
     let adversary = AdversaryConfig::none()
         .with_attackers(0.5, AttackKind::SignFlip)
         .with_collusion(1);
-    let mut engine = SimBuilder::new(
+    let builder = SimBuilder::new(
         devices,
         RoundConfig::new(
             TrainingWorkload::lenet(),
@@ -175,15 +203,24 @@ fn attack_trace_with(kind: EngineKind) -> String {
     .aggregator(AggregatorKind::TrimmedMean { trim: 1 })
     .retry(RetryPolicy::default_chaos())
     .engine_kind(kind)
-    .probe(Probe::attached(log.clone()))
-    .build_engine()
-    .expect("golden attack engine config is valid");
-    let _ = engine.run(&fedsched::core::Schedule::new(vec![3; 8], 100.0), 3);
+    .probe(Probe::attached(log.clone()));
+    let schedule = fedsched::core::Schedule::new(vec![3; 8], 100.0);
+    if hier {
+        let mut engine = builder
+            .build_hier()
+            .expect("golden attack hier config is valid");
+        let _ = engine.run(&schedule, 3);
+    } else {
+        let mut engine = builder
+            .build_engine()
+            .expect("golden attack engine config is valid");
+        let _ = engine.run(&schedule, 3);
+    }
     log.to_jsonl()
 }
 
 fn attack_trace() -> String {
-    attack_trace_with(EngineKind::Lockstep)
+    attack_trace_with(EngineKind::Lockstep, false)
 }
 
 /// Event preset: a two-cohort *event-driven* engine under crashes, churn,
@@ -266,6 +303,46 @@ fn churn_trace() -> String {
     .probe(Probe::attached(log.clone()))
     .build_engine()
     .expect("golden churn engine config is valid");
+    let _ = engine.run(&fedsched::core::Schedule::new(vec![3; 8], 100.0), 3);
+    log.to_jsonl()
+}
+
+/// Hierarchy preset: a four-cohort quiet engine under a *non-trivial*
+/// two-tier topology — two edge aggregators, a jittered backhaul link,
+/// trimmed-mean at the edge tier and median at the server tier. Pins the
+/// hierarchy event vocabulary (`edge_reduce`, tier-level
+/// `robust_aggregate`) and the edge-seed derivation in golden form; the
+/// engine guarantees these bytes are thread-invariant.
+fn hier_trace() -> String {
+    use fedsched::fl::AggregatorKind;
+    let log = Arc::new(EventLog::new());
+    let models = DeviceModel::all();
+    let devices: Vec<Device> = (0..8)
+        .map(|i| {
+            Device::from_model(
+                models[i % models.len()],
+                SEED.wrapping_add(i as u64 * 0x9E37_79B9),
+            )
+        })
+        .collect();
+    let mut engine = SimBuilder::new(
+        devices,
+        RoundConfig::new(
+            TrainingWorkload::lenet(),
+            Link::new(100.0, 100.0, 0.0, 0.0),
+            2.5e6,
+            SEED,
+        ),
+    )
+    .cohort_size(2)
+    .threads(4)
+    .edges(2)
+    .edge_link(Link::edge_backhaul())
+    .edge_aggregator(AggregatorKind::TrimmedMean { trim: 1 })
+    .server_aggregator(AggregatorKind::Median)
+    .probe(Probe::attached(log.clone()))
+    .build_hier()
+    .expect("golden hier engine config is valid");
     let _ = engine.run(&fedsched::core::Schedule::new(vec![3; 8], 100.0), 3);
     log.to_jsonl()
 }
@@ -389,19 +466,48 @@ fn attack_trace_matches_golden_snapshot() {
 #[test]
 fn golden_scenarios_replay_byte_identical_through_event_path() {
     assert_eq!(
-        trace_with(true),
+        trace_with(ReplayPath::Event),
         trace(),
         "table1_presets golden diverged through the event sim"
     );
     assert_eq!(
-        chaos_trace_with(EngineKind::EventDriven),
+        chaos_trace_with(EngineKind::EventDriven, false),
         chaos_trace(),
         "chaos_multicohort golden diverged through the event engine"
     );
     assert_eq!(
-        attack_trace_with(EngineKind::EventDriven),
+        attack_trace_with(EngineKind::EventDriven, false),
         attack_trace(),
         "attacked_multicohort golden diverged through the event engine"
+    );
+}
+
+/// The default hierarchical topology (one edge per cohort, no backhaul,
+/// FedAvg tiers) is *trivial*: it emits no hierarchy events and its
+/// underlying cohorts are the flat engine verbatim, so every pre-existing
+/// golden scenario must replay byte-identically through [`HierEngine`] —
+/// extending the golden guarantee to the hierarchy without new snapshots.
+#[test]
+fn golden_scenarios_replay_byte_identical_through_hier_engine() {
+    assert_eq!(
+        trace_with(ReplayPath::Hier),
+        trace(),
+        "table1_presets golden diverged through the hier engine"
+    );
+    assert_eq!(
+        chaos_trace_with(EngineKind::Lockstep, true),
+        chaos_trace(),
+        "chaos_multicohort golden diverged through the hier engine"
+    );
+    assert_eq!(
+        attack_trace_with(EngineKind::Lockstep, true),
+        attack_trace(),
+        "attacked_multicohort golden diverged through the hier engine"
+    );
+    assert_eq!(
+        chaos_trace_with(EngineKind::EventDriven, true),
+        chaos_trace(),
+        "chaos_multicohort golden diverged through hier-over-event"
     );
 }
 
@@ -428,6 +534,33 @@ fn churn_trace_matches_golden_snapshot() {
         "missing round_end:\n{got}"
     );
     assert_matches_golden(&got, &churn_golden_path());
+}
+
+#[test]
+fn hier_trace_is_byte_identical_across_invocations() {
+    assert_eq!(
+        hier_trace(),
+        hier_trace(),
+        "same seed must give the same bytes"
+    );
+}
+
+#[test]
+fn hier_trace_matches_golden_snapshot() {
+    let got = hier_trace();
+    assert!(
+        got.contains("\"ev\":\"edge_reduce\""),
+        "hier preset never narrated an edge reduction:\n{got}"
+    );
+    assert!(
+        got.contains("\"ev\":\"robust_aggregate\""),
+        "hier preset never scored a tier reduction:\n{got}"
+    );
+    assert!(
+        got.contains("\"ev\":\"round_end\""),
+        "missing round_end:\n{got}"
+    );
+    assert_matches_golden(&got, &hier_golden_path());
 }
 
 #[test]
