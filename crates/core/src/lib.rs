@@ -33,10 +33,12 @@
 pub mod acc;
 pub mod analysis;
 pub mod baselines;
+pub mod causes;
 pub mod cost;
 pub mod dropout;
 pub mod events;
 pub mod exact;
+pub mod json;
 pub mod lbap;
 pub mod minavg;
 pub mod privacy;
@@ -49,6 +51,7 @@ pub use cost::CostMatrix;
 pub use dropout::{DeadlineDropout, DeadlinePolicy, DropReport};
 pub use events::{EventQueue, Parking};
 pub use exact::ExactMinMax;
+pub use json::{JsonError, JsonValue};
 pub use lbap::FedLbap;
 pub use minavg::{FedMinAvg, MinAvgProblem, UserSpec};
 pub use schedule::{Schedule, ScheduleError, Scheduler};

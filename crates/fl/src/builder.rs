@@ -8,8 +8,10 @@
 //! carries the knobs every path shares (workload, link, payload size,
 //! seed), chainable setters record intent without validating eagerly, and
 //! the terminal `build_*` methods validate everything at once, returning a
-//! typed [`ConfigError`] instead of panicking. The old constructors remain
-//! as thin `#[deprecated]` shims delegating here.
+//! typed [`ConfigError`] instead of panicking. The old positional
+//! constructors went through a `#[deprecated]`-shim cycle and are gone;
+//! the builder — and its wire twin, [`JobSpec`](crate::spec::JobSpec) —
+//! is the only construction path.
 //!
 //! ```
 //! use fedsched_fl::{RoundConfig, SimBuilder};
@@ -91,27 +93,44 @@ pub enum ConfigError {
     /// Malformed hierarchical topology (edge/cohort geometry); the
     /// payload is the violated rule.
     InvalidTopology(&'static str),
+    /// A configuration that cannot be expressed as a wire
+    /// [`JobSpec`](crate::spec::JobSpec) — it carries host-side objects
+    /// (custom injectors, reschedulers, priors, ad-hoc device fleets) with
+    /// no serial form. The payload names the offending knob.
+    NotSerializable(&'static str),
+    /// A wire [`JobSpec`](crate::spec::JobSpec) document that is
+    /// malformed: bad JSON shape, an unknown field, or an unrecognized
+    /// tag value. The payload describes the problem.
+    InvalidSpec(String),
 }
 
 impl ConfigError {
     /// Stable machine-readable cause tag.
+    ///
+    /// The strings are `pub const`s in [`fedsched_core::causes`] — one
+    /// exhaustive table shared with the wire layer, so the code a script
+    /// matches in-process is byte-for-byte the code `fedsched-serve`
+    /// returns in HTTP error bodies.
     pub fn cause_code(&self) -> &'static str {
+        use fedsched_core::causes;
         match self {
-            ConfigError::ZeroCohortSize => "zero_cohort_size",
-            ConfigError::ZeroThreads => "zero_threads",
-            ConfigError::ConfiguredAfterRun(_) => "configured_after_run",
-            ConfigError::EmptyAssignment => "empty_assignment",
-            ConfigError::InvalidDeadline(_) => "invalid_deadline",
-            ConfigError::InvalidSocFloor(_) => "invalid_soc_floor",
-            ConfigError::InvalidRetry(_) => "invalid_retry",
-            ConfigError::InvalidAsync(_) => "invalid_async",
-            ConfigError::UnsupportedOption(_) => "unsupported_option",
-            ConfigError::ArityMismatch { .. } => "arity_mismatch",
-            ConfigError::ZeroRescheduleInterval => "zero_reschedule_interval",
-            ConfigError::InvalidAggregator(_) => "invalid_aggregator",
-            ConfigError::InvalidAdversary(_) => "invalid_adversary",
-            ConfigError::InvalidChurn(_) => "invalid_churn",
-            ConfigError::InvalidTopology(_) => "invalid_topology",
+            ConfigError::ZeroCohortSize => causes::ZERO_COHORT_SIZE,
+            ConfigError::ZeroThreads => causes::ZERO_THREADS,
+            ConfigError::ConfiguredAfterRun(_) => causes::CONFIGURED_AFTER_RUN,
+            ConfigError::EmptyAssignment => causes::EMPTY_ASSIGNMENT,
+            ConfigError::InvalidDeadline(_) => causes::INVALID_DEADLINE,
+            ConfigError::InvalidSocFloor(_) => causes::INVALID_SOC_FLOOR,
+            ConfigError::InvalidRetry(_) => causes::INVALID_RETRY,
+            ConfigError::InvalidAsync(_) => causes::INVALID_ASYNC,
+            ConfigError::UnsupportedOption(_) => causes::UNSUPPORTED_OPTION,
+            ConfigError::ArityMismatch { .. } => causes::ARITY_MISMATCH,
+            ConfigError::ZeroRescheduleInterval => causes::ZERO_RESCHEDULE_INTERVAL,
+            ConfigError::InvalidAggregator(_) => causes::INVALID_AGGREGATOR,
+            ConfigError::InvalidAdversary(_) => causes::INVALID_ADVERSARY,
+            ConfigError::InvalidChurn(_) => causes::INVALID_CHURN,
+            ConfigError::InvalidTopology(_) => causes::INVALID_TOPOLOGY,
+            ConfigError::NotSerializable(_) => causes::NOT_SERIALIZABLE,
+            ConfigError::InvalidSpec(_) => causes::INVALID_SPEC,
         }
     }
 }
@@ -156,6 +175,12 @@ impl fmt::Display for ConfigError {
             ConfigError::InvalidTopology(rule) => {
                 write!(f, "invalid hierarchical topology: {rule}")
             }
+            ConfigError::NotSerializable(what) => {
+                write!(f, "{what} has no wire form and cannot appear in a job spec")
+            }
+            ConfigError::InvalidSpec(problem) => {
+                write!(f, "invalid job spec: {problem}")
+            }
         }
     }
 }
@@ -191,43 +216,72 @@ impl RoundConfig {
 /// Buffered-async coordination knobs recorded by
 /// [`SimBuilder::buffered_async`].
 #[derive(Debug, Clone, Copy)]
-struct AsyncOptions {
-    buffer: usize,
-    eta: f64,
+pub(crate) struct AsyncOptions {
+    pub(crate) buffer: usize,
+    pub(crate) eta: f64,
 }
 
 /// One builder for every simulator: [`RoundSim`], [`ResilientRoundSim`],
-/// [`ParallelRoundEngine`] and [`Coordinator`].
+/// [`EventRoundSim`], [`ParallelRoundEngine`], [`Coordinator`] and
+/// [`HierEngine`].
 ///
 /// Setters are infallible and record raw values; each terminal `build_*`
 /// validates the full configuration against its target and rejects knobs
 /// the target cannot honour with
 /// [`ConfigError::UnsupportedOption`] — a deadline on a plain
 /// [`RoundSim`] is an error, not a silent no-op.
+///
+/// Which knobs each target honours (mirrors the README migration table):
+///
+/// | Knob | `sim` | `resilient` | `event_sim` | `engine` | `coordinator` | `hier` |
+/// |------|:-----:|:-----------:|:-----------:|:--------:|:-------------:|:------:|
+/// | [`probe`](SimBuilder::probe) | ✓ | ✓ | ✓ | ✓ | ✓ | ✓ |
+/// | [`deadline`](SimBuilder::deadline) | — | ✓ | ✓ | ✓ | ✓¹ | ✓ |
+/// | [`retry`](SimBuilder::retry), [`no_rescue`](SimBuilder::no_rescue), [`rescue_soc_floor`](SimBuilder::rescue_soc_floor), [`faults`](SimBuilder::faults) | — | ✓ | ✓ | ✓ | ✓ | ✓ |
+/// | [`injector`](SimBuilder::injector), [`rescheduler`](SimBuilder::rescheduler), [`priors`](SimBuilder::priors) ² | — | ✓ | ✓ | — | — | — |
+/// | [`aggregator`](SimBuilder::aggregator), [`adversary`](SimBuilder::adversary) | — | ✓ | ✓ | ✓ | ✓ | ✓ |
+/// | [`cohort_size`](SimBuilder::cohort_size), [`threads`](SimBuilder::threads) | — | — | — | ✓ | ✓ | ✓ |
+/// | [`engine_kind`](SimBuilder::engine_kind) | — | — | — | ✓ | ✓ | ✓ |
+/// | [`churn`](SimBuilder::churn), [`admission`](SimBuilder::admission) ³ | — | — | ✓ | ✓³ | ✓³ | ✓³ |
+/// | [`buffered_async`](SimBuilder::buffered_async) | — | — | — | — | ✓¹ | — |
+/// | [`edges`](SimBuilder::edges), [`edge_link`](SimBuilder::edge_link), [`edge_aggregator`](SimBuilder::edge_aggregator), [`server_aggregator`](SimBuilder::server_aggregator) | — | — | — | — | — | ✓ |
+///
+/// ¹ a coordinator takes a deadline *or* `buffered_async`, not both.
+/// ² ad-hoc injected objects; accepted in-process but rejected by
+///   [`SimBuilder::to_spec`] with `"not_serializable"` — they have no
+///   wire form.
+/// ³ event-driven cores only: `build_event_sim`, or the engine-family
+///   targets with [`EngineKind::EventDriven`].
+///
+/// Every “—” cell is a typed [`ConfigError`], never a silent drop.
 pub struct SimBuilder {
-    devices: Vec<Device>,
-    config: RoundConfig,
-    probe: Probe,
-    deadline: DeadlinePolicy,
-    retry: Option<RetryPolicy>,
-    rescue: bool,
-    rescue_soc_floor: f64,
-    faults: Option<(FaultConfig, usize)>,
-    injector: Option<FaultInjector>,
-    rescheduler: Option<(Box<dyn Scheduler>, usize)>,
-    priors: Option<Vec<LinearProfile>>,
-    cohort_size: Option<usize>,
-    threads: Option<usize>,
-    async_opts: Option<AsyncOptions>,
-    aggregator: Option<AggregatorKind>,
-    adversary: Option<(AdversaryConfig, usize)>,
-    engine_kind: Option<EngineKind>,
-    churn: Option<ChurnConfig>,
-    admission: Option<AdmissionPolicy>,
-    edges: Option<usize>,
-    edge_link: Option<Link>,
-    edge_aggregator: Option<AggregatorKind>,
-    server_aggregator: Option<AggregatorKind>,
+    pub(crate) devices: Vec<Device>,
+    pub(crate) config: RoundConfig,
+    pub(crate) probe: Probe,
+    pub(crate) deadline: DeadlinePolicy,
+    pub(crate) retry: Option<RetryPolicy>,
+    pub(crate) rescue: bool,
+    pub(crate) rescue_soc_floor: f64,
+    pub(crate) faults: Option<(FaultConfig, usize)>,
+    pub(crate) injector: Option<FaultInjector>,
+    pub(crate) rescheduler: Option<(Box<dyn Scheduler>, usize)>,
+    pub(crate) priors: Option<Vec<LinearProfile>>,
+    pub(crate) cohort_size: Option<usize>,
+    pub(crate) threads: Option<usize>,
+    pub(crate) async_opts: Option<AsyncOptions>,
+    pub(crate) aggregator: Option<AggregatorKind>,
+    pub(crate) adversary: Option<(AdversaryConfig, usize)>,
+    pub(crate) engine_kind: Option<EngineKind>,
+    pub(crate) churn: Option<ChurnConfig>,
+    pub(crate) admission: Option<AdmissionPolicy>,
+    pub(crate) edges: Option<usize>,
+    pub(crate) edge_link: Option<Link>,
+    pub(crate) edge_aggregator: Option<AggregatorKind>,
+    pub(crate) server_aggregator: Option<AggregatorKind>,
+    /// Remembered by [`SimBuilder::from_spec`] so
+    /// [`SimBuilder::to_spec`] can serialize the fleet back out; `None`
+    /// for ad-hoc `Vec<Device>` fleets, which have no wire form.
+    pub(crate) device_spec: Option<crate::spec::DeviceSetSpec>,
 }
 
 impl SimBuilder {
@@ -257,6 +311,7 @@ impl SimBuilder {
             edge_link: None,
             edge_aggregator: None,
             server_aggregator: None,
+            device_spec: None,
         }
     }
 
@@ -341,6 +396,15 @@ impl SimBuilder {
     /// with (resilient/engine/coordinator). [`AggregatorKind::FedAvg`] —
     /// the default — keeps today's behaviour bit for bit; any other kind
     /// forces the fault-tolerant path so rejections have somewhere to go.
+    ///
+    /// Tier naming: unqualified `aggregator` always means the **device
+    /// tier** — the rule applied to per-device deliveries — on every
+    /// target, including [`build_hier`](SimBuilder::build_hier). The
+    /// two-tier hierarchy layers
+    /// [`edge_aggregator`](SimBuilder::edge_aggregator) and
+    /// [`server_aggregator`](SimBuilder::server_aggregator) *on top* for
+    /// its edge and root tiers; there is no unqualified server-tier
+    /// alias, so a flat config ported to `build_hier` keeps its meaning.
     pub fn aggregator(mut self, kind: AggregatorKind) -> Self {
         self.aggregator = Some(kind);
         self
@@ -372,13 +436,49 @@ impl SimBuilder {
     /// source ([`faults`](SimBuilder::faults)) because churn timelines
     /// ride on the fault plan; lockstep targets reject the knob with
     /// [`ConfigError::UnsupportedOption`].
+    ///
+    /// ```
+    /// use fedsched_device::{Testbed, TrainingWorkload};
+    /// use fedsched_faults::{ChurnConfig, FaultConfig};
+    /// use fedsched_fl::{EngineKind, RoundConfig, SimBuilder};
+    /// use fedsched_net::Link;
+    ///
+    /// let config = RoundConfig::new(TrainingWorkload::lenet(), Link::wifi_campus(), 2.5e6, 7);
+    /// let engine = SimBuilder::new(Testbed::testbed_1(7).devices().to_vec(), config)
+    ///     .faults(FaultConfig::none(), 4)
+    ///     .churn(ChurnConfig::symmetric(0.05, 60.0)) // events/s per device, horizon
+    ///     .engine_kind(EngineKind::EventDriven)
+    ///     .build_engine()?;
+    /// # let _ = engine;
+    /// # Ok::<(), fedsched_fl::ConfigError>(())
+    /// ```
     pub fn churn(mut self, config: ChurnConfig) -> Self {
         self.churn = Some(config);
         self
     }
 
     /// What to do with devices that arrive mid-round (event-driven
-    /// targets only; requires [`churn`](SimBuilder::churn)).
+    /// targets only; requires [`churn`](SimBuilder::churn)):
+    /// [`AdmissionPolicy::Reject`] logs and drops,
+    /// [`AdmissionPolicy::NextRound`] parks arrivals for the following
+    /// round, and [`AdmissionPolicy::MidRoundFill`] additionally grants
+    /// the earliest arrival whatever shards rescue could not place.
+    ///
+    /// ```
+    /// use fedsched_device::{Testbed, TrainingWorkload};
+    /// use fedsched_faults::{ChurnConfig, FaultConfig};
+    /// use fedsched_fl::{AdmissionPolicy, RoundConfig, SimBuilder};
+    /// use fedsched_net::Link;
+    ///
+    /// let config = RoundConfig::new(TrainingWorkload::lenet(), Link::wifi_campus(), 2.5e6, 7);
+    /// let sim = SimBuilder::new(Testbed::testbed_1(7).devices().to_vec(), config)
+    ///     .faults(FaultConfig::none(), 4)
+    ///     .churn(ChurnConfig::symmetric(0.05, 60.0))
+    ///     .admission(AdmissionPolicy::MidRoundFill)
+    ///     .build_event_sim()?;
+    /// # let _ = sim;
+    /// # Ok::<(), fedsched_fl::ConfigError>(())
+    /// ```
     pub fn admission(mut self, policy: AdmissionPolicy) -> Self {
         self.admission = Some(policy);
         self
@@ -945,16 +1045,9 @@ mod tests {
     }
 
     #[test]
-    fn builder_sim_matches_positional_constructor() {
+    fn builder_sim_is_deterministic_per_seed() {
         let mut a = SimBuilder::new(devices(7), config(7)).build_sim().unwrap();
-        #[allow(deprecated)]
-        let mut b = RoundSim::new(
-            devices(7),
-            TrainingWorkload::lenet(),
-            Link::wifi_campus(),
-            2.5e6,
-            7,
-        );
+        let mut b = SimBuilder::new(devices(7), config(7)).build_sim().unwrap();
         assert_eq!(a.run(&schedule(), 3), b.run(&schedule(), 3));
     }
 
@@ -1348,6 +1441,8 @@ mod tests {
             (ConfigError::InvalidAdversary("x"), "invalid_adversary"),
             (ConfigError::InvalidChurn("x"), "invalid_churn"),
             (ConfigError::InvalidTopology("x"), "invalid_topology"),
+            (ConfigError::NotSerializable("x"), "not_serializable"),
+            (ConfigError::InvalidSpec("bad".to_string()), "invalid_spec"),
         ];
         for (err, code) in cases {
             assert_eq!(err.cause_code(), code);
@@ -1357,22 +1452,21 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_still_delegate() {
-        use fedsched_faults::FaultInjector;
+    fn builder_deadline_matches_post_hoc_policy_setter() {
+        // The builder's .deadline(..) and the sim-level
+        // with_deadline_policy(..) are the same configuration — pinned
+        // here since the positional shims that used to pin it are gone.
         let mut new_style = SimBuilder::new(devices(5), config(5))
             .deadline(DeadlinePolicy::Fixed(60.0))
             .build_resilient()
             .unwrap();
-        let mut old_style = ResilientRoundSim::new(
-            devices(5),
-            TrainingWorkload::lenet(),
-            Link::wifi_campus(),
-            2.5e6,
-            5,
-            FaultInjector::quiet(3),
-        )
-        .with_deadline(Some(60.0));
-        assert_eq!(new_style.run(&schedule(), 4), old_style.run(&schedule(), 4));
+        let mut setter_style = SimBuilder::new(devices(5), config(5))
+            .build_resilient()
+            .unwrap()
+            .with_deadline_policy(DeadlinePolicy::Fixed(60.0));
+        assert_eq!(
+            new_style.run(&schedule(), 4),
+            setter_style.run(&schedule(), 4)
+        );
     }
 }

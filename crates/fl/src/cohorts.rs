@@ -171,15 +171,6 @@ impl ChaosOptions {
         self
     }
 
-    /// Set a fixed per-round deadline.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use with_deadline_policy(DeadlinePolicy::Fixed(..))"
-    )]
-    pub fn with_deadline(self, deadline_s: f64) -> Self {
-        self.with_deadline_policy(DeadlinePolicy::Fixed(deadline_s))
-    }
-
     /// Set the per-round deadline policy (see [`ChaosOptions::deadline`]).
     pub fn with_deadline_policy(mut self, policy: DeadlinePolicy) -> Self {
         self.deadline = policy;
@@ -318,26 +309,9 @@ pub struct ParallelRoundEngine {
 }
 
 impl ParallelRoundEngine {
-    /// Create an engine over `devices` with the default cohort size and
-    /// [`default_engine_threads`] workers. Configuration builders must be
-    /// applied before the first [`run`](ParallelRoundEngine::run).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use fedsched_fl::SimBuilder::new(devices, config).build_engine()"
-    )]
-    pub fn new(
-        devices: Vec<Device>,
-        workload: TrainingWorkload,
-        link: Link,
-        model_bytes: f64,
-        seed: u64,
-    ) -> Self {
-        Self::from_parts(devices, workload, link, model_bytes, seed)
-    }
-
-    /// Positional constructor backing both the deprecated
-    /// [`ParallelRoundEngine::new`] shim and the
-    /// [`SimBuilder`](crate::SimBuilder).
+    /// Positional constructor backing the
+    /// [`SimBuilder`](crate::SimBuilder), the only public construction
+    /// path (the `new` shim was removed with the job-spec API).
     pub(crate) fn from_parts(
         devices: Vec<Device>,
         workload: TrainingWorkload,

@@ -38,6 +38,7 @@ pub mod resilient;
 pub mod roundsim;
 pub mod secure;
 pub mod server;
+pub mod spec;
 
 pub use assign::{assignment_from_schedule_iid, assignment_from_schedule_noniid};
 pub use asyncfl::{staleness_weight, AsyncFlOutcome, AsyncFlSetup};
@@ -58,6 +59,7 @@ pub use resilient::{ChaosReport, ResilientRoundSim, RoundOutcome};
 pub use roundsim::{RoundSim, TimingReport};
 pub use secure::{mask_update, secure_fedavg, unmask_sum};
 pub use server::fedavg_aggregate;
+pub use spec::{BuildTarget, BuiltSim, DeviceSetSpec, JobSpec, RoundDigest, SPEC_VERSION};
 
 // Re-exported so downstream builder call sites need only this crate.
 pub use fedsched_core::DeadlinePolicy;

@@ -343,30 +343,9 @@ pub struct ResilientRoundSim {
 }
 
 impl ResilientRoundSim {
-    /// Create a resilient simulator over `devices` with faults drawn from
-    /// `injector`. Defaults: single-attempt transfers, no deadline, rescue
-    /// enabled, no rescheduling.
-    ///
-    /// # Panics
-    /// Panics if the injector was planned for a different cohort size.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use fedsched_fl::SimBuilder::new(devices, config).build_resilient()"
-    )]
-    pub fn new(
-        devices: Vec<Device>,
-        workload: TrainingWorkload,
-        link: Link,
-        model_bytes: f64,
-        seed: u64,
-        injector: FaultInjector,
-    ) -> Self {
-        Self::from_parts(devices, workload, link, model_bytes, seed, injector)
-    }
-
-    /// Positional constructor backing both the deprecated
-    /// [`ResilientRoundSim::new`] shim and the
-    /// [`SimBuilder`](crate::SimBuilder).
+    /// Positional constructor backing the
+    /// [`SimBuilder`](crate::SimBuilder), the only public construction
+    /// path (the `new` shim was removed with the job-spec API).
     ///
     /// # Panics
     /// Panics if the injector was planned for a different cohort size.
@@ -424,23 +403,6 @@ impl ResilientRoundSim {
         retry.validate();
         self.retry = retry;
         self
-    }
-
-    /// Set (or clear) the per-round deadline. Stragglers past the deadline
-    /// are cut off with partial credit; crashed users are detected at the
-    /// deadline instead of when the rest of the round drains.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use with_deadline_policy(DeadlinePolicy::Fixed(..) / Off) or SimBuilder::deadline"
-    )]
-    pub fn with_deadline(self, deadline_s: Option<f64>) -> Self {
-        if let Some(d) = deadline_s {
-            assert!(d > 0.0 && d.is_finite(), "deadline must be positive");
-        }
-        self.with_deadline_policy(match deadline_s {
-            Some(d) => DeadlinePolicy::Fixed(d),
-            None => DeadlinePolicy::Off,
-        })
     }
 
     /// Set the per-round deadline policy. `Fixed` applies a constant cutoff;

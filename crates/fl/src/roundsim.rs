@@ -55,24 +55,9 @@ pub struct RoundSim {
 }
 
 impl RoundSim {
-    /// Create a simulator over `devices`. `model_bytes` is the transfer
-    /// payload per direction (see `fedsched_net::model_transfer_bytes`).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use fedsched_fl::SimBuilder::new(devices, config).build_sim()"
-    )]
-    pub fn new(
-        devices: Vec<Device>,
-        workload: TrainingWorkload,
-        link: Link,
-        model_bytes: f64,
-        seed: u64,
-    ) -> Self {
-        Self::from_parts(devices, workload, link, model_bytes, seed)
-    }
-
-    /// Positional constructor backing both the deprecated [`RoundSim::new`]
-    /// shim and the [`SimBuilder`](crate::SimBuilder).
+    /// Positional constructor backing the
+    /// [`SimBuilder`](crate::SimBuilder), the only public construction
+    /// path (the `new` shim was removed with the job-spec API).
     pub(crate) fn from_parts(
         devices: Vec<Device>,
         workload: TrainingWorkload,

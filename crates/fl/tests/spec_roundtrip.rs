@@ -1,0 +1,246 @@
+//! Property suite for the [`JobSpec`] wire schema: every builder knob
+//! combination expressible in-tree must survive `spec -> JSON -> spec`
+//! and `spec -> SimBuilder::from_spec -> SimBuilder::to_spec` unchanged,
+//! with a stable fingerprint.
+//!
+//! The generator draws a random knob subset from a bitmask plus random
+//! parameter values, then *repairs* the combination just enough to pass
+//! builder validation for some target (e.g. churn requires a fault
+//! source). Serialization round-trips must hold for invalid combinations
+//! too — the wire layer transports configs, the builder judges them — so
+//! the suite checks round-tripping on the raw draw and builder agreement
+//! on the repaired one.
+
+use fedsched_core::DeadlinePolicy;
+use fedsched_core::Schedule;
+use fedsched_device::TrainingWorkload;
+use fedsched_faults::FaultConfig;
+use fedsched_fl::spec::{schedule_from_json, schedule_to_json};
+use fedsched_fl::{
+    AdmissionPolicy, AdversaryConfig, AggregatorKind, AttackKind, BuildTarget, ChurnConfig,
+    DeviceSetSpec, EngineKind, JobSpec, SimBuilder,
+};
+use fedsched_net::{Link, RetryPolicy};
+use proptest::prelude::*;
+use proptest::test_runner::TestRng;
+
+/// Draw one JobSpec from `(mask, rng)`: each mask bit enables a knob
+/// family, parameter values come from the rng.
+fn draw_spec(mask: u32, rng: &mut TestRng) -> JobSpec {
+    let target = BuildTarget::all()[(rng.below(6)) as usize];
+    let devices = if mask & 1 != 0 {
+        DeviceSetSpec::Replicated {
+            preset: 1 + rng.below(3) as usize,
+            copies: 1 + rng.below(4) as usize,
+            seed: rng.next_u64(),
+        }
+    } else {
+        DeviceSetSpec::Testbed {
+            preset: 1 + rng.below(3) as usize,
+            seed: rng.next_u64(),
+        }
+    };
+    let workload = if mask & 2 != 0 {
+        TrainingWorkload::vgg6()
+    } else {
+        TrainingWorkload::lenet()
+    };
+    let link = if mask & 4 != 0 {
+        Link::lte_tmobile()
+    } else {
+        Link::wifi_campus()
+    };
+    let mut spec = JobSpec::new(
+        target,
+        devices,
+        workload,
+        link,
+        1e6 + 4e6 * rng.unit_f64(),
+        rng.next_u64(),
+    );
+    if mask & 8 != 0 {
+        spec.deadline = Some(match rng.below(3) {
+            0 => DeadlinePolicy::Fixed(10.0 + 90.0 * rng.unit_f64()),
+            1 => DeadlinePolicy::MeanFactor(1.0 + rng.unit_f64()),
+            _ => DeadlinePolicy::Quantile(0.5 + 0.5 * rng.unit_f64()),
+        });
+    }
+    if mask & 16 != 0 {
+        spec.retry = Some(if rng.below(2) == 0 {
+            RetryPolicy::single_attempt() // timeout_s: inf — wire stress
+        } else {
+            RetryPolicy::default_chaos()
+        });
+    }
+    if mask & 32 != 0 {
+        spec.no_rescue = true;
+    }
+    if mask & 64 != 0 {
+        spec.rescue_soc_floor = rng.unit_f64() * 0.5;
+    }
+    if mask & 128 != 0 {
+        let mut config = FaultConfig::none()
+            .with_crash_prob(rng.unit_f64() * 0.4)
+            .with_loss_prob(rng.unit_f64() * 0.3);
+        if rng.below(2) == 0 {
+            config = config.with_contention(rng.unit_f64() * 0.5, 1.0 + rng.unit_f64());
+        }
+        spec.faults = Some((config, 1 + rng.below(8) as usize));
+    }
+    if mask & 256 != 0 {
+        spec.cohort_size = Some(1 + rng.below(8) as usize);
+        spec.threads = Some(1 + rng.below(4) as usize);
+    }
+    if mask & 512 != 0 {
+        spec.buffered_async = Some((1 + rng.below(3) as usize, 0.1 + rng.unit_f64()));
+    }
+    if mask & 1024 != 0 {
+        spec.aggregator = Some(match rng.below(5) {
+            0 => AggregatorKind::TrimmedMean { trim: 1 },
+            1 => AggregatorKind::Median,
+            2 => AggregatorKind::NormClip {
+                tau: rng.unit_f64() * 4.0,
+            },
+            3 => AggregatorKind::Krum { f: 1 },
+            _ => AggregatorKind::MultiKrum { f: 1, k: 2 },
+        });
+    }
+    if mask & 2048 != 0 {
+        let attack = match rng.below(4) {
+            0 => AttackKind::SignFlip,
+            1 => AttackKind::Boost {
+                factor: 2.0 + 8.0 * rng.unit_f64(),
+            },
+            2 => AttackKind::GaussianNoise {
+                sigma: rng.unit_f64(),
+            },
+            _ => AttackKind::LabelFlip,
+        };
+        spec.adversary = Some((
+            AdversaryConfig::none().with_attackers(0.1 + 0.3 * rng.unit_f64(), attack),
+            1 + rng.below(8) as usize,
+        ));
+    }
+    if mask & 4096 != 0 {
+        spec.engine_kind = Some(if rng.below(2) == 0 {
+            EngineKind::Lockstep
+        } else {
+            EngineKind::EventDriven
+        });
+    }
+    if mask & 8192 != 0 {
+        spec.churn = Some(ChurnConfig::symmetric(0.01 + 0.1 * rng.unit_f64(), 60.0));
+        spec.admission = Some(match rng.below(3) {
+            0 => AdmissionPolicy::Reject,
+            1 => AdmissionPolicy::NextRound,
+            _ => AdmissionPolicy::MidRoundFill,
+        });
+    }
+    if mask & 16384 != 0 {
+        spec.edges = Some(1);
+        if rng.below(2) == 0 {
+            spec.edge_link = Some(Link::edge_backhaul());
+        }
+        spec.edge_aggregator = Some(AggregatorKind::Median);
+        spec.server_aggregator = Some(AggregatorKind::TrimmedMean { trim: 1 });
+    }
+    spec
+}
+
+/// Repair a drawn spec into one the builder accepts for its target, so
+/// the builder-round-trip leg can run on buildable configs.
+fn repair(mut spec: JobSpec) -> JobSpec {
+    // Chaos knobs only exist off the quiet sim; topology knobs only on
+    // hier; async only on the coordinator; churn needs an event core and
+    // a fault source.
+    match spec.target {
+        BuildTarget::Sim => {
+            return JobSpec::new(
+                BuildTarget::Sim,
+                spec.devices,
+                spec.workload,
+                spec.link,
+                spec.model_bytes,
+                spec.seed,
+            );
+        }
+        BuildTarget::Resilient | BuildTarget::EventSim => {
+            spec.cohort_size = None;
+            spec.threads = None;
+            spec.buffered_async = None;
+            spec.engine_kind = None;
+        }
+        BuildTarget::Engine | BuildTarget::Hier => {
+            spec.buffered_async = None;
+        }
+        BuildTarget::Coordinator => {
+            if spec.buffered_async.is_some() {
+                spec.deadline = None;
+            }
+        }
+    }
+    if spec.target != BuildTarget::Hier {
+        spec.edges = None;
+        spec.edge_link = None;
+        spec.edge_aggregator = None;
+        spec.server_aggregator = None;
+    }
+    let event_core = match spec.target {
+        BuildTarget::EventSim => true,
+        BuildTarget::Engine | BuildTarget::Coordinator | BuildTarget::Hier => {
+            spec.engine_kind == Some(EngineKind::EventDriven)
+        }
+        _ => false,
+    };
+    if !event_core {
+        spec.churn = None;
+        spec.admission = None;
+    }
+    if spec.churn.is_some() && spec.faults.is_none() {
+        spec.faults = Some((FaultConfig::none(), 4));
+    }
+    if spec.admission.is_some() && spec.churn.is_none() {
+        spec.admission = None;
+    }
+    spec
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn any_drawn_spec_round_trips_through_json(mask in 0u32..32768, salt in 0u64..u64::MAX) {
+        let mut rng = TestRng::from_seed(salt);
+        let spec = draw_spec(mask, &mut rng);
+        let text = spec.canonical_json();
+        let back = JobSpec::parse(&text).expect("canonical JSON must decode");
+        prop_assert_eq!(&back, &spec);
+        // Canonical encoding is a fixed point and fingerprints agree.
+        prop_assert_eq!(back.canonical_json(), text);
+        prop_assert_eq!(back.fingerprint(), spec.fingerprint());
+    }
+
+    #[test]
+    fn buildable_specs_round_trip_through_the_builder(mask in 0u32..32768, salt in 0u64..u64::MAX) {
+        let mut rng = TestRng::from_seed(salt);
+        let spec = repair(draw_spec(mask, &mut rng));
+        let builder = match SimBuilder::from_spec(&spec) {
+            Ok(b) => b,
+            // Some repaired draws are still invalid for their target
+            // (e.g. more edges than cohorts); those are the error-path
+            // suite's business, not round-trip's.
+            Err(_) => return Ok(()),
+        };
+        let back = builder.to_spec(spec.target).expect("from_spec output must serialize");
+        prop_assert_eq!(&back, &spec);
+        prop_assert_eq!(back.fingerprint(), spec.fingerprint());
+    }
+}
+
+#[test]
+fn schedules_round_trip() {
+    for shards in [vec![10, 10, 10], vec![0, 5, 0, 40], vec![1]] {
+        let s = Schedule::new(shards, 100.0);
+        assert_eq!(schedule_from_json(&schedule_to_json(&s)).unwrap(), s);
+    }
+}

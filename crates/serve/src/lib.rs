@@ -1,0 +1,42 @@
+//! Long-running orchestration service for fedsched experiments.
+//!
+//! Everything below leans on one property of the simulators: they are
+//! seed-deterministic with byte-stable telemetry. That turns crash
+//! recovery into a pure-computation problem — a snapshot is just the
+//! [`JobRequest`] (spec + schedule + round budget) plus the number of
+//! completed rounds, and restoring means rebuilding the simulator from
+//! the spec and replaying that many rounds. The replayed job is
+//! bit-identical to one that never crashed: same round digests, same
+//! telemetry bytes. The `resume_identity` test suite pins this at
+//! engine pool widths 1, 4, and 8.
+//!
+//! Layers, bottom-up:
+//!
+//! * [`job`] — the serializable job documents: [`JobRequest`] (what to
+//!   run), [`Snapshot`] (where a run got to), [`JobStatus`].
+//! * [`store`] — [`StateStore`] persistence behind snapshots, with an
+//!   in-memory implementation for tests and a directory-backed one for
+//!   the `fedsched-serve` binary.
+//! * [`supervisor`] — the actor runtime: one worker thread per job
+//!   owning its simulator, a typed-command mailbox, panic isolation
+//!   (a panicking round is caught, the simulator rebuilt by replay,
+//!   and the round retried once), and an experiment cache keyed by the
+//!   request fingerprint so identical submissions share one job.
+//! * [`http`] — a hand-rolled HTTP/1.1 + JSON front end over
+//!   `std::net::TcpListener`. No async runtime: connections are short
+//!   (`Connection: close`) and handled thread-per-connection, which is
+//!   plenty for an experiment-orchestration control plane.
+//!
+//! Every configuration error crosses the wire untranslated: the HTTP
+//! error body carries the same `cause_code` string that
+//! [`fedsched_fl::ConfigError`] reports in-process.
+
+pub mod http;
+pub mod job;
+pub mod store;
+pub mod supervisor;
+
+pub use http::Server;
+pub use job::{JobRequest, JobStatus, Snapshot};
+pub use store::{DirStore, MemoryStore, StateStore};
+pub use supervisor::{AdvanceReply, JobInfo, Supervisor, SupervisorError};

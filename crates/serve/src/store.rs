@@ -1,0 +1,175 @@
+//! Snapshot persistence behind the supervisor.
+//!
+//! A store maps job IDs to snapshot documents (canonical JSON text,
+//! see [`crate::job::Snapshot`]). The supervisor treats the store as a
+//! dumb blob map; all validation happens at decode time. Two
+//! implementations: [`MemoryStore`] for tests and embedded use, and
+//! [`DirStore`] for the `fedsched-serve` binary, which survives
+//! process kills — the e2e smoke test SIGKILLs the server and restores
+//! every job from this directory.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// A persistent job-ID → snapshot-document map.
+pub trait StateStore: Send + Sync {
+    /// Persist (create or replace) the document for `job_id`.
+    fn put(&self, job_id: &str, doc: &str) -> io::Result<()>;
+    /// Fetch the document for `job_id`, if present.
+    fn get(&self, job_id: &str) -> io::Result<Option<String>>;
+    /// Remove the document for `job_id`; removing an absent ID is a no-op.
+    fn delete(&self, job_id: &str) -> io::Result<()>;
+    /// All stored job IDs, sorted, so restore order is deterministic.
+    fn list(&self) -> io::Result<Vec<String>>;
+}
+
+/// In-memory store; contents die with the process.
+#[derive(Default)]
+pub struct MemoryStore {
+    docs: Mutex<BTreeMap<String, String>>,
+}
+
+impl MemoryStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl StateStore for MemoryStore {
+    fn put(&self, job_id: &str, doc: &str) -> io::Result<()> {
+        self.docs
+            .lock()
+            .unwrap()
+            .insert(job_id.to_string(), doc.to_string());
+        Ok(())
+    }
+
+    fn get(&self, job_id: &str) -> io::Result<Option<String>> {
+        Ok(self.docs.lock().unwrap().get(job_id).cloned())
+    }
+
+    fn delete(&self, job_id: &str) -> io::Result<()> {
+        self.docs.lock().unwrap().remove(job_id);
+        Ok(())
+    }
+
+    fn list(&self) -> io::Result<Vec<String>> {
+        Ok(self.docs.lock().unwrap().keys().cloned().collect())
+    }
+}
+
+/// Directory-backed store: one `<job_id>.json` file per job.
+///
+/// Writes go through a temp file in the same directory followed by a
+/// rename, so a kill mid-write leaves either the old document or the
+/// new one, never a torn file.
+pub struct DirStore {
+    dir: PathBuf,
+}
+
+impl DirStore {
+    /// Open (creating if needed) a store rooted at `dir`.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<Self> {
+        fs::create_dir_all(dir.as_ref())?;
+        Ok(DirStore {
+            dir: dir.as_ref().to_path_buf(),
+        })
+    }
+
+    fn path_for(&self, job_id: &str) -> io::Result<PathBuf> {
+        // Job IDs are `j` + 16 hex digits; refuse anything that could
+        // escape the store directory.
+        if job_id.is_empty() || !job_id.chars().all(|c| c.is_ascii_alphanumeric()) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("malformed job id `{job_id}`"),
+            ));
+        }
+        Ok(self.dir.join(format!("{job_id}.json")))
+    }
+}
+
+impl StateStore for DirStore {
+    fn put(&self, job_id: &str, doc: &str) -> io::Result<()> {
+        let path = self.path_for(job_id)?;
+        let tmp = self.dir.join(format!(".{job_id}.tmp"));
+        fs::write(&tmp, doc)?;
+        fs::rename(&tmp, &path)
+    }
+
+    fn get(&self, job_id: &str) -> io::Result<Option<String>> {
+        match fs::read_to_string(self.path_for(job_id)?) {
+            Ok(doc) => Ok(Some(doc)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn delete(&self, job_id: &str) -> io::Result<()> {
+        match fs::remove_file(self.path_for(job_id)?) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn list(&self) -> io::Result<Vec<String>> {
+        let mut ids = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let name = entry?.file_name();
+            let name = name.to_string_lossy();
+            if let Some(id) = name.strip_suffix(".json") {
+                if !id.starts_with('.') {
+                    ids.push(id.to_string());
+                }
+            }
+        }
+        ids.sort();
+        Ok(ids)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(store: &dyn StateStore) {
+        assert!(store.list().unwrap().is_empty());
+        store.put("jaaaa", "doc-a").unwrap();
+        store.put("jbbbb", "doc-b").unwrap();
+        assert_eq!(store.get("jaaaa").unwrap().as_deref(), Some("doc-a"));
+        assert_eq!(store.get("jzzzz").unwrap(), None);
+        store.put("jaaaa", "doc-a2").unwrap();
+        assert_eq!(store.get("jaaaa").unwrap().as_deref(), Some("doc-a2"));
+        assert_eq!(store.list().unwrap(), vec!["jaaaa", "jbbbb"]);
+        store.delete("jaaaa").unwrap();
+        store.delete("jaaaa").unwrap(); // idempotent
+        assert_eq!(store.list().unwrap(), vec!["jbbbb"]);
+    }
+
+    #[test]
+    fn memory_store_contract() {
+        exercise(&MemoryStore::new());
+    }
+
+    #[test]
+    fn dir_store_contract() {
+        let dir = std::env::temp_dir().join(format!("fedsched-store-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let store = DirStore::open(&dir).unwrap();
+        exercise(&store);
+
+        // Contents survive reopening (a fresh process would see this).
+        let reopened = DirStore::open(&dir).unwrap();
+        assert_eq!(reopened.get("jbbbb").unwrap().as_deref(), Some("doc-b"));
+
+        // Path traversal is refused rather than resolved.
+        assert!(store.put("../escape", "x").is_err());
+        assert!(store.get("").is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

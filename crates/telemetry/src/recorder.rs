@@ -65,9 +65,25 @@ impl EventLog {
     /// Encode the whole log as JSON Lines (one event per line, trailing
     /// newline). Byte-deterministic for a deterministic event stream.
     pub fn to_jsonl(&self) -> String {
+        self.to_jsonl_from(0)
+    }
+
+    /// Snapshot of events from index `from` onward, in arrival order.
+    /// Empty when `from >= len()`. Consumers that tail a live log poll
+    /// with their last-seen index to receive only the new suffix.
+    pub fn events_from(&self, from: usize) -> Vec<Event> {
+        let events = self.events.lock().unwrap();
+        events.get(from..).unwrap_or_default().to_vec()
+    }
+
+    /// Encode events from index `from` onward as JSON Lines. The
+    /// concatenation of `to_jsonl_from(0..k)` and `to_jsonl_from(k)` is
+    /// byte-identical to [`EventLog::to_jsonl`], so a tailing consumer
+    /// reconstructs the exact full stream.
+    pub fn to_jsonl_from(&self, from: usize) -> String {
         let events = self.events.lock().unwrap();
         let mut out = String::new();
-        for ev in events.iter() {
+        for ev in events.get(from..).unwrap_or_default() {
             out.push_str(&ev.to_json());
             out.push('\n');
         }
@@ -354,6 +370,25 @@ mod tests {
             "{\"ev\":\"user_span\",\"round\":0,\"user\":999999,\
              \"compute_s\":0.5,\"comm_s\":0.25}\n"
         );
+    }
+
+    #[test]
+    fn jsonl_tail_concatenates_to_the_full_stream() {
+        let log = EventLog::new();
+        for round in 0..5 {
+            log.record(&sample(round));
+        }
+        for split in 0..=5 {
+            let head: String = log.events_from(0)[..split]
+                .iter()
+                .map(|e| format!("{}\n", e.to_json()))
+                .collect();
+            let joined = format!("{head}{}", log.to_jsonl_from(split));
+            assert_eq!(joined, log.to_jsonl(), "split at {split}");
+        }
+        assert!(log.to_jsonl_from(99).is_empty());
+        assert!(log.events_from(99).is_empty());
+        assert_eq!(log.events_from(3).len(), 2);
     }
 
     #[test]

@@ -32,6 +32,7 @@ FEDSCHED_CRATES=(
   -p fedsched-parallel
   -p fedsched-telemetry
   -p fedsched-bench
+  -p fedsched-serve
 )
 
 echo "==> cargo fmt --check (fedsched crates)"
@@ -101,6 +102,11 @@ cargo test -q --test hier_identity
 FEDSCHED_THREADS=4 cargo test -q --test hier_identity
 FEDSCHED_THREADS=8 cargo test -q --test hier_identity
 cargo test -q --test golden_trace hier
+
+echo "==> serve suite (spec round-trip + kill-and-resume bit identity + HTTP parity)"
+cargo test -q -p fedsched-fl spec
+cargo test -q -p fedsched-serve
+cargo test -q --test serve_http_smoke
 
 echo "==> scale smoke (engine speedup sweep + makespan parity)"
 cargo test -q -p fedsched-bench scaleout

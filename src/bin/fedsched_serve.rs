@@ -1,0 +1,105 @@
+//! `fedsched-serve` — the long-running FL orchestration service.
+//!
+//! ```text
+//! fedsched-serve [--addr HOST:PORT] [--state-dir DIR]
+//! ```
+//!
+//! * `--addr` — bind address; defaults to `127.0.0.1:0` (ephemeral
+//!   port). The chosen address is printed as `listening on HOST:PORT`
+//!   once the listener is live, so wrappers can scrape it.
+//! * `--state-dir` — directory for persisted job snapshots. With it,
+//!   the service restores every snapshotted job on startup (replaying
+//!   each to its recorded round) and survives `kill -9`; without it,
+//!   jobs live in memory only.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use fedsched::serve::{DirStore, MemoryStore, Server, StateStore, Supervisor};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: fedsched-serve [--addr HOST:PORT] [--state-dir DIR]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut state_dir: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => match args.next() {
+                Some(v) => addr = v,
+                None => return usage(),
+            },
+            "--state-dir" => match args.next() {
+                Some(v) => state_dir = Some(v),
+                None => return usage(),
+            },
+            "--help" | "-h" => {
+                println!("usage: fedsched-serve [--addr HOST:PORT] [--state-dir DIR]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return usage();
+            }
+        }
+    }
+
+    let store: Arc<dyn StateStore> = match &state_dir {
+        Some(dir) => match DirStore::open(dir) {
+            Ok(store) => Arc::new(store),
+            Err(e) => {
+                eprintln!("cannot open state dir `{dir}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => Arc::new(MemoryStore::new()),
+    };
+
+    let supervisor = Arc::new(Supervisor::new(store));
+    match supervisor.restore_all() {
+        Ok((adopted, skipped)) => {
+            for id in &adopted {
+                eprintln!("restored job {id}");
+            }
+            for id in &skipped {
+                eprintln!("skipped undecodable snapshot {id}");
+            }
+        }
+        Err(e) => {
+            eprintln!("cannot list state dir: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let server = match Server::bind(addr.as_str(), supervisor) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("cannot bind `{addr}`: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.local_addr() {
+        Ok(local) => {
+            // Single line, flushed eagerly: test harnesses and scripts
+            // scrape it to learn the ephemeral port.
+            println!("listening on {local}");
+            use std::io::Write;
+            let _ = std::io::stdout().flush();
+        }
+        Err(e) => {
+            eprintln!("cannot read bound address: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    match server.serve_forever() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("accept loop failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

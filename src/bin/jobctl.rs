@@ -1,0 +1,121 @@
+//! `jobctl` — a dependency-free command-line client for `fedsched-serve`.
+//!
+//! ```text
+//! jobctl ADDR submit FILE        # POST /jobs (FILE is a job request, `-` = stdin)
+//! jobctl ADDR list               # GET  /jobs
+//! jobctl ADDR status JOB         # GET  /jobs/JOB
+//! jobctl ADDR advance JOB [N]    # POST /jobs/JOB/advance
+//! jobctl ADDR telemetry JOB [K]  # GET  /jobs/JOB/telemetry?from=K
+//! jobctl ADDR snapshot JOB       # POST /jobs/JOB/snapshot
+//! jobctl ADDR delete JOB         # DELETE /jobs/JOB
+//! ```
+//!
+//! Prints the response body to stdout and exits nonzero on any
+//! non-2xx status, so shell scripts can chain calls with `&&`.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: jobctl ADDR {{submit FILE | list | status JOB | advance JOB [N] | \
+         telemetry JOB [FROM] | snapshot JOB | delete JOB}}"
+    );
+    ExitCode::from(2)
+}
+
+/// Issue one `Connection: close` HTTP request; return (status, body).
+fn request(addr: &str, method: &str, path: &str, body: &str) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()?;
+
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed HTTP response")
+        })?;
+    let body = match raw.split_once("\r\n\r\n") {
+        Some((_, b)) => b.to_string(),
+        None => String::new(),
+    };
+    Ok((status, body))
+}
+
+fn read_payload(source: &str) -> std::io::Result<String> {
+    if source == "-" {
+        let mut text = String::new();
+        std::io::stdin().read_to_string(&mut text)?;
+        Ok(text)
+    } else {
+        std::fs::read_to_string(source)
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (addr, command, rest) = match args.split_first() {
+        Some((addr, rest)) => match rest.split_first() {
+            Some((command, rest)) => (addr.as_str(), command.as_str(), rest),
+            None => return usage(),
+        },
+        None => return usage(),
+    };
+
+    let call = match (command, rest) {
+        ("submit", [file]) => match read_payload(file) {
+            Ok(payload) => request(addr, "POST", "/jobs", &payload),
+            Err(e) => {
+                eprintln!("cannot read `{file}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        ("list", []) => request(addr, "GET", "/jobs", ""),
+        ("status", [job]) => request(addr, "GET", &format!("/jobs/{job}"), ""),
+        ("advance", [job]) => request(addr, "POST", &format!("/jobs/{job}/advance"), ""),
+        ("advance", [job, n]) => request(
+            addr,
+            "POST",
+            &format!("/jobs/{job}/advance"),
+            &format!("{{\"rounds\":{n}}}"),
+        ),
+        ("telemetry", [job]) => request(addr, "GET", &format!("/jobs/{job}/telemetry"), ""),
+        ("telemetry", [job, from]) => request(
+            addr,
+            "GET",
+            &format!("/jobs/{job}/telemetry?from={from}"),
+            "",
+        ),
+        ("snapshot", [job]) => request(addr, "POST", &format!("/jobs/{job}/snapshot"), ""),
+        ("delete", [job]) => request(addr, "DELETE", &format!("/jobs/{job}"), ""),
+        _ => return usage(),
+    };
+
+    match call {
+        Ok((status, body)) => {
+            print!("{body}");
+            if !body.ends_with('\n') && !body.is_empty() {
+                println!();
+            }
+            if (200..300).contains(&status) {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("HTTP {status}");
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("request failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

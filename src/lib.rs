@@ -25,6 +25,9 @@
 //! * [`telemetry`] — opt-in structured event recording (scheduler
 //!   decisions, thermal/battery transitions, round timelines) with
 //!   deterministic JSONL serialization and a metrics registry.
+//! * [`serve`] — the long-running orchestration service: supervised
+//!   experiment jobs behind a snapshot store and an HTTP/JSON API
+//!   (`fedsched-serve` and `jobctl` binaries).
 //!
 //! ## Quickstart
 //!
@@ -51,4 +54,5 @@ pub use fedsched_net as net;
 pub use fedsched_nn as nn;
 pub use fedsched_parallel as parallel;
 pub use fedsched_profiler as profiler;
+pub use fedsched_serve as serve;
 pub use fedsched_telemetry as telemetry;

@@ -1,22 +1,20 @@
 //! Differential tests for the unified [`SimBuilder`] surface.
 //!
-//! The builder is a pure re-plumbing of the deprecated positional
-//! constructors: for every Table I testbed preset and every build target
-//! (quiet sim, resilient sim, parallel engine) it must produce reports and
-//! telemetry streams byte-identical to the old call sites. The error half
-//! of the contract is pinned too: invalid knobs surface as typed
-//! [`ConfigError`]s with stable `cause_code`s at the facade level, never
-//! as silently-dropped options.
-#![allow(deprecated)]
+//! The positional constructors are gone; the builder's identity contract
+//! is now pinned against its *wire twin*: for every Table I testbed
+//! preset and every build target, a simulator built in-process from the
+//! builder must produce reports and telemetry streams byte-identical to
+//! one built from the equivalent [`JobSpec`] after a round-trip through
+//! canonical JSON. The error half of the contract is pinned too: invalid
+//! knobs surface as typed [`ConfigError`]s with stable `cause_code`s at
+//! the facade level, never as silently-dropped options.
 
 use std::sync::Arc;
 
 use fedsched::core::Schedule;
-use fedsched::device::{Testbed, TrainingWorkload};
+use fedsched::device::TrainingWorkload;
 use fedsched::faults::{FaultConfig, FaultInjector};
-use fedsched::fl::{
-    DeadlinePolicy, ParallelRoundEngine, ResilientRoundSim, RoundConfig, RoundSim, SimBuilder,
-};
+use fedsched::fl::{BuildTarget, DeadlinePolicy, DeviceSetSpec, JobSpec, RoundConfig, SimBuilder};
 use fedsched::net::{Link, RetryPolicy};
 use fedsched::telemetry::{EventLog, Probe};
 
@@ -33,150 +31,120 @@ fn round_config(seed: u64) -> RoundConfig {
     )
 }
 
+fn base_spec(target: BuildTarget, preset: usize) -> JobSpec {
+    JobSpec::new(
+        target,
+        DeviceSetSpec::Testbed { preset, seed: SEED },
+        TrainingWorkload::lenet(),
+        Link::wifi_campus(),
+        MODEL_BYTES,
+        SEED,
+    )
+}
+
 fn uniform(n: usize, shards: usize) -> Schedule {
     Schedule::new(vec![shards; n], 100.0)
 }
 
+fn preset_size(preset: usize) -> usize {
+    [3, 6, 10][preset - 1]
+}
+
+/// Run `spec` two ways — directly via `SimBuilder::from_spec`, and after
+/// a canonical-JSON round-trip — and return `(report_debug, jsonl)` for
+/// each. Both must be byte-identical for every preset.
+fn run_both_ways(spec: &JobSpec, schedule: &Schedule) -> ((String, String), (String, String)) {
+    let run = |spec: &JobSpec| {
+        let log = Arc::new(EventLog::new());
+        let mut sim = spec
+            .build(Probe::attached(log.clone()))
+            .expect("spec is valid");
+        let digests: Vec<String> = (0..ROUNDS)
+            .map(|_| format!("{:?}", sim.step(schedule)))
+            .collect();
+        (digests.join("\n"), log.to_jsonl())
+    };
+    let direct = run(spec);
+    let rewired = run(&JobSpec::parse(&spec.canonical_json()).expect("canonical JSON decodes"));
+    (direct, rewired)
+}
+
 #[test]
-fn builder_sim_is_bit_identical_to_positional_for_every_preset() {
+fn builder_sim_is_bit_identical_to_wire_spec_for_every_preset() {
     for preset in 1..=3usize {
-        let tb = Testbed::by_index(preset, SEED);
-        let n = tb.devices().len();
-        let schedule = uniform(n, 8);
-
-        let (want_report, want_jsonl) = {
-            let log = Arc::new(EventLog::new());
-            let mut sim = RoundSim::new(
-                tb.devices().to_vec(),
-                TrainingWorkload::lenet(),
-                Link::wifi_campus(),
-                MODEL_BYTES,
-                SEED,
-            )
-            .with_probe(Probe::attached(log.clone()));
-            let report = sim.run(&schedule, ROUNDS);
-            (format!("{report:?}"), log.to_jsonl())
-        };
-
-        let (got_report, got_jsonl) = {
-            let log = Arc::new(EventLog::new());
-            let mut sim = SimBuilder::new(tb.devices().to_vec(), round_config(SEED))
-                .probe(Probe::attached(log.clone()))
-                .build_sim()
-                .expect("quiet sim config is valid");
-            let report = sim.run(&schedule, ROUNDS);
-            (format!("{report:?}"), log.to_jsonl())
-        };
-
-        assert!(!want_jsonl.is_empty());
-        assert_eq!(got_report, want_report, "preset {preset}: report diverged");
-        assert_eq!(
-            got_jsonl, want_jsonl,
-            "preset {preset}: trace bytes diverged"
-        );
+        let spec = base_spec(BuildTarget::Sim, preset);
+        let schedule = uniform(preset_size(preset), 8);
+        let (direct, rewired) = run_both_ways(&spec, &schedule);
+        assert!(!direct.1.is_empty());
+        assert_eq!(direct, rewired, "preset {preset}: wire round-trip diverged");
     }
 }
 
 #[test]
-fn builder_resilient_is_bit_identical_to_positional_for_every_preset() {
-    let config = FaultConfig::none()
+fn builder_resilient_is_bit_identical_to_wire_spec_for_every_preset() {
+    let faults = FaultConfig::none()
         .with_crash_prob(0.3)
         .with_loss_prob(0.2)
         .with_churn_prob(0.1);
 
     for preset in 1..=3usize {
-        let tb = Testbed::by_index(preset, SEED);
-        let n = tb.devices().len();
-        let schedule = uniform(n, 4);
-        let injector = || FaultInjector::from_config(config.clone(), n, ROUNDS, SEED ^ 0xfa);
-
-        let (want_report, want_jsonl) = {
-            let log = Arc::new(EventLog::new());
-            let mut sim = ResilientRoundSim::new(
-                tb.devices().to_vec(),
-                TrainingWorkload::lenet(),
-                Link::wifi_campus(),
-                MODEL_BYTES,
-                SEED,
-                injector(),
-            )
-            .with_retry(RetryPolicy::default_chaos())
-            .with_deadline(Some(60.0))
-            .with_probe(Probe::attached(log.clone()));
-            let report = sim.run(&schedule, ROUNDS);
-            (format!("{report:?}"), log.to_jsonl())
-        };
-
-        let (got_report, got_jsonl) = {
-            let log = Arc::new(EventLog::new());
-            let mut sim = SimBuilder::new(tb.devices().to_vec(), round_config(SEED))
-                .injector(injector())
-                .retry(RetryPolicy::default_chaos())
-                .deadline(DeadlinePolicy::Fixed(60.0))
-                .probe(Probe::attached(log.clone()))
-                .build_resilient()
-                .expect("chaos sim config is valid");
-            let report = sim.run(&schedule, ROUNDS);
-            (format!("{report:?}"), log.to_jsonl())
-        };
-
-        assert!(!want_jsonl.is_empty());
-        assert_eq!(got_report, want_report, "preset {preset}: report diverged");
-        assert_eq!(
-            got_jsonl, want_jsonl,
-            "preset {preset}: trace bytes diverged"
-        );
+        let mut spec = base_spec(BuildTarget::Resilient, preset);
+        spec.faults = Some((faults.clone(), ROUNDS));
+        spec.retry = Some(RetryPolicy::default_chaos());
+        spec.deadline = Some(DeadlinePolicy::Fixed(60.0));
+        let schedule = uniform(preset_size(preset), 4);
+        let (direct, rewired) = run_both_ways(&spec, &schedule);
+        assert!(!direct.1.is_empty());
+        assert_eq!(direct, rewired, "preset {preset}: wire round-trip diverged");
     }
 }
 
 #[test]
-fn builder_engine_is_bit_identical_to_positional_for_every_preset() {
+fn builder_engine_is_bit_identical_to_wire_spec_for_every_preset() {
     for preset in 1..=3usize {
-        let tb = Testbed::by_index(preset, SEED);
-        let n = tb.devices().len();
-        let schedule = uniform(n, 6);
+        let mut spec = base_spec(BuildTarget::Engine, preset);
+        spec.cohort_size = Some(3);
+        spec.threads = Some(4);
+        let schedule = uniform(preset_size(preset), 6);
+        let (direct, rewired) = run_both_ways(&spec, &schedule);
+        assert!(!direct.1.is_empty());
+        assert_eq!(direct, rewired, "preset {preset}: wire round-trip diverged");
+    }
+}
 
-        let (want_report, want_jsonl) = {
-            let log = Arc::new(EventLog::new());
-            let mut eng = ParallelRoundEngine::new(
-                tb.devices().to_vec(),
-                TrainingWorkload::lenet(),
-                Link::wifi_campus(),
-                MODEL_BYTES,
-                SEED,
-            )
-            .with_cohort_size(3)
-            .with_threads(4)
-            .with_probe(Probe::attached(log.clone()));
-            let report = eng.run(&schedule, ROUNDS);
-            (format!("{report:?}"), log.to_jsonl())
-        };
+#[test]
+fn stepped_spec_sim_matches_builder_batch_run() {
+    // One global round per step must replay the exact per-round makespans
+    // of a batched in-process run — the invariant the serve crate's
+    // restore-by-replay leans on.
+    for preset in 1..=3usize {
+        let mut spec = base_spec(BuildTarget::Engine, preset);
+        spec.cohort_size = Some(3);
+        spec.threads = Some(2);
+        let schedule = uniform(preset_size(preset), 6);
 
-        let (got_report, got_jsonl) = {
-            let log = Arc::new(EventLog::new());
-            let mut eng = SimBuilder::new(tb.devices().to_vec(), round_config(SEED))
-                .cohort_size(3)
-                .threads(4)
-                .probe(Probe::attached(log.clone()))
-                .build_engine()
-                .expect("engine config is valid");
-            let report = eng.run(&schedule, ROUNDS);
-            (format!("{report:?}"), log.to_jsonl())
-        };
+        let mut stepped = spec.build(Probe::disabled()).expect("spec is valid");
+        let makespans: Vec<f64> = (0..ROUNDS)
+            .map(|_| stepped.step(&schedule).makespan_s)
+            .collect();
 
-        assert!(!want_jsonl.is_empty());
-        assert_eq!(got_report, want_report, "preset {preset}: report diverged");
+        let mut batch = SimBuilder::from_spec(&spec)
+            .expect("spec is valid")
+            .build_engine()
+            .expect("engine config is valid");
+        let report = batch.run(&schedule, ROUNDS);
         assert_eq!(
-            got_jsonl, want_jsonl,
-            "preset {preset}: trace bytes diverged"
+            report.timing.per_round_makespan, makespans,
+            "preset {preset}: stepped makespans diverged from batch run"
         );
     }
 }
 
 #[test]
 fn facade_level_config_errors_carry_stable_cause_codes() {
-    let tb = Testbed::testbed_1(SEED);
-    let builder = || SimBuilder::new(tb.devices().to_vec(), round_config(SEED));
+    let spec = base_spec(BuildTarget::Sim, 1);
+    let builder = || SimBuilder::from_spec(&spec).expect("base spec is valid");
+    let n = preset_size(1);
 
     let cases: Vec<(&str, fedsched::fl::ConfigError)> = vec![
         (
@@ -227,10 +195,34 @@ fn facade_level_config_errors_carry_stable_cause_codes() {
         (
             "unsupported_option",
             builder()
-                .injector(FaultInjector::quiet(tb.devices().len()))
+                .injector(FaultInjector::quiet(n))
                 .build_engine()
                 .err()
                 .unwrap(),
+        ),
+        (
+            "not_serializable",
+            builder()
+                .injector(FaultInjector::quiet(n))
+                .to_spec(BuildTarget::Resilient)
+                .err()
+                .unwrap(),
+        ),
+        (
+            "not_serializable",
+            SimBuilder::new(
+                fedsched::device::Testbed::testbed_1(SEED)
+                    .devices()
+                    .to_vec(),
+                round_config(SEED),
+            )
+            .to_spec(BuildTarget::Sim)
+            .err()
+            .unwrap(),
+        ),
+        (
+            "invalid_spec",
+            JobSpec::parse("{\"version\":1}").err().unwrap(),
         ),
     ];
     for (want, err) in cases {
