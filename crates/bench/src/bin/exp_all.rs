@@ -19,4 +19,6 @@ fn main() {
     println!("{}", chaos::render(&chaos::run(scale, 42)));
     println!("{}", attack::render(&attack::run(scale, 2020)));
     println!("{}", churn::render(&churn::run(scale, 42)));
+    println!("{}", bandit::render(&bandit::run(scale, 42)));
+    println!("{}", serveconc::render(&serveconc::run(scale, 42)));
 }

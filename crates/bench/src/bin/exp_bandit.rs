@@ -1,0 +1,10 @@
+//! Regenerates the bandit-selection sweep: online client selection under
+//! drifting device performance.
+use fedsched_bench::{bandit, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("[exp_bandit] scale = {}", scale.name());
+    let sweep = bandit::run(scale, 42);
+    println!("{}", bandit::render(&sweep));
+}

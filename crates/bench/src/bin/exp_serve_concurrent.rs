@@ -1,0 +1,10 @@
+//! Regenerates the concurrent serve sweep: N jobs through one supervisor,
+//! checked byte-identical against sequential replay.
+use fedsched_bench::{serveconc, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("[exp_serve_concurrent] scale = {}", scale.name());
+    let report = serveconc::run(scale, 42);
+    println!("{}", serveconc::render(&report));
+}

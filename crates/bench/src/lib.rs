@@ -27,11 +27,14 @@
 //! | Scale-out sweep (multi-cohort engine) | [`scaleout`] | `exp_scale` |
 //! | Attack sweep (Byzantine adversaries, group outages) | [`attack`] | `exp_attack` |
 //! | Churn sweep (mid-round arrivals/departures) | [`churn`] | `exp_churn` |
+//! | Bandit sweep (online selection under drift) | [`bandit`] | `exp_bandit` |
+//! | Concurrent serve (N jobs, one supervisor) | [`serveconc`] | `exp_serve_concurrent` |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod attack;
+pub mod bandit;
 pub mod chaos;
 pub mod churn;
 pub mod common;
@@ -46,6 +49,7 @@ pub mod noniid;
 pub mod report;
 pub mod scale;
 pub mod scaleout;
+pub mod serveconc;
 pub mod table2;
 pub mod table3;
 pub mod table4;

@@ -52,6 +52,9 @@ pub const INVALID_TOPOLOGY: &str = "invalid_topology";
 pub const NOT_SERIALIZABLE: &str = "not_serializable";
 /// A wire `JobSpec` that is malformed or uses an unknown field value.
 pub const INVALID_SPEC: &str = "invalid_spec";
+/// An online client-selection config with a bad policy parameter, a zero
+/// cohort, or a combination the build target cannot honour.
+pub const INVALID_SELECTION: &str = "invalid_selection";
 
 /// Every cause code, in declaration order. Exhaustiveness is enforced in
 /// `fedsched-fl`, where `ConfigError::cause_code()` maps each variant to a
@@ -74,6 +77,7 @@ pub const ALL_CAUSE_CODES: &[&str] = &[
     INVALID_TOPOLOGY,
     NOT_SERIALIZABLE,
     INVALID_SPEC,
+    INVALID_SELECTION,
 ];
 
 #[cfg(test)]
@@ -128,6 +132,7 @@ mod tests {
                 "invalid_topology",
                 "not_serializable",
                 "invalid_spec",
+                "invalid_selection",
             ]
         );
     }

@@ -97,6 +97,62 @@ impl ChurnConfig {
     }
 }
 
+/// Performance-drift process: a per-device multiplicative slowdown random
+/// walk, sampled from a hash-derived counter stream (never the plan's main
+/// RNG, so adding drift leaves every other fate byte-identical).
+///
+/// Each device carries a log-slowdown state starting at 0. Every round the
+/// state takes a Gaussian step of scale [`DriftConfig::sigma`] (Box–Muller
+/// over two stream draws per cell, drawn whether or not the walk is
+/// clamped) and is reflected into `[-ln(max_slowdown), ln(max_slowdown)]`.
+/// The resulting multiplier `exp(state)` scales the device's compute time
+/// exactly like contention does — so a drifting device slows down (or
+/// speeds up) *gradually and persistently*, which is what an online
+/// selection policy can learn and a static plan cannot.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct DriftConfig {
+    /// Per-round standard deviation of the log-slowdown step. Zero
+    /// disables the process (no timeline is generated at all).
+    pub sigma: f64,
+    /// Hard cap on the multiplier: the walk is reflected so the slowdown
+    /// stays within `[1/max_slowdown, max_slowdown]`. Must be `>= 1`.
+    pub max_slowdown: f64,
+}
+
+impl DriftConfig {
+    /// A walk with step scale `sigma` capped at `max_slowdown`.
+    pub fn new(sigma: f64, max_slowdown: f64) -> Self {
+        DriftConfig {
+            sigma,
+            max_slowdown,
+        }
+    }
+
+    /// True when this process can never move a device off multiplier 1.
+    pub fn is_quiet(&self) -> bool {
+        self.sigma == 0.0
+    }
+
+    /// Check every knob is in range.
+    ///
+    /// # Panics
+    /// Panics on a negative or non-finite sigma, or a cap below 1 while
+    /// sigma is positive.
+    pub fn validate(&self) {
+        assert!(
+            self.sigma >= 0.0 && self.sigma.is_finite(),
+            "drift sigma must be a finite non-negative step scale, got {}",
+            self.sigma
+        );
+        if !self.is_quiet() {
+            assert!(
+                self.max_slowdown >= 1.0 && self.max_slowdown.is_finite(),
+                "drift max_slowdown must be >= 1 while sigma is nonzero"
+            );
+        }
+    }
+}
+
 /// Fault-model knobs. All probabilities are per device per round (crash,
 /// churn, contention) or per transfer attempt (loss); an all-zero config
 /// injects nothing.
@@ -136,6 +192,9 @@ pub struct FaultConfig {
     /// default) generates no churn timeline at all, keeping legacy plans
     /// byte-identical. Only the event-driven engine interprets it.
     pub churn_process: Option<ChurnConfig>,
+    /// Per-device performance-drift walk. `None` (the default) generates
+    /// no drift timeline at all, keeping legacy plans byte-identical.
+    pub drift: Option<DriftConfig>,
 }
 
 impl FaultConfig {
@@ -155,6 +214,7 @@ impl FaultConfig {
             group_count: 1,
             group_outage_rounds: 1,
             churn_process: None,
+            drift: None,
         }
     }
 
@@ -188,6 +248,12 @@ impl FaultConfig {
     /// Set the continuous mid-round arrival/departure process.
     pub fn with_churn_process(mut self, churn: ChurnConfig) -> Self {
         self.churn_process = Some(churn);
+        self
+    }
+
+    /// Set the per-device performance-drift walk.
+    pub fn with_drift(mut self, drift: DriftConfig) -> Self {
+        self.drift = Some(drift);
         self
     }
 
@@ -262,6 +328,7 @@ impl FaultConfig {
                 .churn_process
                 .as_ref()
                 .is_none_or(ChurnConfig::is_quiet)
+            && self.drift.as_ref().is_none_or(DriftConfig::is_quiet)
     }
 
     /// Check every knob is in range.
@@ -303,6 +370,9 @@ impl FaultConfig {
         }
         if let Some(churn) = &self.churn_process {
             churn.validate();
+        }
+        if let Some(drift) = &self.drift {
+            drift.validate();
         }
     }
 }
@@ -369,6 +439,9 @@ pub struct FaultPlan {
     churn_departs: Vec<Option<f64>>,
     /// Mid-round arrival times, same layout as `churn_departs`.
     churn_arrives: Vec<Option<f64>>,
+    /// Compute-slowdown multipliers from the drift walk, row-major like
+    /// `fates`; empty unless a drift process is configured.
+    drift_walk: Vec<f64>,
 }
 
 impl FaultPlan {
@@ -491,6 +564,39 @@ impl FaultPlan {
             }
         }
 
+        // Performance drift is overlaid from its own salted stream, after
+        // every frozen draw above: configs without drift generate not a
+        // single extra draw. Two stream draws per (round, device) cell
+        // regardless of clamping, so two plans with the same seed disagree
+        // only where their sigmas do.
+        let mut drift_walk = Vec::new();
+        if let Some(drift) = config.drift.as_ref().filter(|d| !d.is_quiet()) {
+            let mut stream = DrawStream::new(seed ^ 0x6472_6966_745f_7277); // "drift_rw"
+            let bound = drift.max_slowdown.ln();
+            let mut state = vec![0.0f64; n_devices];
+            drift_walk.reserve(n_devices * n_rounds);
+            for _round in 0..n_rounds {
+                for s in state.iter_mut() {
+                    let u1 = stream.next_u01();
+                    let u2 = stream.next_u01();
+                    // Box–Muller; u1 == 0 degenerates to a zero step.
+                    let g =
+                        (-2.0 * (1.0 - u1).ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                    *s += drift.sigma * g;
+                    // Reflect into [-bound, bound] so the multiplier stays
+                    // within [1/max_slowdown, max_slowdown].
+                    if *s > bound {
+                        *s = 2.0 * bound - *s;
+                    }
+                    if *s < -bound {
+                        *s = -2.0 * bound - *s;
+                    }
+                    *s = s.clamp(-bound, bound);
+                    drift_walk.push(s.exp());
+                }
+            }
+        }
+
         FaultPlan {
             config,
             n_devices,
@@ -503,6 +609,7 @@ impl FaultPlan {
             departed_at_end: departed,
             churn_departs,
             churn_arrives,
+            drift_walk,
         }
     }
 
@@ -618,6 +725,25 @@ impl FaultPlan {
         self.churn_arrives[round * self.n_devices + device]
     }
 
+    /// Whether this plan carries a live drift timeline.
+    pub fn drift_active(&self) -> bool {
+        !self.drift_walk.is_empty()
+    }
+
+    /// Compute-slowdown multiplier for `device` in `round` from the drift
+    /// walk (1.0 = no drift configured, or past the planned horizon).
+    /// Composes multiplicatively with [`FaultPlan::contention`].
+    ///
+    /// # Panics
+    /// Panics if `device >= n_devices`.
+    pub fn slowdown(&self, round: usize, device: usize) -> f64 {
+        assert!(device < self.n_devices, "device index out of range");
+        if !self.drift_active() || round >= self.n_rounds {
+            return 1.0;
+        }
+        self.drift_walk[round * self.n_devices + device]
+    }
+
     /// A stable 64-bit digest of the whole plan — two plans with the same
     /// fingerprint injected the same faults. Used by replay-identity tests.
     pub fn fingerprint(&self) -> u64 {
@@ -664,6 +790,10 @@ impl FaultPlan {
                 }
                 None => mix(0),
             }
+        }
+        // Same rule for drift cells: mixed only when the walk exists.
+        for s in &self.drift_walk {
+            mix(s.to_bits());
         }
         h
     }
@@ -772,6 +902,17 @@ impl FaultInjector {
     /// Mid-round arrival time (see [`FaultPlan::arrival_at`]).
     pub fn arrival_at(&self, round: usize, device: usize) -> Option<f64> {
         self.plan.arrival_at(round, device)
+    }
+
+    /// Whether the plan carries a live drift timeline (see
+    /// [`FaultPlan::drift_active`]).
+    pub fn drift_active(&self) -> bool {
+        self.plan.drift_active()
+    }
+
+    /// Drift slowdown multiplier (see [`FaultPlan::slowdown`]).
+    pub fn slowdown(&self, round: usize, device: usize) -> f64 {
+        self.plan.slowdown(round, device)
     }
 
     /// A deterministic draw stream scoped to `(round, channel)` — use a
@@ -1093,6 +1234,125 @@ mod tests {
         assert_eq!(plan.fingerprint(), 0xf3e7_e07b_714d_7223);
         let replay = FaultPlan::generate(FaultConfig::none().with_churn_prob(0.5), 4, 6, 42);
         assert_eq!(plan.fingerprint(), replay.fingerprint());
+    }
+
+    #[test]
+    fn drift_leaves_base_plan_byte_identical() {
+        // The drift walk comes from its own salted stream: every fate,
+        // contention cell and outage window of the base plan is unchanged,
+        // and only the fingerprint (which mixes the new cells) moves.
+        let base = FaultPlan::generate(chaos_config(), 6, 40, 42);
+        let drifted = FaultPlan::generate(
+            chaos_config().with_drift(DriftConfig::new(0.1, 4.0)),
+            6,
+            40,
+            42,
+        );
+        for r in 0..40 {
+            for j in 0..6 {
+                assert_eq!(base.fate(r, j), drifted.fate(r, j), "round {r} dev {j}");
+                assert_eq!(base.contention(r, j), drifted.contention(r, j));
+            }
+            assert_eq!(base.outages(r), drifted.outages(r));
+        }
+        assert!(drifted.drift_active());
+        assert!(!base.drift_active());
+        assert_ne!(base.fingerprint(), drifted.fingerprint());
+    }
+
+    #[test]
+    fn quiet_drift_draws_nothing() {
+        // Sigma 0 generates no timeline at all: the plan (and fingerprint)
+        // is byte-identical to one with no drift configured.
+        let base = FaultPlan::generate(chaos_config(), 6, 40, 42);
+        let quiet = FaultPlan::generate(
+            chaos_config().with_drift(DriftConfig::new(0.0, 4.0)),
+            6,
+            40,
+            42,
+        );
+        assert!(!quiet.drift_active());
+        assert_eq!(base.fingerprint(), quiet.fingerprint());
+        assert_eq!(quiet.slowdown(0, 0), 1.0);
+        assert!(FaultConfig::none()
+            .with_drift(DriftConfig::new(0.0, 4.0))
+            .is_quiet());
+        assert!(!FaultConfig::none()
+            .with_drift(DriftConfig::new(0.1, 4.0))
+            .is_quiet());
+    }
+
+    #[test]
+    fn drift_replays_respects_caps_and_actually_moves() {
+        let config = FaultConfig::none().with_drift(DriftConfig::new(0.2, 3.0));
+        let a = FaultPlan::generate(config.clone(), 5, 60, 9);
+        let b = FaultPlan::generate(config, 5, 60, 9);
+        assert_eq!(a, b);
+        let mut moved = false;
+        for r in 0..60 {
+            for j in 0..5 {
+                let s = a.slowdown(r, j);
+                assert_eq!(s, b.slowdown(r, j));
+                assert!(
+                    (1.0 / 3.0 - 1e-12..=3.0 + 1e-12).contains(&s),
+                    "slowdown {s} breaches the cap"
+                );
+                if (s - 1.0).abs() > 0.05 {
+                    moved = true;
+                }
+            }
+        }
+        assert!(moved, "a nonzero-sigma walk must move somewhere");
+        // Past the planned horizon nothing drifts.
+        assert_eq!(a.slowdown(60, 0), 1.0);
+    }
+
+    #[test]
+    fn drift_is_persistent_round_to_round() {
+        // A walk is correlated: the round-to-round change of the walk is
+        // much smaller than its excursion from 1, so a slow device stays
+        // slow long enough to be learnable.
+        let plan = FaultPlan::generate(
+            FaultConfig::none().with_drift(DriftConfig::new(0.05, 4.0)),
+            4,
+            80,
+            7,
+        );
+        let mut step_sum = 0.0f64;
+        let mut excursion = 0.0f64;
+        for j in 0..4 {
+            for r in 1..80 {
+                step_sum += (plan.slowdown(r, j).ln() - plan.slowdown(r - 1, j).ln()).abs();
+                excursion = excursion.max((plan.slowdown(r, j).ln()).abs());
+            }
+        }
+        let mean_step = step_sum / (4.0 * 79.0);
+        assert!(
+            excursion > 2.0 * mean_step,
+            "walk excursion {excursion} should dwarf the mean step {mean_step}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "drift sigma")]
+    fn negative_drift_sigma_rejected() {
+        let _ = FaultPlan::generate(
+            FaultConfig::none().with_drift(DriftConfig::new(-0.1, 2.0)),
+            2,
+            5,
+            0,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "max_slowdown must be >= 1")]
+    fn sub_unit_drift_cap_rejected() {
+        let _ = FaultPlan::generate(
+            FaultConfig::none().with_drift(DriftConfig::new(0.1, 0.5)),
+            2,
+            5,
+            0,
+        );
     }
 
     #[test]

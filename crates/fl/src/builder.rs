@@ -28,6 +28,7 @@
 
 use std::fmt;
 
+use fedsched_bandit::SelectionConfig;
 use fedsched_core::{DeadlinePolicy, Scheduler};
 use fedsched_device::{Device, TrainingWorkload};
 use fedsched_faults::{AdversaryConfig, AdversaryPlan, ChurnConfig, FaultConfig, FaultInjector};
@@ -102,6 +103,10 @@ pub enum ConfigError {
     /// malformed: bad JSON shape, an unknown field, or an unrecognized
     /// tag value. The payload describes the problem.
     InvalidSpec(String),
+    /// Malformed online client-selection configuration (bad policy
+    /// parameter, zero cohort) or a knob combination selection cannot
+    /// coexist with; the payload is the violated rule.
+    InvalidSelection(&'static str),
 }
 
 impl ConfigError {
@@ -131,6 +136,7 @@ impl ConfigError {
             ConfigError::InvalidTopology(_) => causes::INVALID_TOPOLOGY,
             ConfigError::NotSerializable(_) => causes::NOT_SERIALIZABLE,
             ConfigError::InvalidSpec(_) => causes::INVALID_SPEC,
+            ConfigError::InvalidSelection(_) => causes::INVALID_SELECTION,
         }
     }
 }
@@ -181,6 +187,9 @@ impl fmt::Display for ConfigError {
             ConfigError::InvalidSpec(problem) => {
                 write!(f, "invalid job spec: {problem}")
             }
+            ConfigError::InvalidSelection(rule) => {
+                write!(f, "invalid selection config: {rule}")
+            }
         }
     }
 }
@@ -213,6 +222,20 @@ impl RoundConfig {
     }
 }
 
+/// Online client-selection choice recorded by [`SimBuilder::selection`].
+///
+/// [`Selection::Off`] — the default — schedules every device every round,
+/// exactly today's behaviour; [`Selection::Bandit`] lets a bandit policy
+/// pick a `k`-device cohort online before the inner scheduler splits
+/// shards, feeding observed round outcomes back as rewards.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Selection {
+    /// No online selection: the full fleet is scheduled each round.
+    Off,
+    /// Bandit-driven cohort selection with the given configuration.
+    Bandit(SelectionConfig),
+}
+
 /// Buffered-async coordination knobs recorded by
 /// [`SimBuilder::buffered_async`].
 #[derive(Debug, Clone, Copy)]
@@ -243,6 +266,7 @@ pub(crate) struct AsyncOptions {
 /// | [`cohort_size`](SimBuilder::cohort_size), [`threads`](SimBuilder::threads) | — | — | — | ✓ | ✓ | ✓ |
 /// | [`engine_kind`](SimBuilder::engine_kind) | — | — | — | ✓ | ✓ | ✓ |
 /// | [`churn`](SimBuilder::churn), [`admission`](SimBuilder::admission) ³ | — | — | ✓ | ✓³ | ✓³ | ✓³ |
+/// | [`selection`](SimBuilder::selection) | — | ✓ | ✓ | ✓ | ✓ | ✓ |
 /// | [`buffered_async`](SimBuilder::buffered_async) | — | — | — | — | ✓¹ | — |
 /// | [`edges`](SimBuilder::edges), [`edge_link`](SimBuilder::edge_link), [`edge_aggregator`](SimBuilder::edge_aggregator), [`server_aggregator`](SimBuilder::server_aggregator) | — | — | — | — | — | ✓ |
 ///
@@ -274,6 +298,7 @@ pub struct SimBuilder {
     pub(crate) engine_kind: Option<EngineKind>,
     pub(crate) churn: Option<ChurnConfig>,
     pub(crate) admission: Option<AdmissionPolicy>,
+    pub(crate) selection: Option<SelectionConfig>,
     pub(crate) edges: Option<usize>,
     pub(crate) edge_link: Option<Link>,
     pub(crate) edge_aggregator: Option<AggregatorKind>,
@@ -307,6 +332,7 @@ impl SimBuilder {
             engine_kind: None,
             churn: None,
             admission: None,
+            selection: None,
             edges: None,
             edge_link: None,
             edge_aggregator: None,
@@ -484,6 +510,42 @@ impl SimBuilder {
         self
     }
 
+    /// Online bandit-driven client selection
+    /// (resilient/event_sim/engine/coordinator/hier). Each round the
+    /// policy picks a `k`-device cohort per scheduling domain, the inner
+    /// scheduler splits the full shard load among the picked devices, and
+    /// observed round outcomes (throughput discounted by battery drain)
+    /// feed back as arm rewards. [`Selection::Off`] — the default —
+    /// keeps today's schedule-everyone behaviour bit for bit.
+    ///
+    /// Selection re-plans the shard split every round itself, so it
+    /// cannot be combined with [`rescheduler`](SimBuilder::rescheduler);
+    /// that combination is a typed [`ConfigError::InvalidSelection`].
+    ///
+    /// ```
+    /// use fedsched_bandit::{PolicyKind, SelectionConfig};
+    /// use fedsched_device::{Testbed, TrainingWorkload};
+    /// use fedsched_fl::{RoundConfig, Selection, SimBuilder};
+    /// use fedsched_net::Link;
+    ///
+    /// let config = RoundConfig::new(TrainingWorkload::lenet(), Link::wifi_campus(), 2.5e6, 7);
+    /// let sim = SimBuilder::new(Testbed::testbed_1(7).devices().to_vec(), config)
+    ///     .selection(Selection::Bandit(SelectionConfig::new(
+    ///         PolicyKind::Ucb1 { c: 1.0 },
+    ///         2,
+    ///     )))
+    ///     .build_resilient()?;
+    /// # let _ = sim;
+    /// # Ok::<(), fedsched_fl::ConfigError>(())
+    /// ```
+    pub fn selection(mut self, selection: Selection) -> Self {
+        self.selection = match selection {
+            Selection::Off => None,
+            Selection::Bandit(config) => Some(config),
+        };
+        self
+    }
+
     /// Number of edge aggregators in a two-tier topology
     /// ([`build_hier`](SimBuilder::build_hier) only). Cohorts are split
     /// across edges in balanced contiguous spans; defaults to one edge
@@ -558,6 +620,7 @@ impl SimBuilder {
             || self.adversary.is_some()
             || self.churn.is_some()
             || self.admission.is_some()
+            || self.selection.is_some()
     }
 
     /// The first chaos-only knob set, for precise error payloads.
@@ -584,9 +647,26 @@ impl SimBuilder {
             "churn"
         } else if self.admission.is_some() {
             "admission"
+        } else if self.selection.is_some() {
+            "selection"
         } else {
             "aggregator"
         }
+    }
+
+    /// Validate the online-selection config and its knob interactions.
+    /// Selection owns the per-round shard split, so a periodic
+    /// rescheduler alongside it is a contradiction, not a composition.
+    fn check_selection(&self) -> Result<Option<SelectionConfig>, ConfigError> {
+        if let Some(config) = &self.selection {
+            config.validate().map_err(ConfigError::InvalidSelection)?;
+            if self.rescheduler.is_some() {
+                return Err(ConfigError::InvalidSelection(
+                    "selection re-plans the split every round; drop the rescheduler",
+                ));
+            }
+        }
+        Ok(self.selection)
     }
 
     /// Validate the churn/admission knob combination and, when a churn
@@ -760,6 +840,7 @@ impl SimBuilder {
         self.check_soc_floor()?;
         let aggregator = self.check_aggregator()?;
         let adversary = self.check_adversary()?;
+        let selection = self.check_selection()?;
         let n = self.devices.len();
         if let Some((_, every)) = &self.rescheduler {
             if *every == 0 {
@@ -816,6 +897,9 @@ impl SimBuilder {
         }
         if let Some(priors) = self.priors {
             sim = sim.with_priors(&priors);
+        }
+        if let Some(config) = selection {
+            sim = sim.with_selection(config);
         }
         Ok(sim)
     }
@@ -974,6 +1058,7 @@ impl SimBuilder {
         self.check_soc_floor()?;
         let aggregator = self.check_aggregator()?;
         let adversary = self.check_adversary()?;
+        let selection = self.check_selection()?;
         let c = self.config;
         let mut engine = ParallelRoundEngine::from_parts(
             self.devices,
@@ -998,7 +1083,8 @@ impl SimBuilder {
             || !self.rescue
             || self.rescue_soc_floor > 0.0
             || !aggregator.is_fedavg()
-            || adversary.is_some();
+            || adversary.is_some()
+            || selection.is_some();
         if wants_chaos || force_chaos {
             let (config, planned) = self
                 .faults
@@ -1013,6 +1099,9 @@ impl SimBuilder {
             }
             if let Some(policy) = admission {
                 opts = opts.with_admission(policy);
+            }
+            if let Some(config) = selection {
+                opts = opts.with_selection(config);
             }
             if let Some(retry) = self.retry {
                 opts = opts.with_retry(retry);
@@ -1309,6 +1398,75 @@ mod tests {
     }
 
     #[test]
+    fn selection_gating_and_validation_are_typed() {
+        use fedsched_bandit::{PolicyKind, SelectionConfig};
+        use fedsched_core::FedLbap;
+        let ucb = SelectionConfig::new(PolicyKind::Ucb1 { c: 1.0 }, 2);
+
+        // The plain sim has no selection machinery: typed rejection.
+        let err = SimBuilder::new(devices(1), config(1))
+            .selection(Selection::Bandit(ucb))
+            .build_sim()
+            .err()
+            .unwrap();
+        assert_eq!(err, ConfigError::UnsupportedOption("selection"));
+
+        // Selection::Off is the default, not a chaos trigger.
+        assert!(SimBuilder::new(devices(1), config(1))
+            .selection(Selection::Off)
+            .build_sim()
+            .is_ok());
+
+        // Malformed knobs map to invalid_selection on every chaos target.
+        let zero_k = SelectionConfig::new(PolicyKind::ThompsonSampling, 0);
+        let err = SimBuilder::new(devices(1), config(1))
+            .selection(Selection::Bandit(zero_k))
+            .build_resilient()
+            .err()
+            .unwrap();
+        assert_eq!(err.cause_code(), "invalid_selection");
+        let bad_eps = SelectionConfig::new(PolicyKind::EpsilonGreedy { epsilon: 1.5 }, 2);
+        let err = SimBuilder::new(devices(1), config(1))
+            .selection(Selection::Bandit(bad_eps))
+            .build_engine()
+            .err()
+            .unwrap();
+        assert_eq!(err.cause_code(), "invalid_selection");
+
+        // Selection owns the per-round re-plan; a periodic rescheduler
+        // alongside it is a contradiction.
+        let err = SimBuilder::new(devices(1), config(1))
+            .selection(Selection::Bandit(ucb))
+            .rescheduler(Box::new(FedLbap), 2)
+            .build_resilient()
+            .err()
+            .unwrap();
+        assert_eq!(err.cause_code(), "invalid_selection");
+
+        // Every chaos-capable target accepts a valid config.
+        assert!(SimBuilder::new(devices(1), config(1))
+            .selection(Selection::Bandit(ucb))
+            .build_resilient()
+            .is_ok());
+        assert!(SimBuilder::new(devices(1), config(1))
+            .selection(Selection::Bandit(ucb))
+            .build_event_sim()
+            .is_ok());
+        assert!(SimBuilder::new(devices(1), config(1))
+            .selection(Selection::Bandit(ucb))
+            .build_engine()
+            .is_ok());
+        assert!(SimBuilder::new(devices(1), config(1))
+            .selection(Selection::Bandit(ucb))
+            .build_coordinator()
+            .is_ok());
+        assert!(SimBuilder::new(devices(1), config(1))
+            .selection(Selection::Bandit(ucb))
+            .build_hier()
+            .is_ok());
+    }
+
+    #[test]
     fn hier_knobs_are_rejected_off_the_hier_target() {
         let err = SimBuilder::new(devices(1), config(1))
             .edges(2)
@@ -1443,6 +1601,7 @@ mod tests {
             (ConfigError::InvalidTopology("x"), "invalid_topology"),
             (ConfigError::NotSerializable("x"), "not_serializable"),
             (ConfigError::InvalidSpec("bad".to_string()), "invalid_spec"),
+            (ConfigError::InvalidSelection("x"), "invalid_selection"),
         ];
         for (err, code) in cases {
             assert_eq!(err.cause_code(), code);

@@ -43,6 +43,7 @@
 use std::ops::Range;
 use std::sync::{Arc, Mutex};
 
+use fedsched_bandit::SelectionConfig;
 use fedsched_core::{DeadlinePolicy, Schedule};
 use fedsched_device::{Device, TrainingWorkload};
 use fedsched_faults::{AdversaryConfig, AdversaryPlan, FaultConfig, FaultInjector};
@@ -146,6 +147,11 @@ pub struct ChaosOptions {
     /// cohort. Ignored by lockstep cohorts (the builder rejects churn on
     /// them before it ever reaches here).
     pub admission: AdmissionPolicy,
+    /// Online bandit-driven client selection, applied per cohort: each
+    /// cohort's policy picks its own `k`-device sub-cohort every round
+    /// (arms are cohort-local, so selection composes with the per-cohort
+    /// seed derivation exactly like fault plans).
+    pub selection: Option<SelectionConfig>,
 }
 
 impl ChaosOptions {
@@ -162,6 +168,7 @@ impl ChaosOptions {
             aggregator: AggregatorKind::FedAvg,
             adversary: None,
             admission: AdmissionPolicy::default(),
+            selection: None,
         }
     }
 
@@ -206,6 +213,13 @@ impl ChaosOptions {
     /// [`ChaosOptions::admission`]).
     pub fn with_admission(mut self, policy: AdmissionPolicy) -> Self {
         self.admission = policy;
+        self
+    }
+
+    /// Enable online bandit-driven client selection (see
+    /// [`ChaosOptions::selection`]).
+    pub fn with_selection(mut self, config: SelectionConfig) -> Self {
+        self.selection = Some(config);
         self
     }
 }
@@ -586,6 +600,9 @@ impl ParallelRoundEngine {
                                 *adv_rounds,
                                 seed,
                             ));
+                        }
+                        if let Some(sel) = &opts.selection {
+                            sim = sim.with_selection(*sel);
                         }
                     }
                     match kind {

@@ -221,6 +221,13 @@ impl EventRoundSim {
 
         for _ in 0..rounds {
             let round = self.inner.current_round();
+            // Bandit selection re-splits the load before anything else
+            // looks at the schedule (same slot as the lockstep path); a
+            // replaced schedule re-derives the parked set so unpicked
+            // devices drop straight out of the hot loop.
+            if self.inner.selection_begin(&mut current, orig_total) {
+                self.rebind(&current);
+            }
             // Deadline first (prediction draws nothing from the RNG), then
             // round framing — the same order as the lockstep path.
             let deadline_s = self.inner.round_deadline_active(&current, &self.active);
@@ -410,6 +417,13 @@ impl EventRoundSim {
             self.queue.schedule(track.worst, RoundEvent::RoundClose);
             let closed = self.queue.pop();
             debug_assert!(matches!(closed, Some((_, _, RoundEvent::RoundClose))));
+            // Selection rewards settle after the round closes; the clone
+            // exists only while a policy is attached.
+            let observed_for_reward = if self.inner.selection_active() {
+                observed.clone()
+            } else {
+                Vec::new()
+            };
             let outcome = self.inner.close_round(
                 round,
                 scheduled_total,
@@ -429,6 +443,7 @@ impl EventRoundSim {
             };
             outcomes.push(outcome);
 
+            self.inner.selection_settle(round, &observed_for_reward);
             if self.inner.maybe_reschedule(&mut current, orig_total) {
                 self.rebind(&current);
                 scheduled_total = current.total_shards();
@@ -649,6 +664,40 @@ mod tests {
             r.rounds.iter().map(|o| o.coverage).sum::<f64>() / r.rounds.len() as f64
         };
         assert!(mean(&fill) >= mean(&reject));
+    }
+
+    #[test]
+    fn bandit_selection_matches_lockstep_bit_for_bit() {
+        use crate::builder::{RoundConfig, Selection, SimBuilder};
+        use fedsched_bandit::{MaybeSeeded, PolicyKind, SelectionConfig};
+        let schedule = Schedule::new(vec![10, 10, 10], 100.0);
+        let selection = SelectionConfig {
+            policy: PolicyKind::Ucb1 { c: 1.0 },
+            k: 2,
+            seed: MaybeSeeded::inherit(),
+        };
+        let builder = |log: &Arc<EventLog>| {
+            let config = RoundConfig::new(TrainingWorkload::lenet(), link(), 2.5e6, 33);
+            SimBuilder::new(devices(33), config)
+                .probe(Probe::attached(log.clone() as Arc<_>))
+                .faults(FaultConfig::none().with_crash_prob(0.2), 12)
+                .retry(RetryPolicy::default_chaos())
+                .selection(Selection::Bandit(selection))
+        };
+        let log_a = Arc::new(EventLog::new());
+        let log_b = Arc::new(EventLog::new());
+        let a = builder(&log_a)
+            .build_resilient()
+            .unwrap()
+            .run(&schedule, 10);
+        let b = builder(&log_b)
+            .build_event_sim()
+            .unwrap()
+            .run(&schedule, 10);
+        assert_eq!(a, b);
+        assert_eq!(log_a.to_jsonl(), log_b.to_jsonl());
+        assert!(log_a.to_jsonl().contains("\"ev\":\"bandit_select\""));
+        assert!(log_a.to_jsonl().contains("\"ev\":\"bandit_reward\""));
     }
 
     #[test]

@@ -42,7 +42,7 @@ pub mod spec;
 
 pub use assign::{assignment_from_schedule_iid, assignment_from_schedule_noniid};
 pub use asyncfl::{staleness_weight, AsyncFlOutcome, AsyncFlSetup};
-pub use builder::{ConfigError, RoundConfig, SimBuilder};
+pub use builder::{ConfigError, RoundConfig, Selection, SimBuilder};
 pub use cohorts::{
     default_engine_threads, derive_cohort_seed, ChaosOptions, CohortReport, EngineKind,
     EngineReport, ParallelRoundEngine, DEFAULT_COHORT_SIZE, THREADS_ENV,
@@ -62,6 +62,7 @@ pub use server::fedavg_aggregate;
 pub use spec::{BuildTarget, BuiltSim, DeviceSetSpec, JobSpec, RoundDigest, SPEC_VERSION};
 
 // Re-exported so downstream builder call sites need only this crate.
+pub use fedsched_bandit::{MaybeSeeded, PolicyKind, SelectionConfig, SelectionPolicy};
 pub use fedsched_core::DeadlinePolicy;
-pub use fedsched_faults::{AdversaryConfig, AdversaryPlan, AttackKind, ChurnConfig};
+pub use fedsched_faults::{AdversaryConfig, AdversaryPlan, AttackKind, ChurnConfig, DriftConfig};
 pub use fedsched_robust::{AggregatorKind, RobustAggregator, RobustOutcome};

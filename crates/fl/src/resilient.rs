@@ -27,7 +27,8 @@
 //! [`TimingReport`]. All fault-only randomness (loss decisions, backoff
 //! jitter) comes from counter-based [`DrawStream`](fedsched_faults::DrawStream)s.
 
-use fedsched_core::{CostMatrix, DeadlinePolicy, Schedule, Scheduler};
+use fedsched_bandit::{selection_stream, SelectionConfig, SelectionPolicy};
+use fedsched_core::{CostMatrix, DeadlinePolicy, FedLbap, Schedule, Scheduler};
 use fedsched_device::{Device, TrainingWorkload};
 use fedsched_faults::{AdversaryPlan, DeviceFate, FaultInjector};
 use fedsched_net::{Link, LossyLink, RetryPolicy};
@@ -128,6 +129,20 @@ impl ChaosReport {
 struct Rescheduler {
     scheduler: Box<dyn Scheduler>,
     every: usize,
+}
+
+/// Online bandit-driven client-selection state (see
+/// [`ResilientRoundSim::with_selection`]).
+struct SelectionState {
+    config: SelectionConfig,
+    policy: Box<dyn SelectionPolicy>,
+    /// Resolved selection-stream seed (config override or master seed).
+    seed: u64,
+    /// Battery SoC snapshot per device at selection time, for the reward's
+    /// energy discount.
+    soc_at_select: Vec<f64>,
+    /// Arms picked for the round in flight (ascending device indices).
+    last_selected: Vec<usize>,
 }
 
 /// Phase-1 result for one participating device.
@@ -340,6 +355,9 @@ pub struct ResilientRoundSim {
     known_gone: Vec<bool>,
     aggregator: AggregatorKind,
     adversary: Option<AdversaryPlan>,
+    /// Master seed, kept so the selection stream can inherit it.
+    seed: u64,
+    selection: Option<SelectionState>,
 }
 
 impl ResilientRoundSim {
@@ -382,6 +400,8 @@ impl ResilientRoundSim {
             known_gone: vec![false; n],
             aggregator: AggregatorKind::FedAvg,
             adversary: None,
+            seed,
+            selection: None,
         }
     }
 
@@ -584,6 +604,40 @@ impl ResilientRoundSim {
         self
     }
 
+    /// Enable online bandit-driven client selection: before every round a
+    /// [`SelectionPolicy`] picks a `k`-device cohort among devices not
+    /// known gone, the full shard load is re-split among the picked
+    /// devices, and after the round each picked arm is credited a reward —
+    /// observed throughput (samples per second) discounted by the round's
+    /// battery drain, `0.0` for picked devices that delivered nothing.
+    ///
+    /// All selection randomness comes from a dedicated salted
+    /// [`selection_stream`] keyed by `(selection seed, round)`, so runs
+    /// replay byte-identically and never perturb the main RNG.
+    ///
+    /// # Panics
+    /// Panics on an invalid config, or if a rescheduler is attached —
+    /// selection owns the per-round re-plan. The fallible path is
+    /// [`SimBuilder::selection`](crate::SimBuilder::selection).
+    pub fn with_selection(mut self, config: SelectionConfig) -> Self {
+        if let Err(rule) = config.validate() {
+            panic!("{rule}");
+        }
+        assert!(
+            self.rescheduler.is_none(),
+            "selection re-plans the split every round; drop the rescheduler"
+        );
+        let n = self.devices.len();
+        self.selection = Some(SelectionState {
+            policy: config.policy.build(),
+            seed: config.seed.resolve(self.seed),
+            config,
+            soc_at_select: vec![1.0; n],
+            last_selected: Vec::new(),
+        });
+        self
+    }
+
     /// Number of devices.
     pub fn n_devices(&self) -> usize {
         self.devices.len()
@@ -628,6 +682,9 @@ impl ResilientRoundSim {
 
         for _ in 0..rounds {
             let round = self.rounds_done;
+            // Bandit selection re-splits the load before anything else
+            // looks at the schedule; without selection this is a no-op.
+            self.selection_begin(&mut current, orig_total);
             // Resolve the deadline for this round *before* anything draws
             // from the RNG: adaptive policies predict on clones, so the
             // resolution is invisible to the simulation proper.
@@ -698,6 +755,13 @@ impl ResilientRoundSim {
 
             let rejected_updates = self.robust_overlay(round, &entries);
 
+            // Selection rewards settle after the round closes; the clone
+            // exists only while a policy is attached.
+            let observed_for_reward = if self.selection.is_some() {
+                observed.clone()
+            } else {
+                Vec::new()
+            };
             let outcome = self.close_round(
                 round,
                 current.total_shards(),
@@ -717,6 +781,7 @@ impl ResilientRoundSim {
             };
             outcomes.push(outcome);
 
+            self.selection_settle(round, &observed_for_reward);
             self.maybe_reschedule(&mut current, orig_total);
         }
 
@@ -818,7 +883,9 @@ impl ResilientRoundSim {
             };
         }
         let comm = transfer.elapsed_s;
-        let compute = self.devices[j].train_samples(&self.workload, samples) * cont;
+        let compute = self.devices[j].train_samples(&self.workload, samples)
+            * cont
+            * self.injector.slowdown(round, j);
         match fate {
             DeviceFate::Crash { at_frac } | DeviceFate::Depart { at_frac } => {
                 let kind = if matches!(fate, DeviceFate::Depart { .. }) {
@@ -1037,7 +1104,9 @@ impl ResilientRoundSim {
             }
             let extra_samples = (t.assigned as f64 * shard_size) as usize;
             let cont = self.injector.contention(round, t.j);
-            let compute = self.devices[t.j].train_samples(&self.workload, extra_samples) * cont;
+            let compute = self.devices[t.j].train_samples(&self.workload, extra_samples)
+                * cont
+                * self.injector.slowdown(round, t.j);
             rescued += t.assigned;
             observed.push((t.j, extra_samples as f64, compute));
             user_totals[t.j] += transfer.elapsed_s + compute;
@@ -1220,6 +1289,139 @@ impl ResilientRoundSim {
         false
     }
 
+    /// Bandit selection for the coming round: pick the cohort from devices
+    /// not known gone, snapshot their SoC, emit `bandit_select`, and
+    /// re-split the full shard load among the picked devices. Returns
+    /// whether `current` was replaced — the event path rebuilds its active
+    /// set when it was. A no-op without a policy attached, with nothing
+    /// scheduled, or with every device known gone.
+    pub(crate) fn selection_begin(&mut self, current: &mut Schedule, orig_total: usize) -> bool {
+        let n = self.devices.len();
+        let round = self.rounds_done;
+        let Some(sel) = &mut self.selection else {
+            return false;
+        };
+        if orig_total == 0 {
+            return false;
+        }
+        let eligible: Vec<bool> = self.known_gone.iter().map(|&g| !g).collect();
+        let avail = eligible.iter().filter(|&&e| e).count();
+        if avail == 0 {
+            return false;
+        }
+        let k = sel.config.k.min(avail);
+        let mut stream = selection_stream(sel.seed, round as u64);
+        let selected = sel.policy.select(&eligible, k, &mut stream);
+        debug_assert!(!selected.is_empty(), "k >= 1 with an eligible device");
+        for &j in &selected {
+            sel.soc_at_select[j] = self.devices[j].battery_soc();
+        }
+        sel.last_selected = selected.clone();
+        let policy_name = sel.policy.name();
+        self.probe.emit(|| Event::BanditSelect {
+            round,
+            policy: policy_name.to_string(),
+            k,
+            selected: selected.clone(),
+        });
+        // Re-split the full load among the picked devices. Before any
+        // profiler evidence exists the split is a plain equal division
+        // (index-order remainder); afterwards the inner Fed-LBAP plans
+        // over observed profiles, with unpicked/gone devices priced out
+        // by the penalty profile and picked-but-unobserved devices given
+        // the observed mean ("neutral") profile so exploration targets
+        // are not starved before their first pull.
+        let observed_profiles: Vec<LinearProfile> = selected
+            .iter()
+            .filter(|&&j| self.profilers[j].observations() > 0 || self.has_prior)
+            .map(|&j| self.profilers[j].profile())
+            .collect();
+        if observed_profiles.is_empty() {
+            let mut shards = vec![0usize; n];
+            let base = orig_total / selected.len();
+            let rem = orig_total % selected.len();
+            for (i, &j) in selected.iter().enumerate() {
+                shards[j] = base + usize::from(i < rem);
+            }
+            *current = Schedule::new(shards, current.shard_size);
+            return true;
+        }
+        let m = observed_profiles.len() as f64;
+        let neutral = LinearProfile::new(
+            observed_profiles.iter().map(|p| p.fixed).sum::<f64>() / m,
+            observed_profiles.iter().map(|p| p.per_sample).sum::<f64>() / m,
+        );
+        let comm_est = self.link.round_seconds(self.model_bytes);
+        let profiles: Vec<LinearProfile> = (0..n)
+            .map(|j| {
+                if !selected.contains(&j) || self.known_gone[j] {
+                    LinearProfile::new(PENALTY_FIXED_S, PENALTY_PER_SAMPLE_S)
+                } else if self.profilers[j].observations() == 0 && !self.has_prior {
+                    neutral.clone()
+                } else {
+                    self.profilers[j].profile()
+                }
+            })
+            .collect();
+        let costs = CostMatrix::from_profiles(
+            &profiles,
+            orig_total,
+            current.shard_size,
+            &vec![comm_est; n],
+        );
+        if let Ok(next) = FedLbap.schedule_traced(&costs, &self.probe) {
+            *current = next;
+            return true;
+        }
+        false
+    }
+
+    /// Credit this round's picked arms: observed throughput (samples per
+    /// second over everything the server received from the device this
+    /// round) discounted by the battery drawn since selection; picked
+    /// devices that delivered nothing earn `0.0`. Emits one
+    /// `bandit_reward` event per picked arm, in device-index order.
+    pub(crate) fn selection_settle(&mut self, round: usize, observed: &[(usize, f64, f64)]) {
+        let Some(sel) = &mut self.selection else {
+            return;
+        };
+        if sel.last_selected.is_empty() {
+            return;
+        }
+        let selected = std::mem::take(&mut sel.last_selected);
+        for &j in &selected {
+            let (mut samples, mut seconds) = (0.0f64, 0.0f64);
+            for &(dev, s, t) in observed {
+                if dev == j {
+                    samples += s;
+                    seconds += t;
+                }
+            }
+            let soc_drop = (sel.soc_at_select[j] - self.devices[j].battery_soc()).max(0.0);
+            let reward = if samples > 0.0 && seconds > 0.0 {
+                (samples / seconds) / (1.0 + soc_drop)
+            } else {
+                0.0
+            };
+            sel.policy.update(j, reward);
+            let mean = sel.policy.mean(j);
+            let pulls = sel.policy.pulls(j) as usize;
+            self.probe.emit(|| Event::BanditReward {
+                round,
+                user: j,
+                reward,
+                mean,
+                pulls,
+            });
+        }
+    }
+
+    /// Whether a selection policy is attached (the event path clones the
+    /// observation list for reward settlement only when one is).
+    pub(crate) fn selection_active(&self) -> bool {
+        self.selection.is_some()
+    }
+
     /// Round index the next per-round primitive call will use.
     pub(crate) fn current_round(&self) -> usize {
         self.rounds_done
@@ -1308,7 +1510,9 @@ impl ResilientRoundSim {
         }
         let samples = (shards as f64 * shard_size) as usize;
         let cont = self.injector.contention(round, joiner);
-        let compute = self.devices[joiner].train_samples(&self.workload, samples) * cont;
+        let compute = self.devices[joiner].train_samples(&self.workload, samples)
+            * cont
+            * self.injector.slowdown(round, joiner);
         observed.push((joiner, samples as f64, compute));
         user_totals[joiner] += transfer.elapsed_s + compute;
         track.observe(

@@ -26,15 +26,16 @@
 //! The vendored `serde` is a marker stub, so encoding goes through
 //! [`fedsched_core::json`] by hand — field by field, in one place, here.
 
+use fedsched_bandit::{MaybeSeeded, PolicyKind, SelectionConfig};
 use fedsched_core::json::{self, JsonError, JsonValue};
 use fedsched_core::{DeadlinePolicy, Schedule};
 use fedsched_device::{DeviceModel, Testbed, TrainingWorkload};
-use fedsched_faults::{AdversaryConfig, AttackKind, ChurnConfig, FaultConfig};
+use fedsched_faults::{AdversaryConfig, AttackKind, ChurnConfig, DriftConfig, FaultConfig};
 use fedsched_net::{Link, RetryPolicy};
 use fedsched_robust::AggregatorKind;
 use fedsched_telemetry::Probe;
 
-use crate::builder::{AsyncOptions, ConfigError, RoundConfig, SimBuilder};
+use crate::builder::{AsyncOptions, ConfigError, RoundConfig, Selection, SimBuilder};
 use crate::cohorts::{EngineKind, ParallelRoundEngine};
 use crate::coordinator::Coordinator;
 use crate::eventsim::{AdmissionPolicy, EventRoundSim};
@@ -291,6 +292,8 @@ pub struct JobSpec {
     pub edge_aggregator: Option<AggregatorKind>,
     /// Server-tier aggregation rule (hier target).
     pub server_aggregator: Option<AggregatorKind>,
+    /// Online bandit-driven client selection (chaos-family targets).
+    pub selection: Option<SelectionConfig>,
 }
 
 impl JobSpec {
@@ -328,6 +331,7 @@ impl JobSpec {
             edge_link: None,
             edge_aggregator: None,
             server_aggregator: None,
+            selection: None,
         }
     }
 
@@ -423,6 +427,9 @@ impl JobSpec {
         if let Some(kind) = self.server_aggregator {
             fields.push(("server_aggregator", aggregator_to_json(&kind)));
         }
+        if let Some(selection) = &self.selection {
+            fields.push(("selection", selection_to_json(selection)));
+        }
         json::obj(fields)
     }
 
@@ -464,6 +471,7 @@ impl JobSpec {
                 "edge_link",
                 "edge_aggregator",
                 "server_aggregator",
+                "selection",
             ],
         )?;
         let version = v.req("version").and_then(|x| x.as_u64()).map_err(shape)?;
@@ -564,6 +572,9 @@ impl JobSpec {
         if let Some(a) = v.get("server_aggregator") {
             spec.server_aggregator = Some(aggregator_from_json(a)?);
         }
+        if let Some(s) = v.get("selection") {
+            spec.selection = Some(selection_from_json(s)?);
+        }
         Ok(spec)
     }
 
@@ -663,6 +674,9 @@ impl SimBuilder {
         if let Some(kind) = spec.server_aggregator {
             b = b.server_aggregator(kind);
         }
+        if let Some(config) = spec.selection {
+            b = b.selection(Selection::Bandit(config));
+        }
         Ok(b)
     }
 
@@ -716,6 +730,7 @@ impl SimBuilder {
         spec.edge_link = self.edge_link;
         spec.edge_aggregator = self.edge_aggregator;
         spec.server_aggregator = self.server_aggregator;
+        spec.selection = self.selection;
         Ok(spec)
     }
 }
@@ -995,6 +1010,79 @@ fn churn_from_json(v: &JsonValue) -> Result<ChurnConfig, ConfigError> {
     })
 }
 
+fn drift_to_json(d: &DriftConfig) -> JsonValue {
+    json::obj(vec![
+        ("sigma", json::num(d.sigma)),
+        ("max_slowdown", json::num(d.max_slowdown)),
+    ])
+}
+
+fn drift_from_json(v: &JsonValue) -> Result<DriftConfig, ConfigError> {
+    expect_fields(v, &["sigma", "max_slowdown"])?;
+    let f = |key: &str| v.req(key).and_then(|x| x.as_f64_lenient()).map_err(shape);
+    Ok(DriftConfig {
+        sigma: f("sigma")?,
+        max_slowdown: f("max_slowdown")?,
+    })
+}
+
+/// Tagged policy object plus the cohort size and the optional pinned
+/// stream seed (`MaybeSeeded::inherit()` is expressed by omission, so an
+/// inherited seed never leaks a redundant copy of the master seed into
+/// the canonical bytes).
+fn selection_to_json(s: &SelectionConfig) -> JsonValue {
+    let mut policy: Vec<(&str, JsonValue)> = vec![("kind", json::str(s.policy.name()))];
+    match s.policy {
+        PolicyKind::EpsilonGreedy { epsilon } => policy.push(("epsilon", json::num(epsilon))),
+        PolicyKind::Ucb1 { c } => policy.push(("c", json::num(c))),
+        PolicyKind::ThompsonSampling => {}
+    }
+    let mut fields: Vec<(&str, JsonValue)> = vec![
+        ("policy", json::obj(policy)),
+        ("k", JsonValue::Num(s.k as f64)),
+    ];
+    if let Some(seed) = s.seed.seed {
+        fields.push(("seed", u64_to_json(seed)));
+    }
+    json::obj(fields)
+}
+
+fn selection_from_json(v: &JsonValue) -> Result<SelectionConfig, ConfigError> {
+    expect_fields(v, &["policy", "k", "seed"])?;
+    let p = v.req("policy").map_err(shape)?;
+    let policy = match p.req("kind").and_then(|k| k.as_str()).map_err(shape)? {
+        "epsilon_greedy" => {
+            expect_fields(p, &["kind", "epsilon"])?;
+            PolicyKind::EpsilonGreedy {
+                epsilon: p
+                    .req("epsilon")
+                    .and_then(|e| e.as_f64_lenient())
+                    .map_err(shape)?,
+            }
+        }
+        "ucb1" => {
+            expect_fields(p, &["kind", "c"])?;
+            PolicyKind::Ucb1 {
+                c: p.req("c").and_then(|c| c.as_f64_lenient()).map_err(shape)?,
+            }
+        }
+        "thompson" => {
+            expect_fields(p, &["kind"])?;
+            PolicyKind::ThompsonSampling
+        }
+        other => return Err(bad(format!("unknown selection policy `{other}`"))),
+    };
+    let seed = match v.get("seed") {
+        Some(s) => MaybeSeeded::pinned(u64_from_json(s)?),
+        None => MaybeSeeded::inherit(),
+    };
+    Ok(SelectionConfig {
+        policy,
+        k: v.req("k").and_then(|k| k.as_usize()).map_err(shape)?,
+        seed,
+    })
+}
+
 fn fault_config_to_json(c: &FaultConfig) -> JsonValue {
     let mut fields: Vec<(&str, JsonValue)> = vec![
         ("crash_prob", json::num(c.crash_prob)),
@@ -1016,6 +1104,9 @@ fn fault_config_to_json(c: &FaultConfig) -> JsonValue {
     if let Some(churn) = c.churn_process {
         fields.push(("churn_process", churn_to_json(&churn)));
     }
+    if let Some(drift) = c.drift {
+        fields.push(("drift", drift_to_json(&drift)));
+    }
     json::obj(fields)
 }
 
@@ -1036,6 +1127,7 @@ fn fault_config_from_json(v: &JsonValue) -> Result<FaultConfig, ConfigError> {
             "group_count",
             "group_outage_rounds",
             "churn_process",
+            "drift",
         ],
     )?;
     let f = |key: &str| v.req(key).and_then(|x| x.as_f64_lenient()).map_err(shape);
@@ -1055,6 +1147,10 @@ fn fault_config_from_json(v: &JsonValue) -> Result<FaultConfig, ConfigError> {
     config.group_outage_rounds = n("group_outage_rounds")?;
     config.churn_process = match v.get("churn_process") {
         Some(c) => Some(churn_from_json(c)?),
+        None => None,
+    };
+    config.drift = match v.get("drift") {
+        Some(d) => Some(drift_from_json(d)?),
         None => None,
     };
     Ok(config)
@@ -1402,5 +1498,51 @@ mod tests {
         let s = Schedule::new(vec![10, 0, 25], 100.0);
         let back = schedule_from_json(&schedule_to_json(&s)).unwrap();
         assert_eq!(back, s);
+    }
+
+    #[test]
+    fn selection_and_drift_round_trip_through_json() {
+        for policy in [
+            PolicyKind::EpsilonGreedy { epsilon: 0.1 },
+            PolicyKind::Ucb1 { c: 1.5 },
+            PolicyKind::ThompsonSampling,
+        ] {
+            for seed in [MaybeSeeded::inherit(), MaybeSeeded::pinned(u64::MAX - 9)] {
+                let mut spec = base_spec(BuildTarget::Resilient);
+                spec.selection = Some(SelectionConfig { policy, k: 3, seed });
+                spec.faults = Some((
+                    FaultConfig::none()
+                        .with_crash_prob(0.1)
+                        .with_drift(DriftConfig::new(0.05, 4.0)),
+                    8,
+                ));
+                let text = spec.canonical_json();
+                let back = JobSpec::parse(&text).unwrap();
+                assert_eq!(back, spec);
+                assert_eq!(back.canonical_json(), text);
+                // And through the builder: from_spec -> to_spec is the
+                // identity for selection-carrying specs too.
+                let builder = SimBuilder::from_spec(&spec).unwrap();
+                assert_eq!(builder.to_spec(BuildTarget::Resilient).unwrap(), spec);
+            }
+        }
+        // An inherited stream seed is expressed by omission.
+        let mut spec = base_spec(BuildTarget::EventSim);
+        spec.selection = Some(SelectionConfig::new(PolicyKind::ThompsonSampling, 2));
+        assert!(!spec.canonical_json().contains("\"seed\"},"));
+        // Unknown policy tags and malformed knobs fail loudly.
+        let doc = spec.canonical_json().replace("thompson", "bayes");
+        assert_eq!(
+            JobSpec::parse(&doc).err().unwrap().cause_code(),
+            "invalid_spec"
+        );
+        // Selection specs build, and an invalid k surfaces the builder's
+        // typed cause code on the wire path too.
+        let mut spec = base_spec(BuildTarget::Resilient);
+        spec.selection = Some(SelectionConfig::new(PolicyKind::Ucb1 { c: 1.0 }, 2));
+        assert!(spec.build(Probe::disabled()).is_ok());
+        spec.selection = Some(SelectionConfig::new(PolicyKind::Ucb1 { c: 1.0 }, 0));
+        let err = spec.build(Probe::disabled()).err().unwrap();
+        assert_eq!(err.cause_code(), "invalid_selection");
     }
 }

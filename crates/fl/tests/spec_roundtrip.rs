@@ -11,10 +11,11 @@
 //! the suite checks round-tripping on the raw draw and builder agreement
 //! on the repaired one.
 
+use fedsched_bandit::{MaybeSeeded, PolicyKind, SelectionConfig};
 use fedsched_core::DeadlinePolicy;
 use fedsched_core::Schedule;
 use fedsched_device::TrainingWorkload;
-use fedsched_faults::FaultConfig;
+use fedsched_faults::{DriftConfig, FaultConfig};
 use fedsched_fl::spec::{schedule_from_json, schedule_to_json};
 use fedsched_fl::{
     AdmissionPolicy, AdversaryConfig, AggregatorKind, AttackKind, BuildTarget, ChurnConfig,
@@ -85,6 +86,12 @@ fn draw_spec(mask: u32, rng: &mut TestRng) -> JobSpec {
         if rng.below(2) == 0 {
             config = config.with_contention(rng.unit_f64() * 0.5, 1.0 + rng.unit_f64());
         }
+        if rng.below(2) == 0 {
+            config = config.with_drift(DriftConfig::new(
+                rng.unit_f64() * 0.5,
+                1.5 + 5.0 * rng.unit_f64(),
+            ));
+        }
         spec.faults = Some((config, 1 + rng.below(8) as usize));
     }
     if mask & 256 != 0 {
@@ -143,6 +150,22 @@ fn draw_spec(mask: u32, rng: &mut TestRng) -> JobSpec {
         }
         spec.edge_aggregator = Some(AggregatorKind::Median);
         spec.server_aggregator = Some(AggregatorKind::TrimmedMean { trim: 1 });
+    }
+    if mask & 32768 != 0 {
+        let policy = match rng.below(3) {
+            0 => PolicyKind::EpsilonGreedy {
+                epsilon: rng.unit_f64(),
+            },
+            1 => PolicyKind::Ucb1 {
+                c: 0.1 + 2.0 * rng.unit_f64(),
+            },
+            _ => PolicyKind::ThompsonSampling,
+        };
+        let mut config = SelectionConfig::new(policy, 1 + rng.below(6) as usize);
+        if rng.below(2) == 0 {
+            config.seed = MaybeSeeded::pinned(rng.next_u64());
+        }
+        spec.selection = Some(config);
     }
     spec
 }
@@ -209,7 +232,7 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     #[test]
-    fn any_drawn_spec_round_trips_through_json(mask in 0u32..32768, salt in 0u64..u64::MAX) {
+    fn any_drawn_spec_round_trips_through_json(mask in 0u32..65536, salt in 0u64..u64::MAX) {
         let mut rng = TestRng::from_seed(salt);
         let spec = draw_spec(mask, &mut rng);
         let text = spec.canonical_json();
@@ -221,7 +244,7 @@ proptest! {
     }
 
     #[test]
-    fn buildable_specs_round_trip_through_the_builder(mask in 0u32..32768, salt in 0u64..u64::MAX) {
+    fn buildable_specs_round_trip_through_the_builder(mask in 0u32..65536, salt in 0u64..u64::MAX) {
         let mut rng = TestRng::from_seed(salt);
         let spec = repair(draw_spec(mask, &mut rng));
         let builder = match SimBuilder::from_spec(&spec) {

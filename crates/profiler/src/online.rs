@@ -25,6 +25,8 @@ pub struct OnlineProfiler {
     p: [f64; 4],
     /// Observations absorbed so far.
     observations: usize,
+    /// Observations dropped because they were non-finite or negative.
+    rejected: usize,
 }
 
 impl OnlineProfiler {
@@ -41,6 +43,7 @@ impl OnlineProfiler {
             // Large initial covariance: the first observations dominate.
             p: [1e6, 0.0, 0.0, 1e6],
             observations: 0,
+            rejected: 0,
         }
     }
 
@@ -58,15 +61,26 @@ impl OnlineProfiler {
         self.observations
     }
 
+    /// Observations dropped by [`observe`](Self::observe) because they were
+    /// non-finite or negative. A nonzero count flags an upstream bug (a
+    /// device reporting `NaN` seconds, a clock running backwards) without
+    /// letting the bad sample poison the RLS state.
+    pub fn rejected(&self) -> usize {
+        self.rejected
+    }
+
     /// Absorb one observed round: `samples` trained in `seconds`.
     ///
-    /// # Panics
-    /// Panics on non-finite or negative inputs.
-    pub fn observe(&mut self, samples: f64, seconds: f64) {
-        assert!(
-            samples.is_finite() && seconds.is_finite() && samples >= 0.0 && seconds >= 0.0,
-            "observations must be finite and non-negative"
-        );
+    /// Non-finite (`NaN`/`±inf`) or negative inputs are *not* absorbed: a
+    /// single `NaN` would irreversibly contaminate `theta` and `P`, so bad
+    /// samples are dropped, counted in [`rejected`](Self::rejected), and
+    /// `false` is returned. Returns `true` when the observation was
+    /// absorbed.
+    pub fn observe(&mut self, samples: f64, seconds: f64) -> bool {
+        if !(samples.is_finite() && seconds.is_finite() && samples >= 0.0 && seconds >= 0.0) {
+            self.rejected += 1;
+            return false;
+        }
         let x = [1.0, samples];
         // k = P x / (lambda + x' P x)
         let px = [
@@ -90,6 +104,7 @@ impl OnlineProfiler {
             (self.p[3] - k[1] * xp[1]) / self.lambda,
         ];
         self.observations += 1;
+        true
     }
 
     /// The current estimate as a (clamped, monotone) linear profile.
@@ -198,9 +213,29 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "finite")]
     fn non_finite_observation_rejected() {
         let mut p = OnlineProfiler::new(1.0);
-        p.observe(f64::NAN, 1.0);
+        p.observe(1000.0, 12.0);
+        let theta = p.theta();
+        let pcov = p.p;
+        for (samples, seconds) in [
+            (f64::NAN, 1.0),
+            (1.0, f64::NAN),
+            (f64::INFINITY, 1.0),
+            (1.0, f64::NEG_INFINITY),
+            (-5.0, 1.0),
+            (1.0, -0.25),
+        ] {
+            assert!(!p.observe(samples, seconds), "({samples}, {seconds})");
+        }
+        // Rejected samples are counted but leave the RLS state untouched.
+        assert_eq!(p.rejected(), 6);
+        assert_eq!(p.observations(), 1);
+        assert_eq!(p.theta(), theta);
+        assert_eq!(p.p, pcov);
+        // The profiler keeps absorbing good samples afterwards.
+        assert!(p.observe(2000.0, 24.0));
+        assert_eq!(p.observations(), 2);
+        assert!(p.theta()[1].is_finite());
     }
 }

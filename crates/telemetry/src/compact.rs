@@ -36,6 +36,14 @@ pub const CHURN_KINDS: [&str; 4] = [
     "mid_round_admit",
 ];
 
+/// Online-selection forensics events — always retained, never downsampled.
+/// Regret analysis replays the exact select/reward sequence from archived
+/// traces, so dropping even one of these would silently corrupt the
+/// reconstruction. Spelled out for the same reason as [`CHURN_KINDS`]: the
+/// retention guarantee is an explicit contract, not an accident of the
+/// device-level list.
+pub const BANDIT_KINDS: [&str; 2] = ["bandit_select", "bandit_reward"];
+
 /// What [`compact_jsonl`] did, for logging and tests.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CompactStats {
@@ -326,6 +334,92 @@ mod tests {
         ];
         for ev in &churn {
             assert!(CHURN_KINDS.contains(&ev.kind()), "{} missing", ev.kind());
+            assert!(
+                !DEVICE_LEVEL_KINDS.contains(&ev.kind()),
+                "{} must never be downsampled",
+                ev.kind()
+            );
+            assert_eq!(line_kind(&ev.to_json()), Some(ev.kind()));
+        }
+    }
+
+    /// Bandit selection events survive compaction verbatim at any sampling
+    /// rate, exactly like churn forensics: the compacted trace round-trips
+    /// every bandit line byte-for-byte, in order, even when every
+    /// device-level line around them is dropped.
+    #[test]
+    fn bandit_events_round_trip_through_compaction() {
+        let bandit = [
+            Event::BanditSelect {
+                round: 2,
+                policy: "ucb1".into(),
+                k: 2,
+                selected: vec![0, 3],
+            },
+            Event::BanditReward {
+                round: 2,
+                user: 0,
+                reward: 1.25,
+                mean: 1.1,
+                pulls: 3,
+            },
+            Event::BanditReward {
+                round: 2,
+                user: 3,
+                reward: 0.5,
+                mean: 0.5,
+                pulls: 1,
+            },
+        ];
+        let mut trace = String::new();
+        for (i, ev) in bandit.iter().enumerate() {
+            trace.push_str(
+                &Event::BatterySoc {
+                    t_s: i as f64,
+                    device: "pixel".into(),
+                    soc_pct: 90 - 10 * i as u32,
+                }
+                .to_json(),
+            );
+            trace.push('\n');
+            trace.push_str(&ev.to_json());
+            trace.push('\n');
+        }
+        for keep_every in [1, 2, 1000] {
+            let (out, _) = compact_jsonl(&trace, keep_every);
+            let kept: Vec<&str> = out
+                .lines()
+                .filter(|l| line_kind(l).is_some_and(|k| BANDIT_KINDS.contains(&k)))
+                .collect();
+            let want: Vec<String> = bandit.iter().map(|ev| ev.to_json()).collect();
+            assert_eq!(kept, want, "keep_every={keep_every}");
+        }
+        let (out, stats) = compact_jsonl(&trace, 1000);
+        assert_eq!(stats.device_kept, 1);
+        assert_eq!(out.lines().count(), 4);
+    }
+
+    /// The bandit retention list agrees with `Event::kind()` and is
+    /// disjoint from the downsampled device-level kinds.
+    #[test]
+    fn bandit_kind_list_matches_event_tags_and_is_always_kept() {
+        let bandit = [
+            Event::BanditSelect {
+                round: 0,
+                policy: "thompson".into(),
+                k: 1,
+                selected: vec![0],
+            },
+            Event::BanditReward {
+                round: 0,
+                user: 0,
+                reward: 1.0,
+                mean: 1.0,
+                pulls: 1,
+            },
+        ];
+        for ev in &bandit {
+            assert!(BANDIT_KINDS.contains(&ev.kind()), "{} missing", ev.kind());
             assert!(
                 !DEVICE_LEVEL_KINDS.contains(&ev.kind()),
                 "{} must never be downsampled",

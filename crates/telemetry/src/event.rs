@@ -191,6 +191,30 @@ pub enum Event {
         shards: usize,
     },
 
+    // ---- online bandit-driven client selection -----------------------------
+    /// A bandit selection policy chose this round's participating cohort.
+    BanditSelect {
+        round: usize,
+        /// Policy tag (`"epsilon_greedy"`, `"ucb1"`, `"thompson"`).
+        policy: String,
+        /// Requested cohort size (selected may be smaller when fewer
+        /// devices are eligible).
+        k: usize,
+        /// Selected device indices, ascending.
+        selected: Vec<usize>,
+    },
+    /// One selected device's post-round reward credit to the policy.
+    BanditReward {
+        round: usize,
+        user: usize,
+        /// The reward credited this round (higher = better).
+        reward: f64,
+        /// The arm's empirical mean after the credit.
+        mean: f64,
+        /// The arm's pull count after the credit.
+        pulls: usize,
+    },
+
     // ---- Byzantine-robust aggregation / correlated failures ----------------
     /// A robust aggregator excluded one user's update from the aggregate.
     UpdateRejected {
@@ -325,6 +349,8 @@ impl Event {
             Event::DeviceDepart { .. } => "device_depart",
             Event::ShardsOrphaned { .. } => "shards_orphaned",
             Event::MidRoundAdmit { .. } => "mid_round_admit",
+            Event::BanditSelect { .. } => "bandit_select",
+            Event::BanditReward { .. } => "bandit_reward",
             Event::UpdateRejected { .. } => "update_rejected",
             Event::RobustAggregate { .. } => "robust_aggregate",
             Event::GroupOutage { .. } => "group_outage",
@@ -442,6 +468,30 @@ impl Event {
                 t_s,
                 user: user + offset,
                 shards,
+            },
+            Event::BanditSelect {
+                round,
+                policy,
+                k,
+                selected,
+            } => Event::BanditSelect {
+                round,
+                policy,
+                k,
+                selected: selected.into_iter().map(|j| j + offset).collect(),
+            },
+            Event::BanditReward {
+                round,
+                user,
+                reward,
+                mean,
+                pulls,
+            } => Event::BanditReward {
+                round,
+                user: user + offset,
+                reward,
+                mean,
+                pulls,
             },
             Event::UpdateRejected {
                 round,
@@ -706,6 +756,29 @@ impl Event {
                 let _ = write!(out, ",\"round\":{round}");
                 push_f64_field(&mut out, "t_s", *t_s);
                 let _ = write!(out, ",\"user\":{user},\"shards\":{shards}");
+            }
+            Event::BanditSelect {
+                round,
+                policy,
+                k,
+                selected,
+            } => {
+                let _ = write!(out, ",\"round\":{round},\"policy\":");
+                json::push_str(&mut out, policy);
+                let _ = write!(out, ",\"k\":{k},\"selected\":");
+                json::push_usize_array(&mut out, selected);
+            }
+            Event::BanditReward {
+                round,
+                user,
+                reward,
+                mean,
+                pulls,
+            } => {
+                let _ = write!(out, ",\"round\":{round},\"user\":{user}");
+                push_f64_field(&mut out, "reward", *reward);
+                push_f64_field(&mut out, "mean", *mean);
+                let _ = write!(out, ",\"pulls\":{pulls}");
             }
             Event::UpdateRejected {
                 round,
@@ -1046,6 +1119,69 @@ mod tests {
             ev.to_json(),
             "{\"ev\":\"mid_round_admit\",\"round\":2,\"t_s\":9.75,\"user\":3,\"shards\":6}"
         );
+    }
+
+    #[test]
+    fn bandit_events_encode_with_fixed_key_order() {
+        let ev = Event::BanditSelect {
+            round: 3,
+            policy: "ucb1".to_string(),
+            k: 2,
+            selected: vec![1, 4],
+        };
+        assert_eq!(
+            ev.to_json(),
+            "{\"ev\":\"bandit_select\",\"round\":3,\"policy\":\"ucb1\",\"k\":2,\"selected\":[1,4]}"
+        );
+        let ev = Event::BanditReward {
+            round: 3,
+            user: 4,
+            reward: 0.5,
+            mean: 0.75,
+            pulls: 2,
+        };
+        assert_eq!(
+            ev.to_json(),
+            "{\"ev\":\"bandit_reward\",\"round\":3,\"user\":4,\"reward\":0.5,\"mean\":0.75,\"pulls\":2}"
+        );
+    }
+
+    #[test]
+    fn bandit_event_offsets_shift_only_device_indices() {
+        let select = Event::BanditSelect {
+            round: 1,
+            policy: "thompson".to_string(),
+            k: 2,
+            selected: vec![0, 3],
+        };
+        assert_eq!(
+            select.clone().with_user_offset(10),
+            Event::BanditSelect {
+                round: 1,
+                policy: "thompson".to_string(),
+                k: 2,
+                selected: vec![10, 13],
+            }
+        );
+        assert_eq!(select.clone().with_user_offset(0), select);
+        let reward = Event::BanditReward {
+            round: 1,
+            user: 3,
+            reward: 1.0,
+            mean: 1.0,
+            pulls: 1,
+        };
+        assert_eq!(
+            reward.clone().with_user_offset(10),
+            Event::BanditReward {
+                round: 1,
+                user: 13,
+                reward: 1.0,
+                mean: 1.0,
+                pulls: 1,
+            }
+        );
+        assert_eq!(reward.clone().with_user_offset(0), reward);
     }
 
     #[test]

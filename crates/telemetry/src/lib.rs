@@ -37,7 +37,7 @@ mod json;
 mod metrics;
 mod recorder;
 
-pub use compact::{compact_jsonl, CompactStats, CHURN_KINDS, DEVICE_LEVEL_KINDS};
+pub use compact::{compact_jsonl, CompactStats, BANDIT_KINDS, CHURN_KINDS, DEVICE_LEVEL_KINDS};
 pub use event::Event;
 pub use metrics::{Histogram, MetricsRegistry};
 pub use recorder::{EventLog, JsonlSink, NullRecorder, Probe, Recorder};

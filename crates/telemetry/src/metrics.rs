@@ -309,6 +309,8 @@ impl MetricsRegistry {
     /// | `device_depart` | `device_departures` | — |
     /// | `shards_orphaned` | `shards_orphaned` (by shard count) | — |
     /// | `mid_round_admit` | `mid_round_admits`, `mid_round_admitted_shards` | — |
+    /// | `bandit_select` | `bandit_selections`, `bandit_selected_devices` | — |
+    /// | `bandit_reward` | `bandit_rewards` | `bandit_reward` |
     /// | `update_rejected` | `updates_rejected` | `rejected_update_score` |
     /// | `robust_aggregate` | `robust_aggregations` | `robust_mean_score` |
     /// | `group_outage` | `group_outages`, `group_outage_devices` | — |
@@ -392,6 +394,14 @@ impl MetricsRegistry {
                 Event::MidRoundAdmit { shards, .. } => {
                     self.incr("mid_round_admits", 1);
                     self.incr("mid_round_admitted_shards", *shards as u64);
+                }
+                Event::BanditSelect { selected, .. } => {
+                    self.incr("bandit_selections", 1);
+                    self.incr("bandit_selected_devices", selected.len() as u64);
+                }
+                Event::BanditReward { reward, .. } => {
+                    self.incr("bandit_rewards", 1);
+                    self.observe("bandit_reward", *reward);
                 }
                 Event::UpdateRejected { score, .. } => {
                     self.incr("updates_rejected", 1);

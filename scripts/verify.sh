@@ -25,6 +25,7 @@ FEDSCHED_CRATES=(
   -p fedsched-device
   -p fedsched-net
   -p fedsched-faults
+  -p fedsched-bandit
   -p fedsched-robust
   -p fedsched-data
   -p fedsched-nn
@@ -102,6 +103,14 @@ cargo test -q --test hier_identity
 FEDSCHED_THREADS=4 cargo test -q --test hier_identity
 FEDSCHED_THREADS=8 cargo test -q --test hier_identity
 cargo test -q --test golden_trace hier
+
+echo "==> bandit suite (quiet-knob inertness vs goldens + selection thread invariance)"
+cargo test -q -p fedsched-bandit
+cargo test -q -p fedsched-fl selection
+cargo test -q --test bandit_identity
+FEDSCHED_THREADS=4 cargo test -q --test bandit_identity
+FEDSCHED_THREADS=8 cargo test -q --test bandit_identity
+cargo test -q -p fedsched-bench bandit
 
 echo "==> serve suite (spec round-trip + kill-and-resume bit identity + HTTP parity)"
 cargo test -q -p fedsched-fl spec

@@ -16,7 +16,9 @@
 //! * [`net`] — WiFi / LTE link models for model push/pull, plus lossy
 //!   links and retry policies for chaos runs.
 //! * [`faults`] — deterministic, seedable fault injection (crashes, churn,
-//!   outages, contention) for resilience experiments.
+//!   outages, contention, performance drift) for resilience experiments.
+//! * [`bandit`] — online client-selection policies (epsilon-greedy, UCB1,
+//!   Thompson sampling) with seed-deterministic draw streams.
 //! * [`data`] — synthetic MNIST-like / CIFAR-like datasets and IID /
 //!   non-IID partitioners.
 //! * [`nn`] — from-scratch neural-network training (LeNet, VGG6).
@@ -45,6 +47,7 @@
 //! assert_eq!(schedule.total_shards(), 60);
 //! ```
 
+pub use fedsched_bandit as bandit;
 pub use fedsched_core as core;
 pub use fedsched_data as data;
 pub use fedsched_device as device;
